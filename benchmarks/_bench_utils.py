@@ -1,0 +1,47 @@
+"""Shared benchmark plumbing.
+
+Every bench runs its experiment exactly once inside ``benchmark.pedantic``
+(the experiments are minutes-scale; statistical repetition happens *inside*
+them via Monte-Carlo sampling), prints the regenerated table/figure rows, and
+appends them to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can be
+assembled from artifacts.
+
+Scale knobs (overridable via environment):
+
+* ``REPRO_BENCH_SCALE``   — dataset node-count multiplier (default 0.05)
+* ``REPRO_BENCH_SAMPLES`` — Monte-Carlo samples per welfare estimate (60)
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Callable, Dict, List, Sequence
+
+from repro.experiments.runner import format_table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Node-count multiplier applied to every dataset stand-in.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
+
+#: Monte-Carlo samples per welfare estimate.
+BENCH_SAMPLES = int(os.environ.get("REPRO_BENCH_SAMPLES", "60"))
+
+
+def record(name: str, rows: Sequence[Dict[str, object]], header: str = "") -> str:
+    """Print and persist one regenerated table/figure."""
+    text = format_table(rows)
+    banner = f"== {name} =="
+    if header:
+        banner += f"  ({header})"
+    output = f"\n{banner}\n{text}\n"
+    print(output)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(output)
+    return output
+
+
+def run_once(benchmark, func: Callable[[], object]) -> object:
+    """Execute ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

@@ -1,0 +1,75 @@
+"""Ablation — PRIMA's multi-budget reuse vs per-budget IMM calls.
+
+bundleGRD's cost hinges on PRIMA answering the whole budget vector with one
+RR-set collection.  The ablation re-derives the same nested-prefix allocation
+by calling IMM separately per distinct budget (what a naive implementation
+would do) and compares: seed quality must be equivalent, while PRIMA saves
+both wall-clock and total RR sets.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from _bench_utils import BENCH_SCALE, record, run_once
+from repro.diffusion.ic import estimate_spread
+from repro.graph import datasets
+from repro.rrset.imm import imm
+from repro.rrset.prima import prima
+
+BUDGETS = [100, 60, 30, 10]
+
+
+def test_ablation_prima_vs_per_budget_imm(benchmark):
+    graph = datasets.load("twitter", scale=BENCH_SCALE)
+
+    def run():
+        t0 = time.perf_counter()
+        prima_result = prima(
+            graph, BUDGETS, rng=np.random.default_rng(0)
+        )
+        prima_seconds = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        imm_runs = {
+            k: imm(graph, k, rng=np.random.default_rng(0)) for k in BUDGETS
+        }
+        imm_seconds = time.perf_counter() - t0
+        return prima_result, prima_seconds, imm_runs, imm_seconds
+
+    prima_result, prima_seconds, imm_runs, imm_seconds = run_once(benchmark, run)
+
+    rng = np.random.default_rng(1)
+    rows = []
+    for k in BUDGETS:
+        prefix_spread = estimate_spread(
+            graph, prima_result.seeds_for_budget(k), 150, rng
+        )
+        imm_spread = estimate_spread(graph, imm_runs[k].seeds, 150, rng)
+        rows.append(
+            {
+                "budget": k,
+                "prima_prefix_spread": round(prefix_spread, 1),
+                "dedicated_imm_spread": round(imm_spread, 1),
+            }
+        )
+    rows.append(
+        {
+            "budget": "TOTAL",
+            "prima_prefix_spread": f"{prima_seconds:.2f}s / {prima_result.num_rr_sets} RR",
+            "dedicated_imm_spread": (
+                f"{imm_seconds:.2f}s / "
+                f"{sum(r.num_rr_sets for r in imm_runs.values())} RR"
+            ),
+        }
+    )
+    record("ablation_prima_reuse", rows, header=f"twitter scale={BENCH_SCALE}")
+
+    # Quality parity: each prefix within 15% of the dedicated run.
+    for row in rows[:-1]:
+        assert row["prima_prefix_spread"] >= 0.85 * row["dedicated_imm_spread"]
+    # Cost: one PRIMA call beats four IMM calls on total work.
+    total_imm_rr = sum(r.num_rr_sets for r in imm_runs.values())
+    assert prima_result.num_rr_sets < total_imm_rr
+    assert prima_seconds < imm_seconds

@@ -1,0 +1,41 @@
+"""Fig. 6 — number of RR sets generated (the memory proxy), config 1.
+
+Paper shape asserted per panel: the TIM-based Com-IC algorithms generate an
+order of magnitude more RR sets than the IMM-based three, whose counts are
+mutually comparable.
+"""
+
+import pytest
+
+from _bench_utils import BENCH_SCALE, record, run_once
+from repro.experiments._two_item import runs_as_rows
+from repro.experiments.fig5_runtime import COMIC_NETWORKS, FIG5_NETWORKS
+from repro.experiments.fig6_rrsets import rrset_series, run_fig6
+
+BUDGETS = [(10, 10), (50, 50)]
+
+
+@pytest.mark.parametrize("network", FIG5_NETWORKS)
+def test_fig6_panel(benchmark, network):
+    def run():
+        return run_fig6(
+            networks=(network,),
+            scale=BENCH_SCALE,
+            budget_vectors=BUDGETS,
+        )
+
+    panels = run_once(benchmark, run)
+    runs = panels[network]
+    record(
+        f"fig6_{network}",
+        runs_as_rows(runs),
+        header=f"scale={BENCH_SCALE}",
+    )
+
+    series = rrset_series(runs)
+    if network in COMIC_NETWORKS:
+        assert min(series["RR-SIM+"]) > 5 * max(series["bundleGRD"])
+        assert min(series["RR-CIM"]) > 5 * max(series["bundleGRD"])
+    # The IMM-based algorithms stay within a small factor of each other.
+    assert max(series["bundleGRD"]) < 3 * max(series["item-disj"])
+    assert max(series["item-disj"]) < 3 * max(series["bundleGRD"])

@@ -1,0 +1,44 @@
+"""Fig. 7 — multi-item welfare, configurations 5–8 (Twitter stand-in).
+
+Paper shapes asserted per panel: bundleGRD's welfare dominates (or matches,
+where the configurations force identical allocations) both item-disj and
+bundle-disj, and welfare grows with total budget.
+"""
+
+import pytest
+
+from _bench_utils import BENCH_SAMPLES, BENCH_SCALE, record, run_once
+from repro.experiments.fig7_multi_item import (
+    run_fig7,
+    runs_as_rows,
+    welfare_series,
+)
+
+TOTAL_BUDGETS = (100, 300, 500)
+
+
+@pytest.mark.parametrize("config_id", [5, 6, 7, 8])
+def test_fig7_panel(benchmark, config_id):
+    def run():
+        return run_fig7(
+            config_id,
+            network="twitter",
+            scale=BENCH_SCALE,
+            total_budgets=TOTAL_BUDGETS,
+            num_samples=BENCH_SAMPLES,
+        )
+
+    runs = run_once(benchmark, run)
+    record(
+        f"fig7_config{config_id}",
+        runs_as_rows(runs),
+        header=f"twitter scale={BENCH_SCALE}",
+    )
+
+    series = welfare_series(runs)
+    # bundleGRD >= baselines at the largest budget (10% MC slack).
+    top = series["bundleGRD"][-1]
+    assert top >= 0.9 * series["item-disj"][-1]
+    assert top >= 0.9 * series["bundle-disj"][-1]
+    # welfare grows with total budget
+    assert series["bundleGRD"][-1] > series["bundleGRD"][0]

@@ -1,0 +1,40 @@
+"""Fig. 8(d) — effect of splitting a fixed total budget across items.
+
+bundleGRD under uniform / large-skew / moderate-skew splits of a 500-seed
+total budget (real Param).  Paper shape asserted: uniform gives the highest
+welfare, large skew the lowest, moderate in between; running time follows
+the same ordering (large skew selects the most seeds).
+"""
+
+import pytest
+
+from _bench_utils import BENCH_SAMPLES, BENCH_SCALE, record, run_once
+from repro.experiments.fig8_real import run_budget_skew
+
+
+def test_fig8d_budget_skew(benchmark):
+    def run():
+        return run_budget_skew(
+            network="twitter",
+            scale=BENCH_SCALE,
+            total_budget=500,
+            num_samples=BENCH_SAMPLES,
+        )
+
+    runs = run_once(benchmark, run)
+    rows = [
+        {
+            "distribution": r.distribution,
+            "budgets": "/".join(str(b) for b in r.budgets),
+            "welfare": round(r.welfare, 1),
+            "seconds": round(r.seconds, 3),
+        }
+        for r in runs
+    ]
+    record("fig8d_budget_skew", rows, header=f"twitter scale={BENCH_SCALE}")
+
+    by_name = {r.distribution: r for r in runs}
+    # Welfare ordering: uniform >= moderate >= large (with 10% MC slack).
+    assert by_name["uniform"].welfare >= 0.9 * by_name["moderate_skew"].welfare
+    assert by_name["moderate_skew"].welfare >= 0.9 * by_name["large_skew"].welfare
+    assert by_name["uniform"].welfare > by_name["large_skew"].welfare

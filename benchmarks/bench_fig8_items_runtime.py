@@ -1,0 +1,44 @@
+"""Fig. 8(a) — running time vs number of items (config 5, per-item budget 50).
+
+Paper shape asserted: bundleGRD's running time is flat in the number of items
+(one PRIMA call on the max budget), while bundle-disj grows roughly linearly
+(one IMM call per item) and item-disj grows with the total seed count.
+"""
+
+import pytest
+
+from _bench_utils import BENCH_SCALE, record, run_once
+from repro.experiments.fig8_real import run_items_runtime
+
+ITEM_COUNTS = (1, 3, 5, 8, 10)
+
+
+def test_fig8a_items_vs_runtime(benchmark):
+    def run():
+        return run_items_runtime(
+            network="twitter",
+            scale=BENCH_SCALE,
+            item_counts=ITEM_COUNTS,
+            per_item_budget=50,
+        )
+
+    runs = run_once(benchmark, run)
+    rows = [
+        {
+            "algorithm": r.algorithm,
+            "num_items": r.num_items,
+            "seconds": round(r.seconds, 3),
+        }
+        for r in runs
+    ]
+    record("fig8a_items_runtime", rows, header=f"twitter scale={BENCH_SCALE}")
+
+    series = {}
+    for r in runs:
+        series.setdefault(r.algorithm, []).append(r.seconds)
+    # bundleGRD flat: the 10-item run costs at most ~2x the 1-item run.
+    assert series["bundleGRD"][-1] < 2.5 * max(series["bundleGRD"][0], 0.05)
+    # bundle-disj grows: the 10-item run clearly exceeds its 1-item run and
+    # bundleGRD's 10-item run.
+    assert series["bundle-disj"][-1] > 2 * series["bundleGRD"][-1]
+    assert series["bundle-disj"][-1] > 2 * series["bundle-disj"][0]

@@ -1,0 +1,50 @@
+"""Fig. 8(b, c) — welfare and running time vs total budget, real Param.
+
+The learned PlayStation parameters (Table 5), budgets split 30/30/20/10/10.
+Paper shapes asserted: bundleGRD's welfare beats bundle-disj's (up to 2x at
+high budget in the paper), its running time is lower (bundle-disj makes
+multiple IMM calls), and welfare grows with the total budget.  item-disj is
+omitted — its welfare is identically ~0 here, as the paper notes.
+"""
+
+import pytest
+
+from _bench_utils import BENCH_SAMPLES, BENCH_SCALE, record, run_once
+from repro.experiments.fig8_real import run_real_param_sweep
+
+TOTAL_BUDGETS = (100, 300, 500)
+
+
+def test_fig8bc_real_param_sweep(benchmark):
+    def run():
+        return run_real_param_sweep(
+            network="twitter",
+            scale=BENCH_SCALE,
+            total_budgets=TOTAL_BUDGETS,
+            num_samples=BENCH_SAMPLES,
+        )
+
+    runs = run_once(benchmark, run)
+    rows = [
+        {
+            "algorithm": r.algorithm,
+            "total_budget": r.total_budget,
+            "budgets": "/".join(str(b) for b in r.budgets),
+            "welfare": round(r.welfare, 1),
+            "seconds": round(r.seconds, 3),
+        }
+        for r in runs
+    ]
+    record("fig8bc_real_params", rows, header=f"twitter scale={BENCH_SCALE}")
+
+    welfare = {}
+    seconds = {}
+    for r in runs:
+        welfare.setdefault(r.algorithm, []).append(r.welfare)
+        seconds.setdefault(r.algorithm, []).append(r.seconds)
+    # bundleGRD wins on welfare at the largest budget...
+    assert welfare["bundleGRD"][-1] >= 0.95 * welfare["bundle-disj"][-1]
+    # ...and is cheaper (bundle-disj pays multiple IMM calls).
+    assert seconds["bundleGRD"][-1] < seconds["bundle-disj"][-1]
+    # welfare grows with budget
+    assert welfare["bundleGRD"][-1] > welfare["bundleGRD"][0]

@@ -1,0 +1,49 @@
+"""Fig. 9(a–c) — propagation vs externality: bundleGRD against BDHS.
+
+For each network panel, compute the BDHS benchmark welfares (step and
+concave) and sweep bundleGRD's per-item budget as a fraction of n.  Paper
+shapes asserted: bundleGRD reaches the BDHS-Step benchmark at a strict
+fraction of the full budget, and needs a *smaller* fraction on the dense
+Orkut stand-in than on the sparse Douban-Book one.
+"""
+
+import pytest
+
+from _bench_utils import BENCH_SCALE, record, run_once
+from repro.experiments.fig9_bdhs import result_rows, run_fig9_bdhs
+
+FRACTIONS = (0.05, 0.1, 0.2, 0.35, 0.5, 0.75, 1.0)
+PANELS = ("orkut", "douban-book", "douban-movie")
+
+_match_fraction = {}
+
+
+@pytest.mark.parametrize("network", PANELS)
+def test_fig9_bdhs_panel(benchmark, network):
+    def run():
+        return run_fig9_bdhs(
+            network,
+            scale=BENCH_SCALE,
+            fractions=FRACTIONS,
+            num_samples=40,
+            num_step_worlds=40,
+        )
+
+    result = run_once(benchmark, run)
+    record(
+        f"fig9_bdhs_{network}",
+        result_rows(result),
+        header=f"scale={BENCH_SCALE}",
+    )
+
+    frac = result.fraction_to_match(result.benchmark_step)
+    _match_fraction[network] = frac
+    # bundleGRD reaches the step benchmark within the sweep.
+    assert frac is not None, "bundleGRD never reached the BDHS-Step welfare"
+    assert frac <= 1.0
+    if network == "orkut":
+        # dense graph: well under half the budget (paper: < 35%)
+        assert frac <= 0.5
+    if len(_match_fraction) == len(PANELS):
+        # density ordering: Orkut needs no more budget than Douban-Book.
+        assert _match_fraction["orkut"] <= _match_fraction["douban-book"]

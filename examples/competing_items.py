@@ -1,0 +1,71 @@
+"""Competing (substitute) items via submodular valuations — the §5 setting.
+
+The paper's framework "can support any mix of competing and complementary
+items"; its theory covers the complementary (supermodular) case, and §5
+points to competition via *submodular* value functions as the natural next
+study.  This example runs that setting:
+
+* three substitutable products (think: three video-streaming subscriptions)
+  with a concave-over-additive valuation — owning a second service adds much
+  less value than the first;
+* the UIC adoption rule then makes every user stop at the profitable prefix,
+  so items compete for adoption;
+* we compare how seeding strategies fare: bundling everything on few seeds
+  (bundleGRD's allocation) vs spreading items across disjoint seeds
+  (item-disj's) — under competition, spreading wins, the mirror image of
+  the complementary setting.
+
+Run with::
+
+    python examples/competing_items.py
+"""
+
+import numpy as np
+
+from repro import bundle_grd, estimate_welfare
+from repro.baselines import item_disjoint
+from repro.graph.generators import random_wc_graph
+from repro.utility import (
+    AdditivePrice,
+    ConcaveOverAdditiveValuation,
+    GaussianNoise,
+    UtilityModel,
+)
+
+
+def main() -> None:
+    graph = random_wc_graph(3000, avg_degree=8, seed=23)
+    # Each service alone: V = sqrt(36) = 6 against price 4 (utility +2).
+    # Two services: V = sqrt(72) ≈ 8.49 — the second adds only ~2.49 value
+    # for 4 more price. Classic substitutes.
+    model = UtilityModel(
+        ConcaveOverAdditiveValuation([36.0, 36.0, 36.0], exponent=0.5),
+        AdditivePrice([4.0, 4.0, 4.0]),
+        GaussianNoise.uniform(3, 0.5),
+        item_names=("streamA", "streamB", "streamC"),
+    )
+    for mask, label in ((0b001, "one service"), (0b011, "two"), (0b111, "all three")):
+        print(f"E[U({label:12s})] = {model.expected_utility(mask):+6.2f}")
+
+    budgets = [20, 20, 20]
+    bundled = bundle_grd(graph, budgets, rng=np.random.default_rng(0))
+    spread = item_disjoint(graph, budgets, rng=np.random.default_rng(0))
+
+    w_bundled = estimate_welfare(
+        graph, model, bundled.allocation, 200, np.random.default_rng(1)
+    )
+    w_spread = estimate_welfare(
+        graph, model, spread.allocation, 200, np.random.default_rng(1)
+    )
+    print(f"\nbundled seeding (bundleGRD allocation) : {w_bundled.mean:8.1f}")
+    print(f"disjoint seeding (item-disj allocation) : {w_spread.mean:8.1f}")
+
+    better = "disjoint" if w_spread.mean > w_bundled.mean else "bundled"
+    print(f"\nUnder competition, {better} seeding wins — the mirror image of")
+    print("the complementary setting, where bundling dominates.  The paper's")
+    print("(1 − 1/e − ε) guarantee applies only to supermodular valuations;")
+    print("this example shows why: the objective's structure flips.")
+
+
+if __name__ == "__main__":
+    main()

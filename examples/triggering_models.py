@@ -1,0 +1,54 @@
+"""Running the whole pipeline under the linear-threshold model.
+
+The paper's §5 notes the results "carry over unchanged to any triggering
+propagation model".  This example swaps the diffusion substrate from IC to
+LT — in both the seed-selection phase (PRIMA's RR sets are sampled from LT
+trigger sets) and the welfare evaluation (edge worlds drawn from LT trigger
+sets) — and shows the bundling advantage is model-agnostic.
+
+Run with::
+
+    python examples/triggering_models.py
+"""
+
+import numpy as np
+
+from repro import bundle_grd, estimate_welfare
+from repro.baselines import item_disjoint
+from repro.experiments.configs import two_item_config
+from repro.graph.generators import random_wc_graph
+
+
+def main() -> None:
+    # Weighted-cascade probabilities double as LT weights: each node's
+    # incoming weights sum to exactly 1, which LT requires.
+    graph = random_wc_graph(3000, avg_degree=8, seed=17)
+    model = two_item_config(1).model
+    budgets = [25, 25]
+    print(f"network: {graph}")
+    print(f"budgets: {budgets}\n")
+
+    print(f"{'diffusion':>10}  {'bundleGRD':>12}  {'item-disj':>12}  {'advantage':>10}")
+    for triggering in ("ic", "lt"):
+        greedy = bundle_grd(
+            graph, budgets, rng=np.random.default_rng(0), triggering=triggering
+        )
+        baseline = item_disjoint(graph, budgets, rng=np.random.default_rng(0))
+        w_greedy = estimate_welfare(
+            graph, model, greedy.allocation, num_samples=200,
+            rng=np.random.default_rng(1), triggering=triggering,
+        ).mean
+        w_baseline = estimate_welfare(
+            graph, model, baseline.allocation, num_samples=200,
+            rng=np.random.default_rng(1), triggering=triggering,
+        ).mean
+        print(f"{triggering.upper():>10}  {w_greedy:>12.1f}  {w_baseline:>12.1f}"
+              f"  {w_greedy / max(w_baseline, 1e-9):>9.2f}x")
+
+    print("\nThe bundling advantage holds under both triggering models —")
+    print("bundleGRD itself is unchanged; only the trigger-set sampler and")
+    print("the welfare evaluator's edge worlds are swapped.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy entry point: the offline environment's setuptools predates PEP 517
+wheel builds, so editable installs go through setup.py."""
+from setuptools import setup
+
+setup()

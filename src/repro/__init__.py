@@ -1,0 +1,76 @@
+"""repro — a full reproduction of the UIC social-welfare-maximization system.
+
+Reproduces Banerjee, Chen & Lakshmanan, *"Maximizing Welfare in Social
+Networks under a Utility Driven Influence Diffusion Model"* (SIGMOD 2019):
+the UIC diffusion model, the WelMax problem, the bundleGRD
+``(1 - 1/e - eps)``-approximation (Algorithm 1), the prefix-preserving
+multi-budget IMM extension PRIMA (Algorithm 2), the block-accounting analysis
+machinery, all six experimental baselines, and the complete evaluation
+harness.
+
+Quickstart::
+
+    import numpy as np
+    from repro import (
+        bundle_grd, WelMaxInstance, UtilityModel,
+        TableValuation, AdditivePrice, GaussianNoise,
+    )
+    from repro.graph.generators import random_wc_graph
+
+    graph = random_wc_graph(2000, 8, seed=7)
+    model = UtilityModel(
+        TableValuation(2, {0b01: 3.0, 0b10: 4.0, 0b11: 8.0}),
+        AdditivePrice([3.0, 4.0]),
+        GaussianNoise([1.0, 1.0]),
+    )
+    instance = WelMaxInstance.create(graph, model, budgets=[20, 20])
+    result = bundle_grd(graph, instance.budgets, rng=np.random.default_rng(0))
+    print(instance.welfare(result.allocation).mean)
+"""
+
+from repro.core.allocation import Allocation
+from repro.core.bundlegrd import BundleGRDResult, bundle_grd
+from repro.core.exact import brute_force_optimum
+from repro.core.welmax import WelMaxInstance
+from repro.diffusion.uic import UICResult, simulate_uic
+from repro.diffusion.welfare import estimate_adoption, estimate_welfare
+from repro.graph.digraph import InfluenceGraph
+from repro.rrset.imm import imm
+from repro.rrset.prima import prima
+from repro.utility.model import UtilityModel
+from repro.utility.noise import GaussianNoise, NoiseModel, ZeroNoise
+from repro.utility.price import AdditivePrice
+from repro.utility.valuation import (
+    AdditiveValuation,
+    ConeValuation,
+    LevelwiseValuation,
+    TableValuation,
+    ValuationFunction,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdditivePrice",
+    "AdditiveValuation",
+    "Allocation",
+    "BundleGRDResult",
+    "ConeValuation",
+    "GaussianNoise",
+    "InfluenceGraph",
+    "LevelwiseValuation",
+    "NoiseModel",
+    "TableValuation",
+    "UICResult",
+    "UtilityModel",
+    "ValuationFunction",
+    "WelMaxInstance",
+    "ZeroNoise",
+    "brute_force_optimum",
+    "bundle_grd",
+    "estimate_adoption",
+    "estimate_welfare",
+    "imm",
+    "prima",
+    "simulate_uic",
+]

@@ -1,0 +1,34 @@
+"""Baseline algorithms of the paper's evaluation (§4.3.1.2).
+
+* ``item_disj`` — one item per seed node, one big IMM call
+  (:mod:`repro.baselines.item_disjoint`);
+* ``bundle_disj`` — greedy bundles on disjoint seed sets, one IMM call per
+  bundle (:mod:`repro.baselines.bundle_disjoint`);
+* ``RR-SIM+`` / ``RR-CIM`` — the TIM-based two-item Com-IC algorithms of Lu
+  et al. (:mod:`repro.baselines.rr_sim`, :mod:`repro.baselines.rr_cim`);
+* ``BDHS-Step`` / ``BDHS-Concave`` — welfare maximization under
+  friends-of-friends network externalities, in the restricted conversion the
+  paper defines in §4.3.4.4 (:mod:`repro.baselines.bdhs`).
+"""
+
+from repro.baselines.bdhs import (
+    bdhs_concave_welfare,
+    bdhs_step_welfare,
+    best_virtual_item,
+)
+from repro.baselines.bundle_disjoint import bundle_disjoint
+from repro.baselines.item_disjoint import item_disjoint
+from repro.baselines.marginal_greedy import marginal_greedy
+from repro.baselines.rr_cim import rr_cim
+from repro.baselines.rr_sim import rr_sim_plus
+
+__all__ = [
+    "bdhs_concave_welfare",
+    "bdhs_step_welfare",
+    "best_virtual_item",
+    "bundle_disjoint",
+    "item_disjoint",
+    "marginal_greedy",
+    "rr_cim",
+    "rr_sim_plus",
+]

@@ -1,0 +1,209 @@
+"""Shared machinery of the Com-IC baselines RR-SIM+ and RR-CIM.
+
+Both algorithms reduce two-item Com-IC seed selection to max-coverage over
+GAP-aware RR sets with TIM-scale sample sizes; they differ in how much
+forward simulation they spend estimating the complementary boost.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.diffusion.comic import ComICModel, simulate_comic
+from repro.graph.digraph import InfluenceGraph
+from repro.rrset.bounds import log_binomial
+
+
+@dataclass(frozen=True)
+class ComICSeedSelection:
+    """Selected seeds plus sampling statistics."""
+
+    seeds: Tuple[int, ...]
+    num_rr_sets: int
+    coverage_fraction: float
+
+
+def _forward_adopter_worlds(
+    graph: InfluenceGraph,
+    model: ComICModel,
+    fixed_item: int,
+    fixed_seeds: Sequence[int],
+    num_worlds: int,
+    rng: np.random.Generator,
+) -> List[Set[int]]:
+    """Adopter sets of the fixed item across sampled Com-IC worlds."""
+    worlds: List[Set[int]] = []
+    for _ in range(num_worlds):
+        result = simulate_comic(
+            graph,
+            model,
+            seeds_a=fixed_seeds if fixed_item == 0 else (),
+            seeds_b=fixed_seeds if fixed_item == 1 else (),
+            rng=rng,
+        )
+        worlds.append(result.adopters_of(fixed_item))
+    return worlds
+
+
+def _gap_rr_set(
+    graph: InfluenceGraph,
+    rng: np.random.Generator,
+    q_plain: float,
+    q_boosted: float,
+    boosted_nodes: Set[int],
+) -> np.ndarray:
+    """One GAP-aware RR set.
+
+    Standard reverse BFS, but every node additionally passes a node-level
+    adoption coin: probability ``q_boosted`` if the node adopts the
+    complementary item in the paired forward world, ``q_plain`` otherwise.
+    A failed coin removes the node (and stops traversal through it); a failed
+    root yields an empty RR set, mirroring the "root must be willing to
+    adopt" condition of the Com-IC RIS analysis.
+    """
+    n = graph.num_nodes
+    root = int(rng.integers(0, n))
+    q_root = q_boosted if root in boosted_nodes else q_plain
+    if rng.random() >= q_root:
+        return np.empty(0, dtype=np.int64)
+    visited = {root}
+    frontier = [root]
+    while frontier:
+        next_frontier: List[int] = []
+        for v in frontier:
+            sources = graph.in_neighbors(v)
+            deg = sources.shape[0]
+            if deg == 0:
+                continue
+            probs = graph.in_probabilities(v)
+            coins = rng.random(deg)
+            for u in sources[coins < probs]:
+                u = int(u)
+                if u in visited:
+                    continue
+                q_u = q_boosted if u in boosted_nodes else q_plain
+                if rng.random() < q_u:
+                    visited.add(u)
+                    next_frontier.append(u)
+        frontier = next_frontier
+    return np.fromiter(visited, dtype=np.int64, count=len(visited))
+
+
+def _tim_theta(
+    n: int, k: int, epsilon: float, ell: float, kpt_guess: float
+) -> int:
+    """TIM's sample size ``θ = λ / KPT`` (the baselines are TIM-based)."""
+    lam = (
+        (8.0 + 2.0 * epsilon)
+        * n
+        * (ell * math.log(max(n, 2)) + log_binomial(n, k) + math.log(2.0))
+        / (epsilon * epsilon)
+    )
+    return int(math.ceil(lam / max(kpt_guess, 1.0)))
+
+
+def _estimate_kpt(
+    graph: InfluenceGraph,
+    k: int,
+    ell: float,
+    rng: np.random.Generator,
+    q_plain: float,
+    q_boosted: float,
+    worlds: Sequence[Set[int]],
+) -> Tuple[float, int]:
+    """TIM-style KPT estimation on GAP-aware RR sets."""
+    n = graph.num_nodes
+    m = max(graph.num_edges, 1)
+    log2n = max(math.log2(n), 2.0)
+    used = 0
+    for i in range(1, max(2, int(log2n))):
+        c_i = int(
+            math.ceil((6.0 * ell * math.log(n) + 6.0 * math.log(log2n)) * 2.0**i)
+        )
+        total = 0.0
+        for j in range(c_i):
+            boosted = worlds[(used + j) % len(worlds)] if worlds else set()
+            rr = _gap_rr_set(graph, rng, q_plain, q_boosted, boosted)
+            width = sum(graph.in_degree(int(v)) for v in rr)
+            kappa = 1.0 - (1.0 - width / m) ** k
+            total += kappa
+        used += c_i
+        if total / c_i > 1.0 / (2.0**i):
+            return n * total / (2.0 * c_i), used
+    return 1.0, used
+
+
+def comic_rr_selection(
+    graph: InfluenceGraph,
+    model: ComICModel,
+    select_item: int,
+    fixed_seeds: Sequence[int],
+    budget: int,
+    epsilon: float,
+    ell: float,
+    rng: np.random.Generator,
+    num_forward_worlds: int,
+    extra_forward_pass: bool,
+) -> ComICSeedSelection:
+    """Select ``budget`` seeds for ``select_item`` given the other item's.
+
+    ``extra_forward_pass`` doubles the forward-simulation effort (RR-CIM's
+    generality tax: it re-estimates the boost after a first selection round).
+    """
+    if budget <= 0:
+        return ComICSeedSelection(seeds=(), num_rr_sets=0, coverage_fraction=0.0)
+    n = graph.num_nodes
+    fixed_item = 1 - select_item
+    q_plain = model.q(select_item, has_other=False)
+    q_boosted = model.q(select_item, has_other=True)
+
+    worlds = _forward_adopter_worlds(
+        graph, model, fixed_item, fixed_seeds, num_forward_worlds, rng
+    )
+    kpt, kpt_sets = _estimate_kpt(
+        graph, budget, ell, rng, q_plain, q_boosted, worlds
+    )
+    theta = _tim_theta(n, budget, epsilon, ell, kpt)
+
+    if extra_forward_pass:
+        worlds = worlds + _forward_adopter_worlds(
+            graph, model, fixed_item, fixed_seeds, num_forward_worlds, rng
+        )
+
+    # Generate θ GAP-aware RR sets, pairing each with a forward world.
+    rr_sets: List[np.ndarray] = []
+    index: List[List[int]] = [[] for _ in range(n)]
+    for j in range(theta):
+        boosted = worlds[j % len(worlds)] if worlds else set()
+        rr = _gap_rr_set(graph, rng, q_plain, q_boosted, boosted)
+        rr_id = len(rr_sets)
+        rr_sets.append(rr)
+        for u in rr:
+            index[int(u)].append(rr_id)
+
+    # Greedy max coverage (NodeSelection on the ad-hoc collection).
+    gains = np.array([len(lst) for lst in index], dtype=np.int64)
+    covered = np.zeros(len(rr_sets), dtype=bool)
+    seeds: List[int] = []
+    covered_total = 0
+    for _ in range(min(budget, n)):
+        u = int(np.argmax(gains))
+        seeds.append(u)
+        for rr_id in index[u]:
+            if covered[rr_id]:
+                continue
+            covered[rr_id] = True
+            covered_total += 1
+            for w in rr_sets[rr_id]:
+                gains[int(w)] -= 1
+        gains[u] = -1
+    fraction = covered_total / len(rr_sets) if rr_sets else 0.0
+    return ComICSeedSelection(
+        seeds=tuple(seeds),
+        num_rr_sets=theta + kpt_sets,
+        coverage_fraction=fraction,
+    )

@@ -1,0 +1,278 @@
+"""Command-line interface: regenerate any table or figure of the paper.
+
+Usage::
+
+    python -m repro table2
+    python -m repro fig4 --config 1 --scale 0.05 --samples 60
+    python -m repro fig7 --config 6 --budgets 100 300 500
+    python -m repro table6 --scale 0.05
+    python -m repro all --scale 0.02 --samples 20      # quick full sweep
+
+Every subcommand prints the regenerated rows in the same shape the paper
+reports.  Scales refer to the dataset stand-ins (DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale", type=float, default=0.05,
+        help="dataset node-count multiplier (default 0.05)",
+    )
+    parser.add_argument(
+        "--samples", type=int, default=60,
+        help="Monte-Carlo samples per welfare estimate (default 60)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table2", help="network statistics")
+
+    fig4 = sub.add_parser("fig4", help="two-item welfare (configs 1-4)")
+    fig4.add_argument("--config", type=int, default=1, choices=(1, 2, 3, 4))
+    fig4.add_argument(
+        "--no-comic", action="store_true",
+        help="skip the slow RR-SIM+/RR-CIM baselines",
+    )
+    _add_common(fig4)
+
+    fig5 = sub.add_parser("fig5", help="running times (config 1)")
+    fig5.add_argument("--networks", nargs="+", default=None)
+    _add_common(fig5)
+
+    fig6 = sub.add_parser("fig6", help="RR-set counts (config 1)")
+    fig6.add_argument("--networks", nargs="+", default=None)
+    _add_common(fig6)
+
+    fig7 = sub.add_parser("fig7", help="multi-item welfare (configs 5-8)")
+    fig7.add_argument("--config", type=int, default=5, choices=(5, 6, 7, 8))
+    fig7.add_argument("--budgets", type=int, nargs="+", default=(100, 300, 500))
+    _add_common(fig7)
+
+    fig8a = sub.add_parser("fig8a", help="running time vs number of items")
+    fig8a.add_argument("--items", type=int, nargs="+", default=(1, 3, 5, 8, 10))
+    _add_common(fig8a)
+
+    fig8bc = sub.add_parser("fig8bc", help="real-Param budget sweep")
+    fig8bc.add_argument("--budgets", type=int, nargs="+", default=(100, 300, 500))
+    _add_common(fig8bc)
+
+    fig8d = sub.add_parser("fig8d", help="budget-skew study")
+    fig8d.add_argument("--total", type=int, default=500)
+    _add_common(fig8d)
+
+    fig9 = sub.add_parser("fig9abc", help="bundleGRD vs BDHS externality")
+    fig9.add_argument("--network", default="orkut")
+    _add_common(fig9)
+
+    fig9d = sub.add_parser("fig9d", help="scalability sweep")
+    fig9d.add_argument("--budget", type=int, default=50)
+    _add_common(fig9d)
+
+    sub.add_parser("table5", help="learned auction parameters")
+
+    table6 = sub.add_parser("table6", help="RR-set count parity")
+    table6.add_argument("--total", type=int, default=500)
+    _add_common(table6)
+
+    all_cmd = sub.add_parser("all", help="run every experiment (slow)")
+    _add_common(all_cmd)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    from repro.experiments.runner import print_table
+
+    if args.command == "table2":
+        from repro.graph.datasets import table2_rows
+
+        print_table(list(table2_rows(scale=0.05)), title="Table 2")
+        return 0
+
+    if args.command == "fig4":
+        from repro.experiments._two_item import TWO_ITEM_ALGORITHMS, runs_as_rows
+        from repro.experiments.fig4_welfare import run_fig4
+
+        algorithms = tuple(
+            a
+            for a in TWO_ITEM_ALGORITHMS
+            if not (args.no_comic and a in ("RR-SIM+", "RR-CIM"))
+        )
+        runs = run_fig4(
+            args.config,
+            scale=args.scale,
+            num_samples=args.samples,
+            seed=args.seed,
+            algorithms=algorithms,
+        )
+        print_table(runs_as_rows(runs), title=f"Fig 4 — Configuration {args.config}")
+        return 0
+
+    if args.command in ("fig5", "fig6"):
+        from repro.experiments._two_item import runs_as_rows
+        from repro.experiments.fig5_runtime import FIG5_NETWORKS, run_fig5
+        from repro.experiments.fig6_rrsets import run_fig6
+
+        networks = tuple(args.networks) if args.networks else FIG5_NETWORKS
+        runner = run_fig5 if args.command == "fig5" else run_fig6
+        kwargs = dict(networks=networks, scale=args.scale, seed=args.seed)
+        if args.command == "fig5":
+            kwargs["num_samples"] = args.samples
+        panels = runner(**kwargs)
+        for network, runs in panels.items():
+            print_table(
+                runs_as_rows(runs),
+                title=f"{'Fig 5' if args.command == 'fig5' else 'Fig 6'} — {network}",
+            )
+        return 0
+
+    if args.command == "fig7":
+        from repro.experiments.fig7_multi_item import run_fig7, runs_as_rows
+
+        runs = run_fig7(
+            args.config,
+            scale=args.scale,
+            total_budgets=tuple(args.budgets),
+            num_samples=args.samples,
+            seed=args.seed,
+        )
+        print_table(runs_as_rows(runs), title=f"Fig 7 — Configuration {args.config}")
+        return 0
+
+    if args.command == "fig8a":
+        from repro.experiments.fig8_real import run_items_runtime
+
+        runs = run_items_runtime(
+            scale=args.scale, item_counts=tuple(args.items), seed=args.seed
+        )
+        rows = [
+            {
+                "algorithm": r.algorithm,
+                "num_items": r.num_items,
+                "seconds": round(r.seconds, 3),
+            }
+            for r in runs
+        ]
+        print_table(rows, title="Fig 8(a) — items vs runtime")
+        return 0
+
+    if args.command == "fig8bc":
+        from repro.experiments.fig8_real import run_real_param_sweep
+
+        runs = run_real_param_sweep(
+            scale=args.scale,
+            total_budgets=tuple(args.budgets),
+            num_samples=args.samples,
+            seed=args.seed,
+        )
+        rows = [
+            {
+                "algorithm": r.algorithm,
+                "total_budget": r.total_budget,
+                "welfare": round(r.welfare, 1),
+                "seconds": round(r.seconds, 3),
+            }
+            for r in runs
+        ]
+        print_table(rows, title="Fig 8(b, c) — real Param sweep")
+        return 0
+
+    if args.command == "fig8d":
+        from repro.experiments.fig8_real import run_budget_skew
+
+        runs = run_budget_skew(
+            scale=args.scale,
+            total_budget=args.total,
+            num_samples=args.samples,
+            seed=args.seed,
+        )
+        rows = [
+            {
+                "distribution": r.distribution,
+                "budgets": "/".join(str(b) for b in r.budgets),
+                "welfare": round(r.welfare, 1),
+                "seconds": round(r.seconds, 3),
+            }
+            for r in runs
+        ]
+        print_table(rows, title="Fig 8(d) — budget skew")
+        return 0
+
+    if args.command == "fig9abc":
+        from repro.experiments.fig9_bdhs import result_rows, run_fig9_bdhs
+
+        result = run_fig9_bdhs(
+            args.network,
+            scale=args.scale,
+            num_samples=args.samples,
+            seed=args.seed,
+        )
+        print_table(result_rows(result), title=f"Fig 9 — {args.network}")
+        return 0
+
+    if args.command == "fig9d":
+        from repro.experiments.fig9_scalability import (
+            run_fig9_scalability,
+            runs_as_rows,
+        )
+
+        runs = run_fig9_scalability(
+            scale=args.scale,
+            budget=args.budget,
+            num_samples=args.samples,
+            seed=args.seed,
+        )
+        print_table(runs_as_rows(runs), title="Fig 9(d) — scalability")
+        return 0
+
+    if args.command == "table5":
+        from repro.utility.learned import table5_rows
+
+        print_table(list(table5_rows()), title="Table 5 — learned parameters")
+        return 0
+
+    if args.command == "table6":
+        from repro.experiments.table6_rrsets import rows_as_dicts, run_table6
+
+        rows = run_table6(
+            scale=args.scale, total_budget=args.total, seed=args.seed
+        )
+        print_table(rows_as_dicts(rows), title="Table 6 — RR-set counts")
+        return 0
+
+    if args.command == "all":
+        for command in (
+            ["table2"],
+            ["fig4", "--config", "1", "--no-comic"],
+            ["fig7", "--config", "5", "--budgets", "100", "200"],
+            ["fig8d", "--total", "100"],
+            ["table5"],
+            ["table6", "--total", "100"],
+        ):
+            extra = (
+                ["--scale", str(args.scale), "--samples", str(args.samples)]
+                if command[0] not in ("table2", "table5")
+                else []
+            )
+            main(command + extra)
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

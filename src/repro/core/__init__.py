@@ -1,0 +1,22 @@
+"""The paper's primary contribution: WelMax and bundleGRD.
+
+:mod:`repro.core.allocation` defines seed allocations (relations over
+``V × I`` with per-item budgets), :mod:`repro.core.welmax` states the
+social-welfare-maximization problem, :mod:`repro.core.bundlegrd` implements
+Algorithm 1 (the greedy bundle allocation with the ``(1 − 1/e − ε)``
+guarantee), and :mod:`repro.core.exact` provides a brute-force optimum for
+tiny instances, used to validate the approximation ratio empirically.
+"""
+
+from repro.core.allocation import Allocation
+from repro.core.bundlegrd import BundleGRDResult, bundle_grd
+from repro.core.exact import brute_force_optimum
+from repro.core.welmax import WelMaxInstance
+
+__all__ = [
+    "Allocation",
+    "BundleGRDResult",
+    "WelMaxInstance",
+    "brute_force_optimum",
+    "bundle_grd",
+]

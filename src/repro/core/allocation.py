@@ -1,0 +1,143 @@
+"""Seed allocations.
+
+An allocation ``𝒮 ⊆ V × I`` assigns seed nodes to items subject to per-item
+budgets: ``|S_i| ≤ b_i`` for every item ``i`` (§3.2.1).  This class is the
+common currency between bundleGRD, the baselines, the UIC simulator and the
+welfare estimator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Set, Tuple
+
+from repro.utility.itemsets import Mask
+
+Pair = Tuple[int, int]
+
+
+class Allocation:
+    """An immutable set of ``(node, item)`` seed pairs."""
+
+    __slots__ = ("_pairs", "_num_items")
+
+    def __init__(self, pairs: Iterable[Pair], num_items: int):
+        cleaned = set()
+        for node, item in pairs:
+            node, item = int(node), int(item)
+            if item < 0 or item >= num_items:
+                raise ValueError(
+                    f"item {item} outside universe of {num_items} items"
+                )
+            if node < 0:
+                raise ValueError(f"node {node} must be non-negative")
+            cleaned.add((node, item))
+        self._pairs: FrozenSet[Pair] = frozenset(cleaned)
+        self._num_items = num_items
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, num_items: int) -> "Allocation":
+        """The empty allocation."""
+        return cls((), num_items)
+
+    @classmethod
+    def from_item_seed_sets(
+        cls, seed_sets: Sequence[Sequence[int]]
+    ) -> "Allocation":
+        """Build from one seed list per item (index = item id)."""
+        pairs = [
+            (node, item)
+            for item, seeds in enumerate(seed_sets)
+            for node in seeds
+        ]
+        return cls(pairs, len(seed_sets))
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_items(self) -> int:
+        """Size of the item universe."""
+        return self._num_items
+
+    @property
+    def pairs(self) -> FrozenSet[Pair]:
+        """The raw ``(node, item)`` pairs."""
+        return self._pairs
+
+    def seed_nodes(self) -> Set[int]:
+        """All seed nodes ``S_𝒮``."""
+        return {node for node, _ in self._pairs}
+
+    def seeds_of_item(self, item: int) -> Set[int]:
+        """Seed nodes of one item ``S_i``."""
+        return {node for node, it in self._pairs if it == item}
+
+    def items_of_node(self, node: int) -> Mask:
+        """Items allocated to a node, as a bitmask ``I_v``."""
+        mask = 0
+        for nd, item in self._pairs:
+            if nd == node:
+                mask |= 1 << item
+        return mask
+
+    def item_counts(self) -> List[int]:
+        """Number of seeds assigned per item."""
+        counts = [0] * self._num_items
+        for _, item in self._pairs:
+            counts[item] += 1
+        return counts
+
+    def respects_budgets(self, budgets: Sequence[int]) -> bool:
+        """Whether ``|S_i| ≤ b_i`` holds for every item."""
+        if len(budgets) != self._num_items:
+            raise ValueError(
+                f"budget vector has {len(budgets)} entries for "
+                f"{self._num_items} items"
+            )
+        counts = self.item_counts()
+        return all(c <= int(b) for c, b in zip(counts, budgets))
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def union(self, other: "Allocation") -> "Allocation":
+        """Union of two allocations over the same universe."""
+        if other.num_items != self._num_items:
+            raise ValueError("allocations are over different item universes")
+        return Allocation(self._pairs | other._pairs, self._num_items)
+
+    def with_pair(self, node: int, item: int) -> "Allocation":
+        """Allocation with one extra pair (used by greedy procedures)."""
+        return Allocation(self._pairs | {(int(node), int(item))}, self._num_items)
+
+    def __iter__(self) -> Iterator[Pair]:
+        return iter(sorted(self._pairs))
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __contains__(self, pair: Pair) -> bool:
+        return (int(pair[0]), int(pair[1])) in self._pairs
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Allocation):
+            return NotImplemented
+        return (
+            self._pairs == other._pairs and self._num_items == other._num_items
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._pairs, self._num_items))
+
+    def __le__(self, other: "Allocation") -> bool:
+        """Subset relation between allocations."""
+        return self._pairs <= other._pairs
+
+    def __repr__(self) -> str:
+        return (
+            f"Allocation(num_items={self._num_items}, "
+            f"pairs={len(self._pairs)})"
+        )

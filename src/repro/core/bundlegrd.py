@@ -1,0 +1,119 @@
+"""bundleGRD — Algorithm 1 of the paper.
+
+The greedy bundle allocation: run the prefix-preserving seed selection PRIMA
+once with the full budget vector to obtain an ordered set ``S`` of
+``b = max_i b_i`` nodes, then assign every item ``i`` to the *top* ``b_i``
+nodes of ``S``.  Nested prefixes mean maximal bundling: a node ranked ``r``
+receives every item with ``b_i > r`` — and Theorem 2 shows the resulting
+expected social welfare is within ``(1 − 1/e − ε)`` of optimal with
+probability ``1 − 1/n^ℓ``, even though welfare is neither submodular nor
+supermodular.
+
+Notably the algorithm never reads valuations, prices or noise — mutual
+complementarity alone justifies bundling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.allocation import Allocation
+from repro.graph.digraph import InfluenceGraph
+from repro.rrset.prima import PRIMAResult, prima
+
+
+@dataclass(frozen=True)
+class BundleGRDResult:
+    """bundleGRD's output: the allocation plus the underlying PRIMA run."""
+
+    allocation: Allocation
+    seed_order: Tuple[int, ...]
+    prima_result: PRIMAResult
+
+    @property
+    def num_rr_sets(self) -> int:
+        """RR sets of the final PRIMA collection (the memory metric)."""
+        return self.prima_result.num_rr_sets
+
+
+def bundle_grd(
+    graph: InfluenceGraph,
+    budgets: Sequence[int],
+    epsilon: float = 0.5,
+    ell: float = 1.0,
+    rng: Optional[np.random.Generator] = None,
+    seed_order: Optional[Sequence[int]] = None,
+    triggering=None,
+) -> BundleGRDResult:
+    """Run bundleGRD (Algorithm 1).
+
+    Parameters
+    ----------
+    graph:
+        The social network ``G``.
+    budgets:
+        Per-item budget vector ``b`` (item ``i``'s budget at index ``i``).
+    epsilon, ell:
+        PRIMA's approximation slack and confidence exponent (paper defaults
+        0.5 and 1).
+    rng:
+        Randomness source for RR-set sampling.
+    seed_order:
+        Pre-computed prefix-preserving seed order (e.g. from a previous PRIMA
+        run on the same graph with the same budget vector); when given, PRIMA
+        is not re-invoked.  This mirrors the influence-oracle usage the
+        prefix property enables.
+    triggering:
+        ``None``/``"ic"`` (default), ``"lt"`` or a
+        :class:`~repro.diffusion.triggering.TriggeringModel` instance —
+        bundleGRD carries over unchanged to any triggering model (§5).
+
+    Returns
+    -------
+    BundleGRDResult
+        The allocation 𝒮: item ``i`` seeded on the top ``b_i`` nodes.
+    """
+    budgets = [int(b) for b in budgets]
+    if not budgets:
+        raise ValueError("budgets must be non-empty")
+    if any(b < 0 for b in budgets):
+        raise ValueError(f"budgets must be non-negative: {budgets}")
+    b_max = max(budgets)
+
+    if seed_order is not None:
+        order = tuple(int(v) for v in seed_order)
+        if len(order) < b_max:
+            raise ValueError(
+                f"seed_order has {len(order)} nodes but max budget is {b_max}"
+            )
+        prima_result = PRIMAResult(
+            seeds=order,
+            budgets=tuple(sorted(budgets, reverse=True)),
+            num_rr_sets=0,
+            num_rr_sets_search=0,
+            lower_bounds=(),
+            coverage_fraction=0.0,
+            epsilon=epsilon,
+            ell=ell,
+        )
+    else:
+        prima_result = prima(
+            graph, budgets, epsilon=epsilon, ell=ell, rng=rng,
+            triggering=triggering,
+        )
+        order = prima_result.seeds
+
+    pairs = [
+        (node, item)
+        for item, budget in enumerate(budgets)
+        for node in order[: min(budget, len(order))]
+    ]
+    allocation = Allocation(pairs, num_items=len(budgets))
+    return BundleGRDResult(
+        allocation=allocation,
+        seed_order=tuple(order),
+        prima_result=prima_result,
+    )

@@ -1,0 +1,99 @@
+"""The WelMax problem (Problem 1 of the paper).
+
+Given ``G = (V, E, p)``, the utility model ``Param = (V, P, N)`` and a budget
+vector ``b``, find an allocation ``𝒮*`` with ``|S_i| ≤ b_i`` maximizing the
+expected social welfare ``ρ(𝒮)``.  WelMax is NP-hard (Proposition 1: IC
+influence maximization is the single-item, zero-price, zero-noise special
+case).
+
+:class:`WelMaxInstance` bundles the three ingredients, validates them, and
+exposes the welfare/adoption estimators so algorithms and experiments share
+one entry point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.allocation import Allocation
+from repro.diffusion.welfare import WelfareEstimate, estimate_adoption, estimate_welfare
+from repro.graph.digraph import InfluenceGraph
+from repro.utility.model import UtilityModel
+
+
+@dataclass(frozen=True)
+class WelMaxInstance:
+    """One instance of the WelMax problem."""
+
+    graph: InfluenceGraph
+    model: UtilityModel
+    budgets: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.budgets) != self.model.num_items:
+            raise ValueError(
+                f"budget vector has {len(self.budgets)} entries for a "
+                f"universe of {self.model.num_items} items"
+            )
+        if any(int(b) < 0 for b in self.budgets):
+            raise ValueError(f"budgets must be non-negative: {self.budgets}")
+
+    @classmethod
+    def create(
+        cls,
+        graph: InfluenceGraph,
+        model: UtilityModel,
+        budgets: Sequence[int],
+    ) -> "WelMaxInstance":
+        """Build an instance from any budget sequence."""
+        return cls(graph=graph, model=model, budgets=tuple(int(b) for b in budgets))
+
+    @property
+    def num_items(self) -> int:
+        """Size of the item universe."""
+        return self.model.num_items
+
+    @property
+    def max_budget(self) -> int:
+        """``b = max_i b_i`` — what bundleGRD hands to PRIMA."""
+        return max(self.budgets) if self.budgets else 0
+
+    def check(self, allocation: Allocation) -> None:
+        """Raise if the allocation violates the instance's constraints."""
+        if allocation.num_items != self.num_items:
+            raise ValueError("allocation is over a different item universe")
+        if not allocation.respects_budgets(self.budgets):
+            raise ValueError(
+                f"allocation exceeds budgets {self.budgets}: "
+                f"counts {allocation.item_counts()}"
+            )
+        for node in allocation.seed_nodes():
+            if node >= self.graph.num_nodes:
+                raise ValueError(f"seed node {node} outside the graph")
+
+    def welfare(
+        self,
+        allocation: Allocation,
+        num_samples: int = 200,
+        rng: Optional[np.random.Generator] = None,
+    ) -> WelfareEstimate:
+        """MC estimate of ``ρ(𝒮)`` for a feasible allocation."""
+        self.check(allocation)
+        return estimate_welfare(
+            self.graph, self.model, allocation, num_samples=num_samples, rng=rng
+        )
+
+    def adoption(
+        self,
+        allocation: Allocation,
+        num_samples: int = 200,
+        rng: Optional[np.random.Generator] = None,
+    ) -> WelfareEstimate:
+        """MC estimate of total expected adoptions (the baselines' metric)."""
+        self.check(allocation)
+        return estimate_adoption(
+            self.graph, self.model, allocation, num_samples=num_samples, rng=rng
+        )

@@ -1,0 +1,37 @@
+"""Diffusion substrate: IC, UIC, Com-IC and possible worlds.
+
+Implements the stochastic diffusion half of the reproduction: the classic
+independent cascade model (:mod:`repro.diffusion.ic`), the paper's
+utility-driven IC model (:mod:`repro.diffusion.uic`) with the local-maximum
+adoption rule (:mod:`repro.diffusion.adoption`), live-edge possible worlds
+(:mod:`repro.diffusion.worlds`), Monte-Carlo welfare estimation
+(:mod:`repro.diffusion.welfare`) and the two-item Com-IC model used by the
+RR-SIM+/RR-CIM baselines (:mod:`repro.diffusion.comic`).
+"""
+
+from repro.diffusion.adoption import adopt
+from repro.diffusion.comic import ComICModel, simulate_comic
+from repro.diffusion.ic import estimate_spread, simulate_ic
+from repro.diffusion.uic import UICResult, simulate_uic
+from repro.diffusion.welfare import (
+    WelfareEstimate,
+    estimate_adoption,
+    estimate_welfare,
+)
+from repro.diffusion.worlds import LiveEdgeGraph, reachable_set, sample_live_edge_graph
+
+__all__ = [
+    "ComICModel",
+    "LiveEdgeGraph",
+    "UICResult",
+    "WelfareEstimate",
+    "adopt",
+    "estimate_adoption",
+    "estimate_spread",
+    "estimate_welfare",
+    "reachable_set",
+    "sample_live_edge_graph",
+    "simulate_comic",
+    "simulate_ic",
+    "simulate_uic",
+]

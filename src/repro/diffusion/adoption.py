@@ -1,0 +1,76 @@
+"""The utility-maximizing adoption rule (§3.2.2, step 3 of Fig. 1).
+
+At every step a node adopts
+
+    T* = argmax { U(T) : A(u, t-1) ⊆ T ⊆ R(u, t), U(T) ≥ 0 }
+
+breaking utility ties in favor of larger cardinality.  Lemma 1 shows the union
+of tied maximizers is itself a maximizer, so "largest tied set" is unique and
+equals that union — which is how we compute it.
+
+The already-adopted set always satisfies the constraints (``U(A) ≥ 0`` holds
+inductively, starting from ``U(∅) = 0``), so the rule is total.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utility.itemsets import Mask, iter_subsets
+
+#: Tolerance for utility ties; realized utilities are sums of a handful of
+#: floats, so ties beyond this are genuine.
+TIE_TOL = 1e-12
+
+
+def adopt(utility_table: np.ndarray, desire: Mask, adopted: Mask) -> Mask:
+    """Return the itemset the node adopts given its desire/adoption state.
+
+    Parameters
+    ----------
+    utility_table:
+        Realized per-mask utilities ``U_W`` for the current noise world.
+    desire:
+        The node's desire set ``R(u, t)``.
+    adopted:
+        The node's previously adopted set ``A(u, t-1)``; must be a subset of
+        ``desire``.
+
+    Returns
+    -------
+    Mask
+        The new adoption set ``A(u, t)`` — a superset of ``adopted``.
+    """
+    if adopted & ~desire:
+        raise ValueError(
+            f"adopted set {adopted:#b} is not contained in desire set {desire:#b}"
+        )
+    free = desire & ~adopted
+    if free == 0:
+        return adopted
+    best_value = float(utility_table[adopted])
+    best_union = adopted
+    best_single = adopted
+    best_single_size = adopted.bit_count()
+    for extra in iter_subsets(free):
+        mask = adopted | extra
+        value = float(utility_table[mask])
+        if value > best_value + TIE_TOL:
+            best_value = value
+            best_union = mask
+            best_single = mask
+            best_single_size = mask.bit_count()
+        elif value >= best_value - TIE_TOL:
+            best_union |= mask
+            size = mask.bit_count()
+            if size > best_single_size:
+                best_single = mask
+                best_single_size = size
+    # Under a supermodular utility, Lemma 1 guarantees the union of tied
+    # maximizers attains the same utility, realizing the paper's "larger
+    # cardinality" tie-break exactly.  For non-supermodular tables (e.g. the
+    # raw learned Table 5 values) the union may lose utility; fall back to the
+    # largest single maximizer, which keeps the rule total and deterministic.
+    if utility_table[best_union] >= best_value - 1e-9:
+        return best_union
+    return best_single

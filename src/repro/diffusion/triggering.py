@@ -1,0 +1,125 @@
+"""General triggering models (Kempe et al. [30]).
+
+The paper notes (§5) that "our results and techniques carry over unchanged to
+any triggering propagation model".  A triggering model assigns every node a
+random *trigger set* — a subset of its in-neighbors — and ``v`` activates
+when any member of its trigger set is active.  Sampling all trigger sets up
+front yields a live-edge world, so the whole UIC/RIS stack runs unchanged on
+top of any triggering model:
+
+* **IC**: each in-neighbor joins the trigger set independently with the edge
+  probability;
+* **LT** (linear threshold): at most one in-neighbor is chosen, with
+  probability equal to the edge weight (requires in-weights summing to ≤ 1 —
+  satisfied by the weighted-cascade scheme, where they sum to exactly 1).
+
+:func:`sample_triggering_world` materializes one live-edge world;
+RR-set generation under a triggering model uses the same per-node trigger
+sampling during the reverse BFS (see :mod:`repro.rrset.rrgen`).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional
+
+import numpy as np
+
+from repro.diffusion.worlds import LiveEdgeGraph
+from repro.graph.digraph import InfluenceGraph
+
+
+class TriggeringModel(abc.ABC):
+    """Distribution over trigger sets, per node."""
+
+    @abc.abstractmethod
+    def sample_trigger_set(
+        self, graph: InfluenceGraph, node: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Sample the trigger set of ``node`` (array of in-neighbor ids)."""
+
+    def validate(self, graph: InfluenceGraph) -> None:
+        """Check model-specific preconditions on the graph (optional)."""
+
+
+class IndependentCascadeTriggering(TriggeringModel):
+    """IC as a triggering model: independent per-edge coins."""
+
+    def sample_trigger_set(
+        self, graph: InfluenceGraph, node: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        sources = graph.in_neighbors(node)
+        if sources.shape[0] == 0:
+            return sources
+        probs = graph.in_probabilities(node)
+        keep = rng.random(sources.shape[0]) < probs
+        return sources[keep]
+
+
+class LinearThresholdTriggering(TriggeringModel):
+    """LT as a triggering model: at most one in-neighbor, by edge weight.
+
+    The live-edge characterization of LT [30]: node ``v`` picks in-neighbor
+    ``u`` with probability ``w(u, v)`` and nobody with probability
+    ``1 − Σ_u w(u, v)``.  Requires each node's in-weights to sum to at most 1
+    (``validate`` enforces it); the weighted-cascade scheme gives exactly 1.
+    """
+
+    def validate(self, graph: InfluenceGraph) -> None:
+        for v in range(graph.num_nodes):
+            total = float(graph.in_probabilities(v).sum())
+            if total > 1.0 + 1e-9:
+                raise ValueError(
+                    f"LT requires in-weights summing to <= 1; node {v} "
+                    f"has total {total:.4f}"
+                )
+
+    def sample_trigger_set(
+        self, graph: InfluenceGraph, node: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        sources = graph.in_neighbors(node)
+        if sources.shape[0] == 0:
+            return sources
+        weights = graph.in_probabilities(node)
+        draw = rng.random()
+        cumulative = 0.0
+        for idx in range(sources.shape[0]):
+            cumulative += weights[idx]
+            if draw < cumulative:
+                return sources[idx : idx + 1]
+        return sources[:0]  # empty trigger set
+
+
+def sample_triggering_world(
+    graph: InfluenceGraph,
+    model: TriggeringModel,
+    rng: np.random.Generator,
+) -> LiveEdgeGraph:
+    """Sample all trigger sets, returning the induced live-edge world.
+
+    Edge ``(u, v)`` is live iff ``u`` is in ``v``'s sampled trigger set; the
+    resulting :class:`LiveEdgeGraph` plugs directly into
+    :func:`repro.diffusion.uic.simulate_uic`.
+    """
+    n = graph.num_nodes
+    out_lists: List[List[int]] = [[] for _ in range(n)]
+    for v in range(n):
+        for u in model.sample_trigger_set(graph, v, rng):
+            out_lists[int(u)].append(v)
+    return LiveEdgeGraph(
+        n, [np.array(lst, dtype=np.int64) for lst in out_lists]
+    )
+
+
+def resolve_triggering(name_or_model) -> TriggeringModel:
+    """Resolve ``"ic"`` / ``"lt"`` / a TriggeringModel instance."""
+    if isinstance(name_or_model, TriggeringModel):
+        return name_or_model
+    if name_or_model == "ic":
+        return IndependentCascadeTriggering()
+    if name_or_model == "lt":
+        return LinearThresholdTriggering()
+    raise ValueError(
+        f"unknown triggering model {name_or_model!r}; expected 'ic', 'lt' "
+        "or a TriggeringModel instance"
+    )

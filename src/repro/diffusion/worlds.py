@@ -1,0 +1,96 @@
+"""Live-edge possible worlds.
+
+A possible world of the UIC model is a pair ``W = (W^E, W^N)`` (§4.1.1):
+``W^E`` keeps each edge ``(u, v)`` independently with probability ``p_uv``
+(the live-edge representation of the IC model), ``W^N`` fixes one noise value
+per item.  Noise worlds live in :mod:`repro.utility.noise`; this module
+handles edge worlds.
+
+Most simulations test edges lazily (deferred-decision principle — identical in
+distribution and much cheaper), but fully materialized live-edge graphs are
+needed by the BDHS-Step baseline, by the reachability property tests
+(Lemma 3), and by deterministic replays.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, List, Sequence, Set
+
+import numpy as np
+
+from repro.graph.digraph import InfluenceGraph
+
+
+class LiveEdgeGraph:
+    """A sampled deterministic graph ``W^E``: adjacency over live edges."""
+
+    __slots__ = ("_n", "_out")
+
+    def __init__(self, num_nodes: int, out_lists: List[np.ndarray]):
+        self._n = num_nodes
+        self._out = out_lists
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes (same as the source graph)."""
+        return self._n
+
+    @property
+    def num_live_edges(self) -> int:
+        """Number of edges that came up live in this world."""
+        return sum(int(a.shape[0]) for a in self._out)
+
+    def out_neighbors(self, u: int) -> np.ndarray:
+        """Live out-neighbors of ``u``."""
+        return self._out[u]
+
+    def in_adjacency(self) -> List[List[int]]:
+        """Live in-neighbor lists (built on demand)."""
+        incoming: List[List[int]] = [[] for _ in range(self._n)]
+        for u in range(self._n):
+            for v in self._out[u]:
+                incoming[int(v)].append(u)
+        return incoming
+
+
+def sample_live_edge_graph(
+    graph: InfluenceGraph, rng: np.random.Generator
+) -> LiveEdgeGraph:
+    """Sample one edge world: keep each edge with its own probability."""
+    out_lists: List[np.ndarray] = []
+    for u in range(graph.num_nodes):
+        targets = graph.out_neighbors(u)
+        if targets.shape[0] == 0:
+            out_lists.append(targets)
+            continue
+        probs = graph.out_probabilities(u)
+        keep = rng.random(targets.shape[0]) < probs
+        out_lists.append(targets[keep])
+    return LiveEdgeGraph(graph.num_nodes, out_lists)
+
+
+def reachable_set(world: LiveEdgeGraph, sources: Iterable[int]) -> Set[int]:
+    """Nodes reachable from ``sources`` along live edges (Γ(S, W^E))."""
+    visited: Set[int] = set()
+    queue: deque[int] = deque()
+    for s in sources:
+        s = int(s)
+        if s not in visited:
+            visited.add(s)
+            queue.append(s)
+    while queue:
+        u = queue.popleft()
+        for v in world.out_neighbors(u):
+            v = int(v)
+            if v not in visited:
+                visited.add(v)
+                queue.append(v)
+    return visited
+
+
+def reachable_count_from_each(
+    world: LiveEdgeGraph, seed_sets: Sequence[Sequence[int]]
+) -> List[int]:
+    """``|Γ(S, W^E)|`` for several seed sets in the same world."""
+    return [len(reachable_set(world, seeds)) for seeds in seed_sets]

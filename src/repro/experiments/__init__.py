@@ -1,0 +1,37 @@
+"""Experiment harness regenerating every table and figure of §4.3.
+
+Each ``figN_*`` module exposes a ``run_*`` function returning the rows/series
+the corresponding paper figure plots, at a configurable scale.  The
+``benchmarks/`` directory wires each one into a pytest-benchmark target; the
+measured outputs are recorded in EXPERIMENTS.md.
+
+* Table 3 / Table 4 / Table 5 configurations — :mod:`repro.experiments.configs`
+* GAP ↔ utility conversion (Eq. 12) — :mod:`repro.experiments.gap`
+* Fig 4 (two-item welfare) — :mod:`repro.experiments.fig4_welfare`
+* Fig 5 (running time) — :mod:`repro.experiments.fig5_runtime`
+* Fig 6 (#RR sets) — :mod:`repro.experiments.fig6_rrsets`
+* Fig 7 (multi-item welfare) — :mod:`repro.experiments.fig7_multi_item`
+* Fig 8 (items vs runtime; real Param) — :mod:`repro.experiments.fig8_real`
+* Fig 9(a-c) (BDHS comparison) — :mod:`repro.experiments.fig9_bdhs`
+* Fig 9(d) (scalability) — :mod:`repro.experiments.fig9_scalability`
+* Table 6 (#RR sets parity) — :mod:`repro.experiments.table6_rrsets`
+"""
+
+from repro.experiments.configs import (
+    MultiItemConfig,
+    TwoItemConfig,
+    multi_item_config,
+    real_param_budgets,
+    two_item_config,
+)
+from repro.experiments.gap import gap_from_utility, utility_from_gap
+
+__all__ = [
+    "MultiItemConfig",
+    "TwoItemConfig",
+    "gap_from_utility",
+    "multi_item_config",
+    "real_param_budgets",
+    "two_item_config",
+    "utility_from_gap",
+]

@@ -1,0 +1,217 @@
+"""The paper's experimental configurations (Tables 3 and 4, real Param).
+
+Two-item configurations 1–4 (Table 3)
+-------------------------------------
+Prices ``P(i1)=3, P(i2)=4``; Gaussian noise with unit variance per item.
+
+* Configs 1/2: ``V(i1)=3, V(i2)=4, V({i1,i2})=8`` — both items have
+  non-negative deterministic utility (GAP: ``q_{i|∅}=0.5, q_{i|j}=0.84``).
+* Configs 3/4: ``V(i1)=3, V(i2)=3, V({i1,i2})=8`` — item 2's deterministic
+  utility is negative (GAP: ``q_{i1|∅}=0.5, q_{i2|∅}=0.16, q_{i1|i2}=0.98,
+  q_{i2|i1}=0.84``).
+
+Odd configs use uniform budgets (both items ``k``); even configs non-uniform
+(``b1 = 70`` fixed, ``b2`` swept).
+
+Multi-item configurations 5–8 (Table 4)
+---------------------------------------
+* Config 5 — additive: every item has deterministic utility 1; uniform
+  budgets (minimal advantage to bundling, by design).
+* Config 6 — cone-max: a core item (the max-budget one) with utility 5
+  unlocks the cone; every addon contributes utility 2; non-uniform budgets.
+* Config 7 — cone-min: as 6 but the core is the min-budget item.
+* Config 8 — level-wise: the random supermodular construction of Eq. (13);
+  uniform budgets.
+
+Non-uniform totals are split 20% to the max-budget item, 2% to the min, and
+the rest uniformly (§4.3.3.2); the real-Param split is 30/30/20/10/10
+(§4.3.4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.diffusion.comic import ComICModel
+from repro.utility.model import UtilityModel
+from repro.utility.noise import GaussianNoise
+from repro.utility.price import AdditivePrice
+from repro.utility.valuation import (
+    AdditiveValuation,
+    ConeValuation,
+    LevelwiseValuation,
+    TableValuation,
+)
+
+
+@dataclass(frozen=True)
+class TwoItemConfig:
+    """One row of Table 3."""
+
+    config_id: int
+    model: UtilityModel
+    gap: ComICModel
+    uniform_budgets: bool
+
+    def budget_vectors(
+        self,
+        uniform_range: Sequence[int] = (10, 30, 50),
+        fixed_b1: int = 70,
+        b2_range: Sequence[int] = (30, 50, 70, 90, 110),
+    ) -> List[Tuple[int, int]]:
+        """The budget sweep the paper plots on the x axis."""
+        if self.uniform_budgets:
+            return [(k, k) for k in uniform_range]
+        return [(fixed_b1, b2) for b2 in b2_range]
+
+
+def two_item_config(config_id: int) -> TwoItemConfig:
+    """Configurations 1–4 of Table 3."""
+    if config_id not in (1, 2, 3, 4):
+        raise ValueError(f"two-item configs are 1..4, got {config_id}")
+    prices = AdditivePrice([3.0, 4.0])
+    noise = GaussianNoise([1.0, 1.0])
+    if config_id in (1, 2):
+        valuation = TableValuation(2, {0b01: 3.0, 0b10: 4.0, 0b11: 8.0})
+        gap = ComICModel(
+            q_a_empty=0.5, q_a_given_b=0.84, q_b_empty=0.5, q_b_given_a=0.84
+        )
+    else:
+        valuation = TableValuation(2, {0b01: 3.0, 0b10: 3.0, 0b11: 8.0})
+        gap = ComICModel(
+            q_a_empty=0.5, q_a_given_b=0.98, q_b_empty=0.16, q_b_given_a=0.84
+        )
+    model = UtilityModel(valuation, prices, noise, item_names=("i1", "i2"))
+    return TwoItemConfig(
+        config_id=config_id,
+        model=model,
+        gap=gap,
+        uniform_budgets=config_id % 2 == 1,
+    )
+
+
+@dataclass(frozen=True)
+class MultiItemConfig:
+    """One row of Table 4."""
+
+    config_id: int
+    model: UtilityModel
+    uniform_budgets: bool
+
+    def split_budget(self, total: int) -> List[int]:
+        """Split a total budget across items per §4.3.3.2."""
+        return split_total_budget(
+            total, self.model.num_items, uniform=self.uniform_budgets
+        )
+
+
+def split_total_budget(
+    total: int, num_items: int, uniform: bool
+) -> List[int]:
+    """Uniform split, or the paper's 20%-max / 2%-min / rest-uniform split."""
+    if num_items <= 0:
+        raise ValueError(f"num_items must be positive, got {num_items}")
+    if total < 0:
+        raise ValueError(f"total budget must be non-negative, got {total}")
+    if uniform or num_items == 1:
+        base = total // num_items
+        budgets = [base] * num_items
+        for i in range(total - base * num_items):
+            budgets[i] += 1
+        return budgets
+    max_budget = max(1, int(round(0.20 * total)))
+    min_budget = max(1, int(round(0.02 * total)))
+    rest = total - max_budget - min_budget
+    middle_items = num_items - 2
+    base = rest // middle_items if middle_items else 0
+    budgets = [max_budget] + [base] * middle_items + [min_budget]
+    for i in range(rest - base * middle_items):
+        budgets[1 + i % max(middle_items, 1)] += 1
+    # With few items the uniform middle share can exceed the nominal 20% of
+    # the designated max item; sort non-increasing so that "max-budget item"
+    # and "min-budget item" (the cone configurations' core choices) stay
+    # meaningful regardless of the split arithmetic.
+    return sorted(budgets, reverse=True)
+
+
+def multi_item_config(
+    config_id: int,
+    num_items: int = 5,
+    total_budget: int = 300,
+    seed: int = 0,
+) -> Tuple[MultiItemConfig, List[int]]:
+    """Configurations 5–8 of Table 4, plus the derived budget vector.
+
+    The budget vector is needed up front for the cone configurations (the
+    core item is the max- or min-budget item).
+    """
+    if config_id not in (5, 6, 7, 8):
+        raise ValueError(f"multi-item configs are 5..8, got {config_id}")
+    uniform = config_id in (5, 8)
+    budgets = split_total_budget(total_budget, num_items, uniform=uniform)
+    noise = GaussianNoise.uniform(num_items, 1.0)
+
+    if config_id == 5:
+        # Additive: utility 1 per item (price 1, value 2).
+        prices = AdditivePrice([1.0] * num_items)
+        valuation = AdditiveValuation([2.0] * num_items)
+    elif config_id in (6, 7):
+        prices = AdditivePrice([1.0] * num_items)
+        core = (
+            int(np.argmax(budgets)) if config_id == 6 else int(np.argmin(budgets))
+        )
+        valuation = ConeValuation(
+            prices.as_array(), core_item=core, core_utility=5.0, addon_utility=2.0
+        )
+    else:
+        # Level-wise: random level-1 utilities, a random subset non-negative.
+        rng = np.random.default_rng(seed)
+        prices = AdditivePrice([float(p) for p in rng.uniform(1.0, 4.0, num_items)])
+        level1 = []
+        for i in range(num_items):
+            offset = rng.uniform(-2.0, 2.0)
+            level1.append(max(0.0, prices.item_price(i) + offset))
+        valuation = LevelwiseValuation(level1, boost_range=(1.0, 5.0), seed=seed)
+    model = UtilityModel(valuation, prices, noise)
+    return (
+        MultiItemConfig(config_id=config_id, model=model, uniform_budgets=uniform),
+        budgets,
+    )
+
+
+def real_param_budgets(total: int) -> List[int]:
+    """The 30/30/20/10/10 split over (ps, c, g1, g2, g3) of §4.3.4.2."""
+    if total < 0:
+        raise ValueError(f"total budget must be non-negative, got {total}")
+    fractions = (0.30, 0.30, 0.20, 0.10, 0.10)
+    budgets = [int(round(f * total)) for f in fractions]
+    # Fix rounding drift on the largest entry.
+    budgets[0] += total - sum(budgets)
+    return budgets
+
+
+def real_param_skews(total: int = 500) -> dict:
+    """The three budget distributions of §4.3.4.3 (Fig. 8(d), Table 6)."""
+    num_items = 5
+
+    def _exact_sum(budgets: List[int]) -> List[int]:
+        budgets = list(budgets)
+        budgets[0] += total - sum(budgets)
+        return budgets
+
+    uniform = _exact_sum([total // num_items] * num_items)
+    ps_share = int(round(0.82 * total))
+    large = _exact_sum([ps_share] + [(total - ps_share) // 4] * 4)
+    moderate = _exact_sum(
+        [
+            int(round(0.30 * total)),
+            int(round(0.30 * total)),
+            int(round(0.20 * total)),
+            int(round(0.10 * total)),
+            int(round(0.10 * total)),
+        ]
+    )
+    return {"uniform": uniform, "large_skew": large, "moderate_skew": moderate}

@@ -1,0 +1,66 @@
+"""Fig. 6 — number of RR sets generated (memory proxy), config 1.
+
+Paper shape: the TIM-based RR-SIM+/RR-CIM generate far more RR sets than the
+IMM-based bundleGRD / item-disj / bundle-disj (TIM's θ is an order of
+magnitude looser, and the Com-IC algorithms add forward/backward passes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments._two_item import (
+    TwoItemRun,
+    run_two_item_experiment,
+    runs_as_rows,
+)
+from repro.experiments.fig5_runtime import COMIC_NETWORKS, FIG5_NETWORKS
+from repro.experiments._two_item import TWO_ITEM_ALGORITHMS
+from repro.experiments.runner import print_table
+
+
+def run_fig6(
+    networks: Sequence[str] = FIG5_NETWORKS,
+    scale: float = 0.1,
+    budget_vectors: Optional[Sequence[Tuple[int, int]]] = None,
+    seed: int = 0,
+    comic_networks: Sequence[str] = COMIC_NETWORKS,
+) -> Dict[str, List[TwoItemRun]]:
+    """Regenerate the four panels of Fig. 6 (RR-set counts per network)."""
+    if budget_vectors is None:
+        budget_vectors = [(10, 10), (30, 30), (50, 50)]
+    panels: Dict[str, List[TwoItemRun]] = {}
+    for network in networks:
+        algorithms = [
+            a
+            for a in TWO_ITEM_ALGORITHMS
+            if network in comic_networks or a not in ("RR-SIM+", "RR-CIM")
+        ]
+        panels[network] = run_two_item_experiment(
+            config_id=1,
+            network=network,
+            scale=scale,
+            budget_vectors=budget_vectors,
+            algorithms=algorithms,
+            num_samples=2,  # welfare is not the metric here; keep MC minimal
+            seed=seed,
+        )
+    return panels
+
+
+def rrset_series(runs: Sequence[TwoItemRun]) -> Dict[str, List[int]]:
+    """Per-algorithm RR-set-count series (the plotted bars)."""
+    series: Dict[str, List[int]] = {}
+    for run in runs:
+        series.setdefault(run.algorithm, []).append(run.num_rr_sets)
+    return series
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    panels = run_fig6(scale=0.05, budget_vectors=[(10, 10)])
+    for network, runs in panels.items():
+        print_table(runs_as_rows(runs), title=f"Fig 6 — {network}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,232 @@
+"""Fig. 8 — number-of-items scaling and the real-Param experiments.
+
+* **(a)** running time vs number of items (config 5, per-item budget 50):
+  bundleGRD is flat in the item count — its one PRIMA call depends only on
+  the max budget — while item-disj's single IMM call grows with ``k·s`` and
+  bundle-disj pays one IMM call per item.
+* **(b, c)** welfare and running time vs total budget under the learned
+  PlayStation parameters (Table 5), budgets split 30/30/20/10/10.  item-disj
+  yields zero welfare here (every singleton has negative utility) and is
+  omitted, as in the paper.
+* **(d)** budget-skew study: uniform / large-skew / moderate-skew splits of a
+  fixed total budget; uniform gives the best welfare and lowest time, large
+  skew the worst of both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.bundle_disjoint import bundle_disjoint
+from repro.baselines.item_disjoint import item_disjoint
+from repro.core.bundlegrd import bundle_grd
+from repro.diffusion.welfare import estimate_welfare
+from repro.experiments.configs import (
+    multi_item_config,
+    real_param_budgets,
+    real_param_skews,
+)
+from repro.experiments.runner import print_table, stopwatch
+from repro.graph import datasets
+from repro.graph.digraph import InfluenceGraph
+from repro.utility.learned import real_utility_model
+
+
+@dataclass(frozen=True)
+class ItemsRuntimeRun:
+    """Fig. 8(a): one (algorithm, #items) timing."""
+
+    algorithm: str
+    num_items: int
+    seconds: float
+
+
+def run_items_runtime(
+    network: str = "twitter",
+    scale: float = 0.1,
+    item_counts: Sequence[int] = (1, 2, 4, 6, 8, 10),
+    per_item_budget: int = 50,
+    epsilon: float = 0.5,
+    ell: float = 1.0,
+    seed: int = 0,
+    graph: Optional[InfluenceGraph] = None,
+) -> List[ItemsRuntimeRun]:
+    """Fig. 8(a): running time as the number of items grows (config 5)."""
+    if graph is None:
+        graph = datasets.load(network, scale=scale)
+    runs: List[ItemsRuntimeRun] = []
+    for s in item_counts:
+        s = int(s)
+        config, _ = multi_item_config(
+            5, num_items=s, total_budget=per_item_budget * s, seed=seed
+        )
+        budgets = [per_item_budget] * s
+        for algorithm in ("bundleGRD", "item-disj", "bundle-disj"):
+            timing: Dict[str, float] = {}
+            rng = np.random.default_rng(seed)
+            with stopwatch(timing):
+                if algorithm == "bundleGRD":
+                    bundle_grd(graph, budgets, epsilon=epsilon, ell=ell, rng=rng)
+                elif algorithm == "item-disj":
+                    item_disjoint(graph, budgets, epsilon=epsilon, ell=ell, rng=rng)
+                else:
+                    bundle_disjoint(
+                        graph, config.model, budgets, epsilon=epsilon, ell=ell, rng=rng
+                    )
+            runs.append(
+                ItemsRuntimeRun(
+                    algorithm=algorithm, num_items=s, seconds=timing["seconds"]
+                )
+            )
+    return runs
+
+
+@dataclass(frozen=True)
+class RealParamRun:
+    """Fig. 8(b,c): one (algorithm, total budget) welfare + time point."""
+
+    algorithm: str
+    total_budget: int
+    budgets: Tuple[int, ...]
+    welfare: float
+    welfare_stderr: float
+    seconds: float
+
+
+def run_real_param_sweep(
+    network: str = "twitter",
+    scale: float = 0.1,
+    total_budgets: Sequence[int] = (100, 300, 500),
+    num_samples: int = 60,
+    epsilon: float = 0.5,
+    ell: float = 1.0,
+    seed: int = 0,
+    graph: Optional[InfluenceGraph] = None,
+) -> List[RealParamRun]:
+    """Fig. 8(b,c): bundleGRD vs bundle-disj under the learned Param.
+
+    item-disj is omitted: with all singletons at negative deterministic
+    utility its welfare is identically 0 (§4.3.4.1).
+    """
+    if graph is None:
+        graph = datasets.load(network, scale=scale)
+    model = real_utility_model()
+    runs: List[RealParamRun] = []
+    for total in total_budgets:
+        budgets = real_param_budgets(int(total))
+        for algorithm in ("bundleGRD", "bundle-disj"):
+            timing: Dict[str, float] = {}
+            rng = np.random.default_rng(seed)
+            with stopwatch(timing):
+                if algorithm == "bundleGRD":
+                    allocation = bundle_grd(
+                        graph, budgets, epsilon=epsilon, ell=ell, rng=rng
+                    ).allocation
+                else:
+                    allocation = bundle_disjoint(
+                        graph, model, budgets, epsilon=epsilon, ell=ell, rng=rng
+                    ).allocation
+            welfare = estimate_welfare(
+                graph,
+                model,
+                allocation,
+                num_samples=num_samples,
+                rng=np.random.default_rng(seed + 1),
+            )
+            runs.append(
+                RealParamRun(
+                    algorithm=algorithm,
+                    total_budget=int(total),
+                    budgets=tuple(budgets),
+                    welfare=welfare.mean,
+                    welfare_stderr=welfare.stderr,
+                    seconds=timing["seconds"],
+                )
+            )
+    return runs
+
+
+@dataclass(frozen=True)
+class SkewRun:
+    """Fig. 8(d): one budget-distribution measurement (bundleGRD)."""
+
+    distribution: str
+    budgets: Tuple[int, ...]
+    welfare: float
+    welfare_stderr: float
+    seconds: float
+
+
+def run_budget_skew(
+    network: str = "twitter",
+    scale: float = 0.1,
+    total_budget: int = 500,
+    num_samples: int = 60,
+    epsilon: float = 0.5,
+    ell: float = 1.0,
+    seed: int = 0,
+    graph: Optional[InfluenceGraph] = None,
+) -> List[SkewRun]:
+    """Fig. 8(d): welfare/time of bundleGRD under the three budget skews."""
+    if graph is None:
+        graph = datasets.load(network, scale=scale)
+    model = real_utility_model()
+    runs: List[SkewRun] = []
+    for name, budgets in real_param_skews(total_budget).items():
+        timing: Dict[str, float] = {}
+        rng = np.random.default_rng(seed)
+        with stopwatch(timing):
+            allocation = bundle_grd(
+                graph, budgets, epsilon=epsilon, ell=ell, rng=rng
+            ).allocation
+        welfare = estimate_welfare(
+            graph,
+            model,
+            allocation,
+            num_samples=num_samples,
+            rng=np.random.default_rng(seed + 1),
+        )
+        runs.append(
+            SkewRun(
+                distribution=name,
+                budgets=tuple(budgets),
+                welfare=welfare.mean,
+                welfare_stderr=welfare.stderr,
+                seconds=timing["seconds"],
+            )
+        )
+    return runs
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    rows = [
+        {"algorithm": r.algorithm, "items": r.num_items, "seconds": round(r.seconds, 3)}
+        for r in run_items_runtime(scale=0.04, item_counts=(1, 3, 5))
+    ]
+    print_table(rows, title="Fig 8(a) — items vs runtime")
+    rows = [
+        {
+            "algorithm": r.algorithm,
+            "total": r.total_budget,
+            "welfare": round(r.welfare, 1),
+            "seconds": round(r.seconds, 3),
+        }
+        for r in run_real_param_sweep(scale=0.04, total_budgets=(100, 200))
+    ]
+    print_table(rows, title="Fig 8(b,c) — real Param sweep")
+    rows = [
+        {
+            "distribution": r.distribution,
+            "welfare": round(r.welfare, 1),
+            "seconds": round(r.seconds, 3),
+        }
+        for r in run_budget_skew(scale=0.04, total_budget=200)
+    ]
+    print_table(rows, title="Fig 8(d) — budget skew")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,104 @@
+"""GAP ↔ utility correspondence (Eq. 12 of the paper).
+
+The Com-IC baselines are parameterized by Global Adoption Probabilities; the
+paper shows how a two-item UIC utility configuration induces them:
+
+    q_{i1|∅}  = Pr[ N(i1) ≥ P(i1) − V(i1) ]
+    q_{i1|i2} = Pr[ N(i1) ≥ P(i1) − (V({i1,i2}) − V(i2)) ]
+
+and symmetrically for item 2.  The reverse direction (building a UIC utility
+model that realizes given GAP parameters) is what "the GAP parameters can be
+simulated within the UIC framework" means: with unit-variance Gaussian noise
+and fixed prices, values are recovered through the normal quantile function.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.diffusion.comic import ComICModel
+from repro.utility.model import UtilityModel
+from repro.utility.noise import GaussianNoise
+from repro.utility.price import AdditivePrice
+from repro.utility.valuation import TableValuation
+
+
+def gap_from_utility(model: UtilityModel) -> ComICModel:
+    """Derive the four GAP parameters from a two-item utility model."""
+    if model.num_items != 2:
+        raise ValueError(
+            f"GAP conversion is defined for 2 items, got {model.num_items}"
+        )
+    price = model.price
+    value = model.valuation
+    noise = model.noise
+    v1, v2, v12 = value.value(0b01), value.value(0b10), value.value(0b11)
+    p1, p2 = price.item_price(0), price.item_price(1)
+    return ComICModel(
+        q_a_empty=noise.exceed_probability(0, p1 - v1),
+        q_a_given_b=noise.exceed_probability(0, p1 - (v12 - v2)),
+        q_b_empty=noise.exceed_probability(1, p2 - v2),
+        q_b_given_a=noise.exceed_probability(1, p2 - (v12 - v1)),
+    )
+
+
+def utility_from_gap(
+    gap: ComICModel,
+    prices: Tuple[float, float] = (3.0, 4.0),
+    noise_std: float = 1.0,
+) -> UtilityModel:
+    """Build a two-item UIC utility model realizing the GAP parameters.
+
+    Inverts Eq. (12) assuming Gaussian noise with the given σ: each GAP value
+    pins one threshold through the normal quantile.  The bundle value must
+    satisfy both cross conditions simultaneously; they are consistent exactly
+    when ``Φ⁻¹`` thresholds agree, so the two implied bundle values are
+    averaged and the resulting model's GAP is within quantile round-off.
+    Requires a mutually complementary instance.
+    """
+    if not gap.is_mutually_complementary():
+        raise ValueError("utility_from_gap requires mutual complementarity")
+    p1, p2 = prices
+
+    def _value_from_q(q: float, price: float) -> float:
+        # q = Pr[N ≥ price − value] = SF((price − value)/σ)
+        #   => value = price − σ · SF⁻¹(q)
+        return price - noise_std * _survival_quantile(q)
+
+    v1 = _value_from_q(gap.q_a_empty, p1)
+    v2 = _value_from_q(gap.q_b_empty, p2)
+    # q_{a|b}: value12 - v2 plays the role of item 1's standalone value.
+    v12_from_a = _value_from_q(gap.q_a_given_b, p1) + v2
+    v12_from_b = _value_from_q(gap.q_b_given_a, p2) + v1
+    v12 = (v12_from_a + v12_from_b) / 2.0
+    v12 = max(v12, v1, v2)  # keep the table monotone
+    valuation = TableValuation(
+        2,
+        {0b01: max(v1, 0.0), 0b10: max(v2, 0.0), 0b11: v12},
+        validate="monotone",
+    )
+    return UtilityModel(
+        valuation,
+        AdditivePrice([p1, p2]),
+        GaussianNoise([noise_std, noise_std]),
+        item_names=("i1", "i2"),
+    )
+
+
+def _survival_quantile(q: float, tol: float = 1e-10) -> float:
+    """SF⁻¹(q): the z with ``Pr[N(0,1) ≥ z] = q``, by bisection.
+
+    The standard-normal survival function is strictly decreasing, so z is
+    unique; e.g. ``SF⁻¹(0.5) = 0`` and ``SF⁻¹(0.84) ≈ −1``.
+    """
+    if not 0.0 < q < 1.0:
+        raise ValueError(f"quantile defined for q in (0, 1), got {q}")
+    lo, hi = -12.0, 12.0
+    while hi - lo > tol:
+        mid = (lo + hi) / 2.0
+        if 0.5 * math.erfc(mid / math.sqrt(2.0)) > q:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2.0

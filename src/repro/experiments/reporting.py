@@ -1,0 +1,119 @@
+"""Aggregate benchmark artifacts into one report.
+
+Every benchmark records its regenerated table under
+``benchmarks/results/<name>.txt``.  This module stitches those artifacts into
+a single markdown report (the raw material of EXPERIMENTS.md), ordered by the
+paper's table/figure numbering, flagging any experiment whose artifact is
+missing.
+
+Usage::
+
+    python -m repro.experiments.reporting [results_dir] [output.md]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Artifact stems in the paper's presentation order, with display titles.
+EXPERIMENT_ORDER: Tuple[Tuple[str, str], ...] = (
+    ("table2_networks", "Table 2 — network statistics"),
+    ("fig4_config1", "Fig. 4(a) — welfare, configuration 1"),
+    ("fig4_config2", "Fig. 4(b) — welfare, configuration 2"),
+    ("fig4_config3", "Fig. 4(c) — welfare, configuration 3"),
+    ("fig4_config4", "Fig. 4(d) — welfare, configuration 4"),
+    ("fig5_flixster", "Fig. 5(a) — running time, Flixster"),
+    ("fig5_douban-book", "Fig. 5(b) — running time, Douban-Book"),
+    ("fig5_douban-movie", "Fig. 5(c) — running time, Douban-Movie"),
+    ("fig5_twitter", "Fig. 5(d) — running time, Twitter"),
+    ("fig6_flixster", "Fig. 6(a) — RR sets, Flixster"),
+    ("fig6_douban-book", "Fig. 6(b) — RR sets, Douban-Book"),
+    ("fig6_douban-movie", "Fig. 6(c) — RR sets, Douban-Movie"),
+    ("fig6_twitter", "Fig. 6(d) — RR sets, Twitter"),
+    ("fig7_config5", "Fig. 7(a) — welfare, configuration 5"),
+    ("fig7_config6", "Fig. 7(b) — welfare, configuration 6"),
+    ("fig7_config7", "Fig. 7(c) — welfare, configuration 7"),
+    ("fig7_config8", "Fig. 7(d) — welfare, configuration 8"),
+    ("fig8a_items_runtime", "Fig. 8(a) — runtime vs number of items"),
+    ("fig8bc_real_params", "Fig. 8(b,c) — real-Param budget sweep"),
+    ("fig8d_budget_skew", "Fig. 8(d) — budget skew"),
+    ("fig9_bdhs_orkut", "Fig. 9(a) — BDHS comparison, Orkut"),
+    ("fig9_bdhs_douban-book", "Fig. 9(b) — BDHS comparison, Douban-Book"),
+    ("fig9_bdhs_douban-movie", "Fig. 9(c) — BDHS comparison, Douban-Movie"),
+    ("fig9d_scalability", "Fig. 9(d) — scalability"),
+    ("table5_learning", "Table 5 — auction-learned parameters"),
+    ("table6_rrset_counts", "Table 6 — RR-set count parity"),
+    ("ablation_prima_reuse", "Ablation — PRIMA reuse vs per-budget IMM"),
+    ("ablation_triggering_lt", "Ablation — LT triggering model"),
+    ("ablation_personalized_noise", "Ablation — personalized noise"),
+    ("ablation_bundle_discount", "Ablation — submodular bundle pricing"),
+    ("ablation_marginal_greedy", "Ablation — naive marginal greedy"),
+)
+
+
+def collect_artifacts(results_dir: Path) -> Dict[str, str]:
+    """Read every recorded artifact, keyed by stem."""
+    artifacts: Dict[str, str] = {}
+    if not results_dir.is_dir():
+        return artifacts
+    for path in sorted(results_dir.glob("*.txt")):
+        artifacts[path.stem] = path.read_text().strip()
+    return artifacts
+
+
+def build_report(
+    results_dir: Path,
+    order: Sequence[Tuple[str, str]] = EXPERIMENT_ORDER,
+) -> str:
+    """Render the aggregated markdown report."""
+    artifacts = collect_artifacts(results_dir)
+    lines: List[str] = [
+        "# Regenerated experiments",
+        "",
+        f"Collected from `{results_dir}`.",
+        "",
+    ]
+    missing: List[str] = []
+    for stem, title in order:
+        lines.append(f"## {title}")
+        lines.append("")
+        body = artifacts.pop(stem, None)
+        if body is None:
+            missing.append(stem)
+            lines.append("*(artifact missing — bench not yet run)*")
+        else:
+            lines.append("```")
+            lines.append(body)
+            lines.append("```")
+        lines.append("")
+    for stem in sorted(artifacts):
+        lines.append(f"## (unindexed) {stem}")
+        lines.append("")
+        lines.append("```")
+        lines.append(artifacts[stem])
+        lines.append("```")
+        lines.append("")
+    if missing:
+        lines.append(
+            f"**Missing artifacts ({len(missing)}):** " + ", ".join(missing)
+        )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    results_dir = Path(argv[0]) if argv else Path("benchmarks/results")
+    report = build_report(results_dir)
+    if len(argv) > 1:
+        Path(argv[1]).write_text(report)
+        print(f"wrote report to {argv[1]}")
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

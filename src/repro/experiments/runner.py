@@ -1,0 +1,51 @@
+"""Shared experiment plumbing: timing, seeding and table printing."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Sequence
+
+
+@contextmanager
+def stopwatch(sink: Dict[str, float], key: str = "seconds") -> Iterator[None]:
+    """Record wall-clock duration of a block into ``sink[key]``."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        sink[key] = time.perf_counter() - start
+
+
+def format_table(rows: Sequence[Dict[str, object]]) -> str:
+    """Render dict rows as an aligned text table (column order from row 0)."""
+    if not rows:
+        return "(no rows)"
+    columns = list(rows[0].keys())
+    rendered: List[List[str]] = [[str(c) for c in columns]]
+    for row in rows:
+        rendered.append([_fmt(row.get(c, "")) for c in columns])
+    widths = [max(len(r[i]) for r in rendered) for i in range(len(columns))]
+    lines = []
+    for idx, r in enumerate(rendered):
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(r, widths)))
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def print_table(rows: Sequence[Dict[str, object]], title: str = "") -> None:
+    """Print a table with an optional title banner."""
+    if title:
+        print(f"\n== {title} ==")
+    print(format_table(rows))
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.3g}"
+    return str(value)

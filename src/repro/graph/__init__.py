@@ -1,0 +1,54 @@
+"""Directed influence-graph substrate.
+
+This subpackage provides the graph machinery every other part of the
+reproduction sits on: a compact CSR-backed directed graph with per-edge
+influence probabilities (:mod:`repro.graph.digraph`), the standard edge
+weighting schemes used in the IM literature (:mod:`repro.graph.weighting`),
+synthetic generators (:mod:`repro.graph.generators`), edge-list I/O
+(:mod:`repro.graph.io`), structural analysis helpers
+(:mod:`repro.graph.analysis`), and deterministic scaled stand-ins for the five
+networks of the paper's evaluation (:mod:`repro.graph.datasets`).
+"""
+
+from repro.graph.analysis import (
+    bfs_nodes,
+    bfs_subgraph,
+    degree_statistics,
+    largest_scc,
+    strongly_connected_components,
+)
+from repro.graph.digraph import InfluenceGraph
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    line_graph,
+    preferential_attachment,
+    star_graph,
+)
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.graph.weighting import (
+    fixed_probability,
+    trivalency,
+    weighted_cascade,
+)
+
+__all__ = [
+    "InfluenceGraph",
+    "bfs_nodes",
+    "bfs_subgraph",
+    "complete_graph",
+    "cycle_graph",
+    "degree_statistics",
+    "erdos_renyi",
+    "fixed_probability",
+    "largest_scc",
+    "line_graph",
+    "preferential_attachment",
+    "read_edge_list",
+    "star_graph",
+    "strongly_connected_components",
+    "trivalency",
+    "weighted_cascade",
+    "write_edge_list",
+]

@@ -1,0 +1,150 @@
+"""Structural analysis helpers.
+
+Provides the pieces the paper's data preparation relies on: strongly connected
+component extraction (Flixster is "a strongly connected component ... extracted"
+[36]), BFS-based progressive subgraph growth (the Fig. 9(d) scalability test),
+and degree statistics (Table 2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.graph.digraph import InfluenceGraph
+
+
+def degree_statistics(graph: InfluenceGraph) -> Dict[str, float]:
+    """Summary statistics in the shape of the paper's Table 2."""
+    n = graph.num_nodes
+    m = graph.num_edges
+    out_degrees = np.array([graph.out_degree(v) for v in graph.nodes])
+    in_degrees = np.array([graph.in_degree(v) for v in graph.nodes])
+    return {
+        "num_nodes": float(n),
+        "num_edges": float(m),
+        "avg_degree": float(m / n) if n else 0.0,
+        "max_out_degree": float(out_degrees.max(initial=0)),
+        "max_in_degree": float(in_degrees.max(initial=0)),
+    }
+
+
+def bfs_nodes(
+    graph: InfluenceGraph, sources: Sequence[int], limit: Optional[int] = None
+) -> List[int]:
+    """Nodes reachable from ``sources`` in BFS order, up to ``limit`` nodes.
+
+    Follows out-edges regardless of probability (topology-only BFS).
+    """
+    limit = graph.num_nodes if limit is None else limit
+    visited = np.zeros(graph.num_nodes, dtype=bool)
+    order: List[int] = []
+    queue: deque[int] = deque()
+    for s in sources:
+        if not visited[s]:
+            visited[s] = True
+            queue.append(s)
+            order.append(s)
+    while queue and len(order) < limit:
+        u = queue.popleft()
+        for v in graph.out_neighbors(u):
+            v = int(v)
+            if not visited[v]:
+                visited[v] = True
+                order.append(v)
+                if len(order) >= limit:
+                    break
+                queue.append(v)
+    return order[:limit]
+
+
+def bfs_subgraph(
+    graph: InfluenceGraph, fraction: float, seed: int = 0
+) -> InfluenceGraph:
+    """Induced subgraph on ~``fraction`` of nodes grown by BFS.
+
+    This is the progressive-growth procedure of the paper's scalability test
+    (§4.3.4.5): "use breadth-first-search to progressively increase the network
+    size such that it includes a certain percentage of the total nodes".
+    Multiple BFS roots are used if one component is exhausted.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    target = max(1, int(round(fraction * graph.num_nodes)))
+    rng = np.random.default_rng(seed)
+    visited = np.zeros(graph.num_nodes, dtype=bool)
+    order: List[int] = []
+    while len(order) < target:
+        remaining = np.flatnonzero(~visited)
+        if remaining.size == 0:
+            break
+        root = int(rng.choice(remaining))
+        component = bfs_nodes(graph, [root], limit=target - len(order))
+        for v in component:
+            if not visited[v]:
+                visited[v] = True
+                order.append(v)
+    return graph.subgraph(order)
+
+
+def strongly_connected_components(graph: InfluenceGraph) -> List[List[int]]:
+    """Tarjan's SCC algorithm (iterative, stack-safe for large graphs)."""
+    n = graph.num_nodes
+    index_of = [-1] * n
+    lowlink = [0] * n
+    on_stack = [False] * n
+    stack: List[int] = []
+    components: List[List[int]] = []
+    counter = 0
+
+    for root in range(n):
+        if index_of[root] != -1:
+            continue
+        # iterative Tarjan: work stack of (node, iterator position)
+        work: List[List[int]] = [[root, 0]]
+        while work:
+            v, pos = work[-1]
+            if pos == 0:
+                index_of[v] = counter
+                lowlink[v] = counter
+                counter += 1
+                stack.append(v)
+                on_stack[v] = True
+            recursed = False
+            neighbors = graph.out_neighbors(v)
+            for i in range(pos, neighbors.shape[0]):
+                w = int(neighbors[i])
+                if index_of[w] == -1:
+                    work[-1][1] = i + 1
+                    work.append([w, 0])
+                    recursed = True
+                    break
+                if on_stack[w]:
+                    lowlink[v] = min(lowlink[v], index_of[w])
+            if recursed:
+                continue
+            work.pop()
+            if lowlink[v] == index_of[v]:
+                component: List[int] = []
+                while True:
+                    w = stack.pop()
+                    on_stack[w] = False
+                    component.append(w)
+                    if w == v:
+                        break
+                components.append(component)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[v])
+    return components
+
+
+def largest_scc(graph: InfluenceGraph) -> InfluenceGraph:
+    """Induced subgraph on the largest strongly connected component."""
+    components = strongly_connected_components(graph)
+    if not components:
+        return graph
+    biggest = max(components, key=len)
+    return graph.subgraph(sorted(biggest))

@@ -1,0 +1,236 @@
+"""Compact directed influence graph.
+
+The :class:`InfluenceGraph` is the substrate every diffusion and sampling
+routine in this reproduction runs on.  It stores a directed graph
+``G = (V, E, p)`` in compressed sparse row (CSR) form twice — once indexed by
+source node (for forward simulation of cascades) and once indexed by target
+node (for the reverse breadth-first searches that generate RR sets).  Edge
+influence probabilities ``p : E -> [0, 1]`` are stored alongside each copy.
+
+Nodes are integers ``0 .. n-1``.  Parallel edges are collapsed (keeping the
+maximum probability) and self loops are dropped, mirroring the preprocessing
+used by standard IM codebases.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence, Tuple
+
+import numpy as np
+
+Edge = Tuple[int, int, float]
+
+
+class InfluenceGraph:
+    """A directed graph with per-edge influence probabilities.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes ``n``; nodes are ``0 .. n-1``.
+    edges:
+        Iterable of ``(source, target, probability)`` triples.  Probabilities
+        must lie in ``[0, 1]``.  Self loops are ignored and duplicate edges are
+        merged keeping the largest probability.
+
+    Notes
+    -----
+    The graph is immutable after construction.  All heavy consumers
+    (Monte-Carlo diffusion, RR-set generation) read the private CSR arrays
+    directly for speed; user code should stick to the public accessors.
+    """
+
+    __slots__ = (
+        "_n",
+        "_out_indptr",
+        "_out_targets",
+        "_out_probs",
+        "_in_indptr",
+        "_in_sources",
+        "_in_probs",
+    )
+
+    def __init__(self, num_nodes: int, edges: Iterable[Edge]):
+        if num_nodes < 0:
+            raise ValueError(f"num_nodes must be non-negative, got {num_nodes}")
+        self._n = int(num_nodes)
+        src, dst, prob = _clean_edges(self._n, edges)
+        self._out_indptr, self._out_targets, self._out_probs = _build_csr(
+            self._n, src, dst, prob
+        )
+        self._in_indptr, self._in_sources, self._in_probs = _build_csr(
+            self._n, dst, src, prob
+        )
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``n``."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges ``m`` (after dedup / self-loop removal)."""
+        return int(self._out_targets.shape[0])
+
+    @property
+    def nodes(self) -> range:
+        """The node identifiers ``0 .. n-1``."""
+        return range(self._n)
+
+    def average_degree(self) -> float:
+        """Average out-degree ``m / n`` (0 for the empty graph)."""
+        if self._n == 0:
+            return 0.0
+        return self.num_edges / self._n
+
+    # ------------------------------------------------------------------
+    # Neighborhood accessors
+    # ------------------------------------------------------------------
+    def out_degree(self, u: int) -> int:
+        """Out-degree of node ``u``."""
+        self._check_node(u)
+        return int(self._out_indptr[u + 1] - self._out_indptr[u])
+
+    def in_degree(self, v: int) -> int:
+        """In-degree of node ``v``."""
+        self._check_node(v)
+        return int(self._in_indptr[v + 1] - self._in_indptr[v])
+
+    def out_neighbors(self, u: int) -> np.ndarray:
+        """Targets of edges leaving ``u`` (read-only view)."""
+        self._check_node(u)
+        return self._out_targets[self._out_indptr[u] : self._out_indptr[u + 1]]
+
+    def out_probabilities(self, u: int) -> np.ndarray:
+        """Probabilities of edges leaving ``u``, aligned with out_neighbors."""
+        self._check_node(u)
+        return self._out_probs[self._out_indptr[u] : self._out_indptr[u + 1]]
+
+    def in_neighbors(self, v: int) -> np.ndarray:
+        """Sources of edges entering ``v`` (read-only view)."""
+        self._check_node(v)
+        return self._in_sources[self._in_indptr[v] : self._in_indptr[v + 1]]
+
+    def in_probabilities(self, v: int) -> np.ndarray:
+        """Probabilities of edges entering ``v``, aligned with in_neighbors."""
+        self._check_node(v)
+        return self._in_probs[self._in_indptr[v] : self._in_indptr[v + 1]]
+
+    def edge_probability(self, u: int, v: int) -> float:
+        """Probability of edge ``(u, v)``; 0.0 if the edge is absent."""
+        neighbors = self.out_neighbors(u)
+        idx = np.searchsorted(neighbors, v)
+        if idx < neighbors.shape[0] and neighbors[idx] == v:
+            return float(self.out_probabilities(u)[idx])
+        return 0.0
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the directed edge ``(u, v)`` exists."""
+        neighbors = self.out_neighbors(u)
+        idx = np.searchsorted(neighbors, v)
+        return bool(idx < neighbors.shape[0] and neighbors[idx] == v)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over ``(source, target, probability)`` triples."""
+        for u in range(self._n):
+            start, end = self._out_indptr[u], self._out_indptr[u + 1]
+            for k in range(start, end):
+                yield (u, int(self._out_targets[k]), float(self._out_probs[k]))
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def reverse(self) -> "InfluenceGraph":
+        """The transpose graph (every edge reversed, probabilities kept)."""
+        return InfluenceGraph(
+            self._n, ((v, u, p) for (u, v, p) in self.edges())
+        )
+
+    def with_probabilities(self, probability: float) -> "InfluenceGraph":
+        """Copy of the graph with every edge probability replaced."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {probability}")
+        return InfluenceGraph(
+            self._n, ((u, v, probability) for (u, v, _) in self.edges())
+        )
+
+    def subgraph(self, nodes: Sequence[int]) -> "InfluenceGraph":
+        """Induced subgraph on ``nodes``, relabelled to ``0 .. len(nodes)-1``.
+
+        The order of ``nodes`` defines the relabelling.
+        """
+        node_list = list(dict.fromkeys(int(v) for v in nodes))
+        for v in node_list:
+            self._check_node(v)
+        index = {v: i for i, v in enumerate(node_list)}
+        kept = (
+            (index[u], index[v], p)
+            for (u, v, p) in self.edges()
+            if u in index and v in index
+        )
+        return InfluenceGraph(len(node_list), kept)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _check_node(self, v: int) -> None:
+        if not 0 <= v < self._n:
+            raise IndexError(f"node {v} out of range [0, {self._n})")
+
+    def __repr__(self) -> str:
+        return (
+            f"InfluenceGraph(num_nodes={self._n}, num_edges={self.num_edges})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, InfluenceGraph):
+            return NotImplemented
+        return (
+            self._n == other._n
+            and np.array_equal(self._out_indptr, other._out_indptr)
+            and np.array_equal(self._out_targets, other._out_targets)
+            and np.allclose(self._out_probs, other._out_probs)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hashing
+        return id(self)
+
+
+def _clean_edges(
+    n: int, edges: Iterable[Edge]
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Validate, drop self loops, and deduplicate an edge iterable."""
+    best: dict[Tuple[int, int], float] = {}
+    for u, v, p in edges:
+        u, v, p = int(u), int(v), float(p)
+        if not 0 <= u < n or not 0 <= v < n:
+            raise IndexError(f"edge ({u}, {v}) references node outside [0, {n})")
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"edge ({u}, {v}) has probability {p} outside [0, 1]")
+        if u == v:
+            continue
+        key = (u, v)
+        if p > best.get(key, -1.0):
+            best[key] = p
+    if not best:
+        empty_i = np.empty(0, dtype=np.int64)
+        return empty_i, empty_i.copy(), np.empty(0, dtype=np.float64)
+    src = np.fromiter((k[0] for k in best), dtype=np.int64, count=len(best))
+    dst = np.fromiter((k[1] for k in best), dtype=np.int64, count=len(best))
+    prob = np.fromiter(best.values(), dtype=np.float64, count=len(best))
+    return src, dst, prob
+
+
+def _build_csr(
+    n: int, rows: np.ndarray, cols: np.ndarray, vals: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Build CSR arrays (indptr, indices, values) sorted by (row, col)."""
+    order = np.lexsort((cols, rows))
+    rows, cols, vals = rows[order], cols[order], vals[order]
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.add.at(indptr, rows + 1, 1)
+    np.cumsum(indptr, out=indptr)
+    return indptr, cols.copy(), vals.copy()

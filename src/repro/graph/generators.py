@@ -1,0 +1,166 @@
+"""Synthetic graph generators.
+
+These generators produce the *topologies*; probability assignment is handled
+separately by :mod:`repro.graph.weighting`.  All generators are deterministic
+given a seed, which keeps tests and benchmarks reproducible.
+
+The preferential-attachment generator follows the Bollobás et al. directed
+scale-free construction in simplified form: it produces heavy-tailed in/out
+degree distributions comparable to the social networks used in the paper's
+evaluation (Table 2), which is what the RIS machinery's behaviour depends on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.digraph import InfluenceGraph
+from repro.graph.weighting import weighted_cascade
+
+Arc = Tuple[int, int]
+
+
+def erdos_renyi(
+    num_nodes: int,
+    avg_degree: float,
+    seed: int = 0,
+    directed: bool = True,
+) -> List[Arc]:
+    """G(n, p) arcs with expected average out-degree ``avg_degree``.
+
+    For ``directed=False`` every sampled undirected pair contributes arcs in
+    both directions, matching how IM work treats undirected social networks.
+    """
+    if num_nodes <= 1:
+        return []
+    rng = np.random.default_rng(seed)
+    m = int(round(avg_degree * num_nodes / (1 if directed else 2)))
+    m = max(m, 0)
+    src = rng.integers(0, num_nodes, size=2 * m + 16)
+    dst = rng.integers(0, num_nodes, size=2 * m + 16)
+    arcs: List[Arc] = []
+    seen = set()
+    for u, v in zip(src, dst):
+        if len(arcs) >= (m if directed else m):
+            break
+        u, v = int(u), int(v)
+        if u == v or (u, v) in seen:
+            continue
+        seen.add((u, v))
+        arcs.append((u, v))
+    if not directed:
+        arcs = arcs + [(v, u) for (u, v) in arcs]
+    return arcs
+
+
+def preferential_attachment(
+    num_nodes: int,
+    out_degree: int,
+    seed: int = 0,
+    directed: bool = True,
+) -> List[Arc]:
+    """Barabási–Albert-style arcs: each new node attaches to ``out_degree``
+    existing nodes chosen proportionally to their current degree.
+
+    Produces the heavy-tailed degree distribution characteristic of the
+    paper's datasets.  ``directed=False`` adds the reciprocal arc for every
+    attachment, yielding a symmetric (undirected-style) graph.
+    """
+    if num_nodes <= 0:
+        return []
+    rng = np.random.default_rng(seed)
+    k = max(1, min(out_degree, max(1, num_nodes - 1)))
+    arcs: List[Arc] = []
+    # repeated-nodes list implements degree-proportional sampling in O(1)
+    repeated: List[int] = list(range(min(k + 1, num_nodes)))
+    for new in range(len(repeated), num_nodes):
+        targets = set()
+        attempts = 0
+        while len(targets) < k and attempts < 10 * k:
+            pick = repeated[rng.integers(0, len(repeated))]
+            attempts += 1
+            if pick != new:
+                targets.add(pick)
+        for t in targets:
+            arcs.append((new, t))
+            repeated.append(t)
+        repeated.append(new)
+    if not directed:
+        arcs = arcs + [(v, u) for (u, v) in arcs]
+    return arcs
+
+
+def cycle_graph(num_nodes: int, probability: float = 1.0) -> InfluenceGraph:
+    """Directed cycle ``0 -> 1 -> ... -> n-1 -> 0`` with uniform probability."""
+    edges = (
+        (v, (v + 1) % num_nodes, probability) for v in range(num_nodes)
+    )
+    return InfluenceGraph(num_nodes, edges if num_nodes > 1 else [])
+
+
+def line_graph(num_nodes: int, probability: float = 1.0) -> InfluenceGraph:
+    """Directed path ``0 -> 1 -> ... -> n-1`` with uniform probability."""
+    edges = ((v, v + 1, probability) for v in range(num_nodes - 1))
+    return InfluenceGraph(num_nodes, edges)
+
+
+def star_graph(
+    num_leaves: int, probability: float = 1.0, outward: bool = True
+) -> InfluenceGraph:
+    """Star with hub node 0 and ``num_leaves`` leaves.
+
+    ``outward=True`` points edges hub -> leaf (hub is a natural seed);
+    otherwise leaf -> hub.
+    """
+    if outward:
+        edges = ((0, leaf, probability) for leaf in range(1, num_leaves + 1))
+    else:
+        edges = ((leaf, 0, probability) for leaf in range(1, num_leaves + 1))
+    return InfluenceGraph(num_leaves + 1, edges)
+
+
+def complete_graph(num_nodes: int, probability: float = 1.0) -> InfluenceGraph:
+    """Complete directed graph (both directions, no self loops)."""
+    edges = (
+        (u, v, probability)
+        for u in range(num_nodes)
+        for v in range(num_nodes)
+        if u != v
+    )
+    return InfluenceGraph(num_nodes, edges)
+
+
+def random_wc_graph(
+    num_nodes: int,
+    avg_degree: float,
+    seed: int = 0,
+    directed: bool = True,
+    heavy_tailed: bool = True,
+) -> InfluenceGraph:
+    """Convenience: synthetic topology + weighted-cascade probabilities.
+
+    This is the default workload graph across tests and benchmarks, mirroring
+    the paper's default edge-probability setting of ``1/in_degree(v)``.
+    """
+    if heavy_tailed:
+        arcs = preferential_attachment(
+            num_nodes,
+            max(1, int(round(avg_degree / (1 if directed else 2)))),
+            seed=seed,
+            directed=directed,
+        )
+    else:
+        arcs = erdos_renyi(num_nodes, avg_degree, seed=seed, directed=directed)
+    return weighted_cascade(num_nodes, arcs)
+
+
+def two_node_edge(probability: float = 1.0) -> InfluenceGraph:
+    """The 2-node graph ``v0 -> v1`` used by the paper's counterexamples."""
+    return InfluenceGraph(2, [(0, 1, probability)])
+
+
+def isolated_nodes(num_nodes: int) -> InfluenceGraph:
+    """Graph with no edges (used by single-node counterexamples)."""
+    return InfluenceGraph(num_nodes, [])

@@ -1,0 +1,91 @@
+"""Edge-list I/O.
+
+Supports the two formats common in IM research code:
+
+* weighted: ``u v p`` per line (whitespace separated)
+* unweighted: ``u v`` per line, with probabilities assigned afterwards by a
+  scheme from :mod:`repro.graph.weighting` (SNAP datasets ship this way).
+
+Lines starting with ``#`` or ``%`` are comments.  Node ids need not be
+contiguous; they are compacted to ``0 .. n-1`` preserving first-seen order,
+and the mapping is returned so callers can trace results back.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.graph.digraph import InfluenceGraph
+from repro.graph.weighting import weighted_cascade
+
+PathLike = Union[str, Path]
+
+
+def read_edge_list(
+    path: PathLike,
+    weighted: Optional[bool] = None,
+    default_scheme: str = "wc",
+) -> Tuple[InfluenceGraph, Dict[int, int]]:
+    """Read an edge list file into an :class:`InfluenceGraph`.
+
+    Parameters
+    ----------
+    path:
+        File to read.
+    weighted:
+        ``True`` for ``u v p`` lines, ``False`` for ``u v`` lines, ``None`` to
+        auto-detect from the first data line.
+    default_scheme:
+        Probability scheme for unweighted files (only ``"wc"`` supported here;
+        use :func:`repro.graph.weighting.reweight` for others).
+
+    Returns
+    -------
+    (graph, mapping):
+        The graph, plus a dict mapping original node ids to compact ids.
+    """
+    raw: List[Tuple[int, int, Optional[float]]] = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line or line[0] in "#%":
+                continue
+            parts = line.split()
+            if weighted is None:
+                weighted = len(parts) >= 3
+            if weighted:
+                if len(parts) < 3:
+                    raise ValueError(f"expected 'u v p' line, got: {line!r}")
+                raw.append((int(parts[0]), int(parts[1]), float(parts[2])))
+            else:
+                raw.append((int(parts[0]), int(parts[1]), None))
+
+    mapping: Dict[int, int] = {}
+    for u, v, _ in raw:
+        for node in (u, v):
+            if node not in mapping:
+                mapping[node] = len(mapping)
+    n = len(mapping)
+
+    if weighted:
+        graph = InfluenceGraph(
+            n, ((mapping[u], mapping[v], p) for u, v, p in raw)
+        )
+    else:
+        if default_scheme != "wc":
+            raise ValueError(
+                "unweighted files only support the 'wc' scheme at read time"
+            )
+        graph = weighted_cascade(
+            n, ((mapping[u], mapping[v]) for u, v, _ in raw)
+        )
+    return graph, mapping
+
+
+def write_edge_list(graph: InfluenceGraph, path: PathLike) -> None:
+    """Write the graph as weighted ``u v p`` lines."""
+    with open(path, "w") as f:
+        f.write(f"# nodes={graph.num_nodes} edges={graph.num_edges}\n")
+        for u, v, p in graph.edges():
+            f.write(f"{u} {v} {p:.10g}\n")

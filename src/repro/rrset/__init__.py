@@ -1,0 +1,42 @@
+"""Reverse-influence-sampling (RIS) substrate.
+
+Random reverse-reachable (RR) sets (:mod:`repro.rrset.rrgen`), the greedy
+max-coverage ``NodeSelection`` procedure (:mod:`repro.rrset.node_selection`),
+the IMM algorithm of Tang et al. with the Chen-2018 regeneration fix
+(:mod:`repro.rrset.imm`), its prefix-preserving multi-budget extension PRIMA —
+Algorithm 2 of the paper (:mod:`repro.rrset.prima`) — and the wider
+seed-selection landscape the paper discusses: TIM (used by the Com-IC
+baselines, :mod:`repro.rrset.tim`), SSA (:mod:`repro.rrset.ssa`), SKIM's
+bottom-k sketches (:mod:`repro.rrset.skim`), the classic CELF Monte-Carlo
+greedy (:mod:`repro.rrset.greedy_mc`) and the prefix-preserving influence
+oracle (:mod:`repro.rrset.oracle`).
+"""
+
+from repro.rrset.greedy_mc import GreedyMCResult, greedy_mc
+from repro.rrset.imm import IMMResult, imm
+from repro.rrset.node_selection import node_selection
+from repro.rrset.prima import PRIMAResult, prima
+from repro.rrset.oracle import InfluenceOracle
+from repro.rrset.rrgen import RRCollection, generate_rr_set
+from repro.rrset.skim import SKIMResult, skim
+from repro.rrset.ssa import SSAResult, ssa
+from repro.rrset.tim import TIMResult, tim
+
+__all__ = [
+    "GreedyMCResult",
+    "IMMResult",
+    "InfluenceOracle",
+    "PRIMAResult",
+    "RRCollection",
+    "SKIMResult",
+    "SSAResult",
+    "TIMResult",
+    "generate_rr_set",
+    "greedy_mc",
+    "imm",
+    "node_selection",
+    "prima",
+    "skim",
+    "ssa",
+    "tim",
+]

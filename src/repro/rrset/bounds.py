@@ -1,0 +1,102 @@
+"""Sample-size bounds shared by IMM and PRIMA.
+
+Implements Eq. (7) and Eq. (8) of the paper (which extend the bounding of
+IMM [51] with the union-bound factor ``ℓ′`` over the budget vector):
+
+    λ′_k = (2 + 2/3 ε′) (log C(n,k) + ℓ′ log n + log log₂ n) n / ε′²
+    λ*_k = 2n ((1 − 1/e) α + β_k)² ε⁻²
+    α    = sqrt(ℓ′ log n + log 2)
+    β_k  = sqrt((1 − 1/e)(log C(n,k) + ℓ′ log n + log 2))
+
+with ``ε′ = √2 · ε`` and ``log`` the natural logarithm.  PRIMA raises the
+failure probability bookkeeping by setting ``ℓ ← ℓ + log 2 / log n`` and then
+``ℓ′ = log_n(n^ℓ · |b|) = ℓ + log|b| / log n`` (Algorithm 2, line 2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def log_binomial(n: int, k: int) -> float:
+    """``log C(n, k)`` via lgamma; 0 for degenerate arguments."""
+    if k < 0 or k > n or n <= 0:
+        return 0.0
+    return (
+        math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+    )
+
+
+@dataclass(frozen=True)
+class SampleBounds:
+    """Precomputed quantities for one (graph size, ε, ℓ′) setting."""
+
+    n: int
+    epsilon: float
+    ell_prime: float
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ValueError(f"need at least 2 nodes, got {self.n}")
+        if self.epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {self.epsilon}")
+
+    @property
+    def epsilon_prime(self) -> float:
+        """``ε′ = √2 · ε``."""
+        return math.sqrt(2.0) * self.epsilon
+
+    @property
+    def alpha(self) -> float:
+        """``α = sqrt(ℓ′ log n + log 2)`` — budget independent."""
+        return math.sqrt(self.ell_prime * math.log(self.n) + math.log(2.0))
+
+    def beta(self, k: int) -> float:
+        """``β_k`` of Eq. (8)."""
+        gamma = 1.0 - 1.0 / math.e
+        return math.sqrt(
+            gamma
+            * (
+                log_binomial(self.n, k)
+                + self.ell_prime * math.log(self.n)
+                + math.log(2.0)
+            )
+        )
+
+    def lambda_prime(self, k: int) -> float:
+        """``λ′_k`` of Eq. (7) — drives the geometric search phase."""
+        eps_p = self.epsilon_prime
+        return (
+            (2.0 + 2.0 / 3.0 * eps_p)
+            * (
+                log_binomial(self.n, k)
+                + self.ell_prime * math.log(self.n)
+                + math.log(max(math.log2(self.n), 1.0))
+            )
+            * self.n
+            / (eps_p * eps_p)
+        )
+
+    def lambda_star(self, k: int) -> float:
+        """``λ*_k`` of Eq. (8) — drives the final sample size."""
+        gamma = 1.0 - 1.0 / math.e
+        term = gamma * self.alpha + self.beta(k)
+        return 2.0 * self.n * term * term / (self.epsilon * self.epsilon)
+
+    @property
+    def max_search_level(self) -> int:
+        """Largest ``i`` of the geometric search: ``log₂(n) − 1``."""
+        return max(1, int(math.floor(math.log2(self.n))) - 1)
+
+
+def adjusted_ell(ell: float, n: int) -> float:
+    """``ℓ + log 2 / log n`` — PRIMA's success-probability lift (line 2)."""
+    return ell + math.log(2.0) / math.log(n)
+
+
+def ell_prime_for(ell: float, n: int, num_budgets: int) -> float:
+    """``ℓ′ = log_n(n^ℓ · |b|)`` — the union bound over the budget vector."""
+    if num_budgets < 1:
+        raise ValueError(f"need at least one budget, got {num_budgets}")
+    return ell + math.log(num_budgets) / math.log(n)

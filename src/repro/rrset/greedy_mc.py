@@ -1,0 +1,89 @@
+"""Classic Monte-Carlo greedy influence maximization (Kempe et al. [30]).
+
+The original ``(1 − 1/e − ε)`` algorithm for IM: greedily add the node with
+the largest marginal Monte-Carlo spread estimate, with CELF lazy evaluation
+(Leskovec et al.) to skip re-estimations that cannot win.  IMM is "orders of
+magnitude faster" than this (§2.1); we implement it both as the historical
+baseline the RIS algorithms are measured against and as an independent
+cross-check of IMM/PRIMA seed quality in the tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.diffusion.ic import estimate_spread
+from repro.graph.digraph import InfluenceGraph
+
+
+@dataclass(frozen=True)
+class GreedyMCResult:
+    """Ordered seeds, their estimated spread, and evaluation counts."""
+
+    seeds: Tuple[int, ...]
+    spread: float
+    num_evaluations: int
+
+
+def greedy_mc(
+    graph: InfluenceGraph,
+    k: int,
+    num_samples: int = 100,
+    candidate_nodes: Optional[Sequence[int]] = None,
+    rng_seed: int = 0,
+) -> GreedyMCResult:
+    """Select ``k`` seeds by CELF-accelerated MC greedy.
+
+    Common random numbers (a fixed seed per evaluation) keep marginal
+    comparisons stable at moderate sample counts.  Cost is
+    ``O(evaluations × num_samples × cascade)`` — use candidate shortlists
+    beyond toy graphs.
+    """
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    nodes = (
+        list(range(graph.num_nodes))
+        if candidate_nodes is None
+        else [int(v) for v in candidate_nodes]
+    )
+    k = min(k, len(nodes))
+    if k == 0:
+        return GreedyMCResult(seeds=(), spread=0.0, num_evaluations=0)
+
+    def spread_of(seeds: List[int]) -> float:
+        return estimate_spread(
+            graph, seeds, num_samples, np.random.default_rng(rng_seed)
+        )
+
+    seeds: List[int] = []
+    current_spread = 0.0
+    evaluations = 0
+    heap: List[Tuple[float, int, int]] = []  # (-gain, node, round)
+    for node in nodes:
+        gain = spread_of([node])
+        evaluations += 1
+        heapq.heappush(heap, (-gain, node, 0))
+
+    round_id = 0
+    while heap and len(seeds) < k:
+        neg_gain, node, evaluated_round = heapq.heappop(heap)
+        if node in seeds:
+            continue
+        if evaluated_round != round_id:
+            gain = spread_of(seeds + [node]) - current_spread
+            evaluations += 1
+            heapq.heappush(heap, (-gain, node, round_id))
+            continue
+        seeds.append(node)
+        current_spread += -neg_gain
+        round_id += 1
+
+    return GreedyMCResult(
+        seeds=tuple(seeds),
+        spread=spread_of(seeds),
+        num_evaluations=evaluations + 1,
+    )

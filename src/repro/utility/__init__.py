@@ -1,0 +1,61 @@
+"""Utility substrate: items, valuations, prices, noise, blocks.
+
+Implements the economic half of the UIC model (§3.1 of the paper): itemsets as
+bitmasks, monotone supermodular valuation functions, additive prices, additive
+zero-mean noise, the combined utility function ``U = V - P + N``, the block
+generation process of §4.2.2.1 used by the paper's analysis, and the "real
+Param" learned from auction data (§4.3.4.1).
+"""
+
+from repro.utility.itemsets import (
+    full_mask,
+    item_count,
+    items_of,
+    iter_nonempty_subsets,
+    iter_subsets,
+    mask_of,
+    popcount,
+    subsets_between,
+)
+from repro.utility.model import UtilityModel
+from repro.utility.noise import GaussianNoise, NoiseModel, ZeroNoise
+from repro.utility.price import AdditivePrice, DiscountedBundlePrice
+from repro.utility.valuation import (
+    AdditiveValuation,
+    ConcaveOverAdditiveValuation,
+    ConeValuation,
+    LevelwiseValuation,
+    TableValuation,
+    ValuationFunction,
+    is_monotone,
+    is_supermodular,
+)
+from repro.utility.blocks import BlockPartition, generate_blocks, precedence_key
+
+__all__ = [
+    "AdditivePrice",
+    "AdditiveValuation",
+    "ConcaveOverAdditiveValuation",
+    "BlockPartition",
+    "ConeValuation",
+    "DiscountedBundlePrice",
+    "GaussianNoise",
+    "LevelwiseValuation",
+    "NoiseModel",
+    "TableValuation",
+    "UtilityModel",
+    "ValuationFunction",
+    "ZeroNoise",
+    "full_mask",
+    "generate_blocks",
+    "is_monotone",
+    "is_supermodular",
+    "item_count",
+    "items_of",
+    "iter_nonempty_subsets",
+    "iter_subsets",
+    "mask_of",
+    "popcount",
+    "precedence_key",
+    "subsets_between",
+]

@@ -1,0 +1,139 @@
+"""Simulated auction learning (substitute for the eBay bidding pipeline).
+
+§4.3.4.1 of the paper learns each itemset's value distribution from eBay
+bidding histories using the hidden-bid method of Jiang & Leyton-Brown [27],
+then sets the value to the learned mean and fits a zero-mean Gaussian with the
+learned variance as the item's noise.  The raw eBay histories are not
+available offline, so this module provides the closest synthetic equivalent
+that exercises the same code path:
+
+1. :func:`simulate_auctions` generates English-auction outcomes where each
+   bidder's private value is drawn from a ground-truth Gaussian and only the
+   *winning price* (the second-highest value, as in an English/Vickrey
+   auction) is observed — the "hidden bids" censoring of [27].
+2. :func:`learn_value_distribution` inverts the censoring: using Monte-Carlo
+   calibrated order-statistic moments of the Gaussian, it recovers the
+   ground-truth mean and standard deviation from observed winning prices.
+3. :func:`learn_item_parameters` packages the result the way the paper does:
+   value = learned mean, noise = zero-mean Gaussian with the learned sigma,
+   fitted to 10,000 samples of the learned distribution.
+
+Tests verify the pipeline round-trips (learned parameters close to ground
+truth), which is precisely the property the paper relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AuctionOutcome:
+    """One simulated auction: observed winning price and bidder count."""
+
+    winning_price: float
+    num_bidders: int
+
+
+@dataclass(frozen=True)
+class LearnedParameters:
+    """Learned value/noise parameters for one itemset."""
+
+    value: float
+    noise_std: float
+
+
+def simulate_auctions(
+    true_mean: float,
+    true_std: float,
+    num_auctions: int,
+    bidders_per_auction: int,
+    seed: int = 0,
+) -> Tuple[AuctionOutcome, ...]:
+    """Simulate English auctions with hidden bids.
+
+    Each auction draws ``bidders_per_auction`` private values i.i.d. from
+    ``N(true_mean, true_std^2)``; the recorded outcome is the second-highest
+    value (the price at which the last competitor drops out).  All other bids
+    are hidden — the observability model of [27].
+    """
+    if num_auctions <= 0:
+        raise ValueError(f"num_auctions must be positive, got {num_auctions}")
+    if bidders_per_auction < 2:
+        raise ValueError("an English auction needs at least 2 bidders")
+    rng = np.random.default_rng(seed)
+    values = rng.normal(
+        true_mean, true_std, size=(num_auctions, bidders_per_auction)
+    )
+    second_highest = np.sort(values, axis=1)[:, -2]
+    return tuple(
+        AuctionOutcome(float(p), bidders_per_auction) for p in second_highest
+    )
+
+
+@lru_cache(maxsize=64)
+def _second_order_statistic_moments(num_bidders: int) -> Tuple[float, float]:
+    """(mean, std) of the 2nd-highest of ``num_bidders`` standard normals.
+
+    Monte-Carlo calibrated with a fixed seed; cached per bidder count.  For
+    ``N(mu, sigma^2)`` values the observed winning prices then satisfy
+    ``mean_obs = mu + sigma * c`` and ``std_obs = sigma * d``.
+    """
+    rng = np.random.default_rng(987654321)
+    draws = rng.standard_normal(size=(200_000, num_bidders))
+    second = np.sort(draws, axis=1)[:, -2]
+    return float(second.mean()), float(second.std())
+
+
+def learn_value_distribution(
+    outcomes: Sequence[AuctionOutcome],
+) -> LearnedParameters:
+    """Recover (mean, std) of the bidders' value distribution.
+
+    Inverts the second-order-statistic censoring using the calibrated moments
+    of :func:`_second_order_statistic_moments`.  All auctions must share one
+    bidder count (as when scraping one listing category).
+    """
+    if not outcomes:
+        raise ValueError("need at least one auction outcome")
+    counts = {o.num_bidders for o in outcomes}
+    if len(counts) != 1:
+        raise ValueError(
+            f"mixed bidder counts not supported, got {sorted(counts)}"
+        )
+    num_bidders = counts.pop()
+    prices = np.array([o.winning_price for o in outcomes], dtype=np.float64)
+    c, d = _second_order_statistic_moments(num_bidders)
+    observed_std = float(prices.std())
+    sigma = observed_std / d if d > 0 else 0.0
+    mu = float(prices.mean()) - sigma * c
+    return LearnedParameters(value=mu, noise_std=max(sigma, 0.0))
+
+
+def learn_item_parameters(
+    true_mean: float,
+    true_std: float,
+    num_auctions: int = 200,
+    bidders_per_auction: int = 8,
+    gaussian_fit_samples: int = 10_000,
+    seed: int = 0,
+) -> LearnedParameters:
+    """End-to-end pipeline mirroring §4.3.4.1.
+
+    Simulates auctions, learns the value distribution, then — exactly as the
+    paper describes — takes the mean as the value and fits a Gaussian to
+    ``gaussian_fit_samples`` independent samples of the learned distribution
+    to obtain the zero-mean noise's sigma.
+    """
+    outcomes = simulate_auctions(
+        true_mean, true_std, num_auctions, bidders_per_auction, seed=seed
+    )
+    learned = learn_value_distribution(outcomes)
+    rng = np.random.default_rng(seed + 1)
+    samples = rng.normal(learned.value, learned.noise_std, gaussian_fit_samples)
+    fitted_std = float(samples.std())
+    return LearnedParameters(value=learned.value, noise_std=fitted_std)

@@ -1,0 +1,250 @@
+"""Block accounting (§4.2.2 of the paper).
+
+Given a noise world, the analysis of bundleGRD partitions the max-utility
+itemset ``I*`` into a sequence of *blocks*, each with non-negative marginal
+utility w.r.t. the union of its predecessors, scanning candidate subsets in a
+specific *precedence order* ≺ (Fig. 3).  From the block sequence the analysis
+derives marginal gains ``Δ_i`` (Eq. 4), *anchor blocks*, *anchor items* and
+*effective budgets* ``e_i``.
+
+The block generation process is used only in the paper's proof, not in the
+algorithm — we implement it so the proof's structures (Properties 1–3,
+Lemmas 4–7) can be validated programmatically, which the test suite does.
+
+Indexing convention
+-------------------
+The paper renumbers the items of ``I*`` as ``i1, i2, ...`` in non-increasing
+budget order (``b1 ≥ b2 ≥ ...``), breaking budget ties by original index for
+determinism.  The precedence order then compares two subsets by their items'
+indices from highest to lowest (two rules in §4.2.2.1).  That comparison is
+*exactly* integer order on bitmasks where bit ``j`` stands for item ``i_{j+1}``
+— e.g. with three items the order is {i1}, {i2}, {i1,i2}, {i3}, {i1,i3},
+{i2,i3}, {i1,i2,i3} = masks 1..7, matching the paper's Example 1.  A test
+cross-checks integer order against a literal transcription of the two rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.utility.itemsets import Mask, items_of, mask_of
+
+
+def precedence_key(sorted_space_mask: Mask) -> int:
+    """Sort key realizing the paper's precedence order ≺.
+
+    ``sorted_space_mask`` uses the budget-sorted indexing (bit ``j`` = item
+    with the (j+1)-th largest budget).  The key is the mask itself: integer
+    order coincides with the two comparison rules of §4.2.2.1.
+    """
+    return sorted_space_mask
+
+
+def precedence_compare_literal(s: Mask, t: Mask) -> int:
+    """Literal transcription of the paper's two comparison rules.
+
+    Returns -1 if ``S ≺ T``, 1 if ``T ≺ S``, 0 if equal.  Used only to verify
+    :func:`precedence_key`; ``precedence_key`` is what the scanner uses.
+    """
+    if s == t:
+        return 0
+    s_items = sorted(items_of(s), reverse=True)
+    t_items = sorted(items_of(t), reverse=True)
+    for a, b in zip(s_items, t_items):
+        if a != b:
+            return -1 if a < b else 1  # rule 2: lower current index first
+    # rule 1: the exhausted (shorter) sequence comes first
+    return -1 if len(s_items) < len(t_items) else 1
+
+
+@dataclass(frozen=True)
+class BlockPartition:
+    """The result of the block generation process for one noise world.
+
+    All masks are in *original* item indexing.  ``order`` maps sorted position
+    ``j`` (the paper's item ``i_{j+1}``) to the original item index.
+    """
+
+    istar: Mask
+    order: Tuple[int, ...]
+    blocks: Tuple[Mask, ...]
+    deltas: Tuple[float, ...]
+    anchor_block_index: Tuple[int, ...]
+    anchor_items: Tuple[int, ...]
+    effective_budgets: Tuple[int, ...]
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of blocks ``t`` in the partition."""
+        return len(self.blocks)
+
+    def prefix_union(self, i: int) -> Mask:
+        """Union ``B_1 ∪ ... ∪ B_i`` (``i`` blocks; ``i=0`` gives ∅)."""
+        mask = 0
+        for block in self.blocks[:i]:
+            mask |= block
+        return mask
+
+    def subset_deltas(self, subset: Mask, utility_table: np.ndarray) -> List[float]:
+        """Property 3 accounting: ``Δ^A_i`` for ``A_i = A ∩ B_i``.
+
+        ``Δ^A_i = U(A_i | A_1 ∪ ... ∪ A_{i-1})``; the paper shows
+        ``Δ^A_i ≤ Δ_i`` and ``Σ_i Δ^A_i = U(A)`` for any ``A ⊆ I*``.
+        """
+        if subset & ~self.istar:
+            raise ValueError("subset must be contained in I*")
+        deltas = []
+        prefix = 0
+        for block in self.blocks:
+            part = subset & block
+            deltas.append(
+                float(utility_table[prefix | part] - utility_table[prefix])
+            )
+            prefix |= part
+        return deltas
+
+
+def budget_sorted_order(istar: Mask, budgets: Sequence[int]) -> Tuple[int, ...]:
+    """Items of ``I*`` in non-increasing budget order (ties by item index)."""
+    items = items_of(istar)
+    return tuple(sorted(items, key=lambda i: (-int(budgets[i]), i)))
+
+
+def generate_blocks(
+    utility_table: np.ndarray,
+    budgets: Sequence[int],
+    istar: Mask,
+) -> BlockPartition:
+    """Run the block generation process of Fig. 3.
+
+    Parameters
+    ----------
+    utility_table:
+        Per-mask utilities ``U_{W^N}`` of the noise world (original indexing),
+        as produced by :meth:`repro.utility.model.UtilityModel.utility_table`.
+    budgets:
+        Per-item seed budgets ``b_i`` (original indexing; covers the full
+        universe, not just ``I*``).
+    istar:
+        The max-utility itemset ``I*`` of the noise world.
+
+    Returns
+    -------
+    BlockPartition
+        Blocks, marginal gains, anchors and effective budgets.
+
+    Notes
+    -----
+    The scan enumerates candidate subsets in precedence order — ascending
+    bitmask integers in budget-sorted index space — skipping subsets that
+    overlap already-selected blocks, restarting after each selection exactly
+    as Fig. 3 prescribes.  Because ``I*`` is a local maximum, every pass finds
+    a block, so the process terminates with a partition of ``I*``.
+    """
+    if istar == 0:
+        return BlockPartition(
+            istar=0,
+            order=(),
+            blocks=(),
+            deltas=(),
+            anchor_block_index=(),
+            anchor_items=(),
+            effective_budgets=(),
+        )
+    order = budget_sorted_order(istar, budgets)
+    t = len(order)
+    # original-space mask of a sorted-space mask
+    to_original = [0] * (1 << t)
+    for sorted_mask in range(1 << t):
+        mask = 0
+        m = sorted_mask
+        j = 0
+        while m:
+            if m & 1:
+                mask |= 1 << order[j]
+            m >>= 1
+            j += 1
+        to_original[sorted_mask] = mask
+
+    blocks_sorted: List[Mask] = []
+    union_sorted = 0
+    union_original = 0
+    full = (1 << t) - 1
+    while union_sorted != full:
+        selected = None
+        for candidate in range(1, full + 1):
+            if candidate & union_sorted:
+                continue
+            cand_original = to_original[candidate]
+            marginal = (
+                utility_table[union_original | cand_original]
+                - utility_table[union_original]
+            )
+            if marginal >= -1e-12:
+                selected = candidate
+                break
+        if selected is None:
+            raise RuntimeError(
+                "block generation found no candidate with non-negative "
+                "marginal utility; I* is not a local maximum of the table"
+            )
+        blocks_sorted.append(selected)
+        union_sorted |= selected
+        union_original |= to_original[selected]
+
+    # Marginal gains Δ_i (Eq. 4).
+    deltas: List[float] = []
+    prefix = 0
+    blocks_original: List[Mask] = []
+    for block_sorted in blocks_sorted:
+        block = to_original[block_sorted]
+        blocks_original.append(block)
+        deltas.append(float(utility_table[prefix | block] - utility_table[prefix]))
+        prefix |= block
+
+    # Anchors: the anchor block of B_i is the block among B_1..B_i with the
+    # minimum block budget (block budget = min item budget in the block),
+    # ties toward the highest block index.  The anchor item is the highest
+    # sorted-indexed (= minimum budget) item of the anchor block.
+    block_budgets = [
+        min(int(budgets[item]) for item in items_of(block))
+        for block in blocks_original
+    ]
+    anchor_index: List[int] = []
+    anchor_items: List[int] = []
+    effective: List[int] = []
+    for i in range(len(blocks_original)):
+        best_j = 0
+        for j in range(i + 1):
+            if block_budgets[j] <= block_budgets[best_j]:
+                best_j = j  # <= keeps the highest index on ties
+        anchor_index.append(best_j)
+        anchor_block = blocks_original[best_j]
+        # highest sorted index = latest position in `order`
+        positions = {item: pos for pos, item in enumerate(order)}
+        anchor_item = max(items_of(anchor_block), key=lambda it: positions[it])
+        anchor_items.append(anchor_item)
+        effective.append(
+            min(int(budgets[item]) for item in items_of(prefix_union(blocks_original, i + 1)))
+        )
+
+    return BlockPartition(
+        istar=istar,
+        order=order,
+        blocks=tuple(blocks_original),
+        deltas=tuple(deltas),
+        anchor_block_index=tuple(anchor_index),
+        anchor_items=tuple(anchor_items),
+        effective_budgets=tuple(effective),
+    )
+
+
+def prefix_union(blocks: Sequence[Mask], count: int) -> Mask:
+    """Union of the first ``count`` blocks."""
+    mask = 0
+    for block in blocks[:count]:
+        mask |= block
+    return mask

@@ -1,0 +1,118 @@
+"""Itemsets as integer bitmasks.
+
+The universe of items ``I`` is indexed ``0 .. k-1`` and an itemset is the
+integer whose bit ``j`` is set iff item ``j`` is present.  With the paper's
+experiments using at most ten items, exact enumeration over the ``2^k``
+subsets (the adoption rule, the block generation process, the valuation
+constructions) is cheap, and bitmask arithmetic keeps the inner loops of the
+diffusion simulator allocation-free.
+
+A note on indexing: the paper numbers items ``i1, i2, ...`` in non-increasing
+budget order, with ``i1`` the largest budget.  Internally we use 0-based
+indices; modules that depend on budget order (:mod:`repro.utility.blocks`)
+sort explicitly and document the correspondence.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Tuple
+
+Mask = int
+
+#: The empty itemset.
+EMPTY: Mask = 0
+
+
+def mask_of(items: Iterable[int]) -> Mask:
+    """Bitmask of an iterable of item indices."""
+    mask = 0
+    for item in items:
+        if item < 0:
+            raise ValueError(f"item index must be non-negative, got {item}")
+        mask |= 1 << item
+    return mask
+
+
+def items_of(mask: Mask) -> Tuple[int, ...]:
+    """Sorted tuple of item indices present in ``mask``."""
+    items = []
+    index = 0
+    m = mask
+    while m:
+        if m & 1:
+            items.append(index)
+        m >>= 1
+        index += 1
+    return tuple(items)
+
+
+def popcount(mask: Mask) -> int:
+    """Number of items in the itemset."""
+    return mask.bit_count()
+
+
+def item_count(num_items: int) -> range:
+    """Range over item indices for a universe of ``num_items`` items."""
+    return range(num_items)
+
+
+def full_mask(num_items: int) -> Mask:
+    """The itemset containing every item of a ``num_items`` universe."""
+    return (1 << num_items) - 1
+
+
+def contains(mask: Mask, item: int) -> bool:
+    """Whether ``item`` is in the itemset."""
+    return bool(mask >> item & 1)
+
+
+def is_subset(a: Mask, b: Mask) -> bool:
+    """Whether itemset ``a`` is a subset of itemset ``b``."""
+    return a & ~b == 0
+
+
+def iter_subsets(mask: Mask) -> Iterator[Mask]:
+    """All subsets of ``mask`` including the empty set, ascending by value.
+
+    Uses the standard subset-enumeration trick ``sub = (sub - mask) & mask``.
+    """
+    sub = 0
+    while True:
+        yield sub
+        if sub == mask:
+            return
+        sub = (sub - mask) & mask
+
+
+def iter_nonempty_subsets(mask: Mask) -> Iterator[Mask]:
+    """All non-empty subsets of ``mask``, ascending by integer value."""
+    for sub in iter_subsets(mask):
+        if sub:
+            yield sub
+
+
+def subsets_between(lower: Mask, upper: Mask) -> Iterator[Mask]:
+    """All itemsets ``T`` with ``lower ⊆ T ⊆ upper``.
+
+    This is the search space of the adoption rule: supersets of the already
+    adopted set within the desire set.  Raises if ``lower ⊄ upper``.
+    """
+    if lower & ~upper:
+        raise ValueError(
+            f"lower mask {lower:#b} is not a subset of upper mask {upper:#b}"
+        )
+    free = upper & ~lower
+    for sub in iter_subsets(free):
+        yield lower | sub
+
+
+def subsets_of_size(mask: Mask, size: int) -> Iterator[Mask]:
+    """All subsets of ``mask`` with exactly ``size`` items."""
+    items = items_of(mask)
+    if size < 0 or size > len(items):
+        return
+    # Gosper-style enumeration over index combinations.
+    import itertools
+
+    for combo in itertools.combinations(items, size):
+        yield mask_of(combo)

@@ -1,0 +1,122 @@
+"""Additive prices.
+
+The paper assumes prices are additive: ``P(I) = Σ_{i∈I} P(i)`` with
+``P(i) > 0`` (§3.1).  Zero prices are tolerated because the paper's own
+NP-hardness reduction (Proposition 1) sets ``P(i) = 0``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.utility.itemsets import Mask
+
+
+class AdditivePrice:
+    """Per-item prices, summed over itemsets."""
+
+    def __init__(self, item_prices: Sequence[float]):
+        prices = np.asarray(item_prices, dtype=np.float64)
+        if np.any(prices < 0):
+            raise ValueError("item prices must be non-negative")
+        self._prices = prices
+
+    @property
+    def num_items(self) -> int:
+        """Size of the item universe."""
+        return int(self._prices.shape[0])
+
+    def item_price(self, item: int) -> float:
+        """Price of a single item."""
+        return float(self._prices[item])
+
+    def price(self, mask: Mask) -> float:
+        """Total price of the itemset ``mask``."""
+        total = 0.0
+        index = 0
+        m = mask
+        while m:
+            if m & 1:
+                total += self._prices[index]
+            m >>= 1
+            index += 1
+        return float(total)
+
+    def as_array(self) -> np.ndarray:
+        """Per-item prices as a read-only numpy array."""
+        view = self._prices.view()
+        view.flags.writeable = False
+        return view
+
+    def __call__(self, mask: Mask) -> float:
+        return self.price(mask)
+
+    def __repr__(self) -> str:
+        return f"AdditivePrice({self._prices.tolist()})"
+
+
+class DiscountedBundlePrice:
+    """Submodular bundle pricing: additive minus a per-extra-item discount.
+
+    ``P(I) = Σ_{i∈I} P(i) − discount · (|I| − 1)`` for ``|I| ≥ 1`` (the
+    discount rewards buying bundles).  The paper's §5 notes that submodular
+    prices "would further favor item bundling ... utility remains
+    supermodular and our results remain intact"; this class realizes that
+    extension.  ``discount`` must not exceed the smallest item price, which
+    keeps the function monotone and non-negative.
+    """
+
+    def __init__(self, item_prices: Sequence[float], discount: float):
+        prices = np.asarray(item_prices, dtype=np.float64)
+        if np.any(prices < 0):
+            raise ValueError("item prices must be non-negative")
+        if discount < 0:
+            raise ValueError(f"discount must be non-negative, got {discount}")
+        if prices.size and discount > float(prices.min()) + 1e-12:
+            raise ValueError(
+                f"discount {discount} exceeds the smallest item price "
+                f"{prices.min()}; price would stop being monotone"
+            )
+        self._prices = prices
+        self._discount = float(discount)
+
+    @property
+    def num_items(self) -> int:
+        """Size of the item universe."""
+        return int(self._prices.shape[0])
+
+    @property
+    def discount(self) -> float:
+        """The per-extra-item bundle discount."""
+        return self._discount
+
+    def item_price(self, item: int) -> float:
+        """Price of a single item (no discount applies)."""
+        return float(self._prices[item])
+
+    def price(self, mask: Mask) -> float:
+        """Discounted total price of the itemset ``mask``."""
+        total = 0.0
+        count = 0
+        index = 0
+        m = mask
+        while m:
+            if m & 1:
+                total += self._prices[index]
+                count += 1
+            m >>= 1
+            index += 1
+        if count >= 2:
+            total -= self._discount * (count - 1)
+        return float(total)
+
+    def __call__(self, mask: Mask) -> float:
+        return self.price(mask)
+
+    def __repr__(self) -> str:
+        return (
+            f"DiscountedBundlePrice({self._prices.tolist()}, "
+            f"discount={self._discount})"
+        )

@@ -1,0 +1,356 @@
+"""Valuation functions over itemsets.
+
+The UIC model assumes a monotone, supermodular valuation ``V`` with
+``V(∅) = 0`` (§3.1).  This module provides:
+
+* :class:`AdditiveValuation` — modular values (Configuration 5),
+* :class:`TableValuation` — explicit per-itemset values (the two-item
+  configurations of Table 3, and the learned "real Param" of Table 5),
+* :class:`ConeValuation` — a core item unlocks value; all supersets of the
+  core have positive utility (Configurations 6 and 7),
+* :class:`LevelwiseValuation` — the random level-wise construction of
+  Configuration 8 (Eq. 13), proven supermodular in the paper's Lemma 10,
+
+plus :func:`is_monotone` / :func:`is_supermodular` exact checkers used by the
+property-based tests and by :class:`TableValuation` validation.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.utility.itemsets import (
+    Mask,
+    full_mask,
+    items_of,
+    iter_subsets,
+    mask_of,
+    popcount,
+)
+
+
+class ValuationFunction(abc.ABC):
+    """A set function ``V : 2^I -> R`` with ``V(∅) = 0``."""
+
+    def __init__(self, num_items: int):
+        if num_items < 0:
+            raise ValueError(f"num_items must be non-negative, got {num_items}")
+        self._num_items = num_items
+
+    @property
+    def num_items(self) -> int:
+        """Size of the item universe ``|I|``."""
+        return self._num_items
+
+    @abc.abstractmethod
+    def value(self, mask: Mask) -> float:
+        """Valuation of the itemset ``mask``."""
+
+    def marginal(self, item_mask: Mask, base: Mask) -> float:
+        """Marginal value ``V(item_mask | base) = V(base ∪ item_mask) - V(base)``."""
+        return self.value(base | item_mask) - self.value(base)
+
+    def table(self) -> Dict[Mask, float]:
+        """Materialize the full valuation table (2^k entries)."""
+        top = full_mask(self._num_items)
+        return {mask: self.value(mask) for mask in iter_subsets(top)}
+
+    def __call__(self, mask: Mask) -> float:
+        return self.value(mask)
+
+
+class AdditiveValuation(ValuationFunction):
+    """Modular valuation: ``V(I) = Σ_{i∈I} v_i``."""
+
+    def __init__(self, item_values: Sequence[float]):
+        super().__init__(len(item_values))
+        self._values = np.asarray(item_values, dtype=np.float64)
+
+    def value(self, mask: Mask) -> float:
+        total = 0.0
+        index = 0
+        m = mask
+        while m:
+            if m & 1:
+                total += self._values[index]
+            m >>= 1
+            index += 1
+        return float(total)
+
+
+class TableValuation(ValuationFunction):
+    """Explicit valuation given as a mapping from itemset to value.
+
+    Parameters
+    ----------
+    num_items:
+        Universe size.
+    values:
+        Mapping from itemset mask (or iterable of item indices) to value.
+        ``V(∅)`` is forced to 0.  Missing masks raise at lookup unless
+        ``default_additive`` items are provided to fill gaps.
+    validate:
+        One of ``None`` (no checks), ``"monotone"``, or ``"supermodular"``
+        (implies monotone).  Raises ``ValueError`` when the table violates the
+        requested property.
+    """
+
+    def __init__(
+        self,
+        num_items: int,
+        values: Mapping[object, float],
+        validate: Optional[str] = "supermodular",
+    ):
+        super().__init__(num_items)
+        self._table: Dict[Mask, float] = {0: 0.0}
+        for key, val in values.items():
+            mask = key if isinstance(key, int) else mask_of(key)
+            if mask < 0 or mask > full_mask(num_items):
+                raise ValueError(f"mask {mask} outside universe of {num_items} items")
+            self._table[mask] = float(val)
+        self._table[0] = 0.0
+        missing = [
+            mask
+            for mask in iter_subsets(full_mask(num_items))
+            if mask not in self._table
+        ]
+        if missing:
+            raise ValueError(
+                f"valuation table incomplete: {len(missing)} itemsets missing, "
+                f"first missing mask = {missing[0]:#b}"
+            )
+        if validate == "monotone":
+            if not is_monotone(self):
+                raise ValueError("valuation table is not monotone")
+        elif validate == "supermodular":
+            if not is_monotone(self):
+                raise ValueError("valuation table is not monotone")
+            if not is_supermodular(self):
+                raise ValueError("valuation table is not supermodular")
+        elif validate is not None:
+            raise ValueError(f"unknown validate mode: {validate!r}")
+
+    def value(self, mask: Mask) -> float:
+        return self._table[mask]
+
+
+class ConeValuation(ValuationFunction):
+    """Core-item valuation (Configurations 6 and 7).
+
+    A designated *core* item is necessary for any value: itemsets without it
+    are worth 0.  With the core present, the value is chosen so that the
+    deterministic utility of the core alone is ``core_utility`` and each
+    additional item adds ``addon_utility`` on top of its price:
+
+        V({core} ∪ A) = P(core) + core_utility + Σ_{i∈A} (P(i) + addon_utility)
+
+    All supersets of the core thus have positive utility and everything else
+    negative (given positive prices), forming a "cone" in the itemset lattice.
+    The function is monotone and (weakly) supermodular.
+    """
+
+    def __init__(
+        self,
+        prices: Sequence[float],
+        core_item: int,
+        core_utility: float = 5.0,
+        addon_utility: float = 2.0,
+    ):
+        super().__init__(len(prices))
+        if not 0 <= core_item < len(prices):
+            raise ValueError(f"core_item {core_item} outside universe")
+        self._prices = np.asarray(prices, dtype=np.float64)
+        self._core = core_item
+        self._core_utility = float(core_utility)
+        self._addon_utility = float(addon_utility)
+
+    @property
+    def core_item(self) -> int:
+        """Index of the core item."""
+        return self._core
+
+    def value(self, mask: Mask) -> float:
+        if not mask >> self._core & 1:
+            return 0.0
+        total = self._prices[self._core] + self._core_utility
+        for item in items_of(mask):
+            if item != self._core:
+                total += self._prices[item] + self._addon_utility
+        return float(total)
+
+
+class LevelwiseValuation(ValuationFunction):
+    """The random level-wise supermodular construction of Configuration 8.
+
+    Level 1 values are given.  For level ``t > 1`` and itemset ``A_t``, for
+    each ``i ∈ A_t`` a uniform boost ``ε ~ U[lo, hi]`` is drawn and
+
+        V(i | A_t \\ {i}) = max_{B ⊆ A_t \\ {i}, |B| = t-2} { V(i | B) } + ε
+        V(A_t) = max_{i ∈ A_t} { V(A_t \\ {i}) + V(i | A_t \\ {i}) }
+
+    following Eq. (13).  Lemma 10 proves the result supermodular and Lemma 11
+    that it is well defined; we validate both in tests.
+
+    The full table is materialized at construction (it must be: values are
+    random), so this class is intended for small universes (k ≤ ~12).
+    """
+
+    def __init__(
+        self,
+        level1_values: Sequence[float],
+        boost_range: tuple = (1.0, 5.0),
+        seed: int = 0,
+    ):
+        super().__init__(len(level1_values))
+        k = len(level1_values)
+        if k > 16:
+            raise ValueError("LevelwiseValuation supports at most 16 items")
+        lo, hi = float(boost_range[0]), float(boost_range[1])
+        if lo > hi or lo < 0:
+            raise ValueError(f"invalid boost range: {boost_range}")
+        rng = np.random.default_rng(seed)
+        table: Dict[Mask, float] = {0: 0.0}
+        # marginal[(item, base_mask)] = V(item | base_mask)
+        marginal: Dict[tuple, float] = {}
+        for i in range(k):
+            table[1 << i] = float(level1_values[i])
+            marginal[(i, 0)] = float(level1_values[i])
+        top = full_mask(k)
+        by_level: Dict[int, list] = {}
+        for mask in iter_subsets(top):
+            by_level.setdefault(popcount(mask), []).append(mask)
+        for t in range(2, k + 1):
+            for mask in sorted(by_level.get(t, [])):
+                candidates = []
+                for i in items_of(mask):
+                    rest = mask & ~(1 << i)
+                    # max marginal of i over (t-2)-subsets of rest, plus boost
+                    best = max(
+                        marginal[(i, b)]
+                        for b in _subsets_of_size(rest, t - 2)
+                    )
+                    m_i = best + float(rng.uniform(lo, hi))
+                    marginal[(i, rest)] = m_i
+                    candidates.append(table[rest] + m_i)
+                table[mask] = max(candidates)
+        self._table = table
+
+    def value(self, mask: Mask) -> float:
+        return self._table[mask]
+
+
+class ConcaveOverAdditiveValuation(ValuationFunction):
+    """Submodular valuation for *competing* (substitute) items — the §5
+    direction ("we could study competition using submodular value functions").
+
+    ``V(I) = scale · (Σ_{i∈I} v_i)^exponent`` with ``exponent ∈ (0, 1]``:
+    concave over an additive base, hence monotone and submodular.  Under such
+    a valuation the marginal value of an item *shrinks* as a user owns more,
+    so the adoption rule naturally stops at the profitable prefix — items
+    compete for the user's budget instead of complementing each other.
+
+    Note the paper's approximation guarantee (Theorem 2) does not apply to
+    submodular valuations; the UIC simulator runs them regardless (the
+    adoption rule's tie-break falls back gracefully off the supermodular
+    regime), which is what makes the competitive setting explorable.
+    """
+
+    def __init__(
+        self,
+        item_values: Sequence[float],
+        exponent: float = 0.5,
+        scale: float = 1.0,
+    ):
+        super().__init__(len(item_values))
+        values = np.asarray(item_values, dtype=np.float64)
+        if np.any(values < 0):
+            raise ValueError("item values must be non-negative")
+        if not 0.0 < exponent <= 1.0:
+            raise ValueError(f"exponent must be in (0, 1], got {exponent}")
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        self._values = values
+        self._exponent = float(exponent)
+        self._scale = float(scale)
+
+    def value(self, mask: Mask) -> float:
+        total = 0.0
+        index = 0
+        m = mask
+        while m:
+            if m & 1:
+                total += self._values[index]
+            m >>= 1
+            index += 1
+        if total <= 0.0:
+            return 0.0
+        return float(self._scale * total**self._exponent)
+
+
+def _subsets_of_size(mask: Mask, size: int) -> Iterable[Mask]:
+    import itertools
+
+    items = items_of(mask)
+    if size == 0:
+        return (0,)
+    return (mask_of(c) for c in itertools.combinations(items, size))
+
+
+def is_monotone(valuation: ValuationFunction, tol: float = 1e-9) -> bool:
+    """Exact monotonicity check: ``V(S) ≤ V(S ∪ {x})`` for all ``S, x``."""
+    top = full_mask(valuation.num_items)
+    for mask in iter_subsets(top):
+        base = valuation.value(mask)
+        for x in range(valuation.num_items):
+            if mask >> x & 1:
+                continue
+            if valuation.value(mask | 1 << x) < base - tol:
+                return False
+    return True
+
+
+def is_supermodular(valuation: ValuationFunction, tol: float = 1e-9) -> bool:
+    """Exact supermodularity check via the local pairwise criterion.
+
+    ``f`` is supermodular iff for every mask ``A`` and distinct ``x, y ∉ A``:
+    ``f(A+x+y) - f(A+y) ≥ f(A+x) - f(A)``.
+    """
+    top = full_mask(valuation.num_items)
+    for mask in iter_subsets(top):
+        for x in range(valuation.num_items):
+            if mask >> x & 1:
+                continue
+            gain_x = valuation.value(mask | 1 << x) - valuation.value(mask)
+            for y in range(x + 1, valuation.num_items):
+                if mask >> y & 1 or y == x:
+                    continue
+                with_y = mask | 1 << y
+                gain_x_given_y = valuation.value(with_y | 1 << x) - valuation.value(
+                    with_y
+                )
+                if gain_x_given_y < gain_x - tol:
+                    return False
+    return True
+
+
+def is_submodular(valuation: ValuationFunction, tol: float = 1e-9) -> bool:
+    """Exact submodularity check (reverse inequality of supermodularity)."""
+    top = full_mask(valuation.num_items)
+    for mask in iter_subsets(top):
+        for x in range(valuation.num_items):
+            if mask >> x & 1:
+                continue
+            gain_x = valuation.value(mask | 1 << x) - valuation.value(mask)
+            for y in range(x + 1, valuation.num_items):
+                if mask >> y & 1 or y == x:
+                    continue
+                with_y = mask | 1 << y
+                gain_x_given_y = valuation.value(with_y | 1 << x) - valuation.value(
+                    with_y
+                )
+                if gain_x_given_y > gain_x + tol:
+                    return False
+    return True

@@ -1,0 +1,38 @@
+"""Validation utilities: assumption checkers and the paper's counterexamples.
+
+The paper's guarantee (Theorem 2) rests on specific assumptions — monotone
+supermodular valuation, additive price, additive zero-mean noise — and its
+Theorem 1 shows by explicit construction that expected social welfare is
+neither submodular nor supermodular.  This subpackage makes both sides
+programmatic:
+
+* :mod:`repro.validation.checkers` — verify a user's
+  :class:`~repro.utility.model.UtilityModel` satisfies the guarantee's
+  assumptions, measure PRIMA's prefix quality on a given graph, and estimate
+  bundleGRD's empirical approximation ratio on brute-forceable instances;
+* :mod:`repro.validation.counterexamples` — the two constructions from the
+  proof of Theorem 1, packaged as runnable instances whose marginal-welfare
+  arithmetic exhibits the violations exactly.
+"""
+
+from repro.validation.checkers import (
+    AssumptionReport,
+    check_model_assumptions,
+    empirical_approximation_ratio,
+    verify_prefix_property,
+)
+from repro.validation.counterexamples import (
+    MarginalComparison,
+    non_submodularity_instance,
+    non_supermodularity_instance,
+)
+
+__all__ = [
+    "AssumptionReport",
+    "MarginalComparison",
+    "check_model_assumptions",
+    "empirical_approximation_ratio",
+    "non_submodularity_instance",
+    "non_supermodularity_instance",
+    "verify_prefix_property",
+]

@@ -1,0 +1,211 @@
+"""Assumption and guarantee checkers.
+
+The ``(1 − 1/e − ε)`` guarantee of Theorem 2 requires the utility model to
+satisfy: monotone supermodular valuation, additive price, additive zero-mean
+noise.  :func:`check_model_assumptions` verifies all three (the first two
+exactly, the noise statistically) and reports per-assumption verdicts, so a
+user can tell whether bundleGRD runs in its proven regime or as a heuristic.
+
+:func:`verify_prefix_property` measures PRIMA's Definition-1 behaviour on a
+concrete graph, and :func:`empirical_approximation_ratio` compares bundleGRD
+against the brute-force optimum on brute-forceable instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.bundlegrd import bundle_grd
+from repro.core.exact import brute_force_optimum
+from repro.core.welmax import WelMaxInstance
+from repro.diffusion.ic import estimate_spread
+from repro.diffusion.welfare import estimate_welfare
+from repro.graph.digraph import InfluenceGraph
+from repro.rrset.imm import imm
+from repro.rrset.prima import prima
+from repro.utility.model import UtilityModel
+from repro.utility.price import AdditivePrice
+from repro.utility.valuation import is_monotone, is_supermodular
+
+
+@dataclass(frozen=True)
+class AssumptionReport:
+    """Per-assumption verdicts for one utility model."""
+
+    valuation_monotone: bool
+    valuation_supermodular: bool
+    price_additive: bool
+    noise_zero_mean: bool
+    noise_mean_estimates: Tuple[float, ...]
+
+    @property
+    def guarantee_applies(self) -> bool:
+        """Whether Theorem 2's preconditions all hold."""
+        return (
+            self.valuation_monotone
+            and self.valuation_supermodular
+            and self.price_additive
+            and self.noise_zero_mean
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable verdict."""
+        if self.guarantee_applies:
+            return "all assumptions hold: the (1 - 1/e - eps) guarantee applies"
+        failed = [
+            name
+            for name, ok in (
+                ("monotone valuation", self.valuation_monotone),
+                ("supermodular valuation", self.valuation_supermodular),
+                ("additive price", self.price_additive),
+                ("zero-mean noise", self.noise_zero_mean),
+            )
+            if not ok
+        ]
+        return (
+            "guarantee does NOT apply (bundleGRD runs as a heuristic); "
+            "failing: " + ", ".join(failed)
+        )
+
+
+def check_model_assumptions(
+    model: UtilityModel,
+    noise_samples: int = 4000,
+    noise_tolerance_sigmas: float = 4.0,
+    rng: Optional[np.random.Generator] = None,
+) -> AssumptionReport:
+    """Check Theorem 2's preconditions on a utility model.
+
+    Valuation properties are checked exactly over the ``2^k`` lattice; price
+    additivity is structural (:class:`AdditivePrice` is additive by
+    construction, anything else is checked pointwise against the sum of its
+    singleton prices); zero-mean noise is tested by sampling, flagging items
+    whose empirical mean deviates more than ``noise_tolerance_sigmas``
+    standard errors.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    monotone = is_monotone(model.valuation)
+    supermodular = is_supermodular(model.valuation)
+
+    price = model.price
+    if isinstance(price, AdditivePrice):
+        additive = True
+    else:
+        additive = True
+        singles = [price.price(1 << i) for i in range(model.num_items)]
+        for mask in range(1 << model.num_items):
+            expected = sum(
+                singles[i] for i in range(model.num_items) if mask >> i & 1
+            )
+            if abs(price.price(mask) - expected) > 1e-9:
+                additive = False
+                break
+
+    samples = np.array(
+        [model.sample_noise_world(rng) for _ in range(noise_samples)]
+    )
+    means = samples.mean(axis=0)
+    stds = samples.std(axis=0)
+    stderr = np.where(stds > 0, stds / np.sqrt(noise_samples), 1e-12)
+    zero_mean = bool(
+        np.all(np.abs(means) <= noise_tolerance_sigmas * stderr + 1e-9)
+    )
+    return AssumptionReport(
+        valuation_monotone=monotone,
+        valuation_supermodular=supermodular,
+        price_additive=additive,
+        noise_zero_mean=zero_mean,
+        noise_mean_estimates=tuple(float(m) for m in means),
+    )
+
+
+@dataclass(frozen=True)
+class PrefixQuality:
+    """Spread of a PRIMA prefix vs a dedicated IMM run, per budget."""
+
+    budget: int
+    prefix_spread: float
+    dedicated_spread: float
+
+    @property
+    def ratio(self) -> float:
+        """Prefix spread over dedicated spread (≈1 means prefix-preserving)."""
+        if self.dedicated_spread <= 0:
+            return 1.0
+        return self.prefix_spread / self.dedicated_spread
+
+
+def verify_prefix_property(
+    graph: InfluenceGraph,
+    budgets: Sequence[int],
+    epsilon: float = 0.5,
+    ell: float = 1.0,
+    num_samples: int = 300,
+    rng_seed: int = 0,
+) -> List[PrefixQuality]:
+    """Measure Definition 1 empirically: every prefix vs dedicated IMM."""
+    result = prima(
+        graph,
+        budgets,
+        epsilon=epsilon,
+        ell=ell,
+        rng=np.random.default_rng(rng_seed),
+    )
+    spread_rng = np.random.default_rng(rng_seed + 1)
+    qualities: List[PrefixQuality] = []
+    for k in sorted(set(int(b) for b in budgets)):
+        k = min(k, graph.num_nodes)
+        prefix_spread = estimate_spread(
+            graph, result.seeds_for_budget(k), num_samples, spread_rng
+        )
+        dedicated = imm(
+            graph, k, epsilon=epsilon, ell=ell,
+            rng=np.random.default_rng(rng_seed + 2),
+        )
+        dedicated_spread = estimate_spread(
+            graph, dedicated.seeds, num_samples, spread_rng
+        )
+        qualities.append(
+            PrefixQuality(
+                budget=k,
+                prefix_spread=prefix_spread,
+                dedicated_spread=dedicated_spread,
+            )
+        )
+    return qualities
+
+
+def empirical_approximation_ratio(
+    instance: WelMaxInstance,
+    epsilon: float = 0.5,
+    num_samples: int = 300,
+    rng_seed: int = 0,
+) -> float:
+    """bundleGRD's welfare over the brute-force optimum (tiny instances only).
+
+    The search enumerates all budget-respecting allocations; keep
+    ``Π_i C(n, b_i)`` small.  Theorem 2 predicts a ratio of at least
+    ``1 − 1/e − ε`` with high probability.
+    """
+    optimum = brute_force_optimum(
+        instance, num_samples=num_samples, rng_seed=rng_seed
+    )
+    greedy = bundle_grd(
+        instance.graph,
+        instance.budgets,
+        epsilon=epsilon,
+        rng=np.random.default_rng(rng_seed),
+    )
+    greedy_welfare = estimate_welfare(
+        instance.graph,
+        instance.model,
+        greedy.allocation,
+        num_samples=num_samples,
+        rng=np.random.default_rng(rng_seed),
+    ).mean
+    if optimum.welfare <= 0:
+        return 1.0
+    return greedy_welfare / optimum.welfare

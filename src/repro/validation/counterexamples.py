@@ -1,0 +1,144 @@
+"""The Theorem 1 counterexamples, as runnable instances.
+
+Theorem 1 proves expected social welfare is monotone but neither submodular
+nor supermodular, via two constructions:
+
+* **Non-submodularity** — a single node and two items whose individual
+  utilities are negative but whose bundle utility is positive.  Adding the
+  pair ``(u, i2)`` to the empty allocation gains nothing, while adding it
+  after ``(u, i1)`` unlocks the bundle: the marginal *grows* with the
+  allocation, breaking submodularity.
+* **Non-supermodularity** — two nodes connected by a probability-1 edge and
+  a single positive-utility item.  Adding ``(v2, i)`` to the empty allocation
+  gains the item's utility; adding it after ``(v1, i)`` gains nothing
+  (``v2`` adopts through propagation anyway): the marginal *shrinks*,
+  breaking supermodularity.
+
+With zero noise (a degenerate case of the paper's bounded-noise condition
+``|N(i)| ≤ |V(i) − P(i)|``) both instances are fully deterministic, so the
+violations are exact, not statistical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.allocation import Allocation
+from repro.diffusion.welfare import estimate_welfare
+from repro.graph.digraph import InfluenceGraph
+from repro.graph.generators import isolated_nodes, two_node_edge
+from repro.utility.model import UtilityModel
+from repro.utility.noise import ZeroNoise
+from repro.utility.price import AdditivePrice
+from repro.utility.valuation import TableValuation
+
+
+@dataclass(frozen=True)
+class MarginalComparison:
+    """Marginal welfare of one extra pair at two nested allocations.
+
+    Submodularity would require ``marginal_at_large ≤ marginal_at_small``;
+    supermodularity the reverse.  The two instances below violate one each.
+    """
+
+    graph: InfluenceGraph
+    model: UtilityModel
+    small: Allocation
+    large: Allocation
+    extra_pair: Tuple[int, int]
+    marginal_at_small: float
+    marginal_at_large: float
+
+    @property
+    def violates_submodularity(self) -> bool:
+        """Whether the marginal strictly grows with the allocation."""
+        return self.marginal_at_large > self.marginal_at_small + 1e-9
+
+    @property
+    def violates_supermodularity(self) -> bool:
+        """Whether the marginal strictly shrinks with the allocation."""
+        return self.marginal_at_large < self.marginal_at_small - 1e-9
+
+
+def _marginals(
+    graph: InfluenceGraph,
+    model: UtilityModel,
+    small: Allocation,
+    large: Allocation,
+    extra_pair: Tuple[int, int],
+    num_samples: int,
+) -> Tuple[float, float]:
+    def rho(allocation: Allocation) -> float:
+        return estimate_welfare(
+            graph,
+            model,
+            allocation,
+            num_samples=num_samples,
+            rng=np.random.default_rng(0),
+        ).mean
+
+    node, item = extra_pair
+    at_small = rho(small.with_pair(node, item)) - rho(small)
+    at_large = rho(large.with_pair(node, item)) - rho(large)
+    return at_small, at_large
+
+
+def non_submodularity_instance(num_samples: int = 8) -> MarginalComparison:
+    """The single-node, two-item construction breaking submodularity.
+
+    ``P(i1) = P(i2) = 2``, ``V(i1) = V(i2) = 1`` (individual utilities −1),
+    ``V({i1, i2}) = 5`` (bundle utility +1); zero noise.
+    """
+    graph = isolated_nodes(1)
+    model = UtilityModel(
+        TableValuation(2, {0b01: 1.0, 0b10: 1.0, 0b11: 5.0}),
+        AdditivePrice([2.0, 2.0]),
+        ZeroNoise(2),
+    )
+    small = Allocation.empty(2)
+    large = Allocation([(0, 0)], num_items=2)
+    extra = (0, 1)
+    at_small, at_large = _marginals(
+        graph, model, small, large, extra, num_samples
+    )
+    return MarginalComparison(
+        graph=graph,
+        model=model,
+        small=small,
+        large=large,
+        extra_pair=extra,
+        marginal_at_small=at_small,
+        marginal_at_large=at_large,
+    )
+
+
+def non_supermodularity_instance(num_samples: int = 8) -> MarginalComparison:
+    """The two-node, one-item construction breaking supermodularity.
+
+    Edge ``v1 → v2`` with probability 1; ``V(i) = 2 > P(i) = 1`` (utility
+    +1); zero noise.
+    """
+    graph = two_node_edge(1.0)
+    model = UtilityModel(
+        TableValuation(1, {0b1: 2.0}),
+        AdditivePrice([1.0]),
+        ZeroNoise(1),
+    )
+    small = Allocation.empty(1)
+    large = Allocation([(0, 0)], num_items=1)
+    extra = (1, 0)
+    at_small, at_large = _marginals(
+        graph, model, small, large, extra, num_samples
+    )
+    return MarginalComparison(
+        graph=graph,
+        model=model,
+        small=small,
+        large=large,
+        extra_pair=extra,
+        marginal_at_small=at_small,
+        marginal_at_large=at_large,
+    )

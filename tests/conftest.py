@@ -1,0 +1,66 @@
+"""Shared fixtures: small graphs and utility models used across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.digraph import InfluenceGraph
+from repro.graph.generators import line_graph, random_wc_graph
+from repro.utility.model import UtilityModel
+from repro.utility.noise import GaussianNoise, ZeroNoise
+from repro.utility.price import AdditivePrice
+from repro.utility.valuation import TableValuation
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_graph() -> InfluenceGraph:
+    """A 300-node scale-free WC graph (fast for MC estimation)."""
+    return random_wc_graph(300, avg_degree=6, seed=99)
+
+
+@pytest.fixture
+def medium_graph() -> InfluenceGraph:
+    """A 1500-node scale-free WC graph (enough structure for RIS tests)."""
+    return random_wc_graph(1500, avg_degree=8, seed=77)
+
+
+@pytest.fixture
+def deterministic_line() -> InfluenceGraph:
+    """0 -> 1 -> ... -> 9 with probability 1 edges."""
+    return line_graph(10, 1.0)
+
+
+@pytest.fixture
+def config1_model() -> UtilityModel:
+    """Table 3 Configuration 1 utility model (both items positive)."""
+    return UtilityModel(
+        TableValuation(2, {0b01: 3.0, 0b10: 4.0, 0b11: 8.0}),
+        AdditivePrice([3.0, 4.0]),
+        GaussianNoise([1.0, 1.0]),
+    )
+
+
+@pytest.fixture
+def config3_model() -> UtilityModel:
+    """Table 3 Configuration 3 utility model (item 2 negative alone)."""
+    return UtilityModel(
+        TableValuation(2, {0b01: 3.0, 0b10: 3.0, 0b11: 8.0}),
+        AdditivePrice([3.0, 4.0]),
+        GaussianNoise([1.0, 1.0]),
+    )
+
+
+@pytest.fixture
+def deterministic_two_item_model() -> UtilityModel:
+    """Two items, zero noise: U(i1)=1, U(i2)=-1, U(both)=3 (Fig. 2 style)."""
+    return UtilityModel(
+        TableValuation(2, {0b01: 4.0, 0b10: 2.0, 0b11: 9.0}),
+        AdditivePrice([3.0, 3.0]),
+        ZeroNoise(2),
+    )

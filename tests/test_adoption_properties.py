@@ -1,0 +1,97 @@
+"""Property-based tests of the adoption rule and UIC simulator invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diffusion.adoption import adopt
+from repro.diffusion.uic import simulate_uic
+from repro.graph.digraph import InfluenceGraph
+from repro.utility.model import UtilityModel
+from repro.utility.noise import ZeroNoise
+from repro.utility.price import AdditivePrice
+from repro.utility.valuation import TableValuation
+
+utilities = st.lists(
+    st.floats(-5.0, 5.0, allow_nan=False), min_size=8, max_size=8
+).map(lambda vals: np.array([0.0] + vals[1:], dtype=np.float64))
+
+
+@given(utilities, st.integers(0, 7))
+@settings(max_examples=150, deadline=None)
+def test_adoption_is_idempotent(table, desire):
+    """Adopting again with the same desire set changes nothing."""
+    first = adopt(table, desire, 0)
+    second = adopt(table, desire, first)
+    assert second == first
+
+
+@given(utilities, st.integers(0, 7), st.integers(0, 7))
+@settings(max_examples=150, deadline=None)
+def test_adoption_is_progressive(table, desire_small, extra):
+    """Growing the desire set never removes adopted items."""
+    desire_large = desire_small | extra
+    first = adopt(table, desire_small, 0)
+    second = adopt(table, desire_large, first)
+    assert first & ~second == 0  # first ⊆ second
+
+
+@given(utilities, st.integers(0, 7))
+@settings(max_examples=150, deadline=None)
+def test_adopted_utility_non_negative(table, desire):
+    """The adopted set's utility is always ≥ 0 (U(∅) = 0 is feasible)."""
+    adopted = adopt(table, desire, 0)
+    assert table[adopted] >= -1e-12
+
+
+@given(utilities, st.integers(0, 7))
+@settings(max_examples=150, deadline=None)
+def test_adopted_within_desire(table, desire):
+    adopted = adopt(table, desire, 0)
+    assert adopted & ~desire == 0
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=10
+    ),
+    st.lists(st.tuples(st.integers(0, 5), st.integers(0, 2)), max_size=5),
+)
+@settings(max_examples=60, deadline=None)
+def test_uic_deterministic_given_worlds(arcs, allocation):
+    """With pinned noise and edge worlds, two runs agree exactly."""
+    graph = InfluenceGraph(6, ((u, v, 0.5) for u, v in arcs))
+    model = UtilityModel(
+        TableValuation(
+            3,
+            {1: 1.0, 2: 1.0, 4: 1.0, 3: 2.5, 5: 2.5, 6: 2.5, 7: 4.5},
+        ),
+        AdditivePrice([1.2, 1.2, 1.2]),
+        ZeroNoise(3),
+    )
+    from repro.diffusion.worlds import sample_live_edge_graph
+
+    world = sample_live_edge_graph(graph, np.random.default_rng(42))
+    a = simulate_uic(
+        graph, model, allocation, np.random.default_rng(0), edge_world=world
+    )
+    b = simulate_uic(
+        graph, model, allocation, np.random.default_rng(99), edge_world=world
+    )
+    assert a.adopted == b.adopted
+    assert a.welfare == b.welfare
+
+
+@given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 1)), max_size=8))
+@settings(max_examples=60, deadline=None)
+def test_uic_desire_superset_of_adoption(allocation):
+    graph = InfluenceGraph(6, [(i, i + 1, 0.7) for i in range(5)])
+    model = UtilityModel(
+        TableValuation(2, {1: 2.0, 2: 0.5, 3: 4.0}),
+        AdditivePrice([1.0, 1.0]),
+        ZeroNoise(2),
+    )
+    result = simulate_uic(graph, model, allocation, np.random.default_rng(1))
+    for node, adopted in result.adopted.items():
+        assert adopted & ~result.desire.get(node, 0) == 0

@@ -1,0 +1,165 @@
+"""Unit tests for the adoption rule and the UIC diffusion simulator."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion.adoption import adopt
+from repro.diffusion.uic import simulate_uic
+from repro.diffusion.worlds import LiveEdgeGraph
+from repro.graph.digraph import InfluenceGraph
+from repro.graph.generators import line_graph, star_graph
+from repro.utility.model import UtilityModel
+from repro.utility.noise import ZeroNoise
+from repro.utility.price import AdditivePrice
+from repro.utility.valuation import TableValuation
+
+
+class TestAdoptRule:
+    def test_positive_single_item(self):
+        table = np.array([0.0, 1.0])
+        assert adopt(table, desire=0b1, adopted=0) == 0b1
+
+    def test_negative_single_item_not_adopted(self):
+        table = np.array([0.0, -1.0])
+        assert adopt(table, desire=0b1, adopted=0) == 0
+
+    def test_bundle_rescues_negative_items(self):
+        # both negative alone, positive together
+        table = np.array([0.0, -1.0, -1.0, 2.0])
+        assert adopt(table, desire=0b11, adopted=0) == 0b11
+
+    def test_partial_desire_cannot_bundle(self):
+        table = np.array([0.0, -1.0, -1.0, 2.0])
+        assert adopt(table, desire=0b01, adopted=0) == 0
+
+    def test_superset_constraint_respected(self):
+        # item 2 alone would be best, but item 1 is already adopted.
+        table = np.array([0.0, 0.5, 3.0, 1.0])
+        result = adopt(table, desire=0b11, adopted=0b01)
+        assert result & 0b01  # keeps previous adoption
+        assert result == 0b11  # 1.0 > 0.5, so adds item 2
+
+    def test_keeps_adoption_when_extension_hurts(self):
+        table = np.array([0.0, 2.0, -5.0, 1.0])
+        assert adopt(table, desire=0b11, adopted=0b01) == 0b01
+
+    def test_tie_break_prefers_larger_set(self):
+        # U({i1}) == U({i1,i2}): the union wins (paper's tie rule).
+        table = np.array([0.0, 2.0, -1.0, 2.0])
+        assert adopt(table, desire=0b11, adopted=0) == 0b11
+
+    def test_zero_utility_tie_with_empty(self):
+        # everything utility 0: adopt the full desire set (largest tie).
+        table = np.zeros(4)
+        assert adopt(table, desire=0b11, adopted=0) == 0b11
+
+    def test_invalid_adopted_not_subset_of_desire(self):
+        table = np.zeros(4)
+        with pytest.raises(ValueError):
+            adopt(table, desire=0b01, adopted=0b10)
+
+    def test_no_free_items_returns_adopted(self):
+        table = np.array([0.0, 1.0])
+        assert adopt(table, desire=0b1, adopted=0b1) == 0b1
+
+    def test_non_supermodular_fallback_is_max_cardinality(self):
+        # Union of tied maximizers loses utility => fall back to largest.
+        table = np.array([0.0, 2.0, 2.0, -7.0])
+        result = adopt(table, desire=0b11, adopted=0)
+        assert result in (0b01, 0b10)
+        assert table[result] == 2.0
+
+
+def fig2_model() -> UtilityModel:
+    """Zero-noise model with U(i1)=+1, U(i2)=-1, U({i1,i2})=+3 (Fig. 2)."""
+    return UtilityModel(
+        TableValuation(2, {0b01: 4.0, 0b10: 2.0, 0b11: 9.0}),
+        AdditivePrice([3.0, 3.0]),
+        ZeroNoise(2),
+    )
+
+
+class TestUICSimulation:
+    def test_fig2_walkthrough(self, rng):
+        """The paper's running example: v3 adopts the bundle via propagation."""
+        graph = InfluenceGraph(3, [(0, 1, 1.0), (0, 2, 0.0), (1, 2, 1.0)])
+        result = simulate_uic(graph, fig2_model(), [(0, 0), (2, 1)], rng)
+        assert result.adopted[0] == 0b01  # v1 adopts i1
+        assert result.adopted[1] == 0b01  # v2 adopts i1
+        assert result.adopted[2] == 0b11  # v3 adopts {i1, i2}
+        assert result.desire[2] == 0b11
+        assert result.welfare == pytest.approx(1.0 + 1.0 + 3.0)
+
+    def test_seed_rejects_negative_item(self, rng):
+        graph = InfluenceGraph(1, [])
+        result = simulate_uic(graph, fig2_model(), [(0, 1)], rng)
+        assert result.adopted.get(0, 0) == 0
+        assert result.desire[0] == 0b10  # desired but not adopted
+        assert result.welfare == 0.0
+
+    def test_seed_adopts_bundle(self, rng):
+        graph = InfluenceGraph(1, [])
+        result = simulate_uic(graph, fig2_model(), [(0, 0), (0, 1)], rng)
+        assert result.adopted[0] == 0b11
+        assert result.welfare == pytest.approx(3.0)
+
+    def test_deterministic_line_full_propagation(self, rng):
+        graph = line_graph(6, 1.0)
+        result = simulate_uic(graph, fig2_model(), [(0, 0)], rng)
+        for v in range(6):
+            assert result.adopted[v] == 0b01
+        assert result.welfare == pytest.approx(6.0)
+
+    def test_zero_probability_blocks_propagation(self, rng):
+        graph = line_graph(4, 0.0)
+        result = simulate_uic(graph, fig2_model(), [(0, 0)], rng)
+        assert result.adopted == {0: 0b01}
+
+    def test_fixed_edge_world_replay(self):
+        graph = star_graph(4, probability=0.5, outward=True)
+        # Live-edge world where only leaves 1 and 3 are reachable.
+        world = LiveEdgeGraph(
+            5, [np.array([1, 3])] + [np.array([], dtype=np.int64)] * 4
+        )
+        rng = np.random.default_rng(0)
+        result = simulate_uic(
+            graph, fig2_model(), [(0, 0)], rng, edge_world=world
+        )
+        assert set(result.adopted) == {0, 1, 3}
+
+    def test_fixed_noise_world(self, config1_model):
+        graph = line_graph(3, 1.0)
+        noise = np.array([5.0, 5.0])  # both items strongly positive
+        rng = np.random.default_rng(0)
+        result = simulate_uic(
+            graph, config1_model, [(0, 0), (0, 1)], rng, noise_world=noise
+        )
+        assert result.adopted[2] == 0b11
+        # welfare = 3 nodes * (1 + 10) utility in this noise world
+        assert result.welfare == pytest.approx(33.0)
+
+    def test_invalid_seed_node(self, rng):
+        graph = line_graph(3, 1.0)
+        with pytest.raises(IndexError):
+            simulate_uic(graph, fig2_model(), [(99, 0)], rng)
+
+    def test_invalid_item(self, rng):
+        graph = line_graph(3, 1.0)
+        with pytest.raises(IndexError):
+            simulate_uic(graph, fig2_model(), [(0, 7)], rng)
+
+    def test_adopters_of_and_total_adoptions(self, rng):
+        graph = line_graph(4, 1.0)
+        result = simulate_uic(graph, fig2_model(), [(0, 0), (0, 1)], rng)
+        assert result.adopters_of(0) == {0, 1, 2, 3}
+        assert result.adopters_of(1) == {0, 1, 2, 3}
+        assert result.total_adoptions() == 8
+
+    def test_late_arriving_item_joins_adopted_set(self, rng):
+        """A node that adopted i1 earlier upgrades to the bundle when i2
+        arrives later (progressive adoption, never unadopts)."""
+        # v0 seeds i1; v1 seeds i2 (needs the bundle); chain 0->1.
+        graph = InfluenceGraph(2, [(0, 1, 1.0)])
+        result = simulate_uic(graph, fig2_model(), [(0, 0), (1, 1)], rng)
+        # v1 desired i2 (not adoptable alone), then receives i1: adopts both.
+        assert result.adopted[1] == 0b11

@@ -1,0 +1,113 @@
+"""Unit tests for Allocation and WelMaxInstance."""
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import Allocation
+from repro.core.welmax import WelMaxInstance
+from repro.graph.generators import line_graph
+
+
+class TestAllocation:
+    def test_construction_and_pairs(self):
+        a = Allocation([(0, 0), (1, 1), (0, 0)], num_items=2)
+        assert len(a) == 2
+        assert (0, 0) in a
+        assert (1, 0) not in a
+
+    def test_invalid_item(self):
+        with pytest.raises(ValueError):
+            Allocation([(0, 5)], num_items=2)
+
+    def test_invalid_node(self):
+        with pytest.raises(ValueError):
+            Allocation([(-1, 0)], num_items=2)
+
+    def test_empty(self):
+        a = Allocation.empty(3)
+        assert len(a) == 0
+        assert a.num_items == 3
+
+    def test_from_item_seed_sets(self):
+        a = Allocation.from_item_seed_sets([[0, 1], [2]])
+        assert a.seeds_of_item(0) == {0, 1}
+        assert a.seeds_of_item(1) == {2}
+        assert a.seed_nodes() == {0, 1, 2}
+
+    def test_items_of_node(self):
+        a = Allocation([(7, 0), (7, 2)], num_items=3)
+        assert a.items_of_node(7) == 0b101
+        assert a.items_of_node(3) == 0
+
+    def test_item_counts_and_budgets(self):
+        a = Allocation([(0, 0), (1, 0), (2, 1)], num_items=2)
+        assert a.item_counts() == [2, 1]
+        assert a.respects_budgets([2, 1])
+        assert not a.respects_budgets([1, 1])
+        with pytest.raises(ValueError):
+            a.respects_budgets([2])
+
+    def test_union(self):
+        a = Allocation([(0, 0)], num_items=2)
+        b = Allocation([(1, 1)], num_items=2)
+        u = a.union(b)
+        assert len(u) == 2
+        with pytest.raises(ValueError):
+            a.union(Allocation([(0, 0)], num_items=3))
+
+    def test_with_pair_and_subset(self):
+        a = Allocation([(0, 0)], num_items=2)
+        b = a.with_pair(1, 1)
+        assert a <= b
+        assert not b <= a
+
+    def test_iteration_sorted(self):
+        a = Allocation([(3, 1), (0, 0), (1, 1)], num_items=2)
+        assert list(a) == [(0, 0), (1, 1), (3, 1)]
+
+    def test_equality_and_hash(self):
+        a = Allocation([(0, 0)], num_items=2)
+        b = Allocation([(0, 0)], num_items=2)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Allocation([(0, 0)], num_items=3)
+
+
+class TestWelMaxInstance:
+    def test_create_and_properties(self, small_graph, config1_model):
+        inst = WelMaxInstance.create(small_graph, config1_model, [5, 10])
+        assert inst.num_items == 2
+        assert inst.max_budget == 10
+
+    def test_budget_length_mismatch(self, small_graph, config1_model):
+        with pytest.raises(ValueError):
+            WelMaxInstance.create(small_graph, config1_model, [5])
+
+    def test_negative_budget(self, small_graph, config1_model):
+        with pytest.raises(ValueError):
+            WelMaxInstance.create(small_graph, config1_model, [5, -2])
+
+    def test_check_rejects_over_budget(self, small_graph, config1_model):
+        inst = WelMaxInstance.create(small_graph, config1_model, [1, 1])
+        bad = Allocation([(0, 0), (1, 0)], num_items=2)
+        with pytest.raises(ValueError):
+            inst.check(bad)
+
+    def test_check_rejects_foreign_universe(self, small_graph, config1_model):
+        inst = WelMaxInstance.create(small_graph, config1_model, [1, 1])
+        with pytest.raises(ValueError):
+            inst.check(Allocation([(0, 0)], num_items=3))
+
+    def test_check_rejects_node_outside_graph(self, config1_model):
+        graph = line_graph(3, 1.0)
+        inst = WelMaxInstance.create(graph, config1_model, [1, 1])
+        with pytest.raises(ValueError):
+            inst.check(Allocation([(10, 0)], num_items=2))
+
+    def test_welfare_and_adoption(self, small_graph, config1_model):
+        inst = WelMaxInstance.create(small_graph, config1_model, [3, 3])
+        alloc = Allocation([(0, 0), (0, 1)], num_items=2)
+        w = inst.welfare(alloc, num_samples=50, rng=np.random.default_rng(0))
+        a = inst.adoption(alloc, num_samples=50, rng=np.random.default_rng(0))
+        assert w.mean >= 0.0
+        assert a.mean >= 0.0

@@ -1,0 +1,254 @@
+"""Unit tests for item-disj, bundle-disj, RR-SIM+/RR-CIM and BDHS."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bdhs import (
+    bdhs_concave_welfare,
+    bdhs_step_welfare,
+    best_virtual_item,
+)
+from repro.baselines.bundle_disjoint import bundle_disjoint
+from repro.baselines.item_disjoint import item_disjoint
+from repro.baselines.rr_cim import rr_cim
+from repro.baselines.rr_sim import rr_sim_plus
+from repro.diffusion.comic import ComICModel
+from repro.graph.digraph import InfluenceGraph
+from repro.graph.generators import line_graph, star_graph
+from repro.utility.model import UtilityModel
+from repro.utility.noise import ZeroNoise
+from repro.utility.price import AdditivePrice
+from repro.utility.valuation import TableValuation
+
+
+def positive_both_model() -> UtilityModel:
+    """Config-1-like: both items individually positive, zero noise."""
+    return UtilityModel(
+        TableValuation(2, {0b01: 4.0, 0b10: 5.0, 0b11: 10.0}),
+        AdditivePrice([3.0, 4.0]),
+        ZeroNoise(2),
+    )
+
+
+def negative_second_model() -> UtilityModel:
+    """Config-3-like: item 2 is negative alone, bundle positive."""
+    return UtilityModel(
+        TableValuation(2, {0b01: 4.0, 0b10: 2.0, 0b11: 9.0}),
+        AdditivePrice([3.0, 3.0]),
+        ZeroNoise(2),
+    )
+
+
+class TestItemDisjoint:
+    def test_one_item_per_seed(self, small_graph):
+        result = item_disjoint(small_graph, [8, 5], rng=np.random.default_rng(0))
+        alloc = result.allocation
+        assert alloc.seeds_of_item(0) & alloc.seeds_of_item(1) == set()
+        assert len(alloc.seeds_of_item(0)) == 8
+        assert len(alloc.seeds_of_item(1)) == 5
+
+    def test_higher_budget_item_gets_better_seeds(self, small_graph):
+        result = item_disjoint(small_graph, [3, 6], rng=np.random.default_rng(0))
+        pool = result.imm_result.seeds
+        # item 1 has the larger budget: it is served first from the pool.
+        assert result.allocation.seeds_of_item(1) == set(pool[:6])
+        assert result.allocation.seeds_of_item(0) == set(pool[6:9])
+
+    def test_budget_validation(self, small_graph):
+        with pytest.raises(ValueError):
+            item_disjoint(small_graph, [])
+        with pytest.raises(ValueError):
+            item_disjoint(small_graph, [3, -1])
+
+    def test_pool_capped_at_n(self):
+        graph = line_graph(5, 1.0)
+        result = item_disjoint(graph, [4, 4], rng=np.random.default_rng(0))
+        counts = result.allocation.item_counts()
+        assert sum(counts) == 5  # only 5 nodes exist
+
+
+class TestBundleDisjoint:
+    def test_positive_items_become_singleton_bundles(self, small_graph):
+        """Configs 1/2 regime: bundle-disj degenerates to item-disj shape."""
+        result = bundle_disjoint(
+            small_graph, positive_both_model(), [6, 4],
+            rng=np.random.default_rng(0),
+        )
+        assert set(result.bundles) == {0b01, 0b10}
+        alloc = result.allocation
+        assert alloc.seeds_of_item(0) & alloc.seeds_of_item(1) == set()
+
+    def test_negative_item_rides_on_bundle_seeds(self, small_graph):
+        """Configs 3/4 regime: item 2 can't form a bundle alone, so its
+        budget is spent on item 1's seeds — bundleGRD-like nesting."""
+        result = bundle_disjoint(
+            small_graph, negative_second_model(), [6, 4],
+            rng=np.random.default_rng(0),
+        )
+        assert result.bundles == (0b01,)
+        alloc = result.allocation
+        assert alloc.seeds_of_item(1) <= alloc.seeds_of_item(0)
+        assert len(alloc.seeds_of_item(1)) == 4
+
+    def test_both_negative_forms_pair_bundle(self, small_graph):
+        model = UtilityModel(
+            TableValuation(2, {0b01: 2.0, 0b10: 2.0, 0b11: 7.0}),
+            AdditivePrice([3.0, 3.0]),
+            ZeroNoise(2),
+        )
+        result = bundle_disjoint(
+            small_graph, model, [5, 5], rng=np.random.default_rng(0)
+        )
+        assert result.bundles == (0b11,)
+        alloc = result.allocation
+        assert alloc.seeds_of_item(0) == alloc.seeds_of_item(1)
+        assert len(alloc.seeds_of_item(0)) == 5
+
+    def test_unequal_budgets_surplus(self, small_graph):
+        model = UtilityModel(
+            TableValuation(2, {0b01: 2.0, 0b10: 2.0, 0b11: 7.0}),
+            AdditivePrice([3.0, 3.0]),
+            ZeroNoise(2),
+        )
+        result = bundle_disjoint(
+            small_graph, model, [9, 4], rng=np.random.default_rng(0)
+        )
+        alloc = result.allocation
+        # bundle of both gets min(9,4)=4 seeds; item 1's surplus 5 gets fresh.
+        assert len(alloc.seeds_of_item(0)) == 9
+        assert len(alloc.seeds_of_item(1)) == 4
+        assert result.num_imm_calls == 2
+
+    def test_budget_mismatch_rejected(self, small_graph):
+        with pytest.raises(ValueError):
+            bundle_disjoint(small_graph, positive_both_model(), [5])
+
+    def test_imm_call_count_grows_with_items(self, small_graph):
+        from repro.utility.valuation import AdditiveValuation
+        from repro.utility.noise import GaussianNoise
+
+        model = UtilityModel(
+            AdditiveValuation([2.0] * 4),
+            AdditivePrice([1.0] * 4),
+            GaussianNoise.uniform(4, 1.0),
+        )
+        result = bundle_disjoint(
+            small_graph, model, [4, 4, 4, 4], rng=np.random.default_rng(0)
+        )
+        assert result.num_imm_calls == 4  # one per singleton bundle
+
+
+class TestComICBaselines:
+    @pytest.fixture
+    def gap(self) -> ComICModel:
+        return ComICModel(0.5, 0.84, 0.5, 0.84)
+
+    def test_rr_sim_allocation_shape(self, small_graph, gap):
+        result = rr_sim_plus(
+            small_graph, gap, (6, 4), rng=np.random.default_rng(0),
+            num_forward_worlds=3,
+        )
+        alloc = result.allocation
+        assert len(alloc.seeds_of_item(0)) == 6
+        assert len(alloc.seeds_of_item(1)) == 4
+        assert len(result.seeds_selected_item) == 6  # optimizes item 0
+
+    def test_rr_cim_allocation_shape(self, small_graph, gap):
+        result = rr_cim(
+            small_graph, gap, (6, 4), rng=np.random.default_rng(0),
+            num_forward_worlds=3,
+        )
+        alloc = result.allocation
+        assert len(alloc.seeds_of_item(0)) == 6
+        assert len(alloc.seeds_of_item(1)) == 4
+        assert len(result.seeds_selected_item) == 4  # optimizes item 1
+
+    def test_tim_scale_sample_counts(self, small_graph, gap):
+        """The baselines must generate far more RR sets than IMM (Fig. 6)."""
+        from repro.rrset.imm import imm
+
+        result = rr_sim_plus(
+            small_graph, gap, (5, 5), rng=np.random.default_rng(1),
+            num_forward_worlds=3,
+        )
+        imm_count = imm(small_graph, 5, rng=np.random.default_rng(1)).num_rr_sets
+        assert result.num_rr_sets > 3 * imm_count
+
+    def test_selected_seeds_cover_influential_nodes(self, gap):
+        """On a star, the hub must be selected for the optimized item."""
+        graph = star_graph(40, probability=0.8)
+        result = rr_sim_plus(
+            graph, gap, (1, 1), rng=np.random.default_rng(2),
+            num_forward_worlds=3,
+        )
+        assert result.seeds_selected_item == (0,)
+
+    def test_zero_budget_selected_item(self, small_graph, gap):
+        result = rr_sim_plus(
+            small_graph, gap, (0, 4), rng=np.random.default_rng(0),
+            num_forward_worlds=2,
+        )
+        assert result.seeds_selected_item == ()
+
+
+class TestBDHS:
+    def test_best_virtual_item_union(self):
+        model = positive_both_model()
+        item, utility = best_virtual_item(model)
+        assert item == 0b11
+        assert utility == pytest.approx(3.0)
+
+    def test_step_welfare_line_graph(self):
+        """On 0->1->...->4 with p=1: nodes 1..4 have a live in-neighbor,
+        node 0 has no in-edges at all (consumes unconditionally)."""
+        graph = line_graph(5, 1.0)
+        result = bdhs_step_welfare(
+            positive_both_model(), graph=None
+        ) if False else bdhs_step_welfare(
+            graph, positive_both_model(), num_worlds=10,
+            rng=np.random.default_rng(0),
+        )
+        assert result.welfare == pytest.approx(5 * 3.0)
+
+    def test_step_welfare_probabilistic(self):
+        graph = line_graph(2, 0.5)  # node 1 realizes in half the worlds
+        result = bdhs_step_welfare(
+            graph, positive_both_model(), num_worlds=2000,
+            rng=np.random.default_rng(1),
+        )
+        expected = 3.0 * (1 + 0.5)
+        assert result.welfare == pytest.approx(expected, rel=0.1)
+
+    def test_step_zero_utility_model(self):
+        model = UtilityModel(
+            TableValuation(1, {0b1: 1.0}), AdditivePrice([5.0]), ZeroNoise(1)
+        )
+        result = bdhs_step_welfare(
+            line_graph(3, 1.0), model, num_worlds=5,
+            rng=np.random.default_rng(0),
+        )
+        assert result.welfare == 0.0
+
+    def test_step_validation(self):
+        with pytest.raises(ValueError):
+            bdhs_step_welfare(
+                line_graph(3, 1.0), positive_both_model(), num_worlds=0
+            )
+
+    def test_concave_welfare_formula(self):
+        """2-node path, p=0.5: node 0 isolated (s=0, consumes), node 1 has
+        support {0} (s=1): welfare = U + U * (1 - 0.5)."""
+        graph = line_graph(2, 0.5)
+        result = bdhs_concave_welfare(graph, positive_both_model(), 0.5)
+        assert result.welfare == pytest.approx(3.0 + 3.0 * 0.5)
+
+    def test_concave_two_hop_support(self):
+        """Path 0->1->2: node 2's support is {1, 0} (friends-of-friends)."""
+        graph = line_graph(3, 0.5)
+        result = bdhs_concave_welfare(graph, positive_both_model(), 0.5)
+        expected = 3.0 * (1 + (1 - 0.5**1) + (1 - 0.5**2))
+        assert result.welfare == pytest.approx(expected)
+
+    def test_concave_validation(self):
+        with pytest.raises(ValueError):
+            bdhs_concave_welfare(line_graph(2, 0.5), positive_both_model(), 0.0)

@@ -1,0 +1,146 @@
+"""Unit tests for the block generation process (§4.2.2).
+
+Covers the paper's Examples 1–4 verbatim plus Properties 1–3.
+"""
+
+import numpy as np
+import pytest
+
+from repro.utility.blocks import (
+    budget_sorted_order,
+    generate_blocks,
+    precedence_compare_literal,
+    precedence_key,
+)
+from repro.utility.itemsets import mask_of
+
+
+def example2_table() -> np.ndarray:
+    """Example 2's utility assignments (items i1, i2, i3 = bits 0, 1, 2)."""
+    table = np.zeros(8)
+    table[0b001] = table[0b010] = table[0b100] = table[0b011] = -1.0
+    table[0b101] = table[0b110] = 1.0
+    table[0b111] = 4.0
+    return table
+
+
+class TestPrecedenceOrder:
+    def test_example1_order(self):
+        """I = ({i1},{i2},{i1,i2},{i3},{i1,i3},{i2,i3},{i1,i2,i3})."""
+        expected = [0b001, 0b010, 0b011, 0b100, 0b101, 0b110, 0b111]
+        got = sorted(range(1, 8), key=precedence_key)
+        assert got == expected
+
+    def test_integer_order_matches_literal_rules(self):
+        for s in range(1, 32):
+            for t in range(1, 32):
+                literal = precedence_compare_literal(s, t)
+                integer = (s > t) - (s < t)
+                assert literal == integer, (s, t)
+
+    def test_property1_subset_comes_first(self):
+        # (a) proper subset => earlier.
+        for s in range(1, 64):
+            for t in range(1, 64):
+                if t != s and t & s == t:  # t proper subset of s
+                    assert precedence_key(t) < precedence_key(s)
+
+    def test_property1_lower_max_index_first(self):
+        # (b) strictly lower highest index => earlier.
+        assert precedence_key(0b011) < precedence_key(0b100)
+        assert precedence_key(0b0111) < precedence_key(0b1000)
+
+
+class TestBudgetSortedOrder:
+    def test_descending_budget(self):
+        order = budget_sorted_order(0b111, [5, 9, 7])
+        assert order == (1, 2, 0)
+
+    def test_tie_broken_by_index(self):
+        order = budget_sorted_order(0b111, [5, 5, 5])
+        assert order == (0, 1, 2)
+
+    def test_restricted_to_istar(self):
+        order = budget_sorted_order(0b101, [5, 9, 7])
+        assert order == (2, 0)
+
+
+class TestBlockGeneration:
+    def test_example2_blocks(self):
+        """B = ({i1, i3}, {i2}) with Δ = (1, 3)."""
+        partition = generate_blocks(example2_table(), [30, 20, 10], 0b111)
+        assert partition.blocks == (0b101, 0b010)
+        assert partition.deltas == pytest.approx((1.0, 3.0))
+
+    def test_example2_partition_covers_istar(self):
+        partition = generate_blocks(example2_table(), [30, 20, 10], 0b111)
+        union = 0
+        for block in partition.blocks:
+            assert union & block == 0  # disjoint
+            union |= block
+        assert union == 0b111
+
+    def test_property2_deltas_sum_to_istar_utility(self):
+        table = example2_table()
+        partition = generate_blocks(table, [30, 20, 10], 0b111)
+        assert sum(partition.deltas) == pytest.approx(table[0b111])
+        assert all(d >= 0 for d in partition.deltas)
+
+    def test_example3_4_anchor_and_effective_budget(self):
+        """Anchor of both blocks is i3; effective budgets are b3."""
+        partition = generate_blocks(example2_table(), [30, 20, 10], 0b111)
+        # anchor item of B1 = i3 (index 2); B2's anchor block is B1 => i3 too.
+        assert partition.anchor_items == (2, 2)
+        assert partition.anchor_block_index == (0, 0)
+        assert partition.effective_budgets == (10, 10)
+
+    def test_property3_subset_deltas(self):
+        table = example2_table()
+        partition = generate_blocks(table, [30, 20, 10], 0b111)
+        for subset in range(8):
+            if subset & ~0b111:
+                continue
+            deltas = partition.subset_deltas(subset, table)
+            # Σ Δ^A_i = U(A)
+            assert sum(deltas) == pytest.approx(table[subset])
+            # Δ^A_i <= Δ_i
+            for da, d in zip(deltas, partition.deltas):
+                assert da <= d + 1e-12
+
+    def test_subset_deltas_rejects_non_subset(self):
+        partition = generate_blocks(example2_table(), [30, 20, 10], 0b111)
+        with pytest.raises(ValueError):
+            partition.subset_deltas(0b1000, example2_table())
+
+    def test_empty_istar(self):
+        partition = generate_blocks(np.zeros(8), [1, 1, 1], 0)
+        assert partition.num_blocks == 0
+
+    def test_singleton_positive_items_become_singleton_blocks(self):
+        table = np.array([0.0, 1.0, 1.0, 2.0])
+        partition = generate_blocks(table, [5, 5], 0b11)
+        assert partition.blocks == (0b01, 0b10)
+        assert partition.deltas == pytest.approx((1.0, 1.0))
+
+    def test_budget_order_changes_block_content(self):
+        """Reversing budgets renumbers items and changes the scan order."""
+        table = example2_table()
+        # Now i3 (bit 2) has the largest budget: sorted order is (2, 1, 0),
+        # so the roles of bit 0 and bit 2 swap relative to Example 2.
+        partition = generate_blocks(table, [10, 20, 30], 0b111)
+        union = 0
+        for block in partition.blocks:
+            union |= block
+        assert union == 0b111
+        assert sum(partition.deltas) == pytest.approx(table[0b111])
+
+    def test_non_local_max_istar_raises(self):
+        table = np.array([0.0, -1.0, -1.0, -5.0])  # {i1,i2} not a local max
+        with pytest.raises(RuntimeError):
+            generate_blocks(table, [1, 1], 0b11)
+
+    def test_prefix_union(self):
+        partition = generate_blocks(example2_table(), [30, 20, 10], 0b111)
+        assert partition.prefix_union(0) == 0
+        assert partition.prefix_union(1) == 0b101
+        assert partition.prefix_union(2) == 0b111

@@ -1,0 +1,138 @@
+"""Unit tests for bundleGRD and the brute-force optimum, including the
+empirical approximation-ratio check of Theorem 2."""
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import Allocation
+from repro.core.bundlegrd import bundle_grd
+from repro.core.exact import brute_force_optimum, enumerate_allocations
+from repro.core.welmax import WelMaxInstance
+from repro.diffusion.welfare import estimate_welfare
+from repro.graph.digraph import InfluenceGraph
+from repro.graph.generators import line_graph, star_graph
+from repro.utility.model import UtilityModel
+from repro.utility.noise import ZeroNoise
+from repro.utility.price import AdditivePrice
+from repro.utility.valuation import TableValuation
+
+
+class TestBundleGRDStructure:
+    def test_nested_prefix_allocation(self, small_graph):
+        result = bundle_grd(small_graph, [10, 4, 7], rng=np.random.default_rng(0))
+        alloc = result.allocation
+        order = result.seed_order
+        assert alloc.seeds_of_item(0) == set(order[:10])
+        assert alloc.seeds_of_item(1) == set(order[:4])
+        assert alloc.seeds_of_item(2) == set(order[:7])
+        # nesting: smaller budget's seeds inside larger budget's
+        assert alloc.seeds_of_item(1) <= alloc.seeds_of_item(2)
+        assert alloc.seeds_of_item(2) <= alloc.seeds_of_item(0)
+
+    def test_budgets_respected(self, small_graph):
+        result = bundle_grd(small_graph, [10, 4, 7], rng=np.random.default_rng(0))
+        assert result.allocation.respects_budgets([10, 4, 7])
+
+    def test_top_seed_gets_all_items(self, small_graph):
+        result = bundle_grd(small_graph, [5, 3, 4], rng=np.random.default_rng(0))
+        top = result.seed_order[0]
+        assert result.allocation.items_of_node(top) == 0b111
+
+    def test_seed_order_override_skips_prima(self, small_graph):
+        order = list(range(20))
+        result = bundle_grd(small_graph, [5, 10], seed_order=order)
+        assert result.seed_order == tuple(order)
+        assert result.allocation.seeds_of_item(1) == set(range(10))
+        assert result.num_rr_sets == 0  # PRIMA not invoked
+
+    def test_seed_order_too_short_rejected(self, small_graph):
+        with pytest.raises(ValueError):
+            bundle_grd(small_graph, [5, 10], seed_order=[1, 2, 3])
+
+    def test_empty_budgets_rejected(self, small_graph):
+        with pytest.raises(ValueError):
+            bundle_grd(small_graph, [])
+
+    def test_negative_budgets_rejected(self, small_graph):
+        with pytest.raises(ValueError):
+            bundle_grd(small_graph, [5, -1])
+
+    def test_zero_budget_item_gets_no_seeds(self, small_graph):
+        result = bundle_grd(small_graph, [5, 0], rng=np.random.default_rng(0))
+        assert result.allocation.seeds_of_item(1) == set()
+
+
+class TestEnumerateAllocations:
+    def test_count(self):
+        # 3 nodes, budgets (1, 1): C(3,1) * C(3,1) = 9 maximal allocations.
+        allocations = list(enumerate_allocations(3, [1, 1]))
+        assert len(allocations) == 9
+
+    def test_maximal_seed_sets(self):
+        for alloc in enumerate_allocations(4, [2, 1]):
+            assert len(alloc.seeds_of_item(0)) == 2
+            assert len(alloc.seeds_of_item(1)) == 1
+
+    def test_budget_capped_at_n(self):
+        allocations = list(enumerate_allocations(2, [5]))
+        assert len(allocations) == 1
+        assert allocations[0].seeds_of_item(0) == {0, 1}
+
+
+class TestBruteForceAndApproximationRatio:
+    @pytest.fixture
+    def tiny_instance(self) -> WelMaxInstance:
+        # 4-node path with strong edges; config-1-like deterministic model.
+        graph = line_graph(4, 0.8)
+        model = UtilityModel(
+            TableValuation(2, {0b01: 4.0, 0b10: 5.0, 0b11: 10.0}),
+            AdditivePrice([3.0, 4.0]),
+            ZeroNoise(2),
+        )
+        return WelMaxInstance.create(graph, model, [1, 1])
+
+    def test_brute_force_finds_head_of_path(self, tiny_instance):
+        result = brute_force_optimum(tiny_instance, num_samples=200)
+        # Node 0 reaches everyone; the optimum puts both items there.
+        assert result.allocation.seeds_of_item(0) == {0}
+        assert result.allocation.seeds_of_item(1) == {0}
+        assert result.num_candidates == 16
+
+    def test_theorem2_ratio_on_tiny_instance(self, tiny_instance):
+        """bundleGRD >= (1 - 1/e - eps) * OPT, empirically."""
+        optimum = brute_force_optimum(tiny_instance, num_samples=300)
+        greedy = bundle_grd(
+            tiny_instance.graph,
+            tiny_instance.budgets,
+            epsilon=0.5,
+            rng=np.random.default_rng(0),
+        )
+        greedy_welfare = estimate_welfare(
+            tiny_instance.graph,
+            tiny_instance.model,
+            greedy.allocation,
+            num_samples=300,
+            rng=np.random.default_rng(0),
+        )
+        ratio = greedy_welfare.mean / optimum.welfare
+        assert ratio >= 1 - 1 / np.e - 0.5 - 0.05  # MC slack
+
+    def test_theorem2_ratio_star_graph(self):
+        """Same check on a star: greedy must take the hub and match OPT."""
+        graph = star_graph(6, probability=1.0)
+        model = UtilityModel(
+            TableValuation(2, {0b01: 2.0, 0b10: 2.0, 0b11: 5.0}),
+            AdditivePrice([1.0, 1.0]),
+            ZeroNoise(2),
+        )
+        instance = WelMaxInstance.create(graph, model, [1, 1])
+        optimum = brute_force_optimum(instance, num_samples=50)
+        greedy = bundle_grd(
+            graph, instance.budgets, rng=np.random.default_rng(0)
+        )
+        greedy_welfare = estimate_welfare(
+            graph, model, greedy.allocation, num_samples=50,
+            rng=np.random.default_rng(0),
+        )
+        # deterministic graph: greedy should find the exact optimum here
+        assert greedy_welfare.mean == pytest.approx(optimum.welfare, rel=0.01)

@@ -1,0 +1,68 @@
+"""Tests for the experiment CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig4_defaults(self):
+        args = build_parser().parse_args(["fig4"])
+        assert args.config == 1
+        assert args.scale == 0.05
+
+    def test_fig7_budgets(self):
+        args = build_parser().parse_args(
+            ["fig7", "--config", "6", "--budgets", "50", "100"]
+        )
+        assert args.config == 6
+        assert args.budgets == [50, 100]
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig4", "--config", "9"])
+
+
+class TestCommands:
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "flixster" in out and "orkut" in out
+
+    def test_table5(self, capsys):
+        assert main(["table5"]) == 0
+        out = capsys.readouterr().out
+        assert "{ps}" in out and "302" in out
+
+    def test_fig4_no_comic_tiny(self, capsys):
+        code = main(
+            ["fig4", "--config", "1", "--no-comic",
+             "--scale", "0.01", "--samples", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bundleGRD" in out
+        assert "RR-SIM+" not in out
+
+    def test_fig8d_tiny(self, capsys):
+        code = main(["fig8d", "--total", "30", "--scale", "0.01", "--samples", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "large_skew" in out
+
+    def test_table6_tiny(self, capsys):
+        code = main(["table6", "--total", "25", "--scale", "0.01"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bundleGRD" in out and "IMM_MAX" in out
+
+    def test_fig9d_tiny(self, capsys):
+        code = main(
+            ["fig9d", "--budget", "5", "--scale", "0.01", "--samples", "5"]
+        )
+        assert code == 0
+        assert "wc" in capsys.readouterr().out

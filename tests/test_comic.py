@@ -1,0 +1,134 @@
+"""Unit tests for the Com-IC model and the GAP correspondence (Eq. 12)."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion.comic import (
+    ComICModel,
+    estimate_comic_spread,
+    simulate_comic,
+)
+from repro.experiments.configs import two_item_config
+from repro.experiments.gap import gap_from_utility, utility_from_gap
+from repro.graph.generators import line_graph, star_graph
+
+
+class TestComICModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ComICModel(1.2, 0.5, 0.5, 0.5)
+        with pytest.raises(ValueError):
+            ComICModel(0.5, 0.5, -0.1, 0.5)
+
+    def test_mutual_complementarity(self):
+        assert ComICModel(0.5, 0.8, 0.5, 0.8).is_mutually_complementary()
+        assert not ComICModel(0.5, 0.3, 0.5, 0.8).is_mutually_complementary()
+
+    def test_q_accessor(self):
+        m = ComICModel(0.1, 0.2, 0.3, 0.4)
+        assert m.q(0, False) == 0.1
+        assert m.q(0, True) == 0.2
+        assert m.q(1, False) == 0.3
+        assert m.q(1, True) == 0.4
+        with pytest.raises(ValueError):
+            m.q(2, False)
+
+
+class TestComICSimulation:
+    def test_competitive_model_rejected(self, rng):
+        model = ComICModel(0.5, 0.2, 0.5, 0.2)
+        with pytest.raises(ValueError):
+            simulate_comic(line_graph(3, 1.0), model, [0], [], rng)
+
+    def test_q_one_adopts_all_reachable(self, rng):
+        model = ComICModel(1.0, 1.0, 1.0, 1.0)
+        result = simulate_comic(line_graph(5, 1.0), model, [0], [], rng)
+        assert result.adopted_a == {0, 1, 2, 3, 4}
+        assert result.adopted_b == set()
+
+    def test_q_zero_adopts_nothing(self, rng):
+        model = ComICModel(0.0, 0.0, 0.0, 0.0)
+        result = simulate_comic(line_graph(5, 1.0), model, [0], [0], rng)
+        assert result.adopted_a == set()
+        assert result.adopted_b == set()
+
+    def test_adoption_frequency_matches_q(self):
+        model = ComICModel(0.3, 0.3, 0.5, 0.5)
+        graph = line_graph(1, 1.0)  # single node, no propagation
+        rng = np.random.default_rng(7)
+        adopted = 0
+        for _ in range(4000):
+            result = simulate_comic(graph, model, [0], [], rng)
+            adopted += len(result.adopted_a)
+        assert adopted / 4000 == pytest.approx(0.3, abs=0.02)
+
+    def test_reconsideration_boost(self):
+        """With q_{A|B} > q_{A|∅}, seeding B too must raise A adoptions."""
+        model = ComICModel(0.2, 0.9, 1.0, 1.0)
+        graph = star_graph(50, probability=1.0)
+        alone = estimate_comic_spread(
+            graph, model, [0], [], item=0, num_samples=300,
+            rng=np.random.default_rng(1),
+        )
+        boosted = estimate_comic_spread(
+            graph, model, [0], [0], item=0, num_samples=300,
+            rng=np.random.default_rng(1),
+        )
+        assert boosted > alone * 2.0
+
+    def test_adopters_of(self, rng):
+        model = ComICModel(1.0, 1.0, 1.0, 1.0)
+        result = simulate_comic(line_graph(3, 1.0), model, [0], [2], rng)
+        assert result.adopters_of(0) == {0, 1, 2}
+        assert result.adopters_of(1) == {2}
+
+
+class TestGAPCorrespondence:
+    def test_config1_analytic_values(self):
+        """Table 3 row 1: q_{i|∅}=0.5, q_{i|j}=0.84."""
+        gap = gap_from_utility(two_item_config(1).model)
+        assert gap.q_a_empty == pytest.approx(0.5, abs=1e-6)
+        assert gap.q_b_empty == pytest.approx(0.5, abs=1e-6)
+        assert gap.q_a_given_b == pytest.approx(0.8413, abs=1e-3)
+        assert gap.q_b_given_a == pytest.approx(0.8413, abs=1e-3)
+
+    def test_config3_analytic_values(self):
+        """Table 3 row 3: 0.5 / 0.16 / 0.98 / 0.84."""
+        gap = gap_from_utility(two_item_config(3).model)
+        assert gap.q_a_empty == pytest.approx(0.5, abs=1e-6)
+        assert gap.q_b_empty == pytest.approx(0.1587, abs=1e-3)
+        assert gap.q_a_given_b == pytest.approx(0.9772, abs=1e-3)
+        assert gap.q_b_given_a == pytest.approx(0.8413, abs=1e-3)
+
+    def test_gap_requires_two_items(self):
+        from repro.utility.learned import real_utility_model
+
+        with pytest.raises(ValueError):
+            gap_from_utility(real_utility_model())
+
+    def test_gap_matches_monte_carlo_adoption(self):
+        """Eq. 12 against the simulator: a single node desiring i1 adopts it
+        with probability q_{i1|∅}."""
+        model = two_item_config(1).model
+        gap = gap_from_utility(model)
+        rng = np.random.default_rng(3)
+        adopted = 0
+        trials = 4000
+        for _ in range(trials):
+            table = model.utility_table(model.sample_noise_world(rng))
+            if table[0b01] >= 0:
+                adopted += 1
+        assert adopted / trials == pytest.approx(gap.q_a_empty, abs=0.02)
+
+    def test_utility_from_gap_roundtrip(self):
+        original = ComICModel(0.5, 0.84, 0.5, 0.84)
+        model = utility_from_gap(original, prices=(3.0, 4.0), noise_std=1.0)
+        recovered = gap_from_utility(model)
+        assert recovered.q_a_empty == pytest.approx(0.5, abs=0.01)
+        assert recovered.q_a_given_b == pytest.approx(0.84, abs=0.02)
+        assert recovered.q_b_empty == pytest.approx(0.5, abs=0.01)
+        assert recovered.q_b_given_a == pytest.approx(0.84, abs=0.02)
+
+    def test_utility_from_gap_rejects_competition(self):
+        with pytest.raises(ValueError):
+            utility_from_gap(ComICModel(0.9, 0.1, 0.5, 0.5))

@@ -1,0 +1,148 @@
+"""Unit tests for the experimental configurations (Tables 3 and 4)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.configs import (
+    multi_item_config,
+    real_param_budgets,
+    real_param_skews,
+    split_total_budget,
+    two_item_config,
+)
+from repro.utility.valuation import is_monotone, is_supermodular
+
+
+class TestTwoItemConfigs:
+    def test_config1_values(self):
+        config = two_item_config(1)
+        model = config.model
+        assert model.expected_utility(0b01) == pytest.approx(0.0)
+        assert model.expected_utility(0b10) == pytest.approx(0.0)
+        assert model.expected_utility(0b11) == pytest.approx(1.0)
+        assert config.uniform_budgets
+
+    def test_config3_negative_item(self):
+        config = two_item_config(3)
+        model = config.model
+        assert model.expected_utility(0b01) == pytest.approx(0.0)
+        assert model.expected_utility(0b10) == pytest.approx(-1.0)
+        assert model.expected_utility(0b11) == pytest.approx(1.0)
+
+    def test_gap_parameters_match_table3(self):
+        gap1 = two_item_config(1).gap
+        assert gap1.q_a_empty == 0.5
+        assert gap1.q_a_given_b == 0.84
+        gap3 = two_item_config(3).gap
+        assert gap3.q_b_empty == 0.16
+        assert gap3.q_a_given_b == 0.98
+
+    def test_budget_vectors_uniform(self):
+        vectors = two_item_config(1).budget_vectors()
+        assert vectors == [(10, 10), (30, 30), (50, 50)]
+
+    def test_budget_vectors_nonuniform(self):
+        vectors = two_item_config(2).budget_vectors()
+        assert vectors == [(70, 30), (70, 50), (70, 70), (70, 90), (70, 110)]
+
+    def test_invalid_config_id(self):
+        with pytest.raises(ValueError):
+            two_item_config(5)
+
+
+class TestSplitTotalBudget:
+    def test_uniform_split(self):
+        assert split_total_budget(100, 5, uniform=True) == [20] * 5
+
+    def test_uniform_split_remainder(self):
+        budgets = split_total_budget(103, 5, uniform=True)
+        assert sum(budgets) == 103
+        assert max(budgets) - min(budgets) <= 1
+
+    def test_skewed_split_sums(self):
+        budgets = split_total_budget(500, 5, uniform=False)
+        assert sum(budgets) == 500
+        assert budgets == sorted(budgets, reverse=True)
+
+    def test_skewed_min_is_two_percent(self):
+        budgets = split_total_budget(500, 5, uniform=False)
+        assert budgets[-1] == 10  # 2% of 500
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            split_total_budget(10, 0, uniform=True)
+        with pytest.raises(ValueError):
+            split_total_budget(-1, 3, uniform=True)
+
+    def test_single_item(self):
+        assert split_total_budget(50, 1, uniform=False) == [50]
+
+
+class TestMultiItemConfigs:
+    @pytest.mark.parametrize("config_id", [5, 6, 7, 8])
+    def test_valuations_monotone_supermodular(self, config_id):
+        config, _ = multi_item_config(config_id, num_items=4, total_budget=100)
+        assert is_monotone(config.model.valuation)
+        assert is_supermodular(config.model.valuation)
+
+    def test_config5_unit_utilities(self):
+        config, budgets = multi_item_config(5, num_items=5, total_budget=100)
+        model = config.model
+        for i in range(5):
+            assert model.expected_utility(1 << i) == pytest.approx(1.0)
+        # additive: the bundle utility is the sum
+        assert model.expected_utility(0b11111) == pytest.approx(5.0)
+        assert budgets == [20] * 5
+
+    def test_config6_core_is_max_budget(self):
+        config, budgets = multi_item_config(6, num_items=5, total_budget=100)
+        core = config.model.valuation.core_item
+        assert budgets[core] == max(budgets)
+
+    def test_config7_core_is_min_budget(self):
+        config, budgets = multi_item_config(7, num_items=5, total_budget=100)
+        core = config.model.valuation.core_item
+        assert budgets[core] == min(budgets)
+
+    def test_config6_cone_structure(self):
+        config, _ = multi_item_config(6, num_items=4, total_budget=100)
+        model = config.model
+        core = model.valuation.core_item
+        core_mask = 1 << core
+        assert model.expected_utility(core_mask) == pytest.approx(5.0)
+        for i in range(4):
+            if i != core:
+                assert model.expected_utility(1 << i) < 0
+                assert model.expected_utility(core_mask | 1 << i) == pytest.approx(7.0)
+
+    def test_config8_deterministic(self):
+        a, _ = multi_item_config(8, num_items=4, total_budget=100, seed=5)
+        b, _ = multi_item_config(8, num_items=4, total_budget=100, seed=5)
+        top = (1 << 4) - 1
+        assert a.model.valuation.value(top) == b.model.valuation.value(top)
+
+    def test_invalid_config_id(self):
+        with pytest.raises(ValueError):
+            multi_item_config(9)
+
+
+class TestRealParamBudgets:
+    def test_split_fractions(self):
+        assert real_param_budgets(500) == [150, 150, 100, 50, 50]
+
+    def test_sum_exact_under_rounding(self):
+        for total in (100, 333, 457):
+            assert sum(real_param_budgets(total)) == total
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            real_param_budgets(-5)
+
+    def test_skews(self):
+        skews = real_param_skews(500)
+        assert set(skews) == {"uniform", "large_skew", "moderate_skew"}
+        assert skews["uniform"] == [100] * 5
+        assert skews["moderate_skew"] == [150, 150, 100, 50, 50]
+        assert skews["large_skew"][0] >= 400  # ~82%
+        for budgets in skews.values():
+            assert sum(budgets) == 500

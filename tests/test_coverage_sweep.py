@@ -1,0 +1,222 @@
+"""Fine-grained coverage of paths not exercised elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.diffusion.comic import ComICModel, estimate_comic_spread
+from repro.diffusion.uic import simulate_uic
+from repro.diffusion.welfare import estimate_welfare
+from repro.experiments._two_item import TwoItemRun
+from repro.experiments.fig4_welfare import welfare_series
+from repro.experiments.fig5_runtime import runtime_series
+from repro.experiments.fig6_rrsets import rrset_series
+from repro.experiments.runner import _fmt, format_table
+from repro.graph import datasets
+from repro.graph.generators import line_graph, random_wc_graph, star_graph
+from repro.rrset.prima import prima
+from repro.utility.itemsets import subsets_between
+from repro.utility.model import UtilityModel
+from repro.utility.noise import GaussianNoise, NoiseModel, ZeroNoise
+from repro.utility.price import AdditivePrice
+from repro.utility.valuation import TableValuation
+
+
+class TestUICResultDetails:
+    def test_rounds_counted(self, rng, deterministic_two_item_model):
+        graph = line_graph(5, 1.0)
+        result = simulate_uic(
+            graph, deterministic_two_item_model, [(0, 0)], rng
+        )
+        # 1 seeding round + 4 propagation hops + 1 empty-frontier round check
+        assert result.rounds >= 5
+
+    def test_no_adoption_single_round(self, rng):
+        model = UtilityModel(
+            TableValuation(1, {0b1: 0.5}, validate="monotone"),
+            AdditivePrice([5.0]),
+            ZeroNoise(1),
+        )
+        graph = line_graph(4, 1.0)
+        result = simulate_uic(graph, model, [(0, 0)], rng)
+        assert result.rounds == 1
+        assert result.welfare == 0.0
+
+    def test_noise_world_returned(self, rng, config1_model):
+        graph = line_graph(3, 1.0)
+        result = simulate_uic(graph, config1_model, [(0, 0)], rng)
+        assert result.noise_world.shape == (2,)
+
+
+class TestWelfareEstimateBehaviour:
+    def test_stderr_shrinks_with_samples(self, small_graph, config1_model):
+        alloc = [(v, i) for v in range(5) for i in (0, 1)]
+        small = estimate_welfare(
+            small_graph, config1_model, alloc, 30, np.random.default_rng(1)
+        )
+        large = estimate_welfare(
+            small_graph, config1_model, alloc, 300, np.random.default_rng(1)
+        )
+        assert large.stderr < small.stderr
+
+    def test_single_sample_zero_stderr(self, small_graph, config1_model):
+        est = estimate_welfare(
+            small_graph, config1_model, [(0, 0)], 1, np.random.default_rng(2)
+        )
+        assert est.stderr == 0.0
+        assert est.num_samples == 1
+
+
+class TestComicSpreadEstimator:
+    def test_default_rng(self):
+        model = ComICModel(1.0, 1.0, 1.0, 1.0)
+        spread = estimate_comic_spread(
+            line_graph(4, 1.0), model, [0], [], item=0, num_samples=10
+        )
+        assert spread == pytest.approx(4.0)
+
+    def test_item_b_spread(self):
+        model = ComICModel(1.0, 1.0, 1.0, 1.0)
+        spread = estimate_comic_spread(
+            line_graph(4, 1.0), model, [], [2], item=1, num_samples=10
+        )
+        assert spread == pytest.approx(2.0)  # nodes 2, 3
+
+
+class TestSeriesHelpers:
+    def _runs(self):
+        return [
+            TwoItemRun("bundleGRD", (10, 10), 5.0, 0.1, 0.5, 100),
+            TwoItemRun("item-disj", (10, 10), 3.0, 0.1, 0.4, 90),
+            TwoItemRun("bundleGRD", (20, 20), 8.0, 0.1, 0.6, 120),
+            TwoItemRun("item-disj", (20, 20), 4.0, 0.1, 0.5, 95),
+        ]
+
+    def test_welfare_series(self):
+        series = welfare_series(self._runs())
+        assert series["bundleGRD"] == [5.0, 8.0]
+        assert series["item-disj"] == [3.0, 4.0]
+
+    def test_runtime_series(self):
+        series = runtime_series(self._runs())
+        assert series["bundleGRD"] == [0.5, 0.6]
+
+    def test_rrset_series(self):
+        series = rrset_series(self._runs())
+        assert series["item-disj"] == [90, 95]
+
+
+class TestRunnerFormatting:
+    def test_fmt_large_numbers_comma(self):
+        assert _fmt(1234567.0) == "1,234,567"
+
+    def test_fmt_small_float(self):
+        assert _fmt(0.123456) == "0.123"
+
+    def test_fmt_zero(self):
+        assert _fmt(0.0) == "0"
+
+    def test_fmt_non_float_passthrough(self):
+        assert _fmt("abc") == "abc"
+        assert _fmt(42) == "42"
+
+    def test_format_table_missing_keys(self):
+        rows = [{"a": 1, "b": 2}, {"a": 3}]
+        text = format_table(rows)
+        assert "3" in text  # missing b rendered as empty
+
+
+class TestDatasetCaching:
+    def test_different_scales_are_distinct(self):
+        a = datasets.load("flixster", scale=0.02)
+        b = datasets.load("flixster", scale=0.03)
+        assert a.num_nodes != b.num_nodes
+
+    def test_scheme_variants_cached_separately(self):
+        wc = datasets.load("twitter", scale=0.01, scheme="wc")
+        fixed = datasets.load("twitter", scale=0.01, scheme="fixed")
+        assert wc is not fixed
+
+    def test_minimum_size_floor(self):
+        tiny = datasets.load("flixster", scale=0.0001)
+        assert tiny.num_nodes >= 16
+
+
+class TestItemsetsExtra:
+    def test_subsets_between_empty_bounds(self):
+        assert list(subsets_between(0, 0)) == [0]
+
+    def test_subsets_between_full_range_count(self):
+        subs = list(subsets_between(0, 0b1111))
+        assert len(subs) == 16
+
+
+class TestPRIMAEllPrimeOverride:
+    def test_override_changes_sample_size(self, small_graph):
+        default = prima(small_graph, [10], rng=np.random.default_rng(0))
+        inflated = prima(
+            small_graph, [10], rng=np.random.default_rng(0), ell_prime=3.0
+        )
+        assert inflated.num_rr_sets > default.num_rr_sets
+
+
+class TestNoiseStaticHelpers:
+    def test_total_empty_mask(self):
+        assert NoiseModel.total(np.array([1.0, 2.0]), 0) == 0.0
+
+    def test_gaussian_default_mc_exceed(self):
+        # exercise the base-class MC fallback through a subclass without a
+        # closed form
+        class MCNoise(GaussianNoise):
+            def exceed_probability(self, item, threshold):
+                return NoiseModel.exceed_probability(self, item, threshold)
+
+        noise = MCNoise([1.0])
+        assert noise.exceed_probability(0, 0.0) == pytest.approx(0.5, abs=0.02)
+
+
+class TestCLIRemainingCommands:
+    def test_fig5_tiny(self, capsys):
+        code = cli_main(
+            ["fig5", "--networks", "flixster", "--scale", "0.01",
+             "--samples", "3"]
+        )
+        assert code == 0
+        assert "Fig 5" in capsys.readouterr().out
+
+    def test_fig6_tiny(self, capsys):
+        code = cli_main(
+            ["fig6", "--networks", "flixster", "--scale", "0.01"]
+        )
+        assert code == 0
+        assert "rr_sets" in capsys.readouterr().out
+
+    def test_fig7_tiny(self, capsys):
+        code = cli_main(
+            ["fig7", "--config", "5", "--budgets", "20",
+             "--scale", "0.01", "--samples", "5"]
+        )
+        assert code == 0
+        assert "bundleGRD" in capsys.readouterr().out
+
+    def test_fig8a_tiny(self, capsys):
+        code = cli_main(
+            ["fig8a", "--items", "1", "2", "--scale", "0.01", "--samples", "3"]
+        )
+        assert code == 0
+        assert "num_items" in capsys.readouterr().out
+
+    def test_fig8bc_tiny(self, capsys):
+        code = cli_main(
+            ["fig8bc", "--budgets", "30", "--scale", "0.01", "--samples", "5"]
+        )
+        assert code == 0
+        assert "bundle-disj" in capsys.readouterr().out
+
+    def test_fig9abc_tiny(self, capsys):
+        code = cli_main(
+            ["fig9abc", "--network", "orkut", "--scale", "0.01",
+             "--samples", "5"]
+        )
+        assert code == 0
+        assert "bdhs_step" in capsys.readouterr().out

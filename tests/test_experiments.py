@@ -1,0 +1,196 @@
+"""Tests for the experiment runners (tiny scales) and their paper shapes."""
+
+import numpy as np
+import pytest
+
+from repro.experiments._two_item import (
+    TWO_ITEM_ALGORITHMS,
+    run_two_item_experiment,
+    runs_as_rows,
+)
+from repro.experiments.fig4_welfare import run_fig4, welfare_series
+from repro.experiments.fig5_runtime import run_fig5, runtime_series
+from repro.experiments.fig6_rrsets import run_fig6, rrset_series
+from repro.experiments.fig7_multi_item import run_fig7
+from repro.experiments.fig8_real import (
+    run_budget_skew,
+    run_items_runtime,
+    run_real_param_sweep,
+)
+from repro.experiments.fig9_bdhs import result_rows, run_fig9_bdhs
+from repro.experiments.fig9_scalability import run_fig9_scalability
+from repro.experiments.runner import format_table, stopwatch
+from repro.experiments.table6_rrsets import run_table6
+from repro.graph.generators import random_wc_graph
+
+
+@pytest.fixture(scope="module")
+def tiny_graph():
+    return random_wc_graph(400, 7, seed=55)
+
+
+class TestRunnerPlumbing:
+    def test_stopwatch(self):
+        sink = {}
+        with stopwatch(sink):
+            sum(range(1000))
+        assert sink["seconds"] >= 0.0
+
+    def test_format_table(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.0}]
+        text = format_table(rows)
+        assert "a" in text and "b" in text
+        assert "10" in text
+
+    def test_format_empty(self):
+        assert format_table([]) == "(no rows)"
+
+
+class TestTwoItemExperiment:
+    def test_row_count_and_fields(self, tiny_graph):
+        runs = run_two_item_experiment(
+            1,
+            graph=tiny_graph,
+            budget_vectors=[(5, 5)],
+            algorithms=("bundleGRD", "item-disj"),
+            num_samples=20,
+        )
+        assert len(runs) == 2
+        rows = runs_as_rows(runs)
+        assert rows[0]["algorithm"] == "bundleGRD"
+        assert rows[0]["b1"] == 5
+
+    def test_unknown_algorithm_rejected(self, tiny_graph):
+        with pytest.raises(ValueError):
+            run_two_item_experiment(
+                1, graph=tiny_graph, algorithms=("magic",)
+            )
+
+    def test_fig4_bundlegrd_beats_item_disj(self, tiny_graph):
+        """The headline Fig. 4 shape at tiny scale."""
+        runs = run_fig4(
+            1,
+            graph=tiny_graph,
+            budget_vectors=[(10, 10)],
+            algorithms=("bundleGRD", "item-disj"),
+            num_samples=80,
+        )
+        series = welfare_series(runs)
+        assert series["bundleGRD"][0] > series["item-disj"][0]
+
+    def test_fig5_comic_only_on_allowed_networks(self):
+        panels = run_fig5(
+            networks=("flixster", "twitter"),
+            scale=0.01,
+            budget_vectors=[(4, 4)],
+            num_samples=5,
+            comic_networks=("flixster",),
+        )
+        flixster_algos = {r.algorithm for r in panels["flixster"]}
+        twitter_algos = {r.algorithm for r in panels["twitter"]}
+        assert "RR-SIM+" in flixster_algos
+        assert "RR-SIM+" not in twitter_algos
+        assert "bundleGRD" in twitter_algos
+
+    def test_fig5_comic_algorithms_slower(self):
+        panels = run_fig5(
+            networks=("flixster",),
+            scale=0.02,
+            budget_vectors=[(5, 5)],
+            num_samples=5,
+        )
+        series = runtime_series(panels["flixster"])
+        assert series["RR-CIM"][0] > series["bundleGRD"][0]
+
+    def test_fig6_comic_generates_more_rr_sets(self):
+        panels = run_fig6(
+            networks=("flixster",), scale=0.02, budget_vectors=[(5, 5)]
+        )
+        series = rrset_series(panels["flixster"])
+        assert series["RR-SIM+"][0] > 3 * series["bundleGRD"][0]
+
+
+class TestMultiItemExperiment:
+    @pytest.mark.parametrize("config_id", [5, 6, 7, 8])
+    def test_fig7_shapes(self, tiny_graph, config_id):
+        runs = run_fig7(
+            config_id,
+            graph=tiny_graph,
+            total_budgets=(50,),
+            num_samples=40,
+        )
+        by_algo = {r.algorithm: r for r in runs}
+        assert set(by_algo) == {"bundleGRD", "item-disj", "bundle-disj"}
+        # bundleGRD is never (meaningfully) worse than item-disj
+        assert by_algo["bundleGRD"].welfare >= 0.8 * by_algo["item-disj"].welfare
+
+    def test_fig7_unknown_algorithm(self, tiny_graph):
+        with pytest.raises(ValueError):
+            run_fig7(5, graph=tiny_graph, algorithms=("nope",))
+
+
+class TestFig8:
+    def test_items_runtime_bundlegrd_flat(self, tiny_graph):
+        runs = run_items_runtime(
+            graph=tiny_graph, item_counts=(1, 4), per_item_budget=10
+        )
+        bg = [r.seconds for r in runs if r.algorithm == "bundleGRD"]
+        bd = [r.seconds for r in runs if r.algorithm == "bundle-disj"]
+        # bundle-disj at 4 items pays ~4 IMM calls; bundleGRD stays ~flat.
+        assert bd[1] > 1.5 * bg[1]
+
+    def test_real_param_sweep_fields(self, tiny_graph):
+        runs = run_real_param_sweep(
+            graph=tiny_graph, total_budgets=(50,), num_samples=20
+        )
+        algos = {r.algorithm for r in runs}
+        assert algos == {"bundleGRD", "bundle-disj"}
+        for r in runs:
+            assert sum(r.budgets) == 50
+
+    def test_budget_skew_rows(self, tiny_graph):
+        runs = run_budget_skew(graph=tiny_graph, total_budget=50, num_samples=20)
+        names = [r.distribution for r in runs]
+        assert names == ["uniform", "large_skew", "moderate_skew"]
+
+
+class TestFig9AndTable6:
+    def test_bdhs_comparison_rows(self):
+        result = run_fig9_bdhs(
+            "orkut",
+            scale=0.01,
+            fractions=(0.2, 1.0),
+            num_samples=10,
+            num_step_worlds=5,
+        )
+        rows = result_rows(result)
+        assert len(rows) == 2
+        assert result.benchmark_step > 0
+        assert result.benchmark_concave > 0
+        # welfare grows with budget fraction (statistically, tiny slack)
+        assert result.welfare[1] >= 0.5 * result.welfare[0]
+
+    def test_fraction_to_match(self):
+        result = run_fig9_bdhs(
+            "orkut", scale=0.01, fractions=(0.5, 1.0),
+            num_samples=10, num_step_worlds=5,
+        )
+        frac = result.fraction_to_match(0.0)
+        assert frac == 0.5  # trivially matched by the first sweep point
+
+    def test_scalability_runs(self):
+        runs = run_fig9_scalability(
+            scale=0.01, percentages=(0.5, 1.0), budget=5, num_samples=10
+        )
+        assert len(runs) == 4  # 2 settings x 2 percentages
+        wc = [r for r in runs if r.setting == "wc"]
+        assert wc[1].num_nodes > wc[0].num_nodes
+
+    def test_table6_uniform_counts_equal(self, tiny_graph):
+        rows = run_table6(graph=tiny_graph, total_budget=25)
+        by_name = {r.distribution: r for r in rows}
+        uniform = by_name["uniform"]
+        assert uniform.bundle_grd == uniform.max_imm == uniform.imm_max
+        # bundleGRD never needs more RR sets than the worst single-item IMM.
+        for row in rows:
+            assert row.bundle_grd <= max(row.max_imm, row.imm_max) * 1.05

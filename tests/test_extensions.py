@@ -1,0 +1,227 @@
+"""Tests for the §5 extensions: triggering models (LT), submodular prices,
+and personalized noise."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion.personalized import (
+    estimate_welfare_personalized,
+    simulate_uic_personalized,
+)
+from repro.diffusion.triggering import (
+    IndependentCascadeTriggering,
+    LinearThresholdTriggering,
+    resolve_triggering,
+    sample_triggering_world,
+)
+from repro.diffusion.uic import simulate_uic
+from repro.diffusion.welfare import estimate_welfare
+from repro.graph.digraph import InfluenceGraph
+from repro.graph.generators import line_graph, random_wc_graph, star_graph
+from repro.rrset.imm import imm
+from repro.utility.model import UtilityModel
+from repro.utility.noise import GaussianNoise, ZeroNoise
+from repro.utility.price import AdditivePrice, DiscountedBundlePrice
+from repro.utility.valuation import (
+    TableValuation,
+    is_supermodular,
+)
+
+
+class TestTriggeringModels:
+    def test_resolve(self):
+        assert isinstance(resolve_triggering("ic"), IndependentCascadeTriggering)
+        assert isinstance(resolve_triggering("lt"), LinearThresholdTriggering)
+        model = LinearThresholdTriggering()
+        assert resolve_triggering(model) is model
+        with pytest.raises(ValueError):
+            resolve_triggering("bogus")
+
+    def test_lt_trigger_set_at_most_one(self, rng):
+        g = random_wc_graph(100, 6, seed=4)
+        lt = LinearThresholdTriggering()
+        for v in range(0, 100, 7):
+            trigger = lt.sample_trigger_set(g, v, rng)
+            assert trigger.shape[0] <= 1
+
+    def test_lt_trigger_frequencies_match_weights(self):
+        # node 2 has in-edges from 0 (w=0.3) and 1 (w=0.5); empty w.p. 0.2
+        g = InfluenceGraph(3, [(0, 2, 0.3), (1, 2, 0.5)])
+        lt = LinearThresholdTriggering()
+        rng = np.random.default_rng(5)
+        counts = {0: 0, 1: 0, None: 0}
+        trials = 8000
+        for _ in range(trials):
+            t = lt.sample_trigger_set(g, 2, rng)
+            if t.shape[0] == 0:
+                counts[None] += 1
+            else:
+                counts[int(t[0])] += 1
+        assert counts[0] / trials == pytest.approx(0.3, abs=0.02)
+        assert counts[1] / trials == pytest.approx(0.5, abs=0.02)
+        assert counts[None] / trials == pytest.approx(0.2, abs=0.02)
+
+    def test_lt_validate_rejects_overweight(self):
+        g = InfluenceGraph(3, [(0, 2, 0.8), (1, 2, 0.8)])
+        with pytest.raises(ValueError):
+            LinearThresholdTriggering().validate(g)
+
+    def test_lt_validate_accepts_wc(self):
+        g = random_wc_graph(50, 4, seed=1)
+        LinearThresholdTriggering().validate(g)  # in-weights sum to 1
+
+    def test_ic_triggering_matches_edge_probability(self):
+        g = InfluenceGraph(2, [(0, 1, 0.25)])
+        ic = IndependentCascadeTriggering()
+        rng = np.random.default_rng(6)
+        hits = sum(
+            ic.sample_trigger_set(g, 1, rng).shape[0] for _ in range(8000)
+        )
+        assert hits / 8000 == pytest.approx(0.25, abs=0.02)
+
+    def test_sample_triggering_world_edges(self, rng):
+        g = line_graph(5, 1.0)
+        world = sample_triggering_world(
+            g, IndependentCascadeTriggering(), rng
+        )
+        # probability-1 line: all edges live
+        assert world.num_live_edges == 4
+
+    def test_lt_world_line_graph_deterministic(self, rng):
+        # line graph under WC weighting: each node's single in-weight is 1,
+        # so LT always picks it — full propagation.
+        from repro.graph.weighting import weighted_cascade
+
+        g = weighted_cascade(5, [(i, i + 1) for i in range(4)])
+        world = sample_triggering_world(g, LinearThresholdTriggering(), rng)
+        assert world.num_live_edges == 4
+
+    def test_imm_under_lt_picks_star_hub(self):
+        from repro.graph.weighting import weighted_cascade
+
+        arcs = [(0, leaf) for leaf in range(1, 40)]
+        g = weighted_cascade(40, arcs)
+        result = imm(g, 1, rng=np.random.default_rng(0), triggering="lt")
+        assert result.seeds == (0,)
+
+    def test_estimate_welfare_under_lt(self, config1_model):
+        g = random_wc_graph(300, 6, seed=9)
+        alloc = [(v, i) for v in range(8) for i in (0, 1)]
+        est = estimate_welfare(
+            g, config1_model, alloc, num_samples=40,
+            rng=np.random.default_rng(1), triggering="lt",
+        )
+        assert est.mean > 0.0
+
+    def test_lt_welfare_rejects_overweight_graph(self, config1_model):
+        g = InfluenceGraph(2, [(0, 1, 0.8), (1, 0, 0.8)])
+        g2 = InfluenceGraph(3, [(0, 2, 0.8), (1, 2, 0.8)])
+        with pytest.raises(ValueError):
+            estimate_welfare(
+                g2, config1_model, [(0, 0)], num_samples=5, triggering="lt"
+            )
+
+
+class TestDiscountedBundlePrice:
+    def test_price_values(self):
+        p = DiscountedBundlePrice([3.0, 4.0, 5.0], discount=1.0)
+        assert p.price(0) == 0.0
+        assert p.price(0b001) == pytest.approx(3.0)
+        assert p.price(0b011) == pytest.approx(6.0)  # 7 - 1
+        assert p.price(0b111) == pytest.approx(10.0)  # 12 - 2
+
+    def test_discount_validation(self):
+        with pytest.raises(ValueError):
+            DiscountedBundlePrice([3.0, 4.0], discount=-1.0)
+        with pytest.raises(ValueError):
+            DiscountedBundlePrice([3.0, 4.0], discount=3.5)
+        with pytest.raises(ValueError):
+            DiscountedBundlePrice([-1.0], discount=0.0)
+
+    def test_utility_stays_supermodular(self):
+        """§5: submodular prices keep U supermodular."""
+        valuation = TableValuation(
+            3,
+            {
+                0b001: 3.0, 0b010: 3.0, 0b100: 3.0,
+                0b011: 7.0, 0b101: 7.0, 0b110: 7.0,
+                0b111: 12.0,
+            },
+        )
+        model = UtilityModel(
+            valuation,
+            DiscountedBundlePrice([2.0, 2.0, 2.0], discount=1.0),
+            ZeroNoise(3),
+        )
+        expected = model.utility_table(None)
+        as_valuation = TableValuation(
+            3, {m: float(expected[m]) for m in range(1, 8)}, validate=None
+        )
+        assert is_supermodular(as_valuation)
+
+    def test_discount_favors_bundles(self):
+        """The discounted bundle has strictly higher utility than additive."""
+        valuation = TableValuation(2, {0b01: 3.0, 0b10: 4.0, 0b11: 8.0})
+        additive = UtilityModel(valuation, AdditivePrice([3.0, 4.0]))
+        discounted = UtilityModel(
+            valuation, DiscountedBundlePrice([3.0, 4.0], discount=1.5)
+        )
+        assert discounted.expected_utility(0b11) > additive.expected_utility(0b11)
+        assert discounted.expected_utility(0b01) == additive.expected_utility(0b01)
+
+
+class TestPersonalizedNoise:
+    def test_zero_noise_matches_shared_model(self, rng):
+        """With degenerate noise, personalized == shared semantics."""
+        model = UtilityModel(
+            TableValuation(2, {0b01: 4.0, 0b10: 2.0, 0b11: 9.0}),
+            AdditivePrice([3.0, 3.0]),
+            ZeroNoise(2),
+        )
+        graph = line_graph(5, 1.0)
+        alloc = [(0, 0), (0, 1)]
+        shared = simulate_uic(graph, model, alloc, np.random.default_rng(1))
+        personal = simulate_uic_personalized(
+            graph, model, alloc, np.random.default_rng(1)
+        )
+        assert shared.adopted == personal.adopted
+        assert shared.welfare == pytest.approx(personal.welfare)
+
+    def test_personalized_runs_with_noise(self, config1_model):
+        graph = random_wc_graph(200, 6, seed=2)
+        alloc = [(v, i) for v in range(5) for i in (0, 1)]
+        welfare = estimate_welfare_personalized(
+            graph, config1_model, alloc, num_samples=40,
+            rng=np.random.default_rng(3),
+        )
+        assert welfare > 0.0
+
+    def test_personalized_validation(self, config1_model):
+        graph = line_graph(3, 1.0)
+        with pytest.raises(IndexError):
+            simulate_uic_personalized(
+                graph, config1_model, [(99, 0)], np.random.default_rng(0)
+            )
+        with pytest.raises(IndexError):
+            simulate_uic_personalized(
+                graph, config1_model, [(0, 9)], np.random.default_rng(0)
+            )
+        with pytest.raises(ValueError):
+            estimate_welfare_personalized(
+                graph, config1_model, [], num_samples=0
+            )
+
+    def test_personalized_close_to_shared_in_expectation(self, config1_model):
+        """Expected welfare under both noise regimes should be in the same
+        ballpark (noise is zero-mean either way)."""
+        graph = random_wc_graph(300, 6, seed=4)
+        alloc = [(v, i) for v in range(10) for i in (0, 1)]
+        shared = estimate_welfare(
+            graph, config1_model, alloc, num_samples=150,
+            rng=np.random.default_rng(5),
+        ).mean
+        personal = estimate_welfare_personalized(
+            graph, config1_model, alloc, num_samples=150,
+            rng=np.random.default_rng(5),
+        )
+        assert personal == pytest.approx(shared, rel=0.5)

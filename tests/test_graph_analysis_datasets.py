@@ -1,0 +1,167 @@
+"""Unit tests for graph analysis helpers and the dataset stand-ins."""
+
+import numpy as np
+import pytest
+
+from repro.graph import datasets
+from repro.graph.analysis import (
+    bfs_nodes,
+    bfs_subgraph,
+    degree_statistics,
+    largest_scc,
+    strongly_connected_components,
+)
+from repro.graph.digraph import InfluenceGraph
+from repro.graph.generators import cycle_graph, line_graph, random_wc_graph
+
+
+class TestDegreeStatistics:
+    def test_basic(self):
+        g = InfluenceGraph(3, [(0, 1, 1.0), (0, 2, 1.0), (1, 2, 1.0)])
+        stats = degree_statistics(g)
+        assert stats["num_nodes"] == 3
+        assert stats["num_edges"] == 3
+        assert stats["avg_degree"] == pytest.approx(1.0)
+        assert stats["max_out_degree"] == 2
+        assert stats["max_in_degree"] == 2
+
+    def test_empty(self):
+        stats = degree_statistics(InfluenceGraph(0, []))
+        assert stats["avg_degree"] == 0.0
+
+
+class TestBFS:
+    def test_bfs_order_on_line(self, deterministic_line):
+        assert bfs_nodes(deterministic_line, [0]) == list(range(10))
+
+    def test_bfs_limit(self, deterministic_line):
+        assert bfs_nodes(deterministic_line, [0], limit=4) == [0, 1, 2, 3]
+
+    def test_bfs_multiple_sources(self, deterministic_line):
+        order = bfs_nodes(deterministic_line, [5, 0], limit=3)
+        assert order[:2] == [5, 0]
+
+    def test_bfs_subgraph_size(self, small_graph):
+        sub = bfs_subgraph(small_graph, 0.25, seed=3)
+        assert sub.num_nodes == pytest.approx(75, abs=1)
+
+    def test_bfs_subgraph_full(self, small_graph):
+        sub = bfs_subgraph(small_graph, 1.0, seed=3)
+        assert sub.num_nodes == small_graph.num_nodes
+
+    def test_bfs_subgraph_validation(self, small_graph):
+        with pytest.raises(ValueError):
+            bfs_subgraph(small_graph, 0.0)
+        with pytest.raises(ValueError):
+            bfs_subgraph(small_graph, 1.5)
+
+
+class TestSCC:
+    def test_cycle_is_one_component(self):
+        components = strongly_connected_components(cycle_graph(6))
+        assert len(components) == 1
+        assert sorted(components[0]) == list(range(6))
+
+    def test_line_is_singletons(self):
+        components = strongly_connected_components(line_graph(5))
+        assert len(components) == 5
+
+    def test_two_cycles_bridge(self):
+        # cycle {0,1,2} -> bridge -> cycle {3,4}
+        g = InfluenceGraph(
+            5,
+            [
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 0, 1.0),
+                (2, 3, 1.0),
+                (3, 4, 1.0),
+                (4, 3, 1.0),
+            ],
+        )
+        components = {frozenset(c) for c in strongly_connected_components(g)}
+        assert frozenset({0, 1, 2}) in components
+        assert frozenset({3, 4}) in components
+
+    def test_largest_scc(self):
+        g = InfluenceGraph(
+            5,
+            [
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 0, 1.0),
+                (2, 3, 1.0),
+                (3, 4, 1.0),
+                (4, 3, 1.0),
+            ],
+        )
+        core = largest_scc(g)
+        assert core.num_nodes == 3
+        assert core.num_edges == 3
+
+    def test_scc_handles_larger_random_graph(self):
+        g = random_wc_graph(500, 6, seed=10)
+        components = strongly_connected_components(g)
+        assert sum(len(c) for c in components) == 500
+
+
+class TestDatasets:
+    def test_names(self):
+        assert datasets.dataset_names() == (
+            "flixster",
+            "douban-book",
+            "douban-movie",
+            "twitter",
+            "orkut",
+        )
+
+    def test_load_deterministic(self):
+        a = datasets.load("flixster", scale=0.05)
+        b = datasets.load("flixster", scale=0.05)
+        assert a is b  # cached
+
+    def test_load_scale(self):
+        g = datasets.load("douban-book", scale=0.02)
+        assert g.num_nodes == pytest.approx(466, abs=2)
+
+    def test_directedness(self):
+        flixster = datasets.load("flixster", scale=0.02)
+        # Undirected stand-in: every edge has its reverse.
+        for u, v, _ in list(flixster.edges())[:200]:
+            assert flixster.has_edge(v, u)
+
+    def test_fixed_scheme(self):
+        g = datasets.load("twitter", scale=0.01, scheme="fixed", probability=0.02)
+        for _, _, p in list(g.edges())[:50]:
+            assert p == pytest.approx(0.02)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            datasets.load("facebook")
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            datasets.load("orkut", scale=0.0)
+        with pytest.raises(ValueError):
+            datasets.load("orkut", scale=2.0)
+
+    def test_bad_scheme(self):
+        with pytest.raises(ValueError):
+            datasets.load("orkut", scale=0.01, scheme="tr")
+
+    def test_table2_rows(self):
+        rows = datasets.table2_rows(scale=0.02)
+        assert len(rows) == 5
+        names = [r["network"] for r in rows]
+        assert names == list(datasets.dataset_names())
+        orkut = rows[-1]
+        assert orkut["type"] == "undirected"
+        assert orkut["paper_avg_degree"] == 77.5
+
+    def test_density_ordering_preserved(self):
+        # Orkut must stay the densest, the Douban pair the sparsest.
+        degs = {
+            name: datasets.load(name, scale=0.02).average_degree()
+            for name in datasets.dataset_names()
+        }
+        assert degs["orkut"] > degs["twitter"] > degs["douban-book"]

@@ -1,0 +1,147 @@
+"""Unit tests for the CSR-backed InfluenceGraph."""
+
+import numpy as np
+import pytest
+
+from repro.graph.digraph import InfluenceGraph
+
+
+class TestConstruction:
+    def test_basic_counts(self):
+        g = InfluenceGraph(4, [(0, 1, 0.5), (1, 2, 0.3), (2, 3, 1.0)])
+        assert g.num_nodes == 4
+        assert g.num_edges == 3
+
+    def test_empty_graph(self):
+        g = InfluenceGraph(0, [])
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+        assert g.average_degree() == 0.0
+
+    def test_nodes_range(self):
+        g = InfluenceGraph(3, [(0, 1, 1.0)])
+        assert list(g.nodes) == [0, 1, 2]
+
+    def test_self_loops_dropped(self):
+        g = InfluenceGraph(3, [(0, 0, 0.9), (0, 1, 0.5)])
+        assert g.num_edges == 1
+        assert not g.has_edge(0, 0)
+
+    def test_duplicate_edges_keep_max_probability(self):
+        g = InfluenceGraph(2, [(0, 1, 0.2), (0, 1, 0.7), (0, 1, 0.4)])
+        assert g.num_edges == 1
+        assert g.edge_probability(0, 1) == pytest.approx(0.7)
+
+    def test_negative_num_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            InfluenceGraph(-1, [])
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(IndexError):
+            InfluenceGraph(2, [(0, 5, 0.5)])
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError):
+            InfluenceGraph(2, [(0, 1, 1.5)])
+        with pytest.raises(ValueError):
+            InfluenceGraph(2, [(0, 1, -0.1)])
+
+
+class TestAccessors:
+    @pytest.fixture
+    def graph(self) -> InfluenceGraph:
+        return InfluenceGraph(
+            4, [(0, 1, 0.5), (0, 2, 0.25), (1, 2, 0.75), (3, 2, 1.0)]
+        )
+
+    def test_out_neighbors_sorted(self, graph):
+        assert graph.out_neighbors(0).tolist() == [1, 2]
+
+    def test_out_probabilities_aligned(self, graph):
+        assert graph.out_probabilities(0).tolist() == [0.5, 0.25]
+
+    def test_in_neighbors(self, graph):
+        assert graph.in_neighbors(2).tolist() == [0, 1, 3]
+
+    def test_in_probabilities_aligned(self, graph):
+        assert graph.in_probabilities(2).tolist() == [0.25, 0.75, 1.0]
+
+    def test_degrees(self, graph):
+        assert graph.out_degree(0) == 2
+        assert graph.in_degree(2) == 3
+        assert graph.out_degree(2) == 0
+        assert graph.in_degree(0) == 0
+
+    def test_has_edge(self, graph):
+        assert graph.has_edge(0, 1)
+        assert not graph.has_edge(1, 0)
+
+    def test_edge_probability_absent_edge(self, graph):
+        assert graph.edge_probability(1, 0) == 0.0
+
+    def test_edges_iteration(self, graph):
+        edges = sorted(graph.edges())
+        assert edges == [
+            (0, 1, 0.5),
+            (0, 2, 0.25),
+            (1, 2, 0.75),
+            (3, 2, 1.0),
+        ]
+
+    def test_node_out_of_range(self, graph):
+        with pytest.raises(IndexError):
+            graph.out_neighbors(10)
+        with pytest.raises(IndexError):
+            graph.in_degree(-1)
+
+    def test_average_degree(self, graph):
+        assert graph.average_degree() == pytest.approx(1.0)
+
+
+class TestDerivedGraphs:
+    def test_reverse_swaps_edges(self):
+        g = InfluenceGraph(3, [(0, 1, 0.4), (1, 2, 0.6)])
+        r = g.reverse()
+        assert r.has_edge(1, 0) and r.has_edge(2, 1)
+        assert r.edge_probability(1, 0) == pytest.approx(0.4)
+        assert not r.has_edge(0, 1)
+
+    def test_reverse_involution(self):
+        g = InfluenceGraph(3, [(0, 1, 0.4), (1, 2, 0.6), (2, 0, 0.1)])
+        assert g.reverse().reverse() == g
+
+    def test_with_probabilities(self):
+        g = InfluenceGraph(3, [(0, 1, 0.4), (1, 2, 0.6)])
+        u = g.with_probabilities(0.05)
+        assert u.edge_probability(0, 1) == pytest.approx(0.05)
+        assert u.edge_probability(1, 2) == pytest.approx(0.05)
+        with pytest.raises(ValueError):
+            g.with_probabilities(2.0)
+
+    def test_subgraph_relabels(self):
+        g = InfluenceGraph(4, [(0, 1, 0.5), (1, 3, 0.5), (3, 0, 0.5)])
+        s = g.subgraph([1, 3])
+        assert s.num_nodes == 2
+        assert s.has_edge(0, 1)  # old (1, 3)
+        assert s.num_edges == 1  # (3, 0) leaves the node set
+
+    def test_subgraph_deduplicates_nodes(self):
+        g = InfluenceGraph(3, [(0, 1, 0.5)])
+        s = g.subgraph([0, 1, 0])
+        assert s.num_nodes == 2
+
+    def test_subgraph_bad_node(self):
+        g = InfluenceGraph(2, [(0, 1, 0.5)])
+        with pytest.raises(IndexError):
+            g.subgraph([0, 9])
+
+    def test_equality(self):
+        a = InfluenceGraph(2, [(0, 1, 0.5)])
+        b = InfluenceGraph(2, [(0, 1, 0.5)])
+        c = InfluenceGraph(2, [(0, 1, 0.6)])
+        assert a == b
+        assert a != c
+
+    def test_repr(self):
+        g = InfluenceGraph(2, [(0, 1, 0.5)])
+        assert "num_nodes=2" in repr(g)

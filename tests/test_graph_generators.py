@@ -1,0 +1,118 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph.digraph import InfluenceGraph
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    isolated_nodes,
+    line_graph,
+    preferential_attachment,
+    random_wc_graph,
+    star_graph,
+    two_node_edge,
+)
+
+
+class TestStructuredGraphs:
+    def test_line_graph_edges(self):
+        g = line_graph(5, 0.8)
+        assert g.num_nodes == 5
+        assert g.num_edges == 4
+        for v in range(4):
+            assert g.edge_probability(v, v + 1) == pytest.approx(0.8)
+
+    def test_cycle_graph_closes(self):
+        g = cycle_graph(4)
+        assert g.num_edges == 4
+        assert g.has_edge(3, 0)
+
+    def test_cycle_graph_single_node(self):
+        g = cycle_graph(1)
+        assert g.num_edges == 0
+
+    def test_star_outward(self):
+        g = star_graph(5, outward=True)
+        assert g.num_nodes == 6
+        assert g.out_degree(0) == 5
+        assert g.in_degree(0) == 0
+
+    def test_star_inward(self):
+        g = star_graph(5, outward=False)
+        assert g.in_degree(0) == 5
+        assert g.out_degree(0) == 0
+
+    def test_complete_graph(self):
+        g = complete_graph(4, 0.3)
+        assert g.num_edges == 12
+        assert g.edge_probability(2, 3) == pytest.approx(0.3)
+
+    def test_two_node_edge(self):
+        g = two_node_edge(0.5)
+        assert g.num_nodes == 2 and g.num_edges == 1
+
+    def test_isolated_nodes(self):
+        g = isolated_nodes(7)
+        assert g.num_nodes == 7 and g.num_edges == 0
+
+
+class TestRandomGenerators:
+    def test_erdos_renyi_size(self):
+        arcs = erdos_renyi(500, 6.0, seed=1)
+        assert len(arcs) == pytest.approx(3000, rel=0.05)
+
+    def test_erdos_renyi_undirected_symmetric(self):
+        arcs = set(erdos_renyi(100, 4.0, seed=2, directed=False))
+        for u, v in arcs:
+            assert (v, u) in arcs
+
+    def test_erdos_renyi_deterministic(self):
+        assert erdos_renyi(200, 5.0, seed=3) == erdos_renyi(200, 5.0, seed=3)
+
+    def test_erdos_renyi_tiny(self):
+        assert erdos_renyi(1, 5.0) == []
+        assert erdos_renyi(0, 5.0) == []
+
+    def test_preferential_attachment_degree(self):
+        arcs = preferential_attachment(1000, 4, seed=4)
+        # Each of the ~1000 non-initial nodes attaches to ~4 targets.
+        assert len(arcs) == pytest.approx(4000, rel=0.1)
+
+    def test_preferential_attachment_heavy_tail(self):
+        arcs = preferential_attachment(2000, 3, seed=5)
+        in_deg = np.zeros(2000)
+        for _, v in arcs:
+            in_deg[v] += 1
+        # Heavy tail: the max in-degree should be far above the mean.
+        assert in_deg.max() > 10 * in_deg.mean()
+
+    def test_preferential_attachment_no_self_loops(self):
+        arcs = preferential_attachment(300, 2, seed=6)
+        assert all(u != v for u, v in arcs)
+
+    def test_preferential_attachment_deterministic(self):
+        a = preferential_attachment(100, 2, seed=7)
+        b = preferential_attachment(100, 2, seed=7)
+        assert a == b
+
+    def test_preferential_attachment_empty(self):
+        assert preferential_attachment(0, 2) == []
+
+    def test_random_wc_graph_probabilities(self):
+        g = random_wc_graph(200, 6, seed=8)
+        # WC: probability of (u, v) equals 1/in_degree(v).
+        for v in range(0, 200, 17):
+            sources = g.in_neighbors(v)
+            if sources.shape[0] == 0:
+                continue
+            probs = g.in_probabilities(v)
+            expected = 1.0 / sources.shape[0]
+            assert np.allclose(probs, expected)
+
+    def test_random_wc_graph_er_variant(self):
+        g = random_wc_graph(200, 6, seed=9, heavy_tailed=False)
+        assert g.num_nodes == 200
+        assert g.num_edges > 0

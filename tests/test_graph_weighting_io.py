@@ -1,0 +1,112 @@
+"""Unit tests for edge weighting schemes and edge-list I/O."""
+
+import numpy as np
+import pytest
+
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.graph.weighting import (
+    fixed_probability,
+    reweight,
+    trivalency,
+    weighted_cascade,
+)
+
+
+class TestWeightedCascade:
+    def test_probability_is_inverse_in_degree(self):
+        arcs = [(0, 2), (1, 2), (3, 2), (0, 1)]
+        g = weighted_cascade(4, arcs)
+        assert g.edge_probability(0, 2) == pytest.approx(1 / 3)
+        assert g.edge_probability(0, 1) == pytest.approx(1.0)
+
+    def test_self_loops_ignored_in_degree(self):
+        g = weighted_cascade(3, [(1, 1), (0, 1)])
+        assert g.edge_probability(0, 1) == pytest.approx(1.0)
+
+    def test_empty(self):
+        g = weighted_cascade(3, [])
+        assert g.num_edges == 0
+
+
+class TestFixedAndTrivalency:
+    def test_fixed_probability(self):
+        g = fixed_probability(3, [(0, 1), (1, 2)], 0.01)
+        assert g.edge_probability(0, 1) == pytest.approx(0.01)
+
+    def test_fixed_probability_validation(self):
+        with pytest.raises(ValueError):
+            fixed_probability(2, [(0, 1)], 1.5)
+
+    def test_trivalency_levels(self):
+        g = trivalency(
+            50,
+            [(i, (i + 1) % 50) for i in range(50)],
+            rng=np.random.default_rng(0),
+        )
+        levels = {0.1, 0.01, 0.001}
+        for _, _, p in g.edges():
+            assert p in levels
+
+    def test_trivalency_validation(self):
+        with pytest.raises(ValueError):
+            trivalency(2, [(0, 1)], levels=[])
+        with pytest.raises(ValueError):
+            trivalency(2, [(0, 1)], levels=[1.5])
+
+    def test_reweight_schemes(self):
+        base = fixed_probability(4, [(0, 1), (2, 1), (1, 3)], 0.5)
+        wc = reweight(base, "wc")
+        assert wc.edge_probability(0, 1) == pytest.approx(0.5)  # in-deg 2
+        fixed = reweight(base, "fixed", probability=0.07)
+        assert fixed.edge_probability(1, 3) == pytest.approx(0.07)
+        tr = reweight(base, "tr")
+        assert tr.num_edges == base.num_edges
+        with pytest.raises(ValueError):
+            reweight(base, "bogus")
+
+
+class TestEdgeListIO:
+    def test_weighted_roundtrip(self, tmp_path):
+        g = fixed_probability(5, [(0, 1), (1, 2), (2, 0), (3, 4)], 0.25)
+        path = tmp_path / "graph.txt"
+        write_edge_list(g, path)
+        loaded, mapping = read_edge_list(path)
+        assert loaded.num_nodes == 5
+        assert loaded.num_edges == 4
+        # Node ids are contiguous in the file, mapping is identity-like.
+        original = {(mapping[u], mapping[v]) for u, v, _ in g.edges()}
+        loaded_edges = {(u, v) for u, v, _ in loaded.edges()}
+        assert original == loaded_edges
+
+    def test_unweighted_gets_wc(self, tmp_path):
+        path = tmp_path / "arcs.txt"
+        path.write_text("# comment\n10 20\n30 20\n")
+        g, mapping = read_edge_list(path)
+        assert g.num_nodes == 3
+        assert g.edge_probability(mapping[10], mapping[20]) == pytest.approx(0.5)
+
+    def test_comment_and_percent_lines_skipped(self, tmp_path):
+        path = tmp_path / "arcs.txt"
+        path.write_text("% header\n# header\n0 1 0.5\n")
+        g, _ = read_edge_list(path)
+        assert g.num_edges == 1
+
+    def test_malformed_weighted_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1 0.5\n2 3\n")
+        with pytest.raises(ValueError):
+            read_edge_list(path, weighted=True)
+
+    def test_noncontiguous_ids_compacted(self, tmp_path):
+        path = tmp_path / "arcs.txt"
+        path.write_text("1000 7 0.3\n7 42 0.9\n")
+        g, mapping = read_edge_list(path)
+        assert g.num_nodes == 3
+        assert set(mapping.keys()) == {1000, 7, 42}
+        assert sorted(mapping.values()) == [0, 1, 2]
+
+    def test_unweighted_scheme_guard(self, tmp_path):
+        path = tmp_path / "arcs.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(ValueError):
+            read_edge_list(path, weighted=False, default_scheme="tr")

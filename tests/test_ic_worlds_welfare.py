@@ -1,0 +1,150 @@
+"""Unit tests for IC simulation, live-edge worlds and welfare estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import Allocation
+from repro.diffusion.ic import estimate_spread, simulate_ic
+from repro.diffusion.welfare import estimate_adoption, estimate_welfare
+from repro.diffusion.worlds import (
+    reachable_set,
+    sample_live_edge_graph,
+)
+from repro.graph.digraph import InfluenceGraph
+from repro.graph.generators import complete_graph, line_graph, star_graph
+
+
+class TestICSimulation:
+    def test_deterministic_line(self, rng):
+        active = simulate_ic(line_graph(5, 1.0), [0], rng)
+        assert active == {0, 1, 2, 3, 4}
+
+    def test_zero_probability(self, rng):
+        active = simulate_ic(line_graph(5, 0.0), [0], rng)
+        assert active == {0}
+
+    def test_multiple_seeds(self, rng):
+        active = simulate_ic(line_graph(5, 0.0), [0, 3], rng)
+        assert active == {0, 3}
+
+    def test_spread_deterministic_graph(self):
+        assert estimate_spread(line_graph(8, 1.0), [0], 20) == pytest.approx(8.0)
+
+    def test_spread_star_half(self):
+        # hub -> 100 leaves at p=0.5: E[spread] = 1 + 50
+        spread = estimate_spread(
+            star_graph(100, probability=0.5), [0], 400, np.random.default_rng(1)
+        )
+        assert spread == pytest.approx(51.0, rel=0.05)
+
+    def test_spread_validation(self):
+        with pytest.raises(ValueError):
+            estimate_spread(line_graph(3, 1.0), [0], 0)
+
+
+class TestLiveEdgeWorlds:
+    def test_probability_one_keeps_everything(self, rng):
+        g = complete_graph(5, 1.0)
+        world = sample_live_edge_graph(g, rng)
+        assert world.num_live_edges == g.num_edges
+
+    def test_probability_zero_keeps_nothing(self, rng):
+        g = complete_graph(5, 0.0)
+        world = sample_live_edge_graph(g, rng)
+        assert world.num_live_edges == 0
+
+    def test_live_fraction(self, rng):
+        g = complete_graph(30, 0.3)
+        totals = [
+            sample_live_edge_graph(g, rng).num_live_edges for _ in range(30)
+        ]
+        assert np.mean(totals) == pytest.approx(0.3 * g.num_edges, rel=0.1)
+
+    def test_reachable_set(self, rng):
+        g = line_graph(6, 1.0)
+        world = sample_live_edge_graph(g, rng)
+        assert reachable_set(world, [2]) == {2, 3, 4, 5}
+        assert reachable_set(world, []) == set()
+
+    def test_in_adjacency(self, rng):
+        g = line_graph(4, 1.0)
+        world = sample_live_edge_graph(g, rng)
+        incoming = world.in_adjacency()
+        assert incoming[1] == [0]
+        assert incoming[0] == []
+
+
+class TestWelfareEstimation:
+    def test_empty_allocation_zero_welfare(self, small_graph, config1_model):
+        est = estimate_welfare(
+            small_graph, config1_model, Allocation.empty(2), num_samples=10
+        )
+        assert est.mean == 0.0
+        assert est.stderr == 0.0
+
+    def test_deterministic_welfare(self, deterministic_two_item_model):
+        graph = line_graph(4, 1.0)
+        est = estimate_welfare(
+            graph,
+            deterministic_two_item_model,
+            [(0, 0), (0, 1)],
+            num_samples=5,
+        )
+        # every node adopts the bundle: 4 * 3 utility, zero variance
+        assert est.mean == pytest.approx(12.0)
+        assert est.stderr == 0.0
+
+    def test_welfare_monotone_in_allocation(self, small_graph, config1_model):
+        """Theorem 1 (statistical form): more allocation, more welfare."""
+        small = [(v, 0) for v in range(5)]
+        large = small + [(v, 1) for v in range(5)] + [(v, 0) for v in range(5, 10)]
+        w_small = estimate_welfare(
+            small_graph, config1_model, small, 300, np.random.default_rng(5)
+        )
+        w_large = estimate_welfare(
+            small_graph, config1_model, large, 300, np.random.default_rng(5)
+        )
+        assert w_large.mean > w_small.mean
+
+    def test_confidence_interval(self, small_graph, config1_model):
+        est = estimate_welfare(
+            small_graph, config1_model, [(0, 0)], num_samples=50
+        )
+        lo, hi = est.confidence_interval()
+        assert lo <= est.mean <= hi
+
+    def test_num_samples_validation(self, small_graph, config1_model):
+        with pytest.raises(ValueError):
+            estimate_welfare(small_graph, config1_model, [], num_samples=0)
+        with pytest.raises(ValueError):
+            estimate_adoption(small_graph, config1_model, [], num_samples=-1)
+
+    def test_fixed_noise_world(self, small_graph, config1_model):
+        # A hugely positive noise world forces adoption everywhere reachable.
+        noise = np.array([50.0, 50.0])
+        est = estimate_welfare(
+            small_graph,
+            config1_model,
+            [(v, 0) for v in range(3)],
+            num_samples=20,
+            noise_world=noise,
+        )
+        assert est.mean > 100.0  # ~3+ nodes * ~51 utility
+
+    def test_estimate_adoption_counts(self, deterministic_two_item_model):
+        graph = line_graph(4, 1.0)
+        est = estimate_adoption(
+            graph, deterministic_two_item_model, [(0, 0)], num_samples=5
+        )
+        assert est.mean == pytest.approx(4.0)  # item 1 adopted by all 4
+
+    def test_estimate_adoption_single_item(self, deterministic_two_item_model):
+        graph = line_graph(4, 1.0)
+        est = estimate_adoption(
+            graph,
+            deterministic_two_item_model,
+            [(0, 0), (0, 1)],
+            num_samples=5,
+            item=1,
+        )
+        assert est.mean == pytest.approx(4.0)

@@ -1,0 +1,84 @@
+"""Unit tests for bitmask itemset helpers."""
+
+import pytest
+
+from repro.utility.itemsets import (
+    contains,
+    full_mask,
+    is_subset,
+    items_of,
+    iter_nonempty_subsets,
+    iter_subsets,
+    mask_of,
+    popcount,
+    subsets_between,
+    subsets_of_size,
+)
+
+
+class TestMaskBasics:
+    def test_mask_of_roundtrip(self):
+        assert items_of(mask_of([0, 2, 5])) == (0, 2, 5)
+
+    def test_mask_of_empty(self):
+        assert mask_of([]) == 0
+        assert items_of(0) == ()
+
+    def test_mask_of_rejects_negative(self):
+        with pytest.raises(ValueError):
+            mask_of([-1])
+
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+
+    def test_full_mask(self):
+        assert full_mask(0) == 0
+        assert full_mask(3) == 0b111
+
+    def test_contains(self):
+        assert contains(0b101, 0)
+        assert not contains(0b101, 1)
+
+    def test_is_subset(self):
+        assert is_subset(0b001, 0b011)
+        assert is_subset(0, 0b011)
+        assert not is_subset(0b100, 0b011)
+
+
+class TestSubsetEnumeration:
+    def test_iter_subsets_counts(self):
+        subs = list(iter_subsets(0b1011))
+        assert len(subs) == 8
+        assert subs[0] == 0
+        assert subs[-1] == 0b1011
+
+    def test_iter_subsets_ascending(self):
+        subs = list(iter_subsets(0b111))
+        assert subs == sorted(subs)
+
+    def test_iter_subsets_of_empty(self):
+        assert list(iter_subsets(0)) == [0]
+
+    def test_iter_nonempty_subsets(self):
+        subs = list(iter_nonempty_subsets(0b101))
+        assert subs == [0b001, 0b100, 0b101]
+
+    def test_subsets_between(self):
+        subs = set(subsets_between(0b001, 0b111))
+        assert subs == {0b001, 0b011, 0b101, 0b111}
+
+    def test_subsets_between_identity(self):
+        assert list(subsets_between(0b11, 0b11)) == [0b11]
+
+    def test_subsets_between_rejects_non_subset(self):
+        with pytest.raises(ValueError):
+            list(subsets_between(0b100, 0b011))
+
+    def test_subsets_of_size(self):
+        subs = set(subsets_of_size(0b1110, 2))
+        assert subs == {0b0110, 0b1010, 0b1100}
+
+    def test_subsets_of_size_degenerate(self):
+        assert list(subsets_of_size(0b11, 5)) == []
+        assert list(subsets_of_size(0b11, 0)) == [0]

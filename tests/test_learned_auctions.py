@@ -1,0 +1,135 @@
+"""Unit tests for the learned Table 5 parameters and the auction pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.utility.auctions import (
+    AuctionOutcome,
+    learn_item_parameters,
+    learn_value_distribution,
+    simulate_auctions,
+)
+from repro.utility.itemsets import full_mask, iter_subsets, popcount
+from repro.utility.learned import (
+    CONTROLLER,
+    GAME1,
+    GAME2,
+    GAME3,
+    PS,
+    PRICES,
+    real_utility_model,
+    real_value_table,
+    table5_rows,
+)
+from repro.utility.valuation import TableValuation, is_monotone, is_supermodular
+
+
+class TestTable5Parameters:
+    def test_anchor_values(self):
+        """The Table 5 rows the paper lists, verbatim."""
+        rows = {r["itemset"]: r for r in table5_rows()}
+        assert rows["{ps}"]["value"] == 213.0
+        assert rows["{ps}"]["price"] == 260.0
+        assert rows["{ps, c}"]["value"] == 220.0
+        assert rows["{ps, g1, g2, g3}"]["value"] == 258.0
+        assert rows["{ps, g1, g2, c}"]["value"] == 292.5
+        assert rows["{ps, g1, g2, g3, c}"]["value"] == 302.0
+
+    def test_positive_utility_cone(self):
+        """Only itemsets with ps, c and >= 2 games have positive utility."""
+        model = real_utility_model()
+        for mask in iter_subsets(full_mask(5)):
+            utility = model.expected_utility(mask)
+            has_ps = bool(mask >> PS & 1)
+            has_c = bool(mask >> CONTROLLER & 1)
+            games = popcount(mask >> GAME1)
+            if has_ps and has_c and games >= 2:
+                assert utility > 0, f"mask {mask:#b} should be positive"
+            elif mask != 0:
+                assert utility < 0, f"mask {mask:#b} should be negative"
+
+    def test_items_without_ps_worthless(self):
+        model = real_utility_model()
+        for mask in iter_subsets(full_mask(5)):
+            if not mask >> PS & 1:
+                assert model.valuation.value(mask) == 0.0
+
+    def test_games_interchangeable(self):
+        model = real_utility_model()
+        m1 = (1 << PS) | (1 << CONTROLLER) | (1 << GAME1) | (1 << GAME2)
+        m2 = (1 << PS) | (1 << CONTROLLER) | (1 << GAME2) | (1 << GAME3)
+        assert model.valuation.value(m1) == model.valuation.value(m2)
+
+    def test_monotone(self):
+        table = TableValuation(5, real_value_table(), validate=None)
+        assert is_monotone(table)
+
+    def test_raw_table_is_not_exactly_supermodular(self):
+        """Documents the real-data caveat: the learned anchors violate exact
+        supermodularity (see module docstring)."""
+        table = TableValuation(5, real_value_table(), validate=None)
+        assert not is_supermodular(table)
+
+    def test_strict_supermodular_projection(self):
+        table = TableValuation(
+            5, real_value_table(strict_supermodular=True), validate=None
+        )
+        assert is_monotone(table)
+        assert is_supermodular(table)
+
+    def test_strict_projection_stays_close(self):
+        raw = real_value_table()
+        strict = real_value_table(strict_supermodular=True)
+        for mask in raw:
+            assert abs(raw[mask] - strict[mask]) < 60.0
+
+    def test_prices(self):
+        assert PRICES == (260.0, 20.0, 5.0, 5.0, 5.0)
+
+
+class TestAuctionSimulation:
+    def test_simulate_shapes(self):
+        outcomes = simulate_auctions(100.0, 5.0, 50, 8, seed=1)
+        assert len(outcomes) == 50
+        assert all(o.num_bidders == 8 for o in outcomes)
+
+    def test_winning_price_is_second_highest(self):
+        """With many bidders the winning price concentrates near the upper
+        order statistics, above the mean."""
+        outcomes = simulate_auctions(100.0, 5.0, 500, 10, seed=2)
+        prices = np.array([o.winning_price for o in outcomes])
+        assert prices.mean() > 100.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_auctions(100.0, 5.0, 0, 8)
+        with pytest.raises(ValueError):
+            simulate_auctions(100.0, 5.0, 10, 1)
+
+    def test_learning_roundtrip(self):
+        """The censored-moment inversion recovers ground truth."""
+        outcomes = simulate_auctions(213.0, 4.0, 800, 8, seed=3)
+        learned = learn_value_distribution(outcomes)
+        assert learned.value == pytest.approx(213.0, abs=1.0)
+        assert learned.noise_std == pytest.approx(4.0, abs=0.5)
+
+    def test_learning_requires_outcomes(self):
+        with pytest.raises(ValueError):
+            learn_value_distribution([])
+
+    def test_learning_rejects_mixed_bidder_counts(self):
+        mixed = [AuctionOutcome(10.0, 5), AuctionOutcome(11.0, 8)]
+        with pytest.raises(ValueError):
+            learn_value_distribution(mixed)
+
+    def test_end_to_end_pipeline(self):
+        learned = learn_item_parameters(
+            213.0, 4.0, num_auctions=400, seed=4
+        )
+        assert learned.value == pytest.approx(213.0, abs=1.5)
+        assert learned.noise_std == pytest.approx(4.0, abs=0.6)
+
+    def test_pipeline_deterministic(self):
+        a = learn_item_parameters(50.0, 2.0, num_auctions=100, seed=9)
+        b = learn_item_parameters(50.0, 2.0, num_auctions=100, seed=9)
+        assert a == b

@@ -1,0 +1,95 @@
+"""Tests for the prefix-preserving influence oracle."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion.ic import estimate_spread
+from repro.graph.generators import random_wc_graph, star_graph
+from repro.rrset.oracle import InfluenceOracle
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    graph = random_wc_graph(800, 7, seed=44)
+    return InfluenceOracle(
+        graph, max_budget=25, rng=np.random.default_rng(0),
+        estimation_rr_sets=4000,
+    ), graph
+
+
+class TestConstruction:
+    def test_invalid_budget(self):
+        graph = star_graph(5)
+        with pytest.raises(ValueError):
+            InfluenceOracle(graph, max_budget=0)
+
+    def test_budget_capped_at_n(self):
+        graph = star_graph(4)  # 5 nodes
+        oracle = InfluenceOracle(graph, max_budget=50, estimation_rr_sets=100)
+        assert oracle.max_budget == 5
+
+    def test_repr(self, oracle):
+        o, _ = oracle
+        assert "max_budget=25" in repr(o)
+
+
+class TestSeedQueries:
+    def test_prefix_structure(self, oracle):
+        o, _ = oracle
+        assert o.seeds(5) == o.seed_order[:5]
+        assert o.seeds(25) == o.seed_order
+        assert o.seeds(0) == ()
+
+    def test_out_of_range(self, oracle):
+        o, _ = oracle
+        with pytest.raises(ValueError):
+            o.seeds(26)
+        with pytest.raises(ValueError):
+            o.seeds(-1)
+
+    def test_prefix_quality(self, oracle):
+        """Every queried prefix spreads comparably to its own size's worth."""
+        o, graph = oracle
+        rng = np.random.default_rng(1)
+        spread_5 = estimate_spread(graph, o.seeds(5), 300, rng)
+        spread_15 = estimate_spread(graph, o.seeds(15), 300, rng)
+        assert spread_15 > spread_5 > 0
+
+
+class TestSpreadQueries:
+    def test_estimate_matches_mc(self, oracle):
+        o, graph = oracle
+        seeds = o.seeds(10)
+        from_rr = o.estimate_spread(seeds)
+        from_mc = estimate_spread(graph, seeds, 500, np.random.default_rng(2))
+        assert from_rr == pytest.approx(from_mc, rel=0.2)
+
+    def test_empty_seed_set(self, oracle):
+        o, _ = oracle
+        assert o.estimate_spread([]) == 0.0
+
+    def test_spread_curve_monotone(self, oracle):
+        o, _ = oracle
+        curve = o.spread_curve([1, 5, 10, 20])
+        values = [v for _, v in curve]
+        assert values == sorted(values)
+
+
+class TestAllocationQueries:
+    def test_allocate_uses_precomputed_order(self, oracle):
+        o, _ = oracle
+        result = o.allocate([10, 4])
+        assert result.num_rr_sets == 0  # no new PRIMA run
+        assert result.allocation.seeds_of_item(0) == set(o.seeds(10))
+        assert result.allocation.seeds_of_item(1) == set(o.seeds(4))
+
+    def test_allocate_rejects_over_budget(self, oracle):
+        o, _ = oracle
+        with pytest.raises(ValueError):
+            o.allocate([30])
+
+    def test_repeated_allocations_consistent(self, oracle):
+        o, _ = oracle
+        a = o.allocate([8, 3])
+        b = o.allocate([8, 3])
+        assert a.allocation == b.allocation

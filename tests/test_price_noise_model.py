@@ -1,0 +1,168 @@
+"""Unit tests for AdditivePrice, noise models and UtilityModel."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.utility.itemsets import full_mask, iter_subsets
+from repro.utility.model import UtilityModel
+from repro.utility.noise import (
+    GaussianNoise,
+    NoiseModel,
+    TruncatedGaussianNoise,
+    ZeroNoise,
+)
+from repro.utility.price import AdditivePrice
+from repro.utility.valuation import AdditiveValuation, TableValuation
+
+
+class TestAdditivePrice:
+    def test_additivity(self):
+        p = AdditivePrice([1.0, 2.0, 4.0])
+        assert p.price(0) == 0.0
+        assert p.price(0b101) == pytest.approx(5.0)
+        assert p.price(0b111) == pytest.approx(7.0)
+
+    def test_item_price(self):
+        p = AdditivePrice([1.5, 2.5])
+        assert p.item_price(1) == 2.5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            AdditivePrice([1.0, -0.5])
+
+    def test_as_array_read_only(self):
+        p = AdditivePrice([1.0, 2.0])
+        arr = p.as_array()
+        with pytest.raises(ValueError):
+            arr[0] = 9.0
+
+
+class TestNoiseModels:
+    def test_zero_noise(self, rng):
+        n = ZeroNoise(3)
+        world = n.sample(rng)
+        assert np.all(world == 0)
+        assert n.item_std(0) == 0.0
+        assert n.exceed_probability(0, -1.0) == 1.0
+        assert n.exceed_probability(0, 0.5) == 0.0
+
+    def test_gaussian_zero_mean(self, rng):
+        n = GaussianNoise([2.0, 0.5])
+        samples = np.array([n.sample(rng) for _ in range(4000)])
+        assert samples[:, 0].mean() == pytest.approx(0.0, abs=0.15)
+        assert samples[:, 0].std() == pytest.approx(2.0, abs=0.15)
+        assert samples[:, 1].std() == pytest.approx(0.5, abs=0.05)
+
+    def test_gaussian_exceed_probability_closed_form(self):
+        n = GaussianNoise([1.0])
+        assert n.exceed_probability(0, 0.0) == pytest.approx(0.5)
+        assert n.exceed_probability(0, -1.0) == pytest.approx(0.8413, abs=1e-3)
+        assert n.exceed_probability(0, 1.0) == pytest.approx(0.1587, abs=1e-3)
+
+    def test_gaussian_zero_std_degenerate(self):
+        n = GaussianNoise([0.0])
+        assert n.exceed_probability(0, 0.1) == 0.0
+        assert n.exceed_probability(0, -0.1) == 1.0
+
+    def test_gaussian_uniform_constructor(self):
+        n = GaussianNoise.uniform(4, 1.5)
+        assert n.num_items == 4
+        assert n.item_std(3) == 1.5
+
+    def test_negative_std_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianNoise([-1.0])
+
+    def test_truncated_respects_bounds(self, rng):
+        n = TruncatedGaussianNoise([5.0, 5.0], [1.0, 0.5])
+        for _ in range(200):
+            world = n.sample(rng)
+            assert abs(world[0]) <= 1.0
+            assert abs(world[1]) <= 0.5
+
+    def test_truncated_validation(self):
+        with pytest.raises(ValueError):
+            TruncatedGaussianNoise([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            TruncatedGaussianNoise([-1.0], [1.0])
+
+    def test_total_over_mask(self):
+        world = np.array([1.0, -2.0, 4.0])
+        assert NoiseModel.total(world, 0b101) == pytest.approx(5.0)
+        assert NoiseModel.total(world, 0) == 0.0
+
+
+class TestUtilityModel:
+    def test_expected_utility(self, config1_model):
+        assert config1_model.expected_utility(0b01) == pytest.approx(0.0)
+        assert config1_model.expected_utility(0b10) == pytest.approx(0.0)
+        assert config1_model.expected_utility(0b11) == pytest.approx(1.0)
+
+    def test_utility_with_noise_world(self, config1_model):
+        world = np.array([0.5, -0.25])
+        assert config1_model.utility(0b01, world) == pytest.approx(0.5)
+        assert config1_model.utility(0b11, world) == pytest.approx(1.25)
+
+    def test_utility_table_matches_pointwise(self, config1_model, rng):
+        world = config1_model.sample_noise_world(rng)
+        table = config1_model.utility_table(world)
+        for mask in iter_subsets(full_mask(2)):
+            assert table[mask] == pytest.approx(
+                config1_model.utility(mask, world)
+            )
+
+    def test_utility_table_large_universe(self, rng):
+        model = UtilityModel(
+            AdditiveValuation([2.0] * 6),
+            AdditivePrice([1.0] * 6),
+            GaussianNoise.uniform(6, 1.0),
+        )
+        world = model.sample_noise_world(rng)
+        table = model.utility_table(world)
+        for mask in (0, 0b1, 0b101010, 0b111111):
+            assert table[mask] == pytest.approx(model.utility(mask, world))
+
+    def test_best_itemset_union_tie_break(self):
+        # Zero-noise config 1: U(i1)=U(i2)=0... best is {i1,i2} with 1.
+        model = UtilityModel(
+            TableValuation(2, {0b01: 3.0, 0b10: 4.0, 0b11: 7.0}),
+            AdditivePrice([3.0, 4.0]),
+            ZeroNoise(2),
+        )
+        table = model.utility_table(None)
+        # all four masks have utility 0 -> union of ties is {i1,i2}
+        assert model.best_itemset(table) == 0b11
+
+    def test_is_local_maximum(self, config1_model):
+        table = config1_model.utility_table(None)
+        assert UtilityModel.is_local_maximum(table, 0b11)
+        assert UtilityModel.is_local_maximum(table, 0)
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            UtilityModel(
+                AdditiveValuation([1.0, 2.0]), AdditivePrice([1.0]), ZeroNoise(2)
+            )
+        with pytest.raises(ValueError):
+            UtilityModel(
+                AdditiveValuation([1.0]), AdditivePrice([1.0]), ZeroNoise(2)
+            )
+        with pytest.raises(ValueError):
+            UtilityModel(
+                AdditiveValuation([1.0]),
+                AdditivePrice([1.0]),
+                ZeroNoise(1),
+                item_names=["a", "b"],
+            )
+
+    def test_item_names(self, config1_model):
+        assert config1_model.item_name(0) == "i1"
+        named = UtilityModel(
+            AdditiveValuation([1.0]),
+            AdditivePrice([0.5]),
+            item_names=["widget"],
+        )
+        assert named.item_name(0) == "widget"
+        assert named.describe(0b1) == "{widget}"

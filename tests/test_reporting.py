@@ -1,0 +1,72 @@
+"""Tests for the benchmark-artifact reporting aggregator."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.reporting import (
+    EXPERIMENT_ORDER,
+    build_report,
+    collect_artifacts,
+    main,
+)
+
+
+@pytest.fixture
+def results_dir(tmp_path) -> Path:
+    d = tmp_path / "results"
+    d.mkdir()
+    (d / "table2_networks.txt").write_text("== table2 ==\nrow1\n")
+    (d / "fig4_config1.txt").write_text("== fig4 ==\nrow2\n")
+    (d / "custom_extra.txt").write_text("== custom ==\nrow3\n")
+    return d
+
+
+class TestCollect:
+    def test_collects_all_artifacts(self, results_dir):
+        artifacts = collect_artifacts(results_dir)
+        assert set(artifacts) == {
+            "table2_networks",
+            "fig4_config1",
+            "custom_extra",
+        }
+
+    def test_missing_directory(self, tmp_path):
+        assert collect_artifacts(tmp_path / "nope") == {}
+
+
+class TestBuildReport:
+    def test_order_and_content(self, results_dir):
+        report = build_report(results_dir)
+        assert "Table 2 — network statistics" in report
+        assert "row1" in report and "row2" in report
+        # unindexed artifacts are appended
+        assert "(unindexed) custom_extra" in report
+        # missing experiments are flagged
+        assert "Missing artifacts" in report
+        assert "fig9d_scalability" in report
+
+    def test_every_indexed_experiment_has_section(self, results_dir):
+        report = build_report(results_dir)
+        for _, title in EXPERIMENT_ORDER:
+            assert title in report
+
+    def test_complete_results_have_no_missing_banner(self, tmp_path):
+        d = tmp_path / "full"
+        d.mkdir()
+        for stem, _ in EXPERIMENT_ORDER:
+            (d / f"{stem}.txt").write_text(f"== {stem} ==\ndata\n")
+        report = build_report(d)
+        assert "Missing artifacts" not in report
+
+
+class TestMain:
+    def test_writes_output_file(self, results_dir, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        assert main([str(results_dir), str(out)]) == 0
+        assert out.exists()
+        assert "Regenerated experiments" in out.read_text()
+
+    def test_prints_to_stdout(self, results_dir, capsys):
+        assert main([str(results_dir)]) == 0
+        assert "Regenerated experiments" in capsys.readouterr().out

@@ -1,0 +1,187 @@
+"""Unit tests for RR-set generation, NodeSelection and the sample bounds."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.diffusion.ic import estimate_spread
+from repro.graph.digraph import InfluenceGraph
+from repro.graph.generators import line_graph, star_graph
+from repro.rrset.bounds import (
+    SampleBounds,
+    adjusted_ell,
+    ell_prime_for,
+    log_binomial,
+)
+from repro.rrset.node_selection import node_selection
+from repro.rrset.rrgen import RRCollection, generate_rr_set
+
+
+class TestGenerateRRSet:
+    def test_line_graph_rr_set_is_ancestor_chain(self, rng):
+        g = line_graph(6, 1.0)
+        rr = generate_rr_set(g, rng, root=4)
+        assert sorted(rr.tolist()) == [0, 1, 2, 3, 4]
+
+    def test_zero_probability_rr_set_is_root(self, rng):
+        g = line_graph(6, 0.0)
+        rr = generate_rr_set(g, rng, root=4)
+        assert rr.tolist() == [4]
+
+    def test_empty_graph_rejected(self, rng):
+        with pytest.raises(ValueError):
+            generate_rr_set(InfluenceGraph(0, []), rng)
+
+    def test_rr_set_hit_probability_estimates_spread(self):
+        """σ(S) = n · Pr[S ∩ R ≠ ∅] — the defining RR-set property."""
+        g = star_graph(30, probability=0.4, outward=True)
+        n = g.num_nodes
+        rng = np.random.default_rng(11)
+        hits = 0
+        trials = 6000
+        for _ in range(trials):
+            rr = set(generate_rr_set(g, rng).tolist())
+            if 0 in rr:  # seed set {hub}
+                hits += 1
+        estimated = n * hits / trials
+        truth = estimate_spread(g, [0], 3000, np.random.default_rng(12))
+        assert estimated == pytest.approx(truth, rel=0.1)
+
+
+class TestRRCollection:
+    def test_generate_and_counts(self, rng):
+        g = line_graph(5, 1.0)
+        coll = RRCollection(g, rng)
+        coll.generate(10)
+        assert coll.num_sets == 10
+        assert coll.total_width >= 10
+        # node 0 is an ancestor of every root, so it covers everything.
+        assert coll.cover_counts[0] == 10
+
+    def test_extend_to(self, rng):
+        g = line_graph(5, 1.0)
+        coll = RRCollection(g, rng)
+        coll.extend_to(7)
+        assert coll.num_sets == 7
+        coll.extend_to(3)  # no shrink
+        assert coll.num_sets == 7
+
+    def test_coverage_fraction(self, rng):
+        g = line_graph(5, 1.0)
+        coll = RRCollection(g, rng)
+        coll.generate(20)
+        assert coll.coverage_fraction([0]) == 1.0
+        assert coll.coverage_fraction([]) == 0.0
+
+    def test_reset(self, rng):
+        g = line_graph(5, 1.0)
+        coll = RRCollection(g, rng)
+        coll.generate(5)
+        coll.reset()
+        assert coll.num_sets == 0
+        assert coll.total_width == 0
+        assert coll.cover_counts.sum() == 0
+
+    def test_cover_counts_read_only(self, rng):
+        g = line_graph(5, 1.0)
+        coll = RRCollection(g, rng)
+        coll.generate(2)
+        with pytest.raises(ValueError):
+            coll.cover_counts[0] = 99
+
+
+class TestNodeSelection:
+    def _collection_with_sets(self, n, sets):
+        """Build a collection then overwrite with hand-made RR sets."""
+        g = line_graph(n, 0.0)
+        coll = RRCollection(g, np.random.default_rng(0))
+        for s in sets:
+            rr = np.array(sorted(s), dtype=np.int64)
+            rr_id = coll.num_sets
+            coll._sets.append(rr)
+            coll._total_width += len(rr)
+            for u in rr:
+                coll._index[int(u)].append(rr_id)
+                coll._cover_counts[int(u)] += 1
+        return coll
+
+    def test_greedy_max_cover(self):
+        coll = self._collection_with_sets(
+            5, [{0, 1}, {0, 2}, {0, 3}, {4}, {4}]
+        )
+        seeds, frac = node_selection(coll, 2)
+        assert seeds == [0, 4]
+        assert frac == 1.0
+
+    def test_deterministic_tie_break_lowest_id(self):
+        coll = self._collection_with_sets(4, [{1}, {2}])
+        seeds, _ = node_selection(coll, 1)
+        assert seeds == [1]
+
+    def test_k_capped_at_n(self):
+        coll = self._collection_with_sets(3, [{0}, {1}, {2}])
+        seeds, frac = node_selection(coll, 10)
+        assert len(seeds) == 3
+        assert frac == 1.0
+
+    def test_no_duplicate_seeds(self):
+        coll = self._collection_with_sets(4, [{0}, {0}, {0}])
+        seeds, _ = node_selection(coll, 3)
+        assert len(set(seeds)) == 3
+
+    def test_empty_collection(self):
+        g = line_graph(4, 0.0)
+        coll = RRCollection(g, np.random.default_rng(0))
+        seeds, frac = node_selection(coll, 2)
+        assert len(seeds) == 2
+        assert frac == 0.0
+
+    def test_negative_k_rejected(self):
+        g = line_graph(4, 0.0)
+        coll = RRCollection(g, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            node_selection(coll, -1)
+
+
+class TestSampleBounds:
+    def test_log_binomial_matches_comb(self):
+        for n, k in [(10, 3), (100, 50), (1000, 1)]:
+            assert log_binomial(n, k) == pytest.approx(
+                math.log(math.comb(n, k)), rel=1e-9
+            )
+
+    def test_log_binomial_degenerate(self):
+        assert log_binomial(5, 7) == 0.0
+        assert log_binomial(5, -1) == 0.0
+
+    def test_lambdas_monotone_in_k(self):
+        b = SampleBounds(n=10000, epsilon=0.5, ell_prime=1.0)
+        ks = [1, 5, 20, 100, 500]
+        lp = [b.lambda_prime(k) for k in ks]
+        ls = [b.lambda_star(k) for k in ks]
+        assert lp == sorted(lp)
+        assert ls == sorted(ls)
+
+    def test_epsilon_prime(self):
+        b = SampleBounds(n=100, epsilon=0.5, ell_prime=1.0)
+        assert b.epsilon_prime == pytest.approx(math.sqrt(2) * 0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SampleBounds(n=1, epsilon=0.5, ell_prime=1.0)
+        with pytest.raises(ValueError):
+            SampleBounds(n=100, epsilon=0.0, ell_prime=1.0)
+
+    def test_ell_adjustments(self):
+        n = 1000
+        lifted = adjusted_ell(1.0, n)
+        assert lifted == pytest.approx(1.0 + math.log(2) / math.log(n))
+        lp = ell_prime_for(lifted, n, 5)
+        assert lp == pytest.approx(lifted + math.log(5) / math.log(n))
+        with pytest.raises(ValueError):
+            ell_prime_for(1.0, n, 0)
+
+    def test_max_search_level(self):
+        b = SampleBounds(n=1024, epsilon=0.5, ell_prime=1.0)
+        assert b.max_search_level == 9  # log2(1024) - 1

@@ -1,0 +1,84 @@
+"""Tests for the SKIM implementation and its prefix-preserving behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion.ic import estimate_spread
+from repro.graph.generators import line_graph, random_wc_graph, star_graph
+from repro.rrset.prima import prima
+from repro.rrset.skim import SKIMResult, skim
+
+
+class TestSKIMBasics:
+    def test_star_hub_first(self):
+        graph = star_graph(30, probability=0.7)
+        result = skim(graph, 3, rng=np.random.default_rng(0))
+        assert result.seeds[0] == 0
+
+    def test_seed_count_and_uniqueness(self, small_graph):
+        result = skim(small_graph, 8, rng=np.random.default_rng(1))
+        assert len(result.seeds) == 8
+        assert len(set(result.seeds)) == 8
+
+    def test_prefix_spreads_monotone(self, small_graph):
+        result = skim(small_graph, 10, rng=np.random.default_rng(2))
+        spreads = list(result.prefix_spreads)
+        assert spreads == sorted(spreads)
+        assert len(spreads) == 10
+
+    def test_zero_budget(self, small_graph):
+        result = skim(small_graph, 0)
+        assert result.seeds == ()
+
+    def test_budget_capped_at_n(self):
+        graph = line_graph(4, 0.5)
+        result = skim(graph, 10, num_instances=8, rng=np.random.default_rng(3))
+        assert len(result.seeds) == 4
+
+    def test_validation(self, small_graph):
+        with pytest.raises(ValueError):
+            skim(small_graph, -1)
+        with pytest.raises(ValueError):
+            skim(small_graph, 3, num_instances=0)
+        with pytest.raises(ValueError):
+            skim(small_graph, 3, sketch_size=1)
+
+    def test_seeds_for_budget(self, small_graph):
+        result = skim(small_graph, 6, rng=np.random.default_rng(4))
+        assert result.seeds_for_budget(3) == result.seeds[:3]
+        with pytest.raises(ValueError):
+            result.seeds_for_budget(7)
+
+
+class TestSKIMQuality:
+    def test_coverage_estimate_tracks_mc_spread(self, small_graph):
+        result = skim(
+            small_graph, 5, num_instances=64, rng=np.random.default_rng(5)
+        )
+        mc = estimate_spread(
+            small_graph, result.seeds, 400, np.random.default_rng(6)
+        )
+        assert result.prefix_spreads[-1] == pytest.approx(mc, rel=0.25)
+
+    def test_prefixes_comparable_to_prima(self, medium_graph):
+        """Both prefix-preserving orderings should be near-equivalent."""
+        skim_result = skim(
+            medium_graph, 20, num_instances=48, rng=np.random.default_rng(7)
+        )
+        prima_result = prima(
+            medium_graph, [20, 5], rng=np.random.default_rng(8)
+        )
+        rng = np.random.default_rng(9)
+        for k in (5, 20):
+            spread_skim = estimate_spread(
+                medium_graph, skim_result.seeds_for_budget(k), 250, rng
+            )
+            spread_prima = estimate_spread(
+                medium_graph, prima_result.seeds_for_budget(k), 250, rng
+            )
+            assert spread_skim >= 0.8 * spread_prima
+
+    def test_deterministic_given_rng(self, small_graph):
+        a = skim(small_graph, 5, rng=np.random.default_rng(10))
+        b = skim(small_graph, 5, rng=np.random.default_rng(10))
+        assert a.seeds == b.seeds

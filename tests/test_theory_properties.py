@@ -1,0 +1,225 @@
+"""Property-based tests of the paper's lemmas and theorems (hypothesis).
+
+Covers: supermodularity of U = V − P + N (additive P, N), Lemma 1 (unions of
+local maxima), Lemma 2 (adopted sets are local maxima), Lemma 3
+(reachability), Theorem 1 (per-world welfare monotonicity), Properties 2 and
+3 of the block partition, and Property 1 of the precedence order.
+"""
+
+from typing import List
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diffusion.adoption import adopt
+from repro.diffusion.uic import simulate_uic
+from repro.diffusion.worlds import LiveEdgeGraph, reachable_set
+from repro.graph.digraph import InfluenceGraph
+from repro.utility.blocks import generate_blocks, precedence_key
+from repro.utility.itemsets import full_mask, iter_subsets, items_of
+from repro.utility.model import UtilityModel
+from repro.utility.noise import ZeroNoise
+from repro.utility.price import AdditivePrice
+from repro.utility.valuation import TableValuation, is_supermodular
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+@st.composite
+def supermodular_tables(draw, num_items: int = 3):
+    """A random monotone supermodular valuation minus additive prices,
+    materialized as a utility table (zero noise).
+
+    Built by accumulating non-negative marginals that grow with set size,
+    which guarantees supermodularity by construction; prices are additive so
+    the resulting utility table stays supermodular.
+    """
+    k = num_items
+    # base marginal for each item, plus a synergy slope per extra item
+    base = [draw(st.floats(0.0, 5.0)) for _ in range(k)]
+    slope = [draw(st.floats(0.0, 3.0)) for _ in range(k)]
+    prices = [draw(st.floats(0.0, 6.0)) for _ in range(k)]
+    values = {}
+    for mask in iter_subsets(full_mask(k)):
+        total = 0.0
+        members: List[int] = list(items_of(mask))
+        for rank, item in enumerate(members):
+            # marginal of `item` when added to `rank` earlier items
+            total += base[item] + slope[item] * rank
+        values[mask] = total
+    table = np.zeros(1 << k)
+    for mask, value in values.items():
+        price = sum(prices[i] for i in items_of(mask))
+        table[mask] = value - price
+    return table
+
+
+def _table_is_supermodular(table: np.ndarray, k: int) -> bool:
+    valuation = TableValuation(
+        k, {m: float(table[m]) for m in range(1, 1 << k)}, validate=None
+    )
+    return is_supermodular(valuation)
+
+
+# ---------------------------------------------------------------------------
+# Supermodularity of the utility
+# ---------------------------------------------------------------------------
+@given(supermodular_tables())
+@settings(max_examples=60, deadline=None)
+def test_generated_tables_are_supermodular(table):
+    assert _table_is_supermodular(table, 3)
+
+
+# ---------------------------------------------------------------------------
+# Lemma 1: union of local maxima is a local maximum
+# ---------------------------------------------------------------------------
+@given(supermodular_tables())
+@settings(max_examples=60, deadline=None)
+def test_lemma1_union_of_local_maxima(table):
+    k = 3
+    local_maxima = [
+        mask
+        for mask in range(1 << k)
+        if UtilityModel.is_local_maximum(table, mask)
+    ]
+    for a in local_maxima:
+        for b in local_maxima:
+            union = a | b
+            assert UtilityModel.is_local_maximum(table, union), (
+                f"union {union:#b} of local maxima {a:#b}, {b:#b} "
+                "is not a local maximum"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Lemma 2: the adoption rule always returns a local maximum
+# ---------------------------------------------------------------------------
+@given(supermodular_tables(), st.integers(0, 7))
+@settings(max_examples=60, deadline=None)
+def test_lemma2_adopted_set_is_local_maximum(table, desire):
+    adopted = adopt(table, desire, 0)
+    assert UtilityModel.is_local_maximum(table, adopted)
+    # and adopting more later preserves the property
+    adopted2 = adopt(table, 0b111, adopted)
+    assert UtilityModel.is_local_maximum(table, adopted2)
+
+
+# ---------------------------------------------------------------------------
+# Lemma 3: reachability — every node reachable from an adopter adopts too
+# ---------------------------------------------------------------------------
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 7), st.integers(0, 7)),
+        min_size=1,
+        max_size=16,
+    ),
+    st.lists(st.tuples(st.integers(0, 7), st.integers(0, 1)), max_size=6),
+    supermodular_tables(2),
+)
+@settings(max_examples=50, deadline=None)
+def test_lemma3_reachability(arcs, allocation, table):
+    graph = InfluenceGraph(8, ((u, v, 1.0) for u, v in arcs))
+    model = UtilityModel(
+        TableValuation(
+            2, {m: float(table[m]) for m in range(1, 4)}, validate=None
+        ),
+        AdditivePrice([0.0, 0.0]),
+        ZeroNoise(2),
+    )
+    rng = np.random.default_rng(0)
+    result = simulate_uic(graph, model, allocation, rng)
+    # deterministic edges: the live world is the full graph
+    world = LiveEdgeGraph(
+        8, [graph.out_neighbors(u) for u in range(8)]
+    )
+    for item in range(2):
+        adopters = result.adopters_of(item)
+        for u in list(adopters):
+            for v in reachable_set(world, [u]):
+                assert v in adopters, (
+                    f"node {v} reachable from adopter {u} did not adopt "
+                    f"item {item}"
+                )
+
+
+# ---------------------------------------------------------------------------
+# Theorem 1: welfare is monotone w.r.t. allocations in every fixed world
+# ---------------------------------------------------------------------------
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 7), st.integers(0, 7)),
+        min_size=1,
+        max_size=14,
+    ),
+    st.lists(st.tuples(st.integers(0, 7), st.integers(0, 2)), max_size=5),
+    st.lists(st.tuples(st.integers(0, 7), st.integers(0, 2)), max_size=4),
+    supermodular_tables(3),
+)
+@settings(max_examples=40, deadline=None)
+def test_theorem1_welfare_monotone_per_world(arcs, alloc_small, extra, table):
+    graph = InfluenceGraph(8, ((u, v, 1.0) for u, v in arcs))
+    model = UtilityModel(
+        TableValuation(
+            3, {m: float(table[m]) for m in range(1, 8)}, validate=None
+        ),
+        AdditivePrice([0.0, 0.0, 0.0]),
+        ZeroNoise(3),
+    )
+    alloc_large = alloc_small + extra
+    world = LiveEdgeGraph(8, [graph.out_neighbors(u) for u in range(8)])
+    rng = np.random.default_rng(0)
+    w_small = simulate_uic(graph, model, alloc_small, rng, edge_world=world)
+    w_large = simulate_uic(graph, model, alloc_large, rng, edge_world=world)
+    assert w_large.welfare >= w_small.welfare - 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Properties 2 & 3 of the block partition
+# ---------------------------------------------------------------------------
+@given(supermodular_tables(3), st.permutations([3, 7, 12]))
+@settings(max_examples=60, deadline=None)
+def test_block_partition_properties(table, budgets):
+    model_table = table
+    # I* with union tie-break
+    best = float(np.max(model_table))
+    istar = 0
+    for mask in range(8):
+        if model_table[mask] >= best - 1e-12:
+            istar |= mask
+    if model_table[istar] < best - 1e-9:
+        return  # non-supermodular corner from float ties; skip
+    partition = generate_blocks(model_table, list(budgets), istar)
+    # partition covers I* disjointly
+    union = 0
+    for block in partition.blocks:
+        assert union & block == 0
+        union |= block
+    assert union == istar
+    # Property 2
+    assert all(d >= -1e-9 for d in partition.deltas)
+    assert sum(partition.deltas) == pytest.approx(
+        float(model_table[istar]) - float(model_table[0]), abs=1e-6
+    )
+    # Property 3 for every subset of I*
+    for subset in iter_subsets(istar):
+        deltas = partition.subset_deltas(subset, model_table)
+        assert sum(deltas) == pytest.approx(
+            float(model_table[subset]) - float(model_table[0]), abs=1e-6
+        )
+        for da, d in zip(deltas, partition.deltas):
+            assert da <= d + 1e-6
+
+
+# ---------------------------------------------------------------------------
+# Property 1 of the precedence order
+# ---------------------------------------------------------------------------
+@given(st.integers(1, 255), st.integers(1, 255))
+@settings(max_examples=200, deadline=None)
+def test_property1_precedence(s, t):
+    if t != s and t & s == t:  # t ⊂ s
+        assert precedence_key(t) < precedence_key(s)
+    if t.bit_length() < s.bit_length():  # max index strictly lower
+        assert precedence_key(t) < precedence_key(s)

@@ -1,0 +1,152 @@
+"""Tests for the validation subpackage: Theorem 1 counterexamples and the
+assumption/guarantee checkers."""
+
+import numpy as np
+import pytest
+
+from repro.core.welmax import WelMaxInstance
+from repro.graph.generators import line_graph, random_wc_graph
+from repro.utility.learned import real_utility_model
+from repro.utility.model import UtilityModel
+from repro.utility.noise import GaussianNoise, ZeroNoise
+from repro.utility.price import AdditivePrice, DiscountedBundlePrice
+from repro.utility.valuation import TableValuation
+from repro.validation import (
+    check_model_assumptions,
+    empirical_approximation_ratio,
+    non_submodularity_instance,
+    non_supermodularity_instance,
+    verify_prefix_property,
+)
+
+
+class TestTheorem1Counterexamples:
+    def test_welfare_not_submodular(self):
+        """The single-node bundle construction: marginal of (u, i2) grows
+        from 0 (at ∅) to +1 (after (u, i1))."""
+        comparison = non_submodularity_instance()
+        assert comparison.marginal_at_small == pytest.approx(0.0)
+        assert comparison.marginal_at_large == pytest.approx(1.0)
+        assert comparison.violates_submodularity
+        assert not comparison.violates_supermodularity
+
+    def test_welfare_not_supermodular(self):
+        """The two-node propagation construction: marginal of (v2, i) shrinks
+        from +1 (at ∅) to 0 (after (v1, i))."""
+        comparison = non_supermodularity_instance()
+        assert comparison.marginal_at_small == pytest.approx(1.0)
+        assert comparison.marginal_at_large == pytest.approx(0.0)
+        assert comparison.violates_supermodularity
+        assert not comparison.violates_submodularity
+
+    def test_counterexample_models_satisfy_assumptions(self):
+        """Both constructions stay inside Theorem 2's assumption set — the
+        violations concern the *objective*, not the model."""
+        for instance in (
+            non_submodularity_instance(),
+            non_supermodularity_instance(),
+        ):
+            report = check_model_assumptions(instance.model)
+            assert report.guarantee_applies
+
+
+class TestAssumptionChecker:
+    def test_compliant_model_passes(self, config1_model):
+        report = check_model_assumptions(config1_model)
+        assert report.valuation_monotone
+        assert report.valuation_supermodular
+        assert report.price_additive
+        assert report.noise_zero_mean
+        assert report.guarantee_applies
+        assert "applies" in report.summary()
+
+    def test_submodular_valuation_flagged(self):
+        model = UtilityModel(
+            TableValuation(
+                2, {0b01: 3.0, 0b10: 3.0, 0b11: 4.0}, validate=None
+            ),
+            AdditivePrice([1.0, 1.0]),
+            ZeroNoise(2),
+        )
+        report = check_model_assumptions(model)
+        assert not report.valuation_supermodular
+        assert not report.guarantee_applies
+        assert "supermodular" in report.summary()
+
+    def test_non_monotone_valuation_flagged(self):
+        model = UtilityModel(
+            TableValuation(
+                2, {0b01: 5.0, 0b10: 4.0, 0b11: 4.5}, validate=None
+            ),
+            AdditivePrice([1.0, 1.0]),
+            ZeroNoise(2),
+        )
+        report = check_model_assumptions(model)
+        assert not report.valuation_monotone
+
+    def test_discounted_price_flagged_non_additive(self, rng):
+        model = UtilityModel(
+            TableValuation(2, {0b01: 3.0, 0b10: 4.0, 0b11: 8.0}),
+            DiscountedBundlePrice([3.0, 4.0], discount=1.0),
+            ZeroNoise(2),
+        )
+        report = check_model_assumptions(model)
+        assert not report.price_additive
+        assert "additive price" in report.summary()
+
+    def test_biased_noise_flagged(self):
+        class BiasedNoise(ZeroNoise):
+            def sample(self, rng):
+                return np.full(self.num_items, 0.5)
+
+        model = UtilityModel(
+            TableValuation(1, {0b1: 2.0}),
+            AdditivePrice([1.0]),
+            BiasedNoise(1),
+        )
+        report = check_model_assumptions(model, noise_samples=200)
+        assert not report.noise_zero_mean
+
+    def test_gaussian_noise_passes(self, config1_model):
+        report = check_model_assumptions(config1_model, noise_samples=3000)
+        assert report.noise_zero_mean
+        assert len(report.noise_mean_estimates) == 2
+
+    def test_real_param_model_reported_as_heuristic_regime(self):
+        """The learned Table 5 model is monotone but not supermodular — the
+        checker surfaces exactly that."""
+        report = check_model_assumptions(real_utility_model())
+        assert report.valuation_monotone
+        assert not report.valuation_supermodular
+        assert not report.guarantee_applies
+
+
+class TestGuaranteeCheckers:
+    def test_prefix_property_on_medium_graph(self, medium_graph):
+        qualities = verify_prefix_property(
+            medium_graph, [30, 10], num_samples=200
+        )
+        assert [q.budget for q in qualities] == [10, 30]
+        for quality in qualities:
+            assert quality.ratio >= 0.8
+
+    def test_empirical_ratio_on_tiny_instance(self):
+        graph = line_graph(4, 0.8)
+        model = UtilityModel(
+            TableValuation(2, {0b01: 4.0, 0b10: 5.0, 0b11: 10.0}),
+            AdditivePrice([3.0, 4.0]),
+            ZeroNoise(2),
+        )
+        instance = WelMaxInstance.create(graph, model, [1, 1])
+        ratio = empirical_approximation_ratio(instance, num_samples=200)
+        assert ratio >= 1 - 1 / np.e - 0.5 - 0.05
+
+    def test_ratio_handles_zero_optimum(self):
+        graph = line_graph(2, 1.0)
+        model = UtilityModel(
+            TableValuation(1, {0b1: 0.5}, validate="monotone"),
+            AdditivePrice([5.0]),  # never adopted: utility -4.5
+            ZeroNoise(1),
+        )
+        instance = WelMaxInstance.create(graph, model, [1])
+        assert empirical_approximation_ratio(instance, num_samples=20) == 1.0

@@ -1,0 +1,180 @@
+"""Unit tests for valuation functions, including Lemmas 10 and 11."""
+
+import numpy as np
+import pytest
+
+from repro.utility.itemsets import full_mask, iter_subsets, mask_of, popcount
+from repro.utility.valuation import (
+    AdditiveValuation,
+    ConeValuation,
+    LevelwiseValuation,
+    TableValuation,
+    is_monotone,
+    is_submodular,
+    is_supermodular,
+)
+
+
+class TestAdditiveValuation:
+    def test_values(self):
+        v = AdditiveValuation([1.0, 2.0, 3.0])
+        assert v.value(0) == 0.0
+        assert v.value(0b101) == pytest.approx(4.0)
+        assert v.value(0b111) == pytest.approx(6.0)
+
+    def test_modular(self):
+        v = AdditiveValuation([1.0, 2.0, 3.0])
+        assert is_supermodular(v)
+        assert is_submodular(v)
+        assert is_monotone(v)
+
+    def test_marginal(self):
+        v = AdditiveValuation([1.0, 2.0])
+        assert v.marginal(0b10, 0b01) == pytest.approx(2.0)
+
+
+class TestTableValuation:
+    def test_lookup(self):
+        v = TableValuation(2, {0b01: 3.0, 0b10: 4.0, 0b11: 8.0})
+        assert v.value(0) == 0.0
+        assert v.value(0b11) == 8.0
+
+    def test_iterable_keys(self):
+        v = TableValuation(2, {(0,): 3.0, (1,): 4.0, (0, 1): 8.0})
+        assert v.value(0b11) == 8.0
+
+    def test_missing_mask_rejected(self):
+        with pytest.raises(ValueError, match="incomplete"):
+            TableValuation(2, {0b01: 3.0})
+
+    def test_monotonicity_violation_rejected(self):
+        with pytest.raises(ValueError, match="monotone"):
+            TableValuation(2, {0b01: 5.0, 0b10: 4.0, 0b11: 4.5})
+
+    def test_supermodularity_violation_rejected(self):
+        # marginal of item 1 drops from 3 to 1 given item 2 — submodular.
+        with pytest.raises(ValueError, match="supermodular"):
+            TableValuation(2, {0b01: 3.0, 0b10: 3.0, 0b11: 4.0})
+
+    def test_validation_can_be_relaxed(self):
+        v = TableValuation(
+            2, {0b01: 3.0, 0b10: 3.0, 0b11: 4.0}, validate="monotone"
+        )
+        assert v.value(0b11) == 4.0
+        v2 = TableValuation(
+            2, {0b01: 5.0, 0b10: 4.0, 0b11: 4.5}, validate=None
+        )
+        assert v2.value(0b11) == 4.5
+
+    def test_unknown_validate_mode(self):
+        with pytest.raises(ValueError):
+            TableValuation(1, {0b1: 1.0}, validate="bogus")
+
+    def test_table_materialization(self):
+        v = TableValuation(2, {0b01: 3.0, 0b10: 4.0, 0b11: 8.0})
+        table = v.table()
+        assert len(table) == 4
+        assert table[0b10] == 4.0
+
+
+class TestConeValuation:
+    def test_no_core_means_zero(self):
+        v = ConeValuation([1.0, 1.0, 1.0], core_item=0)
+        assert v.value(0b110) == 0.0
+
+    def test_core_alone_utility(self):
+        v = ConeValuation([2.0, 1.0, 1.0], core_item=0, core_utility=5.0)
+        assert v.value(0b001) == pytest.approx(7.0)  # price 2 + utility 5
+
+    def test_addon_utility(self):
+        v = ConeValuation(
+            [2.0, 1.0, 1.0], core_item=0, core_utility=5.0, addon_utility=2.0
+        )
+        # core + item1: 2+5 + 1+2 = 10
+        assert v.value(0b011) == pytest.approx(10.0)
+
+    def test_cone_shape_of_positive_utilities(self):
+        prices = [2.0, 1.0, 1.5]
+        v = ConeValuation(prices, core_item=1)
+        for mask in iter_subsets(full_mask(3)):
+            price = sum(prices[i] for i in range(3) if mask >> i & 1)
+            utility = v.value(mask) - price
+            if mask == 0:
+                continue
+            if mask >> 1 & 1:
+                assert utility > 0
+            else:
+                assert utility < 0
+
+    def test_monotone_and_supermodular(self):
+        v = ConeValuation([2.0, 1.0, 1.0, 3.0], core_item=2)
+        assert is_monotone(v)
+        assert is_supermodular(v)
+
+    def test_invalid_core(self):
+        with pytest.raises(ValueError):
+            ConeValuation([1.0], core_item=5)
+
+
+class TestLevelwiseValuation:
+    """Configuration 8's construction: Lemma 10 and Lemma 11."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_lemma10_supermodular(self, seed):
+        v = LevelwiseValuation([1.0, 2.0, 0.5, 3.0], seed=seed)
+        assert is_supermodular(v)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_monotone(self, seed):
+        v = LevelwiseValuation([1.0, 2.0, 0.5], seed=seed)
+        assert is_monotone(v)
+
+    def test_level1_values_respected(self):
+        v = LevelwiseValuation([1.5, 2.5, 3.5], seed=7)
+        assert v.value(0b001) == pytest.approx(1.5)
+        assert v.value(0b010) == pytest.approx(2.5)
+        assert v.value(0b100) == pytest.approx(3.5)
+
+    def test_lemma11_well_defined(self):
+        # V(A_t) must not depend on which element realizes the max: check
+        # internal consistency by recomputing from the stored marginals —
+        # supermodularity plus strict growth already imply values increase
+        # with level; here we check strict monotone growth per added item.
+        v = LevelwiseValuation([1.0, 1.0, 1.0, 1.0], seed=3)
+        for mask in iter_subsets(full_mask(4)):
+            for item in range(4):
+                if mask >> item & 1:
+                    continue
+                bigger = mask | 1 << item
+                if mask == 0:
+                    continue
+                # boosts are >= 1.0, so the marginal must be strictly positive
+                assert v.value(bigger) > v.value(mask)
+
+    def test_deterministic_given_seed(self):
+        a = LevelwiseValuation([1.0, 2.0], seed=9)
+        b = LevelwiseValuation([1.0, 2.0], seed=9)
+        assert a.table() == b.table()
+
+    def test_too_many_items_rejected(self):
+        with pytest.raises(ValueError):
+            LevelwiseValuation([1.0] * 17)
+
+    def test_bad_boost_range(self):
+        with pytest.raises(ValueError):
+            LevelwiseValuation([1.0, 2.0], boost_range=(5.0, 1.0))
+
+
+class TestPropertyCheckers:
+    def test_supermodular_detects_violation(self):
+        v = TableValuation(
+            2, {0b01: 3.0, 0b10: 3.0, 0b11: 4.0}, validate=None
+        )
+        assert not is_supermodular(v)
+        assert is_submodular(v)
+
+    def test_monotone_detects_violation(self):
+        v = TableValuation(
+            2, {0b01: 5.0, 0b10: 4.0, 0b11: 4.5}, validate=None
+        )
+        assert not is_monotone(v)
