@@ -16,6 +16,7 @@ import numpy as np
 from repro.diffusion.comic import ComICModel, simulate_comic
 from repro.graph.digraph import InfluenceGraph
 from repro.rrset.bounds import log_binomial
+from repro.rrset.node_selection import greedy_max_coverage
 
 
 @dataclass(frozen=True)
@@ -174,34 +175,26 @@ def comic_rr_selection(
             graph, model, fixed_item, fixed_seeds, num_forward_worlds, rng
         )
 
-    # Generate θ GAP-aware RR sets, pairing each with a forward world.
-    rr_sets: List[np.ndarray] = []
-    index: List[List[int]] = [[] for _ in range(n)]
+    # Generate θ GAP-aware RR sets, pairing each with a forward world, and
+    # accumulate them directly in flat CSR form (members + offsets).
+    member_parts: List[np.ndarray] = []
+    offsets = np.zeros(theta + 1, dtype=np.int64)
     for j in range(theta):
         boosted = worlds[j % len(worlds)] if worlds else set()
         rr = _gap_rr_set(graph, rng, q_plain, q_boosted, boosted)
-        rr_id = len(rr_sets)
-        rr_sets.append(rr)
-        for u in rr:
-            index[int(u)].append(rr_id)
+        member_parts.append(rr)
+        offsets[j + 1] = offsets[j] + rr.shape[0]
+    members = (
+        np.concatenate(member_parts)
+        if member_parts
+        else np.empty(0, dtype=np.int64)
+    )
 
-    # Greedy max coverage (NodeSelection on the ad-hoc collection).
-    gains = np.array([len(lst) for lst in index], dtype=np.int64)
-    covered = np.zeros(len(rr_sets), dtype=bool)
-    seeds: List[int] = []
-    covered_total = 0
-    for _ in range(min(budget, n)):
-        u = int(np.argmax(gains))
-        seeds.append(u)
-        for rr_id in index[u]:
-            if covered[rr_id]:
-                continue
-            covered[rr_id] = True
-            covered_total += 1
-            for w in rr_sets[rr_id]:
-                gains[int(w)] -= 1
-        gains[u] = -1
-    fraction = covered_total / len(rr_sets) if rr_sets else 0.0
+    # Vectorized greedy max coverage (shared NodeSelection machinery).
+    seeds, covered_total = greedy_max_coverage(
+        n, members, offsets, min(budget, n)
+    )
+    fraction = covered_total / theta if theta else 0.0
     return ComICSeedSelection(
         seeds=tuple(seeds),
         num_rr_sets=theta + kpt_sets,

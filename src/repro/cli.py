@@ -6,17 +6,25 @@ Usage::
     python -m repro fig4 --config 1 --scale 0.05 --samples 60
     python -m repro fig7 --config 6 --budgets 100 300 500
     python -m repro table6 --scale 0.05
+    python -m repro fig5 --rr-backend sequential       # legacy RR sampler
     python -m repro all --scale 0.02 --samples 20      # quick full sweep
 
 Every subcommand prints the regenerated rows in the same shape the paper
-reports.  Scales refer to the dataset stand-ins (DESIGN.md §4).
+reports.  Scales refer to the dataset stand-ins (DESIGN.md §4).  The RR-set
+engine backend is selectable per run (``--rr-backend`` or
+``$REPRO_RR_BACKEND``): ``batched`` (vectorized, default) or ``sequential``
+(the historical per-set BFS, byte-reproducible against pre-vectorization
+seeds).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional, Sequence
+
+from repro.rrset.batch import BACKEND_ENV, BACKENDS
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -29,6 +37,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="Monte-Carlo samples per welfare estimate (default 60)",
     )
     parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+    parser.add_argument(
+        "--rr-backend", choices=BACKENDS, default=None,
+        help="RR-set sampling backend: 'batched' (vectorized numpy frontier "
+        "expansion, the default) or 'sequential' (historical per-set BFS). "
+        "Also settable via $REPRO_RR_BACKEND.",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -95,6 +109,24 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    backend = getattr(args, "rr_backend", None)
+    if not backend:
+        return _run(args)
+    # RRCollection resolves $REPRO_RR_BACKEND at construction time, so
+    # exporting reconfigures every algorithm the subcommand runs; restored
+    # afterwards so in-process callers don't inherit the choice.
+    saved = os.environ.get(BACKEND_ENV)
+    os.environ[BACKEND_ENV] = backend
+    try:
+        return _run(args)
+    finally:
+        if saved is None:
+            os.environ.pop(BACKEND_ENV, None)
+        else:
+            os.environ[BACKEND_ENV] = saved
+
+
+def _run(args: argparse.Namespace) -> int:
     from repro.experiments.runner import print_table
 
     if args.command == "table2":

@@ -25,6 +25,8 @@ from repro.graph.generators import (
     line_graph,
     preferential_attachment,
     star_graph,
+    watts_strogatz,
+    watts_strogatz_wc_graph,
 )
 from repro.graph.io import read_edge_list, write_edge_list
 from repro.graph.weighting import (
@@ -49,6 +51,8 @@ __all__ = [
     "star_graph",
     "strongly_connected_components",
     "trivalency",
+    "watts_strogatz",
+    "watts_strogatz_wc_graph",
     "weighted_cascade",
     "write_edge_list",
 ]

@@ -92,6 +92,55 @@ def preferential_attachment(
     return arcs
 
 
+def watts_strogatz(
+    num_nodes: int,
+    nearest_neighbors: int = 4,
+    rewire_probability: float = 0.1,
+    seed: int = 0,
+) -> List[Arc]:
+    """Watts–Strogatz small-world arcs (directed, both ring directions).
+
+    Start from a ring lattice where every node points to its ``k/2`` nearest
+    neighbors on each side, then rewire each arc's target uniformly at random
+    with probability ``rewire_probability`` (self loops and duplicates are
+    re-drawn).  Small-world graphs have near-uniform degree — a useful
+    counterpoint to the heavy-tailed generators when validating samplers.
+    """
+    if num_nodes <= 1:
+        return []
+    rng = np.random.default_rng(seed)
+    half = max(1, nearest_neighbors // 2)
+    arcs: List[Arc] = []
+    seen = set()
+    for u in range(num_nodes):
+        for offset in range(1, half + 1):
+            for v in ((u + offset) % num_nodes, (u - offset) % num_nodes):
+                if rng.random() < rewire_probability:
+                    for _ in range(10):
+                        candidate = int(rng.integers(0, num_nodes))
+                        if candidate != u and (u, candidate) not in seen:
+                            v = candidate
+                            break
+                if u == v or (u, v) in seen:
+                    continue
+                seen.add((u, v))
+                arcs.append((u, v))
+    return arcs
+
+
+def watts_strogatz_wc_graph(
+    num_nodes: int,
+    nearest_neighbors: int = 4,
+    rewire_probability: float = 0.1,
+    seed: int = 0,
+) -> InfluenceGraph:
+    """Watts–Strogatz topology with weighted-cascade probabilities."""
+    arcs = watts_strogatz(
+        num_nodes, nearest_neighbors, rewire_probability, seed=seed
+    )
+    return weighted_cascade(num_nodes, arcs)
+
+
 def cycle_graph(num_nodes: int, probability: float = 1.0) -> InfluenceGraph:
     """Directed cycle ``0 -> 1 -> ... -> n-1 -> 0`` with uniform probability."""
     edges = (

@@ -1,6 +1,7 @@
 """Reverse-influence-sampling (RIS) substrate.
 
-Random reverse-reachable (RR) sets (:mod:`repro.rrset.rrgen`), the greedy
+Random reverse-reachable (RR) sets (:mod:`repro.rrset.rrgen`; the vectorized
+batched sampler lives in :mod:`repro.rrset.batch`), the greedy
 max-coverage ``NodeSelection`` procedure (:mod:`repro.rrset.node_selection`),
 the IMM algorithm of Tang et al. with the Chen-2018 regeneration fix
 (:mod:`repro.rrset.imm`), its prefix-preserving multi-budget extension PRIMA —
@@ -12,9 +13,20 @@ greedy (:mod:`repro.rrset.greedy_mc`) and the prefix-preserving influence
 oracle (:mod:`repro.rrset.oracle`).
 """
 
+from repro.rrset.batch import (
+    BACKEND_ENV,
+    BACKENDS,
+    batch_generate_rr_sets,
+    resolve_backend,
+    supports_batched,
+)
 from repro.rrset.greedy_mc import GreedyMCResult, greedy_mc
 from repro.rrset.imm import IMMResult, imm
-from repro.rrset.node_selection import node_selection
+from repro.rrset.node_selection import (
+    greedy_max_coverage,
+    node_selection,
+    node_selection_reference,
+)
 from repro.rrset.prima import PRIMAResult, prima
 from repro.rrset.oracle import InfluenceOracle
 from repro.rrset.rrgen import RRCollection, generate_rr_set
@@ -23,6 +35,8 @@ from repro.rrset.ssa import SSAResult, ssa
 from repro.rrset.tim import TIMResult, tim
 
 __all__ = [
+    "BACKEND_ENV",
+    "BACKENDS",
     "GreedyMCResult",
     "IMMResult",
     "InfluenceOracle",
@@ -31,12 +45,17 @@ __all__ = [
     "SKIMResult",
     "SSAResult",
     "TIMResult",
+    "batch_generate_rr_sets",
     "generate_rr_set",
+    "greedy_max_coverage",
     "greedy_mc",
     "imm",
     "node_selection",
+    "node_selection_reference",
     "prima",
+    "resolve_backend",
     "skim",
     "ssa",
+    "supports_batched",
     "tim",
 ]

@@ -1,0 +1,202 @@
+"""Batched RR-set sampling: many reverse BFS walks per numpy call.
+
+The sequential sampler (:func:`repro.rrset.rrgen.generate_rr_set`) visits one
+node at a time, paying Python-interpreter overhead per node and per edge.
+This module runs ``B`` reverse BFS walks *concurrently* by keeping the union
+of all frontiers as flat ``(walk_id, node)`` arrays and expanding every
+frontier in one vectorized step over the graph's reverse-CSR arrays:
+
+1. **Gather** — for the flat frontier ``(w, v)`` pairs, look up each node's
+   in-edge slice ``indptr[v] : indptr[v+1]`` and materialize all candidate
+   edges at once with ``np.repeat`` over the per-node degrees (the standard
+   "segmented gather": ``pos = repeat(starts - excl_cumsum, degs) +
+   arange(total)``).
+2. **Coin flips** — under IC, one uniform per candidate edge compared against
+   the edge probability; under LT, one uniform per *frontier node* compared
+   against the segmented cumulative in-weights, which selects at most one
+   in-neighbor per node exactly as the sequential trigger-set sampler does.
+3. **Dedup** — surviving ``(walk, source)`` pairs are filtered against a
+   per-chunk ``visited`` bitmap and de-duplicated within the step via
+   ``np.unique`` on the key ``walk * n + node``; the survivors form the next
+   frontier and are appended to the flat member log.
+
+After all frontiers die out, the member log is stably ``argsort``-ed by walk
+id, yielding the concatenated members of every RR set plus per-walk lengths —
+exactly the flat CSR layout :class:`repro.rrset.rrgen.RRCollection` stores.
+
+Memory is bounded by chunking: walks are processed in groups of ``B`` such
+that the ``B × n`` visited bitmap stays within ``_TARGET_CELLS`` bytes, so
+arbitrarily large requests stream through a fixed-size working set.
+
+Generic :class:`~repro.diffusion.triggering.TriggeringModel` instances other
+than IC/LT have no vectorized trigger sampler; callers should fall back to
+the sequential path (``supports_batched`` tells them).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.diffusion.triggering import (
+    IndependentCascadeTriggering,
+    LinearThresholdTriggering,
+    TriggeringModel,
+)
+from repro.graph.digraph import InfluenceGraph
+
+#: Environment variable naming the default RR-set backend.
+BACKEND_ENV = "REPRO_RR_BACKEND"
+
+#: Recognized backend names.
+BACKENDS = ("sequential", "batched")
+
+#: Upper bound on the per-chunk visited bitmap (cells = walks × nodes).
+_TARGET_CELLS = 1 << 25  # 32M bools ≈ 32 MB
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """Resolve a backend name: explicit > ``$REPRO_RR_BACKEND`` > batched."""
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV) or "batched"
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown RR backend {backend!r}; expected one of {BACKENDS}"
+        )
+    return backend
+
+
+def supports_batched(triggering: Optional[TriggeringModel]) -> bool:
+    """Whether the batched sampler covers this triggering model.
+
+    ``None`` (the IC fast path), :class:`IndependentCascadeTriggering` and
+    :class:`LinearThresholdTriggering` are vectorized; anything else needs
+    the sequential fallback.
+    """
+    return triggering is None or isinstance(
+        triggering, (IndependentCascadeTriggering, LinearThresholdTriggering)
+    )
+
+
+def batch_generate_rr_sets(
+    graph: InfluenceGraph,
+    rng: np.random.Generator,
+    count: int,
+    triggering: Optional[TriggeringModel] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample ``count`` RR sets with vectorized frontier expansion.
+
+    Returns ``(members, lengths)`` where ``members`` is the int64
+    concatenation of all RR sets in generation order and ``lengths[i]`` is
+    the size of RR set ``i`` (``members.size == lengths.sum()``; every set
+    includes its root, so lengths are >= 1).
+    """
+    n = graph.num_nodes
+    if n == 0:
+        raise ValueError("cannot sample an RR set from an empty graph")
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if not supports_batched(triggering):
+        raise ValueError(
+            f"triggering model {triggering!r} has no batched sampler; "
+            "use the sequential backend"
+        )
+    if count == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+
+    lt = isinstance(triggering, LinearThresholdTriggering)
+    chunk = max(1, min(count, _TARGET_CELLS // max(n, 1)))
+    # One visited bitmap reused across chunks; each chunk clears only the
+    # cells it touched (O(members) instead of an O(chunk * n) re-zero).
+    visited = np.zeros((chunk, n), dtype=bool)
+    member_parts = []
+    length_parts = []
+    remaining = count
+    while remaining > 0:
+        batch = min(chunk, remaining)
+        nodes, lengths = _sample_chunk(graph, rng, batch, lt, visited)
+        # Members sorted by walk + per-walk lengths identify every visited
+        # cell; clear them for the next chunk.
+        visited[np.repeat(np.arange(batch), lengths), nodes] = False
+        member_parts.append(nodes)
+        length_parts.append(lengths)
+        remaining -= batch
+    return np.concatenate(member_parts), np.concatenate(length_parts)
+
+
+def _sample_chunk(
+    graph: InfluenceGraph,
+    rng: np.random.Generator,
+    batch: int,
+    lt: bool,
+    visited: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Run ``batch`` concurrent reverse BFS walks; see the module docstring.
+
+    ``visited`` is a caller-owned scratch bitmap of shape ``(>= batch, n)``
+    whose cells must all be False on entry; the caller clears the touched
+    cells afterwards (identified by the returned members/lengths).
+    """
+    n = graph.num_nodes
+    indptr = graph._in_indptr
+    in_sources = graph._in_sources
+    in_probs = graph._in_probs
+
+    roots = rng.integers(0, n, size=batch).astype(np.int64)
+    visited[np.arange(batch), roots] = True
+
+    walk_parts = [np.arange(batch, dtype=np.int64)]
+    node_parts = [roots]
+    frontier_w = walk_parts[0]
+    frontier_n = roots
+
+    while frontier_w.size:
+        starts = indptr[frontier_n]
+        degs = indptr[frontier_n + 1] - starts
+        total = int(degs.sum())
+        if total == 0:
+            break
+        # Segmented gather of every candidate in-edge of the whole frontier.
+        excl = np.cumsum(degs) - degs
+        pos = np.repeat(starts - excl, degs) + np.arange(total)
+        src = in_sources[pos]
+        prob = in_probs[pos]
+        if lt:
+            # One uniform per frontier node selects at most one in-neighbor:
+            # edge j of node v is live iff cum_{<j} <= draw < cum_{<=j}, the
+            # live-edge characterization of LT.
+            cum = np.cumsum(prob)
+            # Zero-degree segments have excl == total; clip before indexing
+            # (np.repeat with 0 repeats drops their entries regardless).
+            safe = np.minimum(excl, total - 1)
+            seg_cum = cum - np.repeat(cum[safe] - prob[safe], degs)
+            draw = np.repeat(rng.random(frontier_n.size), degs)
+            live = (draw < seg_cum) & (draw >= seg_cum - prob)
+        else:
+            live = rng.random(total) < prob
+        rep = np.repeat(frontier_w, degs)
+        w = rep[live]
+        s = src[live]
+        if w.size:
+            fresh = ~visited[w, s]
+            w = w[fresh]
+            s = s[fresh]
+        if w.size == 0:
+            break
+        # Dedup (walk, node) pairs discovered twice within this step.
+        key = np.unique(w * n + s)
+        w = key // n
+        s = key % n
+        visited[w, s] = True
+        walk_parts.append(w)
+        node_parts.append(s)
+        frontier_w = w
+        frontier_n = s
+
+    walks = np.concatenate(walk_parts)
+    nodes = np.concatenate(node_parts)
+    lengths = np.bincount(walks, minlength=batch)
+    order = np.argsort(walks, kind="stable")
+    return nodes[order], lengths

@@ -38,6 +38,7 @@ def imm(
     rng: Optional[np.random.Generator] = None,
     ell_prime: Optional[float] = None,
     triggering=None,
+    backend: Optional[str] = None,
 ) -> IMMResult:
     """Select ``k`` seeds with IMM.
 
@@ -53,6 +54,7 @@ def imm(
         rng=rng,
         ell_prime=ell_prime,
         triggering=triggering,
+        backend=backend,
     )
     return IMMResult(
         seeds=result.seeds,

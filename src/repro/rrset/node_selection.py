@@ -5,8 +5,24 @@ node covering the most not-yet-covered RR sets.  Returns the *ordered* seed
 list — the order matters for the prefix-preserving property PRIMA provides —
 and the covered fraction ``F_R(S)``.
 
-The procedure is deterministic given the collection (ties broken by smallest
-node id), which is what lets PRIMA reuse seed prefixes across budgets.
+Tie-break contract
+------------------
+The procedure is deterministic given the collection: at every round the
+winner is the node with the **largest residual gain**, ties broken by the
+**smallest node id** (``np.argmax`` returns the first maximum).  This exact
+contract is what lets PRIMA reuse seed prefixes across budgets, and both
+implementations below honour it:
+
+* :func:`node_selection` — vectorized: the per-round gain update gathers the
+  member slices of all newly covered RR sets in one segmented ``np.repeat``
+  gather and applies them with a single ``bincount`` subtraction.  Because
+  gain updates are exact integer arithmetic, its output is bit-for-bit
+  identical to the reference loop on the same collection.
+* :func:`node_selection_reference` — the historical per-element Python loop,
+  kept as the equivalence oracle for tests and benchmarks.
+
+:func:`greedy_max_coverage` exposes the same vectorized greedy over raw flat
+arrays for callers that build ad-hoc collections (the Com-IC baselines).
 """
 
 from __future__ import annotations
@@ -15,13 +31,82 @@ from typing import List, Tuple
 
 import numpy as np
 
-from repro.rrset.rrgen import RRCollection
+from repro.rrset.rrgen import RRCollection, build_inverted_index
+
+
+def _greedy_rounds(
+    num_nodes: int,
+    members: np.ndarray,
+    offsets: np.ndarray,
+    idx_sets: np.ndarray,
+    idx_indptr: np.ndarray,
+    gains: np.ndarray,
+    k: int,
+) -> Tuple[List[int], int]:
+    """Shared vectorized greedy loop; mutates ``gains`` in place."""
+    num_sets = offsets.shape[0] - 1
+    covered = np.zeros(num_sets, dtype=bool)
+    seeds: List[int] = []
+    covered_total = 0
+    for _ in range(k):
+        u = int(np.argmax(gains))  # argmax breaks ties at the lowest id
+        seeds.append(u)
+        if gains[u] > 0:
+            ids = idx_sets[idx_indptr[u] : idx_indptr[u + 1]]
+            new = ids[~covered[ids]]
+            if new.shape[0]:
+                covered[new] = True
+                covered_total += int(new.shape[0])
+                starts = offsets[new]
+                lengths = offsets[new + 1] - starts
+                total = int(lengths.sum())
+                flat = np.repeat(
+                    starts - (np.cumsum(lengths) - lengths), lengths
+                ) + np.arange(total)
+                gains -= np.bincount(members[flat], minlength=num_nodes)
+        # a selected node must never be picked again
+        gains[u] = -1
+    return seeds, covered_total
+
+
+def greedy_max_coverage(
+    num_nodes: int, members: np.ndarray, offsets: np.ndarray, k: int
+) -> Tuple[List[int], int]:
+    """Vectorized greedy max-coverage over raw flat CSR arrays.
+
+    ``members[offsets[i] : offsets[i+1]]`` are the nodes of set ``i``.
+    Duplicate nodes within a set are tolerated (de-duplicated up front, so
+    gains and coverage count each (set, node) pair once).  Builds the
+    inverted index in bulk (``argsort`` + ``bincount``) and runs the same
+    greedy rounds as :func:`node_selection`.  Returns the ordered seed list
+    and the number of covered sets.
+    """
+    members = np.asarray(members, dtype=np.int64)
+    offsets = np.asarray(offsets, dtype=np.int64)
+    num_sets = offsets.shape[0] - 1
+    # Normalize: drop duplicate (set, node) pairs so occurrence counts equal
+    # set counts everywhere downstream.
+    if members.shape[0]:
+        set_ids = np.repeat(
+            np.arange(num_sets, dtype=np.int64), np.diff(offsets)
+        )
+        unique_keys = np.unique(set_ids * np.int64(num_nodes) + members)
+        members = unique_keys % num_nodes
+        lengths = np.bincount(unique_keys // num_nodes, minlength=num_sets)
+        offsets = np.zeros(num_sets + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+    k = min(k, num_nodes)  # same clamp as node_selection: no duplicate seeds
+    idx_sets, idx_indptr = build_inverted_index(members, offsets, num_nodes)
+    gains = np.diff(idx_indptr).astype(np.int64)
+    return _greedy_rounds(
+        num_nodes, members, offsets, idx_sets, idx_indptr, gains, k
+    )
 
 
 def node_selection(
     collection: RRCollection, k: int
 ) -> Tuple[List[int], float]:
-    """Greedy max-coverage seed selection.
+    """Greedy max-coverage seed selection (vectorized).
 
     Parameters
     ----------
@@ -44,12 +129,37 @@ def node_selection(
         # Degenerate but well-defined: arbitrary (lowest-id) seeds, coverage 0.
         return list(range(k)), 0.0
 
+    members, offsets, idx_sets, idx_indptr = collection.selection_arrays()
+    gains = collection.cover_counts.astype(np.int64).copy()
+    seeds, covered_total = _greedy_rounds(
+        n, members, offsets, idx_sets, idx_indptr, gains, k
+    )
+    return seeds, covered_total / num_sets
+
+
+def node_selection_reference(
+    collection: RRCollection, k: int
+) -> Tuple[List[int], float]:
+    """The historical per-element greedy loop (equivalence oracle).
+
+    Same tie-break contract as :func:`node_selection`; kept for the
+    exact-equivalence tests and the engine benchmark.
+    """
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    n = collection.graph.num_nodes
+    k = min(k, n)
+    num_sets = collection.num_sets
+    if num_sets == 0:
+        return list(range(k)), 0.0
+
     gains = collection.cover_counts.astype(np.int64).copy()
     covered = np.zeros(num_sets, dtype=bool)
+    sets = collection.sets()
     seeds: List[int] = []
     covered_total = 0
     for _ in range(k):
-        u = int(np.argmax(gains))  # argmax breaks ties at the lowest id
+        u = int(np.argmax(gains))
         seeds.append(u)
         gain_u = int(gains[u])
         if gain_u > 0:
@@ -58,8 +168,7 @@ def node_selection(
                     continue
                 covered[rr_id] = True
                 covered_total += 1
-                for w in collection.sets()[rr_id]:
+                for w in sets[rr_id]:
                     gains[int(w)] -= 1
-        # a selected node must never be picked again
         gains[u] = -1
     return seeds, covered_total / num_sets

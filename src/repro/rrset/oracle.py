@@ -54,6 +54,7 @@ class InfluenceOracle:
         rng: Optional[np.random.Generator] = None,
         estimation_rr_sets: int = 10_000,
         triggering=None,
+        backend: Optional[str] = None,
     ):
         if max_budget <= 0:
             raise ValueError(f"max_budget must be positive, got {max_budget}")
@@ -68,11 +69,14 @@ class InfluenceOracle:
             ell=ell,
             rng=rng,
             triggering=triggering,
+            backend=backend,
         )
         from repro.diffusion.triggering import resolve_triggering
 
         trig = resolve_triggering(triggering) if triggering is not None else None
-        self._estimator = RRCollection(graph, rng, triggering=trig)
+        self._estimator = RRCollection(
+            graph, rng, triggering=trig, backend=backend
+        )
         self._estimator.extend_to(int(estimation_rr_sets))
 
     # ------------------------------------------------------------------

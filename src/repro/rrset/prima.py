@@ -69,6 +69,7 @@ def prima(
     rng: Optional[np.random.Generator] = None,
     ell_prime: Optional[float] = None,
     triggering=None,
+    backend: Optional[str] = None,
 ) -> PRIMAResult:
     """Run PRIMA (Algorithm 2 of the paper).
 
@@ -91,6 +92,11 @@ def prima(
         ``None`` (IC fast path), ``"ic"``, ``"lt"`` or a
         :class:`~repro.diffusion.triggering.TriggeringModel` — the paper's
         results carry over to any triggering model (§5).
+    backend:
+        RR sampling backend: ``"batched"`` (vectorized, default),
+        ``"sequential"`` (historical per-set BFS; byte-identical seeds to
+        the pre-vectorization implementation for a fixed RNG seed), or
+        ``None`` to resolve from ``$REPRO_RR_BACKEND``.
 
     Returns
     -------
@@ -124,7 +130,9 @@ def prima(
     eps_prime = bounds.epsilon_prime
 
     trig_model = resolve_triggering(triggering) if triggering is not None else None
-    collection = RRCollection(graph, rng, triggering=trig_model)
+    collection = RRCollection(
+        graph, rng, triggering=trig_model, backend=backend
+    )
     # Duplicate budget values add nothing (identical λ*), and re-running the
     # coverage loop on a grown collection would inflate θ; process each
     # distinct value once.  The union bound ℓ′ above still uses the full |b|.

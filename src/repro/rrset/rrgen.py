@@ -1,4 +1,4 @@
-"""Random reverse-reachable (RR) set generation.
+"""Random reverse-reachable (RR) set generation and flat storage.
 
 An RR set is sampled by choosing a node ``v`` uniformly at random and running
 a *reverse* BFS from it, where each incoming edge ``(u, v')`` of a visited
@@ -10,19 +10,38 @@ node ``v'`` is live independently with probability ``p_{u v'}`` (Borgs et al.
 for every seed set ``S``, which turns influence maximization into max-coverage
 over a collection of RR sets.
 
-:class:`RRCollection` owns a growing collection along with the inverted index
-(node -> RR-set ids) that the greedy ``NodeSelection`` needs, and tracks the
-total edge work ``w(R)`` used in the paper's running-time accounting.
+Two samplers produce identical distributions:
+
+* ``backend="sequential"`` — :func:`generate_rr_set`, one Python-level BFS
+  per set.  Kept as the exact-equivalence reference: for a fixed RNG seed it
+  reproduces the historical per-set RNG stream bit for bit.
+* ``backend="batched"`` — :mod:`repro.rrset.batch`, which expands many
+  frontiers per numpy call (flat ``(walk, node)`` arrays over the reverse
+  CSR).  The default; an order of magnitude faster on non-trivial graphs.
+
+:class:`RRCollection` stores the collection *flat*: one concatenated int64
+``members`` array plus an ``offsets`` array (CSR over sets), instead of a
+Python list of arrays.  The inverted index (node -> RR-set ids) that greedy
+``NodeSelection`` needs is rebuilt lazily in bulk — one ``argsort`` of the
+members by node plus a ``bincount`` for the indptr — rather than via
+per-element list appends; with the geometric sample-size growth of
+IMM/PRIMA's search the amortized rebuild cost stays linear-log in the total
+width.  ``w(R)`` totals are tracked for the paper's running-time accounting.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.diffusion.triggering import TriggeringModel
 from repro.graph.digraph import InfluenceGraph
+from repro.rrset.batch import (
+    batch_generate_rr_sets,
+    resolve_backend,
+    supports_batched,
+)
 
 
 def generate_rr_set(
@@ -67,13 +86,76 @@ def generate_rr_set(
     return np.fromiter(visited, dtype=np.int64, count=len(visited))
 
 
-class RRCollection:
-    """A growing collection of RR sets with an inverted index.
+def build_inverted_index(
+    members: np.ndarray, offsets: np.ndarray, num_nodes: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Bulk-build the node -> RR-set-id inverted index over flat storage.
 
+    Returns ``(idx_sets, idx_indptr)``: RR-set ids grouped by node (stable —
+    ascending set id within each node), CSR over nodes.  One stable
+    ``argsort`` of the members by node plus a ``bincount`` for the indptr;
+    shared by :class:`RRCollection` and the ad-hoc greedy in
+    :mod:`repro.rrset.node_selection`.
+    """
+    num_sets = offsets.shape[0] - 1
+    set_ids = np.repeat(
+        np.arange(num_sets, dtype=np.int64), np.diff(offsets)
+    )
+    order = np.argsort(members, kind="stable")
+    idx_sets = set_ids[order]
+    counts = np.bincount(members, minlength=num_nodes)
+    idx_indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+    np.cumsum(counts, out=idx_indptr[1:])
+    return idx_sets, idx_indptr
+
+
+class _SetsView(Sequence[np.ndarray]):
+    """Read-only sequence view over a collection's flat member storage."""
+
+    __slots__ = ("_collection",)
+
+    def __init__(self, collection: "RRCollection"):
+        self._collection = collection
+
+    def __len__(self) -> int:
+        return self._collection.num_sets
+
+    def __getitem__(self, rr_id: int) -> np.ndarray:
+        coll = self._collection
+        if isinstance(rr_id, slice):
+            return [self[i] for i in range(*rr_id.indices(len(self)))]
+        if rr_id < 0:
+            rr_id += len(self)
+        if not 0 <= rr_id < len(self):
+            raise IndexError(f"RR set id {rr_id} out of range [0, {len(self)})")
+        start = coll._offsets[rr_id]
+        end = coll._offsets[rr_id + 1]
+        view = coll._members[start:end]
+        view.flags.writeable = False
+        return view
+
+
+class RRCollection:
+    """A growing collection of RR sets in flat CSR form, with inverted index.
+
+    ``members[offsets[i] : offsets[i+1]]`` are the nodes of RR set ``i``.
     The inverted index maps each node to the ids of RR sets containing it;
-    ``cover_counts[u]`` is its length.  Both are maintained incrementally so
-    repeated ``NodeSelection`` calls (IMM's geometric search) stay linear in
-    the *new* work only.
+    ``cover_counts[u]`` is its length.  Cover counts are maintained
+    incrementally (bulk ``bincount`` per generation batch); the index itself
+    is rebuilt lazily in bulk on first query after new sets arrive, so
+    repeated ``NodeSelection`` calls (IMM's geometric search) pay the rebuild
+    only once per sample-size level.
+
+    Parameters
+    ----------
+    graph, rng, triggering:
+        As before: the network, the randomness source, and an optional
+        triggering model (``None`` = IC fast path).
+    backend:
+        ``"sequential"`` (per-set Python BFS, exact historical RNG stream),
+        ``"batched"`` (vectorized frontier expansion), or ``None`` to resolve
+        from ``$REPRO_RR_BACKEND`` (default batched).  Triggering models
+        without a batched sampler fall back to sequential automatically.
     """
 
     def __init__(
@@ -81,16 +163,29 @@ class RRCollection:
         graph: InfluenceGraph,
         rng: np.random.Generator,
         triggering: Optional[TriggeringModel] = None,
+        backend: Optional[str] = None,
     ):
         if triggering is not None:
             triggering.validate(graph)
         self._graph = graph
         self._rng = rng
         self._triggering = triggering
-        self._sets: List[np.ndarray] = []
-        self._index: List[List[int]] = [[] for _ in range(graph.num_nodes)]
-        self._cover_counts = np.zeros(graph.num_nodes, dtype=np.int64)
-        self._total_width = 0  # Σ w(R): edges examined, for time accounting
+        self._backend = resolve_backend(backend)
+        n = graph.num_nodes
+        self._members = np.empty(1024, dtype=np.int64)
+        self._num_members = 0
+        self._offsets = np.zeros(1025, dtype=np.int64)
+        self._num_sets = 0
+        self._cover_counts = np.zeros(n, dtype=np.int64)
+        self._total_width = 0  # Σ w(R): nodes visited, for time accounting
+        # Inverted index (lazy): RR-set ids grouped by node, CSR over nodes.
+        self._idx_sets = np.empty(0, dtype=np.int64)
+        self._idx_indptr = np.zeros(n + 1, dtype=np.int64)
+        self._index_dirty = False
+        # Epoch-stamped scratch for coverage_fraction: stamp[i] == epoch
+        # means "set i covered in the current query" — no per-call allocation.
+        self._cov_stamp = np.zeros(1024, dtype=np.int64)
+        self._cov_epoch = 0
 
     @property
     def graph(self) -> InfluenceGraph:
@@ -98,9 +193,14 @@ class RRCollection:
         return self._graph
 
     @property
+    def backend(self) -> str:
+        """The sampling backend this collection uses."""
+        return self._backend
+
+    @property
     def num_sets(self) -> int:
         """Number of RR sets generated so far ``|R|``."""
-        return len(self._sets)
+        return self._num_sets
 
     @property
     def total_width(self) -> int:
@@ -115,26 +215,75 @@ class RRCollection:
         return view
 
     def sets(self) -> Sequence[np.ndarray]:
-        """The RR sets themselves (do not mutate)."""
-        return self._sets
+        """The RR sets themselves (read-only views into the flat storage)."""
+        return _SetsView(self)
 
-    def containing(self, node: int) -> Sequence[int]:
-        """Ids of RR sets containing ``node``."""
-        return self._index[node]
+    def containing(self, node: int) -> np.ndarray:
+        """Ids of RR sets containing ``node`` (read-only view)."""
+        self._ensure_index()
+        start = self._idx_indptr[node]
+        end = self._idx_indptr[node + 1]
+        view = self._idx_sets[start:end]
+        view.flags.writeable = False
+        return view
 
+    def selection_arrays(
+        self,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Flat arrays for vectorized NodeSelection.
+
+        Returns ``(members, offsets, idx_sets, idx_indptr)``: the member/
+        offset CSR over sets plus the inverted-index CSR over nodes.  All
+        four are live views — do not mutate.
+        """
+        self._ensure_index()
+        return (
+            self._members[: self._num_members],
+            self._offsets[: self._num_sets + 1],
+            self._idx_sets,
+            self._idx_indptr,
+        )
+
+    # ------------------------------------------------------------------
+    # Growth
+    # ------------------------------------------------------------------
     def generate(self, count: int) -> None:
-        """Generate ``count`` additional RR sets."""
-        for _ in range(count):
-            rr = generate_rr_set(
-                self._graph, self._rng, triggering=self._triggering
+        """Generate ``count`` additional RR sets with the active backend."""
+        if count <= 0:
+            return
+        if self._backend == "batched" and supports_batched(self._triggering):
+            members, lengths = batch_generate_rr_sets(
+                self._graph, self._rng, count, triggering=self._triggering
             )
-            rr_id = len(self._sets)
-            self._sets.append(rr)
-            self._total_width += int(rr.shape[0])
-            for u in rr:
-                u = int(u)
-                self._index[u].append(rr_id)
-                self._cover_counts[u] += 1
+        else:
+            sets = [
+                generate_rr_set(
+                    self._graph, self._rng, triggering=self._triggering
+                )
+                for _ in range(count)
+            ]
+            members = np.concatenate(sets)
+            lengths = np.fromiter(
+                (rr.shape[0] for rr in sets), dtype=np.int64, count=count
+            )
+        self._append_flat(members, lengths)
+
+    def add_sets(self, sets: Sequence[Sequence[int]]) -> None:
+        """Bulk-insert explicit RR sets (tests and ad-hoc collections).
+
+        Members are de-duplicated (and sorted) per set: an RR set is a set,
+        and the index/coverage machinery counts each (set, node) pair once.
+        """
+        if not len(sets):
+            return
+        arrays = [np.unique(np.asarray(s, dtype=np.int64)) for s in sets]
+        members = (
+            np.concatenate(arrays) if arrays else np.empty(0, dtype=np.int64)
+        )
+        lengths = np.fromiter(
+            (a.shape[0] for a in arrays), dtype=np.int64, count=len(arrays)
+        )
+        self._append_flat(members, lengths)
 
     def extend_to(self, target: int) -> None:
         """Generate RR sets until ``num_sets >= target``."""
@@ -142,18 +291,88 @@ class RRCollection:
         if missing > 0:
             self.generate(missing)
 
+    def _append_flat(self, members: np.ndarray, lengths: np.ndarray) -> None:
+        """Append pre-sampled sets given flat members + per-set lengths."""
+        new_members = int(members.shape[0])
+        new_sets = int(lengths.shape[0])
+        self._reserve(new_members, new_sets)
+        self._members[
+            self._num_members : self._num_members + new_members
+        ] = members
+        base = self._offsets[self._num_sets]
+        self._offsets[
+            self._num_sets + 1 : self._num_sets + 1 + new_sets
+        ] = base + np.cumsum(lengths)
+        self._num_members += new_members
+        self._num_sets += new_sets
+        self._total_width += new_members
+        if new_members:
+            self._cover_counts += np.bincount(
+                members, minlength=self._graph.num_nodes
+            )
+        self._index_dirty = True
+
+    def _reserve(self, extra_members: int, extra_sets: int) -> None:
+        need_m = self._num_members + extra_members
+        if need_m > self._members.shape[0]:
+            cap = max(need_m, 2 * self._members.shape[0])
+            grown = np.empty(cap, dtype=np.int64)
+            grown[: self._num_members] = self._members[: self._num_members]
+            self._members = grown
+        need_s = self._num_sets + 1 + extra_sets
+        if need_s > self._offsets.shape[0]:
+            cap = max(need_s, 2 * self._offsets.shape[0])
+            grown = np.zeros(cap, dtype=np.int64)
+            grown[: self._num_sets + 1] = self._offsets[: self._num_sets + 1]
+            self._offsets = grown
+        if need_s > self._cov_stamp.shape[0]:
+            cap = max(need_s, 2 * self._cov_stamp.shape[0])
+            grown = np.zeros(cap, dtype=np.int64)
+            grown[: self._cov_stamp.shape[0]] = self._cov_stamp
+            self._cov_stamp = grown
+
+    def _ensure_index(self) -> None:
+        """Bulk-rebuild the inverted index if new sets arrived."""
+        if not self._index_dirty:
+            return
+        self._idx_sets, self._idx_indptr = build_inverted_index(
+            self._members[: self._num_members],
+            self._offsets[: self._num_sets + 1],
+            self._graph.num_nodes,
+        )
+        self._index_dirty = False
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
     def coverage_fraction(self, seeds: Sequence[int]) -> float:
-        """``F_R(S)``: fraction of RR sets intersecting ``seeds``."""
+        """``F_R(S)``: fraction of RR sets intersecting ``seeds``.
+
+        Uses an epoch-stamped scratch array instead of allocating a fresh
+        boolean mask per call — PRIMA's geometric search calls this in a
+        tight loop on budget switches.
+        """
         if self.num_sets == 0:
             return 0.0
-        covered = np.zeros(self.num_sets, dtype=bool)
+        self._ensure_index()
+        self._cov_epoch += 1
+        epoch = self._cov_epoch
+        stamp = self._cov_stamp
+        covered = 0
         for s in seeds:
-            covered[self._index[int(s)]] = True
-        return float(covered.sum() / self.num_sets)
+            ids = self.containing(int(s))
+            newly = ids[stamp[ids] != epoch]
+            stamp[newly] = epoch
+            covered += int(newly.shape[0])
+        return covered / self.num_sets
 
     def reset(self) -> None:
         """Drop all RR sets (used by the regenerate-from-scratch fix)."""
-        self._sets = []
-        self._index = [[] for _ in range(self._graph.num_nodes)]
+        self._num_members = 0
+        self._num_sets = 0
+        self._offsets[:1] = 0
         self._cover_counts[:] = 0
         self._total_width = 0
+        self._idx_sets = np.empty(0, dtype=np.int64)
+        self._idx_indptr = np.zeros(self._graph.num_nodes + 1, dtype=np.int64)
+        self._index_dirty = False

@@ -47,6 +47,7 @@ def ssa(
     ell: float = 1.0,
     rng: Optional[np.random.Generator] = None,
     max_rounds: int = 20,
+    backend: Optional[str] = None,
 ) -> SSAResult:
     """Select ``k`` seeds with (simplified) Stop-and-Stare.
 
@@ -78,8 +79,8 @@ def ssa(
             / (epsilon * epsilon)
         )
     )
-    optimization = RRCollection(graph, rng)
-    validation = RRCollection(graph, rng)
+    optimization = RRCollection(graph, rng, backend=backend)
+    validation = RRCollection(graph, rng, backend=backend)
     total = 0
     batch = initial
     for round_id in range(1, max_rounds + 1):

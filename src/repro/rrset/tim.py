@@ -73,8 +73,14 @@ def tim(
     epsilon: float = 0.5,
     ell: float = 1.0,
     rng: Optional[np.random.Generator] = None,
+    backend: Optional[str] = None,
 ) -> TIMResult:
-    """Select ``k`` seeds with TIM⁺ (without the IMM refinements)."""
+    """Select ``k`` seeds with TIM⁺ (without the IMM refinements).
+
+    ``backend`` picks the RR sampling path for the θ-generation phase (the
+    KPT estimation stays sequential: it inspects each set's width as it
+    goes); see :func:`repro.rrset.prima.prima`.
+    """
     if k < 0:
         raise ValueError(f"k must be non-negative, got {k}")
     n = graph.num_nodes
@@ -97,7 +103,7 @@ def tim(
         / (epsilon * epsilon)
     )
     theta = int(math.ceil(lam / max(kpt, 1.0)))
-    collection = RRCollection(graph, rng)
+    collection = RRCollection(graph, rng, backend=backend)
     collection.extend_to(theta)
     seeds, frac = node_selection(collection, k)
     return TIMResult(

@@ -93,17 +93,10 @@ class TestRRCollection:
 
 class TestNodeSelection:
     def _collection_with_sets(self, n, sets):
-        """Build a collection then overwrite with hand-made RR sets."""
+        """Build a collection then fill it with hand-made RR sets."""
         g = line_graph(n, 0.0)
         coll = RRCollection(g, np.random.default_rng(0))
-        for s in sets:
-            rr = np.array(sorted(s), dtype=np.int64)
-            rr_id = coll.num_sets
-            coll._sets.append(rr)
-            coll._total_width += len(rr)
-            for u in rr:
-                coll._index[int(u)].append(rr_id)
-                coll._cover_counts[int(u)] += 1
+        coll.add_sets([sorted(s) for s in sets])
         return coll
 
     def test_greedy_max_cover(self):
