@@ -3,6 +3,27 @@
 Both algorithms reduce two-item Com-IC seed selection to max-coverage over
 GAP-aware RR sets with TIM-scale sample sizes; they differ in how much
 forward simulation they spend estimating the complementary boost.
+
+Sampling conventions (pinned by tests; see also
+:class:`repro.rrset.batch.batch_generate_gap_rr_sets`):
+
+* **Empty RR sets stay in the denominator.**  A GAP RR set is empty when
+  its root fails the adoption coin; such sets can never be covered, and
+  keeping them in ``θ`` makes ``n · F_R(S)`` an unbiased estimator of the
+  expected adoption count (dropping them would estimate adoption
+  *conditioned on a willing root*, inflating σ̂ by roughly ``1/E[q_root]``).
+* **The forward-world cursor is monotone across phases.**  RR set ``j``
+  (counted from the very first KPT sample) is paired with forward world
+  ``j mod |worlds|``; the θ-generation phase continues from the KPT
+  phase's offset rather than restarting at world 0, so every world is
+  paired with the same expected number of RR sets and the KPT estimate and
+  the θ collection draw from the same mixture distribution.
+
+Both the ``sequential`` backend (per-set Python BFS, the historical
+equivalence oracle) and the ``batched`` backend (flat ``(walk, node)``
+frontier arrays with per-world boosted bitmaps) implement these
+conventions; the backend knob follows :func:`repro.rrset.batch.resolve_backend`
+(explicit argument > ``$REPRO_RR_BACKEND`` > batched).
 """
 
 from __future__ import annotations
@@ -15,13 +36,24 @@ import numpy as np
 
 from repro.diffusion.comic import ComICModel, simulate_comic
 from repro.graph.digraph import InfluenceGraph
+from repro.rrset.batch import (
+    batch_generate_gap_rr_sets,
+    resolve_backend,
+    rr_set_widths,
+)
 from repro.rrset.bounds import log_binomial
 from repro.rrset.node_selection import greedy_max_coverage
 
 
 @dataclass(frozen=True)
 class ComICSeedSelection:
-    """Selected seeds plus sampling statistics."""
+    """Selected seeds plus sampling statistics.
+
+    ``coverage_fraction`` is ``covered / θ`` over *all* θ RR sets of the
+    generation phase, including the empty ones produced by failed root
+    adoption coins (see the module docstring for why this unbiased
+    convention is the right one).
+    """
 
     seeds: Tuple[int, ...]
     num_rr_sets: int
@@ -94,6 +126,94 @@ def _gap_rr_set(
     return np.fromiter(visited, dtype=np.int64, count=len(visited))
 
 
+class _GapSampler:
+    """Backend-dispatching GAP RR-set source with a persistent world cursor.
+
+    ``used`` counts every RR set drawn so far and doubles as the
+    forward-world pairing cursor: RR set ``j`` is paired with world
+    ``(cursor at phase start + j) mod |worlds|``, monotone across the KPT
+    and θ phases (the module-docstring convention).  ``set_worlds``
+    re-points the sampler at a refreshed world list (RR-CIM's extra forward
+    pass) without resetting the cursor.
+
+    The sequential path calls :func:`_gap_rr_set` per set — byte-identical
+    RNG stream to the historical loop — while the batched path maps the
+    worlds onto a ``(|worlds|, n)`` boolean bitmap and samples whole rounds
+    via :func:`repro.rrset.batch.batch_generate_gap_rr_sets`.
+    """
+
+    def __init__(
+        self,
+        graph: InfluenceGraph,
+        rng: np.random.Generator,
+        q_plain: float,
+        q_boosted: float,
+        backend: str,
+    ):
+        self._graph = graph
+        self._rng = rng
+        self._q_plain = q_plain
+        self._q_boosted = q_boosted
+        self.backend = backend
+        self.used = 0
+        self._worlds: List[Set[int]] = []
+        self._bitmap = np.zeros((1, graph.num_nodes), dtype=bool)
+
+    def set_worlds(self, worlds: Sequence[Set[int]]) -> None:
+        """Install the forward adopter worlds (cursor is preserved)."""
+        self._worlds = list(worlds)
+        if self.backend != "batched":
+            return
+        n = self._graph.num_nodes
+        bitmap = np.zeros((max(1, len(self._worlds)), n), dtype=bool)
+        for i, world in enumerate(self._worlds):
+            if world:
+                bitmap[
+                    i,
+                    np.fromiter(world, dtype=np.int64, count=len(world)),
+                ] = True
+        self._bitmap = bitmap
+
+    def sample(self, count: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Draw ``count`` GAP RR sets; returns flat ``(members, lengths)``.
+
+        Lengths may be zero (failed root coins).  Advances the cursor.
+        """
+        start = self.used
+        self.used += count
+        if self.backend == "batched":
+            world_ids = (
+                start + np.arange(count, dtype=np.int64)
+            ) % self._bitmap.shape[0]
+            return batch_generate_gap_rr_sets(
+                self._graph,
+                self._rng,
+                count,
+                self._q_plain,
+                self._q_boosted,
+                self._bitmap,
+                world_ids,
+            )
+        num_worlds = len(self._worlds)
+        parts: List[np.ndarray] = []
+        lengths = np.zeros(count, dtype=np.int64)
+        for j in range(count):
+            boosted = (
+                self._worlds[(start + j) % num_worlds]
+                if num_worlds
+                else set()
+            )
+            rr = _gap_rr_set(
+                self._graph, self._rng, self._q_plain, self._q_boosted, boosted
+            )
+            parts.append(rr)
+            lengths[j] = rr.shape[0]
+        members = (
+            np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+        )
+        return members, lengths
+
+
 def _tim_theta(
     n: int, k: int, epsilon: float, ell: float, kpt_guess: float
 ) -> int:
@@ -111,12 +231,15 @@ def _estimate_kpt(
     graph: InfluenceGraph,
     k: int,
     ell: float,
-    rng: np.random.Generator,
-    q_plain: float,
-    q_boosted: float,
-    worlds: Sequence[Set[int]],
+    sampler: _GapSampler,
 ) -> Tuple[float, int]:
-    """TIM-style KPT estimation on GAP-aware RR sets."""
+    """TIM-style KPT estimation on GAP-aware RR sets.
+
+    Each geometric round's ``c_i`` sets come from one ``sampler.sample``
+    call — a single vectorized pass on the batched backend, the historical
+    per-set loop (identical RNG stream *and* float-accumulation order) on
+    the sequential one.
+    """
     n = graph.num_nodes
     m = max(graph.num_edges, 1)
     log2n = max(math.log2(n), 2.0)
@@ -125,14 +248,21 @@ def _estimate_kpt(
         c_i = int(
             math.ceil((6.0 * ell * math.log(n) + 6.0 * math.log(log2n)) * 2.0**i)
         )
-        total = 0.0
-        for j in range(c_i):
-            boosted = worlds[(used + j) % len(worlds)] if worlds else set()
-            rr = _gap_rr_set(graph, rng, q_plain, q_boosted, boosted)
-            width = sum(graph.in_degree(int(v)) for v in rr)
-            kappa = 1.0 - (1.0 - width / m) ** k
-            total += kappa
+        members, lengths = sampler.sample(c_i)
         used += c_i
+        if sampler.backend == "batched":
+            widths = rr_set_widths(graph, members, lengths)
+            total = float(np.sum(1.0 - (1.0 - widths / m) ** k))
+        else:
+            # Keep the historical left-to-right float accumulation so the
+            # sequential backend's KPT (and hence θ) is byte-identical.
+            offsets = np.concatenate(([0], np.cumsum(lengths)))
+            total = 0.0
+            for j in range(c_i):
+                rr = members[offsets[j] : offsets[j + 1]]
+                width = sum(graph.in_degree(int(v)) for v in rr)
+                kappa = 1.0 - (1.0 - width / m) ** k
+                total += kappa
         if total / c_i > 1.0 / (2.0**i):
             return n * total / (2.0 * c_i), used
     return 1.0, used
@@ -149,11 +279,21 @@ def comic_rr_selection(
     rng: np.random.Generator,
     num_forward_worlds: int,
     extra_forward_pass: bool,
+    backend: Optional[str] = None,
 ) -> ComICSeedSelection:
     """Select ``budget`` seeds for ``select_item`` given the other item's.
 
     ``extra_forward_pass`` doubles the forward-simulation effort (RR-CIM's
     generality tax: it re-estimates the boost after a first selection round).
+
+    ``backend`` picks the GAP sampling path (``sequential`` | ``batched``;
+    ``None`` resolves ``$REPRO_RR_BACKEND``, default batched).  The returned
+    ``coverage_fraction`` divides by the full θ — empty RR sets from failed
+    root adoption coins included — and RR set ``j`` (counting from the first
+    KPT sample) is paired with forward world ``j mod |worlds|``: the θ phase
+    continues from the KPT phase's world cursor instead of restarting at
+    world 0.  See the module docstring for the rationale of both
+    conventions.
     """
     if budget <= 0:
         return ComICSeedSelection(seeds=(), num_rr_sets=0, coverage_fraction=0.0)
@@ -162,33 +302,27 @@ def comic_rr_selection(
     q_plain = model.q(select_item, has_other=False)
     q_boosted = model.q(select_item, has_other=True)
 
+    sampler = _GapSampler(
+        graph, rng, q_plain, q_boosted, resolve_backend(backend)
+    )
     worlds = _forward_adopter_worlds(
         graph, model, fixed_item, fixed_seeds, num_forward_worlds, rng
     )
-    kpt, kpt_sets = _estimate_kpt(
-        graph, budget, ell, rng, q_plain, q_boosted, worlds
-    )
+    sampler.set_worlds(worlds)
+    kpt, kpt_sets = _estimate_kpt(graph, budget, ell, sampler)
     theta = _tim_theta(n, budget, epsilon, ell, kpt)
 
     if extra_forward_pass:
         worlds = worlds + _forward_adopter_worlds(
             graph, model, fixed_item, fixed_seeds, num_forward_worlds, rng
         )
+        sampler.set_worlds(worlds)
 
-    # Generate θ GAP-aware RR sets, pairing each with a forward world, and
-    # accumulate them directly in flat CSR form (members + offsets).
-    member_parts: List[np.ndarray] = []
+    # Generate θ GAP-aware RR sets (world pairing continues from the KPT
+    # phase's cursor) directly in flat CSR form (members + offsets).
+    members, lengths = sampler.sample(theta)
     offsets = np.zeros(theta + 1, dtype=np.int64)
-    for j in range(theta):
-        boosted = worlds[j % len(worlds)] if worlds else set()
-        rr = _gap_rr_set(graph, rng, q_plain, q_boosted, boosted)
-        member_parts.append(rr)
-        offsets[j + 1] = offsets[j] + rr.shape[0]
-    members = (
-        np.concatenate(member_parts)
-        if member_parts
-        else np.empty(0, dtype=np.int64)
-    )
+    np.cumsum(lengths, out=offsets[1:])
 
     # Vectorized greedy max coverage (shared NodeSelection machinery).
     seeds, covered_total = greedy_max_coverage(

@@ -44,10 +44,12 @@ def rr_cim(
     ell: float = 1.0,
     rng: Optional[np.random.Generator] = None,
     num_forward_worlds: int = 20,
+    backend: Optional[str] = None,
 ) -> RRCIMResult:
     """Run RR-CIM for two items.
 
-    Parameters mirror :func:`repro.baselines.rr_sim.rr_sim_plus`; by default
+    Parameters mirror :func:`repro.baselines.rr_sim.rr_sim_plus` (including
+    the ``backend`` knob for the GAP-aware sampling phases); by default
     RR-CIM optimizes the *other* item than RR-SIM+ does, matching the paper's
     setup ("given seed set of item i2 (resp. i1), RR-SIM+ (resp. RR-CIM)
     finds seed set of item i1 (resp. i2)").
@@ -55,7 +57,8 @@ def rr_cim(
     rng = rng if rng is not None else np.random.default_rng(0)
     other_item = 1 - select_item
     seeds_other = imm(
-        graph, budgets[other_item], epsilon=epsilon, ell=ell, rng=rng
+        graph, budgets[other_item], epsilon=epsilon, ell=ell, rng=rng,
+        backend=backend,
     ).seeds
     selection: ComICSeedSelection = comic_rr_selection(
         graph=graph,
@@ -68,6 +71,7 @@ def rr_cim(
         rng=rng,
         num_forward_worlds=num_forward_worlds,
         extra_forward_pass=True,
+        backend=backend,
     )
     pairs = [(v, other_item) for v in seeds_other] + [
         (v, select_item) for v in selection.seeds

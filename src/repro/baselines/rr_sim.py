@@ -55,6 +55,7 @@ def rr_sim_plus(
     ell: float = 1.0,
     rng: Optional[np.random.Generator] = None,
     num_forward_worlds: int = 20,
+    backend: Optional[str] = None,
 ) -> RRSIMResult:
     """Run RR-SIM+ for two items.
 
@@ -70,11 +71,17 @@ def rr_sim_plus(
     num_forward_worlds:
         Forward Com-IC simulations of the fixed item used to estimate
         per-world adopter sets for the "+" boost.
+    backend:
+        RR sampling backend for both the IMM call and the GAP-aware
+        KPT/θ phases: ``"batched"`` (vectorized, default), ``"sequential"``
+        (historical per-set BFS), or ``None`` to resolve
+        ``$REPRO_RR_BACKEND``.
     """
     rng = rng if rng is not None else np.random.default_rng(0)
     other_item = 1 - select_item
     seeds_other = imm(
-        graph, budgets[other_item], epsilon=epsilon, ell=ell, rng=rng
+        graph, budgets[other_item], epsilon=epsilon, ell=ell, rng=rng,
+        backend=backend,
     ).seeds
     selection: ComICSeedSelection = comic_rr_selection(
         graph=graph,
@@ -87,6 +94,7 @@ def rr_sim_plus(
         rng=rng,
         num_forward_worlds=num_forward_worlds,
         extra_forward_pass=False,
+        backend=backend,
     )
     pairs = [(v, other_item) for v in seeds_other] + [
         (v, select_item) for v in selection.seeds

@@ -14,7 +14,9 @@ reports.  Scales refer to the dataset stand-ins (DESIGN.md §4).  The RR-set
 engine backend is selectable per run (``--rr-backend`` or
 ``$REPRO_RR_BACKEND``): ``batched`` (vectorized, default) or ``sequential``
 (the historical per-set BFS, byte-reproducible against pre-vectorization
-seeds).
+seeds).  The knob covers every RR-based phase: PRIMA/IMM/TIM/SSA sampling,
+TIM's width-based KPT estimation, and the GAP-aware Com-IC sampling of
+RR-SIM+/RR-CIM.
 """
 
 from __future__ import annotations
@@ -41,7 +43,8 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--rr-backend", choices=BACKENDS, default=None,
         help="RR-set sampling backend: 'batched' (vectorized numpy frontier "
         "expansion, the default) or 'sequential' (historical per-set BFS). "
-        "Also settable via $REPRO_RR_BACKEND.",
+        "Applies to all RR phases incl. KPT estimation and the GAP-aware "
+        "Com-IC sampler. Also settable via $REPRO_RR_BACKEND.",
     )
 
 

@@ -28,6 +28,19 @@ Memory is bounded by chunking: walks are processed in groups of ``B`` such
 that the ``B × n`` visited bitmap stays within ``_TARGET_CELLS`` bytes, so
 arbitrarily large requests stream through a fixed-size working set.
 
+Two extensions serve the TIM-based algorithms:
+
+* :func:`rr_set_widths` computes every set's width ``w(R)`` (total in-degree
+  of its members) in one vectorized pass over the flat output, which is what
+  lets the KPT-estimation phases of TIM and the Com-IC baselines consume
+  whole geometric rounds ``c_i`` as single batched calls.
+* :func:`batch_generate_gap_rr_sets` is the GAP-aware variant used by
+  RR-SIM+/RR-CIM: on top of the IC edge coins, every discovered node passes
+  a node-level adoption coin whose probability is ``q_boosted`` when the
+  node adopts the complementary item in the forward world paired with the
+  walk (a per-world boolean bitmap row selected by ``world_ids``) and
+  ``q_plain`` otherwise.  A failed *root* coin yields an empty RR set.
+
 Generic :class:`~repro.diffusion.triggering.TriggeringModel` instances other
 than IC/LT have no vectorized trigger sampler; callers should fall back to
 the sequential path (``supports_batched`` tells them).
@@ -80,6 +93,26 @@ def supports_batched(triggering: Optional[TriggeringModel]) -> bool:
     )
 
 
+def rr_set_widths(
+    graph: InfluenceGraph, members: np.ndarray, lengths: np.ndarray
+) -> np.ndarray:
+    """Per-set widths ``w(R)`` — total in-degree of each set's members.
+
+    ``(members, lengths)`` is the flat output of a batched sampler (or any
+    CSR-over-sets layout).  Equivalent to
+    ``np.add.reduceat(in_degree[members], offsets[:-1])`` but computed as
+    differences of a cumulative sum, which stays correct for empty sets
+    (``reduceat`` returns the *next* element on an empty segment instead of
+    zero — GAP-aware sets are empty whenever the root adoption coin fails).
+    """
+    in_degree = np.diff(graph._in_indptr)
+    cum = np.concatenate(
+        ([0], np.cumsum(in_degree[members], dtype=np.int64))
+    )
+    offsets = np.concatenate(([0], np.cumsum(lengths, dtype=np.int64)))
+    return cum[offsets[1:]] - cum[offsets[:-1]]
+
+
 def batch_generate_rr_sets(
     graph: InfluenceGraph,
     rng: np.random.Generator,
@@ -126,6 +159,27 @@ def batch_generate_rr_sets(
     return np.concatenate(member_parts), np.concatenate(length_parts)
 
 
+def _gather_in_edges(
+    graph: InfluenceGraph, frontier_n: np.ndarray
+) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, int]]:
+    """Segmented gather of every candidate in-edge of a flat frontier.
+
+    Returns ``(src, prob, degs, excl, total)`` — the flattened in-neighbor
+    and probability arrays of all frontier nodes, the per-node degrees, the
+    exclusive degree cumsum (segment starts) and the total edge count — or
+    ``None`` when the frontier has no in-edges at all.
+    """
+    indptr = graph._in_indptr
+    starts = indptr[frontier_n]
+    degs = indptr[frontier_n + 1] - starts
+    total = int(degs.sum())
+    if total == 0:
+        return None
+    excl = np.cumsum(degs) - degs
+    pos = np.repeat(starts - excl, degs) + np.arange(total)
+    return graph._in_sources[pos], graph._in_probs[pos], degs, excl, total
+
+
 def _sample_chunk(
     graph: InfluenceGraph,
     rng: np.random.Generator,
@@ -140,9 +194,6 @@ def _sample_chunk(
     cells afterwards (identified by the returned members/lengths).
     """
     n = graph.num_nodes
-    indptr = graph._in_indptr
-    in_sources = graph._in_sources
-    in_probs = graph._in_probs
 
     roots = rng.integers(0, n, size=batch).astype(np.int64)
     visited[np.arange(batch), roots] = True
@@ -153,16 +204,10 @@ def _sample_chunk(
     frontier_n = roots
 
     while frontier_w.size:
-        starts = indptr[frontier_n]
-        degs = indptr[frontier_n + 1] - starts
-        total = int(degs.sum())
-        if total == 0:
+        gathered = _gather_in_edges(graph, frontier_n)
+        if gathered is None:
             break
-        # Segmented gather of every candidate in-edge of the whole frontier.
-        excl = np.cumsum(degs) - degs
-        pos = np.repeat(starts - excl, degs) + np.arange(total)
-        src = in_sources[pos]
-        prob = in_probs[pos]
+        src, prob, degs, excl, total = gathered
         if lt:
             # One uniform per frontier node selects at most one in-neighbor:
             # edge j of node v is live iff cum_{<j} <= draw < cum_{<=j}, the
@@ -183,6 +228,139 @@ def _sample_chunk(
             fresh = ~visited[w, s]
             w = w[fresh]
             s = s[fresh]
+        if w.size == 0:
+            break
+        # Dedup (walk, node) pairs discovered twice within this step.
+        key = np.unique(w * n + s)
+        w = key // n
+        s = key % n
+        visited[w, s] = True
+        walk_parts.append(w)
+        node_parts.append(s)
+        frontier_w = w
+        frontier_n = s
+
+    walks = np.concatenate(walk_parts)
+    nodes = np.concatenate(node_parts)
+    lengths = np.bincount(walks, minlength=batch)
+    order = np.argsort(walks, kind="stable")
+    return nodes[order], lengths
+
+
+def batch_generate_gap_rr_sets(
+    graph: InfluenceGraph,
+    rng: np.random.Generator,
+    count: int,
+    q_plain: float,
+    q_boosted: float,
+    boosted: np.ndarray,
+    world_ids: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample ``count`` GAP-aware RR sets (Com-IC RIS) in batched form.
+
+    ``boosted`` is a ``(num_worlds, n)`` boolean bitmap — row ``w`` marks
+    the nodes adopting the complementary item in forward world ``w`` — and
+    ``world_ids[j]`` is the world paired with walk ``j`` (the caller owns
+    the pairing convention, including any cross-phase cursor).  Every
+    discovered node must pass a node-level adoption coin with probability
+    ``q_boosted`` if boosted in the walk's world, else ``q_plain``; a failed
+    *root* coin yields an empty RR set (``lengths[j] == 0``), mirroring the
+    "root must be willing to adopt" condition of the analysis.
+
+    Returns ``(members, lengths)`` in the same flat layout as
+    :func:`batch_generate_rr_sets`, except lengths may be zero.
+    """
+    n = graph.num_nodes
+    if n == 0:
+        raise ValueError("cannot sample an RR set from an empty graph")
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    boosted = np.asarray(boosted, dtype=bool)
+    if boosted.ndim != 2 or boosted.shape[1] != n:
+        raise ValueError(
+            f"boosted bitmap must be (num_worlds, {n}), got {boosted.shape}"
+        )
+    world_ids = np.asarray(world_ids, dtype=np.int64)
+    if world_ids.shape[0] != count:
+        raise ValueError(
+            f"need one world id per walk: {world_ids.shape[0]} != {count}"
+        )
+    if count == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+
+    chunk = max(1, min(count, _TARGET_CELLS // max(n, 1)))
+    visited = np.zeros((chunk, n), dtype=bool)
+    member_parts = []
+    length_parts = []
+    done = 0
+    while done < count:
+        batch = min(chunk, count - done)
+        nodes, lengths = _sample_gap_chunk(
+            graph,
+            rng,
+            batch,
+            q_plain,
+            q_boosted,
+            boosted,
+            world_ids[done : done + batch],
+            visited,
+        )
+        visited[np.repeat(np.arange(batch), lengths), nodes] = False
+        member_parts.append(nodes)
+        length_parts.append(lengths)
+        done += batch
+    return np.concatenate(member_parts), np.concatenate(length_parts)
+
+
+def _sample_gap_chunk(
+    graph: InfluenceGraph,
+    rng: np.random.Generator,
+    batch: int,
+    q_plain: float,
+    q_boosted: float,
+    boosted: np.ndarray,
+    world_ids: np.ndarray,
+    visited: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """GAP-aware sibling of :func:`_sample_chunk` (IC edge coins only).
+
+    The node adoption coin is flipped once per *discovery attempt* (live
+    edge into a not-yet-visited node), not once per node: a node that fails
+    its coin stays unvisited and may be retried by later live edges.  This
+    matches the sequential sampler
+    (:func:`repro.baselines._comic_common._gap_rr_set`) exactly — both give
+    a per-step inclusion probability of ``1 - (1 - q)^d`` for ``d`` live
+    edges — so the two backends sample the same distribution.
+    """
+    n = graph.num_nodes
+
+    roots = rng.integers(0, n, size=batch).astype(np.int64)
+    q_root = np.where(boosted[world_ids, roots], q_boosted, q_plain)
+    alive = rng.random(batch) < q_root
+    frontier_w = np.flatnonzero(alive).astype(np.int64)
+    frontier_n = roots[frontier_w]
+    visited[frontier_w, frontier_n] = True
+
+    walk_parts = [frontier_w]
+    node_parts = [frontier_n]
+
+    while frontier_w.size:
+        gathered = _gather_in_edges(graph, frontier_n)
+        if gathered is None:
+            break
+        src, prob, degs, _, total = gathered
+        live = rng.random(total) < prob
+        w = np.repeat(frontier_w, degs)[live]
+        s = src[live]
+        if w.size:
+            fresh = ~visited[w, s]
+            w = w[fresh]
+            s = s[fresh]
+        if w.size:
+            q = np.where(boosted[world_ids[w], s], q_boosted, q_plain)
+            adopt = rng.random(w.size) < q
+            w = w[adopt]
+            s = s[adopt]
         if w.size == 0:
             break
         # Dedup (walk, node) pairs discovered twice within this step.

@@ -37,8 +37,11 @@ class SampleBounds:
     ell_prime: float
 
     def __post_init__(self) -> None:
-        if self.n < 2:
-            raise ValueError(f"need at least 2 nodes, got {self.n}")
+        # n == 1 is allowed: every log n term degrades to 0 gracefully, so
+        # IMM/PRIMA can serve singleton graphs (seeds = (0,)) instead of
+        # silently returning nothing.
+        if self.n < 1:
+            raise ValueError(f"need at least 1 node, got {self.n}")
         if self.epsilon <= 0:
             raise ValueError(f"epsilon must be positive, got {self.epsilon}")
 
@@ -91,12 +94,19 @@ class SampleBounds:
 
 
 def adjusted_ell(ell: float, n: int) -> float:
-    """``ℓ + log 2 / log n`` — PRIMA's success-probability lift (line 2)."""
-    return ell + math.log(2.0) / math.log(n)
+    """``ℓ + log 2 / log n`` — PRIMA's success-probability lift (line 2).
+
+    ``n`` is clamped to 2 so the lift stays finite on a singleton graph
+    (where the failure probability ``1/n^ℓ`` is vacuous anyway).
+    """
+    return ell + math.log(2.0) / math.log(max(n, 2))
 
 
 def ell_prime_for(ell: float, n: int, num_budgets: int) -> float:
-    """``ℓ′ = log_n(n^ℓ · |b|)`` — the union bound over the budget vector."""
+    """``ℓ′ = log_n(n^ℓ · |b|)`` — the union bound over the budget vector.
+
+    Same ``n >= 2`` clamp as :func:`adjusted_ell` for singleton graphs.
+    """
     if num_budgets < 1:
         raise ValueError(f"need at least one budget, got {num_budgets}")
-    return ell + math.log(num_budgets) / math.log(n)
+    return ell + math.log(num_budgets) / math.log(max(n, 2))

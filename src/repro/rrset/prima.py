@@ -110,7 +110,9 @@ def prima(
         raise ValueError(f"budgets must be non-negative, got {sorted_budgets}")
     n = graph.num_nodes
     b_max = min(sorted_budgets[0], n)
-    if b_max == 0 or n < 2:
+    # b_max == 0 covers the empty graph (budgets are clamped to n); a 1-node
+    # graph runs the full machinery and returns (0,) like any other graph.
+    if b_max == 0:
         return PRIMAResult(
             seeds=(),
             budgets=tuple(sorted_budgets),

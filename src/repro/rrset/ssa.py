@@ -60,7 +60,9 @@ def ssa(
         raise ValueError(f"k must be non-negative, got {k}")
     n = graph.num_nodes
     k = min(k, n)
-    if k == 0 or n < 2:
+    # k == 0 covers the empty graph (k is clamped to n); on a 1-node graph
+    # the doubling loop runs normally and returns (0,).
+    if k == 0:
         return SSAResult(
             seeds=(),
             influence_estimate=0.0,

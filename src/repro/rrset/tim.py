@@ -20,6 +20,11 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.graph.digraph import InfluenceGraph
+from repro.rrset.batch import (
+    batch_generate_rr_sets,
+    resolve_backend,
+    rr_set_widths,
+)
 from repro.rrset.bounds import log_binomial
 from repro.rrset.node_selection import node_selection
 from repro.rrset.rrgen import RRCollection, generate_rr_set
@@ -42,26 +47,52 @@ def _kpt_estimation(
     k: int,
     ell: float,
     rng: np.random.Generator,
+    backend: str = "sequential",
 ) -> Tuple[float, int]:
     """KptEstimation of TIM: lower-bounds ``OPT_k / n`` via RR-set widths.
 
     Returns ``(KPT, rr_sets_used)``.  ``w(R)`` is the number of edges pointing
     into the RR set; ``κ(R) = 1 − (1 − w(R)/m)^k`` estimates the probability a
     random size-k seed set covers ``R``.
+
+    With ``backend="batched"`` each geometric round's ``c_i`` RR sets are one
+    :func:`batch_generate_rr_sets` call and the widths one vectorized
+    :func:`rr_set_widths` pass; the sequential branch keeps the historical
+    per-set loop (and its RNG stream) untouched as the equivalence oracle.
     """
     n = graph.num_nodes
     m = max(graph.num_edges, 1)
     log2n = math.log2(n)
     used = 0
     for i in range(1, max(2, int(log2n))):
-        c_i = int(math.ceil((6.0 * ell * math.log(n) + 6.0 * math.log(log2n)) * 2.0**i))
-        total = 0.0
-        for _ in range(c_i):
-            rr = generate_rr_set(graph, rng)
-            used += 1
-            width = sum(graph.in_degree(int(v)) for v in rr)
-            kappa = 1.0 - (1.0 - width / m) ** k
-            total += kappa
+        # max() guards only the degenerate n == 1 case (log2n == 0, and the
+        # whole round size collapses to 0): for n >= 2 the round schedule is
+        # byte-identical to the historical sequential implementation.
+        c_i = max(
+            1,
+            int(
+                math.ceil(
+                    (
+                        6.0 * ell * math.log(n)
+                        + 6.0 * math.log(max(log2n, 1.0))
+                    )
+                    * 2.0**i
+                )
+            ),
+        )
+        if backend == "batched":
+            members, lengths = batch_generate_rr_sets(graph, rng, c_i)
+            used += c_i
+            widths = rr_set_widths(graph, members, lengths)
+            total = float(np.sum(1.0 - (1.0 - widths / m) ** k))
+        else:
+            total = 0.0
+            for _ in range(c_i):
+                rr = generate_rr_set(graph, rng)
+                used += 1
+                width = sum(graph.in_degree(int(v)) for v in rr)
+                kappa = 1.0 - (1.0 - width / m) ** k
+                total += kappa
         if total / c_i > 1.0 / (2.0**i):
             return n * total / (2.0 * c_i), used
     return 1.0, used
@@ -77,15 +108,19 @@ def tim(
 ) -> TIMResult:
     """Select ``k`` seeds with TIM⁺ (without the IMM refinements).
 
-    ``backend`` picks the RR sampling path for the θ-generation phase (the
-    KPT estimation stays sequential: it inspects each set's width as it
-    goes); see :func:`repro.rrset.prima.prima`.
+    ``backend`` picks the RR sampling path for *both* phases: the batched
+    path generates each KPT geometric round ``c_i`` as one vectorized call
+    (widths via :func:`repro.rrset.batch.rr_set_widths`) and the θ phase
+    through the batched :class:`RRCollection`; ``sequential`` reproduces the
+    historical per-set streams; see :func:`repro.rrset.prima.prima`.
     """
     if k < 0:
         raise ValueError(f"k must be non-negative, got {k}")
     n = graph.num_nodes
     k = min(k, n)
-    if k == 0 or n < 2:
+    if k == 0:
+        # Covers n == 0 too (k is clamped to n).  A 1-node graph is *not*
+        # degenerate: k >= 1 must select node 0.
         return TIMResult(
             seeds=(),
             num_rr_sets=0,
@@ -95,7 +130,8 @@ def tim(
             ell=ell,
         )
     rng = rng if rng is not None else np.random.default_rng(0)
-    kpt, kpt_sets = _kpt_estimation(graph, k, ell, rng)
+    backend = resolve_backend(backend)
+    kpt, kpt_sets = _kpt_estimation(graph, k, ell, rng, backend=backend)
     lam = (
         (8.0 + 2.0 * epsilon)
         * n

@@ -42,11 +42,14 @@ class TestDegenerateGraphs:
         result = prima(graph, [1], rng=np.random.default_rng(0))
         assert result.seeds == (0,)  # node 0 covers both RR-set roots
 
-    def test_single_node_graph_short_circuits(self):
+    def test_single_node_graph_selects_the_node(self):
+        # Regression: this used to short-circuit to an empty seed set even
+        # with budget >= 1; the only node must be selected.
         graph = InfluenceGraph(1, [])
         result = prima(graph, [1], rng=np.random.default_rng(0))
-        assert result.seeds == ()
-        assert result.num_rr_sets == 0
+        assert result.seeds == (0,)
+        assert result.num_rr_sets > 0
+        assert result.coverage_fraction == 1.0
 
     def test_search_phase_count_recorded(self, small_graph):
         result = prima(small_graph, [10], rng=np.random.default_rng(2))

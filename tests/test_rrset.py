@@ -162,9 +162,13 @@ class TestSampleBounds:
 
     def test_validation(self):
         with pytest.raises(ValueError):
-            SampleBounds(n=1, epsilon=0.5, ell_prime=1.0)
+            SampleBounds(n=0, epsilon=0.5, ell_prime=1.0)
         with pytest.raises(ValueError):
             SampleBounds(n=100, epsilon=0.0, ell_prime=1.0)
+        # n == 1 is valid (singleton-graph support): all log n terms are 0.
+        b = SampleBounds(n=1, epsilon=0.5, ell_prime=1.0)
+        assert b.lambda_star(1) > 0.0
+        assert b.max_search_level == 1
 
     def test_ell_adjustments(self):
         n = 1000
