@@ -9,7 +9,6 @@ becomes even more attractive — while the algorithm itself is untouched
 """
 
 import numpy as np
-import pytest
 
 from _bench_utils import BENCH_SAMPLES, BENCH_SCALE, record, run_once
 from repro.core.bundlegrd import bundle_grd

@@ -13,7 +13,6 @@ oracles" claim.
 import time
 
 import numpy as np
-import pytest
 
 from _bench_utils import record, run_once
 from repro.baselines.marginal_greedy import marginal_greedy
@@ -39,7 +38,8 @@ def test_ablation_marginal_greedy(benchmark):
         t0 = time.perf_counter()
         bg = bundle_grd(graph, BUDGETS, rng=np.random.default_rng(0))
         bg_seconds = time.perf_counter() - t0
-        eval_rng = lambda: np.random.default_rng(9)
+        def eval_rng():
+            return np.random.default_rng(9)
         return {
             "marginal-greedy": (
                 estimate_welfare(

@@ -10,7 +10,6 @@ both wall-clock and total RR sets.
 import time
 
 import numpy as np
-import pytest
 
 from _bench_utils import BENCH_SCALE, record, run_once
 from repro.diffusion.ic import estimate_spread

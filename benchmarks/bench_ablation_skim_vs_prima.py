@@ -12,7 +12,6 @@ residual-coverage evaluations are its cost center in this formulation).
 import time
 
 import numpy as np
-import pytest
 
 from _bench_utils import BENCH_SCALE, record, run_once
 from repro.diffusion.ic import estimate_spread

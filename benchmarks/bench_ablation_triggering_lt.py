@@ -7,7 +7,6 @@ assert the headline ordering survives the model swap.
 """
 
 import numpy as np
-import pytest
 
 from _bench_utils import BENCH_SAMPLES, BENCH_SCALE, record, run_once
 from repro.baselines.item_disjoint import item_disjoint

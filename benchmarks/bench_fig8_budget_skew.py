@@ -6,7 +6,6 @@ welfare, large skew the lowest, moderate in between; running time follows
 the same ordering (large skew selects the most seeds).
 """
 
-import pytest
 
 from _bench_utils import BENCH_SAMPLES, BENCH_SCALE, record, run_once
 from repro.experiments.fig8_real import run_budget_skew

@@ -5,7 +5,6 @@ Paper shape asserted: bundleGRD's running time is flat in the number of items
 (one IMM call per item) and item-disj grows with the total seed count.
 """
 
-import pytest
 
 from _bench_utils import BENCH_SCALE, record, run_once
 from repro.experiments.fig8_real import run_items_runtime

@@ -7,7 +7,6 @@ multiple IMM calls), and welfare grows with the total budget.  item-disj is
 omitted — its welfare is identically ~0 here, as the paper notes.
 """
 
-import pytest
 
 from _bench_utils import BENCH_SAMPLES, BENCH_SCALE, record, run_once
 from repro.experiments.fig8_real import run_real_param_sweep

@@ -6,7 +6,6 @@ linearly) with the network percentage while welfare grows sublinearly, and
 even the full stand-in completes in seconds.
 """
 
-import pytest
 
 from _bench_utils import BENCH_SCALE, record, run_once
 from repro.experiments.fig9_scalability import run_fig9_scalability, runs_as_rows

@@ -1,0 +1,179 @@
+"""Batched forward-simulation engine benchmark.
+
+Compares the two forward backends on the Monte-Carlo phases PR 3
+vectorized (the forward twin of ``bench_rrset_engine.py`` /
+``bench_comic_kpt.py``):
+
+* **comic** (gate) — forward Com-IC world simulation: one
+  ``estimate_comic_spread`` call on a 2k-node WC graph, sequential
+  (one interpreted ``simulate_comic`` per world, the historical path of
+  ``_forward_adopter_worlds``) vs batched
+  (``batch_simulate_comic``, all worlds as flat frontier arrays).
+* **welfare** — UIC welfare estimation (``estimate_welfare``): per-world
+  noise tables + adoption decision tables + flat frontier propagation vs
+  the per-world Python simulator.
+* **ic** — plain IC spread estimation (``estimate_spread`` vs
+  ``batch_simulate_ic``), the floor of what frontier batching buys.
+
+Writes ``BENCH_forward_sim.json`` at the repository root (plus the usual
+``benchmarks/results`` artifact), extending the perf trajectory of
+``BENCH_rrset_engine.json`` and ``BENCH_comic_kpt.json``.
+
+Gates asserted on every row: batched at least ``MIN_SPEEDUP`` (default 3x,
+the acceptance criterion; CI relaxes via ``REPRO_BENCH_MIN_SPEEDUP``
+because shared-runner wall clocks are noisy) *and* batched means
+statistically equivalent to sequential (within 6 sigma of the Monte-Carlo
+noise).
+"""
+
+import json
+import math
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from _bench_utils import record, run_once
+from repro.diffusion.batch_forward import batch_simulate_ic
+from repro.diffusion.comic import ComICModel, estimate_comic_spread
+from repro.diffusion.ic import estimate_spread
+from repro.diffusion.welfare import estimate_welfare
+from repro.graph.generators import random_wc_graph
+from repro.utility.model import UtilityModel
+from repro.utility.noise import GaussianNoise
+from repro.utility.price import AdditivePrice
+from repro.utility.valuation import TableValuation
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_forward_sim.json"
+
+#: Minimum batched-over-sequential speedup asserted on every row.
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "3.0"))
+
+#: Monte-Carlo worlds per estimate.
+NUM_WORLDS = 400
+
+GAP = ComICModel(0.5, 0.84, 0.5, 0.84)
+
+CONFIG1_MODEL = UtilityModel(
+    TableValuation(2, {0b01: 3.0, 0b10: 4.0, 0b11: 8.0}),
+    AdditivePrice([3.0, 4.0]),
+    GaussianNoise([1.0, 1.0]),
+)
+
+
+def _row(phase, graph_name, nodes, seq_s, bat_s, seq_mean, bat_mean, sigma):
+    return {
+        "phase": phase,
+        "graph": graph_name,
+        "nodes": nodes,
+        "worlds": NUM_WORLDS,
+        "seq_s": round(seq_s, 3),
+        "bat_s": round(bat_s, 3),
+        "speedup": round(seq_s / bat_s, 2),
+        "seq_mean": round(seq_mean, 3),
+        "bat_mean": round(bat_mean, 3),
+        "abs_z": round(abs(seq_mean - bat_mean) / max(sigma, 1e-9), 2),
+    }
+
+
+def _run_comparison():
+    rows = []
+    seeds_a = list(range(0, 40, 4))
+    seeds_b = list(range(1, 21, 4))
+
+    # Row 1 (gate): forward Com-IC world simulation.
+    comic_graph = random_wc_graph(2_000, avg_degree=6, seed=23)
+    t0 = time.perf_counter()
+    seq_mean = estimate_comic_spread(
+        comic_graph, GAP, seeds_a, seeds_b, item=0, num_samples=NUM_WORLDS,
+        rng=np.random.default_rng(1), backend="sequential",
+    )
+    seq_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    bat_mean = estimate_comic_spread(
+        comic_graph, GAP, seeds_a, seeds_b, item=0, num_samples=NUM_WORLDS,
+        rng=np.random.default_rng(2), backend="batched",
+    )
+    bat_s = time.perf_counter() - t0
+    # Per-world adopter counts have std of a few dozen nodes here; one
+    # sigma of the mean difference bounds the equivalence check.
+    sigma = 40.0 / math.sqrt(NUM_WORLDS)
+    rows.append(
+        _row(
+            "comic", "wc_2k", comic_graph.num_nodes,
+            seq_s, bat_s, seq_mean, bat_mean, sigma,
+        )
+    )
+
+    # Row 2: UIC welfare estimation.
+    uic_graph = random_wc_graph(1_500, avg_degree=6, seed=31)
+    allocation = [(v, i) for v in range(25) for i in (0, 1)]
+    t0 = time.perf_counter()
+    seq = estimate_welfare(
+        uic_graph, CONFIG1_MODEL, allocation, num_samples=NUM_WORLDS,
+        rng=np.random.default_rng(3), backend="sequential",
+    )
+    seq_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    bat = estimate_welfare(
+        uic_graph, CONFIG1_MODEL, allocation, num_samples=NUM_WORLDS,
+        rng=np.random.default_rng(4), backend="batched",
+    )
+    bat_s = time.perf_counter() - t0
+    sigma = math.hypot(seq.stderr, bat.stderr)
+    rows.append(
+        _row(
+            "welfare", "wc_1.5k", uic_graph.num_nodes,
+            seq_s, bat_s, seq.mean, bat.mean, sigma,
+        )
+    )
+
+    # Row 3: plain IC spread estimation.
+    ic_graph = random_wc_graph(3_000, avg_degree=8, seed=41)
+    ic_seeds = list(range(0, 60, 3))
+    t0 = time.perf_counter()
+    seq_mean = estimate_spread(
+        ic_graph, ic_seeds, NUM_WORLDS, np.random.default_rng(5)
+    )
+    seq_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    active = batch_simulate_ic(
+        ic_graph, ic_seeds, NUM_WORLDS, np.random.default_rng(6)
+    )
+    per_world = active.sum(axis=1)
+    bat_mean = float(per_world.mean())
+    bat_s = time.perf_counter() - t0
+    # Approximate the difference's sigma with the batched sample's; the
+    # sequential side has the same per-world variance.
+    sigma = math.sqrt(2.0) * float(per_world.std()) / math.sqrt(NUM_WORLDS)
+    rows.append(
+        _row(
+            "ic", "wc_3k", ic_graph.num_nodes,
+            seq_s, bat_s, seq_mean, bat_mean, sigma,
+        )
+    )
+    return rows
+
+
+def test_forward_sim_speedup(benchmark):
+    rows = run_once(benchmark, _run_comparison)
+    record(
+        "forward_sim", rows,
+        header="sequential vs batched forward world simulation",
+    )
+    JSON_PATH.write_text(json.dumps(rows, indent=2) + "\n")
+
+    for row in rows:
+        # Acceptance gate: batched >= MIN_SPEEDUP on every phase.
+        assert row["speedup"] >= MIN_SPEEDUP, row
+        # Statistical equivalence: means within 6 sigma of the MC noise
+        # (abs_z is in units of one sigma of the mean difference).
+        assert row["abs_z"] <= 6.0, row
+
+
+if __name__ == "__main__":
+    results = _run_comparison()
+    print(json.dumps(results, indent=2))
+    JSON_PATH.write_text(json.dumps(results, indent=2) + "\n")

@@ -4,7 +4,6 @@ Regenerates the paper's Table 2 for the synthetic substitutes, printing both
 our measured statistics and the original paper values side by side.
 """
 
-import pytest
 
 from _bench_utils import BENCH_SCALE, record, run_once
 from repro.graph import datasets

@@ -7,7 +7,6 @@ every distribution bundleGRD's count matches MAX_IMM (it never needs more RR
 sets than the worst single-budget IMM run) — the memory-parity claim.
 """
 
-import pytest
 
 from _bench_utils import BENCH_SCALE, record, run_once
 from repro.experiments.table6_rrsets import rows_as_dicts, run_table6

@@ -1,5 +1,6 @@
-"""Legacy entry point: the offline environment's setuptools predates PEP 517
-wheel builds, so editable installs go through setup.py."""
+"""Legacy entry point for environments whose setuptools predates PEP 660
+editable installs; all metadata lives in pyproject.toml (`pip install -e .`
+is what CI uses across the Python 3.10-3.13 matrix)."""
 from setuptools import setup
 
 setup()

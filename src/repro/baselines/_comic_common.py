@@ -30,10 +30,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
+from repro.diffusion.batch_forward import batch_simulate_comic
 from repro.diffusion.comic import ComICModel, simulate_comic
 from repro.graph.digraph import InfluenceGraph
 from repro.rrset.batch import (
@@ -67,16 +68,28 @@ def _forward_adopter_worlds(
     fixed_seeds: Sequence[int],
     num_worlds: int,
     rng: np.random.Generator,
-) -> List[Set[int]]:
-    """Adopter sets of the fixed item across sampled Com-IC worlds."""
+    backend: str = "sequential",
+) -> Union[List[Set[int]], np.ndarray]:
+    """Adopters of the fixed item across sampled Com-IC worlds.
+
+    The sequential backend runs one :func:`simulate_comic` per world and
+    returns a list of adopter sets (the historical byte-identical path);
+    the batched backend advances all worlds at once through
+    :func:`repro.diffusion.batch_forward.batch_simulate_comic` and returns
+    the ``(num_worlds, n)`` boolean bitmap the GAP sampler consumes
+    directly.
+    """
+    seeds_a = fixed_seeds if fixed_item == 0 else ()
+    seeds_b = fixed_seeds if fixed_item == 1 else ()
+    if backend == "batched":
+        result = batch_simulate_comic(
+            graph, model, seeds_a, seeds_b, num_worlds, rng
+        )
+        return result.adopters_bitmap(fixed_item)
     worlds: List[Set[int]] = []
     for _ in range(num_worlds):
         result = simulate_comic(
-            graph,
-            model,
-            seeds_a=fixed_seeds if fixed_item == 0 else (),
-            seeds_b=fixed_seeds if fixed_item == 1 else (),
-            rng=rng,
+            graph, model, seeds_a=seeds_a, seeds_b=seeds_b, rng=rng
         )
         worlds.append(result.adopters_of(fixed_item))
     return worlds
@@ -159,8 +172,29 @@ class _GapSampler:
         self._worlds: List[Set[int]] = []
         self._bitmap = np.zeros((1, graph.num_nodes), dtype=bool)
 
-    def set_worlds(self, worlds: Sequence[Set[int]]) -> None:
-        """Install the forward adopter worlds (cursor is preserved)."""
+    def set_worlds(
+        self, worlds: Union[Sequence[Set[int]], np.ndarray]
+    ) -> None:
+        """Install the forward adopter worlds (cursor is preserved).
+
+        Accepts either a list of adopter sets (the sequential forward
+        pass) or a ``(num_worlds, n)`` boolean bitmap straight from the
+        batched forward engine — the latter skips the per-set conversion
+        entirely.
+        """
+        if isinstance(worlds, np.ndarray):
+            if self.backend != "batched":
+                raise ValueError(
+                    "bitmap worlds require the batched backend; the "
+                    "sequential sampler pairs walks with adopter sets"
+                )
+            n = self._graph.num_nodes
+            self._worlds = []
+            if worlds.shape[0]:
+                self._bitmap = worlds.astype(bool, copy=False)
+            else:
+                self._bitmap = np.zeros((1, n), dtype=bool)
+            return
         self._worlds = list(worlds)
         if self.backend != "batched":
             return
@@ -302,20 +336,35 @@ def comic_rr_selection(
     q_plain = model.q(select_item, has_other=False)
     q_boosted = model.q(select_item, has_other=True)
 
-    sampler = _GapSampler(
-        graph, rng, q_plain, q_boosted, resolve_backend(backend)
-    )
+    resolved = resolve_backend(backend)
+    sampler = _GapSampler(graph, rng, q_plain, q_boosted, resolved)
     worlds = _forward_adopter_worlds(
-        graph, model, fixed_item, fixed_seeds, num_forward_worlds, rng
+        graph,
+        model,
+        fixed_item,
+        fixed_seeds,
+        num_forward_worlds,
+        rng,
+        backend=resolved,
     )
     sampler.set_worlds(worlds)
     kpt, kpt_sets = _estimate_kpt(graph, budget, ell, sampler)
     theta = _tim_theta(n, budget, epsilon, ell, kpt)
 
     if extra_forward_pass:
-        worlds = worlds + _forward_adopter_worlds(
-            graph, model, fixed_item, fixed_seeds, num_forward_worlds, rng
+        refreshed = _forward_adopter_worlds(
+            graph,
+            model,
+            fixed_item,
+            fixed_seeds,
+            num_forward_worlds,
+            rng,
+            backend=resolved,
         )
+        if isinstance(worlds, np.ndarray):
+            worlds = np.concatenate([worlds, refreshed], axis=0)
+        else:
+            worlds = worlds + refreshed
         sampler.set_worlds(worlds)
 
     # Generate θ GAP-aware RR sets (world pairing continues from the KPT

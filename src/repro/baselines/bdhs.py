@@ -21,15 +21,14 @@ bundleGRD needs to reach the benchmark through propagation alone.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Optional, Sequence, Set, Tuple
+from typing import Optional, Set, Tuple
 
 import numpy as np
 
 from repro.diffusion.worlds import sample_live_edge_graph
 from repro.graph.digraph import InfluenceGraph
-from repro.utility.itemsets import Mask, full_mask, iter_subsets
+from repro.utility.itemsets import Mask
 from repro.utility.model import UtilityModel
 
 

@@ -20,7 +20,7 @@ grows with the number of items (Fig. 8(a)) while bundleGRD's does not.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 

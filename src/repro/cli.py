@@ -10,13 +10,15 @@ Usage::
     python -m repro all --scale 0.02 --samples 20      # quick full sweep
 
 Every subcommand prints the regenerated rows in the same shape the paper
-reports.  Scales refer to the dataset stand-ins (DESIGN.md §4).  The RR-set
-engine backend is selectable per run (``--rr-backend`` or
-``$REPRO_RR_BACKEND``): ``batched`` (vectorized, default) or ``sequential``
-(the historical per-set BFS, byte-reproducible against pre-vectorization
-seeds).  The knob covers every RR-based phase: PRIMA/IMM/TIM/SSA sampling,
-TIM's width-based KPT estimation, and the GAP-aware Com-IC sampling of
-RR-SIM+/RR-CIM.
+reports.  Scales refer to the dataset stand-ins (DESIGN.md §5).  The engine
+backend is selectable per run (``--rr-backend`` or ``$REPRO_RR_BACKEND``):
+``batched`` (vectorized, default) or ``sequential`` (the historical
+per-world/per-set Python loops, byte-reproducible against
+pre-vectorization seeds).  The single knob covers every RR-based phase —
+PRIMA/IMM/TIM/SSA sampling, TIM's width-based KPT estimation, the
+GAP-aware Com-IC sampling of RR-SIM+/RR-CIM — *and* every forward
+Monte-Carlo phase: welfare/adoption estimation, Com-IC spread estimation
+and the baselines' forward adopter worlds (DESIGN.md §3).
 """
 
 from __future__ import annotations
@@ -24,7 +26,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.rrset.batch import BACKEND_ENV, BACKENDS
 
@@ -41,10 +43,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0, help="RNG seed")
     parser.add_argument(
         "--rr-backend", choices=BACKENDS, default=None,
-        help="RR-set sampling backend: 'batched' (vectorized numpy frontier "
-        "expansion, the default) or 'sequential' (historical per-set BFS). "
-        "Applies to all RR phases incl. KPT estimation and the GAP-aware "
-        "Com-IC sampler. Also settable via $REPRO_RR_BACKEND.",
+        help="engine backend: 'batched' (vectorized numpy frontier "
+        "expansion, the default) or 'sequential' (historical per-set/"
+        "per-world Python loops). Applies to all RR phases (incl. KPT "
+        "estimation and the GAP-aware Com-IC sampler) and to all forward "
+        "Monte-Carlo phases (welfare/spread estimation, forward adopter "
+        "worlds). Also settable via $REPRO_RR_BACKEND.",
     )
 
 

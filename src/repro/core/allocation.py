@@ -8,7 +8,7 @@ welfare estimator.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Set, Tuple
+from typing import FrozenSet, Iterable, Iterator, List, Sequence, Set, Tuple
 
 from repro.utility.itemsets import Mask
 

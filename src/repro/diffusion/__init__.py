@@ -10,7 +10,19 @@ RR-SIM+/RR-CIM baselines (:mod:`repro.diffusion.comic`).
 """
 
 from repro.diffusion.adoption import adopt
-from repro.diffusion.comic import ComICModel, simulate_comic
+from repro.diffusion.batch_forward import (
+    BatchComICResult,
+    BatchUICResult,
+    batch_simulate_comic,
+    batch_simulate_ic,
+    batch_simulate_uic,
+    supports_batched_uic,
+)
+from repro.diffusion.comic import (
+    ComICModel,
+    estimate_comic_spread,
+    simulate_comic,
+)
 from repro.diffusion.ic import estimate_spread, simulate_ic
 from repro.diffusion.uic import UICResult, simulate_uic
 from repro.diffusion.welfare import (
@@ -21,12 +33,18 @@ from repro.diffusion.welfare import (
 from repro.diffusion.worlds import LiveEdgeGraph, reachable_set, sample_live_edge_graph
 
 __all__ = [
+    "BatchComICResult",
+    "BatchUICResult",
     "ComICModel",
     "LiveEdgeGraph",
     "UICResult",
     "WelfareEstimate",
     "adopt",
+    "batch_simulate_comic",
+    "batch_simulate_ic",
+    "batch_simulate_uic",
     "estimate_adoption",
+    "estimate_comic_spread",
     "estimate_spread",
     "estimate_welfare",
     "reachable_set",
@@ -34,4 +52,5 @@ __all__ = [
     "simulate_comic",
     "simulate_ic",
     "simulate_uic",
+    "supports_batched_uic",
 ]

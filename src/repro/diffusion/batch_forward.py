@@ -1,0 +1,746 @@
+"""Batched forward-diffusion engine: advance all Monte Carlo worlds at once.
+
+The sequential simulators (:func:`repro.diffusion.ic.simulate_ic`,
+:func:`repro.diffusion.comic.simulate_comic`,
+:func:`repro.diffusion.uic.simulate_uic`) run one possible world per Python
+call — fine for a single cascade, but welfare/spread estimation samples
+hundreds of worlds per estimate and pays interpreter overhead per node and
+per edge in every one of them.  This module is the forward twin of
+:mod:`repro.rrset.batch`: it keeps the union of all worlds' frontiers as
+flat ``(world, node)`` int64 arrays and advances every world simultaneously
+with one vectorized step per diffusion round over the graph's forward CSR.
+
+**Frontier scheme.**  Each round performs a segmented gather of the frontier
+nodes' out-edges (``np.repeat`` over per-node degrees, exactly the batched
+RR-set trick mirrored onto the out-CSR), resolves which candidate edges are
+live, filters targets against per-world state bitmaps, and de-duplicates the
+survivors within the round via ``np.unique`` on scalar keys.  Per-model
+state is a set of flat ``(worlds, n)`` arrays:
+
+* **IC** — one boolean ``active`` bitmap; live edges are per-discovery
+  coins (each (world, edge) is tested at most once, since IC activation is
+  one-shot).
+* **Com-IC** — pre-sampled per-world live-edge flags over the out-CSR plus
+  per-node adoption thresholds ``λ(v, item)``, and ``informed`` /
+  ``adopted`` bitmaps per item.  Adoption replays the node-level automaton:
+  the threshold is compared against ``q(item | other)``, which grows when
+  the complementary item is adopted, and a *reconsideration* pass re-tests
+  the other item after every first-wave adoption — the same monotone
+  fixpoint the sequential deque computes, so final adopter sets match
+  realization-for-realization.
+* **UIC** — per-world utility tables (one sampled noise world each), an
+  itemset-mask ``desire``/``adopted`` state per (world, node), pre-sampled
+  live edges (IC fast path) or per-(world, node) trigger sets drawn
+  through the shared :class:`~repro.diffusion.triggering.TriggerCSR`
+  sampler, and a per-world *adoption decision table*
+  ``decision[w, desire, adopted]`` that tabulates the utility-maximizing
+  rule of :func:`repro.diffusion.adoption.adopt` for every reachable
+  (desire, adopted) pair — ``3^k`` vectorized evaluations per chunk instead
+  of one Python subset enumeration per touched node per world.
+
+**Memory.**  Worlds are processed in chunks sized so the per-chunk state
+(bitmaps, thresholds, live-edge flags) stays within ``_TARGET_BYTES``;
+arbitrarily many worlds stream through a fixed working set, mirroring the
+chunked visited bitmap of the batched RR sampler.
+
+**Oracle contract.**  The sequential simulators are kept byte-identical and
+remain the equivalence oracles: for a fixed RNG they reproduce the
+historical stream bit for bit, while the batched engine consumes randomness
+in a different (vectorized) order and is therefore *statistically*
+equivalent — same per-world outcome distribution, different realizations.
+Tests pin both: exact agreement on deterministic instances (probability-1
+edges, degenerate GAPs, zero noise) and distributional agreement elsewhere
+(``tests/test_batch_forward.py``).  Backend selection follows the engine
+convention (explicit argument > ``$REPRO_RR_BACKEND`` > batched) at the
+call sites — :func:`repro.diffusion.comic.estimate_comic_spread`,
+:func:`repro.diffusion.welfare.estimate_welfare` and the Com-IC baselines'
+forward-world pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.diffusion.adoption import TIE_TOL
+from repro.diffusion.comic import ITEM_A, ITEM_B, ComICModel
+from repro.diffusion.triggering import (
+    IndependentCascadeTriggering,
+    TriggerCSR,
+    TriggeringModel,
+    build_trigger_csr,
+    has_trigger_distribution,
+    segmented_positions,
+)
+from repro.diffusion.triggering import (
+    sample_trigger_members as _sample_trigger_members,
+)
+from repro.graph.digraph import InfluenceGraph
+from repro.utility.itemsets import iter_subsets
+from repro.utility.model import UtilityModel
+from repro.utility.noise import NoiseWorld
+
+#: Per-chunk budget for the flat world state (bytes, approximate).
+_TARGET_BYTES = 1 << 26  # 64 MB
+
+#: Largest item universe the UIC decision-table path handles; beyond this
+#: the ``3^k`` table construction stops paying for itself and callers fall
+#: back to the sequential simulator (see ``supports_batched_uic``).
+MAX_BATCH_ITEMS = 6
+
+
+def as_generator(rng) -> np.random.Generator:
+    """Coerce ``None`` / integer seed / ``Generator`` into a ``Generator``.
+
+    Integer seeds go through :class:`numpy.random.SeedSequence`, the same
+    root the sequential per-world spawning uses, so an integer seed names
+    one reproducible experiment on either backend.
+    """
+    if rng is None:
+        return np.random.default_rng(0)
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(np.random.SeedSequence(int(rng)))
+    return rng
+
+
+def spawn_world_rngs(seed: int, num_worlds: int) -> List[np.random.Generator]:
+    """Independent per-world child generators from one integer seed.
+
+    ``SeedSequence.spawn`` guarantees stream independence, so world ``i``'s
+    realization depends only on ``(seed, i)`` — not on how many worlds are
+    sampled around it.  The sequential estimators use these children when
+    handed an integer seed, making CLI runs reproducible world by world.
+    """
+    children = np.random.SeedSequence(int(seed)).spawn(num_worlds)
+    return [np.random.default_rng(child) for child in children]
+
+
+def _world_chunks(num_worlds: int, bytes_per_world: int) -> Iterable[int]:
+    """Yield chunk sizes whose state stays within ``_TARGET_BYTES``."""
+    chunk = max(1, min(num_worlds, _TARGET_BYTES // max(bytes_per_world, 1)))
+    remaining = num_worlds
+    while remaining > 0:
+        batch = min(chunk, remaining)
+        yield batch
+        remaining -= batch
+
+
+def _gather_out_edges(
+    graph: InfluenceGraph, frontier_n: np.ndarray
+) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, int]]:
+    """Segmented gather of every candidate out-edge of a flat frontier.
+
+    The forward mirror of ``repro.rrset.batch._gather_in_edges``: returns
+    ``(dst, probs, degs, total)`` — flattened targets, the edge
+    probabilities, per-node degrees and the total count — or ``None`` when
+    the frontier has no out-edges at all.
+    """
+    indptr = graph._out_indptr
+    starts = indptr[frontier_n]
+    degs = indptr[frontier_n + 1] - starts
+    total = int(degs.sum())
+    if total == 0:
+        return None
+    pos = segmented_positions(starts, degs)
+    return graph._out_targets[pos], graph._out_probs[pos], degs, total
+
+
+def _seed_frontier(
+    seeds: np.ndarray, batch: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Initial flat ``(world, node)`` frontier: every seed in every world."""
+    fw = np.repeat(np.arange(batch, dtype=np.int64), seeds.shape[0])
+    fn = np.tile(seeds, batch)
+    return fw, fn
+
+
+class _LiveEdgeLog:
+    """Lazy per-chunk live-edge cache with first-visit coin flips.
+
+    The sequential Com-IC/UIC simulators test a node's out-edges the first
+    time it adopts and *cache* the live targets — by the deferred-decision
+    principle each (world, edge) pair is flipped at most once.  Pre-sampling
+    the full ``(worlds, m)`` coin matrix reproduces that, but pays for every
+    edge of every world even though only the out-edges of *adopting* nodes
+    are ever consulted (a small fraction on typical instances).  This log
+    keeps the lazy semantics instead: the first time a ``(world, node)``
+    pair propagates, its out-edge coins are flipped vectorized and the live
+    targets are appended to a per-round segment (keys sorted, CSR over
+    pairs); re-propagations (a node adopting additional items later) look
+    their cached targets up by binary search over the few round segments.
+
+    Callers must pass each round's ``(world, node)`` pairs de-duplicated.
+    """
+
+    __slots__ = ("_n", "_expanded", "_seg_keys", "_seg_indptr", "_seg_targets")
+
+    def __init__(self, batch: int, n: int):
+        self._n = n
+        self._expanded = np.zeros((batch, n), dtype=bool)
+        self._seg_keys: List[np.ndarray] = []
+        self._seg_indptr: List[np.ndarray] = []
+        self._seg_targets: List[np.ndarray] = []
+
+    def live_targets(
+        self,
+        graph: InfluenceGraph,
+        rng: np.random.Generator,
+        fw: np.ndarray,
+        fn: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Live out-targets of unique frontier pairs ``(fw[i], fn[i])``.
+
+        Returns ``(entry, targets)``: ``targets[j]`` is live for the
+        frontier entry ``entry[j]`` (an index into ``fw``/``fn``), mixing
+        fresh first-visit samples with cached repeat lookups.
+        """
+        keys = fw * self._n + fn
+        first = ~self._expanded[fw, fn]
+        entry_parts: List[np.ndarray] = []
+        target_parts: List[np.ndarray] = []
+
+        repeat_idx = np.flatnonzero(~first)
+        if repeat_idx.size:
+            repeat_keys = keys[repeat_idx]
+            for seg_keys, seg_indptr, seg_targets in zip(
+                self._seg_keys, self._seg_indptr, self._seg_targets
+            ):
+                pos = np.searchsorted(seg_keys, repeat_keys)
+                safe = np.minimum(pos, seg_keys.shape[0] - 1)
+                found = seg_keys[safe] == repeat_keys
+                if not found.any():
+                    continue
+                hit_idx = repeat_idx[found]
+                hit_pos = safe[found]
+                starts = seg_indptr[hit_pos]
+                degs = seg_indptr[hit_pos + 1] - starts
+                gather = segmented_positions(starts, degs)
+                if gather.shape[0]:
+                    entry_parts.append(np.repeat(hit_idx, degs))
+                    target_parts.append(seg_targets[gather])
+
+        first_idx = np.flatnonzero(first)
+        if first_idx.size:
+            self._expanded[fw[first_idx], fn[first_idx]] = True
+            gathered = _gather_out_edges(graph, fn[first_idx])
+            if gathered is not None:
+                dst, probs, degs, total = gathered
+                live = rng.random(total) < probs
+                within = np.repeat(
+                    np.arange(first_idx.shape[0]), degs
+                )[live]
+                live_targets = dst[live]
+                entry_parts.append(first_idx[within])
+                target_parts.append(live_targets)
+                # Log this round's samples, sorted by key for the repeat
+                # lookups of later rounds.
+                live_degs = np.bincount(
+                    within, minlength=first_idx.shape[0]
+                )
+                seg_keys = keys[first_idx]
+                order = np.argsort(seg_keys, kind="stable")
+                seg_indptr = np.zeros(
+                    first_idx.shape[0] + 1, dtype=np.int64
+                )
+                np.cumsum(live_degs[order], out=seg_indptr[1:])
+                # ``within`` is non-decreasing, so ``live_targets`` is
+                # already grouped per pair; remap each contiguous run to
+                # key order.
+                sorted_targets = live_targets
+                starts = np.concatenate(
+                    ([0], np.cumsum(live_degs))
+                )[:-1]
+                run = np.repeat(
+                    starts[order] - (seg_indptr[:-1]), live_degs[order]
+                )
+                self._seg_keys.append(seg_keys[order])
+                self._seg_indptr.append(seg_indptr)
+                self._seg_targets.append(
+                    sorted_targets[
+                        np.arange(int(seg_indptr[-1])) + run
+                    ]
+                )
+        if not entry_parts:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        return np.concatenate(entry_parts), np.concatenate(target_parts)
+
+
+# ----------------------------------------------------------------------
+# IC
+# ----------------------------------------------------------------------
+def batch_simulate_ic(
+    graph: InfluenceGraph,
+    seeds: Sequence[int],
+    num_worlds: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Simulate ``num_worlds`` IC cascades at once.
+
+    Returns a ``(num_worlds, n)`` boolean bitmap of active nodes; row
+    ``w`` is distributed identically to
+    ``simulate_ic(graph, seeds, rng)``.  Edge coins are flipped per
+    discovery — each (world, edge) at most once, since an IC node enters
+    the frontier exactly once per world.
+    """
+    n = graph.num_nodes
+    if num_worlds < 0:
+        raise ValueError(f"num_worlds must be non-negative, got {num_worlds}")
+    seeds_arr = np.unique(np.asarray(list(seeds), dtype=np.int64))
+    if seeds_arr.size and (seeds_arr[0] < 0 or seeds_arr[-1] >= n):
+        raise IndexError(f"seed outside graph of {n} nodes")
+    active = np.zeros((num_worlds, n), dtype=bool)
+    if num_worlds == 0 or seeds_arr.size == 0:
+        return active
+    done = 0
+    for batch in _world_chunks(num_worlds, n):
+        sub = active[done : done + batch]
+        fw, fn = _seed_frontier(seeds_arr, batch)
+        sub[fw, fn] = True
+        while fw.size:
+            gathered = _gather_out_edges(graph, fn)
+            if gathered is None:
+                break
+            dst, probs, degs, total = gathered
+            live = rng.random(total) < probs
+            w = np.repeat(fw, degs)[live]
+            t = dst[live]
+            if w.size:
+                fresh = ~sub[w, t]
+                w = w[fresh]
+                t = t[fresh]
+            if w.size == 0:
+                break
+            key = np.unique(w * n + t)
+            w = key // n
+            t = key % n
+            sub[w, t] = True
+            fw, fn = w, t
+        done += batch
+    return active
+
+
+# ----------------------------------------------------------------------
+# Com-IC
+# ----------------------------------------------------------------------
+@dataclass
+class BatchComICResult:
+    """Adoption bitmaps of a batch of Com-IC worlds.
+
+    ``adopted_a`` / ``adopted_b`` are ``(num_worlds, n)`` boolean arrays;
+    row ``w`` is one possible world's adopter set per item.
+    """
+
+    adopted_a: np.ndarray
+    adopted_b: np.ndarray
+
+    def adopters_bitmap(self, item: int) -> np.ndarray:
+        """Per-world adopter bitmap of the given item."""
+        if item == ITEM_A:
+            return self.adopted_a
+        if item == ITEM_B:
+            return self.adopted_b
+        raise ValueError(f"Com-IC supports items 0 and 1, got {item}")
+
+    def adopter_counts(self, item: int) -> np.ndarray:
+        """Per-world adopter counts of the given item."""
+        return self.adopters_bitmap(item).sum(axis=1)
+
+
+def batch_simulate_comic(
+    graph: InfluenceGraph,
+    model: ComICModel,
+    seeds_a: Sequence[int],
+    seeds_b: Sequence[int],
+    num_worlds: int,
+    rng: np.random.Generator,
+) -> BatchComICResult:
+    """Simulate ``num_worlds`` Com-IC possible worlds at once.
+
+    Each world row follows exactly the distribution of
+    :func:`repro.diffusion.comic.simulate_comic`: per-node thresholds
+    ``λ(v, item) ~ U[0,1)`` realize the GAP automaton (with automatic
+    reconsideration in the mutually complementary regime), and live edges
+    are pre-sampled per world (the deferred-decision equivalent of the
+    sequential simulator's lazy edge tests).
+    """
+    if not model.is_mutually_complementary():
+        raise ValueError(
+            "batch_simulate_comic implements the mutually complementary "
+            "regime; got a competitive parameterization"
+        )
+    n = graph.num_nodes
+    if num_worlds < 0:
+        raise ValueError(f"num_worlds must be non-negative, got {num_worlds}")
+    adopted_a = np.zeros((num_worlds, n), dtype=bool)
+    adopted_b = np.zeros((num_worlds, n), dtype=bool)
+    seeds = []
+    for item, item_seeds in ((ITEM_A, seeds_a), (ITEM_B, seeds_b)):
+        arr = np.unique(np.asarray(list(item_seeds), dtype=np.int64))
+        if arr.size and (arr[0] < 0 or arr[-1] >= n):
+            raise IndexError(f"seed outside graph of {n} nodes")
+        seeds.append(arr)
+    if num_worlds == 0 or (seeds[0].size == 0 and seeds[1].size == 0):
+        return BatchComICResult(adopted_a, adopted_b)
+
+    # q_table[item, has_other]: the GAP the threshold is compared against.
+    q_table = np.array(
+        [
+            [model.q_a_empty, model.q_a_given_b],
+            [model.q_b_empty, model.q_b_given_a],
+        ],
+        dtype=np.float64,
+    )
+    # Per-world bytes: thresholds (2 float64) + informed/adopted (4 bool) +
+    # the live-edge log's expanded bitmap per node.
+    bytes_per_world = 21 * n
+    done = 0
+    for batch in _world_chunks(num_worlds, bytes_per_world):
+        thresholds = rng.random((batch, n, 2))
+        live_log = _LiveEdgeLog(batch, n)
+        informed = np.zeros((batch, n, 2), dtype=bool)
+        adopted = np.zeros((batch, n, 2), dtype=bool)
+
+        # Initial information events: every seed of every item, every world.
+        parts_w, parts_v, parts_i = [], [], []
+        for item in (ITEM_A, ITEM_B):
+            if seeds[item].size:
+                fw, fn = _seed_frontier(seeds[item], batch)
+                parts_w.append(fw)
+                parts_v.append(fn)
+                parts_i.append(np.full(fw.shape[0], item, dtype=np.int64))
+        ew = np.concatenate(parts_w)
+        ev = np.concatenate(parts_v)
+        ei = np.concatenate(parts_i)
+
+        while ew.size:
+            informed[ew, ev, ei] = True
+            # First wave: the NLA with the *current* other-item state.
+            has_other = adopted[ew, ev, 1 - ei].astype(np.int64)
+            passes = thresholds[ew, ev, ei] <= q_table[ei, has_other]
+            aw, av, ai = ew[passes], ev[passes], ei[passes]
+            adopted[aw, av, ai] = True
+            # Reconsideration: a fresh adoption boosts the other item's GAP;
+            # nodes informed of the other item earlier (or this round) that
+            # suspended it re-run the automaton against q(other | item).
+            oi = 1 - ai
+            redo = (
+                informed[aw, av, oi]
+                & ~adopted[aw, av, oi]
+                & (thresholds[aw, av, oi] <= q_table[oi, 1])
+            )
+            rw, rv, ri = aw[redo], av[redo], oi[redo]
+            adopted[rw, rv, ri] = True
+
+            nw = np.concatenate([aw, rw])
+            nv = np.concatenate([av, rv])
+            ni = np.concatenate([ai, ri])
+            if nw.size == 0:
+                break
+            # Group this round's adoptions by (world, node) — a node that
+            # adopted both items this round spreads them over the *same*
+            # live out-edges, so the live-edge log is queried once per pair.
+            key = nw * n + nv
+            order = np.argsort(key, kind="stable")
+            key_sorted = key[order]
+            bounds = np.concatenate(
+                ([0], np.flatnonzero(key_sorted[1:] != key_sorted[:-1]) + 1)
+            )
+            item_masks = np.bitwise_or.reduceat(
+                np.left_shift(1, ni)[order], bounds
+            )
+            uw = key_sorted[bounds] // n
+            uv = key_sorted[bounds] % n
+            entry, targets = live_log.live_targets(graph, rng, uw, uv)
+            if entry.size == 0:
+                break
+            event_parts = []
+            spread_mask = item_masks[entry]
+            for item in (ITEM_A, ITEM_B):
+                carries = (spread_mask >> item) & 1 == 1
+                w_i = uw[entry[carries]]
+                t_i = targets[carries]
+                if w_i.size:
+                    fresh = ~informed[w_i, t_i, item]
+                    w_i, t_i = w_i[fresh], t_i[fresh]
+                if w_i.size:
+                    event_parts.append((w_i * n + t_i) * 2 + item)
+            if not event_parts:
+                break
+            key = np.unique(np.concatenate(event_parts))
+            item = key % 2
+            wt = key // 2
+            ew, ev, ei = wt // n, wt % n, item
+        adopted_a[done : done + batch] = adopted[:, :, ITEM_A]
+        adopted_b[done : done + batch] = adopted[:, :, ITEM_B]
+        done += batch
+    return BatchComICResult(adopted_a, adopted_b)
+
+
+# ----------------------------------------------------------------------
+# UIC
+# ----------------------------------------------------------------------
+@dataclass
+class BatchUICResult:
+    """Adoption masks and realized welfare of a batch of UIC worlds.
+
+    ``adopted`` is ``(num_worlds, n)`` int64 itemset masks; ``welfare`` is
+    the per-world realized social welfare ``Σ_v U_W(A(v))``.
+    """
+
+    adopted: np.ndarray
+    welfare: np.ndarray
+
+    def adopter_counts(self, item: Optional[int] = None) -> np.ndarray:
+        """Per-world adoption totals (all (node, item) pairs, or one item)."""
+        if item is None:
+            popcount = _popcounts(int(self.adopted.max()) + 1)
+            return popcount[self.adopted].sum(axis=1)
+        return ((self.adopted >> item) & 1).sum(axis=1)
+
+
+def supports_batched_uic(
+    model: UtilityModel, triggering: Optional[TriggeringModel]
+) -> bool:
+    """Whether the batched UIC engine covers this (model, triggering) pair.
+
+    Requires an item universe small enough for the ``3^k`` decision-table
+    construction and a triggering model the vectorized world sampler can
+    realize: the IC fast path, or any model with an explicit trigger
+    distribution (LT and every :class:`DistributionTriggering`).
+    """
+    if model.num_items > MAX_BATCH_ITEMS:
+        return False
+    if triggering is None or isinstance(
+        triggering, IndependentCascadeTriggering
+    ):
+        return True
+    return has_trigger_distribution(triggering)
+
+
+def _popcounts(size: int) -> np.ndarray:
+    """Bit-count lookup table for masks ``0 .. size-1``."""
+    masks = np.arange(size, dtype=np.int64)
+    counts = np.zeros(size, dtype=np.int64)
+    while masks.any():
+        counts += masks & 1
+        masks >>= 1
+    return counts
+
+
+def _decision_tables(tables: np.ndarray) -> np.ndarray:
+    """Tabulate the adoption rule for every world and (desire, adopted) pair.
+
+    ``tables`` is ``(num_worlds, 2^k)`` realized utilities;  the result
+    ``decision[w, desire, adopted]`` equals
+    ``adopt(tables[w], desire, adopted)`` for every valid pair (``adopted ⊆
+    desire``; other cells stay 0 and are never read).  One vectorized pass
+    per (desire, adopted) pair — ``3^k`` numpy evaluations total — instead
+    of a Python subset enumeration per touched (world, node).  Ties within
+    ``TIE_TOL`` are resolved exactly like :func:`repro.diffusion.adoption.
+    adopt``: union of tied maximizers if the union keeps the utility,
+    else the largest (earliest-enumerated) single maximizer.
+    """
+    num_worlds, size = tables.shape
+    popcount = _popcounts(size)
+    decision = np.zeros((num_worlds, size, size), dtype=np.int64)
+    for desire in range(size):
+        for extra_base in iter_subsets(desire):
+            adopted = desire & ~extra_base  # adopted ranges over subsets too
+            free = desire & ~adopted
+            cands = np.fromiter(
+                (adopted | extra for extra in iter_subsets(free)),
+                dtype=np.int64,
+            )
+            if cands.shape[0] == 1:
+                decision[:, desire, adopted] = adopted
+                continue
+            values = tables[:, cands]
+            best = values.max(axis=1)
+            tied = values >= (best - TIE_TOL)[:, None]
+            union = np.bitwise_or.reduce(
+                np.where(tied, cands[None, :], 0), axis=1
+            )
+            # Largest tied candidate, earliest enumeration order on size
+            # ties — the sequential rule's fallback preference.
+            count = cands.shape[0]
+            rank = popcount[cands] * count - np.arange(count)
+            single = cands[np.where(tied, rank[None, :], -1).argmax(axis=1)]
+            union_value = np.take_along_axis(
+                tables, union[:, None], axis=1
+            )[:, 0]
+            decision[:, desire, adopted] = np.where(
+                union_value >= best - 1e-9, union, single
+            )
+    return decision
+
+
+def _sample_live_out_csr(
+    csr: TriggerCSR,
+    batch: int,
+    n: int,
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample every (world, node) trigger set; return live out-adjacency.
+
+    Drawing node ``v``'s trigger set selects its live *in*-edges; the flat
+    result is re-keyed by source so forward propagation can slice each
+    (world, source) pair's live targets:  returns ``(indptr, targets)``
+    with ``targets[indptr[w * n + u] : indptr[w * n + u + 1]]`` the live
+    out-neighbors of ``u`` in world ``w``.
+    """
+    queries_v = np.tile(np.arange(n, dtype=np.int64), batch)
+    sources, degs = _sample_trigger_members(
+        csr, queries_v, rng.random(batch * n)
+    )
+    targets = np.repeat(queries_v, degs)
+    worlds = np.repeat(
+        np.repeat(np.arange(batch, dtype=np.int64), n), degs
+    )
+    key = worlds * n + sources
+    order = np.argsort(key, kind="stable")
+    indptr = np.zeros(batch * n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(key, minlength=batch * n), out=indptr[1:])
+    return indptr, targets[order]
+
+
+def batch_simulate_uic(
+    graph: InfluenceGraph,
+    model: UtilityModel,
+    allocation: Iterable[Tuple[int, int]],
+    num_worlds: int,
+    rng: np.random.Generator,
+    noise_world: Optional[NoiseWorld] = None,
+    triggering: Optional[TriggeringModel] = None,
+) -> BatchUICResult:
+    """Simulate ``num_worlds`` UIC possible worlds at once.
+
+    Each world samples its own noise world (unless a fixed ``noise_world``
+    is supplied) and edge world, then runs the utility-maximizing adoption
+    dynamics of :func:`repro.diffusion.uic.simulate_uic` to the fixpoint;
+    per-world outcomes are distributed identically to the sequential
+    simulator's.  ``triggering`` follows the §5 extension: ``None`` is the
+    IC fast path, anything else must satisfy :func:`supports_batched_uic`.
+    """
+    n = graph.num_nodes
+    m = graph.num_edges
+    k = model.num_items
+    if num_worlds < 0:
+        raise ValueError(f"num_worlds must be non-negative, got {num_worlds}")
+    if not supports_batched_uic(model, triggering):
+        raise ValueError(
+            f"batched UIC needs <= {MAX_BATCH_ITEMS} items and a "
+            "vectorizable triggering model; use the sequential simulator"
+        )
+    size = 1 << k
+    desire0 = np.zeros(n, dtype=np.int64)
+    for node, item in allocation:
+        node = int(node)
+        if not 0 <= node < n:
+            raise IndexError(f"seed node {node} outside graph")
+        if not 0 <= int(item) < k:
+            raise IndexError(f"item {item} outside universe")
+        desire0[node] |= 1 << int(item)
+    seed_nodes = np.flatnonzero(desire0)
+
+    adopted_out = np.zeros((num_worlds, n), dtype=np.int64)
+    welfare_out = np.zeros(num_worlds, dtype=np.float64)
+    if num_worlds == 0:
+        return BatchUICResult(adopted_out, welfare_out)
+
+    ic_path = triggering is None or isinstance(
+        triggering, IndependentCascadeTriggering
+    )
+    trigger_csr = None if ic_path else build_trigger_csr(graph, triggering)
+    # Per-world bytes: desire+adopted masks (16 per node), the live-edge
+    # log's expanded bitmap (or the sampled live-out CSR, ~8 per node plus
+    # ~8 per live edge), utility and decision tables (8 * (size + size^2)).
+    bytes_per_world = 33 * n + 8 * (size + size * size)
+    if not ic_path:
+        bytes_per_world += 8 * (n + m)
+    done = 0
+    while done < num_worlds:
+        batch = next(iter(_world_chunks(num_worlds - done, bytes_per_world)))
+        if noise_world is not None:
+            noise_worlds = np.broadcast_to(
+                np.asarray(noise_world, dtype=np.float64), (batch, k)
+            )
+        else:
+            noise_worlds = model.noise.sample_batch(rng, batch)
+        tables = model.utility_tables(noise_worlds)
+        decision = _decision_tables(tables)
+        if ic_path:
+            live_log = _LiveEdgeLog(batch, n)
+            live_indptr = live_targets = None
+        else:
+            live_log = None
+            live_indptr, live_targets = _sample_live_out_csr(
+                trigger_csr, batch, n, rng
+            )
+
+        desire = np.zeros((batch, n), dtype=np.int64)
+        adopted = np.zeros((batch, n), dtype=np.int64)
+        # t = 1: seeds desire their allocation and adopt the
+        # utility-maximizing subset (rational users, like everyone else).
+        if seed_nodes.size:
+            desire[:, seed_nodes] = desire0[seed_nodes][None, :]
+            adopted[:, seed_nodes] = decision[
+                np.arange(batch)[:, None], desire0[seed_nodes][None, :], 0
+            ]
+            fw, fn = _seed_frontier(seed_nodes, batch)
+            keep = adopted[fw, fn] != 0
+            fw, fn = fw[keep], fn[keep]
+        else:
+            fw = fn = np.empty(0, dtype=np.int64)
+
+        while fw.size:
+            # Gather each frontier node's live out-targets.
+            if ic_path:
+                entry, t = live_log.live_targets(graph, rng, fw, fn)
+                if entry.size == 0:
+                    break
+                w = fw[entry]
+                src_mask = adopted[fw, fn][entry]
+            else:
+                key = fw * n + fn
+                starts = live_indptr[key]
+                degs = live_indptr[key + 1] - starts
+                pos = segmented_positions(starts, degs)
+                if pos.shape[0] == 0:
+                    break
+                t = live_targets[pos]
+                w = np.repeat(fw, degs)
+                src_mask = np.repeat(adopted[fw, fn], degs)
+            if w.size == 0:
+                break
+            # OR all incoming masks per touched (world, target) pair.
+            key = w * n + t
+            order = np.argsort(key, kind="stable")
+            key_sorted = key[order]
+            boundaries = np.concatenate(
+                ([0], np.flatnonzero(key_sorted[1:] != key_sorted[:-1]) + 1)
+            )
+            touched_key = key_sorted[boundaries]
+            incoming = np.bitwise_or.reduceat(src_mask[order], boundaries)
+            tw, tv = touched_key // n, touched_key % n
+            new_desire = desire[tw, tv] | incoming
+            grew = new_desire != desire[tw, tv]
+            tw, tv, new_desire = tw[grew], tv[grew], new_desire[grew]
+            if tw.size == 0:
+                break
+            desire[tw, tv] = new_desire
+            old = adopted[tw, tv]
+            new = decision[tw, new_desire, old]
+            changed = new != old
+            fw, fn = tw[changed], tv[changed]
+            adopted[fw, fn] = new[changed]
+
+        realized = np.take_along_axis(tables, adopted, axis=1)
+        welfare_out[done : done + batch] = np.where(
+            adopted > 0, realized, 0.0
+        ).sum(axis=1)
+        adopted_out[done : done + batch] = adopted
+        done += batch
+    return BatchUICResult(adopted_out, welfare_out)

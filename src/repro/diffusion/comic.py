@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Sequence, Set, Tuple
+from typing import Dict, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -167,9 +167,47 @@ def estimate_comic_spread(
     seeds_b: Sequence[int],
     item: int,
     num_samples: int = 200,
-    rng: Optional[np.random.Generator] = None,
+    rng: Optional[object] = None,
+    backend: Optional[str] = None,
 ) -> float:
-    """MC estimate of the expected number of adopters of ``item``."""
+    """MC estimate of the expected number of adopters of ``item``.
+
+    ``rng`` may be a ``numpy.random.Generator``, an integer seed, or
+    ``None`` (seed 0).  Integer seeds are expanded through
+    ``SeedSequence`` — the sequential backend spawns one child stream per
+    world, so world ``i``'s realization depends only on ``(seed, i)``;
+    the batched backend derives its single vectorized stream from the same
+    root.  Either way a CLI-supplied integer names one reproducible
+    estimate per backend.
+
+    ``backend`` picks the forward engine (``sequential`` — one
+    :func:`simulate_comic` per world, the historical byte-identical path
+    when handed a ``Generator`` — or ``batched`` —
+    :func:`repro.diffusion.batch_forward.batch_simulate_comic`, all worlds
+    at once); ``None`` resolves ``$REPRO_RR_BACKEND``, default batched.
+    """
+    from repro.diffusion.batch_forward import (
+        as_generator,
+        batch_simulate_comic,
+        spawn_world_rngs,
+    )
+    from repro.rrset.batch import resolve_backend
+
+    if num_samples <= 0:
+        raise ValueError(f"num_samples must be positive, got {num_samples}")
+    if resolve_backend(backend) == "batched":
+        result = batch_simulate_comic(
+            graph, model, seeds_a, seeds_b, num_samples, as_generator(rng)
+        )
+        return float(result.adopter_counts(item).mean())
+    if isinstance(rng, (int, np.integer)):
+        total = 0
+        for world_rng in spawn_world_rngs(int(rng), num_samples):
+            result = simulate_comic(
+                graph, model, seeds_a, seeds_b, world_rng
+            )
+            total += len(result.adopters_of(item))
+        return total / num_samples
     rng = rng if rng is not None else np.random.default_rng(0)
     total = 0
     for _ in range(num_samples):

@@ -20,7 +20,7 @@ deterministic replays (used by the reachability tests).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -112,9 +112,8 @@ def simulate_uic(
             adopted[node] = new_adopted
             frontier.append(node)
 
-    # Edge-test bookkeeping for the lazy mode: per node, which out-edges were
-    # already flipped and which came up live.
-    tested: Dict[int, bool] = {}  # only needed when edge_world is None
+    # Edge-test bookkeeping for the lazy mode (edge_world is None): per
+    # node, the out-edges that came up live on its first adoption.
     live_out: Dict[int, List[int]] = {}
 
     rounds = 1

@@ -10,15 +10,29 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence, Tuple
+from typing import Iterable, Optional, Tuple
 
 import numpy as np
 
-from repro.diffusion.triggering import TriggeringModel, resolve_triggering, sample_triggering_world
+from repro.diffusion.batch_forward import (
+    batch_simulate_uic,
+    supports_batched_uic,
+)
+from repro.diffusion.triggering import (
+    resolve_triggering,
+    sample_triggering_world,
+)
 from repro.diffusion.uic import simulate_uic
 from repro.graph.digraph import InfluenceGraph
 from repro.utility.model import UtilityModel
 from repro.utility.noise import NoiseWorld
+
+
+def _resolve_forward_backend(backend: Optional[str]) -> str:
+    """Backend resolution for the forward estimators (single engine knob)."""
+    from repro.rrset.batch import resolve_backend
+
+    return resolve_backend(backend)
 
 
 @dataclass(frozen=True)
@@ -42,6 +56,7 @@ def estimate_welfare(
     rng: Optional[np.random.Generator] = None,
     noise_world: Optional[NoiseWorld] = None,
     triggering=None,
+    backend: Optional[str] = None,
 ) -> WelfareEstimate:
     """Estimate ``ρ(𝒮)`` by simulating ``num_samples`` possible worlds.
 
@@ -49,6 +64,16 @@ def estimate_welfare(
     fixed-noise welfare ``ρ_{W^N}(𝒮)``.  With ``triggering`` given
     (``"lt"``, ``"ic"`` or a TriggeringModel), edge worlds are sampled from
     that triggering model instead of the IC fast path — the §5 extension.
+
+    ``backend`` picks the forward engine (``sequential`` | ``batched``;
+    ``None`` resolves ``$REPRO_RR_BACKEND``, default batched).  The batched
+    engine advances all worlds at once
+    (:func:`repro.diffusion.batch_forward.batch_simulate_uic`) whenever the
+    (model, triggering) pair is vectorizable — at most
+    :data:`~repro.diffusion.batch_forward.MAX_BATCH_ITEMS` items, and a
+    triggering model with an explicit trigger distribution (IC/LT/any
+    ``DistributionTriggering``); other pairs fall back to the sequential
+    per-world loop, which is also the byte-identical historical path.
     """
     if num_samples <= 0:
         raise ValueError(f"num_samples must be positive, got {num_samples}")
@@ -57,18 +82,31 @@ def estimate_welfare(
     if trig_model is not None:
         trig_model.validate(graph)
     allocation = list(allocation)
-    values = np.empty(num_samples, dtype=np.float64)
-    for i in range(num_samples):
-        edge_world = (
-            sample_triggering_world(graph, trig_model, rng)
-            if trig_model is not None
-            else None
-        )
-        result = simulate_uic(
-            graph, model, allocation, rng, noise_world=noise_world,
-            edge_world=edge_world,
-        )
-        values[i] = result.welfare
+    if _resolve_forward_backend(backend) == "batched" and supports_batched_uic(
+        model, trig_model
+    ):
+        values = batch_simulate_uic(
+            graph,
+            model,
+            allocation,
+            num_samples,
+            rng,
+            noise_world=noise_world,
+            triggering=trig_model,
+        ).welfare
+    else:
+        values = np.empty(num_samples, dtype=np.float64)
+        for i in range(num_samples):
+            edge_world = (
+                sample_triggering_world(graph, trig_model, rng)
+                if trig_model is not None
+                else None
+            )
+            result = simulate_uic(
+                graph, model, allocation, rng, noise_world=noise_world,
+                edge_world=edge_world,
+            )
+            values[i] = result.welfare
     mean = float(values.mean())
     stderr = float(values.std(ddof=1) / math.sqrt(num_samples)) if num_samples > 1 else 0.0
     return WelfareEstimate(mean=mean, stderr=stderr, num_samples=num_samples)
@@ -81,23 +119,31 @@ def estimate_adoption(
     num_samples: int = 200,
     rng: Optional[np.random.Generator] = None,
     item: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> WelfareEstimate:
     """Estimate expected adoptions (all items, or one item's adopter count).
 
     This is the σ-style objective the multi-item IM baselines optimize; the
-    paper contrasts it with welfare.
+    paper contrasts it with welfare.  ``backend`` follows
+    :func:`estimate_welfare`'s forward-engine convention.
     """
     if num_samples <= 0:
         raise ValueError(f"num_samples must be positive, got {num_samples}")
     rng = rng if rng is not None else np.random.default_rng(0)
     allocation = list(allocation)
-    values = np.empty(num_samples, dtype=np.float64)
-    for i in range(num_samples):
-        result = simulate_uic(graph, model, allocation, rng)
-        if item is None:
-            values[i] = result.total_adoptions()
-        else:
-            values[i] = len(result.adopters_of(item))
+    if _resolve_forward_backend(backend) == "batched" and supports_batched_uic(
+        model, None
+    ):
+        result = batch_simulate_uic(graph, model, allocation, num_samples, rng)
+        values = result.adopter_counts(item).astype(np.float64)
+    else:
+        values = np.empty(num_samples, dtype=np.float64)
+        for i in range(num_samples):
+            result = simulate_uic(graph, model, allocation, rng)
+            if item is None:
+                values[i] = result.total_adoptions()
+            else:
+                values[i] = len(result.adopters_of(item))
     mean = float(values.mean())
     stderr = float(values.std(ddof=1) / math.sqrt(num_samples)) if num_samples > 1 else 0.0
     return WelfareEstimate(mean=mean, stderr=stderr, num_samples=num_samples)

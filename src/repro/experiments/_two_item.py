@@ -58,6 +58,7 @@ def run_two_item_experiment(
     seed: int = 0,
     comic_forward_worlds: int = 10,
     graph: Optional[InfluenceGraph] = None,
+    backend: Optional[str] = None,
 ) -> List[TwoItemRun]:
     """Run the two-item sweep for one Table 3 configuration.
 
@@ -66,7 +67,7 @@ def run_two_item_experiment(
     config_id:
         Configuration 1–4.
     network, scale:
-        Stand-in dataset and node-count scale (§4 of DESIGN.md); or pass a
+        Stand-in dataset and node-count scale (§5 of DESIGN.md); or pass a
         pre-built ``graph``.
     budget_vectors:
         Budget sweep; defaults to the paper's (uniform 10..50 or b2 30..110).
@@ -74,6 +75,13 @@ def run_two_item_experiment(
         Subset of :data:`TWO_ITEM_ALGORITHMS` to run.
     num_samples:
         MC samples per welfare estimate.
+    backend:
+        Engine backend (``sequential`` | ``batched``) for the phases with
+        an explicit knob: the Com-IC baselines' RR/forward sampling and the
+        welfare evaluation.  ``None`` resolves ``$REPRO_RR_BACKEND``
+        (default batched) — the same switch the remaining RIS algorithms
+        read internally, so the CLI's ``--rr-backend`` reconfigures the
+        whole run.
 
     Returns
     -------
@@ -125,6 +133,7 @@ def run_two_item_experiment(
                         ell=ell,
                         rng=rng,
                         num_forward_worlds=comic_forward_worlds,
+                        backend=backend,
                     )
                     allocation, rr_sets = result.allocation, result.num_rr_sets
                 else:  # RR-CIM
@@ -136,6 +145,7 @@ def run_two_item_experiment(
                         ell=ell,
                         rng=rng,
                         num_forward_worlds=comic_forward_worlds,
+                        backend=backend,
                     )
                     allocation, rr_sets = result.allocation, result.num_rr_sets
             welfare = estimate_welfare(
@@ -144,6 +154,7 @@ def run_two_item_experiment(
                 allocation,
                 num_samples=num_samples,
                 rng=np.random.default_rng(seed + 1),
+                backend=backend,
             )
             runs.append(
                 TwoItemRun(

@@ -31,7 +31,7 @@ the rest uniformly (§4.3.3.2); the real-Param split is 30/30/20/10/10
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 

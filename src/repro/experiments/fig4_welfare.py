@@ -34,8 +34,13 @@ def run_fig4(
     num_samples: int = 100,
     seed: int = 0,
     graph: Optional[InfluenceGraph] = None,
+    backend: Optional[str] = None,
 ) -> List[TwoItemRun]:
-    """Regenerate one panel of Fig. 4 (configs 1–4 → panels a–d)."""
+    """Regenerate one panel of Fig. 4 (configs 1–4 → panels a–d).
+
+    ``backend`` selects the engine backend for the Com-IC baselines and
+    the welfare evaluation (``None`` resolves ``$REPRO_RR_BACKEND``).
+    """
     return run_two_item_experiment(
         config_id=config_id,
         network=network,
@@ -45,6 +50,7 @@ def run_fig4(
         num_samples=num_samples,
         seed=seed,
         graph=graph,
+        backend=backend,
     )
 
 

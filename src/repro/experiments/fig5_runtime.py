@@ -39,8 +39,13 @@ def run_fig5(
     num_samples: int = 20,
     seed: int = 0,
     comic_networks: Sequence[str] = COMIC_NETWORKS,
+    backend: Optional[str] = None,
 ) -> Dict[str, List[TwoItemRun]]:
-    """Regenerate the four panels of Fig. 5 (config 1, times per network)."""
+    """Regenerate the four panels of Fig. 5 (config 1, times per network).
+
+    ``backend`` selects the engine backend for the Com-IC baselines and
+    the welfare evaluation (``None`` resolves ``$REPRO_RR_BACKEND``).
+    """
     if budget_vectors is None:
         budget_vectors = [(10, 10), (30, 30), (50, 50)]
     panels: Dict[str, List[TwoItemRun]] = {}
@@ -58,6 +63,7 @@ def run_fig5(
             algorithms=algorithms,
             num_samples=num_samples,
             seed=seed,
+            backend=backend,
         )
     return panels
 

@@ -50,8 +50,14 @@ def run_fig7(
     ell: float = 1.0,
     seed: int = 0,
     graph: Optional[InfluenceGraph] = None,
+    backend: Optional[str] = None,
 ) -> List[MultiItemRun]:
-    """Regenerate one panel of Fig. 7 (configs 5–8 → panels a–d)."""
+    """Regenerate one panel of Fig. 7 (configs 5–8 → panels a–d).
+
+    ``backend`` selects the forward engine for the welfare evaluation
+    (``None`` resolves ``$REPRO_RR_BACKEND``; the seed-selection
+    algorithms read the same switch internally).
+    """
     unknown = set(algorithms) - set(MULTI_ITEM_ALGORITHMS)
     if unknown:
         raise ValueError(f"unknown algorithms: {sorted(unknown)}")
@@ -89,6 +95,7 @@ def run_fig7(
                 allocation,
                 num_samples=num_samples,
                 rng=np.random.default_rng(seed + 1),
+                backend=backend,
             )
             runs.append(
                 MultiItemRun(

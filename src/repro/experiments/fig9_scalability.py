@@ -9,7 +9,7 @@ roughly linearly with network size, welfare sublinearly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -18,7 +18,6 @@ from repro.diffusion.welfare import estimate_welfare
 from repro.experiments.runner import print_table, stopwatch
 from repro.graph import datasets
 from repro.graph.analysis import bfs_subgraph
-from repro.graph.digraph import InfluenceGraph
 from repro.graph.weighting import reweight
 from repro.utility.learned import real_utility_model
 from repro.utility.model import UtilityModel

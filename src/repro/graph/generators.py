@@ -12,7 +12,7 @@ evaluation (Table 2), which is what the RIS machinery's behaviour depends on.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

@@ -16,8 +16,11 @@ oracle (:mod:`repro.rrset.oracle`).
 from repro.rrset.batch import (
     BACKEND_ENV,
     BACKENDS,
+    TriggerCSR,
     batch_generate_rr_sets,
+    build_trigger_csr,
     resolve_backend,
+    sample_trigger_members,
     supports_batched,
 )
 from repro.rrset.greedy_mc import GreedyMCResult, greedy_mc
@@ -45,8 +48,11 @@ __all__ = [
     "SKIMResult",
     "SSAResult",
     "TIMResult",
+    "TriggerCSR",
     "batch_generate_rr_sets",
+    "build_trigger_csr",
     "generate_rr_set",
+    "sample_trigger_members",
     "greedy_max_coverage",
     "greedy_mc",
     "imm",

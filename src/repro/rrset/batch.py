@@ -41,9 +41,15 @@ Two extensions serve the TIM-based algorithms:
   walk (a per-world boolean bitmap row selected by ``world_ids``) and
   ``q_plain`` otherwise.  A failed *root* coin yields an empty RR set.
 
-Generic :class:`~repro.diffusion.triggering.TriggeringModel` instances other
-than IC/LT have no vectorized trigger sampler; callers should fall back to
-the sequential path (``supports_batched`` tells them).
+Generic :class:`~repro.diffusion.triggering.TriggeringModel` instances beyond
+IC/LT are vectorized too, provided they expose an explicit per-node
+``trigger_distribution`` (see :class:`TriggerCSR`): the distribution is
+compiled once into flat candidate/member CSR arrays, and each (walk, node)
+query selects one candidate with a single ``np.searchsorted`` over a
+segment-shifted cumulative-probability array — the segmented-cumsum
+generalization of the LT branch.  Models without a distribution still fall
+back to the sequential path (``supports_batched`` tells callers which is
+which).
 """
 
 from __future__ import annotations
@@ -56,9 +62,28 @@ import numpy as np
 from repro.diffusion.triggering import (
     IndependentCascadeTriggering,
     LinearThresholdTriggering,
+    TriggerCSR,
     TriggeringModel,
+    build_trigger_csr,
+    has_trigger_distribution,
+    needs_trigger_csr,
+    sample_trigger_members,
+    segmented_positions,
 )
 from repro.graph.digraph import InfluenceGraph
+
+__all__ = [
+    "BACKEND_ENV",
+    "BACKENDS",
+    "TriggerCSR",
+    "batch_generate_gap_rr_sets",
+    "batch_generate_rr_sets",
+    "build_trigger_csr",
+    "resolve_backend",
+    "rr_set_widths",
+    "sample_trigger_members",
+    "supports_batched",
+]
 
 #: Environment variable naming the default RR-set backend.
 BACKEND_ENV = "REPRO_RR_BACKEND"
@@ -85,12 +110,18 @@ def supports_batched(triggering: Optional[TriggeringModel]) -> bool:
     """Whether the batched sampler covers this triggering model.
 
     ``None`` (the IC fast path), :class:`IndependentCascadeTriggering` and
-    :class:`LinearThresholdTriggering` are vectorized; anything else needs
-    the sequential fallback.
+    :class:`LinearThresholdTriggering` have dedicated vectorized branches;
+    any other model is vectorized through the generic trigger-CSR sampler
+    as soon as it overrides
+    :meth:`~repro.diffusion.triggering.TriggeringModel.trigger_distribution`.
+    Only models without an explicit distribution need the sequential
+    fallback.
     """
-    return triggering is None or isinstance(
+    if triggering is None or isinstance(
         triggering, (IndependentCascadeTriggering, LinearThresholdTriggering)
-    )
+    ):
+        return True
+    return has_trigger_distribution(triggering)
 
 
 def rr_set_widths(
@@ -118,6 +149,7 @@ def batch_generate_rr_sets(
     rng: np.random.Generator,
     count: int,
     triggering: Optional[TriggeringModel] = None,
+    trigger_csr: Optional[TriggerCSR] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Sample ``count`` RR sets with vectorized frontier expansion.
 
@@ -125,6 +157,10 @@ def batch_generate_rr_sets(
     concatenation of all RR sets in generation order and ``lengths[i]`` is
     the size of RR set ``i`` (``members.size == lengths.sum()``; every set
     includes its root, so lengths are >= 1).
+
+    Generic triggering models are sampled through their compiled
+    :class:`TriggerCSR`; pass ``trigger_csr`` to reuse a cached compilation
+    (otherwise it is rebuilt here, one Python pass over the nodes).
     """
     n = graph.num_nodes
     if n == 0:
@@ -140,6 +176,8 @@ def batch_generate_rr_sets(
         return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
 
     lt = isinstance(triggering, LinearThresholdTriggering)
+    if trigger_csr is None and needs_trigger_csr(triggering):
+        trigger_csr = build_trigger_csr(graph, triggering)
     chunk = max(1, min(count, _TARGET_CELLS // max(n, 1)))
     # One visited bitmap reused across chunks; each chunk clears only the
     # cells it touched (O(members) instead of an O(chunk * n) re-zero).
@@ -149,7 +187,9 @@ def batch_generate_rr_sets(
     remaining = count
     while remaining > 0:
         batch = min(chunk, remaining)
-        nodes, lengths = _sample_chunk(graph, rng, batch, lt, visited)
+        nodes, lengths = _sample_chunk(
+            graph, rng, batch, lt, visited, trigger_csr
+        )
         # Members sorted by walk + per-walk lengths identify every visited
         # cell; clear them for the next chunk.
         visited[np.repeat(np.arange(batch), lengths), nodes] = False
@@ -176,7 +216,7 @@ def _gather_in_edges(
     if total == 0:
         return None
     excl = np.cumsum(degs) - degs
-    pos = np.repeat(starts - excl, degs) + np.arange(total)
+    pos = segmented_positions(starts, degs)
     return graph._in_sources[pos], graph._in_probs[pos], degs, excl, total
 
 
@@ -186,12 +226,15 @@ def _sample_chunk(
     batch: int,
     lt: bool,
     visited: np.ndarray,
+    trigger_csr: Optional[TriggerCSR] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Run ``batch`` concurrent reverse BFS walks; see the module docstring.
 
     ``visited`` is a caller-owned scratch bitmap of shape ``(>= batch, n)``
     whose cells must all be False on entry; the caller clears the touched
-    cells afterwards (identified by the returned members/lengths).
+    cells afterwards (identified by the returned members/lengths).  With
+    ``trigger_csr`` given, each frontier node's live in-edges come from one
+    vectorized trigger-distribution query instead of IC/LT coins.
     """
     n = graph.num_nodes
 
@@ -204,26 +247,35 @@ def _sample_chunk(
     frontier_n = roots
 
     while frontier_w.size:
-        gathered = _gather_in_edges(graph, frontier_n)
-        if gathered is None:
-            break
-        src, prob, degs, excl, total = gathered
-        if lt:
-            # One uniform per frontier node selects at most one in-neighbor:
-            # edge j of node v is live iff cum_{<j} <= draw < cum_{<=j}, the
-            # live-edge characterization of LT.
-            cum = np.cumsum(prob)
-            # Zero-degree segments have excl == total; clip before indexing
-            # (np.repeat with 0 repeats drops their entries regardless).
-            safe = np.minimum(excl, total - 1)
-            seg_cum = cum - np.repeat(cum[safe] - prob[safe], degs)
-            draw = np.repeat(rng.random(frontier_n.size), degs)
-            live = (draw < seg_cum) & (draw >= seg_cum - prob)
+        if trigger_csr is not None:
+            src, degs = sample_trigger_members(
+                trigger_csr, frontier_n, rng.random(frontier_n.size)
+            )
+            w = np.repeat(frontier_w, degs)
+            s = src
         else:
-            live = rng.random(total) < prob
-        rep = np.repeat(frontier_w, degs)
-        w = rep[live]
-        s = src[live]
+            gathered = _gather_in_edges(graph, frontier_n)
+            if gathered is None:
+                break
+            src, prob, degs, excl, total = gathered
+            if lt:
+                # One uniform per frontier node selects at most one
+                # in-neighbor: edge j of node v is live iff
+                # cum_{<j} <= draw < cum_{<=j}, the live-edge
+                # characterization of LT.
+                cum = np.cumsum(prob)
+                # Zero-degree segments have excl == total; clip before
+                # indexing (np.repeat with 0 repeats drops their entries
+                # regardless).
+                safe = np.minimum(excl, total - 1)
+                seg_cum = cum - np.repeat(cum[safe] - prob[safe], degs)
+                draw = np.repeat(rng.random(frontier_n.size), degs)
+                live = (draw < seg_cum) & (draw >= seg_cum - prob)
+            else:
+                live = rng.random(total) < prob
+            rep = np.repeat(frontier_w, degs)
+            w = rep[live]
+            s = src[live]
         if w.size:
             fresh = ~visited[w, s]
             w = w[fresh]

@@ -20,7 +20,6 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.graph.digraph import InfluenceGraph
-from repro.rrset.node_selection import node_selection
 from repro.rrset.prima import PRIMAResult, prima
 from repro.rrset.rrgen import RRCollection
 

@@ -21,11 +21,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.diffusion.triggering import TriggeringModel, resolve_triggering
+from repro.diffusion.triggering import resolve_triggering
 from repro.graph.digraph import InfluenceGraph
 from repro.rrset.bounds import SampleBounds, adjusted_ell, ell_prime_for
 from repro.rrset.node_selection import node_selection

@@ -35,10 +35,11 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.diffusion.triggering import TriggeringModel
+from repro.diffusion.triggering import TriggeringModel, needs_trigger_csr
 from repro.graph.digraph import InfluenceGraph
 from repro.rrset.batch import (
     batch_generate_rr_sets,
+    build_trigger_csr,
     resolve_backend,
     supports_batched,
 )
@@ -171,6 +172,9 @@ class RRCollection:
         self._rng = rng
         self._triggering = triggering
         self._backend = resolve_backend(backend)
+        # Compiled trigger distributions for generic triggering models
+        # (built lazily on the first batched generate, then reused).
+        self._trigger_csr = None
         n = graph.num_nodes
         self._members = np.empty(1024, dtype=np.int64)
         self._num_members = 0
@@ -252,8 +256,18 @@ class RRCollection:
         if count <= 0:
             return
         if self._backend == "batched" and supports_batched(self._triggering):
+            if self._trigger_csr is None and needs_trigger_csr(
+                self._triggering
+            ):
+                self._trigger_csr = build_trigger_csr(
+                    self._graph, self._triggering
+                )
             members, lengths = batch_generate_rr_sets(
-                self._graph, self._rng, count, triggering=self._triggering
+                self._graph,
+                self._rng,
+                count,
+                triggering=self._triggering,
+                trigger_csr=self._trigger_csr,
             )
         else:
             sets = [

@@ -9,7 +9,7 @@ tests a second, independently-constructed prefix-preserving ordering to
 compare PRIMA against.
 
 This is a faithful-role implementation of the combined-reachability design
-(DESIGN.md §4 conventions):
+(DESIGN.md §5 conventions):
 
 * sample ``ℓ`` live-edge instances; the universe is the pair set
   ``{(instance, node)}`` and a seed set's *coverage* is the number of pairs
@@ -29,7 +29,7 @@ from __future__ import annotations
 import heapq
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -72,7 +72,6 @@ def _build_sketches(
     in_adjacency = [world.in_adjacency() for world in instances]
     sketches: List[List[float]] = [[] for _ in range(num_nodes)]
     order = np.argsort(ranks, axis=None)
-    num_instances = len(instances)
     for flat in order:
         instance_id, node = divmod(int(flat), num_nodes)
         rank = float(ranks[instance_id, node])

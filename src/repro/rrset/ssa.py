@@ -24,7 +24,6 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.graph.digraph import InfluenceGraph
-from repro.rrset.bounds import log_binomial
 from repro.rrset.node_selection import node_selection
 from repro.rrset.rrgen import RRCollection
 

@@ -25,12 +25,12 @@ cross-checks integer order against a literal transcription of the two rules.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 import numpy as np
 
-from repro.utility.itemsets import Mask, items_of, mask_of
+from repro.utility.itemsets import Mask, items_of
 
 
 def precedence_key(sorted_space_mask: Mask) -> int:

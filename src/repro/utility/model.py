@@ -21,9 +21,8 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.utility.itemsets import Mask, full_mask, items_of, iter_subsets
+from repro.utility.itemsets import Mask, items_of, iter_subsets
 from repro.utility.noise import NoiseModel, NoiseWorld, ZeroNoise
-from repro.utility.price import AdditivePrice, DiscountedBundlePrice
 from repro.utility.valuation import ValuationFunction
 
 
@@ -146,6 +145,24 @@ class UtilityModel:
             for start in range(step + bit, size, step):
                 noise_totals[start : start + bit] += noise_world[item]
         return self._expected_table + noise_totals
+
+    def utility_tables(self, noise_worlds: np.ndarray) -> np.ndarray:
+        """Per-world utility tables for a ``(num_worlds, k)`` noise matrix.
+
+        The vectorized sibling of :meth:`utility_table`:
+        ``result[w, mask] = U_{W_w}(mask)``.  One numpy pass per item over
+        the masks containing it; this is what lets the batched forward
+        engine build all Monte-Carlo worlds' tables without a per-world
+        Python loop.
+        """
+        noise_worlds = np.asarray(noise_worlds, dtype=np.float64)
+        size = 1 << self._num_items
+        totals = np.zeros((noise_worlds.shape[0], size), dtype=np.float64)
+        masks = np.arange(size)
+        for item in range(self._num_items):
+            containing = np.flatnonzero(masks & (1 << item))
+            totals[:, containing] += noise_worlds[:, item][:, None]
+        return self._expected_table[None, :] + totals
 
     # ------------------------------------------------------------------
     # Structure of a noise world

@@ -13,7 +13,7 @@ done by the :class:`repro.utility.model.UtilityModel`.
 from __future__ import annotations
 
 import abc
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 
@@ -38,6 +38,17 @@ class NoiseModel(abc.ABC):
     @abc.abstractmethod
     def sample(self, rng: np.random.Generator) -> NoiseWorld:
         """Sample one noise world: a length-``num_items`` float vector."""
+
+    def sample_batch(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Sample ``count`` noise worlds as a ``(count, num_items)`` matrix.
+
+        The default draws one :meth:`sample` per world; distributions with
+        a vectorized form override it (the batched forward engine samples
+        all Monte-Carlo worlds' noise in one call).
+        """
+        if count == 0:
+            return np.zeros((0, self._num_items), dtype=np.float64)
+        return np.stack([self.sample(rng) for _ in range(count)])
 
     @abc.abstractmethod
     def item_std(self, item: int) -> float:
@@ -79,6 +90,9 @@ class ZeroNoise(NoiseModel):
     def sample(self, rng: np.random.Generator) -> NoiseWorld:
         return np.zeros(self._num_items, dtype=np.float64)
 
+    def sample_batch(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        return np.zeros((count, self._num_items), dtype=np.float64)
+
     def item_std(self, item: int) -> float:
         if not 0 <= item < self._num_items:
             raise IndexError(f"item {item} out of range")
@@ -109,6 +123,11 @@ class GaussianNoise(NoiseModel):
 
     def sample(self, rng: np.random.Generator) -> NoiseWorld:
         return rng.normal(0.0, self._stds)
+
+    def sample_batch(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        return rng.normal(
+            0.0, self._stds, size=(count, self._num_items)
+        )
 
     def item_std(self, item: int) -> float:
         return float(self._stds[item])

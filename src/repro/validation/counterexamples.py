@@ -22,7 +22,7 @@ violations are exact, not statistical.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -13,7 +13,6 @@ from repro.baselines.item_disjoint import item_disjoint
 from repro.baselines.rr_cim import rr_cim
 from repro.baselines.rr_sim import rr_sim_plus
 from repro.diffusion.comic import ComICModel
-from repro.graph.digraph import InfluenceGraph
 from repro.graph.generators import line_graph, star_graph
 from repro.utility.model import UtilityModel
 from repro.utility.noise import ZeroNoise

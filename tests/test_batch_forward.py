@@ -1,0 +1,567 @@
+"""Batched forward-simulation engine: equivalence against the sequential
+oracles (IC / Com-IC / UIC), the generic-triggering vectorized sampler, and
+the backend plumbing of the forward estimators.
+
+Contract under test (DESIGN.md §3): the sequential simulators stay
+byte-identical reference oracles; the batched engine consumes randomness in
+vectorized order, so agreement is *exact* on deterministic instances and
+*statistical* elsewhere.  Statistical tolerances are set at >= 5 sigma of
+the Monte-Carlo noise so the pins hold across numpy versions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines._comic_common import _forward_adopter_worlds, _GapSampler
+from repro.diffusion.adoption import adopt
+from repro.diffusion.batch_forward import (
+    MAX_BATCH_ITEMS,
+    _decision_tables,
+    as_generator,
+    batch_simulate_comic,
+    batch_simulate_ic,
+    batch_simulate_uic,
+    spawn_world_rngs,
+    supports_batched_uic,
+)
+from repro.diffusion.comic import (
+    ComICModel,
+    estimate_comic_spread,
+    simulate_comic,
+)
+from repro.diffusion.ic import estimate_spread
+from repro.diffusion.triggering import (
+    AttentionICTriggering,
+    DistributionTriggering,
+    IndependentCascadeTriggering,
+    LinearThresholdTriggering,
+    TriggeringModel,
+    build_trigger_csr,
+    sample_trigger_members,
+)
+from repro.diffusion.uic import simulate_uic
+from repro.diffusion.welfare import estimate_adoption, estimate_welfare
+from repro.graph.digraph import InfluenceGraph
+from repro.graph.generators import line_graph, random_wc_graph, star_graph
+from repro.rrset.batch import supports_batched
+from repro.rrset.rrgen import RRCollection
+from repro.utility.model import UtilityModel
+from repro.utility.noise import GaussianNoise, ZeroNoise
+from repro.utility.price import AdditivePrice
+from repro.utility.valuation import AdditiveValuation, TableValuation
+
+GAP = ComICModel(0.5, 0.84, 0.5, 0.84)
+
+
+@pytest.fixture
+def wc400():
+    return random_wc_graph(400, avg_degree=6, seed=7)
+
+
+@pytest.fixture
+def two_item_model():
+    return UtilityModel(
+        TableValuation(2, {0b01: 3.0, 0b10: 4.0, 0b11: 8.0}),
+        AdditivePrice([3.0, 4.0]),
+        GaussianNoise([1.0, 1.0]),
+    )
+
+
+class TestBatchIC:
+    def test_statistical_equivalence(self, wc400):
+        seeds = [0, 5, 10, 17]
+        active = batch_simulate_ic(
+            wc400, seeds, 4000, np.random.default_rng(1)
+        )
+        batched = active.sum(axis=1).mean()
+        sequential = estimate_spread(
+            wc400, seeds, 4000, np.random.default_rng(2)
+        )
+        # Spread std is a few nodes; 4000 worlds puts 5 sigma well under 1.
+        assert batched == pytest.approx(sequential, abs=0.75)
+
+    def test_deterministic_line(self):
+        active = batch_simulate_ic(
+            line_graph(10, 1.0), [0], 5, np.random.default_rng(0)
+        )
+        assert active.shape == (5, 10)
+        assert active.all()
+
+    def test_seeds_always_active_and_deduped(self, wc400):
+        active = batch_simulate_ic(
+            wc400, [3, 3, 9], 7, np.random.default_rng(0)
+        )
+        assert active[:, 3].all() and active[:, 9].all()
+
+    def test_empty_cases(self, wc400):
+        assert batch_simulate_ic(
+            wc400, [], 4, np.random.default_rng(0)
+        ).sum() == 0
+        assert batch_simulate_ic(
+            wc400, [1], 0, np.random.default_rng(0)
+        ).shape == (0, 400)
+
+    def test_seed_out_of_range(self, wc400):
+        with pytest.raises(IndexError):
+            batch_simulate_ic(wc400, [400], 2, np.random.default_rng(0))
+
+
+class TestBatchComIC:
+    def test_statistical_equivalence(self, wc400):
+        result = batch_simulate_comic(
+            wc400, GAP, [0, 5, 10, 17], [3, 11], 4000,
+            np.random.default_rng(3),
+        )
+        batched = result.adopter_counts(0).mean()
+        rng = np.random.default_rng(4)
+        total = 0
+        for _ in range(4000):
+            total += len(
+                simulate_comic(wc400, GAP, [0, 5, 10, 17], [3, 11], rng)
+                .adopted_a
+            )
+        assert batched == pytest.approx(total / 4000, abs=0.6)
+
+    def test_deterministic_degenerate_gaps(self):
+        """q = 1 everywhere on a probability-1 line: item A floods, item B
+        stays at its seed (node 9 has no out-edges)."""
+        model = ComICModel(1.0, 1.0, 1.0, 1.0)
+        result = batch_simulate_comic(
+            line_graph(10, 1.0), model, [0], [9], 3, np.random.default_rng(0)
+        )
+        assert result.adopted_a.all()
+        assert result.adopted_b[:, 9].all()
+        assert result.adopted_b[:, :9].sum() == 0
+
+    def test_reconsideration_boost(self):
+        """Seeding the complement must raise adoption (the q(A|B) boost),
+        matching the sequential reconsideration semantics."""
+        model = ComICModel(0.2, 0.9, 1.0, 1.0)
+        graph = star_graph(50, probability=1.0)
+        alone = batch_simulate_comic(
+            graph, model, [0], [], 3000, np.random.default_rng(1)
+        ).adopter_counts(0).mean()
+        boosted = batch_simulate_comic(
+            graph, model, [0], [0], 3000, np.random.default_rng(1)
+        ).adopter_counts(0).mean()
+        assert boosted > 2.0 * alone
+        # Analytic means: 0.2 * (1 + 49 * 0.2) and 0.9 * (1 + 49 * 0.9).
+        assert alone == pytest.approx(0.2 * (1 + 49 * 0.2), rel=0.15)
+        assert boosted == pytest.approx(0.9 * (1 + 49 * 0.9), rel=0.05)
+
+    def test_competitive_parameterization_rejected(self, wc400):
+        with pytest.raises(ValueError):
+            batch_simulate_comic(
+                wc400, ComICModel(0.5, 0.2, 0.5, 0.5), [0], [], 2,
+                np.random.default_rng(0),
+            )
+
+    def test_estimate_backend_dispatch(self, wc400):
+        sequential = estimate_comic_spread(
+            wc400, GAP, [1, 2], [3], item=0, num_samples=800,
+            rng=np.random.default_rng(5), backend="sequential",
+        )
+        batched = estimate_comic_spread(
+            wc400, GAP, [1, 2], [3], item=0, num_samples=800,
+            rng=np.random.default_rng(6), backend="batched",
+        )
+        assert batched == pytest.approx(sequential, rel=0.25, abs=0.5)
+
+
+class TestEstimateComicSpreadSeeds:
+    """The integer-seed bugfix: reproducible runs from the CLI."""
+
+    def test_integer_seed_reproducible_both_backends(self, wc400):
+        for backend in ("sequential", "batched"):
+            runs = [
+                estimate_comic_spread(
+                    wc400, GAP, [1, 2], [3], item=0, num_samples=40,
+                    rng=42, backend=backend,
+                )
+                for _ in range(2)
+            ]
+            assert runs[0] == runs[1]
+
+    def test_different_seeds_differ(self, wc400):
+        a = estimate_comic_spread(
+            wc400, GAP, [1, 2], [3], item=0, num_samples=40, rng=42,
+            backend="sequential",
+        )
+        b = estimate_comic_spread(
+            wc400, GAP, [1, 2], [3], item=0, num_samples=40, rng=43,
+            backend="sequential",
+        )
+        assert a != b
+
+    def test_sequential_uses_per_world_child_streams(self, wc400):
+        """World i depends only on (seed, i): recompute by hand."""
+        estimate = estimate_comic_spread(
+            wc400, GAP, [1, 2], [3], item=0, num_samples=10, rng=7,
+            backend="sequential",
+        )
+        total = 0
+        for world_rng in spawn_world_rngs(7, 10):
+            total += len(
+                simulate_comic(wc400, GAP, [1, 2], [3], world_rng).adopted_a
+            )
+        assert estimate == total / 10
+
+    def test_as_generator_coercions(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+        assert isinstance(as_generator(5), np.random.Generator)
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+
+class TestBatchUIC:
+    def test_welfare_statistical_equivalence(self, wc400, two_item_model):
+        alloc = [(v, i) for v in range(8) for i in (0, 1)]
+        batched = batch_simulate_uic(
+            wc400, two_item_model, alloc, 4000, np.random.default_rng(11)
+        ).welfare
+        rng = np.random.default_rng(12)
+        sequential = np.array(
+            [
+                simulate_uic(wc400, two_item_model, alloc, rng).welfare
+                for _ in range(4000)
+            ]
+        )
+        # 5 sigma of the difference of two 4000-sample means.
+        sigma = np.hypot(
+            batched.std() / np.sqrt(4000), sequential.std() / np.sqrt(4000)
+        )
+        assert abs(batched.mean() - sequential.mean()) < 5.0 * sigma
+
+    def test_adoption_marginals_match(self, two_item_model):
+        graph = random_wc_graph(60, avg_degree=4, seed=2)
+        alloc = [(0, 0), (1, 1), (2, 0), (2, 1)]
+        batched = batch_simulate_uic(
+            graph, two_item_model, alloc, 20000, np.random.default_rng(21)
+        )
+        bat_marginal = (batched.adopted > 0).mean(axis=0)
+        rng = np.random.default_rng(22)
+        seq_marginal = np.zeros(60)
+        for _ in range(20000):
+            for v in simulate_uic(graph, two_item_model, alloc, rng).adopted:
+                seq_marginal[v] += 1
+        seq_marginal /= 20000
+        # Binomial 5 sigma at p ~ 0.5, N = 20k is ~0.018.
+        assert np.abs(bat_marginal - seq_marginal).max() < 0.02
+
+    def test_deterministic_world_exact_match(self):
+        model = UtilityModel(
+            TableValuation(2, {0b01: 4.0, 0b10: 2.0, 0b11: 9.0}),
+            AdditivePrice([3.0, 3.0]),
+            ZeroNoise(2),
+        )
+        graph = line_graph(10, 1.0)
+        batched = batch_simulate_uic(
+            graph, model, [(0, 0), (0, 1)], 4, np.random.default_rng(0)
+        )
+        sequential = simulate_uic(
+            graph, model, [(0, 0), (0, 1)], np.random.default_rng(0)
+        )
+        assert np.allclose(batched.welfare, sequential.welfare)
+        masks = np.zeros(10, dtype=np.int64)
+        for v, mask in sequential.adopted.items():
+            masks[v] = mask
+        assert (batched.adopted == masks[None, :]).all()
+
+    def test_fixed_noise_world(self, two_item_model):
+        graph = line_graph(6, 1.0)
+        noise = np.array([0.5, -0.2])
+        alloc = [(0, 0), (0, 1)]
+        batched = batch_simulate_uic(
+            graph, two_item_model, alloc, 3, np.random.default_rng(0),
+            noise_world=noise,
+        )
+        sequential = simulate_uic(
+            graph, two_item_model, alloc, np.random.default_rng(0),
+            noise_world=noise,
+        )
+        assert np.allclose(batched.welfare, sequential.welfare)
+
+    def test_estimate_welfare_backend_equivalence(self, wc400, two_item_model):
+        alloc = [(v, i) for v in range(8) for i in (0, 1)]
+        batched = estimate_welfare(
+            wc400, two_item_model, alloc, num_samples=2000,
+            rng=np.random.default_rng(1), backend="batched",
+        )
+        sequential = estimate_welfare(
+            wc400, two_item_model, alloc, num_samples=2000,
+            rng=np.random.default_rng(2), backend="sequential",
+        )
+        sigma = np.hypot(batched.stderr, sequential.stderr)
+        assert abs(batched.mean - sequential.mean) < 5.0 * sigma
+
+    def test_estimate_adoption_backend_equivalence(self, wc400, two_item_model):
+        alloc = [(v, i) for v in range(8) for i in (0, 1)]
+        batched = estimate_adoption(
+            wc400, two_item_model, alloc, num_samples=2000,
+            rng=np.random.default_rng(3), backend="batched", item=0,
+        )
+        sequential = estimate_adoption(
+            wc400, two_item_model, alloc, num_samples=2000,
+            rng=np.random.default_rng(4), backend="sequential", item=0,
+        )
+        sigma = np.hypot(batched.stderr, sequential.stderr)
+        assert abs(batched.mean - sequential.mean) < 5.0 * sigma
+
+    def test_item_universe_cap_falls_back(self):
+        """> MAX_BATCH_ITEMS items: estimate_welfare silently routes to the
+        sequential loop, so same rng => identical values."""
+        k = MAX_BATCH_ITEMS + 1
+        model = UtilityModel(
+            AdditiveValuation([1.0] * k),
+            AdditivePrice([0.5] * k),
+            ZeroNoise(k),
+        )
+        assert not supports_batched_uic(model, None)
+        graph = line_graph(5, 1.0)
+        alloc = [(0, i) for i in range(k)]
+        batched_knob = estimate_welfare(
+            graph, model, alloc, num_samples=10,
+            rng=np.random.default_rng(9), backend="batched",
+        )
+        sequential = estimate_welfare(
+            graph, model, alloc, num_samples=10,
+            rng=np.random.default_rng(9), backend="sequential",
+        )
+        assert batched_knob.mean == sequential.mean
+
+    def test_batch_simulate_uic_rejects_oversized_universe(self):
+        k = MAX_BATCH_ITEMS + 1
+        model = UtilityModel(
+            AdditiveValuation([1.0] * k),
+            AdditivePrice([0.5] * k),
+            ZeroNoise(k),
+        )
+        with pytest.raises(ValueError):
+            batch_simulate_uic(
+                line_graph(3, 1.0), model, [(0, 0)], 2,
+                np.random.default_rng(0),
+            )
+
+
+class TestDecisionTables:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_matches_adopt_exhaustively(self, k):
+        """decision[w, desire, adopted] == adopt(table_w, desire, adopted)
+        over every valid pair of random utility tables."""
+        rng = np.random.default_rng(100 + k)
+        tables = rng.normal(0.0, 2.0, size=(20, 1 << k))
+        tables[:, 0] = 0.0  # U(emptyset) = 0 by construction
+        decision = _decision_tables(tables)
+        for w in range(tables.shape[0]):
+            for desire in range(1 << k):
+                sub = desire
+                while True:
+                    expected = adopt(tables[w], desire, sub)
+                    assert decision[w, desire, sub] == expected
+                    if sub == 0:
+                        break
+                    sub = (sub - 1) & desire
+
+    def test_tied_utilities_take_union(self):
+        # U({1}) == U({2}) == U({1,2}) == 1: the union of tied maximizers.
+        tables = np.array([[0.0, 1.0, 1.0, 1.0]])
+        decision = _decision_tables(tables)
+        assert decision[0, 0b11, 0] == 0b11
+
+
+class TestForwardUnderTriggering:
+    def test_lt_welfare_batched_vs_sequential(self, two_item_model):
+        graph = random_wc_graph(300, 6, seed=9)
+        alloc = [(v, i) for v in range(8) for i in (0, 1)]
+        batched = estimate_welfare(
+            graph, two_item_model, alloc, num_samples=1500,
+            rng=np.random.default_rng(1), triggering="lt", backend="batched",
+        )
+        sequential = estimate_welfare(
+            graph, two_item_model, alloc, num_samples=1500,
+            rng=np.random.default_rng(2), triggering="lt",
+            backend="sequential",
+        )
+        sigma = np.hypot(batched.stderr, sequential.stderr)
+        assert abs(batched.mean - sequential.mean) < 5.0 * sigma
+
+    def test_explicit_ic_triggering_matches_fast_path(self, two_item_model):
+        graph = random_wc_graph(200, 5, seed=3)
+        alloc = [(0, 0), (1, 1)]
+        fast = estimate_welfare(
+            graph, two_item_model, alloc, num_samples=1500,
+            rng=np.random.default_rng(5), backend="batched",
+        )
+        explicit = estimate_welfare(
+            graph, two_item_model, alloc, num_samples=1500,
+            rng=np.random.default_rng(6),
+            triggering=IndependentCascadeTriggering(), backend="batched",
+        )
+        sigma = np.hypot(fast.stderr, explicit.stderr)
+        assert abs(fast.mean - explicit.mean) < 5.0 * sigma
+
+    def test_attention_triggering_batched_forward(self, two_item_model):
+        """A generic (neither IC nor LT) model runs batched forward."""
+        graph = random_wc_graph(200, 5, seed=4)
+        model = AttentionICTriggering(max_attention=2)
+        assert supports_batched_uic(two_item_model, model)
+        alloc = [(0, 0), (1, 1), (2, 0)]
+        batched = estimate_welfare(
+            graph, two_item_model, alloc, num_samples=1500,
+            rng=np.random.default_rng(7), triggering=model,
+            backend="batched",
+        )
+        sequential = estimate_welfare(
+            graph, two_item_model, alloc, num_samples=1500,
+            rng=np.random.default_rng(8), triggering=model,
+            backend="sequential",
+        )
+        sigma = np.hypot(batched.stderr, sequential.stderr)
+        assert abs(batched.mean - sequential.mean) < 5.0 * sigma
+
+
+class TestGenericTriggeringRRSets:
+    def test_supports_batched_covers_distribution_models(self):
+        """Regression pin: generic triggering models with an explicit
+        distribution are batched, not sequential-fallback."""
+        assert supports_batched(AttentionICTriggering(max_attention=3))
+        assert supports_batched(LinearThresholdTriggering())
+        assert supports_batched(IndependentCascadeTriggering())
+        assert supports_batched(None)
+
+        class OpaqueTrigger(TriggeringModel):
+            def sample_trigger_set(self, graph, node, rng):
+                return graph.in_neighbors(node)[:0]
+
+        assert not supports_batched(OpaqueTrigger())
+
+    def test_trigger_csr_marginals_match_distribution(self):
+        graph = InfluenceGraph(
+            3, [(0, 2, 0.3), (1, 2, 0.5)]
+        )
+        model = AttentionICTriggering(max_attention=2)
+        csr = build_trigger_csr(graph, model)
+        rng = np.random.default_rng(5)
+        trials = 20000
+        nodes = np.full(trials, 2, dtype=np.int64)
+        members, degs = sample_trigger_members(csr, nodes, rng.random(trials))
+        counts = np.bincount(members, minlength=3)
+        # Marginal inclusion probabilities equal the edge probabilities.
+        assert counts[0] / trials == pytest.approx(0.3, abs=0.02)
+        assert counts[1] / trials == pytest.approx(0.5, abs=0.02)
+        # Empty-set frequency equals (1 - 0.3) * (1 - 0.5).
+        assert (degs == 0).mean() == pytest.approx(0.35, abs=0.02)
+
+    def test_sequential_sampler_same_distribution(self):
+        graph = InfluenceGraph(3, [(0, 2, 0.3), (1, 2, 0.5)])
+        model = AttentionICTriggering(max_attention=2)
+        rng = np.random.default_rng(6)
+        counts = np.zeros(3)
+        trials = 20000
+        for _ in range(trials):
+            for u in model.sample_trigger_set(graph, 2, rng):
+                counts[int(u)] += 1
+        assert counts[0] / trials == pytest.approx(0.3, abs=0.02)
+        assert counts[1] / trials == pytest.approx(0.5, abs=0.02)
+
+    def test_rr_collection_batched_vs_sequential(self):
+        graph = random_wc_graph(300, avg_degree=5, seed=11)
+        model = AttentionICTriggering(max_attention=3)
+        count = 4000
+        sequential = RRCollection(
+            graph, np.random.default_rng(1), triggering=model,
+            backend="sequential",
+        )
+        sequential.generate(count)
+        batched = RRCollection(
+            graph, np.random.default_rng(2), triggering=model,
+            backend="batched",
+        )
+        batched.generate(count)
+        assert batched.num_sets == sequential.num_sets == count
+        assert batched.total_width == pytest.approx(
+            sequential.total_width, rel=0.08
+        )
+        probe = list(range(0, 300, 15))
+        assert batched.coverage_fraction(probe) == pytest.approx(
+            sequential.coverage_fraction(probe), rel=0.1, abs=0.01
+        )
+
+    def test_all_empty_distribution_yields_root_only_sets(self):
+        """A distribution model whose candidates are all empty-set mass
+        (zero candidates everywhere) must sample batched without crashing:
+        every RR set is its root alone."""
+
+        class AlwaysEmpty(DistributionTriggering):
+            def trigger_distribution(self, graph, node):
+                return []
+
+        model = AlwaysEmpty()
+        assert supports_batched(model)
+        graph = random_wc_graph(50, avg_degree=4, seed=1)
+        collection = RRCollection(
+            graph, np.random.default_rng(0), triggering=model,
+            backend="batched",
+        )
+        collection.generate(20)
+        assert collection.num_sets == 20
+        assert collection.total_width == 20  # roots only
+
+    def test_distribution_validation(self):
+        class BadDistribution(DistributionTriggering):
+            def trigger_distribution(self, graph, node):
+                return [(0.9, graph.in_neighbors(node)),
+                        (0.4, graph.in_neighbors(node))]
+
+        graph = InfluenceGraph(2, [(0, 1, 0.5)])
+        with pytest.raises(ValueError):
+            build_trigger_csr(graph, BadDistribution())
+
+
+class TestForwardAdopterWorlds:
+    def test_batched_returns_bitmap(self, wc400):
+        worlds = _forward_adopter_worlds(
+            wc400, GAP, 0, [0, 1, 2], 16, np.random.default_rng(1),
+            backend="batched",
+        )
+        assert isinstance(worlds, np.ndarray)
+        assert worlds.shape == (16, 400) and worlds.dtype == bool
+        # Seeds of the fixed item adopt with probability q_a_empty > 0;
+        # over 16 worlds some seed adoption must show up.
+        assert worlds[:, [0, 1, 2]].any()
+
+    def test_sequential_returns_sets(self, wc400):
+        worlds = _forward_adopter_worlds(
+            wc400, GAP, 0, [0, 1, 2], 4, np.random.default_rng(1),
+            backend="sequential",
+        )
+        assert isinstance(worlds, list) and len(worlds) == 4
+        assert all(isinstance(w, set) for w in worlds)
+
+    def test_backends_agree_on_mean_world_size(self, wc400):
+        sequential = _forward_adopter_worlds(
+            wc400, GAP, 0, list(range(10)), 300, np.random.default_rng(2),
+            backend="sequential",
+        )
+        batched = _forward_adopter_worlds(
+            wc400, GAP, 0, list(range(10)), 300, np.random.default_rng(3),
+            backend="batched",
+        )
+        seq_mean = np.mean([len(w) for w in sequential])
+        bat_mean = batched.sum(axis=1).mean()
+        assert bat_mean == pytest.approx(seq_mean, rel=0.15, abs=0.5)
+
+    def test_gap_sampler_rejects_bitmap_on_sequential(self, wc400):
+        sampler = _GapSampler(
+            wc400, np.random.default_rng(0), 0.5, 0.84, "sequential"
+        )
+        with pytest.raises(ValueError):
+            sampler.set_worlds(np.zeros((2, 400), dtype=bool))
+
+    def test_gap_sampler_accepts_empty_bitmap(self, wc400):
+        sampler = _GapSampler(
+            wc400, np.random.default_rng(0), 0.5, 0.84, "batched"
+        )
+        sampler.set_worlds(np.zeros((0, 400), dtype=bool))
+        members, lengths = sampler.sample(8)
+        assert lengths.shape == (8,)

@@ -12,7 +12,6 @@ from repro.utility.blocks import (
     precedence_compare_literal,
     precedence_key,
 )
-from repro.utility.itemsets import mask_of
 
 
 def example2_table() -> np.ndarray:

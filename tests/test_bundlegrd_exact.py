@@ -4,12 +4,10 @@ empirical approximation-ratio check of Theorem 2."""
 import numpy as np
 import pytest
 
-from repro.core.allocation import Allocation
 from repro.core.bundlegrd import bundle_grd
 from repro.core.exact import brute_force_optimum, enumerate_allocations
 from repro.core.welmax import WelMaxInstance
 from repro.diffusion.welfare import estimate_welfare
-from repro.graph.digraph import InfluenceGraph
 from repro.graph.generators import line_graph, star_graph
 from repro.utility.model import UtilityModel
 from repro.utility.noise import ZeroNoise

@@ -162,7 +162,6 @@ class TestBatchedGapSampler:
             )
             sampler.set_worlds(worlds)
             members, lengths = sampler.sample(count)
-            offsets = np.concatenate(([0], np.cumsum(lengths)))
             probe = np.arange(0, 600, 30)
             hit = np.zeros(count, dtype=bool)
             in_probe = np.isin(members, probe)

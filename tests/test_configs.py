@@ -1,6 +1,5 @@
 """Unit tests for the experimental configurations (Tables 3 and 4)."""
 
-import numpy as np
 import pytest
 
 from repro.experiments.configs import (

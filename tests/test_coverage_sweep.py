@@ -13,7 +13,7 @@ from repro.experiments.fig5_runtime import runtime_series
 from repro.experiments.fig6_rrsets import rrset_series
 from repro.experiments.runner import _fmt, format_table
 from repro.graph import datasets
-from repro.graph.generators import line_graph, random_wc_graph, star_graph
+from repro.graph.generators import line_graph
 from repro.rrset.prima import prima
 from repro.utility.itemsets import subsets_between
 from repro.utility.model import UtilityModel

@@ -1,13 +1,8 @@
 """Tests for the experiment runners (tiny scales) and their paper shapes."""
 
-import numpy as np
 import pytest
 
-from repro.experiments._two_item import (
-    TWO_ITEM_ALGORITHMS,
-    run_two_item_experiment,
-    runs_as_rows,
-)
+from repro.experiments._two_item import run_two_item_experiment, runs_as_rows
 from repro.experiments.fig4_welfare import run_fig4, welfare_series
 from repro.experiments.fig5_runtime import run_fig5, runtime_series
 from repro.experiments.fig6_rrsets import run_fig6, rrset_series

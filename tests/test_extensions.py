@@ -17,10 +17,10 @@ from repro.diffusion.triggering import (
 from repro.diffusion.uic import simulate_uic
 from repro.diffusion.welfare import estimate_welfare
 from repro.graph.digraph import InfluenceGraph
-from repro.graph.generators import line_graph, random_wc_graph, star_graph
+from repro.graph.generators import line_graph, random_wc_graph
 from repro.rrset.imm import imm
 from repro.utility.model import UtilityModel
-from repro.utility.noise import GaussianNoise, ZeroNoise
+from repro.utility.noise import ZeroNoise
 from repro.utility.price import AdditivePrice, DiscountedBundlePrice
 from repro.utility.valuation import (
     TableValuation,
@@ -114,7 +114,6 @@ class TestTriggeringModels:
         assert est.mean > 0.0
 
     def test_lt_welfare_rejects_overweight_graph(self, config1_model):
-        g = InfluenceGraph(2, [(0, 1, 0.8), (1, 0, 0.8)])
         g2 = InfluenceGraph(3, [(0, 2, 0.8), (1, 2, 0.8)])
         with pytest.raises(ValueError):
             estimate_welfare(

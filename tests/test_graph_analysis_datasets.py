@@ -1,6 +1,5 @@
 """Unit tests for graph analysis helpers and the dataset stand-ins."""
 
-import numpy as np
 import pytest
 
 from repro.graph import datasets

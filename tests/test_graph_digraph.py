@@ -1,6 +1,5 @@
 """Unit tests for the CSR-backed InfluenceGraph."""
 
-import numpy as np
 import pytest
 
 from repro.graph.digraph import InfluenceGraph

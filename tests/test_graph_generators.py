@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.graph.digraph import InfluenceGraph
 from repro.graph.generators import (
     complete_graph,
     cycle_graph,

@@ -10,7 +10,6 @@ from repro.diffusion.worlds import (
     reachable_set,
     sample_live_edge_graph,
 )
-from repro.graph.digraph import InfluenceGraph
 from repro.graph.generators import complete_graph, line_graph, star_graph
 
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.diffusion.ic import estimate_spread
-from repro.graph.generators import random_wc_graph, star_graph
+from repro.graph.generators import star_graph
 from repro.rrset.bounds import adjusted_ell, ell_prime_for
 from repro.rrset.imm import imm, imm_seed_pool
 from repro.rrset.prima import prima

@@ -3,17 +3,8 @@
 import numpy as np
 import pytest
 
-from repro import (
-    AdditivePrice,
-    GaussianNoise,
-    TableValuation,
-    UtilityModel,
-    WelMaxInstance,
-    bundle_grd,
-    estimate_welfare,
-)
+from repro import WelMaxInstance, bundle_grd, estimate_welfare
 from repro.baselines import bundle_disjoint, item_disjoint
-from repro.core.allocation import Allocation
 from repro.experiments.configs import multi_item_config, two_item_config
 from repro.graph.generators import random_wc_graph
 from repro.utility.learned import real_utility_model
@@ -27,7 +18,8 @@ class TestEndToEndTwoItems:
     def test_bundlegrd_dominates_baselines_config1(self, graph):
         config = two_item_config(1)
         budgets = [15, 15]
-        rng_eval = lambda: np.random.default_rng(9)
+        def rng_eval():
+            return np.random.default_rng(9)
 
         bg = bundle_grd(graph, budgets, rng=np.random.default_rng(1))
         w_bg = estimate_welfare(

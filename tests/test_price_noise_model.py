@@ -1,6 +1,5 @@
 """Unit tests for AdditivePrice, noise models and UtilityModel."""
 
-import math
 
 import numpy as np
 import pytest

@@ -2,7 +2,6 @@
 search-phase bookkeeping."""
 
 import numpy as np
-import pytest
 
 from repro.graph.digraph import InfluenceGraph
 from repro.graph.generators import isolated_nodes, line_graph

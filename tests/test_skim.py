@@ -4,9 +4,9 @@ import numpy as np
 import pytest
 
 from repro.diffusion.ic import estimate_spread
-from repro.graph.generators import line_graph, random_wc_graph, star_graph
+from repro.graph.generators import line_graph, star_graph
 from repro.rrset.prima import prima
-from repro.rrset.skim import SKIMResult, skim
+from repro.rrset.skim import skim
 
 
 class TestSKIMBasics:

@@ -19,7 +19,6 @@ from repro.diffusion.uic import simulate_uic
 from repro.diffusion.worlds import reachable_set, sample_live_edge_graph
 from repro.graph.generators import random_wc_graph
 from repro.utility.blocks import generate_blocks
-from repro.utility.itemsets import items_of
 from repro.utility.model import UtilityModel
 from repro.utility.noise import ZeroNoise
 from repro.utility.price import AdditivePrice
@@ -58,7 +57,7 @@ class TestLemma4SeedAdoption:
         model = example2_model()
         table = model.utility_table(None)
         budgets = [30, 20, 10]
-        partition = generate_blocks(table, budgets, 0b111)
+        generate_blocks(table, budgets, 0b111)
         # A seed holding every item adopts all full blocks = I*.
         adopted = adopt(table, 0b111, 0)
         assert adopted == 0b111

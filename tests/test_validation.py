@@ -5,10 +5,10 @@ import numpy as np
 import pytest
 
 from repro.core.welmax import WelMaxInstance
-from repro.graph.generators import line_graph, random_wc_graph
+from repro.graph.generators import line_graph
 from repro.utility.learned import real_utility_model
 from repro.utility.model import UtilityModel
-from repro.utility.noise import GaussianNoise, ZeroNoise
+from repro.utility.noise import ZeroNoise
 from repro.utility.price import AdditivePrice, DiscountedBundlePrice
 from repro.utility.valuation import TableValuation
 from repro.validation import (

@@ -1,9 +1,8 @@
 """Unit tests for valuation functions, including Lemmas 10 and 11."""
 
-import numpy as np
 import pytest
 
-from repro.utility.itemsets import full_mask, iter_subsets, mask_of, popcount
+from repro.utility.itemsets import full_mask, iter_subsets
 from repro.utility.valuation import (
     AdditiveValuation,
     ConeValuation,
