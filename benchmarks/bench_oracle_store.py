@@ -1,0 +1,130 @@
+"""Persistent oracle store benchmark: cold build vs warm load vs sharded.
+
+Measures the serving economics the ``repro.store`` subsystem exists for
+(the §2.1 influence-oracle split: preprocess once, answer forever):
+
+* **cold_build** — full preprocessing from scratch: PRIMA with the whole
+  budget vector plus the θ-sized estimation collection, then persisting
+  the sketch (what every process restart used to pay).
+* **warm_load** — ``OracleService.open`` on the saved file (memory-mapped)
+  followed by the full query mix: every seed prefix, a spread curve and a
+  bundleGRD allocation.  This is the steady-state serving cost.
+* **sharded_build** — the same preprocessing with the estimation
+  collection fanned over a process pool
+  (:func:`repro.store.build_sharded`), the offline-rebuild path for
+  multi-core boxes.  Shard/process counts follow ``os.cpu_count()``; on a
+  single-core runner the shards execute in-process (so the row then
+  measures merge overhead, not parallel speedup — reported, not gated).
+
+Writes ``BENCH_oracle_store.json`` at the repository root (plus the usual
+``benchmarks/results`` artifact).  Gates:
+
+* warm-load serving at least ``MIN_SPEEDUP`` (default 10x, the acceptance
+  criterion; CI relaxes via ``REPRO_BENCH_MIN_SPEEDUP``) faster than a
+  cold rebuild;
+* warm answers *identical* to the cold oracle's (golden equality, not a
+  statistical band — the store serves the same arrays).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from _bench_utils import record, run_once
+from repro.graph.generators import random_wc_graph
+from repro.store import OracleService, build_sharded, build_store
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_oracle_store.json"
+
+#: Minimum warm-load-over-cold-build speedup asserted (acceptance: >= 10).
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "10.0"))
+
+MAX_BUDGET = 20
+RR_SETS = 60_000
+_CORES = os.cpu_count() or 1
+NUM_SHARDS = max(2, min(8, _CORES))
+NUM_PROCESSES = _CORES if _CORES > 1 else 0  # 0 = in-process fallback
+
+
+def _query_mix(service):
+    """The serving workload timed on the warm path."""
+    prefixes = [service.seeds(b) for b in range(1, service.max_budget + 1)]
+    curve = service.spread_curve((1, 5, 10, MAX_BUDGET))
+    allocation = service.allocate([MAX_BUDGET, MAX_BUDGET // 2])
+    return prefixes, curve, allocation
+
+
+def _run_comparison():
+    graph = random_wc_graph(6_000, avg_degree=7, seed=37)
+    store_path = REPO_ROOT / "benchmarks" / "results" / "bench_oracle.sketch"
+    store_path.parent.mkdir(exist_ok=True)
+
+    t0 = time.perf_counter()
+    store = build_store(
+        graph, MAX_BUDGET, seed=5, estimation_rr_sets=RR_SETS
+    )
+    store.save(store_path)
+    cold_service = OracleService(store, graph)
+    cold_answers = _query_mix(cold_service)
+    cold_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    warm_service = OracleService.open(store_path, graph)
+    warm_answers = _query_mix(warm_service)
+    warm_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    sharded = build_sharded(
+        graph, MAX_BUDGET, num_shards=NUM_SHARDS, processes=NUM_PROCESSES,
+        seed=5, estimation_rr_sets=RR_SETS,
+    )
+    sharded_s = time.perf_counter() - t0
+
+    golden = (
+        cold_answers[0] == warm_answers[0]
+        and cold_answers[1] == warm_answers[1]
+        and cold_answers[2].allocation == warm_answers[2].allocation
+    )
+    store_path.unlink(missing_ok=True)
+    return [
+        {
+            "graph": "wc_6k",
+            "nodes": graph.num_nodes,
+            "rr_sets": store.num_sets,
+            "max_budget": MAX_BUDGET,
+            "cold_build_s": round(cold_s, 3),
+            "warm_load_s": round(warm_s, 3),
+            "sharded_build_s": round(sharded_s, 3),
+            "shards": NUM_SHARDS,
+            "processes": NUM_PROCESSES,
+            "warm_speedup": round(cold_s / warm_s, 2),
+            "sharded_speedup": round(cold_s / sharded_s, 2),
+            "golden_match": bool(golden),
+            "sharded_rr_sets": sharded.num_sets,
+        }
+    ]
+
+
+def test_oracle_store_speedup(benchmark):
+    rows = run_once(benchmark, _run_comparison)
+    record(
+        "oracle_store", rows,
+        header="cold build vs warm mmap load vs sharded parallel build",
+    )
+    JSON_PATH.write_text(json.dumps(rows, indent=2) + "\n")
+
+    for row in rows:
+        # Acceptance gate: warm serving beats a full rebuild >= MIN_SPEEDUP.
+        assert row["warm_speedup"] >= MIN_SPEEDUP, row
+        # Golden gate: the warm path serves the cold oracle's exact answers.
+        assert row["golden_match"], row
+        # The sharded build must deliver the full collection.
+        assert row["sharded_rr_sets"] == row["rr_sets"], row
+
+
+if __name__ == "__main__":
+    results = _run_comparison()
+    print(json.dumps(results, indent=2))
+    JSON_PATH.write_text(json.dumps(results, indent=2) + "\n")

@@ -9,8 +9,16 @@ Usage::
     python -m repro fig5 --rr-backend sequential       # legacy RR sampler
     python -m repro all --scale 0.02 --samples 20      # quick full sweep
 
+    # the persistent influence oracle (repro.store): preprocess once ...
+    python -m repro oracle build --graph g.txt --store g.sketch \
+        --max-budget 50 --rr-sets 100000 --shards 8 --processes 8
+    # ... then answer queries from the file in any later process
+    python -m repro oracle query --graph g.txt --store g.sketch \
+        --budgets 10 25 --spread --allocate 25 10
+    python -m repro oracle extend --graph g.txt --store g.sketch --add 50000
+
 Every subcommand prints the regenerated rows in the same shape the paper
-reports.  Scales refer to the dataset stand-ins (DESIGN.md §5).  The engine
+reports.  Scales refer to the dataset stand-ins (DESIGN.md §6).  The engine
 backend is selectable per run (``--rr-backend`` or ``$REPRO_RR_BACKEND``):
 ``batched`` (vectorized, default) or ``sequential`` (the historical
 per-world/per-set Python loops, byte-reproducible against
@@ -103,6 +111,82 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(fig9d)
 
     sub.add_parser("table5", help="learned auction parameters")
+
+    oracle = sub.add_parser(
+        "oracle",
+        help="persistent influence-oracle store (build once, query forever)",
+    )
+    osub = oracle.add_subparsers(dest="oracle_command", required=True)
+
+    def _oracle_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--graph", required=True, metavar="FILE",
+            help="edge-list file (weighted 'u v p' lines; see graph.io)",
+        )
+        p.add_argument(
+            "--store", required=True, metavar="FILE",
+            help="sketch-store file path",
+        )
+        p.add_argument(
+            "--rr-backend", choices=BACKENDS, default=None,
+            help="RR sampling backend (also $REPRO_RR_BACKEND)",
+        )
+
+    build = osub.add_parser(
+        "build", help="preprocess a graph into an on-disk oracle store"
+    )
+    _oracle_common(build)
+    build.add_argument("--max-budget", type=int, required=True,
+                       help="largest seed budget the oracle must serve")
+    build.add_argument("--epsilon", type=float, default=0.5)
+    build.add_argument("--ell", type=float, default=1.0)
+    build.add_argument("--seed", type=int, default=0, help="RNG seed")
+    build.add_argument(
+        "--rr-sets", type=int, default=10_000,
+        help="size θ of the persisted spread-estimation collection",
+    )
+    build.add_argument(
+        "--shards", type=int, default=1,
+        help="sample the estimation collection in this many shards",
+    )
+    build.add_argument(
+        "--processes", type=int, default=0,
+        help="process-pool size for sharded builds (0 = in-process)",
+    )
+    build.add_argument(
+        "--triggering", choices=("ic", "lt"), default=None,
+        help="triggering model persisted with the store (default IC)",
+    )
+
+    extend = osub.add_parser(
+        "extend", help="grow a store's RR collection without rebuilding"
+    )
+    _oracle_common(extend)
+    extend.add_argument(
+        "--add", type=int, required=True,
+        help="number of RR sets to append (incremental θ-extension)",
+    )
+
+    query = osub.add_parser(
+        "query", help="answer seed/spread/allocation queries from a store"
+    )
+    _oracle_common(query)
+    query.add_argument(
+        "--budgets", type=int, nargs="+", default=(10,),
+        help="budgets to answer seed-prefix queries for",
+    )
+    query.add_argument(
+        "--spread", action="store_true",
+        help="also print the estimated spread of every returned prefix",
+    )
+    query.add_argument(
+        "--allocate", type=int, nargs="+", default=None, metavar="B",
+        help="run bundleGRD on the stored order for this budget vector",
+    )
+    query.add_argument(
+        "--no-mmap", action="store_true",
+        help="materialize store arrays in RAM instead of memory-mapping",
+    )
 
     table6 = sub.add_parser("table6", help="RR-set count parity")
     table6.add_argument("--total", type=int, default=500)
@@ -278,6 +362,9 @@ def _run(args: argparse.Namespace) -> int:
         print_table(runs_as_rows(runs), title="Fig 9(d) — scalability")
         return 0
 
+    if args.command == "oracle":
+        return _run_oracle(args)
+
     if args.command == "table5":
         from repro.utility.learned import table5_rows
 
@@ -311,6 +398,87 @@ def _run(args: argparse.Namespace) -> int:
         return 0
 
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+def _run_oracle(args: argparse.Namespace) -> int:
+    """``repro oracle build|extend|query`` — the repro.store serving layer."""
+    from repro.graph.io import read_edge_list
+    from repro.store import (
+        OracleService,
+        SketchStore,
+        build_sharded,
+        build_store,
+        extend_store,
+    )
+
+    graph, _ = read_edge_list(args.graph)
+
+    if args.oracle_command == "build":
+        if args.shards > 1:
+            store = build_sharded(
+                graph,
+                args.max_budget,
+                num_shards=args.shards,
+                processes=args.processes,
+                epsilon=args.epsilon,
+                ell=args.ell,
+                seed=args.seed,
+                estimation_rr_sets=args.rr_sets,
+                triggering=args.triggering,
+                backend=args.rr_backend,
+            )
+        else:
+            store = build_store(
+                graph,
+                args.max_budget,
+                epsilon=args.epsilon,
+                ell=args.ell,
+                seed=args.seed,
+                estimation_rr_sets=args.rr_sets,
+                triggering=args.triggering,
+                backend=args.rr_backend,
+            )
+        store.save(args.store)
+        print(
+            f"built {args.store}: n={store.num_nodes} "
+            f"max_budget={store.max_budget} rr_sets={store.num_sets} "
+            f"total_width={store.total_width} "
+            f"fingerprint={store.fingerprint[:16]}"
+        )
+        return 0
+
+    if args.oracle_command == "extend":
+        store = SketchStore.load(args.store, mmap=False)
+        extended = extend_store(store, graph, args.add, backend=args.rr_backend)
+        extended.save(args.store)
+        print(
+            f"extended {args.store}: rr_sets {store.num_sets} -> "
+            f"{extended.num_sets}"
+        )
+        return 0
+
+    if args.oracle_command == "query":
+        service = OracleService.open(
+            args.store, graph, mmap=not args.no_mmap
+        )
+        for budget in args.budgets:
+            seeds = service.seeds(int(budget))
+            print(f"seeds[{budget}] = {' '.join(str(s) for s in seeds)}")
+            if args.spread:
+                print(f"spread[{budget}] = {service.estimate_spread(seeds):.3f}")
+        if args.allocate is not None:
+            result = service.allocate(args.allocate)
+            for item, budget in enumerate(args.allocate):
+                nodes = sorted(result.allocation.seeds_of_item(item))
+                print(
+                    f"item[{item}] (budget {budget}) = "
+                    f"{' '.join(str(v) for v in nodes)}"
+                )
+        return 0
+
+    raise AssertionError(
+        f"unhandled oracle command {args.oracle_command}"
+    )  # pragma: no cover
 
 
 if __name__ == "__main__":  # pragma: no cover

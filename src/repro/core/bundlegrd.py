@@ -62,10 +62,14 @@ def bundle_grd(
     rng:
         Randomness source for RR-set sampling.
     seed_order:
-        Pre-computed prefix-preserving seed order (e.g. from a previous PRIMA
-        run on the same graph with the same budget vector); when given, PRIMA
-        is not re-invoked.  This mirrors the influence-oracle usage the
-        prefix property enables.
+        Pre-computed prefix-preserving seed order; when given, PRIMA is not
+        re-invoked.  Accepts a node sequence or any *store-backed* order — a
+        :class:`~repro.store.SketchStore` / :class:`~repro.store.
+        OracleService` (anything exposing ``seed_order``); store-backed
+        sources carrying a ``verify_graph`` hook are fingerprint-checked
+        against ``graph`` first, so a stale persisted order raises instead
+        of silently mis-allocating.  This mirrors the influence-oracle
+        usage the prefix property enables.
     triggering:
         ``None``/``"ic"`` (default), ``"lt"`` or a
         :class:`~repro.diffusion.triggering.TriggeringModel` instance —
@@ -82,6 +86,13 @@ def bundle_grd(
     if any(b < 0 for b in budgets):
         raise ValueError(f"budgets must be non-negative: {budgets}")
     b_max = max(budgets)
+
+    if seed_order is not None and hasattr(seed_order, "seed_order"):
+        # Store-backed order (SketchStore / OracleService): check the
+        # persisted artifact actually belongs to this graph, then unwrap.
+        # Plain node sequences (list/tuple/ndarray/range/...) pass through.
+        seed_order.verify_graph(graph)
+        seed_order = seed_order.seed_order
 
     if seed_order is not None:
         order = tuple(int(v) for v in seed_order)

@@ -29,10 +29,12 @@ state is a set of flat ``(worlds, n)`` arrays:
   fixpoint the sequential deque computes, so final adopter sets match
   realization-for-realization.
 * **UIC** — per-world utility tables (one sampled noise world each), an
-  itemset-mask ``desire``/``adopted`` state per (world, node), pre-sampled
-  live edges (IC fast path) or per-(world, node) trigger sets drawn
-  through the shared :class:`~repro.diffusion.triggering.TriggerCSR`
-  sampler, and a per-world *adoption decision table*
+  itemset-mask ``desire``/``adopted`` state per (world, node), live edges
+  drawn lazily on first visit — per-source coin flips under the IC fast
+  path (:class:`_LiveEdgeLog`), per-*target* trigger sets through the
+  shared :class:`~repro.diffusion.triggering.TriggerCSR` sampler otherwise
+  (:class:`_LazyTriggerLog`; only the pairs a cascade actually reaches are
+  ever drawn), and a per-world *adoption decision table*
   ``decision[w, desire, adopted]`` that tabulates the utility-maximizing
   rule of :func:`repro.diffusion.adoption.adopt` for every reachable
   (desire, adopted) pair — ``3^k`` vectorized evaluations per chunk instead
@@ -59,6 +61,7 @@ forward-world pass.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
@@ -520,6 +523,31 @@ def supports_batched_uic(
     return has_trigger_distribution(triggering)
 
 
+def warn_uic_item_cap_fallback(
+    model: UtilityModel, stacklevel: int = 3
+) -> None:
+    """Warn that a batched-backend request is degrading to sequential.
+
+    Called by the forward estimators when the resolved backend is
+    ``batched`` but the item universe exceeds :data:`MAX_BATCH_ITEMS` —
+    the one capability gap with a real performance cliff (the ``3^k``
+    decision tables stop paying for themselves, so every world runs the
+    interpreted simulator).  An explicit :class:`UserWarning` beats the
+    previous silent degradation: callers sizing item universes find out
+    *why* their estimate got slow instead of blaming the engine.
+    """
+    if model.num_items > MAX_BATCH_ITEMS:
+        warnings.warn(
+            f"batched UIC engine supports at most {MAX_BATCH_ITEMS} items; "
+            f"model has {model.num_items} — falling back to the sequential "
+            "per-world simulator (expect an order-of-magnitude slowdown). "
+            "Shrink the item universe or pass backend='sequential' to "
+            "silence this warning.",
+            UserWarning,
+            stacklevel=stacklevel,
+        )
+
+
 def _popcounts(size: int) -> np.ndarray:
     """Bit-count lookup table for masks ``0 .. size-1``."""
     masks = np.arange(size, dtype=np.int64)
@@ -577,33 +605,67 @@ def _decision_tables(tables: np.ndarray) -> np.ndarray:
     return decision
 
 
-def _sample_live_out_csr(
-    csr: TriggerCSR,
-    batch: int,
-    n: int,
-    rng: np.random.Generator,
-) -> Tuple[np.ndarray, np.ndarray]:
-    """Sample every (world, node) trigger set; return live out-adjacency.
+class _LazyTriggerLog:
+    """Trigger sets sampled lazily per first-*targeted* (world, node).
 
-    Drawing node ``v``'s trigger set selects its live *in*-edges; the flat
-    result is re-keyed by source so forward propagation can slice each
-    (world, source) pair's live targets:  returns ``(indptr, targets)``
-    with ``targets[indptr[w * n + u] : indptr[w * n + u + 1]]`` the live
-    out-neighbors of ``u`` in world ``w``.
+    Under a triggering model, edge ``(u, v)`` is live in world ``w`` iff
+    ``u`` lies in ``v``'s sampled trigger set — the decision belongs to the
+    *target*.  Pre-sampling every ``(world, node)`` trigger set up front
+    (the historical path) pays ``O(batch × n)`` draws and ``O(batch × m)``
+    member memory even though a cascade only ever consults the targets its
+    frontier actually points at.  This log defers each pair's draw to the
+    first round some frontier edge reaches it (the deferred-decision
+    principle: at most one draw per pair, fixed thereafter), bounding both
+    cost and memory by the *reached* neighborhood instead of the world.
+
+    Sampled pairs accrue in per-round segments: sorted pair keys
+    ``w·n + v`` with a CSR of trigger members, each member list sorted so a
+    combined key ``(w·n + v)·n + u`` is globally sorted within the segment
+    and edge-liveness queries resolve to one ``np.searchsorted`` per
+    segment.  Re-propagations (a node spreading additional items later)
+    re-test membership against the same fixed draws — deterministic, no
+    fresh randomness.
     """
-    queries_v = np.tile(np.arange(n, dtype=np.int64), batch)
-    sources, degs = _sample_trigger_members(
-        csr, queries_v, rng.random(batch * n)
-    )
-    targets = np.repeat(queries_v, degs)
-    worlds = np.repeat(
-        np.repeat(np.arange(batch, dtype=np.int64), n), degs
-    )
-    key = worlds * n + sources
-    order = np.argsort(key, kind="stable")
-    indptr = np.zeros(batch * n + 1, dtype=np.int64)
-    np.cumsum(np.bincount(key, minlength=batch * n), out=indptr[1:])
-    return indptr, targets[order]
+
+    __slots__ = ("_n", "_csr", "_sampled", "_seg_edge_keys")
+
+    def __init__(self, batch: int, n: int, csr: TriggerCSR):
+        self._n = n
+        self._csr = csr
+        self._sampled = np.zeros((batch, n), dtype=bool)
+        self._seg_edge_keys: List[np.ndarray] = []
+
+    def live_mask(
+        self,
+        rng: np.random.Generator,
+        w: np.ndarray,
+        u: np.ndarray,
+        v: np.ndarray,
+    ) -> np.ndarray:
+        """Which candidate edges ``(u[i] -> v[i], world w[i])`` are live."""
+        n = self._n
+        pair_keys = w * n + v
+        fresh = ~self._sampled[w, v]
+        if fresh.any():
+            new_keys = np.unique(pair_keys[fresh])
+            nv = new_keys % n
+            members, degs = _sample_trigger_members(
+                self._csr, nv, rng.random(new_keys.shape[0])
+            )
+            self._sampled[new_keys // n, nv] = True
+            if members.shape[0]:
+                rep = np.repeat(new_keys, degs)
+                # Sort members within each pair so the combined (pair,
+                # member) key is globally ascending in the segment.
+                edge_keys = np.sort(rep * n + members)
+                self._seg_edge_keys.append(edge_keys)
+        live = np.zeros(w.shape[0], dtype=bool)
+        query = pair_keys * n + u
+        for edge_keys in self._seg_edge_keys:
+            pos = np.searchsorted(edge_keys, query)
+            safe = np.minimum(pos, edge_keys.shape[0] - 1)
+            live |= edge_keys[safe] == query
+        return live
 
 
 def batch_simulate_uic(
@@ -625,7 +687,6 @@ def batch_simulate_uic(
     IC fast path, anything else must satisfy :func:`supports_batched_uic`.
     """
     n = graph.num_nodes
-    m = graph.num_edges
     k = model.num_items
     if num_worlds < 0:
         raise ValueError(f"num_worlds must be non-negative, got {num_worlds}")
@@ -654,12 +715,15 @@ def batch_simulate_uic(
         triggering, IndependentCascadeTriggering
     )
     trigger_csr = None if ic_path else build_trigger_csr(graph, triggering)
-    # Per-world bytes: desire+adopted masks (16 per node), the live-edge
-    # log's expanded bitmap (or the sampled live-out CSR, ~8 per node plus
-    # ~8 per live edge), utility and decision tables (8 * (size + size^2)).
+    # Per-world bytes: desire+adopted masks (16 per node), the live-edge /
+    # lazy-trigger log's bitmap (1 per node), utility and decision tables
+    # (8 * (size + size^2)).  The lazy trigger log's member segments scale
+    # with the *reached* neighborhood; chunking budgets their worst case
+    # (every trigger set drawn, ~8 bytes per member, <= 8m per world) so a
+    # full-reach cascade still respects _TARGET_BYTES.
     bytes_per_world = 33 * n + 8 * (size + size * size)
     if not ic_path:
-        bytes_per_world += 8 * (n + m)
+        bytes_per_world += 8 * graph.num_edges
     done = 0
     while done < num_worlds:
         batch = next(iter(_world_chunks(num_worlds - done, bytes_per_world)))
@@ -673,12 +737,10 @@ def batch_simulate_uic(
         decision = _decision_tables(tables)
         if ic_path:
             live_log = _LiveEdgeLog(batch, n)
-            live_indptr = live_targets = None
+            trigger_log = None
         else:
             live_log = None
-            live_indptr, live_targets = _sample_live_out_csr(
-                trigger_csr, batch, n, rng
-            )
+            trigger_log = _LazyTriggerLog(batch, n, trigger_csr)
 
         desire = np.zeros((batch, n), dtype=np.int64)
         adopted = np.zeros((batch, n), dtype=np.int64)
@@ -704,15 +766,18 @@ def batch_simulate_uic(
                 w = fw[entry]
                 src_mask = adopted[fw, fn][entry]
             else:
-                key = fw * n + fn
-                starts = live_indptr[key]
-                degs = live_indptr[key + 1] - starts
-                pos = segmented_positions(starts, degs)
-                if pos.shape[0] == 0:
+                # Candidate out-edges of the frontier; each target's
+                # trigger set is drawn lazily on first contact, then an
+                # edge is live iff its source is among the drawn members.
+                gathered = _gather_out_edges(graph, fn)
+                if gathered is None:
                     break
-                t = live_targets[pos]
+                t, _, degs, _ = gathered
                 w = np.repeat(fw, degs)
+                cand_u = np.repeat(fn, degs)
                 src_mask = np.repeat(adopted[fw, fn], degs)
+                live = trigger_log.live_mask(rng, w, cand_u, t)
+                w, t, src_mask = w[live], t[live], src_mask[live]
             if w.size == 0:
                 break
             # OR all incoming masks per touched (world, target) pair.
@@ -744,3 +809,180 @@ def batch_simulate_uic(
         adopted_out[done : done + batch] = adopted
         done += batch
     return BatchUICResult(adopted_out, welfare_out)
+
+
+class _PersonalTables:
+    """Lazily sampled per-(world, node) noise, utility and decision tables.
+
+    The §5 personalized-noise variant gives every *node* its own noise
+    world, so the per-world decision table of :func:`batch_simulate_uic`
+    becomes per-(world, node).  Materializing all ``batch × n`` of them
+    would dwarf the rest of the state; instead each pair samples its noise
+    the first time it has to make an adoption decision — exactly the lazy
+    semantics of :func:`repro.diffusion.personalized.
+    simulate_uic_personalized` — and the tables of all fresh pairs in a
+    round are built in one vectorized ``_decision_tables`` call.  Rows
+    accrue in doubling arrays; ``row_of`` maps (world, node) to its row.
+    """
+
+    __slots__ = ("_model", "_row", "_tables", "_decision", "_used")
+
+    def __init__(self, model: UtilityModel, batch: int, n: int):
+        size = 1 << model.num_items
+        self._model = model
+        self._row = np.full((batch, n), -1, dtype=np.int64)
+        self._tables = np.empty((16, size), dtype=np.float64)
+        self._decision = np.empty((16, size, size), dtype=np.int64)
+        self._used = 0
+
+    def ensure(
+        self, rng: np.random.Generator, w: np.ndarray, v: np.ndarray
+    ) -> None:
+        """Sample tables for the not-yet-seen pairs among ``(w, v)``.
+
+        Pairs must be unique within the call (they are: callers pass the
+        de-duplicated touched set of a round).
+        """
+        fresh = self._row[w, v] < 0
+        count = int(fresh.sum())
+        if count == 0:
+            return
+        noises = self._model.noise.sample_batch(rng, count)
+        tables = self._model.utility_tables(noises)
+        need = self._used + count
+        if need > self._tables.shape[0]:
+            cap = max(need, 2 * self._tables.shape[0])
+            grown_t = np.empty((cap,) + self._tables.shape[1:], dtype=np.float64)
+            grown_t[: self._used] = self._tables[: self._used]
+            self._tables = grown_t
+            grown_d = np.empty(
+                (cap,) + self._decision.shape[1:], dtype=np.int64
+            )
+            grown_d[: self._used] = self._decision[: self._used]
+            self._decision = grown_d
+        self._tables[self._used : need] = tables
+        self._decision[self._used : need] = _decision_tables(tables)
+        self._row[w[fresh], v[fresh]] = self._used + np.arange(count)
+        self._used = need
+
+    def decide(
+        self, w: np.ndarray, v: np.ndarray, desire: np.ndarray,
+        adopted: np.ndarray,
+    ) -> np.ndarray:
+        """``adopt`` under each pair's private noise (tables must exist)."""
+        rows = self._row[w, v]
+        return self._decision[rows, desire, adopted]
+
+    def realized_welfare(
+        self, adopted: np.ndarray
+    ) -> np.ndarray:
+        """Per-world welfare ``Σ_v U_{W(v)}(A(v))`` over adopters."""
+        batch = adopted.shape[0]
+        welfare = np.zeros(batch, dtype=np.float64)
+        w, v = np.nonzero(adopted > 0)
+        if w.size:
+            values = self._tables[self._row[w, v], adopted[w, v]]
+            welfare = np.bincount(w, weights=values, minlength=batch)
+        return welfare
+
+
+def batch_simulate_uic_personalized(
+    graph: InfluenceGraph,
+    model: UtilityModel,
+    allocation: Iterable[Tuple[int, int]],
+    num_worlds: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Simulate ``num_worlds`` personalized-noise UIC worlds at once.
+
+    The batched twin of :func:`repro.diffusion.personalized.
+    simulate_uic_personalized`: every (world, node) pair draws its own
+    noise world lazily on first contact (see :class:`_PersonalTables`),
+    live edges follow the lazy first-visit IC log, and the propagation
+    loop is the flat-frontier scheme of :func:`batch_simulate_uic`.
+    Returns the per-world realized welfare array (the quantity the
+    personalized-noise ablation estimates); outcome distributions match
+    the sequential simulator's world for world.
+    """
+    n = graph.num_nodes
+    k = model.num_items
+    if num_worlds < 0:
+        raise ValueError(f"num_worlds must be non-negative, got {num_worlds}")
+    if k > MAX_BATCH_ITEMS:
+        raise ValueError(
+            f"batched personalized UIC needs <= {MAX_BATCH_ITEMS} items; "
+            "use the sequential simulator"
+        )
+    desire0 = np.zeros(n, dtype=np.int64)
+    for node, item in allocation:
+        node = int(node)
+        if not 0 <= node < n:
+            raise IndexError(f"seed node {node} outside graph")
+        if not 0 <= int(item) < k:
+            raise IndexError(f"item {item} outside universe")
+        desire0[node] |= 1 << int(item)
+    seed_nodes = np.flatnonzero(desire0)
+
+    welfare_out = np.zeros(num_worlds, dtype=np.float64)
+    if num_worlds == 0 or seed_nodes.size == 0:
+        return welfare_out
+
+    # Per-world bytes: desire/adopted masks + the personal-table row map
+    # (8 each per node) + the live-edge log's expanded bitmap, plus the
+    # worst case of the lazily sampled per-pair tables — 8 * (2^k + 4^k)
+    # bytes per *touched* (world, node) pair, budgeted as if every node
+    # were touched so a full-reach cascade cannot blow past
+    # ``_TARGET_BYTES``.  Large item universes therefore shrink the chunk
+    # (k = 2, the paper's personalized setting, still batches hundreds of
+    # worlds); the tables array itself grows on demand, so light-reach
+    # cascades never actually allocate the worst case.
+    size = 1 << k
+    bytes_per_world = (25 + 8 * (size + size * size)) * n
+    done = 0
+    while done < num_worlds:
+        batch = next(iter(_world_chunks(num_worlds - done, bytes_per_world)))
+        live_log = _LiveEdgeLog(batch, n)
+        personal = _PersonalTables(model, batch, n)
+        desire = np.zeros((batch, n), dtype=np.int64)
+        adopted = np.zeros((batch, n), dtype=np.int64)
+
+        fw, fn = _seed_frontier(seed_nodes, batch)
+        desire[fw, fn] = desire0[fn]
+        personal.ensure(rng, fw, fn)
+        adopted[fw, fn] = personal.decide(
+            fw, fn, desire0[fn], np.zeros(fw.shape[0], dtype=np.int64)
+        )
+        keep = adopted[fw, fn] != 0
+        fw, fn = fw[keep], fn[keep]
+
+        while fw.size:
+            entry, t = live_log.live_targets(graph, rng, fw, fn)
+            if entry.size == 0:
+                break
+            w = fw[entry]
+            src_mask = adopted[fw, fn][entry]
+            key = w * n + t
+            order = np.argsort(key, kind="stable")
+            key_sorted = key[order]
+            boundaries = np.concatenate(
+                ([0], np.flatnonzero(key_sorted[1:] != key_sorted[:-1]) + 1)
+            )
+            touched_key = key_sorted[boundaries]
+            incoming = np.bitwise_or.reduceat(src_mask[order], boundaries)
+            tw, tv = touched_key // n, touched_key % n
+            new_desire = desire[tw, tv] | incoming
+            grew = new_desire != desire[tw, tv]
+            tw, tv, new_desire = tw[grew], tv[grew], new_desire[grew]
+            if tw.size == 0:
+                break
+            desire[tw, tv] = new_desire
+            personal.ensure(rng, tw, tv)
+            old = adopted[tw, tv]
+            new = personal.decide(tw, tv, new_desire, old)
+            changed = new != old
+            fw, fn = tw[changed], tv[changed]
+            adopted[fw, fn] = new[changed]
+
+        welfare_out[done : done + batch] = personal.realized_welfare(adopted)
+        done += batch
+    return welfare_out

@@ -10,6 +10,11 @@ make an adoption decision, and keeps it for the rest of the diffusion.
 The ablation benchmark (``benchmarks/bench_ablation_personalized.py``) uses
 this to show bundleGRD remains a strong heuristic under personalization even
 though Theorem 2 no longer applies.
+
+Estimation runs on the batched forward engine by default
+(:func:`repro.diffusion.batch_forward.batch_simulate_uic_personalized`:
+per-(world, node) noise tables sampled lazily on first contact); the
+sequential simulator below stays the byte-identical reference oracle.
 """
 
 from __future__ import annotations
@@ -128,12 +133,38 @@ def estimate_welfare_personalized(
     allocation: Iterable[Tuple[int, int]],
     num_samples: int = 200,
     rng: Optional[np.random.Generator] = None,
+    backend: Optional[str] = None,
 ) -> float:
-    """MC estimate of expected welfare under personalized noise."""
+    """MC estimate of expected welfare under personalized noise.
+
+    ``backend`` follows the engine convention (explicit >
+    ``$REPRO_RR_BACKEND`` > batched): the batched path runs all worlds at
+    once through :func:`repro.diffusion.batch_forward.
+    batch_simulate_uic_personalized` — per-(world, node) noise sampled
+    lazily on first contact, flat-frontier propagation — and is
+    statistically equivalent to the sequential per-world loop, which
+    remains the byte-identical historical path.  Item universes beyond
+    ``MAX_BATCH_ITEMS`` fall back to sequential with a ``UserWarning``.
+    """
     if num_samples <= 0:
         raise ValueError(f"num_samples must be positive, got {num_samples}")
     rng = rng if rng is not None else np.random.default_rng(0)
     allocation = list(allocation)
+
+    from repro.diffusion.batch_forward import (
+        MAX_BATCH_ITEMS,
+        batch_simulate_uic_personalized,
+        warn_uic_item_cap_fallback,
+    )
+    from repro.rrset.batch import resolve_backend
+
+    if resolve_backend(backend) == "batched":
+        if model.num_items <= MAX_BATCH_ITEMS:
+            welfare = batch_simulate_uic_personalized(
+                graph, model, allocation, num_samples, rng
+            )
+            return float(welfare.mean())
+        warn_uic_item_cap_fallback(model)
     total = 0.0
     for _ in range(num_samples):
         total += simulate_uic_personalized(graph, model, allocation, rng).welfare

@@ -17,6 +17,7 @@ import numpy as np
 from repro.diffusion.batch_forward import (
     batch_simulate_uic,
     supports_batched_uic,
+    warn_uic_item_cap_fallback,
 )
 from repro.diffusion.triggering import (
     resolve_triggering,
@@ -82,9 +83,11 @@ def estimate_welfare(
     if trig_model is not None:
         trig_model.validate(graph)
     allocation = list(allocation)
-    if _resolve_forward_backend(backend) == "batched" and supports_batched_uic(
-        model, trig_model
-    ):
+    batched = _resolve_forward_backend(backend) == "batched"
+    supported = supports_batched_uic(model, trig_model)
+    if batched and not supported:
+        warn_uic_item_cap_fallback(model)
+    if batched and supported:
         values = batch_simulate_uic(
             graph,
             model,
@@ -131,9 +134,11 @@ def estimate_adoption(
         raise ValueError(f"num_samples must be positive, got {num_samples}")
     rng = rng if rng is not None else np.random.default_rng(0)
     allocation = list(allocation)
-    if _resolve_forward_backend(backend) == "batched" and supports_batched_uic(
-        model, None
-    ):
+    batched = _resolve_forward_backend(backend) == "batched"
+    supported = supports_batched_uic(model, None)
+    if batched and not supported:
+        warn_uic_item_cap_fallback(model)
+    if batched and supported:
         result = batch_simulate_uic(graph, model, allocation, num_samples, rng)
         values = result.adopter_counts(item).astype(np.float64)
     else:

@@ -1,4 +1,4 @@
-"""Edge-list I/O.
+"""Edge-list I/O and graph fingerprinting.
 
 Supports the two formats common in IM research code:
 
@@ -9,10 +9,17 @@ Supports the two formats common in IM research code:
 Lines starting with ``#`` or ``%`` are comments.  Node ids need not be
 contiguous; they are compacted to ``0 .. n-1`` preserving first-seen order,
 and the mapping is returned so callers can trace results back.
+
+:func:`graph_fingerprint` hashes a graph's CSR arrays into a short hex
+digest.  Persistent artifacts derived from a graph (the RR-sketch stores of
+:mod:`repro.store`) embed the fingerprint so a stale artifact — built from a
+different graph, or from an earlier version of the same dataset — is
+detected at load time instead of silently serving wrong answers.
 """
 
 from __future__ import annotations
 
+import hashlib
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
@@ -20,6 +27,21 @@ from repro.graph.digraph import InfluenceGraph
 from repro.graph.weighting import weighted_cascade
 
 PathLike = Union[str, Path]
+
+
+def graph_fingerprint(graph: InfluenceGraph) -> str:
+    """Deterministic hex digest of a graph's structure and probabilities.
+
+    Hashes ``n`` plus the forward CSR arrays (indptr, targets, probs) with
+    SHA-256.  Two graphs share a fingerprint iff they have identical node
+    counts, edge sets and float64 edge probabilities — the equality that
+    makes an RR-sketch store built on one valid for the other.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"n={graph.num_nodes};".encode())
+    for arr in (graph._out_indptr, graph._out_targets, graph._out_probs):
+        digest.update(arr.tobytes())
+    return digest.hexdigest()
 
 
 def read_edge_list(

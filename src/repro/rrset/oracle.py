@@ -11,6 +11,13 @@ instantiated with the budget vector ``(b, b−1, ..., 1)``).
 it can also answer *spread estimation* queries (``σ(S) ≈ n · F_R(S)``) for
 arbitrary seed sets, and hand bundleGRD a precomputed ``seed_order`` so
 repeated allocations on the same graph cost nothing beyond the preprocessing.
+
+The preprocessing is process-bound until persisted: :meth:`InfluenceOracle.
+save` snapshots the seed order, the estimation collection and the sampling
+RNG state into a :class:`~repro.store.sketch_store.SketchStore`, and
+:class:`~repro.store.service.OracleService` serves the same queries from
+the file in any later process (memory-mapped, extendable via
+:func:`~repro.store.builder.extend_store`).
 """
 
 from __future__ import annotations
@@ -59,6 +66,7 @@ class InfluenceOracle:
             raise ValueError(f"max_budget must be positive, got {max_budget}")
         rng = rng if rng is not None else np.random.default_rng(0)
         self._graph = graph
+        self._triggering = triggering
         self._max_budget = min(max_budget, graph.num_nodes)
         budget_vector = list(range(self._max_budget, 0, -1))
         self._prima: PRIMAResult = prima(
@@ -134,6 +142,63 @@ class InfluenceOracle:
         return bundle_grd(
             self._graph, budgets, seed_order=self._prima.seeds
         )
+
+    # ------------------------------------------------------------------
+    # Persistence (repro.store)
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> InfluenceGraph:
+        """The social network the oracle was preprocessed on."""
+        return self._graph
+
+    @property
+    def estimator(self) -> RRCollection:
+        """The retained spread-estimation collection."""
+        return self._estimator
+
+    def verify_graph(self, graph: InfluenceGraph) -> None:
+        """Check this oracle was preprocessed on ``graph`` (fingerprints).
+
+        Same contract as :meth:`repro.store.SketchStore.verify_graph`, so
+        an oracle can stand in wherever a store-backed ``seed_order`` is
+        accepted (:func:`repro.core.bundlegrd.bundle_grd`).
+        """
+        from repro.graph.io import graph_fingerprint
+        from repro.store.sketch_store import StaleStoreError
+
+        if graph_fingerprint(graph) != graph_fingerprint(self._graph):
+            raise StaleStoreError(
+                "oracle was preprocessed on a different graph "
+                f"(n={self._graph.num_nodes}) than the one supplied "
+                f"(n={graph.num_nodes})"
+            )
+
+    def to_store(self):
+        """Snapshot the oracle as a :class:`~repro.store.SketchStore`.
+
+        Persists the prefix-preserving seed order, the estimation
+        collection (flat CSR + inverted index + widths) and the sampling
+        RNG state; a :class:`~repro.store.OracleService` over the result
+        answers every query with this oracle's exact numbers.  Imported
+        lazily — ``store`` depends on ``rrset``, so the reverse import
+        happens at call time to keep the package acyclic.
+        """
+        from repro.store.builder import _triggering_name
+        from repro.store.sketch_store import SketchStore
+
+        return SketchStore.from_collection(
+            self._graph,
+            self._estimator,
+            self._prima.seeds,
+            max_budget=self._max_budget,
+            epsilon=self._prima.epsilon,
+            ell=self._prima.ell,
+            triggering=_triggering_name(self._triggering),
+        )
+
+    def save(self, path) -> None:
+        """Persist the oracle to ``path`` (see :mod:`repro.store`)."""
+        self.to_store().save(path)
 
     def __repr__(self) -> str:
         return (

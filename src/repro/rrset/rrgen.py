@@ -35,7 +35,11 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.diffusion.triggering import TriggeringModel, needs_trigger_csr
+from repro.diffusion.triggering import (
+    TriggeringModel,
+    needs_trigger_csr,
+    segmented_positions,
+)
 from repro.graph.digraph import InfluenceGraph
 from repro.rrset.batch import (
     batch_generate_rr_sets,
@@ -108,6 +112,38 @@ def build_inverted_index(
     idx_indptr = np.zeros(num_nodes + 1, dtype=np.int64)
     np.cumsum(counts, out=idx_indptr[1:])
     return idx_sets, idx_indptr
+
+
+def merge_inverted_index(
+    idx_sets: np.ndarray,
+    idx_indptr: np.ndarray,
+    delta_sets: np.ndarray,
+    delta_indptr: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Merge a delta inverted index into an existing one, per node.
+
+    Both operands are node -> RR-set-id CSRs over the same node universe;
+    every id in ``delta_sets`` must exceed every id in ``idx_sets`` (the
+    delta covers *appended* sets), so per-node concatenation — old entries
+    then delta entries — preserves the ascending-id invariant of
+    :func:`build_inverted_index`.  Cost is linear in the output: the delta
+    was argsorted on its own, the old entries are copied, never re-sorted.
+    This is what makes θ-extension of a loaded sketch store (and IMM's
+    geometric search generally) cheaper than rebuilding the index from
+    scratch at every level.
+    """
+    old_counts = np.diff(idx_indptr)
+    delta_counts = np.diff(delta_indptr)
+    merged_indptr = np.zeros_like(idx_indptr)
+    np.cumsum(old_counts + delta_counts, out=merged_indptr[1:])
+    merged = np.empty(idx_sets.shape[0] + delta_sets.shape[0], dtype=np.int64)
+    old_pos = segmented_positions(merged_indptr[:-1], old_counts)
+    delta_pos = segmented_positions(
+        merged_indptr[:-1] + old_counts, delta_counts
+    )
+    merged[old_pos] = idx_sets
+    merged[delta_pos] = delta_sets
+    return merged, merged_indptr
 
 
 class _SetsView(Sequence[np.ndarray]):
@@ -183,8 +219,11 @@ class RRCollection:
         self._cover_counts = np.zeros(n, dtype=np.int64)
         self._total_width = 0  # Σ w(R): nodes visited, for time accounting
         # Inverted index (lazy): RR-set ids grouped by node, CSR over nodes.
+        # ``_idx_num_sets`` is the prefix of sets the current index covers;
+        # rebuilds past it are incremental (delta argsort + per-node merge).
         self._idx_sets = np.empty(0, dtype=np.int64)
         self._idx_indptr = np.zeros(n + 1, dtype=np.int64)
+        self._idx_num_sets = 0
         self._index_dirty = False
         # Epoch-stamped scratch for coverage_fraction: stamp[i] == epoch
         # means "set i covered in the current query" — no per-call allocation.
@@ -230,6 +269,19 @@ class RRCollection:
         view = self._idx_sets[start:end]
         view.flags.writeable = False
         return view
+
+    def flat_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The member/offset CSR over sets, without touching the index.
+
+        Live views — do not mutate.  This is the cheap export hook for
+        callers that only need the raw sets (the sharded store builder
+        ships these across process boundaries; the merged index is built
+        once on the combined arrays instead of once per shard).
+        """
+        return (
+            self._members[: self._num_members],
+            self._offsets[: self._num_sets + 1],
+        )
 
     def selection_arrays(
         self,
@@ -346,14 +398,35 @@ class RRCollection:
             self._cov_stamp = grown
 
     def _ensure_index(self) -> None:
-        """Bulk-rebuild the inverted index if new sets arrived."""
+        """Bring the inverted index up to date if new sets arrived.
+
+        First build is a full bulk pass; subsequent growth (IMM's geometric
+        levels, θ-extension of a loaded store) argsorts only the appended
+        members and merges them per node, so the amortized cost stays
+        linear in the *new* width instead of the total.
+        """
         if not self._index_dirty:
             return
-        self._idx_sets, self._idx_indptr = build_inverted_index(
-            self._members[: self._num_members],
-            self._offsets[: self._num_sets + 1],
-            self._graph.num_nodes,
-        )
+        if self._idx_num_sets == 0 or self._idx_num_sets > self._num_sets:
+            self._idx_sets, self._idx_indptr = build_inverted_index(
+                self._members[: self._num_members],
+                self._offsets[: self._num_sets + 1],
+                self._graph.num_nodes,
+            )
+        else:
+            base = self._offsets[self._idx_num_sets]
+            delta_members = self._members[base : self._num_members]
+            delta_offsets = (
+                self._offsets[self._idx_num_sets : self._num_sets + 1] - base
+            )
+            delta_sets, delta_indptr = build_inverted_index(
+                delta_members, delta_offsets, self._graph.num_nodes
+            )
+            delta_sets += self._idx_num_sets
+            self._idx_sets, self._idx_indptr = merge_inverted_index(
+                self._idx_sets, self._idx_indptr, delta_sets, delta_indptr
+            )
+        self._idx_num_sets = self._num_sets
         self._index_dirty = False
 
     # ------------------------------------------------------------------
@@ -389,4 +462,76 @@ class RRCollection:
         self._total_width = 0
         self._idx_sets = np.empty(0, dtype=np.int64)
         self._idx_indptr = np.zeros(self._graph.num_nodes + 1, dtype=np.int64)
+        self._idx_num_sets = 0
         self._index_dirty = False
+
+    # ------------------------------------------------------------------
+    # Flat-state export / import (the persistence hooks of repro.store)
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Snapshot the collection as plain arrays for persistence.
+
+        Returns copies (safe to hold across further growth) of the member/
+        offset CSR, the per-node cover counts, and the inverted index
+        (brought up to date first).  The RNG bit-generator state rides along
+        so a restored collection continues the exact sampling stream —
+        byte-identical θ-extension after a save/load round trip.
+        """
+        self._ensure_index()
+        return {
+            "members": self._members[: self._num_members].copy(),
+            "offsets": self._offsets[: self._num_sets + 1].copy(),
+            "cover_counts": self._cover_counts.copy(),
+            "idx_sets": self._idx_sets.copy(),
+            "idx_indptr": self._idx_indptr.copy(),
+            "total_width": int(self._total_width),
+            "rng_state": self._rng.bit_generator.state,
+        }
+
+    @classmethod
+    def from_flat(
+        cls,
+        graph: InfluenceGraph,
+        rng: np.random.Generator,
+        members: np.ndarray,
+        offsets: np.ndarray,
+        *,
+        index: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+        triggering: Optional[TriggeringModel] = None,
+        backend: Optional[str] = None,
+    ) -> "RRCollection":
+        """Rebuild a collection from flat CSR arrays without regeneration.
+
+        ``members``/``offsets`` follow the layout of
+        :meth:`selection_arrays`; ``index`` optionally supplies a matching
+        ``(idx_sets, idx_indptr)`` inverted index (e.g. from a loaded
+        sketch store), in which case later growth updates it incrementally
+        instead of rebuilding.  Read-only inputs (memory-mapped store
+        arrays) are copied into writable growth buffers.
+        """
+        collection = cls(graph, rng, triggering=triggering, backend=backend)
+        members = np.asarray(members, dtype=np.int64)
+        offsets = np.asarray(offsets, dtype=np.int64)
+        if offsets.shape[0] < 1 or offsets[0] != 0:
+            raise ValueError("offsets must start at 0")
+        if members.shape[0] != int(offsets[-1]):
+            raise ValueError(
+                f"members length {members.shape[0]} does not match "
+                f"offsets[-1] == {int(offsets[-1])}"
+            )
+        lengths = np.diff(offsets)
+        collection._append_flat(members, lengths)
+        if index is not None:
+            idx_sets, idx_indptr = index
+            collection._idx_sets = np.asarray(idx_sets, dtype=np.int64).copy()
+            collection._idx_indptr = np.asarray(
+                idx_indptr, dtype=np.int64
+            ).copy()
+            collection._idx_num_sets = collection._num_sets
+            collection._index_dirty = False
+        return collection
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The collection's randomness source (for state persistence)."""
+        return self._rng

@@ -1,0 +1,291 @@
+"""Offline store construction: single-stream, sharded-parallel, incremental.
+
+Three entry points, one output type:
+
+* :func:`build_store` — the reference path: run the same preprocessing an
+  in-memory :class:`~repro.rrset.oracle.InfluenceOracle` performs (PRIMA
+  with the full budget vector, then an independent estimation collection)
+  and snapshot it.  For a fixed seed the persisted seed order and estimator
+  arrays are byte-identical to the in-memory oracle's — the golden contract
+  the serving tests pin.
+* :func:`build_sharded` — index construction on all cores: the estimation
+  collection is split into shards, each sampled by a process-pool worker
+  from its own ``SeedSequence`` child, then merged into one flat CSR with a
+  single bulk inverted-index build.  Shard results depend only on
+  ``(seed, shard_id)``, so the merged store is bit-identical whatever the
+  process count (including in-process execution with ``processes=0``).
+  PRIMA itself stays sequential — its geometric search is adaptive — so the
+  parallel win is on the θ-sized estimator, which dominates at serving
+  scale.
+* :func:`extend_store` — incremental θ-extension: restore the persisted
+  RNG state, rebuild a live collection *around* the stored arrays
+  (:meth:`~repro.rrset.rrgen.RRCollection.from_flat`), generate the extra
+  sets with the batched sampler, and merge the delta into the inverted
+  index incrementally.  The save/load round trip is transparent: the
+  extension is byte-identical to growing the original live collection by
+  the same amount.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.digraph import InfluenceGraph
+from repro.rrset.batch import resolve_backend, rr_set_widths
+from repro.rrset.oracle import InfluenceOracle
+from repro.rrset.prima import prima
+from repro.rrset.rrgen import RRCollection, build_inverted_index
+from repro.store.sketch_store import SketchStore, SketchStoreError
+
+
+def _triggering_name(triggering) -> Optional[str]:
+    """Validate that a triggering argument is persistable (None/'ic'/'lt')."""
+    if triggering is None or triggering in ("ic", "lt"):
+        return triggering
+    raise SketchStoreError(
+        f"sketch stores persist triggering by name ('ic' / 'lt'); got "
+        f"{triggering!r} — arbitrary TriggeringModel instances cannot be "
+        "reconstructed at load time"
+    )
+
+
+def build_store(
+    graph: InfluenceGraph,
+    max_budget: int,
+    *,
+    epsilon: float = 0.5,
+    ell: float = 1.0,
+    seed: int = 0,
+    estimation_rr_sets: int = 10_000,
+    triggering: Optional[str] = None,
+    backend: Optional[str] = None,
+) -> SketchStore:
+    """Build a store by running the in-memory oracle's preprocessing.
+
+    Equivalent to ``InfluenceOracle(graph, max_budget, ...,
+    rng=default_rng(seed))`` followed by a snapshot: same PRIMA run, same
+    estimation collection, same RNG stream — so a loaded store answers
+    every query with the in-memory oracle's exact numbers.
+    """
+    name = _triggering_name(triggering)
+    oracle = InfluenceOracle(
+        graph,
+        max_budget,
+        epsilon=epsilon,
+        ell=ell,
+        rng=np.random.default_rng(seed),
+        estimation_rr_sets=estimation_rr_sets,
+        triggering=name,
+        backend=backend,
+    )
+    return oracle.to_store()
+
+
+#: Per-worker graph, installed once by the pool initializer so the CSR
+#: arrays are pickled once per *worker* instead of once per shard job.
+_worker_graph: Optional[InfluenceGraph] = None
+
+
+def _init_worker(graph: InfluenceGraph) -> None:
+    global _worker_graph
+    _worker_graph = graph
+
+
+def _sample_shard(
+    graph: InfluenceGraph,
+    seed_seq: np.random.SeedSequence,
+    count: int,
+    triggering: Optional[str],
+    backend: Optional[str],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample one shard's RR sets; returns flat ``(members, lengths)``."""
+    from repro.diffusion.triggering import resolve_triggering
+
+    trig = resolve_triggering(triggering) if triggering is not None else None
+    collection = RRCollection(
+        graph,
+        np.random.default_rng(seed_seq),
+        triggering=trig,
+        backend=backend,
+    )
+    collection.extend_to(count)
+    members, offsets = collection.flat_arrays()
+    return members.copy(), np.diff(offsets)
+
+
+def _sample_shard_pooled(
+    args: Tuple[np.random.SeedSequence, int, Optional[str], Optional[str]],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Pool entry point: one tuple for ``map``, graph from the initializer.
+
+    Module-level for pickling.
+    """
+    return _sample_shard(_worker_graph, *args)
+
+
+def build_sharded(
+    graph: InfluenceGraph,
+    max_budget: int,
+    *,
+    num_shards: int = 4,
+    processes: Optional[int] = None,
+    epsilon: float = 0.5,
+    ell: float = 1.0,
+    seed: int = 0,
+    estimation_rr_sets: int = 10_000,
+    triggering: Optional[str] = None,
+    backend: Optional[str] = None,
+) -> SketchStore:
+    """Build a store with the estimation collection sampled in parallel.
+
+    ``estimation_rr_sets`` is split near-evenly over ``num_shards`` shards;
+    each shard samples from its own ``SeedSequence`` child (streams are
+    independent by construction), so the result is deterministic in
+    ``(seed, num_shards)`` and independent of ``processes`` — ``0``/``None``
+    runs the shards in-process (useful for tests and as a fallback where
+    process pools are unavailable), ``k > 1`` fans them over a pool.
+
+    The sharded estimator necessarily consumes different randomness than
+    :func:`build_store`'s single stream: stores from the two builders are
+    *statistically* equivalent, not byte-identical.  The persisted RNG
+    state is a dedicated extension child, so :func:`extend_store` remains
+    deterministic on sharded stores too.
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    if estimation_rr_sets < 0:
+        raise ValueError(
+            f"estimation_rr_sets must be non-negative, got {estimation_rr_sets}"
+        )
+    name = _triggering_name(triggering)
+    backend = resolve_backend(backend)
+    root = np.random.SeedSequence(seed)
+    # children[0]: PRIMA; [1..num_shards]: shards; [-1]: extension stream.
+    children = root.spawn(num_shards + 2)
+
+    n = graph.num_nodes
+    capped = min(int(max_budget), n)
+    if capped <= 0:
+        raise ValueError(f"max_budget must be positive, got {max_budget}")
+    prima_result = prima(
+        graph,
+        list(range(capped, 0, -1)),
+        epsilon=epsilon,
+        ell=ell,
+        rng=np.random.default_rng(children[0]),
+        triggering=name,
+        backend=backend,
+    )
+
+    base, extra = divmod(int(estimation_rr_sets), num_shards)
+    counts = [base + (1 if i < extra else 0) for i in range(num_shards)]
+    jobs = [
+        (children[1 + i], counts[i], name, backend)
+        for i in range(num_shards)
+        if counts[i] > 0
+    ]
+    if processes and processes > 1 and len(jobs) > 1:
+        with ProcessPoolExecutor(
+            max_workers=min(int(processes), len(jobs)),
+            initializer=_init_worker,
+            initargs=(graph,),
+        ) as pool:
+            parts = list(pool.map(_sample_shard_pooled, jobs))
+    else:
+        parts = [_sample_shard(graph, *job) for job in jobs]
+
+    member_parts: List[np.ndarray] = [p[0] for p in parts]
+    length_parts: List[np.ndarray] = [p[1] for p in parts]
+    members = (
+        np.concatenate(member_parts)
+        if member_parts
+        else np.empty(0, dtype=np.int64)
+    )
+    lengths = (
+        np.concatenate(length_parts)
+        if length_parts
+        else np.empty(0, dtype=np.int64)
+    )
+    offsets = np.zeros(lengths.shape[0] + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    idx_sets, idx_indptr = build_inverted_index(members, offsets, n)
+
+    from repro.graph.io import graph_fingerprint
+
+    return SketchStore(
+        fingerprint=graph_fingerprint(graph),
+        num_nodes=n,
+        num_edges=graph.num_edges,
+        max_budget=capped,
+        epsilon=float(epsilon),
+        ell=float(ell),
+        backend=backend,
+        triggering=name,
+        world_cursor=0,
+        rng_state=np.random.default_rng(children[-1]).bit_generator.state,
+        seed_order=np.asarray(prima_result.seeds, dtype=np.int64),
+        members=members,
+        offsets=offsets,
+        widths=rr_set_widths(graph, members, lengths),
+        idx_sets=idx_sets,
+        idx_indptr=idx_indptr,
+        cover_counts=np.bincount(members, minlength=n),
+    )
+
+
+def extend_store(
+    store: SketchStore,
+    graph: InfluenceGraph,
+    add: int,
+    *,
+    backend: Optional[str] = None,
+) -> SketchStore:
+    """Grow a loaded store by ``add`` RR sets without regenerating.
+
+    Restores the persisted RNG state, wraps the stored arrays in a live
+    :class:`~repro.rrset.rrgen.RRCollection` (copy-on-load; the source
+    store/file is untouched), samples the extra sets with the batched
+    engine, and merges the delta into the inverted index incrementally.
+    Returns a new :class:`SketchStore`; callers persist it with ``save``.
+
+    Continuing the persisted stream makes the round trip *transparent*:
+    save → load → ``extend_store(Δ)`` produces byte-for-byte the arrays
+    that calling ``generate(Δ)`` on the live collection (no save/load)
+    would have.  (It is not byte-identical to building with θ+Δ up front —
+    the batched sampler consumes randomness per ``generate`` call — only
+    statistically equivalent, like any two growth schedules.)
+    """
+    if add < 0:
+        raise ValueError(f"add must be non-negative, got {add}")
+    store.verify_graph(graph)
+    from repro.diffusion.triggering import resolve_triggering
+
+    trig = (
+        resolve_triggering(store.triggering)
+        if store.triggering is not None
+        else None
+    )
+    rng = store.restore_rng()
+    collection = RRCollection.from_flat(
+        graph,
+        rng,
+        store.members,
+        store.offsets,
+        index=(store.idx_sets, store.idx_indptr),
+        triggering=trig,
+        backend=backend if backend is not None else store.backend,
+    )
+    collection.generate(int(add))
+    return SketchStore.from_collection(
+        graph,
+        collection,
+        store.seed_order,
+        max_budget=store.max_budget,
+        epsilon=store.epsilon,
+        ell=store.ell,
+        triggering=store.triggering,
+        world_cursor=store.world_cursor,
+    )

@@ -1,0 +1,171 @@
+"""The online query layer over a loaded sketch store.
+
+:class:`OracleService` answers the three §2.1 oracle query families from a
+:class:`~repro.store.sketch_store.SketchStore` without any resampling:
+
+* **seed-prefix** — ``seeds(b)`` returns the stored prefix-preserving
+  ordering's first ``b`` nodes, O(b) per query;
+* **spread estimation** — ``estimate_spread(S)`` computes ``n · F_R(S)``
+  over the persisted estimation collection via its inverted index; with a
+  memory-mapped store only the index pages the queried seeds touch are
+  faulted in;
+* **bundleGRD allocation** — ``allocate(b)`` runs Algorithm 1 against the
+  stored seed order (no PRIMA re-run), mirroring
+  :meth:`repro.rrset.oracle.InfluenceOracle.allocate`.
+
+Answers are *identical* to the in-memory oracle the store was built from:
+the seed order is persisted verbatim and the spread estimator operates on
+the same RR collection, so ``OracleService.open(path, graph)`` in a fresh
+process is indistinguishable — query for query — from the
+``InfluenceOracle`` that produced the store (the golden contract in
+``tests/test_store.py``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.graph.digraph import InfluenceGraph
+from repro.store.sketch_store import SketchStore
+
+PathLike = Union[str, Path]
+
+
+class OracleService:
+    """Serve influence-oracle queries from a (memory-mapped) sketch store.
+
+    Parameters
+    ----------
+    store:
+        A loaded :class:`SketchStore`.
+    graph:
+        The social network the store was built from.  Required for
+        allocation queries; when given, the store's fingerprint is checked
+        up front (``StaleStoreError`` on mismatch) unless ``verify=False``.
+    verify:
+        Disable the fingerprint check (callers that already verified).
+    """
+
+    def __init__(
+        self,
+        store: SketchStore,
+        graph: Optional[InfluenceGraph] = None,
+        verify: bool = True,
+    ):
+        if graph is not None and verify:
+            store.verify_graph(graph)
+        self._store = store
+        self._graph = graph
+
+    @classmethod
+    def open(
+        cls,
+        path: PathLike,
+        graph: Optional[InfluenceGraph] = None,
+        mmap: bool = True,
+    ) -> "OracleService":
+        """Load a store file and wrap it (the one-call warm start)."""
+        return cls(SketchStore.load(path, mmap=mmap), graph)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def store(self) -> SketchStore:
+        """The underlying sketch store."""
+        return self._store
+
+    @property
+    def max_budget(self) -> int:
+        """Largest budget the stored ordering serves."""
+        return self._store.max_budget
+
+    @property
+    def num_sets(self) -> int:
+        """Size θ of the persisted estimation collection."""
+        return self._store.num_sets
+
+    @property
+    def seed_order(self) -> Tuple[int, ...]:
+        """The full prefix-preserving ordering."""
+        return tuple(int(v) for v in self._store.seed_order)
+
+    def verify_graph(self, graph: InfluenceGraph) -> None:
+        """Fingerprint-check the store against ``graph`` (delegates)."""
+        self._store.verify_graph(graph)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def seeds(self, budget: int) -> Tuple[int, ...]:
+        """Seed set for any budget ``<= max_budget`` — O(budget) per query."""
+        if not 0 <= budget <= self.max_budget:
+            raise ValueError(
+                f"budget {budget} outside the store's range "
+                f"[0, {self.max_budget}]"
+            )
+        return tuple(int(v) for v in self._store.seed_order[:budget])
+
+    def coverage_fraction(self, seeds: Sequence[int]) -> float:
+        """``F_R(S)`` over the persisted estimation collection."""
+        store = self._store
+        num_sets = store.num_sets
+        if num_sets == 0:
+            return 0.0
+        covered = np.zeros(num_sets, dtype=bool)
+        idx_sets = store.idx_sets
+        idx_indptr = store.idx_indptr
+        for s in seeds:
+            s = int(s)
+            if not 0 <= s < store.num_nodes:
+                raise IndexError(
+                    f"node {s} out of range [0, {store.num_nodes})"
+                )
+            covered[idx_sets[idx_indptr[s] : idx_indptr[s + 1]]] = True
+        return float(covered.sum()) / num_sets
+
+    def estimate_spread(self, seeds: Sequence[int]) -> float:
+        """Unbiased spread estimate ``σ(S) ≈ n · F_R(S)``."""
+        return self._store.num_nodes * self.coverage_fraction(seeds)
+
+    def spread_curve(
+        self, budgets: Sequence[int]
+    ) -> List[Tuple[int, float]]:
+        """(budget, estimated spread) along the stored prefix ordering."""
+        return [
+            (int(k), self.estimate_spread(self.seeds(int(k))))
+            for k in budgets
+        ]
+
+    def allocate(self, budgets: Sequence[int]):
+        """Run bundleGRD against the stored ordering — no new sampling.
+
+        Requires the service to hold the graph.  Returns a
+        :class:`repro.core.bundlegrd.BundleGRDResult`.
+        """
+        if self._graph is None:
+            raise ValueError(
+                "allocation queries need the graph; construct the service "
+                "with OracleService(store, graph) or open(path, graph)"
+            )
+        from repro.core.bundlegrd import bundle_grd
+
+        budgets = [int(b) for b in budgets]
+        if budgets and max(budgets) > self.max_budget:
+            raise ValueError(
+                f"budget {max(budgets)} exceeds the store's max "
+                f"{self.max_budget}"
+            )
+        # Pass the raw order: the store/graph pairing was fingerprint-
+        # checked at construction, and re-hashing the whole CSR per
+        # allocation query would defeat the cheap online phase.
+        return bundle_grd(self._graph, budgets, seed_order=self.seed_order)
+
+    def __repr__(self) -> str:
+        return (
+            f"OracleService(n={self._store.num_nodes}, "
+            f"max_budget={self.max_budget}, num_sets={self.num_sets})"
+        )

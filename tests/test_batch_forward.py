@@ -308,8 +308,9 @@ class TestBatchUIC:
         assert abs(batched.mean - sequential.mean) < 5.0 * sigma
 
     def test_item_universe_cap_falls_back(self):
-        """> MAX_BATCH_ITEMS items: estimate_welfare silently routes to the
-        sequential loop, so same rng => identical values."""
+        """> MAX_BATCH_ITEMS items: estimate_welfare routes to the
+        sequential loop (same rng => identical values) and says so with a
+        UserWarning instead of degrading silently."""
         k = MAX_BATCH_ITEMS + 1
         model = UtilityModel(
             AdditiveValuation([1.0] * k),
@@ -319,15 +320,44 @@ class TestBatchUIC:
         assert not supports_batched_uic(model, None)
         graph = line_graph(5, 1.0)
         alloc = [(0, i) for i in range(k)]
-        batched_knob = estimate_welfare(
-            graph, model, alloc, num_samples=10,
-            rng=np.random.default_rng(9), backend="batched",
-        )
+        with pytest.warns(UserWarning, match="falling back to the sequential"):
+            batched_knob = estimate_welfare(
+                graph, model, alloc, num_samples=10,
+                rng=np.random.default_rng(9), backend="batched",
+            )
         sequential = estimate_welfare(
             graph, model, alloc, num_samples=10,
             rng=np.random.default_rng(9), backend="sequential",
         )
         assert batched_knob.mean == sequential.mean
+
+    def test_item_cap_warning_on_adoption_estimator(self):
+        k = MAX_BATCH_ITEMS + 1
+        model = UtilityModel(
+            AdditiveValuation([1.0] * k),
+            AdditivePrice([0.5] * k),
+            ZeroNoise(k),
+        )
+        graph = line_graph(4, 1.0)
+        with pytest.warns(UserWarning, match="at most"):
+            estimate_adoption(
+                graph, model, [(0, 0)], num_samples=3,
+                rng=np.random.default_rng(1), backend="batched",
+            )
+
+    def test_no_warning_within_item_cap(self, wc400, two_item_model):
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error", UserWarning)
+            estimate_welfare(
+                wc400, two_item_model, [(0, 0)], num_samples=3,
+                rng=np.random.default_rng(1), backend="batched",
+            )
+            estimate_welfare(
+                wc400, two_item_model, [(0, 0)], num_samples=3,
+                rng=np.random.default_rng(1), backend="sequential",
+            )
 
     def test_batch_simulate_uic_rejects_oversized_universe(self):
         k = MAX_BATCH_ITEMS + 1
@@ -367,6 +397,165 @@ class TestDecisionTables:
         tables = np.array([[0.0, 1.0, 1.0, 1.0]])
         decision = _decision_tables(tables)
         assert decision[0, 0b11, 0] == 0b11
+
+
+class TestBatchPersonalized:
+    """The batched personalized-noise UIC path (per-(world, node) tables)."""
+
+    def test_statistical_equivalence(self, two_item_model):
+        from repro.diffusion.personalized import estimate_welfare_personalized
+
+        graph = random_wc_graph(300, 6, seed=13)
+        alloc = [(v, i) for v in range(8) for i in (0, 1)]
+        seq_values = []
+        rng = np.random.default_rng(1)
+        from repro.diffusion.personalized import simulate_uic_personalized
+
+        for _ in range(800):
+            seq_values.append(
+                simulate_uic_personalized(
+                    graph, two_item_model, alloc, rng
+                ).welfare
+            )
+        seq_values = np.asarray(seq_values)
+        from repro.diffusion.batch_forward import (
+            batch_simulate_uic_personalized,
+        )
+
+        bat_values = batch_simulate_uic_personalized(
+            graph, two_item_model, alloc, 800, np.random.default_rng(2)
+        )
+        sigma = np.hypot(
+            seq_values.std() / np.sqrt(seq_values.size),
+            bat_values.std() / np.sqrt(bat_values.size),
+        )
+        assert abs(seq_values.mean() - bat_values.mean()) < 5.0 * sigma
+        # And through the public estimator, which routes by backend.
+        est = estimate_welfare_personalized(
+            graph, two_item_model, alloc, num_samples=800,
+            rng=np.random.default_rng(2),
+        )
+        assert est == pytest.approx(float(bat_values.mean()))
+
+    def test_deterministic_zero_noise_matches_sequential(self):
+        """Zero noise collapses personalization: both backends must agree
+        exactly on a probability-1 line."""
+        from repro.diffusion.personalized import estimate_welfare_personalized
+
+        model = UtilityModel(
+            TableValuation(2, {0b01: 3.0, 0b10: 4.0, 0b11: 8.0}),
+            AdditivePrice([1.0, 1.0]),
+            ZeroNoise(2),
+        )
+        graph = line_graph(6, 1.0)
+        alloc = [(0, 0), (0, 1)]
+        seq = estimate_welfare_personalized(
+            graph, model, alloc, num_samples=4,
+            rng=np.random.default_rng(3), backend="sequential",
+        )
+        bat = estimate_welfare_personalized(
+            graph, model, alloc, num_samples=4,
+            rng=np.random.default_rng(4), backend="batched",
+        )
+        assert seq == bat
+
+    def test_empty_allocation_and_zero_worlds(self, two_item_model):
+        from repro.diffusion.batch_forward import (
+            batch_simulate_uic_personalized,
+        )
+
+        graph = line_graph(4, 1.0)
+        assert (
+            batch_simulate_uic_personalized(
+                graph, two_item_model, [], 5, np.random.default_rng(0)
+            )
+            == 0.0
+        ).all()
+        assert batch_simulate_uic_personalized(
+            graph, two_item_model, [(0, 0)], 0, np.random.default_rng(0)
+        ).shape == (0,)
+
+    def test_item_cap_warns_and_falls_back(self):
+        from repro.diffusion.personalized import estimate_welfare_personalized
+
+        k = MAX_BATCH_ITEMS + 1
+        model = UtilityModel(
+            AdditiveValuation([1.0] * k),
+            AdditivePrice([0.5] * k),
+            ZeroNoise(k),
+        )
+        graph = line_graph(3, 1.0)
+        with pytest.warns(UserWarning, match="at most"):
+            estimate_welfare_personalized(
+                graph, model, [(0, 0)], num_samples=2,
+                rng=np.random.default_rng(0), backend="batched",
+            )
+
+
+class TestLazyTriggerLog:
+    """Lazy per-(world, node) trigger sampling on the forward UIC path."""
+
+    def test_only_reached_pairs_sampled(self, two_item_model):
+        """A cascade confined to a component must never draw trigger sets
+        outside it — the memory contract of the lazy log."""
+        from repro.diffusion.batch_forward import _LazyTriggerLog
+
+        # Two disconnected probability-1 lines: 0->1->2, 3->4->5.
+        graph = InfluenceGraph(
+            6, [(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0), (4, 5, 1.0)]
+        )
+        result = batch_simulate_uic(
+            graph, two_item_model, [(0, 0), (0, 1)], 8,
+            np.random.default_rng(0),
+            triggering=LinearThresholdTriggering(),
+        )
+        # Adoption spread down the seeded line only.
+        assert (result.adopted[:, 3:] == 0).all()
+        # Direct check on the log: sampling is confined to targeted nodes.
+        csr = build_trigger_csr(graph, LinearThresholdTriggering())
+        log = _LazyTriggerLog(2, 6, csr)
+        rng = np.random.default_rng(1)
+        w = np.array([0, 0], dtype=np.int64)
+        u = np.array([0, 1], dtype=np.int64)
+        v = np.array([1, 2], dtype=np.int64)
+        log.live_mask(rng, w, u, v)
+        assert log._sampled[0, [1, 2]].all()
+        assert not log._sampled[0, [0, 3, 4, 5]].any()
+        assert not log._sampled[1].any()
+
+    def test_membership_fixed_across_rounds(self):
+        """Re-querying a sampled pair re-reads the same draw (deferred
+        decision): the live mask for identical queries never changes."""
+        from repro.diffusion.batch_forward import _LazyTriggerLog
+
+        graph = random_wc_graph(50, 4, seed=21)
+        csr = build_trigger_csr(graph, LinearThresholdTriggering())
+        log = _LazyTriggerLog(3, 50, csr)
+        rng = np.random.default_rng(2)
+        w = np.repeat(np.arange(3, dtype=np.int64), 50)
+        v = np.tile(np.arange(50, dtype=np.int64), 3)
+        # Query every (world, target) from a fixed pseudo-source set.
+        u = (v + 1) % 50
+        first = log.live_mask(rng, w, u, v)
+        again = log.live_mask(rng, w, u, v)
+        assert np.array_equal(first, again)
+
+    def test_lt_mean_agrees_with_pre_sampled_world(self, two_item_model):
+        """The lazy path must keep the LT welfare distribution (checked
+        against the sequential oracle at high sample count)."""
+        graph = random_wc_graph(150, 5, seed=17)
+        alloc = [(v, v % 2) for v in range(6)]
+        batched = estimate_welfare(
+            graph, two_item_model, alloc, num_samples=2000,
+            rng=np.random.default_rng(7), triggering="lt", backend="batched",
+        )
+        sequential = estimate_welfare(
+            graph, two_item_model, alloc, num_samples=2000,
+            rng=np.random.default_rng(8), triggering="lt",
+            backend="sequential",
+        )
+        sigma = np.hypot(batched.stderr, sequential.stderr)
+        assert abs(batched.mean - sequential.mean) < 5.0 * sigma
 
 
 class TestForwardUnderTriggering:

@@ -90,6 +90,38 @@ class TestRRCollection:
         with pytest.raises(ValueError):
             coll.cover_counts[0] = 99
 
+    def test_incremental_index_matches_full_rebuild(self):
+        """Querying between growth rounds exercises the incremental merge
+        path; the final index must equal a from-scratch bulk build."""
+        from repro.graph.generators import random_wc_graph
+        from repro.rrset.rrgen import build_inverted_index
+
+        g = random_wc_graph(60, 4, seed=8)
+        coll = RRCollection(g, np.random.default_rng(3))
+        for round_size in (30, 1, 25, 40):
+            coll.generate(round_size)
+            coll.containing(0)  # force an index build/merge per round
+        members, offsets, idx_sets, idx_indptr = coll.selection_arrays()
+        full_sets, full_indptr = build_inverted_index(
+            members, offsets, g.num_nodes
+        )
+        assert np.array_equal(idx_sets, full_sets)
+        assert np.array_equal(idx_indptr, full_indptr)
+
+    def test_incremental_index_after_reset(self):
+        from repro.graph.generators import random_wc_graph
+
+        g = random_wc_graph(40, 4, seed=2)
+        coll = RRCollection(g, np.random.default_rng(1))
+        coll.generate(10)
+        coll.containing(0)
+        coll.reset()
+        coll.generate(5)
+        # Ids must restart at 0 after the reset (no stale merge base).
+        assert all(
+            0 <= rr_id < 5 for rr_id in coll.containing(0)
+        )
+
 
 class TestNodeSelection:
     def _collection_with_sets(self, n, sets):
