@@ -22,13 +22,12 @@ ratios on shared runners are noisy.
 """
 
 import json
-import os
 import time
 from pathlib import Path
 
 import numpy as np
 
-from _bench_utils import record, run_once
+from _bench_utils import min_speedup, record, run_once
 from repro.baselines.rr_sim import rr_sim_plus
 from repro.diffusion.comic import ComICModel
 from repro.graph.generators import erdos_renyi, random_wc_graph
@@ -39,7 +38,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 JSON_PATH = REPO_ROOT / "BENCH_comic_kpt.json"
 
 #: Minimum batched-over-sequential speedup asserted on every row.
-MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "3.0"))
+MIN_SPEEDUP = min_speedup(3.0)
 
 #: KPT estimation repetitions (small absolute timings; summed for stability).
 KPT_REPS = 3

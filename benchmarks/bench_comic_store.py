@@ -1,0 +1,119 @@
+"""Com-IC sketch store benchmark: warm mmap serving vs cold rebuild.
+
+The Com-IC baselines RR-SIM+/RR-CIM are the most expensive preprocessing
+in the repository (TIM-scale GAP-aware sample sizes, Fig. 5/6 of the
+paper), which makes them the *best* candidates for the persistent store:
+a saved format-v2 sketch answers seed and adoption-spread queries without
+re-running the forward simulations, the GAP KPT phase or the θ-phase
+sampling.
+
+* **cold_build** — the full RR-SIM+ pipeline through one
+  :class:`~repro.engine.EngineContext` (IMM for the fixed item, forward
+  adopter worlds, GAP KPT + θ phases, greedy selection), persisted, then
+  the query mix.
+* **warm_load** — ``OracleService.open`` on the saved file (memory-mapped)
+  followed by the same query mix.
+
+Gates (local defaults; CI relaxes via ``$REPRO_BENCH_MIN_SPEEDUP``):
+
+* warm load + query at least ``MIN_SPEEDUP`` (default 5x, the acceptance
+  criterion) faster than the cold rebuild;
+* warm answers *identical* to the cold run's (golden equality — the store
+  serves the same arrays, so seeds match byte for byte and spreads are
+  the same float).
+
+Writes ``BENCH_comic_store.json`` at the repository root (plus the usual
+``benchmarks/results`` artifact).
+"""
+
+import json
+import time
+from pathlib import Path
+
+from _bench_utils import min_speedup, record, run_once
+from repro.diffusion.comic import ComICModel
+from repro.engine import EngineContext
+from repro.graph.generators import random_wc_graph
+from repro.store import OracleService, build_comic_store
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_comic_store.json"
+
+#: Minimum warm-over-cold speedup asserted (acceptance: >= 5).
+MIN_SPEEDUP = min_speedup(5.0)
+
+GAP = ComICModel(0.1, 0.4, 0.1, 0.4)
+BUDGET = 10
+FORWARD_WORLDS = 10
+
+
+def _query_mix(service):
+    """The serving workload timed on both paths."""
+    prefixes = [service.seeds(b) for b in range(1, service.max_budget + 1)]
+    spreads = [
+        service.estimate_spread(prefix)
+        for prefix in (prefixes[0], prefixes[-1])
+    ]
+    return prefixes, spreads
+
+
+def _run_comparison():
+    graph = random_wc_graph(2_000, avg_degree=6, seed=47)
+    store_path = REPO_ROOT / "benchmarks" / "results" / "bench_comic.sketch"
+    store_path.parent.mkdir(exist_ok=True)
+
+    t0 = time.perf_counter()
+    store = build_comic_store(
+        graph,
+        GAP,
+        BUDGET,
+        num_forward_worlds=FORWARD_WORLDS,
+        ctx=EngineContext.create(seed=5),
+    )
+    store.save(store_path)
+    cold_answers = _query_mix(OracleService(store, graph))
+    cold_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    warm_service = OracleService.open(store_path, graph)
+    warm_answers = _query_mix(warm_service)
+    warm_s = time.perf_counter() - t0
+
+    golden = cold_answers[0] == warm_answers[0] and cold_answers[1] == warm_answers[1]
+    store_path.unlink(missing_ok=True)
+    return [
+        {
+            "graph": "wc_2k",
+            "nodes": graph.num_nodes,
+            "model": store.model,
+            "rr_sets": store.num_sets,
+            "world_cursor": store.world_cursor,
+            "budget": BUDGET,
+            "cold_build_s": round(cold_s, 3),
+            "warm_load_s": round(warm_s, 3),
+            "warm_speedup": round(cold_s / warm_s, 2),
+            "golden_match": bool(golden),
+        }
+    ]
+
+
+def test_comic_store_speedup(benchmark):
+    rows = run_once(benchmark, _run_comparison)
+    record(
+        "comic_store",
+        rows,
+        header="Com-IC sketch store: cold RR-SIM+ rebuild vs warm mmap load",
+    )
+    JSON_PATH.write_text(json.dumps(rows, indent=2) + "\n")
+
+    for row in rows:
+        # Acceptance gate: warm serving beats a cold rebuild >= MIN_SPEEDUP.
+        assert row["warm_speedup"] >= MIN_SPEEDUP, row
+        # Golden gate: the warm path serves the cold run's exact answers.
+        assert row["golden_match"], row
+
+
+if __name__ == "__main__":
+    results = _run_comparison()
+    print(json.dumps(results, indent=2))
+    JSON_PATH.write_text(json.dumps(results, indent=2) + "\n")

@@ -28,13 +28,12 @@ noise).
 
 import json
 import math
-import os
 import time
 from pathlib import Path
 
 import numpy as np
 
-from _bench_utils import record, run_once
+from _bench_utils import min_speedup, record, run_once
 from repro.diffusion.batch_forward import batch_simulate_ic
 from repro.diffusion.comic import ComICModel, estimate_comic_spread
 from repro.diffusion.ic import estimate_spread
@@ -49,7 +48,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 JSON_PATH = REPO_ROOT / "BENCH_forward_sim.json"
 
 #: Minimum batched-over-sequential speedup asserted on every row.
-MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "3.0"))
+MIN_SPEEDUP = min_speedup(3.0)
 
 #: Monte-Carlo worlds per estimate.
 NUM_WORLDS = 400

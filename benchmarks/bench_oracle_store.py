@@ -31,7 +31,8 @@ import os
 import time
 from pathlib import Path
 
-from _bench_utils import record, run_once
+from _bench_utils import min_speedup, record, run_once
+from repro.engine import EngineContext
 from repro.graph.generators import random_wc_graph
 from repro.store import OracleService, build_sharded, build_store
 
@@ -39,7 +40,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 JSON_PATH = REPO_ROOT / "BENCH_oracle_store.json"
 
 #: Minimum warm-load-over-cold-build speedup asserted (acceptance: >= 10).
-MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "10.0"))
+MIN_SPEEDUP = min_speedup(10.0)
 
 MAX_BUDGET = 20
 RR_SETS = 60_000
@@ -63,7 +64,8 @@ def _run_comparison():
 
     t0 = time.perf_counter()
     store = build_store(
-        graph, MAX_BUDGET, seed=5, estimation_rr_sets=RR_SETS
+        graph, MAX_BUDGET, estimation_rr_sets=RR_SETS,
+        ctx=EngineContext.create(seed=5),
     )
     store.save(store_path)
     cold_service = OracleService(store, graph)
@@ -78,7 +80,7 @@ def _run_comparison():
     t0 = time.perf_counter()
     sharded = build_sharded(
         graph, MAX_BUDGET, num_shards=NUM_SHARDS, processes=NUM_PROCESSES,
-        seed=5, estimation_rr_sets=RR_SETS,
+        estimation_rr_sets=RR_SETS, ctx=EngineContext.create(seed=5),
     )
     sharded_s = time.perf_counter() - t0
 

@@ -22,13 +22,12 @@ quality (same collection distribution, same greedy contract).
 """
 
 import json
-import os
 import time
 from pathlib import Path
 
 import numpy as np
 
-from _bench_utils import record, run_once
+from _bench_utils import min_speedup, record, run_once
 from repro.graph.generators import erdos_renyi, random_wc_graph
 from repro.graph.weighting import fixed_probability
 from repro.rrset.node_selection import node_selection
@@ -43,7 +42,7 @@ RNG_SEED = 17
 #: acceptance criterion; typically 6-10x on a quiet machine); CI sets a
 #: conservative bound via the env knob because wall-clock ratios on shared
 #: runners are noisy.
-MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "5.0"))
+MIN_SPEEDUP = min_speedup(5.0)
 
 
 def _legacy_pipeline(graph, num_sets, k):

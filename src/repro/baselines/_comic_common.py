@@ -17,13 +17,22 @@ Sampling conventions (pinned by tests; see also
   ``j mod |worlds|``; the θ-generation phase continues from the KPT
   phase's offset rather than restarting at world 0, so every world is
   paired with the same expected number of RR sets and the KPT estimate and
-  the θ collection draw from the same mixture distribution.
+  the θ collection draw from the same mixture distribution.  Since the
+  engine refactor the cursor lives on the
+  :class:`~repro.engine.EngineContext` (``ctx.cursor``), which is also how
+  a persisted Com-IC sketch store resumes the pairing exactly where the
+  saved θ phase stopped.
 
 Both the ``sequential`` backend (per-set Python BFS, the historical
 equivalence oracle) and the ``batched`` backend (flat ``(walk, node)``
 frontier arrays with per-world boosted bitmaps) implement these
-conventions; the backend knob follows :func:`repro.rrset.batch.resolve_backend`
-(explicit argument > ``$REPRO_RR_BACKEND`` > batched).
+conventions; the backend is carried by the context (explicit argument >
+``$REPRO_RR_BACKEND`` > batched).
+
+:func:`comic_rr_sketch` exposes the full sampling state
+(:class:`ComicSketchState`) so :mod:`repro.store` can persist GAP sketches
+and extend them transparently; :func:`comic_rr_selection` is the thin
+selection-only wrapper the baselines call.
 """
 
 from __future__ import annotations
@@ -36,6 +45,7 @@ import numpy as np
 
 from repro.diffusion.batch_forward import batch_simulate_comic
 from repro.diffusion.comic import ComICModel, simulate_comic
+from repro.engine import EngineContext, WorldCursor, ensure_context
 from repro.graph.digraph import InfluenceGraph
 from repro.rrset.batch import (
     batch_generate_gap_rr_sets,
@@ -59,6 +69,78 @@ class ComICSeedSelection:
     seeds: Tuple[int, ...]
     num_rr_sets: int
     coverage_fraction: float
+
+
+@dataclass(frozen=True)
+class ComicSketchState:
+    """Everything a Com-IC RIS run produced, in persistable form.
+
+    This is the state :mod:`repro.store` snapshots into a format-v2 sketch
+    store: the θ-phase GAP RR collection as flat CSR arrays, the final
+    forward-world bitmap the walks were paired against, the post-θ world
+    cursor, and the GAP coin parameters — enough to both *serve* the
+    selection warm and *extend* the θ phase as if the run had never been
+    interrupted.
+    """
+
+    seeds: Tuple[int, ...]
+    members: np.ndarray
+    offsets: np.ndarray
+    worlds_bitmap: np.ndarray
+    world_cursor: int
+    q_plain: float
+    q_boosted: float
+    kpt: float
+    kpt_sets: int
+    theta: int
+    covered: int
+
+    @property
+    def coverage_fraction(self) -> float:
+        """``covered / θ`` (empty sets included; unbiased convention)."""
+        return self.covered / self.theta if self.theta else 0.0
+
+    @property
+    def num_rr_sets(self) -> int:
+        """Total RR sets sampled (KPT rounds + θ phase)."""
+        return self.theta + self.kpt_sets
+
+    def selection(self) -> ComICSeedSelection:
+        """The selection-only projection the baselines report."""
+        return ComICSeedSelection(
+            seeds=self.seeds,
+            num_rr_sets=self.num_rr_sets,
+            coverage_fraction=self.coverage_fraction,
+        )
+
+
+def worlds_to_bitmap(
+    worlds: Union[Sequence[Set[int]], np.ndarray], num_nodes: int
+) -> np.ndarray:
+    """Adopter worlds as a ``(max(1, |worlds|), n)`` boolean bitmap.
+
+    Accepts either the sequential forward pass's list of adopter sets or
+    an already-materialized bitmap (returned as bool, at least one row —
+    the zero-row convention of the batched GAP sampler, where an empty
+    world list degrades to a single all-plain world).
+    """
+    if isinstance(worlds, np.ndarray):
+        bitmap = worlds.astype(bool, copy=False)
+        if bitmap.shape[0]:
+            return bitmap
+        return np.zeros((1, num_nodes), dtype=bool)
+    bitmap = np.zeros((max(1, len(worlds)), num_nodes), dtype=bool)
+    for i, world in enumerate(worlds):
+        if world:
+            bitmap[
+                i, np.fromiter(world, dtype=np.int64, count=len(world))
+            ] = True
+    return bitmap
+
+
+def bitmap_to_worlds(bitmap: np.ndarray) -> List[Set[int]]:
+    """Inverse of :func:`worlds_to_bitmap` (for the sequential sampler)."""
+    return [set(np.flatnonzero(row).tolist()) for row in np.asarray(bitmap)]
 
 
 def _forward_adopter_worlds(
@@ -142,10 +224,12 @@ def _gap_rr_set(
 class _GapSampler:
     """Backend-dispatching GAP RR-set source with a persistent world cursor.
 
-    ``used`` counts every RR set drawn so far and doubles as the
-    forward-world pairing cursor: RR set ``j`` is paired with world
-    ``(cursor at phase start + j) mod |worlds|``, monotone across the KPT
-    and θ phases (the module-docstring convention).  ``set_worlds``
+    The cursor (an :class:`repro.engine.WorldCursor`, shared with the
+    engine context when one is supplied) counts every RR set drawn so far
+    and doubles as the forward-world pairing cursor: RR set ``j`` is paired
+    with world ``(cursor at phase start + j) mod |worlds|``, monotone
+    across the KPT and θ phases (the module-docstring convention) *and*
+    across a sketch-store save/load/extend round trip.  ``set_worlds``
     re-points the sampler at a refreshed world list (RR-CIM's extra forward
     pass) without resetting the cursor.
 
@@ -158,19 +242,47 @@ class _GapSampler:
     def __init__(
         self,
         graph: InfluenceGraph,
-        rng: np.random.Generator,
-        q_plain: float,
-        q_boosted: float,
-        backend: str,
+        rng: Optional[np.random.Generator] = None,
+        q_plain: float = 0.0,
+        q_boosted: float = 0.0,
+        backend: Optional[str] = None,
+        *,
+        ctx: Optional[EngineContext] = None,
     ):
+        if ctx is not None:
+            if rng is not None or backend is not None:
+                raise TypeError(
+                    "_GapSampler: pass either ctx= or rng=/backend=, "
+                    "not both"
+                )
+            rng = ctx.rng
+            backend = ctx.backend
+            cursor = ctx.cursor
+        else:
+            if rng is None:
+                rng = np.random.default_rng(0)
+            backend = resolve_backend(backend)
+            cursor = WorldCursor()
         self._graph = graph
         self._rng = rng
         self._q_plain = q_plain
         self._q_boosted = q_boosted
         self.backend = backend
-        self.used = 0
+        self._cursor = cursor
         self._worlds: List[Set[int]] = []
         self._bitmap = np.zeros((1, graph.num_nodes), dtype=bool)
+
+    @property
+    def used(self) -> int:
+        """RR sets drawn so far — the forward-world pairing cursor."""
+        return self._cursor.position
+
+    @property
+    def worlds_bitmap(self) -> np.ndarray:
+        """The installed worlds as a boolean bitmap (persistence hook)."""
+        if self.backend == "batched":
+            return self._bitmap
+        return worlds_to_bitmap(self._worlds, self._graph.num_nodes)
 
     def set_worlds(
         self, worlds: Union[Sequence[Set[int]], np.ndarray]
@@ -188,33 +300,22 @@ class _GapSampler:
                     "bitmap worlds require the batched backend; the "
                     "sequential sampler pairs walks with adopter sets"
                 )
-            n = self._graph.num_nodes
             self._worlds = []
-            if worlds.shape[0]:
-                self._bitmap = worlds.astype(bool, copy=False)
-            else:
-                self._bitmap = np.zeros((1, n), dtype=bool)
+            self._bitmap = worlds_to_bitmap(worlds, self._graph.num_nodes)
             return
         self._worlds = list(worlds)
         if self.backend != "batched":
             return
-        n = self._graph.num_nodes
-        bitmap = np.zeros((max(1, len(self._worlds)), n), dtype=bool)
-        for i, world in enumerate(self._worlds):
-            if world:
-                bitmap[
-                    i,
-                    np.fromiter(world, dtype=np.int64, count=len(world)),
-                ] = True
-        self._bitmap = bitmap
+        self._bitmap = worlds_to_bitmap(
+            self._worlds, self._graph.num_nodes
+        )
 
     def sample(self, count: int) -> Tuple[np.ndarray, np.ndarray]:
         """Draw ``count`` GAP RR sets; returns flat ``(members, lengths)``.
 
         Lengths may be zero (failed root coins).  Advances the cursor.
         """
-        start = self.used
-        self.used += count
+        start = self._cursor.advance(count)
         if self.backend == "batched":
             world_ids = (
                 start + np.arange(count, dtype=np.int64)
@@ -302,7 +403,7 @@ def _estimate_kpt(
     return 1.0, used
 
 
-def comic_rr_selection(
+def comic_rr_sketch(
     graph: InfluenceGraph,
     model: ComICModel,
     select_item: int,
@@ -310,42 +411,37 @@ def comic_rr_selection(
     budget: int,
     epsilon: float,
     ell: float,
-    rng: np.random.Generator,
+    ctx: EngineContext,
     num_forward_worlds: int,
     extra_forward_pass: bool,
-    backend: Optional[str] = None,
-) -> ComICSeedSelection:
-    """Select ``budget`` seeds for ``select_item`` given the other item's.
+) -> ComicSketchState:
+    """Run the full Com-IC RIS pipeline and return its persistable state.
 
-    ``extra_forward_pass`` doubles the forward-simulation effort (RR-CIM's
-    generality tax: it re-estimates the boost after a first selection round).
-
-    ``backend`` picks the GAP sampling path (``sequential`` | ``batched``;
-    ``None`` resolves ``$REPRO_RR_BACKEND``, default batched).  The returned
-    ``coverage_fraction`` divides by the full θ — empty RR sets from failed
-    root adoption coins included — and RR set ``j`` (counting from the first
-    KPT sample) is paired with forward world ``j mod |worlds|``: the θ phase
-    continues from the KPT phase's world cursor instead of restarting at
-    world 0.  See the module docstring for the rationale of both
-    conventions.
+    This is :func:`comic_rr_selection` with the internals exposed: the
+    θ-phase flat arrays, the final worlds bitmap and the post-θ cursor ride
+    along so :mod:`repro.store` can persist the sketch (its extension path
+    rebuilds a :class:`_GapSampler` directly from the persisted state and
+    never re-enters the forward/KPT phases).  ``budget`` must be positive
+    (the selection wrapper handles the trivial cases).
     """
     if budget <= 0:
-        return ComICSeedSelection(seeds=(), num_rr_sets=0, coverage_fraction=0.0)
+        raise ValueError(f"budget must be positive, got {budget}")
     n = graph.num_nodes
     fixed_item = 1 - select_item
     q_plain = model.q(select_item, has_other=False)
     q_boosted = model.q(select_item, has_other=True)
 
-    resolved = resolve_backend(backend)
-    sampler = _GapSampler(graph, rng, q_plain, q_boosted, resolved)
+    sampler = _GapSampler(
+        graph, q_plain=q_plain, q_boosted=q_boosted, ctx=ctx
+    )
     worlds = _forward_adopter_worlds(
         graph,
         model,
         fixed_item,
         fixed_seeds,
         num_forward_worlds,
-        rng,
-        backend=resolved,
+        ctx.rng,
+        backend=ctx.backend,
     )
     sampler.set_worlds(worlds)
     kpt, kpt_sets = _estimate_kpt(graph, budget, ell, sampler)
@@ -358,8 +454,8 @@ def comic_rr_selection(
             fixed_item,
             fixed_seeds,
             num_forward_worlds,
-            rng,
-            backend=resolved,
+            ctx.rng,
+            backend=ctx.backend,
         )
         if isinstance(worlds, np.ndarray):
             worlds = np.concatenate([worlds, refreshed], axis=0)
@@ -377,9 +473,65 @@ def comic_rr_selection(
     seeds, covered_total = greedy_max_coverage(
         n, members, offsets, min(budget, n)
     )
-    fraction = covered_total / theta if theta else 0.0
-    return ComICSeedSelection(
+    return ComicSketchState(
         seeds=tuple(seeds),
-        num_rr_sets=theta + kpt_sets,
-        coverage_fraction=fraction,
+        members=members,
+        offsets=offsets,
+        worlds_bitmap=sampler.worlds_bitmap,
+        world_cursor=sampler.used,
+        q_plain=q_plain,
+        q_boosted=q_boosted,
+        kpt=kpt,
+        kpt_sets=kpt_sets,
+        theta=theta,
+        covered=int(covered_total),
     )
+
+
+def comic_rr_selection(
+    graph: InfluenceGraph,
+    model: ComICModel,
+    select_item: int,
+    fixed_seeds: Sequence[int],
+    budget: int,
+    epsilon: float,
+    ell: float,
+    rng: Optional[np.random.Generator] = None,
+    num_forward_worlds: int = 20,
+    extra_forward_pass: bool = False,
+    backend: Optional[str] = None,
+    *,
+    ctx: Optional[EngineContext] = None,
+) -> ComICSeedSelection:
+    """Select ``budget`` seeds for ``select_item`` given the other item's.
+
+    ``extra_forward_pass`` doubles the forward-simulation effort (RR-CIM's
+    generality tax: it re-estimates the boost after a first selection round).
+
+    The context's backend picks the GAP sampling path (``sequential`` |
+    ``batched``); ``backend=``/``rng=`` are the deprecated loose spellings.
+    The returned ``coverage_fraction`` divides by the full θ — empty RR
+    sets from failed root adoption coins included — and RR set ``j``
+    (counting from the first KPT sample) is paired with forward world
+    ``j mod |worlds|``: the θ phase continues from the KPT phase's world
+    cursor (``ctx.cursor``) instead of restarting at world 0.  See the
+    module docstring for the rationale of both conventions.
+    """
+    ctx = ensure_context(
+        ctx, backend=backend, rng=rng, caller="comic_rr_selection"
+    )
+    if budget <= 0:
+        return ComICSeedSelection(seeds=(), num_rr_sets=0, coverage_fraction=0.0)
+    state = comic_rr_sketch(
+        graph,
+        model,
+        select_item,
+        fixed_seeds,
+        budget,
+        epsilon,
+        ell,
+        ctx,
+        num_forward_worlds,
+        extra_forward_pass,
+    )
+    return state.selection()

@@ -68,7 +68,7 @@ def _fresh_seeds(
     used: Set[int],
     epsilon: float,
     ell: float,
-    rng: Optional[np.random.Generator],
+    ctx,
 ) -> Tuple[List[int], int]:
     """``count`` good seeds disjoint from ``used`` via one IMM call.
 
@@ -76,7 +76,7 @@ def _fresh_seeds(
     ones enough remain; returns (seeds, rr_sets_generated).
     """
     want = min(count + len(used), graph.num_nodes)
-    result = imm(graph, want, epsilon=epsilon, ell=ell, rng=rng)
+    result = imm(graph, want, epsilon=epsilon, ell=ell, ctx=ctx)
     fresh = [v for v in result.seeds if v not in used][:count]
     return fresh, result.num_rr_sets
 
@@ -88,6 +88,8 @@ def bundle_disjoint(
     epsilon: float = 0.5,
     ell: float = 1.0,
     rng: Optional[np.random.Generator] = None,
+    *,
+    ctx=None,
 ) -> BundleDisjointResult:
     """Run bundle-disj.
 
@@ -101,7 +103,9 @@ def bundle_disjoint(
             f"budget vector has {len(budgets_left)} entries for "
             f"{model.num_items} items"
         )
-    rng = rng if rng is not None else np.random.default_rng(0)
+    from repro.engine import ensure_context
+
+    ctx = ensure_context(ctx, rng=rng, caller="bundle_disjoint")
 
     pairs: List[Tuple[int, int]] = []
     bundles: List[Mask] = []
@@ -123,7 +127,7 @@ def bundle_disjoint(
             break
         members = items_of(bundle)
         b_bundle = min(budgets_left[i] for i in members)
-        seeds, rr_sets = _fresh_seeds(graph, b_bundle, used, epsilon, ell, rng)
+        seeds, rr_sets = _fresh_seeds(graph, b_bundle, used, epsilon, ell, ctx)
         imm_calls += 1
         max_rr_sets = max(max_rr_sets, rr_sets)
         if not seeds:
@@ -151,7 +155,7 @@ def bundle_disjoint(
             budgets_left[item] -= len(take)
         if budgets_left[item] > 0:
             seeds, rr_sets = _fresh_seeds(
-                graph, budgets_left[item], used, epsilon, ell, rng
+                graph, budgets_left[item], used, epsilon, ell, ctx
             )
             imm_calls += 1
             max_rr_sets = max(max_rr_sets, rr_sets)

@@ -38,6 +38,8 @@ def item_disjoint(
     epsilon: float = 0.5,
     ell: float = 1.0,
     rng: Optional[np.random.Generator] = None,
+    *,
+    ctx=None,
 ) -> ItemDisjointResult:
     """Run item-disj.
 
@@ -45,13 +47,16 @@ def item_disjoint(
     pool size is capped at the number of nodes; if the graph is smaller than
     ``Σ b_i``, later (smaller-budget) items receive truncated seed sets.
     """
+    from repro.engine import ensure_context
+
+    ctx = ensure_context(ctx, rng=rng, caller="item_disjoint")
     budgets = [int(b) for b in budgets]
     if not budgets:
         raise ValueError("budgets must be non-empty")
     if any(b < 0 for b in budgets):
         raise ValueError(f"budgets must be non-negative: {budgets}")
     total = min(sum(budgets), graph.num_nodes)
-    imm_result = imm(graph, total, epsilon=epsilon, ell=ell, rng=rng)
+    imm_result = imm(graph, total, epsilon=epsilon, ell=ell, ctx=ctx)
     pool = list(imm_result.seeds)
 
     # Visit items in non-increasing budget order; each takes the next b_i

@@ -8,7 +8,7 @@ allocations match RR-SIM+'s; it is simply slower — which is exactly how the
 paper reports it (Fig. 5: RR-CIM is the slowest baseline).
 
 Like :mod:`repro.baselines.rr_sim`, this is a faithful-role reimplementation
-on TIM-scale sample sizes; see DESIGN.md §6.
+on TIM-scale sample sizes; see DESIGN.md §7.
 """
 
 from __future__ import annotations
@@ -21,6 +21,7 @@ import numpy as np
 from repro.baselines._comic_common import ComICSeedSelection, comic_rr_selection
 from repro.core.allocation import Allocation
 from repro.diffusion.comic import ComICModel
+from repro.engine import ensure_context
 from repro.graph.digraph import InfluenceGraph
 from repro.rrset.imm import imm
 
@@ -45,20 +46,21 @@ def rr_cim(
     rng: Optional[np.random.Generator] = None,
     num_forward_worlds: int = 20,
     backend: Optional[str] = None,
+    *,
+    ctx=None,
 ) -> RRCIMResult:
     """Run RR-CIM for two items.
 
     Parameters mirror :func:`repro.baselines.rr_sim.rr_sim_plus` (including
-    the ``backend`` knob for the GAP-aware sampling phases); by default
-    RR-CIM optimizes the *other* item than RR-SIM+ does, matching the paper's
-    setup ("given seed set of item i2 (resp. i1), RR-SIM+ (resp. RR-CIM)
-    finds seed set of item i1 (resp. i2)").
+    the ``ctx`` engine context and its deprecated ``backend=`` spelling);
+    by default RR-CIM optimizes the *other* item than RR-SIM+ does,
+    matching the paper's setup ("given seed set of item i2 (resp. i1),
+    RR-SIM+ (resp. RR-CIM) finds seed set of item i1 (resp. i2)").
     """
-    rng = rng if rng is not None else np.random.default_rng(0)
+    ctx = ensure_context(ctx, backend=backend, rng=rng, caller="rr_cim")
     other_item = 1 - select_item
     seeds_other = imm(
-        graph, budgets[other_item], epsilon=epsilon, ell=ell, rng=rng,
-        backend=backend,
+        graph, budgets[other_item], epsilon=epsilon, ell=ell, ctx=ctx
     ).seeds
     selection: ComICSeedSelection = comic_rr_selection(
         graph=graph,
@@ -68,10 +70,9 @@ def rr_cim(
         budget=budgets[select_item],
         epsilon=epsilon,
         ell=ell,
-        rng=rng,
         num_forward_worlds=num_forward_worlds,
         extra_forward_pass=True,
-        backend=backend,
+        ctx=ctx,
     )
     pairs = [(v, other_item) for v in seeds_other] + [
         (v, select_item) for v in selection.seeds

@@ -12,7 +12,7 @@ TIM-based), which is why these baselines generate over an order of magnitude
 more RR sets than the IMM-based algorithms (Fig. 6).
 
 This is a faithful-role reimplementation (the original C++ is unavailable);
-DESIGN.md §6 records the substitution.  The properties the paper's
+DESIGN.md §7 records the substitution.  The properties the paper's
 experiments rely on — allocations that converge to copying the other item's
 seeds under strongly complementary configurations, TIM-scale sample counts,
 and much slower wall-clock — hold by construction.
@@ -31,6 +31,7 @@ from repro.baselines._comic_common import (
 )
 from repro.core.allocation import Allocation
 from repro.diffusion.comic import ComICModel
+from repro.engine import ensure_context
 from repro.graph.digraph import InfluenceGraph
 from repro.rrset.imm import imm
 
@@ -55,6 +56,8 @@ def rr_sim_plus(
     rng: Optional[np.random.Generator] = None,
     num_forward_worlds: int = 20,
     backend: Optional[str] = None,
+    *,
+    ctx=None,
 ) -> RRSIMResult:
     """Run RR-SIM+ for two items.
 
@@ -71,16 +74,18 @@ def rr_sim_plus(
         Forward Com-IC simulations of the fixed item used to estimate
         per-world adopter sets for the "+" boost.
     backend:
-        RR sampling backend for both the IMM call and the GAP-aware
-        KPT/θ phases: ``"batched"`` (vectorized, default), ``"sequential"``
-        (historical per-set BFS), or ``None`` to resolve
-        ``$REPRO_RR_BACKEND``.
+        Deprecated — RR sampling backend for both the IMM call and the
+        GAP-aware KPT/θ phases: ``"batched"`` (vectorized, default),
+        ``"sequential"`` (historical per-set BFS), or ``None`` to resolve
+        ``$REPRO_RR_BACKEND``.  Pass ``ctx`` instead.
+    ctx:
+        :class:`repro.engine.EngineContext` shared by every phase (IMM,
+        forward worlds, GAP KPT/θ), including the forward-world cursor.
     """
-    rng = rng if rng is not None else np.random.default_rng(0)
+    ctx = ensure_context(ctx, backend=backend, rng=rng, caller="rr_sim_plus")
     other_item = 1 - select_item
     seeds_other = imm(
-        graph, budgets[other_item], epsilon=epsilon, ell=ell, rng=rng,
-        backend=backend,
+        graph, budgets[other_item], epsilon=epsilon, ell=ell, ctx=ctx
     ).seeds
     selection: ComICSeedSelection = comic_rr_selection(
         graph=graph,
@@ -90,10 +95,9 @@ def rr_sim_plus(
         budget=budgets[select_item],
         epsilon=epsilon,
         ell=ell,
-        rng=rng,
         num_forward_worlds=num_forward_worlds,
         extra_forward_pass=False,
-        backend=backend,
+        ctx=ctx,
     )
     pairs = [(v, other_item) for v in seeds_other] + [
         (v, select_item) for v in selection.seeds

@@ -16,9 +16,13 @@ Usage::
     python -m repro oracle query --graph g.txt --store g.sketch \
         --budgets 10 25 --spread --allocate 25 10
     python -m repro oracle extend --graph g.txt --store g.sketch --add 50000
+    # Com-IC (GAP-aware) sketch stores: the RR-SIM+/RR-CIM pipeline
+    # compiled once, served warm, theta-extended cursor-exactly
+    python -m repro oracle build --graph g.txt --store c.sketch \
+        --model comic --max-budget 10 --gap 0.1 0.4 0.1 0.4
 
 Every subcommand prints the regenerated rows in the same shape the paper
-reports.  Scales refer to the dataset stand-ins (DESIGN.md §6).  The engine
+reports.  Scales refer to the dataset stand-ins (DESIGN.md §7).  The engine
 backend is selectable per run (``--rr-backend`` or ``$REPRO_RR_BACKEND``):
 ``batched`` (vectorized, default) or ``sequential`` (the historical
 per-world/per-set Python loops, byte-reproducible against
@@ -26,7 +30,11 @@ pre-vectorization seeds).  The single knob covers every RR-based phase —
 PRIMA/IMM/TIM/SSA sampling, TIM's width-based KPT estimation, the
 GAP-aware Com-IC sampling of RR-SIM+/RR-CIM — *and* every forward
 Monte-Carlo phase: welfare/adoption estimation, Com-IC spread estimation
-and the baselines' forward adopter worlds (DESIGN.md §3).
+and the baselines' forward adopter worlds (DESIGN.md §3).  Internally the
+choice is carried by one :class:`repro.engine.EngineContext` per run
+(DESIGN.md §5) — the CLI exports ``$REPRO_RR_BACKEND`` around each
+subcommand so algorithms without an explicit context argument resolve
+the same backend at context construction.
 """
 
 from __future__ import annotations
@@ -142,8 +150,9 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--ell", type=float, default=1.0)
     build.add_argument("--seed", type=int, default=0, help="RNG seed")
     build.add_argument(
-        "--rr-sets", type=int, default=10_000,
-        help="size θ of the persisted spread-estimation collection",
+        "--rr-sets", type=int, default=None,
+        help="size θ of the persisted spread-estimation collection "
+        "(prima model only; default 10000)",
     )
     build.add_argument(
         "--shards", type=int, default=1,
@@ -156,6 +165,36 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument(
         "--triggering", choices=("ic", "lt"), default=None,
         help="triggering model persisted with the store (default IC)",
+    )
+    build.add_argument(
+        "--model", choices=("prima", "comic"), default="prima",
+        help="sketch model: 'prima' (plain influence oracle) or 'comic' "
+        "(GAP-aware Com-IC sketches via the RR-SIM+/RR-CIM pipeline; "
+        "--max-budget is the selected item's budget)",
+    )
+    build.add_argument(
+        "--gap", type=float, nargs=4, default=(0.1, 0.3, 0.1, 0.3),
+        metavar=("QA0", "QAB", "QB0", "QBA"),
+        help="Com-IC GAP parameters q_A|0 q_A|B q_B|0 q_B|A "
+        "(comic model only)",
+    )
+    build.add_argument(
+        "--select-item", type=int, choices=(0, 1), default=0,
+        help="item whose seeds the comic sketch selects (comic only)",
+    )
+    build.add_argument(
+        "--fixed-budget", type=int, default=None,
+        help="IMM budget for the other item's fixed seeds "
+        "(comic only; default --max-budget)",
+    )
+    build.add_argument(
+        "--forward-worlds", type=int, default=20,
+        help="forward Com-IC worlds estimating the GAP boost (comic only)",
+    )
+    build.add_argument(
+        "--comic-variant", choices=("rr-sim", "rr-cim"), default="rr-sim",
+        help="comic pipeline: rr-sim (RR-SIM+) or rr-cim (extra forward "
+        "pass)",
     )
 
     extend = osub.add_parser(
@@ -402,10 +441,12 @@ def _run(args: argparse.Namespace) -> int:
 
 def _run_oracle(args: argparse.Namespace) -> int:
     """``repro oracle build|extend|query`` — the repro.store serving layer."""
+    from repro.engine import EngineContext
     from repro.graph.io import read_edge_list
     from repro.store import (
         OracleService,
         SketchStore,
+        build_comic_store,
         build_sharded,
         build_store,
         extend_store,
@@ -414,7 +455,43 @@ def _run_oracle(args: argparse.Namespace) -> int:
     graph, _ = read_edge_list(args.graph)
 
     if args.oracle_command == "build":
-        if args.shards > 1:
+        # One context names the whole build: backend resolved once
+        # (explicit flag > $REPRO_RR_BACKEND > batched), seed-rooted
+        # lineage for sharded child streams.
+        ctx = EngineContext.create(backend=args.rr_backend, seed=args.seed)
+        # One resolved default shared by both prima build branches (the
+        # builders' own signature default, spelled once).
+        rr_sets = args.rr_sets if args.rr_sets is not None else 10_000
+        if args.model == "comic":
+            if args.shards > 1:
+                raise SystemExit(
+                    "comic stores build single-stream; drop --shards"
+                )
+            if args.rr_sets is not None:
+                raise SystemExit(
+                    "comic stores persist the GAP θ phase itself; "
+                    "--rr-sets does not apply, drop it"
+                )
+            if args.triggering is not None:
+                raise SystemExit(
+                    "comic stores sample under the Com-IC GAP model; "
+                    "--triggering does not apply, drop it"
+                )
+            from repro.diffusion.comic import ComICModel
+
+            store = build_comic_store(
+                graph,
+                ComICModel(*args.gap),
+                args.max_budget,
+                select_item=args.select_item,
+                fixed_budget=args.fixed_budget,
+                epsilon=args.epsilon,
+                ell=args.ell,
+                num_forward_worlds=args.forward_worlds,
+                extra_forward_pass=args.comic_variant == "rr-cim",
+                ctx=ctx,
+            )
+        elif args.shards > 1:
             store = build_sharded(
                 graph,
                 args.max_budget,
@@ -422,10 +499,9 @@ def _run_oracle(args: argparse.Namespace) -> int:
                 processes=args.processes,
                 epsilon=args.epsilon,
                 ell=args.ell,
-                seed=args.seed,
-                estimation_rr_sets=args.rr_sets,
+                estimation_rr_sets=rr_sets,
                 triggering=args.triggering,
-                backend=args.rr_backend,
+                ctx=ctx,
             )
         else:
             store = build_store(
@@ -433,14 +509,13 @@ def _run_oracle(args: argparse.Namespace) -> int:
                 args.max_budget,
                 epsilon=args.epsilon,
                 ell=args.ell,
-                seed=args.seed,
-                estimation_rr_sets=args.rr_sets,
+                estimation_rr_sets=rr_sets,
                 triggering=args.triggering,
-                backend=args.rr_backend,
+                ctx=ctx,
             )
         store.save(args.store)
         print(
-            f"built {args.store}: n={store.num_nodes} "
+            f"built {args.store}: model={store.model} n={store.num_nodes} "
             f"max_budget={store.max_budget} rr_sets={store.num_sets} "
             f"total_width={store.total_width} "
             f"fingerprint={store.fingerprint[:16]}"
@@ -449,7 +524,11 @@ def _run_oracle(args: argparse.Namespace) -> int:
 
     if args.oracle_command == "extend":
         store = SketchStore.load(args.store, mmap=False)
-        extended = extend_store(store, graph, args.add, backend=args.rr_backend)
+        # No context here: an extension's execution state is the
+        # persisted one; --rr-backend is the explicit override knob.
+        extended = extend_store(
+            store, graph, args.add, backend=args.rr_backend
+        )
         extended.save(args.store)
         print(
             f"extended {args.store}: rr_sets {store.num_sets} -> "
@@ -467,6 +546,11 @@ def _run_oracle(args: argparse.Namespace) -> int:
             if args.spread:
                 print(f"spread[{budget}] = {service.estimate_spread(seeds):.3f}")
         if args.allocate is not None:
+            if service.model != "prima":
+                raise SystemExit(
+                    "bundleGRD allocation needs a PRIMA store; this is a "
+                    f"{service.model!r} store (seed/spread queries only)"
+                )
             result = service.allocate(args.allocate)
             for item, budget in enumerate(args.allocate):
                 nodes = sorted(result.allocation.seeds_of_item(item))

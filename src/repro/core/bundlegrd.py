@@ -47,6 +47,8 @@ def bundle_grd(
     rng: Optional[np.random.Generator] = None,
     seed_order: Optional[Sequence[int]] = None,
     triggering=None,
+    *,
+    ctx=None,
 ) -> BundleGRDResult:
     """Run bundleGRD (Algorithm 1).
 
@@ -80,6 +82,11 @@ def bundle_grd(
     BundleGRDResult
         The allocation 𝒮: item ``i`` seeded on the top ``b_i`` nodes.
     """
+    from repro.engine import ensure_context
+
+    ctx = ensure_context(
+        ctx, rng=rng, triggering=triggering, caller="bundle_grd"
+    )
     budgets = [int(b) for b in budgets]
     if not budgets:
         raise ValueError("budgets must be non-empty")
@@ -111,10 +118,7 @@ def bundle_grd(
             ell=ell,
         )
     else:
-        prima_result = prima(
-            graph, budgets, epsilon=epsilon, ell=ell, rng=rng,
-            triggering=triggering,
-        )
+        prima_result = prima(graph, budgets, epsilon=epsilon, ell=ell, ctx=ctx)
         order = prima_result.seeds
 
     pairs = [

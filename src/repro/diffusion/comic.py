@@ -169,6 +169,8 @@ def estimate_comic_spread(
     num_samples: int = 200,
     rng: Optional[object] = None,
     backend: Optional[str] = None,
+    *,
+    ctx=None,
 ) -> float:
     """MC estimate of the expected number of adopters of ``item``.
 
@@ -180,37 +182,31 @@ def estimate_comic_spread(
     root.  Either way a CLI-supplied integer names one reproducible
     estimate per backend.
 
-    ``backend`` picks the forward engine (``sequential`` — one
+    The context's backend picks the forward engine (``sequential`` — one
     :func:`simulate_comic` per world, the historical byte-identical path
     when handed a ``Generator`` — or ``batched`` —
     :func:`repro.diffusion.batch_forward.batch_simulate_comic`, all worlds
-    at once); ``None`` resolves ``$REPRO_RR_BACKEND``, default batched.
+    at once); ``backend=`` is the deprecated loose spelling.
     """
-    from repro.diffusion.batch_forward import (
-        as_generator,
-        batch_simulate_comic,
-        spawn_world_rngs,
-    )
-    from repro.rrset.batch import resolve_backend
+    from repro.diffusion.batch_forward import batch_simulate_comic
+    from repro.engine import ensure_context
 
     if num_samples <= 0:
         raise ValueError(f"num_samples must be positive, got {num_samples}")
-    if resolve_backend(backend) == "batched":
+    ctx = ensure_context(
+        ctx, backend=backend, rng=rng, caller="estimate_comic_spread"
+    )
+    if ctx.backend == "batched":
         result = batch_simulate_comic(
-            graph, model, seeds_a, seeds_b, num_samples, as_generator(rng)
+            graph, model, seeds_a, seeds_b, num_samples, ctx.rng
         )
         return float(result.adopter_counts(item).mean())
-    if isinstance(rng, (int, np.integer)):
-        total = 0
-        for world_rng in spawn_world_rngs(int(rng), num_samples):
-            result = simulate_comic(
-                graph, model, seeds_a, seeds_b, world_rng
-            )
-            total += len(result.adopters_of(item))
-        return total / num_samples
-    rng = rng if rng is not None else np.random.default_rng(0)
+    world_rngs = (
+        ctx.spawn_generators(num_samples) if ctx.has_lineage else None
+    )
     total = 0
-    for _ in range(num_samples):
-        result = simulate_comic(graph, model, seeds_a, seeds_b, rng)
+    for i in range(num_samples):
+        world_rng = world_rngs[i] if world_rngs is not None else ctx.rng
+        result = simulate_comic(graph, model, seeds_a, seeds_b, world_rng)
         total += len(result.adopters_of(item))
     return total / num_samples

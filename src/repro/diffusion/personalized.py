@@ -132,12 +132,14 @@ def estimate_welfare_personalized(
     model: UtilityModel,
     allocation: Iterable[Tuple[int, int]],
     num_samples: int = 200,
-    rng: Optional[np.random.Generator] = None,
+    rng=None,
     backend: Optional[str] = None,
+    *,
+    ctx=None,
 ) -> float:
     """MC estimate of expected welfare under personalized noise.
 
-    ``backend`` follows the engine convention (explicit >
+    The context's backend follows the engine convention (explicit >
     ``$REPRO_RR_BACKEND`` > batched): the batched path runs all worlds at
     once through :func:`repro.diffusion.batch_forward.
     batch_simulate_uic_personalized` — per-(world, node) noise sampled
@@ -145,10 +147,18 @@ def estimate_welfare_personalized(
     statistically equivalent to the sequential per-world loop, which
     remains the byte-identical historical path.  Item universes beyond
     ``MAX_BATCH_ITEMS`` fall back to sequential with a ``UserWarning``.
+
+    ``rng`` may be a ``Generator``, an integer seed (expanded through
+    ``SeedSequence`` — sequential worlds draw from independent per-world
+    child streams), or ``None`` (the historical seed-0 stream).
     """
     if num_samples <= 0:
         raise ValueError(f"num_samples must be positive, got {num_samples}")
-    rng = rng if rng is not None else np.random.default_rng(0)
+    from repro.engine import ensure_context
+
+    ctx = ensure_context(
+        ctx, backend=backend, rng=rng, caller="estimate_welfare_personalized"
+    )
     allocation = list(allocation)
 
     from repro.diffusion.batch_forward import (
@@ -156,16 +166,21 @@ def estimate_welfare_personalized(
         batch_simulate_uic_personalized,
         warn_uic_item_cap_fallback,
     )
-    from repro.rrset.batch import resolve_backend
 
-    if resolve_backend(backend) == "batched":
+    if ctx.backend == "batched":
         if model.num_items <= MAX_BATCH_ITEMS:
             welfare = batch_simulate_uic_personalized(
-                graph, model, allocation, num_samples, rng
+                graph, model, allocation, num_samples, ctx.rng
             )
             return float(welfare.mean())
         warn_uic_item_cap_fallback(model)
+    world_rngs = (
+        ctx.spawn_generators(num_samples) if ctx.has_lineage else None
+    )
     total = 0.0
-    for _ in range(num_samples):
-        total += simulate_uic_personalized(graph, model, allocation, rng).welfare
+    for i in range(num_samples):
+        world_rng = world_rngs[i] if world_rngs is not None else ctx.rng
+        total += simulate_uic_personalized(
+            graph, model, allocation, world_rng
+        ).welfare
     return total / num_samples

@@ -4,6 +4,13 @@ The expected social welfare of an allocation is
 ``ρ(𝒮) = E_{W^E}[E_{W^N}[ρ_W(𝒮)]]`` (§4.1.1); both expectations are estimated
 jointly by sampling full possible worlds.  A fixed noise world can be supplied
 to estimate ``ρ_{W^N}(𝒮)`` (the quantity the block-accounting analysis fixes).
+
+Both estimators accept the unified :class:`repro.engine.EngineContext`
+(``ctx=``); the legacy ``rng=``/``backend=`` kwargs keep working through
+the deprecation adapter.  ``rng`` may also be a plain integer seed — it is
+expanded through ``SeedSequence`` so that on the sequential engine each
+world draws from its own spawned child stream (world ``i`` depends only on
+``(seed, i)``), matching :func:`repro.diffusion.comic.estimate_comic_spread`.
 """
 
 from __future__ import annotations
@@ -19,21 +26,12 @@ from repro.diffusion.batch_forward import (
     supports_batched_uic,
     warn_uic_item_cap_fallback,
 )
-from repro.diffusion.triggering import (
-    resolve_triggering,
-    sample_triggering_world,
-)
+from repro.diffusion.triggering import sample_triggering_world
 from repro.diffusion.uic import simulate_uic
+from repro.engine import ensure_context
 from repro.graph.digraph import InfluenceGraph
 from repro.utility.model import UtilityModel
 from repro.utility.noise import NoiseWorld
-
-
-def _resolve_forward_backend(backend: Optional[str]) -> str:
-    """Backend resolution for the forward estimators (single engine knob)."""
-    from repro.rrset.batch import resolve_backend
-
-    return resolve_backend(backend)
 
 
 @dataclass(frozen=True)
@@ -54,10 +52,12 @@ def estimate_welfare(
     model: UtilityModel,
     allocation: Iterable[Tuple[int, int]],
     num_samples: int = 200,
-    rng: Optional[np.random.Generator] = None,
+    rng=None,
     noise_world: Optional[NoiseWorld] = None,
     triggering=None,
     backend: Optional[str] = None,
+    *,
+    ctx=None,
 ) -> WelfareEstimate:
     """Estimate ``ρ(𝒮)`` by simulating ``num_samples`` possible worlds.
 
@@ -66,24 +66,33 @@ def estimate_welfare(
     (``"lt"``, ``"ic"`` or a TriggeringModel), edge worlds are sampled from
     that triggering model instead of the IC fast path — the §5 extension.
 
-    ``backend`` picks the forward engine (``sequential`` | ``batched``;
-    ``None`` resolves ``$REPRO_RR_BACKEND``, default batched).  The batched
-    engine advances all worlds at once
-    (:func:`repro.diffusion.batch_forward.batch_simulate_uic`) whenever the
-    (model, triggering) pair is vectorizable — at most
+    The context's backend picks the forward engine (``sequential`` |
+    ``batched``; default batched).  The batched engine advances all worlds
+    at once (:func:`repro.diffusion.batch_forward.batch_simulate_uic`)
+    whenever the (model, triggering) pair is vectorizable — at most
     :data:`~repro.diffusion.batch_forward.MAX_BATCH_ITEMS` items, and a
     triggering model with an explicit trigger distribution (IC/LT/any
     ``DistributionTriggering``); other pairs fall back to the sequential
     per-world loop, which is also the byte-identical historical path.
+
+    ``rng`` may be a ``Generator``, an integer seed (expanded through
+    ``SeedSequence`` — sequential worlds draw from independent per-world
+    child streams), or ``None`` (the historical seed-0 stream).
     """
     if num_samples <= 0:
         raise ValueError(f"num_samples must be positive, got {num_samples}")
-    rng = rng if rng is not None else np.random.default_rng(0)
-    trig_model = resolve_triggering(triggering) if triggering is not None else None
+    ctx = ensure_context(
+        ctx,
+        backend=backend,
+        rng=rng,
+        triggering=triggering,
+        caller="estimate_welfare",
+    )
+    trig_model = ctx.triggering
     if trig_model is not None:
         trig_model.validate(graph)
     allocation = list(allocation)
-    batched = _resolve_forward_backend(backend) == "batched"
+    batched = ctx.backend == "batched"
     supported = supports_batched_uic(model, trig_model)
     if batched and not supported:
         warn_uic_item_cap_fallback(model)
@@ -93,20 +102,24 @@ def estimate_welfare(
             model,
             allocation,
             num_samples,
-            rng,
+            ctx.rng,
             noise_world=noise_world,
             triggering=trig_model,
         ).welfare
     else:
+        world_rngs = (
+            ctx.spawn_generators(num_samples) if ctx.has_lineage else None
+        )
         values = np.empty(num_samples, dtype=np.float64)
         for i in range(num_samples):
+            world_rng = world_rngs[i] if world_rngs is not None else ctx.rng
             edge_world = (
-                sample_triggering_world(graph, trig_model, rng)
+                sample_triggering_world(graph, trig_model, world_rng)
                 if trig_model is not None
                 else None
             )
             result = simulate_uic(
-                graph, model, allocation, rng, noise_world=noise_world,
+                graph, model, allocation, world_rng, noise_world=noise_world,
                 edge_world=edge_world,
             )
             values[i] = result.welfare
@@ -120,31 +133,42 @@ def estimate_adoption(
     model: UtilityModel,
     allocation: Iterable[Tuple[int, int]],
     num_samples: int = 200,
-    rng: Optional[np.random.Generator] = None,
+    rng=None,
     item: Optional[int] = None,
     backend: Optional[str] = None,
+    *,
+    ctx=None,
 ) -> WelfareEstimate:
     """Estimate expected adoptions (all items, or one item's adopter count).
 
     This is the σ-style objective the multi-item IM baselines optimize; the
-    paper contrasts it with welfare.  ``backend`` follows
-    :func:`estimate_welfare`'s forward-engine convention.
+    paper contrasts it with welfare.  ``ctx``/``backend``/``rng`` follow
+    :func:`estimate_welfare`'s conventions, including integer seeds via
+    ``SeedSequence`` children.
     """
     if num_samples <= 0:
         raise ValueError(f"num_samples must be positive, got {num_samples}")
-    rng = rng if rng is not None else np.random.default_rng(0)
+    ctx = ensure_context(
+        ctx, backend=backend, rng=rng, caller="estimate_adoption"
+    )
     allocation = list(allocation)
-    batched = _resolve_forward_backend(backend) == "batched"
+    batched = ctx.backend == "batched"
     supported = supports_batched_uic(model, None)
     if batched and not supported:
         warn_uic_item_cap_fallback(model)
     if batched and supported:
-        result = batch_simulate_uic(graph, model, allocation, num_samples, rng)
+        result = batch_simulate_uic(
+            graph, model, allocation, num_samples, ctx.rng
+        )
         values = result.adopter_counts(item).astype(np.float64)
     else:
+        world_rngs = (
+            ctx.spawn_generators(num_samples) if ctx.has_lineage else None
+        )
         values = np.empty(num_samples, dtype=np.float64)
         for i in range(num_samples):
-            result = simulate_uic(graph, model, allocation, rng)
+            world_rng = world_rngs[i] if world_rngs is not None else ctx.rng
+            result = simulate_uic(graph, model, allocation, world_rng)
             if item is None:
                 values[i] = result.total_adoptions()
             else:

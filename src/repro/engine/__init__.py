@@ -1,0 +1,21 @@
+"""Unified execution context shared by every engine layer (DESIGN.md §5)."""
+
+from repro.engine.context import (
+    BACKEND_ENV,
+    BACKENDS,
+    DEPRECATION_MESSAGE,
+    EngineContext,
+    WorldCursor,
+    ensure_context,
+    resolve_backend,
+)
+
+__all__ = [
+    "BACKEND_ENV",
+    "BACKENDS",
+    "DEPRECATION_MESSAGE",
+    "EngineContext",
+    "WorldCursor",
+    "ensure_context",
+    "resolve_backend",
+]

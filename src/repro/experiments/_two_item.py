@@ -19,6 +19,7 @@ from repro.baselines.rr_cim import rr_cim
 from repro.baselines.rr_sim import rr_sim_plus
 from repro.core.bundlegrd import bundle_grd
 from repro.diffusion.welfare import estimate_welfare
+from repro.engine import EngineContext, ensure_context
 from repro.experiments.configs import TwoItemConfig, two_item_config
 from repro.experiments.runner import stopwatch
 from repro.graph import datasets
@@ -59,6 +60,7 @@ def run_two_item_experiment(
     comic_forward_worlds: int = 10,
     graph: Optional[InfluenceGraph] = None,
     backend: Optional[str] = None,
+    ctx: Optional[EngineContext] = None,
 ) -> List[TwoItemRun]:
     """Run the two-item sweep for one Table 3 configuration.
 
@@ -76,18 +78,25 @@ def run_two_item_experiment(
     num_samples:
         MC samples per welfare estimate.
     backend:
-        Engine backend (``sequential`` | ``batched``) for the phases with
-        an explicit knob: the Com-IC baselines' RR/forward sampling and the
-        welfare evaluation.  ``None`` resolves ``$REPRO_RR_BACKEND``
-        (default batched) — the same switch the remaining RIS algorithms
-        read internally, so the CLI's ``--rr-backend`` reconfigures the
-        whole run.
+        Deprecated — engine backend (``sequential`` | ``batched``); pass
+        ``ctx`` instead.  ``None`` resolves ``$REPRO_RR_BACKEND`` (default
+        batched) — the same switch every algorithm reads at context
+        construction, so the CLI's ``--rr-backend`` reconfigures the whole
+        run.
+    ctx:
+        Policy :class:`repro.engine.EngineContext`: its backend (and
+        triggering) apply to every algorithm run; each (algorithm, budget)
+        pair still derives a fresh RNG stream from ``seed`` via
+        ``ctx.with_stream``, so runs stay independent and reproducible.
 
     Returns
     -------
     list of TwoItemRun
         One entry per (algorithm, budget vector).
     """
+    policy = ensure_context(
+        ctx, backend=backend, caller="run_two_item_experiment"
+    )
     unknown = set(algorithms) - set(TWO_ITEM_ALGORITHMS)
     if unknown:
         raise ValueError(f"unknown algorithms: {sorted(unknown)}")
@@ -102,16 +111,18 @@ def run_two_item_experiment(
         budgets = (int(budgets[0]), int(budgets[1]))
         for algorithm in algorithms:
             timing: Dict[str, float] = {}
-            rng = np.random.default_rng(seed)
+            run_ctx = policy.with_stream(rng=np.random.default_rng(seed))
             with stopwatch(timing):
                 if algorithm == "bundleGRD":
                     result = bundle_grd(
-                        graph, list(budgets), epsilon=epsilon, ell=ell, rng=rng
+                        graph, list(budgets), epsilon=epsilon, ell=ell,
+                        ctx=run_ctx,
                     )
                     allocation, rr_sets = result.allocation, result.num_rr_sets
                 elif algorithm == "item-disj":
                     result = item_disjoint(
-                        graph, list(budgets), epsilon=epsilon, ell=ell, rng=rng
+                        graph, list(budgets), epsilon=epsilon, ell=ell,
+                        ctx=run_ctx,
                     )
                     allocation, rr_sets = result.allocation, result.num_rr_sets
                 elif algorithm == "bundle-disj":
@@ -121,7 +132,7 @@ def run_two_item_experiment(
                         list(budgets),
                         epsilon=epsilon,
                         ell=ell,
-                        rng=rng,
+                        ctx=run_ctx,
                     )
                     allocation, rr_sets = result.allocation, result.num_rr_sets
                 elif algorithm == "RR-SIM+":
@@ -131,9 +142,8 @@ def run_two_item_experiment(
                         budgets,
                         epsilon=epsilon,
                         ell=ell,
-                        rng=rng,
                         num_forward_worlds=comic_forward_worlds,
-                        backend=backend,
+                        ctx=run_ctx,
                     )
                     allocation, rr_sets = result.allocation, result.num_rr_sets
                 else:  # RR-CIM
@@ -143,9 +153,8 @@ def run_two_item_experiment(
                         budgets,
                         epsilon=epsilon,
                         ell=ell,
-                        rng=rng,
                         num_forward_worlds=comic_forward_worlds,
-                        backend=backend,
+                        ctx=run_ctx,
                     )
                     allocation, rr_sets = result.allocation, result.num_rr_sets
             welfare = estimate_welfare(
@@ -153,8 +162,7 @@ def run_two_item_experiment(
                 config.model,
                 allocation,
                 num_samples=num_samples,
-                rng=np.random.default_rng(seed + 1),
-                backend=backend,
+                ctx=policy.with_stream(rng=np.random.default_rng(seed + 1)),
             )
             runs.append(
                 TwoItemRun(

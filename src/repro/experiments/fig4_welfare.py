@@ -35,11 +35,13 @@ def run_fig4(
     seed: int = 0,
     graph: Optional[InfluenceGraph] = None,
     backend: Optional[str] = None,
+    ctx=None,
 ) -> List[TwoItemRun]:
     """Regenerate one panel of Fig. 4 (configs 1–4 → panels a–d).
 
-    ``backend`` selects the engine backend for the Com-IC baselines and
-    the welfare evaluation (``None`` resolves ``$REPRO_RR_BACKEND``).
+    ``ctx`` (or the deprecated ``backend=``) selects the engine backend
+    for every algorithm and the welfare evaluation (``None`` resolves
+    ``$REPRO_RR_BACKEND``).
     """
     return run_two_item_experiment(
         config_id=config_id,
@@ -51,6 +53,7 @@ def run_fig4(
         seed=seed,
         graph=graph,
         backend=backend,
+        ctx=ctx,
     )
 
 

@@ -40,11 +40,13 @@ def run_fig5(
     seed: int = 0,
     comic_networks: Sequence[str] = COMIC_NETWORKS,
     backend: Optional[str] = None,
+    ctx=None,
 ) -> Dict[str, List[TwoItemRun]]:
     """Regenerate the four panels of Fig. 5 (config 1, times per network).
 
-    ``backend`` selects the engine backend for the Com-IC baselines and
-    the welfare evaluation (``None`` resolves ``$REPRO_RR_BACKEND``).
+    ``ctx`` (or the deprecated ``backend=``) selects the engine backend
+    for every algorithm and the welfare evaluation (``None`` resolves
+    ``$REPRO_RR_BACKEND``).
     """
     if budget_vectors is None:
         budget_vectors = [(10, 10), (30, 30), (50, 50)]
@@ -64,6 +66,7 @@ def run_fig5(
             num_samples=num_samples,
             seed=seed,
             backend=backend,
+            ctx=ctx,
         )
     return panels
 

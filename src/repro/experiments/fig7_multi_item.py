@@ -51,13 +51,17 @@ def run_fig7(
     seed: int = 0,
     graph: Optional[InfluenceGraph] = None,
     backend: Optional[str] = None,
+    ctx=None,
 ) -> List[MultiItemRun]:
     """Regenerate one panel of Fig. 7 (configs 5–8 → panels a–d).
 
-    ``backend`` selects the forward engine for the welfare evaluation
-    (``None`` resolves ``$REPRO_RR_BACKEND``; the seed-selection
-    algorithms read the same switch internally).
+    ``ctx`` (or the deprecated ``backend=``) selects the engine backend
+    for the seed-selection algorithms and the welfare evaluation
+    (``None`` resolves ``$REPRO_RR_BACKEND``).
     """
+    from repro.engine import ensure_context
+
+    policy = ensure_context(ctx, backend=backend, caller="run_fig7")
     unknown = set(algorithms) - set(MULTI_ITEM_ALGORITHMS)
     if unknown:
         raise ValueError(f"unknown algorithms: {sorted(unknown)}")
@@ -70,15 +74,15 @@ def run_fig7(
         )
         for algorithm in algorithms:
             timing: Dict[str, float] = {}
-            rng = np.random.default_rng(seed)
+            run_ctx = policy.with_stream(rng=np.random.default_rng(seed))
             with stopwatch(timing):
                 if algorithm == "bundleGRD":
                     allocation = bundle_grd(
-                        graph, budgets, epsilon=epsilon, ell=ell, rng=rng
+                        graph, budgets, epsilon=epsilon, ell=ell, ctx=run_ctx
                     ).allocation
                 elif algorithm == "item-disj":
                     allocation = item_disjoint(
-                        graph, budgets, epsilon=epsilon, ell=ell, rng=rng
+                        graph, budgets, epsilon=epsilon, ell=ell, ctx=run_ctx
                     ).allocation
                 else:
                     allocation = bundle_disjoint(
@@ -87,15 +91,14 @@ def run_fig7(
                         budgets,
                         epsilon=epsilon,
                         ell=ell,
-                        rng=rng,
+                        ctx=run_ctx,
                     ).allocation
             welfare = estimate_welfare(
                 graph,
                 config.model,
                 allocation,
                 num_samples=num_samples,
-                rng=np.random.default_rng(seed + 1),
-                backend=backend,
+                ctx=policy.with_stream(rng=np.random.default_rng(seed + 1)),
             )
             runs.append(
                 MultiItemRun(

@@ -54,11 +54,11 @@ which).
 
 from __future__ import annotations
 
-import os
 from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.engine.context import BACKEND_ENV, BACKENDS, resolve_backend
 from repro.diffusion.triggering import (
     IndependentCascadeTriggering,
     LinearThresholdTriggering,
@@ -85,25 +85,11 @@ __all__ = [
     "supports_batched",
 ]
 
-#: Environment variable naming the default RR-set backend.
-BACKEND_ENV = "REPRO_RR_BACKEND"
-
-#: Recognized backend names.
-BACKENDS = ("sequential", "batched")
+# BACKEND_ENV / BACKENDS / resolve_backend live in repro.engine.context
+# since the EngineContext refactor; re-exported here for compatibility.
 
 #: Upper bound on the per-chunk visited bitmap (cells = walks × nodes).
 _TARGET_CELLS = 1 << 25  # 32M bools ≈ 32 MB
-
-
-def resolve_backend(backend: Optional[str] = None) -> str:
-    """Resolve a backend name: explicit > ``$REPRO_RR_BACKEND`` > batched."""
-    if backend is None:
-        backend = os.environ.get(BACKEND_ENV) or "batched"
-    if backend not in BACKENDS:
-        raise ValueError(
-            f"unknown RR backend {backend!r}; expected one of {BACKENDS}"
-        )
-    return backend
 
 
 def supports_batched(triggering: Optional[TriggeringModel]) -> bool:

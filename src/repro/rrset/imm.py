@@ -14,6 +14,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.engine import ensure_context
 from repro.graph.digraph import InfluenceGraph
 from repro.rrset.prima import PRIMAResult, prima
 
@@ -39,22 +40,26 @@ def imm(
     ell_prime: Optional[float] = None,
     triggering=None,
     backend: Optional[str] = None,
+    *,
+    ctx=None,
 ) -> IMMResult:
     """Select ``k`` seeds with IMM.
 
-    Parameters mirror :func:`repro.rrset.prima.prima`; ``ell_prime`` lets the
+    Parameters mirror :func:`repro.rrset.prima.prima` (including the
+    ``ctx`` spelling of the engine context); ``ell_prime`` lets the
     Table 6 experiment align IMM's failure-probability bookkeeping with
     PRIMA's so the RR-set counts are directly comparable.
     """
+    ctx = ensure_context(
+        ctx, backend=backend, rng=rng, triggering=triggering, caller="imm"
+    )
     result: PRIMAResult = prima(
         graph,
         [k],
         epsilon=epsilon,
         ell=ell,
-        rng=rng,
         ell_prime=ell_prime,
-        triggering=triggering,
-        backend=backend,
+        ctx=ctx,
     )
     return IMMResult(
         seeds=result.seeds,
@@ -72,10 +77,13 @@ def imm_seed_pool(
     epsilon: float = 0.5,
     ell: float = 1.0,
     rng: Optional[np.random.Generator] = None,
+    *,
+    ctx=None,
 ) -> Tuple[int, ...]:
     """Ordered pool of ``total_seeds`` nodes from a single IMM invocation.
 
     The item-disj baseline asks IMM for ``Σ_i b_i`` nodes at once and then
     carves the pool up across items; this helper is that call.
     """
-    return imm(graph, total_seeds, epsilon=epsilon, ell=ell, rng=rng).seeds
+    ctx = ensure_context(ctx, rng=rng, caller="imm_seed_pool")
+    return imm(graph, total_seeds, epsilon=epsilon, ell=ell, ctx=ctx).seeds

@@ -26,6 +26,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.engine import ensure_context
 from repro.graph.digraph import InfluenceGraph
 from repro.rrset.prima import PRIMAResult, prima
 from repro.rrset.rrgen import RRCollection
@@ -61,12 +62,22 @@ class InfluenceOracle:
         estimation_rr_sets: int = 10_000,
         triggering=None,
         backend: Optional[str] = None,
+        *,
+        ctx=None,
     ):
         if max_budget <= 0:
             raise ValueError(f"max_budget must be positive, got {max_budget}")
-        rng = rng if rng is not None else np.random.default_rng(0)
+        ctx = ensure_context(
+            ctx,
+            backend=backend,
+            rng=rng,
+            triggering=triggering,
+            caller="InfluenceOracle",
+        )
         self._graph = graph
-        self._triggering = triggering
+        self._triggering = (
+            triggering if triggering is not None else ctx.triggering
+        )
         self._max_budget = min(max_budget, graph.num_nodes)
         budget_vector = list(range(self._max_budget, 0, -1))
         self._prima: PRIMAResult = prima(
@@ -74,16 +85,9 @@ class InfluenceOracle:
             budget_vector,
             epsilon=epsilon,
             ell=ell,
-            rng=rng,
-            triggering=triggering,
-            backend=backend,
+            ctx=ctx,
         )
-        from repro.diffusion.triggering import resolve_triggering
-
-        trig = resolve_triggering(triggering) if triggering is not None else None
-        self._estimator = RRCollection(
-            graph, rng, triggering=trig, backend=backend
-        )
+        self._estimator = RRCollection(graph, ctx=ctx)
         self._estimator.extend_to(int(estimation_rr_sets))
 
     # ------------------------------------------------------------------

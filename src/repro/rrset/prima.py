@@ -25,7 +25,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.diffusion.triggering import resolve_triggering
+from repro.engine import ensure_context
 from repro.graph.digraph import InfluenceGraph
 from repro.rrset.bounds import SampleBounds, adjusted_ell, ell_prime_for
 from repro.rrset.node_selection import node_selection
@@ -70,6 +70,8 @@ def prima(
     ell_prime: Optional[float] = None,
     triggering=None,
     backend: Optional[str] = None,
+    *,
+    ctx=None,
 ) -> PRIMAResult:
     """Run PRIMA (Algorithm 2 of the paper).
 
@@ -93,16 +95,24 @@ def prima(
         :class:`~repro.diffusion.triggering.TriggeringModel` — the paper's
         results carry over to any triggering model (§5).
     backend:
-        RR sampling backend: ``"batched"`` (vectorized, default),
-        ``"sequential"`` (historical per-set BFS; byte-identical seeds to
-        the pre-vectorization implementation for a fixed RNG seed), or
-        ``None`` to resolve from ``$REPRO_RR_BACKEND``.
+        Deprecated — RR sampling backend: ``"batched"`` (vectorized,
+        default), ``"sequential"`` (historical per-set BFS; byte-identical
+        seeds to the pre-vectorization implementation for a fixed RNG
+        seed), or ``None`` to resolve from ``$REPRO_RR_BACKEND``.  Pass
+        ``ctx`` instead.
+    ctx:
+        :class:`repro.engine.EngineContext` carrying backend, RNG lineage
+        and triggering in one object; mutually exclusive with the legacy
+        ``rng``/``backend`` kwargs.
 
     Returns
     -------
     PRIMAResult
         Ordered seeds of size ``max(budgets)`` plus sampling statistics.
     """
+    ctx = ensure_context(
+        ctx, backend=backend, rng=rng, triggering=triggering, caller="prima"
+    )
     if not budgets:
         raise ValueError("budgets must be non-empty")
     sorted_budgets = sorted((int(b) for b in budgets), reverse=True)
@@ -123,18 +133,13 @@ def prima(
             epsilon=epsilon,
             ell=ell,
         )
-    rng = rng if rng is not None else np.random.default_rng(0)
-
     lifted_ell = adjusted_ell(ell, n)
     if ell_prime is None:
         ell_prime = ell_prime_for(lifted_ell, n, len(sorted_budgets))
     bounds = SampleBounds(n=n, epsilon=epsilon, ell_prime=ell_prime)
     eps_prime = bounds.epsilon_prime
 
-    trig_model = resolve_triggering(triggering) if triggering is not None else None
-    collection = RRCollection(
-        graph, rng, triggering=trig_model, backend=backend
-    )
+    collection = RRCollection(graph, ctx=ctx)
     # Duplicate budget values add nothing (identical λ*), and re-running the
     # coverage loop on a grown collection would inflate θ; process each
     # distinct value once.  The union bound ℓ′ above still uses the full |b|.

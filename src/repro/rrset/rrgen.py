@@ -193,15 +193,41 @@ class RRCollection:
         ``"batched"`` (vectorized frontier expansion), or ``None`` to resolve
         from ``$REPRO_RR_BACKEND`` (default batched).  Triggering models
         without a batched sampler fall back to sequential automatically.
+    ctx:
+        A :class:`repro.engine.EngineContext` supplying rng/backend/
+        triggering in one object (the supported spelling since the engine
+        refactor).  Mutually exclusive with ``rng``/``backend``; an
+        explicit ``triggering`` argument is allowed only when the context
+        carries none (two triggering sources are a ``TypeError``).
     """
 
     def __init__(
         self,
         graph: InfluenceGraph,
-        rng: np.random.Generator,
+        rng: Optional[np.random.Generator] = None,
         triggering: Optional[TriggeringModel] = None,
         backend: Optional[str] = None,
+        *,
+        ctx=None,
     ):
+        if ctx is not None:
+            if rng is not None or backend is not None:
+                raise TypeError(
+                    "RRCollection: pass either ctx= or rng=/backend=, "
+                    "not both"
+                )
+            if triggering is not None and ctx.triggering is not None:
+                raise TypeError(
+                    "RRCollection: the context already carries a "
+                    "triggering model; pass either ctx= or triggering=, "
+                    "not both"
+                )
+            rng = ctx.rng
+            backend = ctx.backend
+            if triggering is None:
+                triggering = ctx.triggering
+        elif rng is None:
+            rng = np.random.default_rng(0)
         if triggering is not None:
             triggering.validate(graph)
         self._graph = graph
@@ -492,13 +518,14 @@ class RRCollection:
     def from_flat(
         cls,
         graph: InfluenceGraph,
-        rng: np.random.Generator,
+        rng: Optional[np.random.Generator],
         members: np.ndarray,
         offsets: np.ndarray,
         *,
         index: Optional[Tuple[np.ndarray, np.ndarray]] = None,
         triggering: Optional[TriggeringModel] = None,
         backend: Optional[str] = None,
+        ctx=None,
     ) -> "RRCollection":
         """Rebuild a collection from flat CSR arrays without regeneration.
 
@@ -509,7 +536,9 @@ class RRCollection:
         instead of rebuilding.  Read-only inputs (memory-mapped store
         arrays) are copied into writable growth buffers.
         """
-        collection = cls(graph, rng, triggering=triggering, backend=backend)
+        collection = cls(
+            graph, rng, triggering=triggering, backend=backend, ctx=ctx
+        )
         members = np.asarray(members, dtype=np.int64)
         offsets = np.asarray(offsets, dtype=np.int64)
         if offsets.shape[0] < 1 or offsets[0] != 0:

@@ -9,7 +9,7 @@ tests a second, independently-constructed prefix-preserving ordering to
 compare PRIMA against.
 
 This is a faithful-role implementation of the combined-reachability design
-(DESIGN.md §6 conventions):
+(DESIGN.md §7 conventions):
 
 * sample ``ℓ`` live-edge instances; the universe is the pair set
   ``{(instance, node)}`` and a seed set's *coverage* is the number of pairs
@@ -120,6 +120,8 @@ def skim(
     num_instances: int = 48,
     sketch_size: int = 32,
     rng: Optional[np.random.Generator] = None,
+    *,
+    ctx=None,
 ) -> SKIMResult:
     """Select an ordered, prefix-preserving seed set of size ``budget``.
 
@@ -134,7 +136,15 @@ def skim(
     sketch_size:
         Bottom-k sketch size ``k`` (the paper's SKIM uses k to trade accuracy
         for speed; estimates are exact below k reachable pairs).
+    ctx:
+        :class:`repro.engine.EngineContext` supplying the randomness
+        (SKIM is sketch-based, not RR-based, so only the context's RNG is
+        consumed — the backend knob does not apply).
     """
+    from repro.engine import ensure_context
+
+    ctx = ensure_context(ctx, rng=rng, caller="skim")
+    rng = ctx.rng
     if budget < 0:
         raise ValueError(f"budget must be non-negative, got {budget}")
     if num_instances <= 0 or sketch_size <= 1:
@@ -148,8 +158,6 @@ def skim(
             num_instances=num_instances,
             sketch_size=sketch_size,
         )
-    rng = rng if rng is not None else np.random.default_rng(0)
-
     instances = [
         sample_live_edge_graph(graph, rng) for _ in range(num_instances)
     ]

@@ -23,6 +23,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.engine import ensure_context
 from repro.graph.digraph import InfluenceGraph
 from repro.rrset.node_selection import node_selection
 from repro.rrset.rrgen import RRCollection
@@ -47,14 +48,18 @@ def ssa(
     rng: Optional[np.random.Generator] = None,
     max_rounds: int = 20,
     backend: Optional[str] = None,
+    *,
+    ctx=None,
 ) -> SSAResult:
     """Select ``k`` seeds with (simplified) Stop-and-Stare.
 
     Stops when the validation estimate of the chosen seeds' influence is
     within ``(1 − ε/2)`` of the optimization estimate, doubling the batch
     otherwise.  ``max_rounds`` bounds the doubling (the full algorithm's
-    theoretical cap is implied by its ε-budget split).
+    theoretical cap is implied by its ε-budget split).  ``backend=`` is
+    the deprecated spelling of ``ctx=``.
     """
+    ctx = ensure_context(ctx, backend=backend, rng=rng, caller="ssa")
     if k < 0:
         raise ValueError(f"k must be non-negative, got {k}")
     n = graph.num_nodes
@@ -69,8 +74,6 @@ def ssa(
             num_rr_sets=0,
             rounds=0,
         )
-    rng = rng if rng is not None else np.random.default_rng(0)
-
     # Initial batch: enough for a crude concentration at the top level
     # (the original's Λ; simplified constants).
     initial = int(
@@ -80,8 +83,8 @@ def ssa(
             / (epsilon * epsilon)
         )
     )
-    optimization = RRCollection(graph, rng, backend=backend)
-    validation = RRCollection(graph, rng, backend=backend)
+    optimization = RRCollection(graph, ctx=ctx)
+    validation = RRCollection(graph, ctx=ctx)
     total = 0
     batch = initial
     for round_id in range(1, max_rounds + 1):

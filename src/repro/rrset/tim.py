@@ -19,12 +19,15 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.engine import ensure_context
 from repro.graph.digraph import InfluenceGraph
 from repro.rrset.batch import (
     batch_generate_rr_sets,
-    resolve_backend,
+    build_trigger_csr,
     rr_set_widths,
+    supports_batched,
 )
+from repro.diffusion.triggering import needs_trigger_csr
 from repro.rrset.bounds import log_binomial
 from repro.rrset.node_selection import node_selection
 from repro.rrset.rrgen import RRCollection, generate_rr_set
@@ -48,6 +51,7 @@ def _kpt_estimation(
     ell: float,
     rng: np.random.Generator,
     backend: str = "sequential",
+    triggering=None,
 ) -> Tuple[float, int]:
     """KptEstimation of TIM: lower-bounds ``OPT_k / n`` via RR-set widths.
 
@@ -59,11 +63,22 @@ def _kpt_estimation(
     :func:`batch_generate_rr_sets` call and the widths one vectorized
     :func:`rr_set_widths` pass; the sequential branch keeps the historical
     per-set loop (and its RNG stream) untouched as the equivalence oracle.
+    ``triggering`` samples the RR sets under that model on either branch
+    (falling back to sequential when the model has no batched sampler), so
+    KPT and the θ collection are calibrated against the same live-edge
+    distribution.
     """
     n = graph.num_nodes
     m = max(graph.num_edges, 1)
     log2n = math.log2(n)
     used = 0
+    if backend == "batched" and not supports_batched(triggering):
+        backend = "sequential"
+    trigger_csr = (
+        build_trigger_csr(graph, triggering)
+        if backend == "batched" and needs_trigger_csr(triggering)
+        else None
+    )
     for i in range(1, max(2, int(log2n))):
         # max() guards only the degenerate n == 1 case (log2n == 0, and the
         # whole round size collapses to 0): for n >= 2 the round schedule is
@@ -81,14 +96,17 @@ def _kpt_estimation(
             ),
         )
         if backend == "batched":
-            members, lengths = batch_generate_rr_sets(graph, rng, c_i)
+            members, lengths = batch_generate_rr_sets(
+                graph, rng, c_i, triggering=triggering,
+                trigger_csr=trigger_csr,
+            )
             used += c_i
             widths = rr_set_widths(graph, members, lengths)
             total = float(np.sum(1.0 - (1.0 - widths / m) ** k))
         else:
             total = 0.0
             for _ in range(c_i):
-                rr = generate_rr_set(graph, rng)
+                rr = generate_rr_set(graph, rng, triggering=triggering)
                 used += 1
                 width = sum(graph.in_degree(int(v)) for v in rr)
                 kappa = 1.0 - (1.0 - width / m) ** k
@@ -105,15 +123,20 @@ def tim(
     ell: float = 1.0,
     rng: Optional[np.random.Generator] = None,
     backend: Optional[str] = None,
+    *,
+    ctx=None,
 ) -> TIMResult:
     """Select ``k`` seeds with TIM⁺ (without the IMM refinements).
 
-    ``backend`` picks the RR sampling path for *both* phases: the batched
-    path generates each KPT geometric round ``c_i`` as one vectorized call
-    (widths via :func:`repro.rrset.batch.rr_set_widths`) and the θ phase
-    through the batched :class:`RRCollection`; ``sequential`` reproduces the
-    historical per-set streams; see :func:`repro.rrset.prima.prima`.
+    The context's backend picks the RR sampling path for *both* phases:
+    the batched path generates each KPT geometric round ``c_i`` as one
+    vectorized call (widths via :func:`repro.rrset.batch.rr_set_widths`)
+    and the θ phase through the batched :class:`RRCollection`;
+    ``sequential`` reproduces the historical per-set streams; see
+    :func:`repro.rrset.prima.prima`.  ``backend=`` is the deprecated
+    spelling of ``ctx=``.
     """
+    ctx = ensure_context(ctx, backend=backend, rng=rng, caller="tim")
     if k < 0:
         raise ValueError(f"k must be non-negative, got {k}")
     n = graph.num_nodes
@@ -129,9 +152,12 @@ def tim(
             epsilon=epsilon,
             ell=ell,
         )
-    rng = rng if rng is not None else np.random.default_rng(0)
-    backend = resolve_backend(backend)
-    kpt, kpt_sets = _kpt_estimation(graph, k, ell, rng, backend=backend)
+    if ctx.triggering is not None:
+        ctx.triggering.validate(graph)
+    kpt, kpt_sets = _kpt_estimation(
+        graph, k, ell, ctx.rng, backend=ctx.backend,
+        triggering=ctx.triggering,
+    )
     lam = (
         (8.0 + 2.0 * epsilon)
         * n
@@ -139,7 +165,7 @@ def tim(
         / (epsilon * epsilon)
     )
     theta = int(math.ceil(lam / max(kpt, 1.0)))
-    collection = RRCollection(graph, rng, backend=backend)
+    collection = RRCollection(graph, ctx=ctx)
     collection.extend_to(theta)
     seeds, frac = node_selection(collection, k)
     return TIMResult(

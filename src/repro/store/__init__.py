@@ -14,6 +14,10 @@ artifact plus a cheap online query phase:
   :func:`~repro.store.builder.build_sharded` — offline construction, the
   latter fanning RR generation across a process pool with per-shard
   ``SeedSequence`` children.
+* :func:`~repro.store.builder.build_comic_store` — offline construction of
+  GAP-aware Com-IC sketches (format v2): the RR-SIM+/RR-CIM pipeline's
+  θ-phase collection plus the forward-world bitmap and world cursor, so
+  RR-SIM+/RR-CIM selections serve warm from mmap exactly like PRIMA.
 * :func:`~repro.store.builder.extend_store` — incremental θ-extension: a
   loaded store grows more RR sets through the batched sampler (append to
   CSR + incremental inverted-index merge) instead of regenerating.
@@ -24,10 +28,16 @@ artifact plus a cheap online query phase:
 Exposed on the command line as ``repro oracle build|extend|query``.
 """
 
-from repro.store.builder import build_sharded, build_store, extend_store
+from repro.store.builder import (
+    build_comic_store,
+    build_sharded,
+    build_store,
+    extend_store,
+)
 from repro.store.service import OracleService
 from repro.store.sketch_store import (
     FORMAT_VERSION,
+    SUPPORTED_VERSIONS,
     SketchStore,
     SketchStoreError,
     StaleStoreError,
@@ -35,10 +45,12 @@ from repro.store.sketch_store import (
 
 __all__ = [
     "FORMAT_VERSION",
+    "SUPPORTED_VERSIONS",
     "OracleService",
     "SketchStore",
     "SketchStoreError",
     "StaleStoreError",
+    "build_comic_store",
     "build_sharded",
     "build_store",
     "extend_store",

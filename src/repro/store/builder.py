@@ -1,13 +1,13 @@
 """Offline store construction: single-stream, sharded-parallel, incremental.
 
-Three entry points, one output type:
+Entry points, one output type:
 
-* :func:`build_store` — the reference path: run the same preprocessing an
-  in-memory :class:`~repro.rrset.oracle.InfluenceOracle` performs (PRIMA
-  with the full budget vector, then an independent estimation collection)
-  and snapshot it.  For a fixed seed the persisted seed order and estimator
-  arrays are byte-identical to the in-memory oracle's — the golden contract
-  the serving tests pin.
+* :func:`build_store` — the reference PRIMA path: run the same
+  preprocessing an in-memory :class:`~repro.rrset.oracle.InfluenceOracle`
+  performs (PRIMA with the full budget vector, then an independent
+  estimation collection) and snapshot it.  For a fixed seed the persisted
+  seed order and estimator arrays are byte-identical to the in-memory
+  oracle's — the golden contract the serving tests pin.
 * :func:`build_sharded` — index construction on all cores: the estimation
   collection is split into shards, each sampled by a process-pool worker
   from its own ``SeedSequence`` child, then merged into one flat CSR with a
@@ -17,13 +17,25 @@ Three entry points, one output type:
   PRIMA itself stays sequential — its geometric search is adaptive — so the
   parallel win is on the θ-sized estimator, which dominates at serving
   scale.
-* :func:`extend_store` — incremental θ-extension: restore the persisted
-  RNG state, rebuild a live collection *around* the stored arrays
-  (:meth:`~repro.rrset.rrgen.RRCollection.from_flat`), generate the extra
-  sets with the batched sampler, and merge the delta into the inverted
-  index incrementally.  The save/load round trip is transparent: the
-  extension is byte-identical to growing the original live collection by
-  the same amount.
+* :func:`build_comic_store` — the GAP-aware Com-IC path (format v2): run
+  the RR-SIM+/RR-CIM pipeline (IMM for the fixed item, forward adopter
+  worlds, GAP KPT + θ phases) through one
+  :class:`~repro.engine.EngineContext` and persist the θ-phase sketch
+  together with the forward-world bitmap, the post-θ world cursor and the
+  GAP coin parameters — everything a later process needs to serve the
+  selection warm or extend the θ phase transparently.
+* :func:`extend_store` — incremental θ-extension, dispatching on the
+  store's model: restore the persisted RNG state, rebuild the live
+  sampling state *around* the stored arrays (``RRCollection.from_flat``
+  for PRIMA; a :class:`~repro.baselines._comic_common._GapSampler` with
+  the restored world cursor and bitmap for Com-IC), generate the extra
+  sets, and merge the delta into the inverted index incrementally.  The
+  save/load round trip is transparent: the extension is byte-identical to
+  growing the original live state by the same amount.
+
+Every builder accepts a :class:`~repro.engine.EngineContext` (``ctx=``);
+the legacy ``seed=``/``backend=`` kwargs keep working through the pinned
+deprecation adapter.
 """
 
 from __future__ import annotations
@@ -33,22 +45,80 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.engine import EngineContext
+from repro.engine.context import warn_deprecated_kwarg
 from repro.graph.digraph import InfluenceGraph
-from repro.rrset.batch import resolve_backend, rr_set_widths
+from repro.rrset.batch import rr_set_widths
 from repro.rrset.oracle import InfluenceOracle
 from repro.rrset.prima import prima
-from repro.rrset.rrgen import RRCollection, build_inverted_index
+from repro.rrset.rrgen import (
+    RRCollection,
+    build_inverted_index,
+    merge_inverted_index,
+)
 from repro.store.sketch_store import SketchStore, SketchStoreError
 
 
 def _triggering_name(triggering) -> Optional[str]:
-    """Validate that a triggering argument is persistable (None/'ic'/'lt')."""
+    """Validate that a triggering argument is persistable (None/'ic'/'lt').
+
+    Resolved :class:`~repro.diffusion.triggering.TriggeringModel`
+    instances of the IC/LT families map back to their names (the engine
+    context carries instances, the store header carries names).
+    """
     if triggering is None or triggering in ("ic", "lt"):
         return triggering
+    from repro.diffusion.triggering import (
+        IndependentCascadeTriggering,
+        LinearThresholdTriggering,
+    )
+
+    if isinstance(triggering, IndependentCascadeTriggering):
+        return "ic"
+    if isinstance(triggering, LinearThresholdTriggering):
+        return "lt"
     raise SketchStoreError(
         f"sketch stores persist triggering by name ('ic' / 'lt'); got "
         f"{triggering!r} — arbitrary TriggeringModel instances cannot be "
         "reconstructed at load time"
+    )
+
+
+def _builder_context(
+    ctx: Optional[EngineContext],
+    seed: Optional[int],
+    backend: Optional[str],
+    triggering,
+    caller: str,
+) -> EngineContext:
+    """The builders' deprecation adapter.
+
+    Builders historically took an integer ``seed`` (default 0) instead of
+    an ``rng``; the context equivalent is a seed-rooted lineage.  Explicit
+    ``seed=``/``backend=`` emit the pinned warning; ``ctx`` wins.
+    """
+    if ctx is not None:
+        if seed is not None or backend is not None:
+            raise TypeError(
+                f"{caller}: pass either ctx= or the legacy seed=/backend= "
+                "keywords, not both"
+            )
+        if triggering is not None:
+            if ctx.triggering is not None:
+                raise TypeError(
+                    f"{caller}: the context already carries a triggering "
+                    "model; pass either ctx= or triggering=, not both"
+                )
+            return ctx.with_triggering(triggering)
+        return ctx
+    if seed is not None:
+        warn_deprecated_kwarg(caller, "seed=", stacklevel=4)
+    if backend is not None:
+        warn_deprecated_kwarg(caller, "backend=", stacklevel=4)
+    return EngineContext.create(
+        backend=backend,
+        seed=seed if seed is not None else 0,
+        triggering=triggering,
     )
 
 
@@ -58,28 +128,32 @@ def build_store(
     *,
     epsilon: float = 0.5,
     ell: float = 1.0,
-    seed: int = 0,
+    seed: Optional[int] = None,
     estimation_rr_sets: int = 10_000,
     triggering: Optional[str] = None,
     backend: Optional[str] = None,
+    ctx: Optional[EngineContext] = None,
 ) -> SketchStore:
     """Build a store by running the in-memory oracle's preprocessing.
 
-    Equivalent to ``InfluenceOracle(graph, max_budget, ...,
-    rng=default_rng(seed))`` followed by a snapshot: same PRIMA run, same
-    estimation collection, same RNG stream — so a loaded store answers
-    every query with the in-memory oracle's exact numbers.
+    Equivalent to ``InfluenceOracle(graph, max_budget, ..., ctx=ctx)``
+    followed by a snapshot: same PRIMA run, same estimation collection,
+    same RNG stream — so a loaded store answers every query with the
+    in-memory oracle's exact numbers.  ``seed`` (deprecated; default 0)
+    names the context lineage the legacy way.
     """
-    name = _triggering_name(triggering)
+    ctx = _builder_context(ctx, seed, backend, triggering, "build_store")
+    # Fail fast on unpersistable triggering models (before the PRIMA run).
+    _triggering_name(
+        triggering if triggering is not None else ctx.triggering
+    )
     oracle = InfluenceOracle(
         graph,
         max_budget,
         epsilon=epsilon,
         ell=ell,
-        rng=np.random.default_rng(seed),
         estimation_rr_sets=estimation_rr_sets,
-        triggering=name,
-        backend=backend,
+        ctx=ctx,
     )
     return oracle.to_store()
 
@@ -134,10 +208,11 @@ def build_sharded(
     processes: Optional[int] = None,
     epsilon: float = 0.5,
     ell: float = 1.0,
-    seed: int = 0,
+    seed: Optional[int] = None,
     estimation_rr_sets: int = 10_000,
     triggering: Optional[str] = None,
     backend: Optional[str] = None,
+    ctx: Optional[EngineContext] = None,
 ) -> SketchStore:
     """Build a store with the estimation collection sampled in parallel.
 
@@ -148,7 +223,9 @@ def build_sharded(
     runs the shards in-process (useful for tests and as a fallback where
     process pools are unavailable), ``k > 1`` fans them over a pool.
 
-    The sharded estimator necessarily consumes different randomness than
+    The context must carry a ``SeedSequence`` lineage (construct it from an
+    integer seed): shard streams are its spawned children.  The sharded
+    estimator necessarily consumes different randomness than
     :func:`build_store`'s single stream: stores from the two builders are
     *statistically* equivalent, not byte-identical.  The persisted RNG
     state is a dedicated extension child, so :func:`extend_store` remains
@@ -160,11 +237,18 @@ def build_sharded(
         raise ValueError(
             f"estimation_rr_sets must be non-negative, got {estimation_rr_sets}"
         )
-    name = _triggering_name(triggering)
-    backend = resolve_backend(backend)
-    root = np.random.SeedSequence(seed)
+    ctx = _builder_context(ctx, seed, backend, triggering, "build_sharded")
+    if not ctx.has_lineage:
+        raise ValueError(
+            "build_sharded needs a seed-rooted EngineContext (integer "
+            "seed): shard streams are SeedSequence children of the root"
+        )
+    name = _triggering_name(
+        triggering if triggering is not None else ctx.triggering
+    )
+    backend = ctx.backend
     # children[0]: PRIMA; [1..num_shards]: shards; [-1]: extension stream.
-    children = root.spawn(num_shards + 2)
+    children = ctx.seed_seq.spawn(num_shards + 2)
 
     n = graph.num_nodes
     capped = min(int(max_budget), n)
@@ -175,9 +259,11 @@ def build_sharded(
         list(range(capped, 0, -1)),
         epsilon=epsilon,
         ell=ell,
-        rng=np.random.default_rng(children[0]),
-        triggering=name,
-        backend=backend,
+        ctx=EngineContext.create(
+            backend=backend,
+            rng=np.random.default_rng(children[0]),
+            triggering=name,
+        ),
     )
 
     base, extra = divmod(int(estimation_rr_sets), num_shards)
@@ -236,6 +322,234 @@ def build_sharded(
     )
 
 
+# ----------------------------------------------------------------------
+# Com-IC (GAP-aware) sketch stores — format v2
+# ----------------------------------------------------------------------
+def _comic_meta(model, state, select_item, fixed_seeds, extra) -> dict:
+    """The ``comic`` header block: GAP params + run bookkeeping."""
+    meta = {
+        "q_a_empty": float(model.q_a_empty),
+        "q_a_given_b": float(model.q_a_given_b),
+        "q_b_empty": float(model.q_b_empty),
+        "q_b_given_a": float(model.q_b_given_a),
+        "q_plain": float(state.q_plain),
+        "q_boosted": float(state.q_boosted),
+        "select_item": int(select_item),
+        "fixed_seeds": [int(v) for v in fixed_seeds],
+        "kpt": float(state.kpt),
+        "kpt_sets": int(state.kpt_sets),
+        "covered": int(state.covered),
+    }
+    meta.update(extra)
+    return meta
+
+
+def build_comic_store(
+    graph: InfluenceGraph,
+    model,
+    budget: int,
+    *,
+    select_item: int = 0,
+    fixed_seeds=None,
+    fixed_budget: Optional[int] = None,
+    epsilon: float = 0.5,
+    ell: float = 1.0,
+    num_forward_worlds: int = 20,
+    extra_forward_pass: bool = False,
+    seed: Optional[int] = None,
+    backend: Optional[str] = None,
+    ctx: Optional[EngineContext] = None,
+) -> SketchStore:
+    """Build a GAP-aware Com-IC sketch store (RR-SIM+ / RR-CIM pipeline).
+
+    Runs exactly the pipeline :func:`repro.baselines.rr_sim.rr_sim_plus`
+    (``extra_forward_pass=False``) or :func:`repro.baselines.rr_cim.rr_cim`
+    (``True``) runs for ``select_item``: when ``fixed_seeds`` is ``None``
+    the other item's seeds come from an IMM call on the same context
+    stream (budget ``fixed_budget``, default ``budget``), then the forward
+    worlds, the GAP KPT phase and the θ phase all consume the one context.
+    For a fixed seed the persisted seeds are byte-identical to the
+    in-memory baseline's ``seeds_selected_item`` — the golden serving
+    contract for Com-IC stores.
+
+    The snapshot keeps the θ-phase GAP collection, the forward-world
+    bitmap, the post-θ world cursor and the RNG state, so
+    :func:`extend_store` continues the θ phase exactly where the build
+    stopped.
+    """
+    from repro.baselines._comic_common import comic_rr_sketch
+    from repro.rrset.imm import imm
+
+    if budget <= 0:
+        raise ValueError(f"budget must be positive, got {budget}")
+    ctx = _builder_context(ctx, seed, backend, None, "build_comic_store")
+    if ctx.triggering is not None:
+        raise SketchStoreError(
+            "comic stores sample under the Com-IC GAP model; a context "
+            "carrying a triggering model is not supported (its effect on "
+            "the IMM phase could not be recorded in the store header)"
+        )
+    if fixed_seeds is None:
+        want = fixed_budget if fixed_budget is not None else budget
+        fixed_seeds = imm(
+            graph, int(want), epsilon=epsilon, ell=ell, ctx=ctx
+        ).seeds
+    state = comic_rr_sketch(
+        graph,
+        model,
+        select_item,
+        fixed_seeds,
+        int(budget),
+        epsilon,
+        ell,
+        ctx,
+        num_forward_worlds,
+        extra_forward_pass,
+    )
+    n = graph.num_nodes
+    idx_sets, idx_indptr = build_inverted_index(
+        state.members, state.offsets, n
+    )
+    lengths = np.diff(state.offsets)
+
+    from repro.graph.io import graph_fingerprint
+
+    return SketchStore(
+        fingerprint=graph_fingerprint(graph),
+        num_nodes=n,
+        num_edges=graph.num_edges,
+        max_budget=min(int(budget), n),
+        epsilon=float(epsilon),
+        ell=float(ell),
+        backend=ctx.backend,
+        triggering=None,
+        world_cursor=int(state.world_cursor),
+        rng_state=ctx.rng.bit_generator.state,
+        seed_order=np.asarray(state.seeds, dtype=np.int64),
+        members=np.asarray(state.members, dtype=np.int64),
+        offsets=np.asarray(state.offsets, dtype=np.int64),
+        widths=rr_set_widths(graph, state.members, lengths),
+        idx_sets=idx_sets,
+        idx_indptr=idx_indptr,
+        cover_counts=np.bincount(
+            state.members, minlength=n
+        ).astype(np.int64),
+        model="comic",
+        comic=_comic_meta(
+            model,
+            state,
+            select_item,
+            fixed_seeds,
+            {
+                "num_forward_worlds": int(num_forward_worlds),
+                "extra_forward_pass": bool(extra_forward_pass),
+                "theta": int(state.theta),
+            },
+        ),
+        worlds=np.asarray(state.worlds_bitmap, dtype=bool),
+    )
+
+
+def _extend_comic(
+    store: SketchStore,
+    graph: InfluenceGraph,
+    add: int,
+    backend: Optional[str],
+) -> SketchStore:
+    """Com-IC θ-extension: restore sampler state, sample, re-select.
+
+    Rebuilds the :class:`~repro.baselines._comic_common._GapSampler`
+    around the persisted RNG state, world cursor and forward-world bitmap,
+    draws ``add`` more GAP RR sets (byte-identical to uninterrupted
+    growth), merges the delta into the inverted index incrementally, and
+    re-runs greedy max coverage on the grown collection so the stored
+    seeds stay the selection the full sketch implies.
+    """
+    from repro.baselines._comic_common import (
+        _GapSampler,
+        bitmap_to_worlds,
+    )
+    from repro.rrset.node_selection import greedy_max_coverage
+
+    comic = store.comic or {}
+    rng = store.restore_rng()
+    # create() validates the backend (legacy overrides and persisted
+    # headers alike) and seeds the cursor at the persisted position.
+    ctx = EngineContext.create(
+        backend=backend if backend is not None else store.backend,
+        rng=rng,
+        world_cursor=int(store.world_cursor),
+    )
+    sampler = _GapSampler(
+        graph,
+        q_plain=float(comic["q_plain"]),
+        q_boosted=float(comic["q_boosted"]),
+        ctx=ctx,
+    )
+    bitmap = np.asarray(store.worlds, dtype=bool)
+    if ctx.backend == "batched":
+        sampler.set_worlds(bitmap)
+    else:
+        sampler.set_worlds(bitmap_to_worlds(bitmap))
+
+    delta_members, delta_lengths = sampler.sample(int(add))
+    old_members = np.asarray(store.members, dtype=np.int64)
+    members = np.concatenate([old_members, delta_members])
+    lengths = np.concatenate(
+        [np.diff(store.offsets), delta_lengths]
+    ).astype(np.int64)
+    offsets = np.zeros(lengths.shape[0] + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+
+    n = graph.num_nodes
+    # Delta-only bookkeeping: widths and cover counts append/add the new
+    # sets instead of re-scanning the whole grown collection.
+    widths = np.concatenate(
+        [
+            np.asarray(store.widths, dtype=np.int64),
+            rr_set_widths(graph, delta_members, delta_lengths),
+        ]
+    )
+    cover_counts = np.asarray(
+        store.cover_counts, dtype=np.int64
+    ) + np.bincount(delta_members, minlength=n)
+    delta_offsets = np.zeros(delta_lengths.shape[0] + 1, dtype=np.int64)
+    np.cumsum(delta_lengths, out=delta_offsets[1:])
+    delta_idx, delta_indptr = build_inverted_index(
+        delta_members, delta_offsets, n
+    )
+    delta_idx += store.num_sets
+    idx_sets, idx_indptr = merge_inverted_index(
+        np.asarray(store.idx_sets, dtype=np.int64),
+        np.asarray(store.idx_indptr, dtype=np.int64),
+        delta_idx,
+        delta_indptr,
+    )
+
+    seeds, covered = greedy_max_coverage(
+        n, members, offsets, min(store.max_budget, n)
+    )
+    comic = dict(comic)
+    comic["covered"] = int(covered)
+    # θ is the size of the (now grown) θ-phase collection; keep the
+    # header consistent with the arrays so covered/θ stays a fraction.
+    comic["theta"] = int(lengths.shape[0])
+    return store.replace_arrays(
+        world_cursor=sampler.used,
+        rng_state=ctx.rng.bit_generator.state,
+        seed_order=np.asarray(seeds, dtype=np.int64),
+        members=members,
+        offsets=offsets,
+        widths=widths,
+        idx_sets=idx_sets,
+        idx_indptr=idx_indptr,
+        cover_counts=cover_counts,
+        comic=comic,
+        worlds=bitmap,
+        backend=ctx.backend,
+    )
+
+
 def extend_store(
     store: SketchStore,
     graph: InfluenceGraph,
@@ -245,22 +559,35 @@ def extend_store(
 ) -> SketchStore:
     """Grow a loaded store by ``add`` RR sets without regenerating.
 
-    Restores the persisted RNG state, wraps the stored arrays in a live
-    :class:`~repro.rrset.rrgen.RRCollection` (copy-on-load; the source
-    store/file is untouched), samples the extra sets with the batched
-    engine, and merges the delta into the inverted index incrementally.
-    Returns a new :class:`SketchStore`; callers persist it with ``save``.
+    Restores the persisted RNG state, wraps the stored arrays in live
+    sampling state (an :class:`~repro.rrset.rrgen.RRCollection` for PRIMA
+    stores, a GAP sampler with the persisted world cursor and bitmap for
+    Com-IC stores; copy-on-load — the source store/file is untouched),
+    samples the extra sets, and merges the delta into the inverted index
+    incrementally.  Returns a new :class:`SketchStore`; callers persist it
+    with ``save``.
 
-    Continuing the persisted stream makes the round trip *transparent*:
-    save → load → ``extend_store(Δ)`` produces byte-for-byte the arrays
-    that calling ``generate(Δ)`` on the live collection (no save/load)
-    would have.  (It is not byte-identical to building with θ+Δ up front —
-    the batched sampler consumes randomness per ``generate`` call — only
-    statistically equivalent, like any two growth schedules.)
+    Continuing the persisted stream (and, for Com-IC, the persisted world
+    cursor) makes the round trip *transparent*: save → load →
+    ``extend_store(Δ)`` produces byte-for-byte the arrays that growing the
+    live state by Δ (no save/load) would have.  (It is not byte-identical
+    to building with θ+Δ up front — the batched sampler consumes
+    randomness per generation call — only statistically equivalent, like
+    any two growth schedules.)
+
+    Unlike the builders, this function takes no ``ctx``: the execution
+    state an extension must use — RNG stream, world cursor, and by
+    default the backend — *is the persisted state*, so accepting a
+    context would only invite silently ignoring most of it.  ``backend``
+    remains a first-class explicit override of the persisted backend
+    (e.g. to continue a sequential store batched; doing so trades the
+    byte-identity guarantee for speed, deliberately and visibly).
     """
     if add < 0:
         raise ValueError(f"add must be non-negative, got {add}")
     store.verify_graph(graph)
+    if store.model == "comic":
+        return _extend_comic(store, graph, add, backend)
     from repro.diffusion.triggering import resolve_triggering
 
     trig = (

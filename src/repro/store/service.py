@@ -79,6 +79,11 @@ class OracleService:
         return self._store
 
     @property
+    def model(self) -> str:
+        """The sketch model served: ``"prima"`` or ``"comic"``."""
+        return self._store.model
+
+    @property
     def max_budget(self) -> int:
         """Largest budget the stored ordering serves."""
         return self._store.max_budget
@@ -150,6 +155,12 @@ class OracleService:
             raise ValueError(
                 "allocation queries need the graph; construct the service "
                 "with OracleService(store, graph) or open(path, graph)"
+            )
+        if self._store.model != "prima":
+            raise ValueError(
+                "bundleGRD allocation needs a PRIMA prefix-preserving "
+                f"order; this is a {self._store.model!r} store (its seeds "
+                "answer seed/spread queries only)"
             )
         from repro.core.bundlegrd import bundle_grd
 

@@ -15,6 +15,14 @@ and byte offset *relative to the data section*.  Relative offsets keep the
 array table independent of the header's own serialized length; the data
 section starts at the first 64-byte boundary past the header.
 
+Format v2 adds a ``model`` discriminator (``prima`` — the only v1 model —
+or ``comic``) and, for Com-IC/GAP sketches, a ``comic`` metadata block
+(GAP parameters, derived adoption coins, select item, fixed seeds, KPT
+bookkeeping) plus one extra aligned array: the ``(num_worlds, n)``
+boolean forward-adopter bitmap the GAP walks are paired against.  V1
+files still load (``SUPPORTED_VERSIONS``); v1 refuses to serialize comic
+sketches.
+
 Because every array is a contiguous typed block at a known offset,
 :meth:`SketchStore.load` can hand back ``np.memmap`` views — the serving
 layer answers queries without ever materializing the (potentially
@@ -48,8 +56,12 @@ PathLike = Union[str, Path]
 #: File magic; the trailing byte doubles as a format generation marker.
 MAGIC = b"REPROSKT"
 
-#: On-disk format version this build reads and writes.
-FORMAT_VERSION = 1
+#: On-disk format version this build writes by default.
+FORMAT_VERSION = 2
+
+#: Format versions this build reads (v1: PRIMA-only stores without the
+#: ``model`` discriminator or the ``worlds`` bitmap — forward-compat pinned).
+SUPPORTED_VERSIONS = (1, 2)
 
 #: Arrays start on multiples of this within the data section.
 _ALIGN = 64
@@ -64,6 +76,10 @@ _ARRAY_NAMES = (
     "idx_indptr",
     "cover_counts",
 )
+
+#: Recognized sketch models: ``prima`` (plain-IC/LT influence oracle) and
+#: ``comic`` (GAP-aware Com-IC sketches of RR-SIM+/RR-CIM, format v2+).
+MODELS = ("prima", "comic")
 
 
 class SketchStoreError(RuntimeError):
@@ -156,6 +172,15 @@ class SketchStore:
     idx_sets: np.ndarray
     idx_indptr: np.ndarray
     cover_counts: np.ndarray
+    #: Sketch model: ``"prima"`` (plain influence oracle, the only v1
+    #: model) or ``"comic"`` (GAP-aware Com-IC RIS sketches, v2+).
+    model: str = "prima"
+    #: Com-IC metadata (GAP parameters, select item, fixed seeds, forward
+    #: world count, KPT bookkeeping); ``None`` for prima stores.
+    comic: Optional[dict] = None
+    #: ``(num_worlds, n)`` boolean forward-adopter bitmap the GAP walks are
+    #: paired against (comic stores only; ``None`` for prima stores).
+    worlds: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Derived views
@@ -187,7 +212,9 @@ class SketchStore:
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
-    def save(self, path: PathLike) -> None:
+    def save(
+        self, path: PathLike, *, format_version: int = FORMAT_VERSION
+    ) -> None:
         """Write the store; the file is self-describing and mmap-ready.
 
         The write goes to a temp file in the target directory and is
@@ -195,11 +222,30 @@ class SketchStore:
         memory-mapped from is safe — the source pages stay valid until the
         atomic replace — and (b) readers never observe a half-written
         store.
+
+        ``format_version`` defaults to the current version (2); version 1
+        can still be *written* for PRIMA stores (the forward-compat test
+        pins that old files keep loading), but cannot carry a comic
+        sketch.
         """
+        if format_version not in SUPPORTED_VERSIONS:
+            raise SketchStoreError(
+                f"cannot write format version {format_version!r} "
+                f"(supported: {SUPPORTED_VERSIONS})"
+            )
+        if format_version < 2 and self.model != "prima":
+            raise SketchStoreError(
+                f"format version 1 cannot persist a {self.model!r} sketch; "
+                "write version 2"
+            )
         arrays: Dict[str, np.ndarray] = {
             name: np.ascontiguousarray(getattr(self, name))
             for name in _ARRAY_NAMES
         }
+        if format_version >= 2 and self.worlds is not None:
+            arrays["worlds"] = np.ascontiguousarray(
+                np.asarray(self.worlds, dtype=bool)
+            )
         table = {}
         cursor = 0
         for name, arr in arrays.items():
@@ -210,21 +256,25 @@ class SketchStore:
                 "offset": cursor,
             }
             cursor += arr.nbytes
+        meta = {
+            "fingerprint": self.fingerprint,
+            "num_nodes": int(self.num_nodes),
+            "num_edges": int(self.num_edges),
+            "max_budget": int(self.max_budget),
+            "epsilon": float(self.epsilon),
+            "ell": float(self.ell),
+            "backend": self.backend,
+            "triggering": self.triggering,
+            "world_cursor": int(self.world_cursor),
+            "num_sets": self.num_sets,
+            "rng_state": _jsonable_rng_state(self.rng_state),
+        }
+        if format_version >= 2:
+            meta["model"] = self.model
+            meta["comic"] = self.comic
         header = {
-            "format_version": FORMAT_VERSION,
-            "meta": {
-                "fingerprint": self.fingerprint,
-                "num_nodes": int(self.num_nodes),
-                "num_edges": int(self.num_edges),
-                "max_budget": int(self.max_budget),
-                "epsilon": float(self.epsilon),
-                "ell": float(self.ell),
-                "backend": self.backend,
-                "triggering": self.triggering,
-                "world_cursor": int(self.world_cursor),
-                "num_sets": self.num_sets,
-                "rng_state": _jsonable_rng_state(self.rng_state),
-            },
+            "format_version": format_version,
+            "meta": meta,
             "arrays": table,
         }
         blob = json.dumps(header, separators=(",", ":")).encode()
@@ -270,10 +320,10 @@ class SketchStore:
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise SketchStoreError(f"{path}: corrupted header") from exc
         version = header.get("format_version")
-        if version != FORMAT_VERSION:
+        if version not in SUPPORTED_VERSIONS:
             raise SketchStoreError(
                 f"{path}: format version {version!r} unsupported "
-                f"(this build reads version {FORMAT_VERSION})"
+                f"(this build reads versions {SUPPORTED_VERSIONS})"
             )
         meta = header.get("meta")
         table = header.get("arrays")
@@ -282,10 +332,23 @@ class SketchStore:
         missing = [name for name in _ARRAY_NAMES if name not in table]
         if missing:
             raise SketchStoreError(f"{path}: missing arrays {missing}")
+        model = str(meta.get("model", "prima"))
+        if model not in MODELS:
+            raise SketchStoreError(
+                f"{path}: unknown sketch model {model!r} "
+                f"(supported: {MODELS})"
+            )
+        wanted = list(_ARRAY_NAMES)
+        if "worlds" in table:
+            wanted.append("worlds")
+        elif model == "comic":
+            raise SketchStoreError(
+                f"{path}: comic store is missing its worlds bitmap"
+            )
 
         data_start = _align(16 + header_len)
         arrays: Dict[str, np.ndarray] = {}
-        for name in _ARRAY_NAMES:
+        for name in wanted:
             spec = table[name]
             dtype = np.dtype(spec["dtype"])
             shape = tuple(int(s) for s in spec["shape"])
@@ -319,6 +382,8 @@ class SketchStore:
             triggering=meta.get("triggering"),
             world_cursor=int(meta.get("world_cursor", 0)),
             rng_state=meta.get("rng_state"),
+            model=model,
+            comic=meta.get("comic"),
             **arrays,
         )
         store._validate(path)
@@ -373,6 +438,21 @@ class SketchStore:
                 raise SketchStoreError(
                     f"{path}: {name} contains ids outside [0, {bound})"
                 )
+        if self.worlds is not None:
+            if self.worlds.ndim != 2 or self.worlds.shape[1] != n:
+                raise SketchStoreError(
+                    f"{path}: worlds bitmap must be (num_worlds, {n}), "
+                    f"got {self.worlds.shape}"
+                )
+        if self.model == "comic":
+            required = ("q_plain", "q_boosted", "select_item")
+            if not isinstance(self.comic, dict) or any(
+                key not in self.comic for key in required
+            ):
+                raise SketchStoreError(
+                    f"{path}: comic store header lacks the GAP metadata "
+                    f"{required}"
+                )
 
     # ------------------------------------------------------------------
     # Construction from live objects
@@ -388,6 +468,9 @@ class SketchStore:
         ell: float,
         triggering: Optional[str] = None,
         world_cursor: int = 0,
+        model: str = "prima",
+        comic: Optional[dict] = None,
+        worlds: Optional[np.ndarray] = None,
     ) -> "SketchStore":
         """Snapshot a live :class:`~repro.rrset.rrgen.RRCollection`.
 
@@ -420,6 +503,9 @@ class SketchStore:
             idx_sets=state["idx_sets"],
             idx_indptr=state["idx_indptr"],
             cover_counts=state["cover_counts"],
+            model=model,
+            comic=comic,
+            worlds=worlds,
         )
 
     def restore_rng(self) -> np.random.Generator:

@@ -281,31 +281,8 @@ class TestBatchUIC:
         )
         assert np.allclose(batched.welfare, sequential.welfare)
 
-    def test_estimate_welfare_backend_equivalence(self, wc400, two_item_model):
-        alloc = [(v, i) for v in range(8) for i in (0, 1)]
-        batched = estimate_welfare(
-            wc400, two_item_model, alloc, num_samples=2000,
-            rng=np.random.default_rng(1), backend="batched",
-        )
-        sequential = estimate_welfare(
-            wc400, two_item_model, alloc, num_samples=2000,
-            rng=np.random.default_rng(2), backend="sequential",
-        )
-        sigma = np.hypot(batched.stderr, sequential.stderr)
-        assert abs(batched.mean - sequential.mean) < 5.0 * sigma
-
-    def test_estimate_adoption_backend_equivalence(self, wc400, two_item_model):
-        alloc = [(v, i) for v in range(8) for i in (0, 1)]
-        batched = estimate_adoption(
-            wc400, two_item_model, alloc, num_samples=2000,
-            rng=np.random.default_rng(3), backend="batched", item=0,
-        )
-        sequential = estimate_adoption(
-            wc400, two_item_model, alloc, num_samples=2000,
-            rng=np.random.default_rng(4), backend="sequential", item=0,
-        )
-        sigma = np.hypot(batched.stderr, sequential.stderr)
-        assert abs(batched.mean - sequential.mean) < 5.0 * sigma
+    # (Backend statistical-equivalence sweeps for estimate_welfare /
+    # estimate_adoption moved to tests/test_engine_context.py.)
 
     def test_item_universe_cap_falls_back(self):
         """> MAX_BATCH_ITEMS items: estimate_welfare routes to the

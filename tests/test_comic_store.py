@@ -1,0 +1,380 @@
+"""Tests for store-backed Com-IC/GAP sketches (format v2) + v1 compat.
+
+Acceptance contract of the engine-context PR:
+
+* **Round trip** — ``repro oracle build --model comic`` followed by a
+  fresh-process ``repro oracle query`` returns byte-identical seeds (and
+  matching spreads) to the in-memory run with the same seed.
+* **Cursor-exact extension** — save → load → ``extend_store`` equals
+  uninterrupted growth byte for byte: the θ-phase world cursor continues
+  exactly where the persisted run stopped, on both backends.
+* **Forward compatibility** — format-v1 PRIMA stores (no ``model``
+  discriminator, no ``worlds`` bitmap) still load and serve identically;
+  v1 cannot carry a comic sketch.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.baselines._comic_common import (
+    _GapSampler,
+    bitmap_to_worlds,
+    comic_rr_sketch,
+)
+from repro.diffusion.comic import ComICModel
+from repro.engine import EngineContext
+from repro.graph.generators import random_wc_graph
+from repro.graph.io import write_edge_list
+from repro.rrset.imm import imm
+from repro.store import (
+    OracleService,
+    SketchStore,
+    SketchStoreError,
+    build_comic_store,
+    build_store,
+    extend_store,
+)
+
+REPO_SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+GAP = ComICModel(0.1, 0.4, 0.1, 0.4)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_wc_graph(150, 5, seed=29)
+
+
+@pytest.fixture(scope="module")
+def comic_store(graph):
+    return build_comic_store(
+        graph, GAP, 3,
+        fixed_budget=2,
+        num_forward_worlds=3,
+        ctx=EngineContext.create(seed=17),
+    )
+
+
+def _uninterrupted_state(graph, extra=0, backend=None, seed=17):
+    """The no-save/no-load reference: one context end to end."""
+    ctx = EngineContext.create(backend=backend, seed=seed)
+    fixed = imm(graph, 2, ctx=ctx).seeds
+    state = comic_rr_sketch(graph, GAP, 0, fixed, 3, 0.5, 1.0, ctx, 3, False)
+    delta = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+    if extra:
+        sampler = _GapSampler(
+            graph, q_plain=state.q_plain, q_boosted=state.q_boosted, ctx=ctx
+        )
+        if ctx.backend == "batched":
+            sampler.set_worlds(state.worlds_bitmap)
+        else:
+            sampler.set_worlds(bitmap_to_worlds(state.worlds_bitmap))
+        delta = sampler.sample(extra)
+    return ctx, state, delta
+
+
+class TestComicBuild:
+    def test_matches_in_memory_baseline(self, graph, comic_store):
+        from repro.baselines.rr_sim import rr_sim_plus
+
+        reference = rr_sim_plus(
+            graph, GAP, (3, 2), select_item=0, num_forward_worlds=3,
+            ctx=EngineContext.create(seed=17),
+        )
+        assert (
+            tuple(int(v) for v in comic_store.seed_order)
+            == reference.seeds_selected_item
+        )
+        assert comic_store.model == "comic"
+        assert comic_store.comic["fixed_seeds"] == list(
+            reference.seeds_fixed_item
+        )
+
+    def test_header_carries_gap_metadata(self, comic_store):
+        comic = comic_store.comic
+        assert comic["q_plain"] == GAP.q_a_empty
+        assert comic["q_boosted"] == GAP.q_a_given_b
+        assert comic["select_item"] == 0
+        assert comic["num_forward_worlds"] == 3
+        assert comic_store.worlds.shape[1] == comic_store.num_nodes
+        assert comic_store.world_cursor == comic_store.num_sets + int(
+            comic_store.comic["kpt_sets"]
+        )
+
+    def test_save_load_round_trip(self, graph, comic_store, tmp_path):
+        path = tmp_path / "comic.sketch"
+        comic_store.save(path)
+        loaded = SketchStore.load(path)
+        assert loaded.model == "comic"
+        assert loaded.comic == comic_store.comic
+        for name in (
+            "seed_order", "members", "offsets", "widths",
+            "idx_sets", "idx_indptr", "cover_counts", "worlds",
+        ):
+            assert np.array_equal(
+                getattr(loaded, name), getattr(comic_store, name)
+            ), name
+        assert loaded.world_cursor == comic_store.world_cursor
+
+    def test_rr_cim_variant_builds(self, graph):
+        store = build_comic_store(
+            graph, GAP, 2,
+            fixed_budget=2,
+            num_forward_worlds=2,
+            extra_forward_pass=True,
+            ctx=EngineContext.create(seed=3),
+        )
+        assert store.comic["extra_forward_pass"] is True
+        # RR-CIM's refreshed forward pass doubles the paired world count.
+        assert store.worlds.shape[0] == 4
+
+
+class TestComicService:
+    def test_serves_seeds_and_spread(self, graph, comic_store, tmp_path):
+        path = tmp_path / "c.sketch"
+        comic_store.save(path)
+        service = OracleService.open(path, graph)
+        assert service.model == "comic"
+        assert service.seeds(3) == tuple(
+            int(v) for v in comic_store.seed_order
+        )
+        fraction = service.coverage_fraction(service.seeds(3))
+        expected = comic_store.comic["covered"] / comic_store.num_sets
+        assert fraction == pytest.approx(expected)
+
+    def test_allocation_refused(self, graph, comic_store, tmp_path):
+        path = tmp_path / "c.sketch"
+        comic_store.save(path)
+        service = OracleService.open(path, graph)
+        with pytest.raises(ValueError, match="PRIMA"):
+            service.allocate([2])
+
+
+class TestComicExtension:
+    @pytest.mark.parametrize("backend", ["batched", "sequential"])
+    def test_extension_equals_uninterrupted_growth(
+        self, graph, backend, tmp_path
+    ):
+        store = build_comic_store(
+            graph, GAP, 3,
+            fixed_budget=2,
+            num_forward_worlds=3,
+            ctx=EngineContext.create(backend=backend, seed=17),
+        )
+        path = tmp_path / "c.sketch"
+        store.save(path)
+        extended = extend_store(SketchStore.load(path), graph, 400)
+
+        ctx, state, (delta_members, delta_lengths) = _uninterrupted_state(
+            graph, extra=400, backend=backend
+        )
+        expected_members = np.concatenate([state.members, delta_members])
+        assert np.array_equal(np.asarray(extended.members), expected_members)
+        assert extended.num_sets == state.theta + 400
+        assert extended.world_cursor == ctx.cursor.position
+        assert extended.rng_state == ctx.rng.bit_generator.state
+
+    def test_extension_reselects_on_grown_collection(
+        self, graph, comic_store, tmp_path
+    ):
+        from repro.rrset.node_selection import greedy_max_coverage
+
+        path = tmp_path / "c.sketch"
+        comic_store.save(path)
+        extended = extend_store(SketchStore.load(path), graph, 300)
+        seeds, covered = greedy_max_coverage(
+            graph.num_nodes,
+            np.asarray(extended.members),
+            np.asarray(extended.offsets),
+            3,
+        )
+        assert tuple(int(v) for v in extended.seed_order) == tuple(seeds)
+        assert extended.comic["covered"] == covered
+
+    def test_double_extension_continues_cursor(
+        self, graph, comic_store, tmp_path
+    ):
+        path = tmp_path / "c.sketch"
+        comic_store.save(path)
+        once = extend_store(SketchStore.load(path), graph, 100)
+        once.save(path)
+        twice = extend_store(SketchStore.load(path), graph, 100)
+        assert twice.world_cursor == comic_store.world_cursor + 200
+        assert twice.num_sets == comic_store.num_sets + 200
+
+    def test_extension_rejects_unknown_backend(
+        self, graph, comic_store, tmp_path
+    ):
+        path = tmp_path / "c.sketch"
+        comic_store.save(path)
+        with pytest.raises(ValueError, match="valid backends"):
+            extend_store(
+                SketchStore.load(path), graph, 10, backend="bogus"
+            )
+
+    def test_extension_keeps_theta_header_consistent(
+        self, graph, comic_store, tmp_path
+    ):
+        path = tmp_path / "c.sketch"
+        comic_store.save(path)
+        extended = extend_store(SketchStore.load(path), graph, 250)
+        assert extended.comic["theta"] == extended.num_sets
+        assert extended.comic["covered"] <= extended.num_sets
+        assert extended.world_cursor == extended.num_sets + int(
+            extended.comic["kpt_sets"]
+        )
+
+    def test_extension_checks_fingerprint(self, comic_store, tmp_path):
+        from repro.store import StaleStoreError
+
+        other = random_wc_graph(150, 5, seed=77)
+        path = tmp_path / "c.sketch"
+        comic_store.save(path)
+        with pytest.raises(StaleStoreError):
+            extend_store(SketchStore.load(path), other, 10)
+
+
+class TestFormatVersions:
+    def test_v1_prima_store_still_loads(self, graph, tmp_path):
+        store = build_store(
+            graph, 4, estimation_rr_sets=500,
+            ctx=EngineContext.create(seed=5),
+        )
+        v1_path = tmp_path / "v1.sketch"
+        v2_path = tmp_path / "v2.sketch"
+        store.save(v1_path, format_version=1)
+        store.save(v2_path)
+        v1 = SketchStore.load(v1_path)
+        v2 = SketchStore.load(v2_path)
+        assert v1.model == "prima"
+        assert v1.worlds is None and v1.comic is None
+        for name in ("seed_order", "members", "offsets", "cover_counts"):
+            assert np.array_equal(getattr(v1, name), getattr(v2, name))
+        # A v1 store keeps extending (the PRIMA path needs no v2 fields).
+        extended = extend_store(v1, graph, 50)
+        assert extended.num_sets == store.num_sets + 50
+
+    def test_v1_header_has_no_model_key(self, graph, tmp_path):
+        import json
+
+        store = build_store(
+            graph, 2, estimation_rr_sets=100,
+            ctx=EngineContext.create(seed=5),
+        )
+        path = tmp_path / "v1.sketch"
+        store.save(path, format_version=1)
+        raw = path.read_bytes()
+        header_len = int(np.frombuffer(raw[8:16], dtype="<u8")[0])
+        header = json.loads(raw[16 : 16 + header_len].decode())
+        assert header["format_version"] == 1
+        assert "model" not in header["meta"]
+
+    def test_v1_refuses_comic_sketches(self, comic_store, tmp_path):
+        with pytest.raises(SketchStoreError, match="version 1"):
+            comic_store.save(tmp_path / "x.sketch", format_version=1)
+
+    def test_unknown_version_rejected(self, graph, tmp_path):
+        store = build_store(
+            graph, 2, estimation_rr_sets=100,
+            ctx=EngineContext.create(seed=5),
+        )
+        with pytest.raises(SketchStoreError, match="format version"):
+            store.save(tmp_path / "x.sketch", format_version=7)
+
+    def test_comic_store_without_worlds_rejected(
+        self, comic_store, tmp_path
+    ):
+        import json
+
+        path = tmp_path / "c.sketch"
+        comic_store.save(path)
+        raw = bytearray(path.read_bytes())
+        header_len = int(np.frombuffer(raw[8:16], dtype="<u8")[0])
+        header = json.loads(raw[16 : 16 + header_len].decode())
+        del header["arrays"]["worlds"]
+        blob = json.dumps(header, separators=(",", ":")).encode()
+        # Same-length re-encode is not guaranteed; pad with spaces (JSON
+        # tolerates trailing whitespace inside the reserved header span).
+        assert len(blob) <= header_len
+        blob = blob + b" " * (header_len - len(blob))
+        raw[16 : 16 + header_len] = blob
+        path.write_bytes(bytes(raw))
+        with pytest.raises(SketchStoreError, match="worlds"):
+            SketchStore.load(path)
+
+
+class TestComicCLI:
+    """The acceptance golden: fresh-process comic build + query."""
+
+    @pytest.fixture(scope="class")
+    def cli_env(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("comic_cli")
+        graph = random_wc_graph(120, 4, seed=53)
+        graph_path = tmp / "g.txt"
+        write_edge_list(graph, graph_path)
+        return graph, graph_path, tmp / "g.sketch"
+
+    def _run(self, *argv):
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *argv],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": REPO_SRC, "PATH": "/usr/bin:/bin"},
+        )
+
+    def test_build_query_extend_fresh_process(self, cli_env):
+        graph, graph_path, store_path = cli_env
+        common = ["--graph", str(graph_path), "--store", str(store_path)]
+        build = self._run(
+            "oracle", "build", *common, "--model", "comic",
+            "--max-budget", "3", "--fixed-budget", "2",
+            "--gap", "0.1", "0.4", "0.1", "0.4",
+            "--forward-worlds", "3", "--seed", "13",
+        )
+        assert build.returncode == 0, build.stderr
+        assert "model=comic" in build.stdout
+
+        query = self._run(
+            "oracle", "query", *common, "--budgets", "3", "--spread"
+        )
+        assert query.returncode == 0, query.stderr
+
+        # In-memory golden: same pipeline, same seed, same context.
+        from repro.graph.io import read_edge_list
+
+        reread, _ = read_edge_list(graph_path)
+        reference = build_comic_store(
+            reread, GAP, 3,
+            fixed_budget=2,
+            num_forward_worlds=3,
+            ctx=EngineContext.create(seed=13),
+        )
+        service = OracleService(reference, reread)
+        lines = dict(
+            line.split(" = ")
+            for line in query.stdout.strip().splitlines()
+        )
+        expected = " ".join(str(s) for s in service.seeds(3))
+        assert lines["seeds[3]"] == expected
+        assert float(lines["spread[3]"]) == pytest.approx(
+            service.estimate_spread(service.seeds(3)), abs=5e-3
+        )
+
+        extend = self._run("oracle", "extend", *common, "--add", "200")
+        assert extend.returncode == 0, extend.stderr
+        grown = SketchStore.load(store_path)
+        assert grown.num_sets == reference.num_sets + 200
+        assert grown.world_cursor == reference.world_cursor + 200
+
+    def test_comic_build_refuses_shards(self, cli_env):
+        _, graph_path, store_path = cli_env
+        result = self._run(
+            "oracle", "build", "--graph", str(graph_path),
+            "--store", str(store_path) + ".x", "--model", "comic",
+            "--max-budget", "2", "--shards", "4",
+        )
+        assert result.returncode != 0
+        assert "shards" in result.stderr
