@@ -56,7 +56,9 @@ def test_ablation_prima_vs_per_budget_imm(benchmark):
     rows.append(
         {
             "budget": "TOTAL",
-            "prima_prefix_spread": f"{prima_seconds:.2f}s / {prima_result.num_rr_sets} RR",
+            "prima_prefix_spread": (
+                f"{prima_seconds:.2f}s / {prima_result.num_rr_sets} RR"
+            ),
             "dedicated_imm_spread": (
                 f"{imm_seconds:.2f}s / "
                 f"{sum(r.num_rr_sets for r in imm_runs.values())} RR"

@@ -29,6 +29,7 @@ import numpy as np
 
 from _bench_utils import min_speedup, record, run_once
 from repro.baselines.rr_sim import rr_sim_plus
+from repro.engine import EngineContext
 from repro.diffusion.comic import ComICModel
 from repro.graph.generators import erdos_renyi, random_wc_graph
 from repro.graph.weighting import fixed_probability
@@ -62,7 +63,8 @@ def _time_comic(graph, budgets, backend):
     rng = np.random.default_rng(7)
     t0 = time.perf_counter()
     result = rr_sim_plus(
-        graph, GAP, budgets, rng=rng, num_forward_worlds=5, backend=backend
+        graph, GAP, budgets, num_forward_worlds=5,
+        ctx=EngineContext.create(backend=backend, rng=rng),
     )
     return time.perf_counter() - t0, result.num_rr_sets
 

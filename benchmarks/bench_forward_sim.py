@@ -38,6 +38,7 @@ from repro.diffusion.batch_forward import batch_simulate_ic
 from repro.diffusion.comic import ComICModel, estimate_comic_spread
 from repro.diffusion.ic import estimate_spread
 from repro.diffusion.welfare import estimate_welfare
+from repro.engine import EngineContext
 from repro.graph.generators import random_wc_graph
 from repro.utility.model import UtilityModel
 from repro.utility.noise import GaussianNoise
@@ -87,13 +88,17 @@ def _run_comparison():
     t0 = time.perf_counter()
     seq_mean = estimate_comic_spread(
         comic_graph, GAP, seeds_a, seeds_b, item=0, num_samples=NUM_WORLDS,
-        rng=np.random.default_rng(1), backend="sequential",
+        ctx=EngineContext.create(
+            backend="sequential", rng=np.random.default_rng(1)
+        ),
     )
     seq_s = time.perf_counter() - t0
     t0 = time.perf_counter()
     bat_mean = estimate_comic_spread(
         comic_graph, GAP, seeds_a, seeds_b, item=0, num_samples=NUM_WORLDS,
-        rng=np.random.default_rng(2), backend="batched",
+        ctx=EngineContext.create(
+            backend="batched", rng=np.random.default_rng(2)
+        ),
     )
     bat_s = time.perf_counter() - t0
     # Per-world adopter counts have std of a few dozen nodes here; one
@@ -112,13 +117,17 @@ def _run_comparison():
     t0 = time.perf_counter()
     seq = estimate_welfare(
         uic_graph, CONFIG1_MODEL, allocation, num_samples=NUM_WORLDS,
-        rng=np.random.default_rng(3), backend="sequential",
+        ctx=EngineContext.create(
+            backend="sequential", rng=np.random.default_rng(3)
+        ),
     )
     seq_s = time.perf_counter() - t0
     t0 = time.perf_counter()
     bat = estimate_welfare(
         uic_graph, CONFIG1_MODEL, allocation, num_samples=NUM_WORLDS,
-        rng=np.random.default_rng(4), backend="batched",
+        ctx=EngineContext.create(
+            backend="batched", rng=np.random.default_rng(4)
+        ),
     )
     bat_s = time.perf_counter() - t0
     sigma = math.hypot(seq.stderr, bat.stderr)

@@ -163,7 +163,7 @@ def _forward_adopter_worlds(
     """
     seeds_a = fixed_seeds if fixed_item == 0 else ()
     seeds_b = fixed_seeds if fixed_item == 1 else ()
-    if backend == "batched":
+    if backend != "sequential":
         result = batch_simulate_comic(
             graph, model, seeds_a, seeds_b, num_worlds, rng
         )
@@ -280,7 +280,7 @@ class _GapSampler:
     @property
     def worlds_bitmap(self) -> np.ndarray:
         """The installed worlds as a boolean bitmap (persistence hook)."""
-        if self.backend == "batched":
+        if self.backend != "sequential":
             return self._bitmap
         return worlds_to_bitmap(self._worlds, self._graph.num_nodes)
 
@@ -295,16 +295,16 @@ class _GapSampler:
         entirely.
         """
         if isinstance(worlds, np.ndarray):
-            if self.backend != "batched":
+            if self.backend == "sequential":
                 raise ValueError(
-                    "bitmap worlds require the batched backend; the "
+                    "bitmap worlds require a vectorized backend; the "
                     "sequential sampler pairs walks with adopter sets"
                 )
             self._worlds = []
             self._bitmap = worlds_to_bitmap(worlds, self._graph.num_nodes)
             return
         self._worlds = list(worlds)
-        if self.backend != "batched":
+        if self.backend == "sequential":
             return
         self._bitmap = worlds_to_bitmap(
             self._worlds, self._graph.num_nodes
@@ -316,7 +316,7 @@ class _GapSampler:
         Lengths may be zero (failed root coins).  Advances the cursor.
         """
         start = self._cursor.advance(count)
-        if self.backend == "batched":
+        if self.backend != "sequential":
             world_ids = (
                 start + np.arange(count, dtype=np.int64)
             ) % self._bitmap.shape[0]
@@ -385,7 +385,7 @@ def _estimate_kpt(
         )
         members, lengths = sampler.sample(c_i)
         used += c_i
-        if sampler.backend == "batched":
+        if sampler.backend != "sequential":
             widths = rr_set_widths(graph, members, lengths)
             total = float(np.sum(1.0 - (1.0 - widths / m) ** k))
         else:
@@ -508,8 +508,10 @@ def comic_rr_selection(
     ``extra_forward_pass`` doubles the forward-simulation effort (RR-CIM's
     generality tax: it re-estimates the boost after a first selection round).
 
-    The context's backend picks the GAP sampling path (``sequential`` |
-    ``batched``); ``backend=``/``rng=`` are the deprecated loose spellings.
+    The context's backend picks the GAP sampling path (``sequential``, or
+    the vectorized path for ``batched``/``parallel``); the removed legacy
+    ``backend=`` keyword raises ``TypeError`` while ``rng=`` stays
+    first-class.
     The returned ``coverage_fraction`` divides by the full θ — empty RR
     sets from failed root adoption coins included — and RR set ``j``
     (counting from the first KPT sample) is paired with forward world

@@ -27,7 +27,13 @@ import numpy as np
 from repro.core.allocation import Allocation
 from repro.graph.digraph import InfluenceGraph
 from repro.rrset.imm import imm
-from repro.utility.itemsets import Mask, items_of, iter_nonempty_subsets, mask_of, popcount
+from repro.utility.itemsets import (
+    Mask,
+    items_of,
+    iter_nonempty_subsets,
+    mask_of,
+    popcount,
+)
 from repro.utility.model import UtilityModel
 
 

@@ -24,6 +24,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.allocation import Allocation
+from repro.engine import EngineContext
 from repro.diffusion.welfare import estimate_welfare
 from repro.graph.digraph import InfluenceGraph
 from repro.utility.model import UtilityModel
@@ -85,7 +86,7 @@ def marginal_greedy(
             model,
             allocation,
             num_samples=num_samples,
-            rng=np.random.default_rng(rng_seed),
+            ctx=EngineContext.create(rng=np.random.default_rng(rng_seed)),
         ).mean
 
     current = Allocation.empty(model.num_items)

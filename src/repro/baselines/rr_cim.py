@@ -8,7 +8,7 @@ allocations match RR-SIM+'s; it is simply slower — which is exactly how the
 paper reports it (Fig. 5: RR-CIM is the slowest baseline).
 
 Like :mod:`repro.baselines.rr_sim`, this is a faithful-role reimplementation
-on TIM-scale sample sizes; see DESIGN.md §7.
+on TIM-scale sample sizes; see DESIGN.md §8.
 """
 
 from __future__ import annotations
@@ -52,7 +52,7 @@ def rr_cim(
     """Run RR-CIM for two items.
 
     Parameters mirror :func:`repro.baselines.rr_sim.rr_sim_plus` (including
-    the ``ctx`` engine context and its deprecated ``backend=`` spelling);
+    the ``ctx`` engine context; the removed ``backend=`` keyword raises);
     by default RR-CIM optimizes the *other* item than RR-SIM+ does,
     matching the paper's setup ("given seed set of item i2 (resp. i1),
     RR-SIM+ (resp. RR-CIM) finds seed set of item i1 (resp. i2)").

@@ -12,7 +12,7 @@ TIM-based), which is why these baselines generate over an order of magnitude
 more RR sets than the IMM-based algorithms (Fig. 6).
 
 This is a faithful-role reimplementation (the original C++ is unavailable);
-DESIGN.md §7 records the substitution.  The properties the paper's
+DESIGN.md §8 records the substitution.  The properties the paper's
 experiments rely on — allocations that converge to copying the other item's
 seeds under strongly complementary configurations, TIM-scale sample counts,
 and much slower wall-clock — hold by construction.
@@ -74,10 +74,9 @@ def rr_sim_plus(
         Forward Com-IC simulations of the fixed item used to estimate
         per-world adopter sets for the "+" boost.
     backend:
-        Deprecated — RR sampling backend for both the IMM call and the
-        GAP-aware KPT/θ phases: ``"batched"`` (vectorized, default),
-        ``"sequential"`` (historical per-set BFS), or ``None`` to resolve
-        ``$REPRO_RR_BACKEND``.  Pass ``ctx`` instead.
+        Removed — raises ``TypeError``.  Select the backend for both the
+        IMM call and the GAP-aware KPT/θ phases through
+        ``ctx=EngineContext.create(backend=...)`` instead.
     ctx:
         :class:`repro.engine.EngineContext` shared by every phase (IMM,
         forward worlds, GAP KPT/θ), including the forward-world cursor.

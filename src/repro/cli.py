@@ -22,11 +22,13 @@ Usage::
         --model comic --max-budget 10 --gap 0.1 0.4 0.1 0.4
 
 Every subcommand prints the regenerated rows in the same shape the paper
-reports.  Scales refer to the dataset stand-ins (DESIGN.md §7).  The engine
+reports.  Scales refer to the dataset stand-ins (DESIGN.md §8).  The engine
 backend is selectable per run (``--rr-backend`` or ``$REPRO_RR_BACKEND``):
-``batched`` (vectorized, default) or ``sequential`` (the historical
-per-world/per-set Python loops, byte-reproducible against
-pre-vectorization seeds).  The single knob covers every RR-based phase —
+``batched`` (vectorized, default), ``parallel`` (the batched kernels
+fanned over the shared-memory worker pool for sharded builds and forward
+Monte-Carlo), or ``sequential`` (the historical per-world/per-set Python
+loops, byte-reproducible against pre-vectorization seeds).  The single
+knob covers every RR-based phase —
 PRIMA/IMM/TIM/SSA sampling, TIM's width-based KPT estimation, the
 GAP-aware Com-IC sampling of RR-SIM+/RR-CIM — *and* every forward
 Monte-Carlo phase: welfare/adoption estimation, Com-IC spread estimation
@@ -60,11 +62,14 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--rr-backend", choices=BACKENDS, default=None,
         help="engine backend: 'batched' (vectorized numpy frontier "
-        "expansion, the default) or 'sequential' (historical per-set/"
-        "per-world Python loops). Applies to all RR phases (incl. KPT "
-        "estimation and the GAP-aware Com-IC sampler) and to all forward "
-        "Monte-Carlo phases (welfare/spread estimation, forward adopter "
-        "worlds). Also settable via $REPRO_RR_BACKEND.",
+        "expansion, the default), 'parallel' (batched kernels plus the "
+        "shared-memory worker pool for sharded builds and forward "
+        "Monte-Carlo; worker count via $REPRO_PARALLEL_PROCESSES) or "
+        "'sequential' (historical per-set/per-world Python loops). "
+        "Applies to all RR phases (incl. KPT estimation and the "
+        "GAP-aware Com-IC sampler) and to all forward Monte-Carlo "
+        "phases (welfare/spread estimation, forward adopter worlds). "
+        "Also settable via $REPRO_RR_BACKEND.",
     )
 
 

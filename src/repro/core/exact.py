@@ -16,6 +16,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.allocation import Allocation
+from repro.engine import EngineContext
 from repro.core.welmax import WelMaxInstance
 from repro.diffusion.welfare import estimate_welfare
 
@@ -71,7 +72,7 @@ def brute_force_optimum(
             instance.model,
             allocation,
             num_samples=num_samples,
-            rng=np.random.default_rng(rng_seed),
+            ctx=EngineContext.create(rng=np.random.default_rng(rng_seed)),
         )
         if estimate.mean > best_welfare:
             best_welfare = estimate.mean

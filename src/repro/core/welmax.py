@@ -19,6 +19,7 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.allocation import Allocation
+from repro.engine import EngineContext
 from repro.diffusion.welfare import WelfareEstimate, estimate_adoption, estimate_welfare
 from repro.graph.digraph import InfluenceGraph
 from repro.utility.model import UtilityModel
@@ -83,7 +84,11 @@ class WelMaxInstance:
         """MC estimate of ``ρ(𝒮)`` for a feasible allocation."""
         self.check(allocation)
         return estimate_welfare(
-            self.graph, self.model, allocation, num_samples=num_samples, rng=rng
+            self.graph,
+            self.model,
+            allocation,
+            num_samples=num_samples,
+            ctx=EngineContext.create(rng=rng),
         )
 
     def adoption(
@@ -95,5 +100,9 @@ class WelMaxInstance:
         """MC estimate of total expected adoptions (the baselines' metric)."""
         self.check(allocation)
         return estimate_adoption(
-            self.graph, self.model, allocation, num_samples=num_samples, rng=rng
+            self.graph,
+            self.model,
+            allocation,
+            num_samples=num_samples,
+            ctx=EngineContext.create(rng=rng),
         )

@@ -182,11 +182,14 @@ def estimate_comic_spread(
     root.  Either way a CLI-supplied integer names one reproducible
     estimate per backend.
 
-    The context's backend picks the forward engine (``sequential`` — one
+    The context's backend picks the forward engine: ``sequential`` — one
     :func:`simulate_comic` per world, the historical byte-identical path
-    when handed a ``Generator`` — or ``batched`` —
+    when handed a ``Generator`` —, ``batched`` —
     :func:`repro.diffusion.batch_forward.batch_simulate_comic`, all worlds
-    at once); ``backend=`` is the deprecated loose spelling.
+    at once —, or ``parallel`` — the worlds sharded over the persistent
+    worker pool, each shard a batched run seeded from its own
+    ``SeedSequence`` child.  The removed legacy ``backend=`` keyword
+    raises ``TypeError``.
     """
     from repro.diffusion.batch_forward import batch_simulate_comic
     from repro.engine import ensure_context
@@ -196,7 +199,24 @@ def estimate_comic_spread(
     ctx = ensure_context(
         ctx, backend=backend, rng=rng, caller="estimate_comic_spread"
     )
-    if ctx.backend == "batched":
+    parallel = ctx.backend == "parallel"
+    if parallel and not ctx.has_lineage:
+        from repro.parallel import lineage_fallback
+
+        lineage_fallback("estimate_comic_spread")
+        parallel = False
+    if parallel:
+        from repro.parallel import run_forward_shards
+
+        values = run_forward_shards(
+            "comic_spread_shard",
+            graph,
+            ctx,
+            num_samples,
+            (model, tuple(seeds_a), tuple(seeds_b), item),
+        )
+        return float(values.mean())
+    if ctx.backend != "sequential":
         result = batch_simulate_comic(
             graph, model, seeds_a, seeds_b, num_samples, ctx.rng
         )

@@ -167,11 +167,28 @@ def estimate_welfare_personalized(
         warn_uic_item_cap_fallback,
     )
 
-    if ctx.backend == "batched":
+    if ctx.backend != "sequential":
         if model.num_items <= MAX_BATCH_ITEMS:
-            welfare = batch_simulate_uic_personalized(
-                graph, model, allocation, num_samples, ctx.rng
-            )
+            parallel = ctx.backend == "parallel"
+            if parallel and not ctx.has_lineage:
+                from repro.parallel import lineage_fallback
+
+                lineage_fallback("estimate_welfare_personalized")
+                parallel = False
+            if parallel:
+                from repro.parallel import run_forward_shards
+
+                welfare = run_forward_shards(
+                    "personalized_welfare_shard",
+                    graph,
+                    ctx,
+                    num_samples,
+                    (model, allocation),
+                )
+            else:
+                welfare = batch_simulate_uic_personalized(
+                    graph, model, allocation, num_samples, ctx.rng
+                )
             return float(welfare.mean())
         warn_uic_item_cap_fallback(model)
     world_rngs = (

@@ -6,11 +6,15 @@ jointly by sampling full possible worlds.  A fixed noise world can be supplied
 to estimate ``ρ_{W^N}(𝒮)`` (the quantity the block-accounting analysis fixes).
 
 Both estimators accept the unified :class:`repro.engine.EngineContext`
-(``ctx=``); the legacy ``rng=``/``backend=`` kwargs keep working through
-the deprecation adapter.  ``rng`` may also be a plain integer seed — it is
-expanded through ``SeedSequence`` so that on the sequential engine each
-world draws from its own spawned child stream (world ``i`` depends only on
-``(seed, i)``), matching :func:`repro.diffusion.comic.estimate_comic_spread`.
+(``ctx=``); ``rng=`` builds an equivalent context (the removed legacy
+``backend=`` keyword raises ``TypeError``).  ``rng`` may also be a plain
+integer seed — it is expanded through ``SeedSequence`` so that on the
+sequential engine each world draws from its own spawned child stream
+(world ``i`` depends only on ``(seed, i)``), matching
+:func:`repro.diffusion.comic.estimate_comic_spread`.  On the ``parallel``
+backend the worlds are sharded over the persistent worker pool
+(:mod:`repro.parallel`), each shard running the batched kernels on its
+slice from its own ``SeedSequence`` child.
 """
 
 from __future__ import annotations
@@ -67,7 +71,10 @@ def estimate_welfare(
     that triggering model instead of the IC fast path — the §5 extension.
 
     The context's backend picks the forward engine (``sequential`` |
-    ``batched``; default batched).  The batched engine advances all worlds
+    ``batched`` | ``parallel``; default batched).  ``parallel`` shards the
+    worlds over the shared-memory worker pool (:mod:`repro.parallel`) when
+    the context carries a seed lineage, and otherwise degrades to batched
+    with a warning.  The batched engine advances all worlds
     at once (:func:`repro.diffusion.batch_forward.batch_simulate_uic`)
     whenever the (model, triggering) pair is vectorizable — at most
     :data:`~repro.diffusion.batch_forward.MAX_BATCH_ITEMS` items, and a
@@ -92,11 +99,28 @@ def estimate_welfare(
     if trig_model is not None:
         trig_model.validate(graph)
     allocation = list(allocation)
-    batched = ctx.backend == "batched"
+    batched = ctx.backend != "sequential"
     supported = supports_batched_uic(model, trig_model)
     if batched and not supported:
         warn_uic_item_cap_fallback(model)
-    if batched and supported:
+    parallel = ctx.backend == "parallel" and supported
+    if parallel and not ctx.has_lineage:
+        from repro.parallel import lineage_fallback
+
+        lineage_fallback("estimate_welfare")
+        parallel = False
+    if parallel:
+        from repro.parallel import run_forward_shards
+
+        values = run_forward_shards(
+            "uic_welfare_shard",
+            graph,
+            ctx,
+            num_samples,
+            (model, allocation, noise_world, trig_model),
+            triggering=trig_model,
+        )
+    elif batched and supported:
         values = batch_simulate_uic(
             graph,
             model,
@@ -124,7 +148,11 @@ def estimate_welfare(
             )
             values[i] = result.welfare
     mean = float(values.mean())
-    stderr = float(values.std(ddof=1) / math.sqrt(num_samples)) if num_samples > 1 else 0.0
+    stderr = (
+        float(values.std(ddof=1) / math.sqrt(num_samples))
+        if num_samples > 1
+        else 0.0
+    )
     return WelfareEstimate(mean=mean, stderr=stderr, num_samples=num_samples)
 
 
@@ -152,11 +180,27 @@ def estimate_adoption(
         ctx, backend=backend, rng=rng, caller="estimate_adoption"
     )
     allocation = list(allocation)
-    batched = ctx.backend == "batched"
+    batched = ctx.backend != "sequential"
     supported = supports_batched_uic(model, None)
     if batched and not supported:
         warn_uic_item_cap_fallback(model)
-    if batched and supported:
+    parallel = ctx.backend == "parallel" and supported
+    if parallel and not ctx.has_lineage:
+        from repro.parallel import lineage_fallback
+
+        lineage_fallback("estimate_adoption")
+        parallel = False
+    if parallel:
+        from repro.parallel import run_forward_shards
+
+        values = run_forward_shards(
+            "uic_adoption_shard",
+            graph,
+            ctx,
+            num_samples,
+            (model, allocation, item),
+        )
+    elif batched and supported:
         result = batch_simulate_uic(
             graph, model, allocation, num_samples, ctx.rng
         )
@@ -174,5 +218,9 @@ def estimate_adoption(
             else:
                 values[i] = len(result.adopters_of(item))
     mean = float(values.mean())
-    stderr = float(values.std(ddof=1) / math.sqrt(num_samples)) if num_samples > 1 else 0.0
+    stderr = (
+        float(values.std(ddof=1) / math.sqrt(num_samples))
+        if num_samples > 1
+        else 0.0
+    )
     return WelfareEstimate(mean=mean, stderr=stderr, num_samples=num_samples)

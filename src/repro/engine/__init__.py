@@ -3,19 +3,21 @@
 from repro.engine.context import (
     BACKEND_ENV,
     BACKENDS,
-    DEPRECATION_MESSAGE,
+    LEGACY_KWARG_MESSAGE,
     EngineContext,
     WorldCursor,
     ensure_context,
+    reject_legacy_kwarg,
     resolve_backend,
 )
 
 __all__ = [
     "BACKEND_ENV",
     "BACKENDS",
-    "DEPRECATION_MESSAGE",
+    "LEGACY_KWARG_MESSAGE",
     "EngineContext",
     "WorldCursor",
     "ensure_context",
+    "reject_legacy_kwarg",
     "resolve_backend",
 ]

@@ -5,8 +5,9 @@ GAP-aware Com-IC phases), the forward Monte-Carlo engines, the experiment
 drivers, the CLI and the persistent sketch store — shares three pieces of
 cross-cutting execution state:
 
-* the **backend** choice (``sequential`` | ``batched``), historically
-  resolved per call site from an explicit kwarg or ``$REPRO_RR_BACKEND``;
+* the **backend** choice (``sequential`` | ``batched`` | ``parallel``),
+  historically resolved per call site from an explicit kwarg or
+  ``$REPRO_RR_BACKEND``;
 * the **randomness lineage** — a ``numpy.random.Generator`` plus, when the
   caller named an integer seed, the ``SeedSequence`` it came from, so
   per-world child streams can be spawned reproducibly;
@@ -23,17 +24,18 @@ through the held objects, never through rebinding.  One context therefore
 names one reproducible execution: two runs handed equal contexts consume
 identical randomness and identical world pairings on every layer.
 
-Legacy call sites keep working through :func:`ensure_context`, the thin
-adapter every public entry point routes its historical ``backend=`` /
-``seed=`` / ``rng=`` kwargs through.  Passing ``backend=`` or ``seed=``
-explicitly builds an equivalent context and emits a pinned
-:class:`DeprecationWarning`; passing ``ctx=`` is the supported spelling.
+Every public entry point routes its arguments through
+:func:`ensure_context`: ``ctx=`` is the one supported spelling of
+execution state, ``rng=`` rides into a fresh context unchanged (it was
+never deprecated), and the removed legacy ``backend=`` / ``seed=``
+keywords raise a :class:`TypeError` naming ``ctx=`` as the replacement —
+the one-release deprecation window of the EngineContext migration is
+over.
 """
 
 from __future__ import annotations
 
 import os
-import warnings
 from dataclasses import dataclass, field
 from typing import List, Optional, Union
 
@@ -42,26 +44,25 @@ import numpy as np
 __all__ = [
     "BACKEND_ENV",
     "BACKENDS",
-    "DEPRECATION_MESSAGE",
+    "LEGACY_KWARG_MESSAGE",
     "EngineContext",
     "WorldCursor",
     "ensure_context",
+    "reject_legacy_kwarg",
     "resolve_backend",
-    "warn_deprecated_kwarg",
 ]
 
 #: Environment variable naming the default engine backend.
 BACKEND_ENV = "REPRO_RR_BACKEND"
 
 #: Recognized backend names.
-BACKENDS = ("sequential", "batched")
+BACKENDS = ("sequential", "batched", "parallel")
 
-#: The pinned deprecation text (tests assert on this exact template).
-DEPRECATION_MESSAGE = (
-    "{caller}: the {kwarg} keyword is deprecated; build an EngineContext "
-    "(repro.engine.EngineContext.create(...)) and pass it as ctx= instead. "
-    "The legacy keyword will be removed one release after the EngineContext "
-    "migration."
+#: The pinned removal text (tests assert on this exact template).
+LEGACY_KWARG_MESSAGE = (
+    "{caller}: the legacy {kwarg} keyword was removed with the "
+    "EngineContext migration; build an EngineContext "
+    "(repro.engine.EngineContext.create(...)) and pass it as ctx= instead."
 )
 
 
@@ -292,13 +293,9 @@ class EngineContext:
         )
 
 
-def warn_deprecated_kwarg(caller: str, kwarg: str, stacklevel: int = 4) -> None:
-    """Emit the pinned legacy-kwarg deprecation warning."""
-    warnings.warn(
-        DEPRECATION_MESSAGE.format(caller=caller, kwarg=kwarg),
-        DeprecationWarning,
-        stacklevel=stacklevel,
-    )
+def reject_legacy_kwarg(caller: str, kwarg: str) -> None:
+    """Raise the pinned removed-legacy-kwarg TypeError."""
+    raise TypeError(LEGACY_KWARG_MESSAGE.format(caller=caller, kwarg=kwarg))
 
 
 def ensure_context(
@@ -310,35 +307,29 @@ def ensure_context(
     triggering=None,
     caller: str = "this function",
 ) -> EngineContext:
-    """Adapter between the ctx-first API and the legacy loose kwargs.
+    """Resolve an entry point's execution state into one context.
 
     Every public entry point calls this first.  With ``ctx`` given it is
-    returned as-is (combining it with a legacy ``backend=`` / ``seed=`` /
-    ``rng=`` value is a :class:`TypeError` — two sources of truth for the
-    same state is exactly the drift the context exists to prevent; an
+    returned as-is (combining it with an ``rng=`` value is a
+    :class:`TypeError` — two sources of truth for the same state is
+    exactly the drift the context exists to prevent; an
     entry-point-specific ``triggering`` argument is the one exception and
     overlays the context when the context itself carries none — two
     *different* triggering sources are a :class:`TypeError` like every
     other conflict).  Without ``ctx`` an equivalent context is built from
-    the legacy kwargs; passing ``backend=`` or ``seed=`` explicitly
-    additionally emits the pinned :class:`DeprecationWarning` (``rng=``
-    stays warning-free — it rides into the context unchanged).
+    ``rng=`` (never deprecated — it rides into the context unchanged).
+    The removed legacy ``backend=`` / ``seed=`` keywords raise a
+    :class:`TypeError` naming ``ctx=`` as the supported spelling, whether
+    or not a context was passed.
     """
     if ctx is not None:
         if backend is not None:
-            raise TypeError(
-                f"{caller}: pass either ctx= or the legacy backend= "
-                "keyword, not both"
-            )
+            reject_legacy_kwarg(caller, "backend=")
         if seed is not None:
-            raise TypeError(
-                f"{caller}: pass either ctx= or the legacy seed= "
-                "keyword, not both"
-            )
+            reject_legacy_kwarg(caller, "seed=")
         if rng is not None:
             raise TypeError(
-                f"{caller}: pass either ctx= or the legacy rng= "
-                "keyword, not both"
+                f"{caller}: pass either ctx= or rng=, not both"
             )
         if triggering is not None:
             if ctx.triggering is not None:
@@ -349,12 +340,10 @@ def ensure_context(
             return ctx.with_triggering(triggering)
         return ctx
     if backend is not None:
-        warn_deprecated_kwarg(caller, "backend=")
+        reject_legacy_kwarg(caller, "backend=")
     if seed is not None:
-        warn_deprecated_kwarg(caller, "seed=")
+        reject_legacy_kwarg(caller, "seed=")
     return EngineContext.create(
-        backend=backend,
-        seed=seed,
         rng=rng,
         triggering=triggering,
     )

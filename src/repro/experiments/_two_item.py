@@ -78,8 +78,9 @@ def run_two_item_experiment(
     num_samples:
         MC samples per welfare estimate.
     backend:
-        Deprecated — engine backend (``sequential`` | ``batched``); pass
-        ``ctx`` instead.  ``None`` resolves ``$REPRO_RR_BACKEND`` (default
+        Removed — raises ``TypeError``; pass
+        ``ctx=EngineContext.create(backend=...)`` instead.  A ``None``
+        ``ctx`` resolves ``$REPRO_RR_BACKEND`` (default
         batched) — the same switch every algorithm reads at context
         construction, so the CLI's ``--rr-backend`` reconfigures the whole
         run.

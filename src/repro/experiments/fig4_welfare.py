@@ -39,7 +39,7 @@ def run_fig4(
 ) -> List[TwoItemRun]:
     """Regenerate one panel of Fig. 4 (configs 1–4 → panels a–d).
 
-    ``ctx`` (or the deprecated ``backend=``) selects the engine backend
+    ``ctx`` selects the engine backend
     for every algorithm and the welfare evaluation (``None`` resolves
     ``$REPRO_RR_BACKEND``).
     """

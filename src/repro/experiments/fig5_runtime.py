@@ -44,7 +44,7 @@ def run_fig5(
 ) -> Dict[str, List[TwoItemRun]]:
     """Regenerate the four panels of Fig. 5 (config 1, times per network).
 
-    ``ctx`` (or the deprecated ``backend=``) selects the engine backend
+    ``ctx`` selects the engine backend
     for every algorithm and the welfare evaluation (``None`` resolves
     ``$REPRO_RR_BACKEND``).
     """

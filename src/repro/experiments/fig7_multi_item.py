@@ -55,7 +55,7 @@ def run_fig7(
 ) -> List[MultiItemRun]:
     """Regenerate one panel of Fig. 7 (configs 5–8 → panels a–d).
 
-    ``ctx`` (or the deprecated ``backend=``) selects the engine backend
+    ``ctx`` selects the engine backend
     for the seed-selection algorithms and the welfare evaluation
     (``None`` resolves ``$REPRO_RR_BACKEND``).
     """

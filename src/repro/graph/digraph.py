@@ -48,6 +48,7 @@ class InfluenceGraph:
         "_in_indptr",
         "_in_sources",
         "_in_probs",
+        "__weakref__",
     )
 
     def __init__(self, num_nodes: int, edges: Iterable[Edge]):
@@ -61,6 +62,36 @@ class InfluenceGraph:
         self._in_indptr, self._in_sources, self._in_probs = _build_csr(
             self._n, dst, src, prob
         )
+
+    @classmethod
+    def from_csr(
+        cls,
+        num_nodes: int,
+        out_indptr: np.ndarray,
+        out_targets: np.ndarray,
+        out_probs: np.ndarray,
+        in_indptr: np.ndarray,
+        in_sources: np.ndarray,
+        in_probs: np.ndarray,
+    ) -> "InfluenceGraph":
+        """Wrap already-built CSR arrays without copying or validation.
+
+        Trusted constructor for the shared-memory workers: the arrays are
+        adopted as-is (typically numpy views over a
+        ``multiprocessing.shared_memory`` segment published by the parent
+        process), so attaching to a graph is O(1) regardless of size.  The
+        arrays must be exactly the six CSR arrays a normal construction
+        would have produced — no cleaning, dedup or sorting happens here.
+        """
+        graph = cls.__new__(cls)
+        graph._n = int(num_nodes)
+        graph._out_indptr = out_indptr
+        graph._out_targets = out_targets
+        graph._out_probs = out_probs
+        graph._in_indptr = in_indptr
+        graph._in_sources = in_sources
+        graph._in_probs = in_probs
+        return graph
 
     # ------------------------------------------------------------------
     # Basic properties

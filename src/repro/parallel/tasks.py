@@ -1,0 +1,169 @@
+"""Shard tasks the worker pool executes against a shared graph.
+
+Every task is a module-level function (picklable by name) with the fixed
+calling convention
+
+    task(graph, trigger_csr, seed_seq, count, *rest)
+
+where ``graph``/``trigger_csr`` are injected by the pool — the original
+objects for in-process execution, zero-copy shared-memory attachments
+inside workers — and ``seed_seq`` is the shard's own ``SeedSequence``
+child.  Because a shard's result depends only on its ``(seed_seq, count,
+rest)`` arguments and the graph arrays (bit-identical either way the
+graph arrives), results are byte-for-byte independent of *where* the
+shard ran: the pooled and in-process paths are interchangeable, which is
+the determinism contract ``processes ∈ {0, 2, 4}`` tests pin.
+
+The reverse task samples RR sets through :class:`RRCollection`; the
+forward tasks run the existing batched Monte-Carlo kernels on their slice
+of the worlds.  Nothing here spawns further parallelism.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["TASKS"]
+
+
+def rr_shard(
+    graph,
+    trigger_csr,
+    seed_seq: np.random.SeedSequence,
+    count: int,
+    triggering: Optional[str],
+    backend: Optional[str],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample one RR-set shard; returns flat ``(members, lengths)``."""
+    from repro.diffusion.triggering import resolve_triggering
+    from repro.rrset.rrgen import RRCollection
+
+    trig = resolve_triggering(triggering) if triggering is not None else None
+    collection = RRCollection(
+        graph,
+        np.random.default_rng(seed_seq),
+        triggering=trig,
+        backend=backend,
+    )
+    if trigger_csr is not None:
+        # Adopt the published compilation instead of re-deriving it —
+        # the per-node distribution pass is the one Python-level cost of
+        # generic triggering models.
+        collection._trigger_csr = trigger_csr
+    collection.extend_to(count)
+    members, offsets = collection.flat_arrays()
+    return members.copy(), np.diff(offsets)
+
+
+def uic_welfare_shard(
+    graph,
+    trigger_csr,
+    seed_seq: np.random.SeedSequence,
+    count: int,
+    model,
+    allocation,
+    noise_world,
+    triggering,
+) -> np.ndarray:
+    """Per-world welfare of ``count`` UIC worlds (batched kernels)."""
+    from repro.diffusion.batch_forward import batch_simulate_uic
+
+    return batch_simulate_uic(
+        graph,
+        model,
+        list(allocation),
+        count,
+        np.random.default_rng(seed_seq),
+        noise_world=noise_world,
+        triggering=triggering,
+    ).welfare
+
+
+def uic_adoption_shard(
+    graph,
+    trigger_csr,
+    seed_seq: np.random.SeedSequence,
+    count: int,
+    model,
+    allocation,
+    item,
+) -> np.ndarray:
+    """Per-world adoption counts of ``count`` UIC worlds."""
+    from repro.diffusion.batch_forward import batch_simulate_uic
+
+    result = batch_simulate_uic(
+        graph,
+        model,
+        list(allocation),
+        count,
+        np.random.default_rng(seed_seq),
+    )
+    return result.adopter_counts(item).astype(np.float64)
+
+
+def comic_spread_shard(
+    graph,
+    trigger_csr,
+    seed_seq: np.random.SeedSequence,
+    count: int,
+    model,
+    seeds_a,
+    seeds_b,
+    item,
+) -> np.ndarray:
+    """Per-world adopter counts of ``count`` Com-IC worlds."""
+    from repro.diffusion.batch_forward import batch_simulate_comic
+
+    result = batch_simulate_comic(
+        graph,
+        model,
+        seeds_a,
+        seeds_b,
+        count,
+        np.random.default_rng(seed_seq),
+    )
+    return result.adopter_counts(item).astype(np.float64)
+
+
+def personalized_welfare_shard(
+    graph,
+    trigger_csr,
+    seed_seq: np.random.SeedSequence,
+    count: int,
+    model,
+    allocation,
+) -> np.ndarray:
+    """Per-world personalized-noise welfare of ``count`` UIC worlds."""
+    from repro.diffusion.batch_forward import batch_simulate_uic_personalized
+
+    return batch_simulate_uic_personalized(
+        graph,
+        model,
+        list(allocation),
+        count,
+        np.random.default_rng(seed_seq),
+    )
+
+
+def _kill_worker(graph, trigger_csr, seed_seq, count) -> None:
+    """Test hook: hard-kill the executing worker (crash-recovery tests)."""
+    import os
+    import signal
+
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+#: Name → task registry; submissions carry the name, workers resolve it.
+TASKS = {
+    fn.__name__: fn
+    for fn in (
+        rr_shard,
+        uic_welfare_shard,
+        uic_adoption_shard,
+        comic_spread_shard,
+        personalized_welfare_shard,
+        _kill_worker,
+    )
+}

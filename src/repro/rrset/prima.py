@@ -95,15 +95,12 @@ def prima(
         :class:`~repro.diffusion.triggering.TriggeringModel` — the paper's
         results carry over to any triggering model (§5).
     backend:
-        Deprecated — RR sampling backend: ``"batched"`` (vectorized,
-        default), ``"sequential"`` (historical per-set BFS; byte-identical
-        seeds to the pre-vectorization implementation for a fixed RNG
-        seed), or ``None`` to resolve from ``$REPRO_RR_BACKEND``.  Pass
-        ``ctx`` instead.
+        Removed — raises ``TypeError``.  Select the RR sampling backend
+        (``"sequential"`` | ``"batched"`` | ``"parallel"``) through
+        ``ctx=EngineContext.create(backend=...)`` instead.
     ctx:
         :class:`repro.engine.EngineContext` carrying backend, RNG lineage
-        and triggering in one object; mutually exclusive with the legacy
-        ``rng``/``backend`` kwargs.
+        and triggering in one object; mutually exclusive with ``rng``.
 
     Returns
     -------

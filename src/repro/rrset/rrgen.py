@@ -333,7 +333,9 @@ class RRCollection:
         """Generate ``count`` additional RR sets with the active backend."""
         if count <= 0:
             return
-        if self._backend == "batched" and supports_batched(self._triggering):
+        if self._backend != "sequential" and supports_batched(
+            self._triggering
+        ):
             if self._trigger_csr is None and needs_trigger_csr(
                 self._triggering
             ):

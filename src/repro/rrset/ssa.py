@@ -56,8 +56,8 @@ def ssa(
     Stops when the validation estimate of the chosen seeds' influence is
     within ``(1 − ε/2)`` of the optimization estimate, doubling the batch
     otherwise.  ``max_rounds`` bounds the doubling (the full algorithm's
-    theoretical cap is implied by its ε-budget split).  ``backend=`` is
-    the deprecated spelling of ``ctx=``.
+    theoretical cap is implied by its ε-budget split).  The removed
+    legacy ``backend=`` keyword raises ``TypeError``; pass ``ctx=``.
     """
     ctx = ensure_context(ctx, backend=backend, rng=rng, caller="ssa")
     if k < 0:

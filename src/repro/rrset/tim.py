@@ -72,11 +72,11 @@ def _kpt_estimation(
     m = max(graph.num_edges, 1)
     log2n = math.log2(n)
     used = 0
-    if backend == "batched" and not supports_batched(triggering):
+    if backend != "sequential" and not supports_batched(triggering):
         backend = "sequential"
     trigger_csr = (
         build_trigger_csr(graph, triggering)
-        if backend == "batched" and needs_trigger_csr(triggering)
+        if backend != "sequential" and needs_trigger_csr(triggering)
         else None
     )
     for i in range(1, max(2, int(log2n))):
@@ -95,7 +95,7 @@ def _kpt_estimation(
                 )
             ),
         )
-        if backend == "batched":
+        if backend != "sequential":
             members, lengths = batch_generate_rr_sets(
                 graph, rng, c_i, triggering=triggering,
                 trigger_csr=trigger_csr,
@@ -133,8 +133,8 @@ def tim(
     vectorized call (widths via :func:`repro.rrset.batch.rr_set_widths`)
     and the θ phase through the batched :class:`RRCollection`;
     ``sequential`` reproduces the historical per-set streams; see
-    :func:`repro.rrset.prima.prima`.  ``backend=`` is the deprecated
-    spelling of ``ctx=``.
+    :func:`repro.rrset.prima.prima`.  The removed legacy ``backend=``
+    keyword raises ``TypeError``; pass ``ctx=``.
     """
     ctx = ensure_context(ctx, backend=backend, rng=rng, caller="tim")
     if k < 0:

@@ -34,19 +34,18 @@ Entry points, one output type:
   growing the original live state by the same amount.
 
 Every builder accepts a :class:`~repro.engine.EngineContext` (``ctx=``);
-the legacy ``seed=``/``backend=`` kwargs keep working through the pinned
-deprecation adapter.
+the removed legacy ``seed=``/``backend=`` kwargs raise ``TypeError``
+naming the ``ctx=`` replacement.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 
 from repro.engine import EngineContext
-from repro.engine.context import warn_deprecated_kwarg
+from repro.engine.context import reject_legacy_kwarg
 from repro.graph.digraph import InfluenceGraph
 from repro.rrset.batch import rr_set_widths
 from repro.rrset.oracle import InfluenceOracle
@@ -91,18 +90,18 @@ def _builder_context(
     triggering,
     caller: str,
 ) -> EngineContext:
-    """The builders' deprecation adapter.
+    """The builders' context normalizer.
 
-    Builders historically took an integer ``seed`` (default 0) instead of
-    an ``rng``; the context equivalent is a seed-rooted lineage.  Explicit
-    ``seed=``/``backend=`` emit the pinned warning; ``ctx`` wins.
+    Builders historically took an integer ``seed`` (default 0) and a
+    ``backend`` string; both were removed with the EngineContext
+    migration and now raise ``TypeError`` naming the replacement
+    (``EngineContext.create(seed=..., backend=...)`` passed as ``ctx=``).
     """
+    if seed is not None:
+        reject_legacy_kwarg(caller, "seed=")
+    if backend is not None:
+        reject_legacy_kwarg(caller, "backend=")
     if ctx is not None:
-        if seed is not None or backend is not None:
-            raise TypeError(
-                f"{caller}: pass either ctx= or the legacy seed=/backend= "
-                "keywords, not both"
-            )
         if triggering is not None:
             if ctx.triggering is not None:
                 raise TypeError(
@@ -111,15 +110,7 @@ def _builder_context(
                 )
             return ctx.with_triggering(triggering)
         return ctx
-    if seed is not None:
-        warn_deprecated_kwarg(caller, "seed=", stacklevel=4)
-    if backend is not None:
-        warn_deprecated_kwarg(caller, "backend=", stacklevel=4)
-    return EngineContext.create(
-        backend=backend,
-        seed=seed if seed is not None else 0,
-        triggering=triggering,
-    )
+    return EngineContext.create(seed=0, triggering=triggering)
 
 
 def build_store(
@@ -139,8 +130,8 @@ def build_store(
     Equivalent to ``InfluenceOracle(graph, max_budget, ..., ctx=ctx)``
     followed by a snapshot: same PRIMA run, same estimation collection,
     same RNG stream — so a loaded store answers every query with the
-    in-memory oracle's exact numbers.  ``seed`` (deprecated; default 0)
-    names the context lineage the legacy way.
+    in-memory oracle's exact numbers.  Without ``ctx`` the builder uses
+    the seed-0 lineage (the historical default).
     """
     ctx = _builder_context(ctx, seed, backend, triggering, "build_store")
     # Fail fast on unpersistable triggering models (before the PRIMA run).
@@ -156,48 +147,6 @@ def build_store(
         ctx=ctx,
     )
     return oracle.to_store()
-
-
-#: Per-worker graph, installed once by the pool initializer so the CSR
-#: arrays are pickled once per *worker* instead of once per shard job.
-_worker_graph: Optional[InfluenceGraph] = None
-
-
-def _init_worker(graph: InfluenceGraph) -> None:
-    global _worker_graph
-    _worker_graph = graph
-
-
-def _sample_shard(
-    graph: InfluenceGraph,
-    seed_seq: np.random.SeedSequence,
-    count: int,
-    triggering: Optional[str],
-    backend: Optional[str],
-) -> Tuple[np.ndarray, np.ndarray]:
-    """Sample one shard's RR sets; returns flat ``(members, lengths)``."""
-    from repro.diffusion.triggering import resolve_triggering
-
-    trig = resolve_triggering(triggering) if triggering is not None else None
-    collection = RRCollection(
-        graph,
-        np.random.default_rng(seed_seq),
-        triggering=trig,
-        backend=backend,
-    )
-    collection.extend_to(count)
-    members, offsets = collection.flat_arrays()
-    return members.copy(), np.diff(offsets)
-
-
-def _sample_shard_pooled(
-    args: Tuple[np.random.SeedSequence, int, Optional[str], Optional[str]],
-) -> Tuple[np.ndarray, np.ndarray]:
-    """Pool entry point: one tuple for ``map``, graph from the initializer.
-
-    Module-level for pickling.
-    """
-    return _sample_shard(_worker_graph, *args)
 
 
 def build_sharded(
@@ -219,9 +168,14 @@ def build_sharded(
     ``estimation_rr_sets`` is split near-evenly over ``num_shards`` shards;
     each shard samples from its own ``SeedSequence`` child (streams are
     independent by construction), so the result is deterministic in
-    ``(seed, num_shards)`` and independent of ``processes`` — ``0``/``None``
-    runs the shards in-process (useful for tests and as a fallback where
-    process pools are unavailable), ``k > 1`` fans them over a pool.
+    ``(seed, num_shards)`` and independent of ``processes`` — ``0`` runs
+    the shards in-process (useful for tests and as a fallback where
+    process pools are unavailable), ``k > 1`` fans them over the
+    persistent shared-memory pool (:mod:`repro.parallel`: the graph's CSR
+    arrays are published into shared memory once and workers attach
+    zero-copy, so repeated builds against the same graph pay neither
+    worker spawn nor graph transfer).  ``None`` uses the pool's current
+    configuration (``$REPRO_PARALLEL_PROCESSES`` > effective cores).
 
     The context must carry a ``SeedSequence`` lineage (construct it from an
     integer seed): shard streams are its spawned children.  The sharded
@@ -273,15 +227,11 @@ def build_sharded(
         for i in range(num_shards)
         if counts[i] > 0
     ]
-    if processes and processes > 1 and len(jobs) > 1:
-        with ProcessPoolExecutor(
-            max_workers=min(int(processes), len(jobs)),
-            initializer=_init_worker,
-            initargs=(graph,),
-        ) as pool:
-            parts = list(pool.map(_sample_shard_pooled, jobs))
-    else:
-        parts = [_sample_shard(graph, *job) for job in jobs]
+    from repro.parallel import get_pool
+
+    parts = get_pool(processes).map_shards(
+        "rr_shard", graph, jobs, triggering=ctx.triggering
+    )
 
     member_parts: List[np.ndarray] = [p[0] for p in parts]
     length_parts: List[np.ndarray] = [p[1] for p in parts]
@@ -487,7 +437,7 @@ def _extend_comic(
         ctx=ctx,
     )
     bitmap = np.asarray(store.worlds, dtype=bool)
-    if ctx.backend == "batched":
+    if ctx.backend != "sequential":
         sampler.set_worlds(bitmap)
     else:
         sampler.set_worlds(bitmap_to_worlds(bitmap))

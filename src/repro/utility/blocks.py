@@ -228,7 +228,10 @@ def generate_blocks(
         anchor_item = max(items_of(anchor_block), key=lambda it: positions[it])
         anchor_items.append(anchor_item)
         effective.append(
-            min(int(budgets[item]) for item in items_of(prefix_union(blocks_original, i + 1)))
+            min(
+                int(budgets[item])
+                for item in items_of(prefix_union(blocks_original, i + 1))
+            )
         )
 
     return BlockPartition(

@@ -19,6 +19,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.bundlegrd import bundle_grd
+from repro.engine import EngineContext
 from repro.core.exact import brute_force_optimum
 from repro.core.welmax import WelMaxInstance
 from repro.diffusion.ic import estimate_spread
@@ -152,7 +153,7 @@ def verify_prefix_property(
         budgets,
         epsilon=epsilon,
         ell=ell,
-        rng=np.random.default_rng(rng_seed),
+        ctx=EngineContext.create(rng=np.random.default_rng(rng_seed)),
     )
     spread_rng = np.random.default_rng(rng_seed + 1)
     qualities: List[PrefixQuality] = []
@@ -163,7 +164,7 @@ def verify_prefix_property(
         )
         dedicated = imm(
             graph, k, epsilon=epsilon, ell=ell,
-            rng=np.random.default_rng(rng_seed + 2),
+            ctx=EngineContext.create(rng=np.random.default_rng(rng_seed + 2)),
         )
         dedicated_spread = estimate_spread(
             graph, dedicated.seeds, num_samples, spread_rng
@@ -204,7 +205,7 @@ def empirical_approximation_ratio(
         instance.model,
         greedy.allocation,
         num_samples=num_samples,
-        rng=np.random.default_rng(rng_seed),
+        ctx=EngineContext.create(rng=np.random.default_rng(rng_seed)),
     ).mean
     if optimum.welfare <= 0:
         return 1.0

@@ -27,6 +27,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.core.allocation import Allocation
+from repro.engine import EngineContext
 from repro.diffusion.welfare import estimate_welfare
 from repro.graph.digraph import InfluenceGraph
 from repro.graph.generators import isolated_nodes, two_node_edge
@@ -77,7 +78,7 @@ def _marginals(
             model,
             allocation,
             num_samples=num_samples,
-            rng=np.random.default_rng(0),
+            ctx=EngineContext.create(rng=np.random.default_rng(0)),
         ).mean
 
     node, item = extra_pair

@@ -41,6 +41,7 @@ from repro.diffusion.triggering import (
 )
 from repro.diffusion.uic import simulate_uic
 from repro.diffusion.welfare import estimate_adoption, estimate_welfare
+from repro.engine import EngineContext
 from repro.graph.digraph import InfluenceGraph
 from repro.graph.generators import line_graph, random_wc_graph, star_graph
 from repro.rrset.batch import supports_batched
@@ -51,6 +52,11 @@ from repro.utility.price import AdditivePrice
 from repro.utility.valuation import AdditiveValuation, TableValuation
 
 GAP = ComICModel(0.5, 0.84, 0.5, 0.84)
+
+
+def _ctx(backend, rng):
+    """Shorthand: an EngineContext with an explicit backend and stream."""
+    return EngineContext.create(backend=backend, rng=rng)
 
 
 @pytest.fixture
@@ -159,11 +165,11 @@ class TestBatchComIC:
     def test_estimate_backend_dispatch(self, wc400):
         sequential = estimate_comic_spread(
             wc400, GAP, [1, 2], [3], item=0, num_samples=800,
-            rng=np.random.default_rng(5), backend="sequential",
+            ctx=_ctx("sequential", np.random.default_rng(5)),
         )
         batched = estimate_comic_spread(
             wc400, GAP, [1, 2], [3], item=0, num_samples=800,
-            rng=np.random.default_rng(6), backend="batched",
+            ctx=_ctx("batched", np.random.default_rng(6)),
         )
         assert batched == pytest.approx(sequential, rel=0.25, abs=0.5)
 
@@ -176,7 +182,7 @@ class TestEstimateComicSpreadSeeds:
             runs = [
                 estimate_comic_spread(
                     wc400, GAP, [1, 2], [3], item=0, num_samples=40,
-                    rng=42, backend=backend,
+                    ctx=_ctx(backend, 42),
                 )
                 for _ in range(2)
             ]
@@ -184,20 +190,17 @@ class TestEstimateComicSpreadSeeds:
 
     def test_different_seeds_differ(self, wc400):
         a = estimate_comic_spread(
-            wc400, GAP, [1, 2], [3], item=0, num_samples=40, rng=42,
-            backend="sequential",
+            wc400, GAP, [1, 2], [3], item=0, num_samples=40, ctx=_ctx("sequential", 42),
         )
         b = estimate_comic_spread(
-            wc400, GAP, [1, 2], [3], item=0, num_samples=40, rng=43,
-            backend="sequential",
+            wc400, GAP, [1, 2], [3], item=0, num_samples=40, ctx=_ctx("sequential", 43),
         )
         assert a != b
 
     def test_sequential_uses_per_world_child_streams(self, wc400):
         """World i depends only on (seed, i): recompute by hand."""
         estimate = estimate_comic_spread(
-            wc400, GAP, [1, 2], [3], item=0, num_samples=10, rng=7,
-            backend="sequential",
+            wc400, GAP, [1, 2], [3], item=0, num_samples=10, ctx=_ctx("sequential", 7),
         )
         total = 0
         for world_rng in spawn_world_rngs(7, 10):
@@ -300,11 +303,11 @@ class TestBatchUIC:
         with pytest.warns(UserWarning, match="falling back to the sequential"):
             batched_knob = estimate_welfare(
                 graph, model, alloc, num_samples=10,
-                rng=np.random.default_rng(9), backend="batched",
+                ctx=_ctx("batched", np.random.default_rng(9)),
             )
         sequential = estimate_welfare(
             graph, model, alloc, num_samples=10,
-            rng=np.random.default_rng(9), backend="sequential",
+            ctx=_ctx("sequential", np.random.default_rng(9)),
         )
         assert batched_knob.mean == sequential.mean
 
@@ -319,7 +322,7 @@ class TestBatchUIC:
         with pytest.warns(UserWarning, match="at most"):
             estimate_adoption(
                 graph, model, [(0, 0)], num_samples=3,
-                rng=np.random.default_rng(1), backend="batched",
+                ctx=_ctx("batched", np.random.default_rng(1)),
             )
 
     def test_no_warning_within_item_cap(self, wc400, two_item_model):
@@ -329,11 +332,11 @@ class TestBatchUIC:
             _warnings.simplefilter("error", UserWarning)
             estimate_welfare(
                 wc400, two_item_model, [(0, 0)], num_samples=3,
-                rng=np.random.default_rng(1), backend="batched",
+                ctx=_ctx("batched", np.random.default_rng(1)),
             )
             estimate_welfare(
                 wc400, two_item_model, [(0, 0)], num_samples=3,
-                rng=np.random.default_rng(1), backend="sequential",
+                ctx=_ctx("sequential", np.random.default_rng(1)),
             )
 
     def test_batch_simulate_uic_rejects_oversized_universe(self):
@@ -428,11 +431,11 @@ class TestBatchPersonalized:
         alloc = [(0, 0), (0, 1)]
         seq = estimate_welfare_personalized(
             graph, model, alloc, num_samples=4,
-            rng=np.random.default_rng(3), backend="sequential",
+            ctx=_ctx("sequential", np.random.default_rng(3)),
         )
         bat = estimate_welfare_personalized(
             graph, model, alloc, num_samples=4,
-            rng=np.random.default_rng(4), backend="batched",
+            ctx=_ctx("batched", np.random.default_rng(4)),
         )
         assert seq == bat
 
@@ -465,7 +468,7 @@ class TestBatchPersonalized:
         with pytest.warns(UserWarning, match="at most"):
             estimate_welfare_personalized(
                 graph, model, [(0, 0)], num_samples=2,
-                rng=np.random.default_rng(0), backend="batched",
+                ctx=_ctx("batched", np.random.default_rng(0)),
             )
 
 
@@ -524,12 +527,12 @@ class TestLazyTriggerLog:
         alloc = [(v, v % 2) for v in range(6)]
         batched = estimate_welfare(
             graph, two_item_model, alloc, num_samples=2000,
-            rng=np.random.default_rng(7), triggering="lt", backend="batched",
+            triggering="lt", ctx=_ctx("batched", np.random.default_rng(7)),
         )
         sequential = estimate_welfare(
             graph, two_item_model, alloc, num_samples=2000,
-            rng=np.random.default_rng(8), triggering="lt",
-            backend="sequential",
+            triggering="lt",
+            ctx=_ctx("sequential", np.random.default_rng(8)),
         )
         sigma = np.hypot(batched.stderr, sequential.stderr)
         assert abs(batched.mean - sequential.mean) < 5.0 * sigma
@@ -541,12 +544,12 @@ class TestForwardUnderTriggering:
         alloc = [(v, i) for v in range(8) for i in (0, 1)]
         batched = estimate_welfare(
             graph, two_item_model, alloc, num_samples=1500,
-            rng=np.random.default_rng(1), triggering="lt", backend="batched",
+            triggering="lt", ctx=_ctx("batched", np.random.default_rng(1)),
         )
         sequential = estimate_welfare(
             graph, two_item_model, alloc, num_samples=1500,
-            rng=np.random.default_rng(2), triggering="lt",
-            backend="sequential",
+            triggering="lt",
+            ctx=_ctx("sequential", np.random.default_rng(2)),
         )
         sigma = np.hypot(batched.stderr, sequential.stderr)
         assert abs(batched.mean - sequential.mean) < 5.0 * sigma
@@ -556,12 +559,12 @@ class TestForwardUnderTriggering:
         alloc = [(0, 0), (1, 1)]
         fast = estimate_welfare(
             graph, two_item_model, alloc, num_samples=1500,
-            rng=np.random.default_rng(5), backend="batched",
+            ctx=_ctx("batched", np.random.default_rng(5)),
         )
         explicit = estimate_welfare(
             graph, two_item_model, alloc, num_samples=1500,
-            rng=np.random.default_rng(6),
-            triggering=IndependentCascadeTriggering(), backend="batched",
+            triggering=IndependentCascadeTriggering(),
+            ctx=_ctx("batched", np.random.default_rng(6)),
         )
         sigma = np.hypot(fast.stderr, explicit.stderr)
         assert abs(fast.mean - explicit.mean) < 5.0 * sigma
@@ -574,13 +577,13 @@ class TestForwardUnderTriggering:
         alloc = [(0, 0), (1, 1), (2, 0)]
         batched = estimate_welfare(
             graph, two_item_model, alloc, num_samples=1500,
-            rng=np.random.default_rng(7), triggering=model,
-            backend="batched",
+            triggering=model,
+            ctx=_ctx("batched", np.random.default_rng(7)),
         )
         sequential = estimate_welfare(
             graph, two_item_model, alloc, num_samples=1500,
-            rng=np.random.default_rng(8), triggering=model,
-            backend="sequential",
+            triggering=model,
+            ctx=_ctx("sequential", np.random.default_rng(8)),
         )
         sigma = np.hypot(batched.stderr, sequential.stderr)
         assert abs(batched.mean - sequential.mean) < 5.0 * sigma

@@ -28,6 +28,7 @@ from repro.baselines._comic_common import (
 from repro.baselines.rr_cim import rr_cim
 from repro.baselines.rr_sim import rr_sim_plus
 from repro.diffusion.comic import ComICModel
+from repro.engine import EngineContext
 from repro.graph.digraph import InfluenceGraph
 from repro.graph.generators import (
     random_wc_graph,
@@ -235,7 +236,10 @@ class TestCoverageFractionConvention:
         g = InfluenceGraph(1, [])
         sel = comic_rr_selection(
             g, ComICModel(1.0, 1.0, 1.0, 1.0), 0, (), 1, 0.5, 1.0,
-            np.random.default_rng(0), 2, False, backend=backend,
+            num_forward_worlds=2,
+            ctx=EngineContext.create(
+                backend=backend, rng=np.random.default_rng(0)
+            ),
         )
         assert sel.seeds == (0,)
         assert sel.coverage_fraction == 1.0
@@ -248,7 +252,10 @@ class TestCoverageFractionConvention:
         g = InfluenceGraph(1, [])
         sel = comic_rr_selection(
             g, ComICModel(0.0, 1.0, 0.0, 1.0), 0, (), 1, 0.5, 1.0,
-            np.random.default_rng(0), 2, False, backend=backend,
+            num_forward_worlds=2,
+            ctx=EngineContext.create(
+                backend=backend, rng=np.random.default_rng(0)
+            ),
         )
         assert sel.seeds == (0,)
         assert sel.coverage_fraction == 0.0
@@ -261,7 +268,10 @@ class TestCoverageFractionConvention:
         g = star_graph(41, probability=1.0, outward=True)
         sel = comic_rr_selection(
             g, ComICModel(0.3, 0.3, 0.3, 0.3), 0, (), 1, 0.5, 1.0,
-            np.random.default_rng(5), 3, False, backend=backend,
+            num_forward_worlds=3,
+            ctx=EngineContext.create(
+                backend=backend, rng=np.random.default_rng(5)
+            ),
         )
         assert sel.seeds == (0,)
         assert 0.05 < sel.coverage_fraction < 0.2
@@ -272,8 +282,10 @@ class TestSequentialGoldens:
 
     def test_rr_sim_plus_golden(self):
         result = rr_sim_plus(
-            _golden_graph(), GAP, (4, 3), rng=np.random.default_rng(11),
-            num_forward_worlds=3, backend="sequential",
+            _golden_graph(), GAP, (4, 3), num_forward_worlds=3,
+            ctx=EngineContext.create(
+                backend="sequential", rng=np.random.default_rng(11)
+            ),
         )
         assert result.seeds_selected_item == GOLDEN_RRSIM_SELECTED
         assert result.seeds_fixed_item == GOLDEN_RRSIM_FIXED
@@ -281,8 +293,10 @@ class TestSequentialGoldens:
 
     def test_rr_cim_golden(self):
         result = rr_cim(
-            _golden_graph(), GAP, (4, 3), rng=np.random.default_rng(11),
-            num_forward_worlds=3, backend="sequential",
+            _golden_graph(), GAP, (4, 3), num_forward_worlds=3,
+            ctx=EngineContext.create(
+                backend="sequential", rng=np.random.default_rng(11)
+            ),
         )
         assert result.seeds_selected_item == GOLDEN_RRCIM_SELECTED
         assert result.seeds_fixed_item == GOLDEN_RRCIM_FIXED
@@ -322,10 +336,20 @@ class TestBatchedKPT:
 
         monkeypatch.setattr(tim_module, "batch_generate_rr_sets", spy)
         g = random_wc_graph(200, avg_degree=5, seed=8)
-        tim(g, 5, rng=np.random.default_rng(1), backend="batched")
+        tim(
+            g, 5,
+            ctx=EngineContext.create(
+                backend="batched", rng=np.random.default_rng(1)
+            ),
+        )
         assert calls  # KPT rounds went through the batched sampler
         tim_calls = len(calls)
-        tim(g, 5, rng=np.random.default_rng(1), backend="sequential")
+        tim(
+            g, 5,
+            ctx=EngineContext.create(
+                backend="sequential", rng=np.random.default_rng(1)
+            ),
+        )
         assert len(calls) == tim_calls  # sequential KPT stayed per-set
 
 

@@ -7,10 +7,10 @@ Four contracts (DESIGN.md §5):
   backends and, for environment typos, the offending variable; integer
   seeds establish a ``SeedSequence`` lineage whose stream equals the
   historical ``default_rng(seed)``.
-* **Deprecation shims** — every public entry point still accepts the
-  legacy ``backend=``/``seed=`` kwargs through a thin adapter that builds
-  an equivalent context and emits the pinned ``DeprecationWarning``;
-  combining ``ctx=`` with a legacy kwarg is a ``TypeError``.
+* **Legacy-kwarg removal** — the one-release ``backend=``/``seed=``
+  deprecation shim is gone: passing either kwarg to any public entry
+  point raises ``TypeError`` naming ``ctx=`` as the supported spelling;
+  plain ``rng=`` remains first-class.
 * **Integer-seed uniformity** — ``estimate_welfare``,
   ``estimate_adoption`` and ``estimate_welfare_personalized`` accept plain
   integer seeds (via ``SeedSequence`` children on the sequential engine),
@@ -172,26 +172,19 @@ class TestBackendErrors:
             RRCollection(g, np.random.default_rng(0), backend="bogus")
 
 
-class TestDeprecationShims:
-    def test_legacy_backend_kwarg_warns_and_matches_ctx(self, wc300):
-        with pytest.warns(DeprecationWarning, match="backend= keyword"):
-            legacy = prima(
+class TestLegacyKwargRemoval:
+    def test_backend_kwarg_raises_naming_ctx(self, wc300):
+        with pytest.raises(TypeError, match=r"ctx=") as err:
+            prima(
                 wc300, [4], rng=np.random.default_rng(3),
                 backend="sequential",
             )
-        via_ctx = prima(
-            wc300,
-            [4],
-            ctx=EngineContext.create(
-                backend="sequential", rng=np.random.default_rng(3)
-            ),
-        )
-        assert legacy.seeds == via_ctx.seeds
-        assert legacy.num_rr_sets == via_ctx.num_rr_sets
+        assert "backend= keyword" in str(err.value)
+        assert "prima" in str(err.value)
 
-    def test_estimator_shim_warns(self, wc300, two_item_model):
+    def test_estimator_backend_kwarg_raises(self, wc300, two_item_model):
         alloc = [(0, 0), (1, 1)]
-        with pytest.warns(DeprecationWarning, match="estimate_welfare"):
+        with pytest.raises(TypeError, match=r"ctx="):
             estimate_welfare(
                 wc300, two_item_model, alloc, num_samples=5,
                 backend="batched",
@@ -199,7 +192,7 @@ class TestDeprecationShims:
 
     def test_ctx_plus_legacy_backend_is_an_error(self, wc300):
         ctx = EngineContext.create()
-        with pytest.raises(TypeError, match="not both"):
+        with pytest.raises(TypeError, match=r"ctx="):
             prima(wc300, [2], backend="batched", ctx=ctx)
 
     def test_ctx_plus_rng_is_an_error(self, wc300):
@@ -212,15 +205,16 @@ class TestDeprecationShims:
         with pytest.raises(TypeError, match="triggering"):
             prima(wc300, [2], triggering="lt", ctx=ctx)
 
-    def test_builder_seed_shim_warns(self, wc300):
+    def test_builder_seed_kwarg_raises(self, wc300):
         from repro.store import build_store
 
-        with pytest.warns(DeprecationWarning, match="seed= keyword"):
+        with pytest.raises(TypeError, match=r"ctx=") as err:
             build_store(wc300, 2, seed=3, estimation_rr_sets=50)
+        assert "seed= keyword" in str(err.value)
 
-    def test_plain_rng_does_not_warn(self, wc300):
+    def test_plain_rng_stays_first_class(self, wc300):
         with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
+            warnings.simplefilter("error")
             imm(wc300, 2, rng=np.random.default_rng(0))
 
 
@@ -244,26 +238,32 @@ class TestIntegerSeedUniformity:
         self, wc300, two_item_model
     ):
         est = estimate_welfare(
-            wc300, two_item_model, self.ALLOC, num_samples=6, rng=123,
-            backend="sequential",
+            wc300, two_item_model, self.ALLOC, num_samples=6,
+            ctx=EngineContext.create(backend="sequential", seed=123),
         )
         reference = self._children_reference(wc300, two_item_model, 123, 6)
         assert est.mean == pytest.approx(float(np.mean(reference)))
 
-    @pytest.mark.parametrize("backend", ["sequential", "batched"])
+    @pytest.mark.parametrize("backend", BACKENDS)
     def test_integer_seed_reproducible_everywhere(
         self, wc300, two_item_model, backend
     ):
-        kwargs = dict(num_samples=8, rng=77, backend=backend)
+        def ctx():
+            return EngineContext.create(backend=backend, seed=77)
+
         for estimator in (estimate_welfare, estimate_adoption):
-            a = estimator(wc300, two_item_model, self.ALLOC, **kwargs)
-            b = estimator(wc300, two_item_model, self.ALLOC, **kwargs)
+            a = estimator(
+                wc300, two_item_model, self.ALLOC, num_samples=8, ctx=ctx()
+            )
+            b = estimator(
+                wc300, two_item_model, self.ALLOC, num_samples=8, ctx=ctx()
+            )
             assert a.mean == b.mean
         a = estimate_welfare_personalized(
-            wc300, two_item_model, self.ALLOC, **kwargs
+            wc300, two_item_model, self.ALLOC, num_samples=8, ctx=ctx()
         )
         b = estimate_welfare_personalized(
-            wc300, two_item_model, self.ALLOC, **kwargs
+            wc300, two_item_model, self.ALLOC, num_samples=8, ctx=ctx()
         )
         assert a == b
 
@@ -273,8 +273,8 @@ class TestIntegerSeedUniformity:
         from repro.diffusion.uic import simulate_uic
 
         est = estimate_adoption(
-            wc300, two_item_model, self.ALLOC, num_samples=5, rng=9,
-            backend="sequential",
+            wc300, two_item_model, self.ALLOC, num_samples=5,
+            ctx=EngineContext.create(backend="sequential", seed=9),
         )
         totals = []
         for child in np.random.SeedSequence(9).spawn(5):
@@ -289,8 +289,8 @@ class TestIntegerSeedUniformity:
         from repro.diffusion.personalized import simulate_uic_personalized
 
         est = estimate_welfare_personalized(
-            wc300, two_item_model, self.ALLOC, num_samples=5, rng=4,
-            backend="sequential",
+            wc300, two_item_model, self.ALLOC, num_samples=5,
+            ctx=EngineContext.create(backend="sequential", seed=4),
         )
         totals = []
         for child in np.random.SeedSequence(4).spawn(5):

@@ -36,6 +36,7 @@ from repro.rrset.node_selection import (
     node_selection,
     node_selection_reference,
 )
+from repro.engine import EngineContext
 from repro.rrset.prima import prima
 from repro.rrset.rrgen import RRCollection, generate_rr_set
 
@@ -62,7 +63,10 @@ class TestSequentialExactEquivalence:
     def test_prima_sequential_matches_golden_300(self):
         g = random_wc_graph(300, avg_degree=6, seed=99)
         result = prima(
-            g, [10, 5], rng=np.random.default_rng(42), backend="sequential"
+            g, [10, 5],
+            ctx=EngineContext.create(
+                backend="sequential", rng=np.random.default_rng(42)
+            ),
         )
         assert result.seeds == GOLDEN_WC300_SEEDS
         assert result.num_rr_sets == GOLDEN_WC300_NUM_RR_SETS
@@ -70,7 +74,10 @@ class TestSequentialExactEquivalence:
     def test_prima_sequential_matches_golden_150(self):
         g = random_wc_graph(150, avg_degree=5, seed=7)
         result = prima(
-            g, [8], rng=np.random.default_rng(3), backend="sequential"
+            g, [8],
+            ctx=EngineContext.create(
+                backend="sequential", rng=np.random.default_rng(3)
+            ),
         )
         assert result.seeds == GOLDEN_WC150_SEEDS
         assert result.num_rr_sets == GOLDEN_WC150_NUM_RR_SETS
@@ -159,7 +166,12 @@ class TestBatchedSampler:
 
     def test_batched_prima_star_graph_hub_first(self):
         g = star_graph(60, probability=0.5, outward=True)
-        result = prima(g, [1], rng=np.random.default_rng(0), backend="batched")
+        result = prima(
+            g, [1],
+            ctx=EngineContext.create(
+                backend="batched", rng=np.random.default_rng(0)
+            ),
+        )
         assert result.seeds == (0,)
 
     def test_generic_triggering_model_falls_back_to_sequential(self):

@@ -28,6 +28,7 @@ import numpy as np
 import pytest
 
 from repro.core.bundlegrd import bundle_grd
+from repro.engine import EngineContext
 from repro.graph.generators import random_wc_graph
 from repro.graph.io import graph_fingerprint, write_edge_list
 from repro.rrset.oracle import InfluenceOracle
@@ -61,7 +62,9 @@ def oracle(graph):
 @pytest.fixture(scope="module")
 def store_path(graph, tmp_path_factory):
     path = tmp_path_factory.mktemp("store") / "g.sketch"
-    build_store(graph, 10, seed=5, estimation_rr_sets=3000).save(path)
+    build_store(
+        graph, 10, ctx=EngineContext.create(seed=5
+    ), estimation_rr_sets=3000).save(path)
     return path
 
 
@@ -143,7 +146,9 @@ class TestGoldenServing:
 
 class TestRoundTrip:
     def test_arrays_survive_byte_identical(self, graph, store_path):
-        fresh = build_store(graph, 10, seed=5, estimation_rr_sets=3000)
+        fresh = build_store(
+            graph, 10, ctx=EngineContext.create(seed=5
+        ), estimation_rr_sets=3000)
         for mmap in (True, False):
             loaded = SketchStore.load(store_path, mmap=mmap)
             for name in (
@@ -186,7 +191,9 @@ class TestRoundTrip:
         """load (mmap) → extend → save to the SAME path must not fault:
         the save writes a temp file and atomically replaces."""
         path = tmp_path / "inplace.sketch"
-        build_store(graph, 4, seed=9, estimation_rr_sets=400).save(path)
+        build_store(
+            graph, 4, ctx=EngineContext.create(seed=9
+        ), estimation_rr_sets=400).save(path)
         loaded = SketchStore.load(path, mmap=True)  # arrays are memmaps
         extended = extend_store(loaded, graph, 200)
         extended.save(path)  # seed_order still views the old mapping
@@ -292,7 +299,9 @@ class TestIncrementalExtension:
 
     def test_incremental_index_equals_full_rebuild(self, graph, tmp_path):
         path = tmp_path / "idx.sketch"
-        build_store(graph, 5, seed=3, estimation_rr_sets=700).save(path)
+        build_store(
+            graph, 5, ctx=EngineContext.create(seed=3
+        ), estimation_rr_sets=700).save(path)
         extended = extend_store(SketchStore.load(path), graph, 500)
         idx_sets, idx_indptr = build_inverted_index(
             np.asarray(extended.members),
@@ -310,9 +319,13 @@ class TestIncrementalExtension:
         """Extended stores estimate the same spreads as fresh ones of the
         same total θ (unbiasedness of the appended sample)."""
         path = tmp_path / "stat.sketch"
-        build_store(graph, 5, seed=3, estimation_rr_sets=1000).save(path)
+        build_store(
+            graph, 5, ctx=EngineContext.create(seed=3
+        ), estimation_rr_sets=1000).save(path)
         extended = extend_store(SketchStore.load(path), graph, 3000)
-        fresh = build_store(graph, 5, seed=101, estimation_rr_sets=4000)
+        fresh = build_store(
+            graph, 5, ctx=EngineContext.create(seed=101
+        ), estimation_rr_sets=4000)
         seeds = list(extended.seed_order[:5])
         ext_spread = OracleService(extended).estimate_spread(seeds)
         fresh_spread = OracleService(fresh).estimate_spread(seeds)
@@ -322,14 +335,18 @@ class TestIncrementalExtension:
 
     def test_extension_rejects_stale_graph(self, graph, tmp_path):
         path = tmp_path / "stale.sketch"
-        build_store(graph, 4, seed=1, estimation_rr_sets=200).save(path)
+        build_store(
+            graph, 4, ctx=EngineContext.create(seed=1
+        ), estimation_rr_sets=200).save(path)
         other = random_wc_graph(100, 4, seed=9)
         with pytest.raises(StaleStoreError):
             extend_store(SketchStore.load(path), other, 100)
 
     def test_negative_add_rejected(self, graph, tmp_path):
         path = tmp_path / "neg.sketch"
-        build_store(graph, 4, seed=1, estimation_rr_sets=200).save(path)
+        build_store(
+            graph, 4, ctx=EngineContext.create(seed=1
+        ), estimation_rr_sets=200).save(path)
         with pytest.raises(ValueError):
             extend_store(SketchStore.load(path), graph, -1)
 
@@ -360,11 +377,11 @@ class TestIncrementalExtension:
 class TestShardedBuild:
     def test_deterministic_across_process_counts(self, graph):
         serial = build_sharded(
-            graph, 6, num_shards=3, processes=0, seed=11,
+            graph, 6, num_shards=3, processes=0, ctx=EngineContext.create(seed=11),
             estimation_rr_sets=600,
         )
         pooled = build_sharded(
-            graph, 6, num_shards=3, processes=2, seed=11,
+            graph, 6, num_shards=3, processes=2, ctx=EngineContext.create(seed=11),
             estimation_rr_sets=600,
         )
         assert np.array_equal(serial.members, pooled.members)
@@ -375,10 +392,12 @@ class TestShardedBuild:
 
     def test_statistically_equivalent_to_single_stream(self, graph):
         sharded = build_sharded(
-            graph, 5, num_shards=4, processes=0, seed=23,
+            graph, 5, num_shards=4, processes=0, ctx=EngineContext.create(seed=23),
             estimation_rr_sets=4000,
         )
-        single = build_store(graph, 5, seed=23, estimation_rr_sets=4000)
+        single = build_store(
+            graph, 5, ctx=EngineContext.create(seed=23
+        ), estimation_rr_sets=4000)
         seeds = list(single.seed_order[:5])
         sh = OracleService(sharded).estimate_spread(seeds)
         si = OracleService(single).estimate_spread(seeds)
@@ -388,7 +407,7 @@ class TestShardedBuild:
     def test_sharded_store_extends(self, graph, tmp_path):
         path = tmp_path / "sharded.sketch"
         build_sharded(
-            graph, 4, num_shards=2, processes=0, seed=2,
+            graph, 4, num_shards=2, processes=0, ctx=EngineContext.create(seed=2),
             estimation_rr_sets=300,
         ).save(path)
         extended = extend_store(SketchStore.load(path), graph, 200)
