@@ -45,11 +45,10 @@ import numpy as np
 
 from repro.diffusion.batch_forward import batch_simulate_comic
 from repro.diffusion.comic import ComICModel, simulate_comic
-from repro.engine import EngineContext, WorldCursor, ensure_context
+from repro.engine import EngineContext, ensure_context, is_batched
 from repro.graph.digraph import InfluenceGraph
 from repro.rrset.batch import (
     batch_generate_gap_rr_sets,
-    resolve_backend,
     rr_set_widths,
 )
 from repro.rrset.bounds import log_binomial
@@ -163,7 +162,7 @@ def _forward_adopter_worlds(
     """
     seeds_a = fixed_seeds if fixed_item == 0 else ()
     seeds_b = fixed_seeds if fixed_item == 1 else ()
-    if backend != "sequential":
+    if is_batched(backend):
         result = batch_simulate_comic(
             graph, model, seeds_a, seeds_b, num_worlds, rng
         )
@@ -255,20 +254,17 @@ class _GapSampler:
                     "_GapSampler: pass either ctx= or rng=/backend=, "
                     "not both"
                 )
-            rng = ctx.rng
-            backend = ctx.backend
-            cursor = ctx.cursor
         else:
-            if rng is None:
-                rng = np.random.default_rng(0)
-            backend = resolve_backend(backend)
-            cursor = WorldCursor()
+            # Backend resolution happens in the engine, nowhere else: the
+            # legacy (rng, backend) spelling builds an equivalent context
+            # (fresh cursor, default stream) and reads it back.
+            ctx = EngineContext.create(backend=backend, rng=rng)
         self._graph = graph
-        self._rng = rng
+        self._rng = ctx.rng
         self._q_plain = q_plain
         self._q_boosted = q_boosted
-        self.backend = backend
-        self._cursor = cursor
+        self.backend = ctx.backend
+        self._cursor = ctx.cursor
         self._worlds: List[Set[int]] = []
         self._bitmap = np.zeros((1, graph.num_nodes), dtype=bool)
 
@@ -280,7 +276,7 @@ class _GapSampler:
     @property
     def worlds_bitmap(self) -> np.ndarray:
         """The installed worlds as a boolean bitmap (persistence hook)."""
-        if self.backend != "sequential":
+        if is_batched(self.backend):
             return self._bitmap
         return worlds_to_bitmap(self._worlds, self._graph.num_nodes)
 
@@ -295,7 +291,7 @@ class _GapSampler:
         entirely.
         """
         if isinstance(worlds, np.ndarray):
-            if self.backend == "sequential":
+            if not is_batched(self.backend):
                 raise ValueError(
                     "bitmap worlds require a vectorized backend; the "
                     "sequential sampler pairs walks with adopter sets"
@@ -304,7 +300,7 @@ class _GapSampler:
             self._bitmap = worlds_to_bitmap(worlds, self._graph.num_nodes)
             return
         self._worlds = list(worlds)
-        if self.backend == "sequential":
+        if not is_batched(self.backend):
             return
         self._bitmap = worlds_to_bitmap(
             self._worlds, self._graph.num_nodes
@@ -316,7 +312,7 @@ class _GapSampler:
         Lengths may be zero (failed root coins).  Advances the cursor.
         """
         start = self._cursor.advance(count)
-        if self.backend != "sequential":
+        if is_batched(self.backend):
             world_ids = (
                 start + np.arange(count, dtype=np.int64)
             ) % self._bitmap.shape[0]
@@ -385,7 +381,7 @@ def _estimate_kpt(
         )
         members, lengths = sampler.sample(c_i)
         used += c_i
-        if sampler.backend != "sequential":
+        if is_batched(sampler.backend):
             widths = rr_set_widths(graph, members, lengths)
             total = float(np.sum(1.0 - (1.0 - widths / m) ** k))
         else:

@@ -22,7 +22,7 @@ Usage::
         --model comic --max-budget 10 --gap 0.1 0.4 0.1 0.4
 
 Every subcommand prints the regenerated rows in the same shape the paper
-reports.  Scales refer to the dataset stand-ins (DESIGN.md §8).  The engine
+reports.  Scales refer to the dataset stand-ins (DESIGN.md §9).  The engine
 backend is selectable per run (``--rr-backend`` or ``$REPRO_RR_BACKEND``):
 ``batched`` (vectorized, default), ``parallel`` (the batched kernels
 fanned over the shared-memory worker pool for sharded builds and forward
@@ -239,10 +239,29 @@ def build_parser() -> argparse.ArgumentParser:
     all_cmd = sub.add_parser("all", help="run every experiment (slow)")
     _add_common(all_cmd)
 
+    lint = sub.add_parser(
+        "lint",
+        help="AST-based invariant checker (determinism, ctx-threading, ...)",
+        add_help=False,
+    )
+    lint.add_argument(
+        "lint_args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to the checker ('repro lint --help' there)",
+    )
+
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # The checker has its own argparse; dispatch before parsing so its
+    # options pass through verbatim (REMAINDER stopped eating leading
+    # options on 3.12+).
+    if argv[:1] == ["lint"]:
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     backend = getattr(args, "rr_backend", None)
     if not backend:
@@ -250,14 +269,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     # RRCollection resolves $REPRO_RR_BACKEND at construction time, so
     # exporting reconfigures every algorithm the subcommand runs; restored
     # afterwards so in-process callers don't inherit the choice.
+    # repro-lint: disable=RL002 --rr-backend is the documented process knob
     saved = os.environ.get(BACKEND_ENV)
-    os.environ[BACKEND_ENV] = backend
+    os.environ[BACKEND_ENV] = backend  # repro-lint: disable=RL002 see above
     try:
         return _run(args)
     finally:
         if saved is None:
+            # repro-lint: disable=RL002 restore half of the same bracket
             os.environ.pop(BACKEND_ENV, None)
         else:
+            # repro-lint: disable=RL002 restore half of the same bracket
             os.environ[BACKEND_ENV] = saved
 
 

@@ -199,7 +199,7 @@ def estimate_comic_spread(
     ctx = ensure_context(
         ctx, backend=backend, rng=rng, caller="estimate_comic_spread"
     )
-    parallel = ctx.backend == "parallel"
+    parallel = ctx.is_parallel
     if parallel and not ctx.has_lineage:
         from repro.parallel import lineage_fallback
 
@@ -216,7 +216,7 @@ def estimate_comic_spread(
             (model, tuple(seeds_a), tuple(seeds_b), item),
         )
         return float(values.mean())
-    if ctx.backend != "sequential":
+    if ctx.is_batched:
         result = batch_simulate_comic(
             graph, model, seeds_a, seeds_b, num_samples, ctx.rng
         )

@@ -167,9 +167,9 @@ def estimate_welfare_personalized(
         warn_uic_item_cap_fallback,
     )
 
-    if ctx.backend != "sequential":
+    if ctx.is_batched:
         if model.num_items <= MAX_BATCH_ITEMS:
-            parallel = ctx.backend == "parallel"
+            parallel = ctx.is_parallel
             if parallel and not ctx.has_lineage:
                 from repro.parallel import lineage_fallback
 

@@ -99,11 +99,11 @@ def estimate_welfare(
     if trig_model is not None:
         trig_model.validate(graph)
     allocation = list(allocation)
-    batched = ctx.backend != "sequential"
+    batched = ctx.is_batched
     supported = supports_batched_uic(model, trig_model)
     if batched and not supported:
         warn_uic_item_cap_fallback(model)
-    parallel = ctx.backend == "parallel" and supported
+    parallel = ctx.is_parallel and supported
     if parallel and not ctx.has_lineage:
         from repro.parallel import lineage_fallback
 
@@ -180,11 +180,11 @@ def estimate_adoption(
         ctx, backend=backend, rng=rng, caller="estimate_adoption"
     )
     allocation = list(allocation)
-    batched = ctx.backend != "sequential"
+    batched = ctx.is_batched
     supported = supports_batched_uic(model, None)
     if batched and not supported:
         warn_uic_item_cap_fallback(model)
-    parallel = ctx.backend == "parallel" and supported
+    parallel = ctx.is_parallel and supported
     if parallel and not ctx.has_lineage:
         from repro.parallel import lineage_fallback
 

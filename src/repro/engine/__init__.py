@@ -7,6 +7,7 @@ from repro.engine.context import (
     EngineContext,
     WorldCursor,
     ensure_context,
+    is_batched,
     reject_legacy_kwarg,
     resolve_backend,
 )
@@ -18,6 +19,7 @@ __all__ = [
     "EngineContext",
     "WorldCursor",
     "ensure_context",
+    "is_batched",
     "reject_legacy_kwarg",
     "resolve_backend",
 ]

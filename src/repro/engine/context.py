@@ -48,6 +48,7 @@ __all__ = [
     "EngineContext",
     "WorldCursor",
     "ensure_context",
+    "is_batched",
     "reject_legacy_kwarg",
     "resolve_backend",
 ]
@@ -89,6 +90,23 @@ def resolve_backend(backend: Optional[str] = None) -> str:
             f"unknown RR backend {backend!r}; valid backends are {BACKENDS}"
         )
     return backend
+
+
+def is_batched(backend: str) -> bool:
+    """Whether a *resolved* backend name uses the vectorized kernels.
+
+    ``batched`` and ``parallel`` share the numpy frontier kernels;
+    ``sequential`` is the per-set/per-world Python reference path.  This
+    is the one place backend capability is read off the name — raw
+    ``backend != "sequential"`` string comparisons elsewhere are flagged
+    by ``repro lint`` (RL002).  Unknown names raise ``ValueError`` so a
+    typo cannot silently select a capability.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown RR backend {backend!r}; valid backends are {BACKENDS}"
+        )
+    return backend != "sequential"
 
 
 class WorldCursor:
@@ -279,6 +297,21 @@ class EngineContext:
     def has_lineage(self) -> bool:
         """Whether per-world child streams can be spawned reproducibly."""
         return self.seed_seq is not None
+
+    @property
+    def is_batched(self) -> bool:
+        """Whether this context's backend uses the vectorized kernels.
+
+        True for ``batched`` and ``parallel`` (which share the numpy
+        frontier kernels), False for ``sequential``.  The one supported
+        spelling of backend capability checks — see :func:`is_batched`.
+        """
+        return is_batched(self.backend)
+
+    @property
+    def is_parallel(self) -> bool:
+        """Whether this context additionally fans work over the pool."""
+        return self.backend == "parallel"
 
     def __repr__(self) -> str:
         lineage = (

@@ -1,0 +1,40 @@
+"""repro.lint — AST-based invariant checker for this repository.
+
+Runnable as ``repro lint`` or ``python -m repro.lint``.  The checker
+enforces the cross-cutting contracts the test suite cannot see from any
+single call site: RNG-lineage determinism (RL001), EngineContext
+threading (RL002), shared-memory write safety (RL003), on-disk format
+discipline (RL004) and estimate-comparison hygiene in tests (RL005).
+See DESIGN.md §7 for the invariants and CONTRIBUTING.md for how to add
+a rule or write a suppression.
+"""
+
+from repro.lint.diagnostics import (
+    Diagnostic,
+    SuppressionTable,
+    parse_suppressions,
+)
+from repro.lint.engine import (
+    DEFAULT_TARGETS,
+    RULES,
+    LintFile,
+    Rule,
+    iter_python_files,
+    lint_file,
+    rule,
+    run_lint,
+)
+
+__all__ = [
+    "DEFAULT_TARGETS",
+    "Diagnostic",
+    "LintFile",
+    "RULES",
+    "Rule",
+    "SuppressionTable",
+    "iter_python_files",
+    "lint_file",
+    "parse_suppressions",
+    "rule",
+    "run_lint",
+]

@@ -1,0 +1,5 @@
+"""``python -m repro.lint`` — same entry point as ``repro lint``."""
+
+from repro.lint.cli import main
+
+raise SystemExit(main())

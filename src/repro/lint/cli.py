@@ -1,0 +1,115 @@
+"""Command-line front end of the invariant checker.
+
+Exit codes: 0 clean, 1 findings, 2 usage error — the same contract as
+``ruff``, so CI treats the two jobs identically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.lint.engine import (
+    DEFAULT_TARGETS,
+    RULES,
+    iter_python_files,
+    run_lint,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "AST-based invariant checker: determinism, ctx-threading, "
+            "shm-safety, store-format and test-hygiene contracts."
+        ),
+    )
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        help=(
+            "files or directories to lint, relative to --root "
+            f"(default: {' '.join(DEFAULT_TARGETS)})"
+        ),
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path.cwd(),
+        help="repository root scopes are resolved against (default: cwd)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RLxxx[,RLxxx...]",
+        help="run only the named rules",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule registry and exit",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress the summary line; print findings only",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    # Rule modules register on import; needed before --select/--list-rules.
+    import repro.lint.rules  # noqa: F401
+
+    if args.list_rules:
+        for rule_id in sorted(RULES):
+            print(f"{rule_id}  {RULES[rule_id].title}")
+        return 0
+
+    rules = None
+    if args.select:
+        selected = [part.strip() for part in args.select.split(",")]
+        unknown = [rid for rid in selected if rid not in RULES]
+        if unknown:
+            print(
+                f"repro lint: unknown rule id(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(RULES))})",
+                file=sys.stderr,
+            )
+            return 2
+        rules = [RULES[rid] for rid in selected]
+
+    root = args.root.resolve()
+    if not root.is_dir():
+        print(f"repro lint: root {root} is not a directory", file=sys.stderr)
+        return 2
+    targets = tuple(args.targets) or DEFAULT_TARGETS
+    for target in targets:
+        if not (root / target).exists():
+            print(
+                f"repro lint: target {target!r} not found under {root}",
+                file=sys.stderr,
+            )
+            return 2
+
+    findings = run_lint(root, targets, rules)
+    for diag in findings:
+        print(diag.render())
+    if not args.quiet:
+        checked = sum(1 for _ in iter_python_files(root, targets))
+        noun = "finding" if len(findings) == 1 else "findings"
+        print(
+            f"repro lint: {len(findings)} {noun} in {checked} files",
+            file=sys.stderr,
+        )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

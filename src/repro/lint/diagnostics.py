@@ -1,0 +1,81 @@
+"""Diagnostics and suppression comments of the invariant checker.
+
+A diagnostic is one ``path:line:col: RLxxx message`` finding.  Suppressions
+are source comments of the form::
+
+    x = legacy_call()  # repro-lint: disable=RL002 documented legacy knob
+
+naming one or more rule ids and a *mandatory* human reason.  A suppression
+applies to findings on its own line; a comment standing alone on a line
+applies to the next line instead (for findings inside multi-line
+statements, put the trailing comment on the exact line the diagnostic
+anchors to).  A reason-less suppression is itself a finding (RL000) — an
+unexplained opt-out is convention drift by another name, exactly what the
+checker exists to stop.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+__all__ = ["Diagnostic", "SuppressionTable", "parse_suppressions"]
+
+#: ``# repro-lint: disable=RL001[,RL002...] <reason>``
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Z]{2}\d{3}(?:\s*,\s*[A-Z]{2}\d{3})*)"
+    r"[ \t]*(.*)$"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding: where, which rule, and what the contract violation is."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+
+@dataclass
+class SuppressionTable:
+    """Per-line rule-id suppressions parsed from one file's comments."""
+
+    #: line number -> set of suppressed rule ids on that line
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    #: (line, col, rule-id list) of suppressions written without a reason
+    reasonless: List[Tuple[int, int, str]] = field(default_factory=list)
+
+    def is_suppressed(self, line: int, rule_id: str) -> bool:
+        return rule_id in self.by_line.get(line, ())
+
+
+def parse_suppressions(source: str) -> SuppressionTable:
+    """Scan a file's lines for ``repro-lint: disable`` comments.
+
+    Pure line-regex parsing (no tokenizer): a suppression inside a string
+    literal would be honored too, which is acceptable — the comment
+    grammar is distinctive enough that the false-positive risk is nil,
+    and the lint fixtures pin the behaviours that matter.
+    """
+    table = SuppressionTable()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        ids = {part.strip() for part in match.group(1).split(",")}
+        reason = match.group(2).strip()
+        # A comment alone on its line shields the *next* line; a trailing
+        # comment shields its own.
+        stripped = text[: match.start()].strip()
+        target = lineno if stripped else lineno + 1
+        table.by_line.setdefault(target, set()).update(ids)
+        if not reason:
+            table.reasonless.append((lineno, match.start() + 1, match.group(1)))
+    return table

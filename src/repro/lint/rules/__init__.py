@@ -1,0 +1,15 @@
+"""Rule modules; importing this package registers every rule.
+
+Each module defines one rule class decorated with
+:func:`repro.lint.engine.rule`, which adds it to the global ``RULES``
+registry as an import side effect.  Adding a rule = adding a module here
+(plus fixtures under ``tests/lint_fixtures/`` — see CONTRIBUTING.md).
+"""
+
+from repro.lint.rules import (  # noqa: F401
+    ctx_threading,
+    determinism,
+    shm_safety,
+    store_format,
+    test_hygiene,
+)

@@ -1,0 +1,124 @@
+"""RL001 — determinism: every RNG must descend from an engine lineage.
+
+Engine code (everything under ``src/repro``) may not mint randomness out
+of thin air: byte-reproducibility of the whole stack rests on every
+stream descending from an ``EngineContext`` ``SeedSequence`` lineage or
+an explicit ``rng=`` / integer-seed parameter.  Flagged:
+
+* ``np.random.default_rng()`` with no argument — an OS-entropy stream no
+  seed can ever reproduce;
+* any use of the legacy ``np.random.RandomState`` API or global
+  ``np.random.seed`` state;
+* importing the stdlib ``random`` module (process-global Mersenne
+  state, invisible to the engine's lineage);
+* wall-clock (``time.time`` and friends) used to construct RNG state.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint._ast_utils import call_name, dotted_name
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import LintFile, Rule, rule
+
+_RNG_CONSTRUCTORS = {"default_rng", "RandomState", "SeedSequence", "seed"}
+_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+}
+
+
+@rule
+class DeterminismRule(Rule):
+    rule_id = "RL001"
+    title = "RNG streams must descend from an EngineContext lineage"
+
+    def scope(self, rel_path: str) -> bool:
+        return rel_path.startswith("src/repro/")
+
+    def check(self, file: LintFile) -> Iterable[Diagnostic]:
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield file.diagnostic(
+                            self.rule_id,
+                            node,
+                            "stdlib 'random' is process-global state "
+                            "outside the engine's SeedSequence lineage; "
+                            "use EngineContext.spawn_generators or an "
+                            "explicit rng= parameter",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield file.diagnostic(
+                        self.rule_id,
+                        node,
+                        "stdlib 'random' is process-global state outside "
+                        "the engine's SeedSequence lineage; use "
+                        "EngineContext.spawn_generators or an explicit "
+                        "rng= parameter",
+                    )
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(file, node)
+            elif isinstance(node, ast.Attribute):
+                # RandomState referenced without being called (aliased,
+                # passed around) is the same legacy API by another route.
+                if node.attr == "RandomState" and not isinstance(
+                    file.parent_of(node), ast.Call
+                ):
+                    yield file.diagnostic(
+                        self.rule_id,
+                        node,
+                        "np.random.RandomState is the legacy global-era "
+                        "API; use np.random.default_rng with an explicit "
+                        "seed or lineage",
+                    )
+
+    def _check_call(self, file: LintFile, node: ast.Call) -> Iterable[Diagnostic]:
+        name = call_name(node)
+        if name is None:
+            return
+        leaf = name.rsplit(".", maxsplit=1)[-1]
+        if leaf == "default_rng" and not node.args and not node.keywords:
+            yield file.diagnostic(
+                self.rule_id,
+                node,
+                "unseeded np.random.default_rng() draws OS entropy no "
+                "seed can reproduce; thread a ctx=/rng= stream or an "
+                "explicit seed",
+            )
+        elif leaf == "RandomState":
+            yield file.diagnostic(
+                self.rule_id,
+                node,
+                "np.random.RandomState is the legacy global-era API; use "
+                "np.random.default_rng with an explicit seed or lineage",
+            )
+        elif name in ("np.random.seed", "numpy.random.seed"):
+            yield file.diagnostic(
+                self.rule_id,
+                node,
+                "np.random.seed mutates the process-global legacy "
+                "stream; engine code must pass Generators explicitly",
+            )
+        if leaf in _RNG_CONSTRUCTORS:
+            for inner in ast.walk(node):
+                if (
+                    isinstance(inner, ast.Call)
+                    and (dotted_name(inner.func) or "") in _CLOCK_CALLS
+                ):
+                    yield file.diagnostic(
+                        self.rule_id,
+                        inner,
+                        f"wall-clock {dotted_name(inner.func)}() seeding "
+                        "an RNG makes the run irreproducible by "
+                        "construction; derive the seed from the "
+                        "EngineContext lineage",
+                    )

@@ -1,0 +1,204 @@
+"""RL003 — shm-safety: shared-memory attachments are read-only views.
+
+Worker tasks (``repro.parallel.tasks``) receive the graph and trigger
+CSR as zero-copy views over shared-memory segments owned by the parent
+(``InfluenceGraph.from_csr`` attachments).  Writing through such a view
+corrupts every sibling worker's input mid-flight — silently, since the
+segment has no write barrier.  Flagged inside ``parallel/tasks.py``:
+
+* subscript / in-place / mutating-method writes on names tainted by the
+  task convention's shared parameters (``graph``, ``trigger_csr``) or by
+  an ``InfluenceGraph.from_csr(...)`` result — unless the value was
+  laundered through ``.copy()`` first;
+* ``out=`` aliasing a tainted array in a numpy call, and ``np.copyto``
+  with a tainted destination.
+
+Everywhere else under ``src/repro``: raw ``multiprocessing.shared_memory``
+usage outside ``parallel/shm.py`` — segment lifecycle (create, attach,
+unlink, resource-tracker workarounds) has exactly one home.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Set
+
+from repro.lint._ast_utils import call_name, root_name, walk_functions
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import LintFile, Rule, rule
+
+_TASKS_FILE = "src/repro/parallel/tasks.py"
+_SHM_HOME = "src/repro/parallel/shm.py"
+
+#: Parameter names that carry shared-memory views under the task
+#: convention ``task(graph, trigger_csr, seed_seq, count, *rest)``.
+_SHARED_PARAMS = {"graph", "trigger_csr"}
+
+#: ndarray methods that mutate in place.
+_MUTATING_METHODS = {
+    "fill",
+    "sort",
+    "partition",
+    "put",
+    "resize",
+    "setfield",
+    "itemset",
+    "byteswap",
+}
+
+
+@rule
+class ShmSafetyRule(Rule):
+    rule_id = "RL003"
+    title = "shared-memory attachments must not be written through"
+
+    def scope(self, rel_path: str) -> bool:
+        return rel_path.startswith("src/repro/") and rel_path != _SHM_HOME
+
+    def check(self, file: LintFile) -> Iterable[Diagnostic]:
+        yield from self._check_shm_imports(file)
+        if file.rel_path == _TASKS_FILE:
+            for func in walk_functions(file.tree):
+                yield from self._check_function_writes(file, func)
+
+    # ------------------------------------------------------------------
+    # multiprocessing.shared_memory containment
+    # ------------------------------------------------------------------
+    def _check_shm_imports(self, file: LintFile) -> Iterable[Diagnostic]:
+        message = (
+            "multiprocessing.shared_memory outside repro.parallel.shm; "
+            "segment lifecycle (attach/close/unlink) lives there so "
+            "leak handling has one audit point"
+        )
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.Import):
+                if any(
+                    alias.name.startswith("multiprocessing.shared_memory")
+                    for alias in node.names
+                ):
+                    yield file.diagnostic(self.rule_id, node, message)
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if module.startswith("multiprocessing.shared_memory"):
+                    yield file.diagnostic(self.rule_id, node, message)
+                elif module == "multiprocessing" and any(
+                    alias.name == "shared_memory" for alias in node.names
+                ):
+                    yield file.diagnostic(self.rule_id, node, message)
+            elif isinstance(node, ast.Attribute):
+                if node.attr == "shared_memory" and root_name(node) in (
+                    "multiprocessing",
+                    "mp",
+                ):
+                    yield file.diagnostic(self.rule_id, node, message)
+
+    # ------------------------------------------------------------------
+    # write analysis over one task function
+    # ------------------------------------------------------------------
+    def _tainted_names(self, func: ast.AST) -> Set[str]:
+        args = func.args
+        params = args.posonlyargs + args.args + args.kwonlyargs
+        tainted = {p.arg for p in params if p.arg in _SHARED_PARAMS}
+        # One propagation sweep per extra assignment is enough for the
+        # straight-line task bodies this rule patrols.
+        changed = True
+        while changed:
+            changed = False
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Assign):
+                    continue
+                if self._is_tainted_expr(node.value, tainted):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name) and target.id not in tainted:
+                            tainted.add(target.id)
+                            changed = True
+        return tainted
+
+    def _is_tainted_expr(self, expr: ast.AST, tainted: Set[str]) -> bool:
+        """Does ``expr`` alias shared memory (copies launder the taint)?"""
+        if isinstance(expr, ast.Call):
+            name = call_name(expr) or ""
+            leaf = name.rsplit(".", maxsplit=1)[-1]
+            if leaf in ("copy", "array", "ascontiguousarray", "tolist"):
+                return False
+            if leaf == "from_csr":
+                return True
+            return False
+        root = root_name(expr)
+        return root is not None and root in tainted
+
+    def _check_function_writes(
+        self, file: LintFile, func: ast.AST
+    ) -> Iterable[Diagnostic]:
+        tainted = self._tainted_names(func)
+        if not tainted:
+            return
+        for node in ast.walk(func):
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    # Writing *through* the view (x[i] = / x.attr = ...)
+                    # is the hazard; rebinding a local name is not.
+                    if isinstance(
+                        target, (ast.Subscript, ast.Attribute)
+                    ) and root_name(target) in tainted:
+                        yield file.diagnostic(
+                            self.rule_id,
+                            target,
+                            f"write through shared view "
+                            f"'{root_name(target)}' mutates the parent's "
+                            "segment under every sibling worker; operate "
+                            "on a .copy()",
+                        )
+            elif isinstance(node, ast.AugAssign):
+                if root_name(node.target) in tainted:
+                    yield file.diagnostic(
+                        self.rule_id,
+                        node,
+                        f"in-place update of shared view "
+                        f"'{root_name(node.target)}' mutates the "
+                        "parent's segment under every sibling worker; "
+                        "operate on a .copy()",
+                    )
+            elif isinstance(node, ast.Call):
+                yield from self._check_call_writes(file, node, tainted)
+
+    def _check_call_writes(
+        self, file: LintFile, node: ast.Call, tainted: Set[str]
+    ) -> Iterable[Diagnostic]:
+        name = call_name(node) or ""
+        leaf = name.rsplit(".", maxsplit=1)[-1]
+        if (
+            isinstance(node.func, ast.Attribute)
+            and leaf in _MUTATING_METHODS
+            and root_name(node.func.value) in tainted
+        ):
+            yield file.diagnostic(
+                self.rule_id,
+                node,
+                f".{leaf}() mutates shared view "
+                f"'{root_name(node.func.value)}' in place; operate on a "
+                ".copy()",
+            )
+            return
+        if leaf == "copyto" and node.args:
+            dest = node.args[0]
+            if root_name(dest) in tainted:
+                yield file.diagnostic(
+                    self.rule_id,
+                    node,
+                    "np.copyto into a shared view writes the parent's "
+                    "segment; allocate a local destination",
+                )
+        for kw in node.keywords:
+            if kw.arg == "out" and root_name(kw.value) in tainted:
+                yield file.diagnostic(
+                    self.rule_id,
+                    node,
+                    f"out= aliases shared view '{root_name(kw.value)}'; "
+                    "numpy will write the parent's segment in place",
+                )

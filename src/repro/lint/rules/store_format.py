@@ -1,0 +1,119 @@
+"""RL004 — store-format discipline: one definition of the on-disk layout.
+
+The sketch-store format (magic, version, dtypes, 64-byte block
+alignment) is defined once, in :mod:`repro.store.format`.  Re-spelling
+any of those as an inline literal elsewhere under ``src/repro/store/``
+is how reader and writer drift apart — the writer pads to one alignment,
+the reader asserts another, and the mismatch only surfaces on a store
+written by an older build.  Flagged outside ``format.py``:
+
+* string dtype literals — ``dtype="<u8"``, ``.astype("int64")``,
+  ``np.dtype("bool")`` — instead of ``INDEX_DTYPE`` / ``WORLDS_DTYPE`` /
+  ``HEADER_LEN_DTYPE``;
+* the format's own numpy dtypes (``np.int64``, ``np.bool_``) spelled
+  directly in a ``dtype=`` keyword;
+* bytes literals of magic length (≥4) — a re-spelled ``MAGIC``;
+* the integer ``64`` in alignment arithmetic (``% 64``, ``// 64`` …)
+  instead of ``ALIGN`` / ``align_up``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint._ast_utils import call_name, dotted_name
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import LintFile, Rule, rule
+
+_FORMAT_HOME = "src/repro/store/format.py"
+
+#: The format's dtypes by their raw numpy spellings.
+_FORMAT_NP_DTYPES = {
+    "np.int64",
+    "np.bool_",
+    "numpy.int64",
+    "numpy.bool_",
+}
+
+
+@rule
+class StoreFormatRule(Rule):
+    rule_id = "RL004"
+    title = "store layout literals must come from repro.store.format"
+
+    def scope(self, rel_path: str) -> bool:
+        return rel_path.startswith("src/repro/store/") and rel_path != _FORMAT_HOME
+
+    def check(self, file: LintFile) -> Iterable[Diagnostic]:
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(file, node)
+            elif isinstance(node, ast.Constant):
+                yield from self._check_constant(file, node)
+
+    def _check_call(self, file: LintFile, node: ast.Call) -> Iterable[Diagnostic]:
+        name = call_name(node) or ""
+        leaf = name.rsplit(".", maxsplit=1)[-1]
+        for kw in node.keywords:
+            if kw.arg != "dtype":
+                continue
+            if isinstance(kw.value, ast.Constant) and isinstance(
+                kw.value.value, (str, bool)
+            ):
+                yield file.diagnostic(
+                    self.rule_id,
+                    kw.value,
+                    f"inline dtype literal {kw.value.value!r}; use the "
+                    "named constant from repro.store.format so reader "
+                    "and writer cannot drift",
+                )
+            elif (dotted_name(kw.value) or "") in _FORMAT_NP_DTYPES:
+                yield file.diagnostic(
+                    self.rule_id,
+                    kw.value,
+                    f"format dtype {dotted_name(kw.value)} spelled "
+                    "inline; use INDEX_DTYPE / WORLDS_DTYPE from "
+                    "repro.store.format",
+                )
+        if leaf == "astype" and node.args:
+            arg = node.args[0]
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                yield file.diagnostic(
+                    self.rule_id,
+                    arg,
+                    f".astype({arg.value!r}) re-spells a format dtype; "
+                    "use the named constant from repro.store.format",
+                )
+        if name in ("np.dtype", "numpy.dtype") and node.args:
+            arg = node.args[0]
+            if isinstance(arg, ast.Constant):
+                yield file.diagnostic(
+                    self.rule_id,
+                    arg,
+                    "np.dtype(literal) re-spells a format dtype; use "
+                    "the named constant from repro.store.format",
+                )
+
+    def _check_constant(
+        self, file: LintFile, node: ast.Constant
+    ) -> Iterable[Diagnostic]:
+        if isinstance(node.value, bytes) and len(node.value) >= 4:
+            yield file.diagnostic(
+                self.rule_id,
+                node,
+                f"bytes literal {node.value!r} looks like a re-spelled "
+                "magic; compare against repro.store.format.MAGIC",
+            )
+        elif node.value == 64 and isinstance(node.value, int):
+            parent = file.parent_of(node)
+            if isinstance(parent, ast.BinOp) and isinstance(
+                parent.op, (ast.Mod, ast.FloorDiv, ast.Add, ast.Sub)
+            ):
+                yield file.diagnostic(
+                    self.rule_id,
+                    node,
+                    "alignment arithmetic with a bare 64; use "
+                    "repro.store.format.ALIGN / align_up so padding has "
+                    "one definition",
+                )

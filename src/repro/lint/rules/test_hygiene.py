@@ -1,0 +1,147 @@
+"""RL005 — test hygiene: no bare float equality on estimates.
+
+Spread and welfare values in this repo are Monte-Carlo estimates: two
+correct implementations agree in distribution, not to the last ulp, and
+a bare ``==`` against a float literal passes or fails with the numpy
+build.  Tests must pin them the way DESIGN.md prescribes — pinned-seed
+z-equivalence (``pytest.approx`` with a derived tolerance) or the
+golden-byte helpers that compare serialized stores.
+
+The rule keys off the estimator vocabulary of the non-literal operand
+(``spread``, ``welfare``, ``sigma``, ``estimate``, ``influence``) so
+exact-value checks on deterministic accessors — table lookups, config
+fields, prices — stay clean.  Flagged in ``tests/``:
+
+* ``==`` / ``!=`` between an estimate expression and a numeric literal
+  (exact boundary values ``0`` and ``1`` are legitimate: an empty seed
+  set spreads exactly zero);
+* the same against an all-constant arithmetic expression
+  (``5 / 3``-style re-derivations, the same trap with extra steps).
+
+Comparing one estimator run against another at identical seeds is *not*
+flagged: byte-determinism of same-lineage runs is itself a pinned
+contract here.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import LintFile, Rule, rule
+
+#: Identifier substrings that mark a value as a Monte-Carlo estimate.
+_ESTIMATE_VOCAB = ("spread", "welfare", "sigma", "estimate", "influence")
+
+#: Exact boundary values estimates legitimately hit.
+_EXACT_OK = (0, 1)
+
+
+def _is_numeric_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, (int, float)) and not isinstance(node.value, bool)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_numeric_literal(node.operand)
+    return False
+
+
+def _literal_value(node: ast.AST) -> float:
+    if isinstance(node, ast.UnaryOp):
+        value = _literal_value(node.operand)
+        return -value if isinstance(node.op, ast.USub) else value
+    assert isinstance(node, ast.Constant)
+    return node.value
+
+
+def _is_constant_arithmetic(node: ast.AST) -> bool:
+    """An expression built purely from numeric literals (``5 / 3``)."""
+    if isinstance(node, ast.BinOp):
+        return _is_constant_arithmetic(node.left) and _is_constant_arithmetic(
+            node.right
+        )
+    if isinstance(node, ast.UnaryOp):
+        return _is_constant_arithmetic(node.operand)
+    return isinstance(node, ast.Constant) and isinstance(node.value, (int, float))
+
+
+def _is_structural(node: ast.AST) -> bool:
+    """Integer-valued structure checks (``len(spreads)``, ``x.shape[0]``)."""
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "len":
+            return True
+    if isinstance(node, ast.Subscript):
+        return _is_structural(node.value)
+    if isinstance(node, ast.Attribute) and node.attr in (
+        "shape",
+        "size",
+        "ndim",
+        "nbytes",
+    ):
+        return True
+    return False
+
+
+def _is_estimate_expr(node: ast.AST) -> bool:
+    """Does the expression mention estimator vocabulary anywhere?"""
+    for sub in ast.walk(node):
+        name = None
+        if isinstance(sub, ast.Name):
+            name = sub.id
+        elif isinstance(sub, ast.Attribute):
+            name = sub.attr
+        if name is not None:
+            lowered = name.lower()
+            if any(word in lowered for word in _ESTIMATE_VOCAB):
+                return True
+    return False
+
+
+@rule
+class TestHygieneRule(Rule):
+    rule_id = "RL005"
+    title = "no bare float == on spread/welfare estimates in tests"
+
+    def scope(self, rel_path: str) -> bool:
+        return rel_path.startswith("tests/")
+
+    def check(self, file: LintFile) -> Iterable[Diagnostic]:
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            operands = [node.left] + list(node.comparators)
+            if not any(
+                _is_estimate_expr(op) and not _is_structural(op)
+                for op in operands
+            ):
+                continue
+            for operand in operands:
+                if _is_numeric_literal(operand):
+                    if _literal_value(operand) in _EXACT_OK:
+                        continue
+                    yield file.diagnostic(
+                        self.rule_id,
+                        node,
+                        f"bare equality between an estimate and "
+                        f"{_literal_value(operand)!r}; estimates are "
+                        "Monte-Carlo values — use pytest.approx with a "
+                        "pinned-seed tolerance or the golden-byte "
+                        "helpers",
+                    )
+                    break
+                if (
+                    isinstance(operand, ast.BinOp)
+                    and _is_constant_arithmetic(operand)
+                ):
+                    yield file.diagnostic(
+                        self.rule_id,
+                        node,
+                        "equality between an estimate and a constant "
+                        "expression; re-deriving the expected value "
+                        "inline is the same ulp trap — use pytest.approx "
+                        "or the golden-byte helpers",
+                    )
+                    break

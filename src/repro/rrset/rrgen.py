@@ -40,11 +40,11 @@ from repro.diffusion.triggering import (
     needs_trigger_csr,
     segmented_positions,
 )
+from repro.engine.context import EngineContext, is_batched
 from repro.graph.digraph import InfluenceGraph
 from repro.rrset.batch import (
     batch_generate_rr_sets,
     build_trigger_csr,
-    resolve_backend,
     supports_batched,
 )
 
@@ -222,18 +222,19 @@ class RRCollection:
                     "triggering model; pass either ctx= or triggering=, "
                     "not both"
                 )
-            rng = ctx.rng
-            backend = ctx.backend
             if triggering is None:
                 triggering = ctx.triggering
-        elif rng is None:
-            rng = np.random.default_rng(0)
+        else:
+            # Backend/seed resolution happens in the engine, nowhere else:
+            # the legacy (rng, backend) spelling builds an equivalent
+            # context and reads the resolved fields back.
+            ctx = EngineContext.create(backend=backend, rng=rng)
         if triggering is not None:
             triggering.validate(graph)
         self._graph = graph
-        self._rng = rng
+        self._rng = ctx.rng
         self._triggering = triggering
-        self._backend = resolve_backend(backend)
+        self._backend = ctx.backend
         # Compiled trigger distributions for generic triggering models
         # (built lazily on the first batched generate, then reused).
         self._trigger_csr = None
@@ -333,7 +334,7 @@ class RRCollection:
         """Generate ``count`` additional RR sets with the active backend."""
         if count <= 0:
             return
-        if self._backend != "sequential" and supports_batched(
+        if is_batched(self._backend) and supports_batched(
             self._triggering
         ):
             if self._trigger_csr is None and needs_trigger_csr(
@@ -526,6 +527,7 @@ class RRCollection:
         *,
         index: Optional[Tuple[np.ndarray, np.ndarray]] = None,
         triggering: Optional[TriggeringModel] = None,
+        # repro-lint: disable=RL002 forwarded verbatim into cls()'s resolution
         backend: Optional[str] = None,
         ctx=None,
     ) -> "RRCollection":

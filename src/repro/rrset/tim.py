@@ -19,7 +19,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.engine import ensure_context
+from repro.engine import ensure_context, is_batched
 from repro.graph.digraph import InfluenceGraph
 from repro.rrset.batch import (
     batch_generate_rr_sets,
@@ -72,11 +72,11 @@ def _kpt_estimation(
     m = max(graph.num_edges, 1)
     log2n = math.log2(n)
     used = 0
-    if backend != "sequential" and not supports_batched(triggering):
+    if is_batched(backend) and not supports_batched(triggering):
         backend = "sequential"
     trigger_csr = (
         build_trigger_csr(graph, triggering)
-        if backend != "sequential" and needs_trigger_csr(triggering)
+        if is_batched(backend) and needs_trigger_csr(triggering)
         else None
     )
     for i in range(1, max(2, int(log2n))):
@@ -95,7 +95,7 @@ def _kpt_estimation(
                 )
             ),
         )
-        if backend != "sequential":
+        if is_batched(backend):
             members, lengths = batch_generate_rr_sets(
                 graph, rng, c_i, triggering=triggering,
                 trigger_csr=trigger_csr,

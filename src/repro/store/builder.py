@@ -55,6 +55,7 @@ from repro.rrset.rrgen import (
     build_inverted_index,
     merge_inverted_index,
 )
+from repro.store.format import INDEX_DTYPE, WORLDS_DTYPE
 from repro.store.sketch_store import SketchStore, SketchStoreError
 
 
@@ -238,14 +239,14 @@ def build_sharded(
     members = (
         np.concatenate(member_parts)
         if member_parts
-        else np.empty(0, dtype=np.int64)
+        else np.empty(0, dtype=INDEX_DTYPE)
     )
     lengths = (
         np.concatenate(length_parts)
         if length_parts
-        else np.empty(0, dtype=np.int64)
+        else np.empty(0, dtype=INDEX_DTYPE)
     )
-    offsets = np.zeros(lengths.shape[0] + 1, dtype=np.int64)
+    offsets = np.zeros(lengths.shape[0] + 1, dtype=INDEX_DTYPE)
     np.cumsum(lengths, out=offsets[1:])
     idx_sets, idx_indptr = build_inverted_index(members, offsets, n)
 
@@ -262,7 +263,7 @@ def build_sharded(
         triggering=name,
         world_cursor=0,
         rng_state=np.random.default_rng(children[-1]).bit_generator.state,
-        seed_order=np.asarray(prima_result.seeds, dtype=np.int64),
+        seed_order=np.asarray(prima_result.seeds, dtype=INDEX_DTYPE),
         members=members,
         offsets=offsets,
         widths=rr_set_widths(graph, members, lengths),
@@ -375,15 +376,15 @@ def build_comic_store(
         triggering=None,
         world_cursor=int(state.world_cursor),
         rng_state=ctx.rng.bit_generator.state,
-        seed_order=np.asarray(state.seeds, dtype=np.int64),
-        members=np.asarray(state.members, dtype=np.int64),
-        offsets=np.asarray(state.offsets, dtype=np.int64),
+        seed_order=np.asarray(state.seeds, dtype=INDEX_DTYPE),
+        members=np.asarray(state.members, dtype=INDEX_DTYPE),
+        offsets=np.asarray(state.offsets, dtype=INDEX_DTYPE),
         widths=rr_set_widths(graph, state.members, lengths),
         idx_sets=idx_sets,
         idx_indptr=idx_indptr,
         cover_counts=np.bincount(
             state.members, minlength=n
-        ).astype(np.int64),
+        ).astype(INDEX_DTYPE),
         model="comic",
         comic=_comic_meta(
             model,
@@ -396,7 +397,7 @@ def build_comic_store(
                 "theta": int(state.theta),
             },
         ),
-        worlds=np.asarray(state.worlds_bitmap, dtype=bool),
+        worlds=np.asarray(state.worlds_bitmap, dtype=WORLDS_DTYPE),
     )
 
 
@@ -436,19 +437,19 @@ def _extend_comic(
         q_boosted=float(comic["q_boosted"]),
         ctx=ctx,
     )
-    bitmap = np.asarray(store.worlds, dtype=bool)
-    if ctx.backend != "sequential":
+    bitmap = np.asarray(store.worlds, dtype=WORLDS_DTYPE)
+    if ctx.is_batched:
         sampler.set_worlds(bitmap)
     else:
         sampler.set_worlds(bitmap_to_worlds(bitmap))
 
     delta_members, delta_lengths = sampler.sample(int(add))
-    old_members = np.asarray(store.members, dtype=np.int64)
+    old_members = np.asarray(store.members, dtype=INDEX_DTYPE)
     members = np.concatenate([old_members, delta_members])
     lengths = np.concatenate(
         [np.diff(store.offsets), delta_lengths]
-    ).astype(np.int64)
-    offsets = np.zeros(lengths.shape[0] + 1, dtype=np.int64)
+    ).astype(INDEX_DTYPE)
+    offsets = np.zeros(lengths.shape[0] + 1, dtype=INDEX_DTYPE)
     np.cumsum(lengths, out=offsets[1:])
 
     n = graph.num_nodes
@@ -456,22 +457,22 @@ def _extend_comic(
     # sets instead of re-scanning the whole grown collection.
     widths = np.concatenate(
         [
-            np.asarray(store.widths, dtype=np.int64),
+            np.asarray(store.widths, dtype=INDEX_DTYPE),
             rr_set_widths(graph, delta_members, delta_lengths),
         ]
     )
     cover_counts = np.asarray(
-        store.cover_counts, dtype=np.int64
+        store.cover_counts, dtype=INDEX_DTYPE
     ) + np.bincount(delta_members, minlength=n)
-    delta_offsets = np.zeros(delta_lengths.shape[0] + 1, dtype=np.int64)
+    delta_offsets = np.zeros(delta_lengths.shape[0] + 1, dtype=INDEX_DTYPE)
     np.cumsum(delta_lengths, out=delta_offsets[1:])
     delta_idx, delta_indptr = build_inverted_index(
         delta_members, delta_offsets, n
     )
     delta_idx += store.num_sets
     idx_sets, idx_indptr = merge_inverted_index(
-        np.asarray(store.idx_sets, dtype=np.int64),
-        np.asarray(store.idx_indptr, dtype=np.int64),
+        np.asarray(store.idx_sets, dtype=INDEX_DTYPE),
+        np.asarray(store.idx_indptr, dtype=INDEX_DTYPE),
         delta_idx,
         delta_indptr,
     )
@@ -487,7 +488,7 @@ def _extend_comic(
     return store.replace_arrays(
         world_cursor=sampler.used,
         rng_state=ctx.rng.bit_generator.state,
-        seed_order=np.asarray(seeds, dtype=np.int64),
+        seed_order=np.asarray(seeds, dtype=INDEX_DTYPE),
         members=members,
         offsets=offsets,
         widths=widths,
@@ -505,6 +506,7 @@ def extend_store(
     graph: InfluenceGraph,
     add: int,
     *,
+    # repro-lint: disable=RL002 documented persisted-state override, see docstring
     backend: Optional[str] = None,
 ) -> SketchStore:
     """Grow a loaded store by ``add`` RR sets without regenerating.

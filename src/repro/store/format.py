@@ -1,0 +1,71 @@
+"""Central constants of the on-disk sketch-store format (DESIGN.md §4).
+
+Every dtype, magic, and alignment literal the store layer writes or reads
+is defined HERE and only here — ``repro lint`` rule RL004 flags inline
+``np.int64``-style dtype literals anywhere else under ``repro.store``, so
+a format change is a one-file edit that cannot silently drift between the
+writer (:mod:`repro.store.sketch_store`), the builders
+(:mod:`repro.store.builder`) and the serving layer
+(:mod:`repro.store.service`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "ALIGN",
+    "ARRAY_NAMES",
+    "FORMAT_VERSION",
+    "HEADER_LEN_DTYPE",
+    "INDEX_DTYPE",
+    "MAGIC",
+    "MODELS",
+    "SUPPORTED_VERSIONS",
+    "WORLDS_DTYPE",
+    "align_up",
+]
+
+#: File magic; the trailing byte doubles as a format generation marker.
+MAGIC = b"REPROSKT"
+
+#: On-disk format version this build writes by default.
+FORMAT_VERSION = 2
+
+#: Format versions this build reads (v1: PRIMA-only stores without the
+#: ``model`` discriminator or the ``worlds`` bitmap — forward-compat pinned).
+SUPPORTED_VERSIONS = (1, 2)
+
+#: Arrays start on multiples of this within the data section (and the data
+#: section itself starts on the first such boundary past the header).
+ALIGN = 64
+
+#: The arrays every influence-oracle store persists, in canonical order.
+ARRAY_NAMES = (
+    "seed_order",
+    "members",
+    "offsets",
+    "widths",
+    "idx_sets",
+    "idx_indptr",
+    "cover_counts",
+)
+
+#: Recognized sketch models: ``prima`` (plain-IC/LT influence oracle) and
+#: ``comic`` (GAP-aware Com-IC sketches of RR-SIM+/RR-CIM, format v2+).
+MODELS = ("prima", "comic")
+
+#: Element type of every id/count/offset array (members, offsets, widths,
+#: inverted index, cover counts, seed order).
+INDEX_DTYPE = np.int64
+
+#: Element type of the ``(num_worlds, n)`` forward-adopter bitmap.
+WORLDS_DTYPE = np.bool_
+
+#: The little-endian uint64 header-length field at bytes 8..15.
+HEADER_LEN_DTYPE = "<u8"
+
+
+def align_up(offset: int) -> int:
+    """Round ``offset`` up to the next :data:`ALIGN` boundary."""
+    return (offset + ALIGN - 1) // ALIGN * ALIGN

@@ -29,6 +29,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.graph.digraph import InfluenceGraph
+from repro.store.format import WORLDS_DTYPE
 from repro.store.sketch_store import SketchStore
 
 PathLike = Union[str, Path]
@@ -120,7 +121,7 @@ class OracleService:
         num_sets = store.num_sets
         if num_sets == 0:
             return 0.0
-        covered = np.zeros(num_sets, dtype=bool)
+        covered = np.zeros(num_sets, dtype=WORLDS_DTYPE)
         idx_sets = store.idx_sets
         idx_indptr = store.idx_indptr
         for s in seeds:

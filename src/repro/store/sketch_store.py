@@ -50,37 +50,19 @@ import numpy as np
 
 from repro.graph.digraph import InfluenceGraph
 from repro.graph.io import graph_fingerprint
-
-PathLike = Union[str, Path]
-
-#: File magic; the trailing byte doubles as a format generation marker.
-MAGIC = b"REPROSKT"
-
-#: On-disk format version this build writes by default.
-FORMAT_VERSION = 2
-
-#: Format versions this build reads (v1: PRIMA-only stores without the
-#: ``model`` discriminator or the ``worlds`` bitmap — forward-compat pinned).
-SUPPORTED_VERSIONS = (1, 2)
-
-#: Arrays start on multiples of this within the data section.
-_ALIGN = 64
-
-#: The arrays every influence-oracle store persists, in canonical order.
-_ARRAY_NAMES = (
-    "seed_order",
-    "members",
-    "offsets",
-    "widths",
-    "idx_sets",
-    "idx_indptr",
-    "cover_counts",
+from repro.store.format import (
+    ARRAY_NAMES,
+    FORMAT_VERSION,
+    HEADER_LEN_DTYPE,
+    INDEX_DTYPE,
+    MAGIC,
+    MODELS,
+    SUPPORTED_VERSIONS,
+    WORLDS_DTYPE,
+    align_up,
 )
 
-#: Recognized sketch models: ``prima`` (plain-IC/LT influence oracle) and
-#: ``comic`` (GAP-aware Com-IC sketches of RR-SIM+/RR-CIM, format v2+).
-MODELS = ("prima", "comic")
-
+PathLike = Union[str, Path]
 
 class SketchStoreError(RuntimeError):
     """A sketch-store file is malformed, truncated, or unsupported."""
@@ -88,10 +70,6 @@ class SketchStoreError(RuntimeError):
 
 class StaleStoreError(SketchStoreError):
     """A store's graph fingerprint does not match the serving graph."""
-
-
-def _align(offset: int) -> int:
-    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
 
 
 def _jsonable_rng_state(state: Optional[dict]) -> Optional[dict]:
@@ -240,16 +218,16 @@ class SketchStore:
             )
         arrays: Dict[str, np.ndarray] = {
             name: np.ascontiguousarray(getattr(self, name))
-            for name in _ARRAY_NAMES
+            for name in ARRAY_NAMES
         }
         if format_version >= 2 and self.worlds is not None:
             arrays["worlds"] = np.ascontiguousarray(
-                np.asarray(self.worlds, dtype=bool)
+                np.asarray(self.worlds, dtype=WORLDS_DTYPE)
             )
         table = {}
         cursor = 0
         for name, arr in arrays.items():
-            cursor = _align(cursor)
+            cursor = align_up(cursor)
             table[name] = {
                 "dtype": arr.dtype.str,
                 "shape": list(arr.shape),
@@ -278,12 +256,12 @@ class SketchStore:
             "arrays": table,
         }
         blob = json.dumps(header, separators=(",", ":")).encode()
-        data_start = _align(16 + len(blob))
+        data_start = align_up(16 + len(blob))
         path = Path(path)
         tmp_path = path.with_name(path.name + ".tmp")
         with open(tmp_path, "wb") as f:
             f.write(MAGIC)
-            f.write(np.array([len(blob)], dtype="<u8").tobytes())
+            f.write(np.array([len(blob)], dtype=HEADER_LEN_DTYPE).tobytes())
             f.write(blob)
             f.write(b"\0" * (data_start - 16 - len(blob)))
             for name, arr in arrays.items():
@@ -311,7 +289,7 @@ class SketchStore:
                 raise SketchStoreError(
                     f"{path} is not a sketch store (bad magic)"
                 )
-            header_len = int(np.frombuffer(prefix[8:16], dtype="<u8")[0])
+            header_len = int(np.frombuffer(prefix[8:16], dtype=HEADER_LEN_DTYPE)[0])
             if 16 + header_len > file_size:
                 raise SketchStoreError(f"{path}: truncated header")
             blob = f.read(header_len)
@@ -329,7 +307,7 @@ class SketchStore:
         table = header.get("arrays")
         if not isinstance(meta, dict) or not isinstance(table, dict):
             raise SketchStoreError(f"{path}: corrupted header")
-        missing = [name for name in _ARRAY_NAMES if name not in table]
+        missing = [name for name in ARRAY_NAMES if name not in table]
         if missing:
             raise SketchStoreError(f"{path}: missing arrays {missing}")
         model = str(meta.get("model", "prima"))
@@ -338,7 +316,7 @@ class SketchStore:
                 f"{path}: unknown sketch model {model!r} "
                 f"(supported: {MODELS})"
             )
-        wanted = list(_ARRAY_NAMES)
+        wanted = list(ARRAY_NAMES)
         if "worlds" in table:
             wanted.append("worlds")
         elif model == "comic":
@@ -346,14 +324,14 @@ class SketchStore:
                 f"{path}: comic store is missing its worlds bitmap"
             )
 
-        data_start = _align(16 + header_len)
+        data_start = align_up(16 + header_len)
         arrays: Dict[str, np.ndarray] = {}
         for name in wanted:
             spec = table[name]
             dtype = np.dtype(spec["dtype"])
             shape = tuple(int(s) for s in spec["shape"])
             offset = data_start + int(spec["offset"])
-            nbytes = dtype.itemsize * int(np.prod(shape, dtype=np.int64))
+            nbytes = dtype.itemsize * int(np.prod(shape, dtype=INDEX_DTYPE))
             if offset < data_start or offset + nbytes > file_size:
                 raise SketchStoreError(
                     f"{path}: truncated data section (array {name!r} "
@@ -496,7 +474,7 @@ class SketchStore:
             triggering=triggering,
             world_cursor=int(world_cursor),
             rng_state=state["rng_state"],
-            seed_order=np.asarray(seed_order, dtype=np.int64),
+            seed_order=np.asarray(seed_order, dtype=INDEX_DTYPE),
             members=members,
             offsets=offsets,
             widths=widths,

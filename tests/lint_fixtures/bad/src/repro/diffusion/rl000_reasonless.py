@@ -1,0 +1,7 @@
+"""RL000 fixture: suppression without a reason (RL001 itself silenced)."""
+
+import numpy as np
+
+
+def quiet_but_unexplained():
+    return np.random.default_rng()  # repro-lint: disable=RL001

@@ -1,0 +1,14 @@
+"""RL001 fixture: every way of minting rogue randomness."""
+
+import random  # line 3: stdlib random import
+
+import numpy as np
+import time
+
+
+def rogue_streams():
+    rng = np.random.default_rng()  # line 10: unseeded
+    legacy = np.random.RandomState(7)  # line 11: legacy API
+    np.random.seed(0)  # line 12: global state
+    clocked = np.random.default_rng(int(time.time()))  # line 13: wall clock
+    return rng, legacy, clocked, random.random()

@@ -1,0 +1,7 @@
+"""RL003 fixture: raw shared_memory usage outside parallel/shm.py."""
+
+from multiprocessing import shared_memory
+
+
+def leak_prone(name):
+    return shared_memory.SharedMemory(name=name)

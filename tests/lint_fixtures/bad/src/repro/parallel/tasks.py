@@ -1,0 +1,13 @@
+"""RL003 fixture: writes through shared-memory views in a worker task."""
+
+import numpy as np
+
+
+def bad_task(graph, trigger_csr, seed_seq, count):
+    weights = graph.weights  # aliases the shared segment
+    weights[0] = 0.0  # line 8: subscript write through the view
+    graph.indptr += 1  # line 9: in-place update of an attachment
+    trigger_csr.fill(0)  # line 10: mutating method on shared view
+    np.copyto(weights, np.zeros_like(weights))  # line 11: copyto dest
+    np.add(weights, 1.0, out=weights)  # line 12: out= aliasing
+    return count, seed_seq

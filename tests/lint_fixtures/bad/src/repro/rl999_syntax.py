@@ -1,0 +1,4 @@
+"""RL999 fixture: a file that does not parse must fail, not crash."""
+
+def broken(:
+    return 1

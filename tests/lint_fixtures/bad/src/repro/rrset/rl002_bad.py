@@ -1,0 +1,21 @@
+"""RL002 fixture: every ctx-threading violation class."""
+
+import os
+
+
+def spread_with_knob(graph, k, backend="sequential", seed=None):
+    # line 7-9: working backend kwarg + raw comparison + env re-read
+    if backend != "sequential":
+        batched = True
+    else:
+        batched = False
+    fallback = os.environ.get("REPRO_RR_BACKEND", "batched")
+    from repro.engine.context import resolve_backend
+
+    resolved = resolve_backend(None)
+    return batched, fallback, resolved, seed
+
+
+def silently_ignored(graph, backend=None):
+    # 'backend' accepted but never read: a no-op execution-state kwarg.
+    return graph

@@ -1,0 +1,14 @@
+"""RL004 fixture: re-spelled on-disk format literals."""
+
+import numpy as np
+
+MAGIC_AGAIN = b"REPROSKT"  # line 5: re-spelled magic
+
+
+def drifty_writer(offsets, payload):
+    index = np.asarray(offsets, dtype="int64")  # line 9: dtype literal
+    worlds = np.zeros(4, dtype=np.bool_)  # line 10: format dtype inline
+    header_len = payload.astype("<u8")  # line 11: astype literal
+    kind = np.dtype("bool")  # line 12: np.dtype literal
+    padding = (64 - len(payload) % 64) % 64  # line 13: bare alignment
+    return index, worlds, header_len, kind, padding

@@ -1,0 +1,9 @@
+"""RL005 fixture: bare float equality on Monte-Carlo estimates."""
+
+
+def check_estimates(graph, estimate_spread, estimate_welfare):
+    spread = estimate_spread(graph, [0, 1])
+    assert spread == 3.14  # line 6: bare float equality
+    welfare = estimate_welfare(graph)
+    assert welfare == 5 / 3  # line 8: constant-arithmetic re-derivation
+    assert estimate_spread(graph, [2]) != 2.5  # line 9: != same trap

@@ -1,0 +1,10 @@
+"""RL001 fixture: lineage-derived randomness only — must lint clean."""
+
+import numpy as np
+
+
+def honest_streams(ctx, seed):
+    root = np.random.SeedSequence(seed)
+    rng = np.random.default_rng(root.spawn(1)[0])
+    explicit = np.random.default_rng(12345)
+    return rng, explicit, ctx.rng

@@ -1,0 +1,13 @@
+"""Suppression fixture: reasoned disable comments — must lint clean."""
+
+import numpy as np
+
+
+def entropy_for_tempfile_names():
+    # repro-lint: disable=RL001 naming entropy only, never touches results
+    return np.random.default_rng()
+
+
+def trailing_style():
+    rng = np.random.default_rng()  # repro-lint: disable=RL001 naming entropy only
+    return rng

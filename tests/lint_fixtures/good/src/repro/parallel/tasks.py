@@ -1,0 +1,14 @@
+"""RL003 fixture: copy-first worker task — must lint clean."""
+
+import numpy as np
+
+
+def good_task(graph, trigger_csr, seed_seq, count):
+    weights = graph.weights.copy()  # laundered: a private buffer
+    weights[0] = 0.0
+    weights += 1.0
+    local = np.zeros(count)
+    np.add(local, 1.0, out=local)
+    totals = np.empty(count)
+    np.copyto(totals, local)
+    return totals, seed_seq, trigger_csr.shape

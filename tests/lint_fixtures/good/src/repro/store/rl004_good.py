@@ -1,0 +1,19 @@
+"""RL004 fixture: layout spelled via format constants — must lint clean."""
+
+import numpy as np
+
+from repro.store.format import (
+    ALIGN,
+    INDEX_DTYPE,
+    MAGIC,
+    WORLDS_DTYPE,
+    align_up,
+)
+
+
+def disciplined_writer(offsets, payload):
+    index = np.asarray(offsets, dtype=INDEX_DTYPE)
+    worlds = np.zeros(4, dtype=WORLDS_DTYPE)
+    padding = align_up(len(payload)) - len(payload)
+    assert padding < ALIGN
+    return MAGIC, index, worlds, padding

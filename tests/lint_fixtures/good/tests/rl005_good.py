@@ -1,0 +1,12 @@
+"""RL005 fixture: hygienic estimate comparisons — must lint clean."""
+
+import pytest
+
+
+def check_estimates(graph, estimate_spread, estimate_welfare):
+    spread = estimate_spread(graph, [])
+    assert spread == 0.0  # exact boundary: empty seed set
+    assert estimate_spread(graph, [0]) == pytest.approx(3.14, rel=0.05)
+    # Same-lineage determinism is a pinned contract, not an ulp trap.
+    assert estimate_welfare(graph) == estimate_welfare(graph)
+    assert len(graph.spreads) == 4  # structural, not value equality

@@ -97,7 +97,8 @@ class TestBatchIC:
         active = batch_simulate_ic(
             wc400, [3, 3, 9], 7, np.random.default_rng(0)
         )
-        assert active[:, 3].all() and active[:, 9].all()
+        assert active[:, 3].all()
+        assert active[:, 9].all()
 
     def test_empty_cases(self, wc400):
         assert batch_simulate_ic(
@@ -694,7 +695,8 @@ class TestForwardAdopterWorlds:
             backend="batched",
         )
         assert isinstance(worlds, np.ndarray)
-        assert worlds.shape == (16, 400) and worlds.dtype == bool
+        assert worlds.shape == (16, 400)
+        assert worlds.dtype == bool
         # Seeds of the fixed item adopt with probability q_a_empty > 0;
         # over 16 worlds some seed adoption must show up.
         assert worlds[:, [0, 1, 2]].any()
@@ -704,7 +706,8 @@ class TestForwardAdopterWorlds:
             wc400, GAP, 0, [0, 1, 2], 4, np.random.default_rng(1),
             backend="sequential",
         )
-        assert isinstance(worlds, list) and len(worlds) == 4
+        assert isinstance(worlds, list)
+        assert len(worlds) == 4
         assert all(isinstance(w, set) for w in worlds)
 
     def test_backends_agree_on_mean_world_size(self, wc400):

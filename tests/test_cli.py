@@ -1,8 +1,15 @@
 """Tests for the experiment CLI."""
 
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
 from repro.cli import build_parser, main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+LINT_FIXTURES = REPO_ROOT / "tests" / "lint_fixtures"
 
 
 class TestParser:
@@ -31,12 +38,14 @@ class TestCommands:
     def test_table2(self, capsys):
         assert main(["table2"]) == 0
         out = capsys.readouterr().out
-        assert "flixster" in out and "orkut" in out
+        assert "flixster" in out
+        assert "orkut" in out
 
     def test_table5(self, capsys):
         assert main(["table5"]) == 0
         out = capsys.readouterr().out
-        assert "{ps}" in out and "302" in out
+        assert "{ps}" in out
+        assert "302" in out
 
     def test_fig4_no_comic_tiny(self, capsys):
         code = main(
@@ -58,7 +67,8 @@ class TestCommands:
         code = main(["table6", "--total", "25", "--scale", "0.01"])
         assert code == 0
         out = capsys.readouterr().out
-        assert "bundleGRD" in out and "IMM_MAX" in out
+        assert "bundleGRD" in out
+        assert "IMM_MAX" in out
 
     def test_fig9d_tiny(self, capsys):
         code = main(
@@ -66,3 +76,39 @@ class TestCommands:
         )
         assert code == 0
         assert "wc" in capsys.readouterr().out
+
+
+class TestLintSubcommand:
+    """The invariant checker through the real CLI (see test_lint.py for
+    per-rule coverage)."""
+
+    def _run(self, *argv, cwd=REPO_ROOT):
+        return subprocess.run(
+            [sys.executable, "-m", "repro", "lint", *argv],
+            capture_output=True, text=True, cwd=cwd,
+            env={
+                "PYTHONPATH": str(REPO_ROOT / "src"),
+                "PATH": "/usr/bin:/bin",
+            },
+        )
+
+    def test_repository_clean_fresh_process(self):
+        """Golden run: the tree itself exits 0 with zero findings."""
+        result = self._run()
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert result.stdout == ""
+        assert "0 findings" in result.stderr
+
+    def test_findings_exit_one_fresh_process(self):
+        result = self._run("--root", str(LINT_FIXTURES / "bad"))
+        assert result.returncode == 1
+        assert ": RL001 " in result.stdout
+
+    def test_usage_error_exit_two_fresh_process(self):
+        result = self._run("--select", "RL777")
+        assert result.returncode == 2
+        assert "unknown rule" in result.stderr
+
+    def test_in_process_dispatch(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        assert "RL003" in capsys.readouterr().out

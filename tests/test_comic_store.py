@@ -251,7 +251,8 @@ class TestFormatVersions:
         v1 = SketchStore.load(v1_path)
         v2 = SketchStore.load(v2_path)
         assert v1.model == "prima"
-        assert v1.worlds is None and v1.comic is None
+        assert v1.worlds is None
+        assert v1.comic is None
         for name in ("seed_order", "members", "offsets", "cover_counts"):
             assert np.array_equal(getattr(v1, name), getattr(v2, name))
         # A v1 store keeps extending (the PRIMA path needs no v2 fields).

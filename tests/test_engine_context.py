@@ -335,7 +335,7 @@ class TestCrossBackendParity:
             spreads["sequential"], rel=tolerance
         )
 
-    @pytest.mark.parametrize("name,func", [
+    @pytest.mark.parametrize(("name", "func"), [
         ("rr_sim_plus", rr_sim_plus),
         ("rr_cim", rr_cim),
     ])

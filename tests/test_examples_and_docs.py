@@ -76,7 +76,8 @@ class TestExamples:
     )
     def test_example_has_run_instructions(self, path):
         docstring = ast.get_docstring(ast.parse(path.read_text()))
-        assert docstring and "python examples/" in docstring
+        assert docstring
+        assert "python examples/" in docstring
 
 
 class TestDocumentationConsistency:

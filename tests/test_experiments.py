@@ -34,7 +34,8 @@ class TestRunnerPlumbing:
     def test_format_table(self):
         rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.0}]
         text = format_table(rows)
-        assert "a" in text and "b" in text
+        assert "a" in text
+        assert "b" in text
         assert "10" in text
 
     def test_format_empty(self):

@@ -51,11 +51,13 @@ class TestStructuredGraphs:
 
     def test_two_node_edge(self):
         g = two_node_edge(0.5)
-        assert g.num_nodes == 2 and g.num_edges == 1
+        assert g.num_nodes == 2
+        assert g.num_edges == 1
 
     def test_isolated_nodes(self):
         g = isolated_nodes(7)
-        assert g.num_nodes == 7 and g.num_edges == 0
+        assert g.num_nodes == 7
+        assert g.num_edges == 0
 
 
 class TestRandomGenerators:

@@ -39,7 +39,8 @@ class TestBuildReport:
     def test_order_and_content(self, results_dir):
         report = build_report(results_dir)
         assert "Table 2 — network statistics" in report
-        assert "row1" in report and "row2" in report
+        assert "row1" in report
+        assert "row2" in report
         # unindexed artifacts are appended
         assert "(unindexed) custom_extra" in report
         # missing experiments are flagged

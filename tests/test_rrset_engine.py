@@ -308,7 +308,8 @@ class TestVectorizedNodeSelection:
         seeds, frac = node_selection(coll, 4)
         ref = node_selection_reference(coll, 4)
         assert (seeds, frac) == ref
-        assert seeds[0] == 1 and len(set(seeds)) == 4
+        assert seeds[0] == 1
+        assert len(set(seeds)) == 4
 
     def test_greedy_max_coverage_flat_api(self):
         members = np.array([0, 1, 0, 2, 0, 3, 4, 4], dtype=np.int64)

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Ratcheted mypy gate over the typed core (engine, store, parallel).
+
+Full ``--strict`` on a numpy-heavy research codebase is noise; no gate
+at all lets annotations rot.  The middle path is a *ratchet*: a
+checked-in per-package ceiling on mypy error counts
+(``tools/mypy_baseline.json``).  CI fails when a package exceeds its
+ceiling — new code cannot add type errors — and prints a nudge when a
+package comes in under it, so the ceiling only ever moves down:
+
+    python tools/mypy_ratchet.py            # gate (CI mode)
+    python tools/mypy_ratchet.py --update   # rewrite baseline to current
+
+The baseline was seeded loose; tighten it with ``--update`` whenever a
+cleanup lands.  When mypy is not installed (the dev container bakes the
+runtime toolchain only), the gate SKIPs loudly and exits 0 — CI installs
+it from requirements-dev.txt, so the skip can never mask a regression
+there.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "tools" / "mypy_baseline.json"
+
+#: The packages under the ratchet, in baseline-file order.
+PACKAGES = ("src/repro/engine", "src/repro/store", "src/repro/parallel")
+
+
+def mypy_available() -> bool:
+    try:
+        import mypy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def run_mypy() -> list[str]:
+    """Error lines (``path:line: error: ...``) from one mypy run."""
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "mypy",
+            "--config-file",
+            str(REPO_ROOT / "pyproject.toml"),
+            *PACKAGES,
+        ],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    if proc.returncode not in (0, 1):  # 2 is a usage/crash error
+        sys.stderr.write(proc.stdout + proc.stderr)
+        raise SystemExit(f"mypy crashed with exit code {proc.returncode}")
+    return [line for line in proc.stdout.splitlines() if ": error:" in line]
+
+
+def count_by_package(errors: list[str]) -> dict[str, int]:
+    counts = {pkg: 0 for pkg in PACKAGES}
+    for line in errors:
+        path = line.split(":", 1)[0].replace("\\", "/")
+        for pkg in PACKAGES:
+            if path.startswith(pkg):
+                counts[pkg] += 1
+                break
+    return counts
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline to the current error counts",
+    )
+    args = parser.parse_args(argv)
+
+    if not mypy_available():
+        print(
+            "mypy-ratchet: SKIP — mypy is not installed in this "
+            "environment (CI installs it from requirements-dev.txt; "
+            "locally: run inside an env that has it)"
+        )
+        return 0
+
+    baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+    errors = run_mypy()
+    counts = count_by_package(errors)
+
+    if args.update:
+        BASELINE_PATH.write_text(json.dumps(counts, indent=2) + "\n", encoding="utf-8")
+        print(f"mypy-ratchet: baseline rewritten: {counts}")
+        return 0
+
+    failed = False
+    for pkg in PACKAGES:
+        allowed = baseline.get(pkg, 0)
+        actual = counts[pkg]
+        if actual > allowed:
+            failed = True
+            print(
+                f"mypy-ratchet: FAIL {pkg}: {actual} errors > "
+                f"baseline {allowed}"
+            )
+            for line in errors:
+                if line.replace("\\", "/").startswith(pkg):
+                    print(f"  {line}")
+        elif actual < allowed:
+            print(
+                f"mypy-ratchet: {pkg}: {actual} errors (baseline "
+                f"{allowed}) — ratchet down with --update"
+            )
+        else:
+            print(f"mypy-ratchet: OK {pkg}: {actual} errors (at baseline)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
