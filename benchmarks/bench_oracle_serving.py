@@ -1,0 +1,248 @@
+"""Oracle serving benchmark: request coalescing under concurrent load.
+
+Runs ``repro serve`` in a fresh subprocess (the production CLI path) over
+a store built for the occasion, then drives it with ``CLIENTS``
+synchronous :class:`~repro.serving.client.ServingClient` threads — the
+workload the batcher exists for: many independent callers issuing spread
+queries against the same hot store.  Two server configurations are
+measured with the identical client script:
+
+* **coalesced** — the default ``--coalesce-window`` batching: concurrent
+  queries merge into one vectorized ``coverage_fractions`` scatter per
+  window, so a round of 8 queries costs one kernel call plus one window.
+* **uncoalesced** — ``--coalesce-window 0``: every query runs the
+  store's single-query ``coverage_fraction`` path (the pre-batching
+  serving behavior — a python loop over the seed set's posting lists),
+  serialized on the server's event loop.
+
+Rows record p50/p99 request latency and aggregate queries/sec for both
+arms.  Gates:
+
+* coalesced throughput at least ``MIN_SPEEDUP`` (default 1.5x locally;
+  CI relaxes via the shared env knob) over uncoalesced;
+* golden equality — both arms return byte-identical spreads, equal to
+  the local :class:`OracleService`'s answers (coalescing must never
+  change a single bit of an answer);
+* the server's own telemetry must show real batching (largest batch
+  >= 2) and both runs must exit 0 on SIGINT with ``leaked=0``.
+
+Writes ``BENCH_oracle_serving.json`` at the repository root.
+"""
+
+import json
+import signal
+import statistics
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+from _bench_utils import min_speedup, record, run_once
+
+from repro.engine import EngineContext
+from repro.graph.generators import random_wc_graph
+from repro.serving import ServingClient
+from repro.store import OracleService, build_store
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_oracle_serving.json"
+REPO_SRC = str(REPO_ROOT / "src")
+
+#: Minimum coalesced-over-uncoalesced throughput gate (CI relaxes).
+MIN_SPEEDUP = min_speedup(1.5)
+
+NODES = 20_000
+RR_SETS = 20_000
+MAX_BUDGET = 10
+#: Concurrent synchronous clients (acceptance: >= 8).
+CLIENTS = 8
+QUERIES_PER_CLIENT = 60
+#: Nodes per spread query.  Large seed sets over a wide graph put the
+#: sequential path's cost where coalescing can erase it: the per-seed
+#: python loop of ``coverage_fraction`` (~µs per seed regardless of
+#: posting sizes), which the batched segmented gather vectorizes away.
+SEEDS_PER_QUERY = 1_000
+#: Distinct query shapes cycled round-robin by every client.
+QUERY_POOL = 16
+#: Batching window handed to --coalesce-window (milliseconds).
+WINDOW_MS = 1.0
+
+
+def _query_pool(num_nodes):
+    rng = np.random.default_rng(9)
+    return [
+        sorted(
+            int(v)
+            for v in rng.choice(num_nodes, size=SEEDS_PER_QUERY, replace=False)
+        )
+        for _ in range(QUERY_POOL)
+    ]
+
+
+def _start_server(store_root, window_ms):
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--store-root",
+            str(store_root),
+            "--port",
+            "0",
+            "--coalesce-window",
+            str(window_ms),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env={"PYTHONPATH": REPO_SRC, "PATH": "/usr/bin:/bin"},
+    )
+    banner = proc.stdout.readline().strip()  # "serving N stores on h:p"
+    host, port = banner.rsplit(" ", 1)[-1].split(":")
+    proc.stdout.readline()  # "keys: ..." line
+    return proc, host, int(port)
+
+
+def _drive(host, port, pool):
+    """CLIENTS threads, each issuing its share of the query schedule.
+
+    Returns (per-request latencies, answers keyed by (client, i), wall s).
+    """
+    barrier = threading.Barrier(CLIENTS)
+    latencies = [[] for _ in range(CLIENTS)]
+    answers = {}
+    lock = threading.Lock()
+
+    def worker(client_index):
+        with ServingClient(host, port) as client:
+            client.health()  # connection warm-up outside the clock
+            barrier.wait(timeout=60)
+            for i in range(QUERIES_PER_CLIENT):
+                seeds = pool[(client_index + i) % len(pool)]
+                t0 = time.perf_counter()
+                value = client.spread("bench_serving", seeds)
+                latencies[client_index].append(time.perf_counter() - t0)
+                with lock:
+                    answers[(client_index, i)] = value
+
+    threads = [
+        threading.Thread(target=worker, args=(index,))
+        for index in range(CLIENTS)
+    ]
+    t0 = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - t0
+    flat = sorted(lat for per_client in latencies for lat in per_client)
+    return flat, answers, elapsed
+
+
+def _measure_arm(store_root, pool, window_ms):
+    proc, host, port = _start_server(store_root, window_ms)
+    try:
+        latencies, answers, elapsed = _drive(host, port, pool)
+        with ServingClient(host, port) as client:
+            telemetry = client.stats()["coalescing"].get("bench_serving", {})
+    finally:
+        proc.send_signal(signal.SIGINT)
+        out, err = proc.communicate(timeout=60)
+    clean = proc.returncode == 0 and "leaked=0" in out
+    total = CLIENTS * QUERIES_PER_CLIENT
+    return {
+        "latencies": latencies,
+        "answers": answers,
+        "p50_ms": round(statistics.median(latencies) * 1e3, 3),
+        "p99_ms": round(latencies[int(0.99 * (len(latencies) - 1))] * 1e3, 3),
+        "qps": round(total / elapsed, 1),
+        "largest_batch": telemetry.get("largest_batch", 0),
+        "batches": telemetry.get("batches", 0),
+        "clean_shutdown": clean,
+        "stderr": err,
+    }
+
+
+def _run_serving():
+    store_root = REPO_ROOT / "benchmarks" / "results" / "serving_fleet"
+    store_root.mkdir(parents=True, exist_ok=True)
+    store_path = store_root / "bench_serving.sketch"
+    graph = random_wc_graph(NODES, avg_degree=7, seed=41)
+    store = build_store(
+        graph,
+        MAX_BUDGET,
+        estimation_rr_sets=RR_SETS,
+        ctx=EngineContext.create(seed=6),
+    )
+    store.save(store_path)
+    pool = _query_pool(store.num_nodes)
+    service = OracleService(store)
+    expected = {
+        tuple(seeds): service.estimate_spread(seeds) for seeds in pool
+    }
+
+    coalesced = _measure_arm(store_root, pool, WINDOW_MS)
+    uncoalesced = _measure_arm(store_root, pool, 0.0)
+
+    golden = all(
+        value == expected[tuple(pool[(client + i) % len(pool)])]
+        for arm in (coalesced, uncoalesced)
+        for (client, i), value in arm["answers"].items()
+    )
+    store_path.unlink(missing_ok=True)
+    return [
+        {
+            "graph": f"wc_{NODES // 1000}k",
+            "nodes": graph.num_nodes,
+            "rr_sets": store.num_sets,
+            "clients": CLIENTS,
+            "queries": CLIENTS * QUERIES_PER_CLIENT,
+            "seeds_per_query": SEEDS_PER_QUERY,
+            "window_ms": WINDOW_MS,
+            "p50_ms_coalesced": coalesced["p50_ms"],
+            "p99_ms_coalesced": coalesced["p99_ms"],
+            "qps_coalesced": coalesced["qps"],
+            "p50_ms_uncoalesced": uncoalesced["p50_ms"],
+            "p99_ms_uncoalesced": uncoalesced["p99_ms"],
+            "qps_uncoalesced": uncoalesced["qps"],
+            "coalesce_speedup": round(
+                coalesced["qps"] / uncoalesced["qps"], 2
+            ),
+            "largest_batch": coalesced["largest_batch"],
+            "batches": coalesced["batches"],
+            "golden_match": bool(golden),
+            "clean_shutdown": bool(
+                coalesced["clean_shutdown"] and uncoalesced["clean_shutdown"]
+            ),
+        }
+    ]
+
+
+def test_oracle_serving_coalescing(benchmark):
+    rows = run_once(benchmark, _run_serving)
+    record(
+        "oracle_serving",
+        rows,
+        header="spread qps/latency: coalescing on vs off, 8 clients",
+    )
+    JSON_PATH.write_text(json.dumps(rows, indent=2) + "\n")
+
+    for row in rows:
+        # Acceptance gate: batching buys real throughput under load.
+        assert row["coalesce_speedup"] >= MIN_SPEEDUP, row
+        # Golden gate: coalescing changes no answer, ever.
+        assert row["golden_match"], row
+        # The telemetry must prove queries actually shared batches.
+        assert row["largest_batch"] >= 2, row
+        # Both servers exited 0 on SIGINT with every mmap released.
+        assert row["clean_shutdown"], row
+        assert row["clients"] >= 8, row
+
+
+if __name__ == "__main__":
+    results = _run_serving()
+    print(json.dumps(results, indent=2))
+    JSON_PATH.write_text(json.dumps(results, indent=2) + "\n")

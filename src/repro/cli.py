@@ -16,13 +16,16 @@ Usage::
     python -m repro oracle query --graph g.txt --store g.sketch \
         --budgets 10 25 --spread --allocate 25 10
     python -m repro oracle extend --graph g.txt --store g.sketch --add 50000
+    # put a fleet of stores behind a socket: async HTTP serving with
+    # request coalescing, LRU mmap management and hot-swap on reload
+    python -m repro serve --store-root stores/ --port 8732
     # Com-IC (GAP-aware) sketch stores: the RR-SIM+/RR-CIM pipeline
     # compiled once, served warm, theta-extended cursor-exactly
     python -m repro oracle build --graph g.txt --store c.sketch \
         --model comic --max-budget 10 --gap 0.1 0.4 0.1 0.4
 
 Every subcommand prints the regenerated rows in the same shape the paper
-reports.  Scales refer to the dataset stand-ins (DESIGN.md §9).  The engine
+reports.  Scales refer to the dataset stand-ins (DESIGN.md §10).  The engine
 backend is selectable per run (``--rr-backend`` or ``$REPRO_RR_BACKEND``):
 ``batched`` (vectorized, default), ``parallel`` (the batched kernels
 fanned over the shared-memory worker pool for sharded builds and forward
@@ -232,6 +235,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="materialize store arrays in RAM instead of memory-mapping",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="async HTTP serving layer over a fleet of sketch stores",
+    )
+    serve.add_argument(
+        "--store-root", action="append", required=True, metavar="DIR",
+        help="directory scanned (recursively) for *.sketch stores; "
+        "repeatable — keys are file stems",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument(
+        "--port", type=int, default=8732,
+        help="bind port; 0 picks a free port (printed on stdout)",
+    )
+    serve.add_argument(
+        "--lru-size", type=int, default=8,
+        help="max simultaneously mmap'd stores (LRU eviction beyond)",
+    )
+    serve.add_argument(
+        "--coalesce-window", type=float, default=2.0, metavar="MS",
+        help="spread-query coalescing window in milliseconds; "
+        "0 disables coalescing (default 2.0)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=64,
+        help="flush a coalesced batch at this many queries (also bounds "
+        "the batched kernel's scratch memory at max-batch x theta bytes)",
+    )
+    serve.add_argument(
+        "--no-mmap", action="store_true",
+        help="materialize store arrays in RAM instead of memory-mapping",
+    )
+
     table6 = sub.add_parser("table6", help="RR-set count parity")
     table6.add_argument("--total", type=int, default=500)
     _add_common(table6)
@@ -431,6 +468,9 @@ def _run(args: argparse.Namespace) -> int:
     if args.command == "oracle":
         return _run_oracle(args)
 
+    if args.command == "serve":
+        return _run_serve(args)
+
     if args.command == "table5":
         from repro.utility.learned import table5_rows
 
@@ -464,6 +504,44 @@ def _run(args: argparse.Namespace) -> int:
         return 0
 
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """``repro serve`` — the async oracle serving layer (repro.serving)."""
+    from repro.serving import ServingApp, StoreRouter
+
+    router = StoreRouter(max_open=args.lru_size, mmap=not args.no_mmap)
+    keys = []
+    for root in args.store_root:
+        keys.extend(router.add_root(root))
+    if not keys:
+        raise SystemExit(
+            "no *.sketch stores found under "
+            + ", ".join(args.store_root)
+            + " — build one with 'repro oracle build'"
+        )
+    app = ServingApp(
+        router,
+        host=args.host,
+        port=args.port,
+        window=args.coalesce_window / 1000.0,
+        max_batch=args.max_batch,
+        coalesce=args.coalesce_window > 0,
+    )
+
+    def ready(host: str, port: int) -> None:
+        print(f"serving {len(keys)} stores on {host}:{port}", flush=True)
+        print("keys: " + " ".join(sorted(keys)), flush=True)
+
+    summary = app.run(ready=ready, install_signal_handlers=True)
+    print(
+        "clean shutdown: stores={stores} leaked={leaked} "
+        "requests={requests} swaps={swaps} evictions={evictions}".format(
+            **summary
+        ),
+        flush=True,
+    )
+    return 0 if summary["leaked"] == 0 else 1
 
 
 def _run_oracle(args: argparse.Namespace) -> int:

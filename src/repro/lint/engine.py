@@ -40,7 +40,7 @@ __all__ = [
 ]
 
 #: Directories scanned when the CLI is invoked without explicit paths.
-DEFAULT_TARGETS = ("src/repro", "tests")
+DEFAULT_TARGETS = ("src/repro", "tests", "benchmarks")
 
 #: Directory names skipped everywhere (fixtures are deliberately bad code).
 EXCLUDED_DIR_NAMES = {"__pycache__", "lint_fixtures", ".git"}

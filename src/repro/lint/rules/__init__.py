@@ -7,8 +7,10 @@ registry as an import side effect.  Adding a rule = adding a module here
 """
 
 from repro.lint.rules import (  # noqa: F401
+    bench_gates,
     ctx_threading,
     determinism,
+    no_sleep,
     shm_safety,
     store_format,
     test_hygiene,

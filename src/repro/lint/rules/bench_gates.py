@@ -1,0 +1,123 @@
+"""RL006 — benchmark gates go through ``_bench_utils.min_speedup``.
+
+Every gated benchmark asserts a wall-clock ratio, and CI relaxes all of
+those gates at once through ``$REPRO_BENCH_MIN_SPEEDUP`` (shared runners
+make wall-clock noisy).  That only works if every bench reads its floor
+through :func:`benchmarks._bench_utils.min_speedup` — a bench that
+hard-codes ``assert speedup > 1.5`` or reads the environment variable
+itself silently escapes the CI relaxation and flakes the tier-1 matrix.
+
+Flagged in ``benchmarks/bench_*.py``:
+
+* an ordering comparison between a wall-clock expression (identifier or
+  row-key vocabulary: ``speedup``, ``qps``, ``throughput``) and a
+  numeric literal or all-constant arithmetic — the gate must be a
+  ``min_speedup(...)`` value bound to a name;
+* any expression-position use of the literal ``"REPRO_BENCH_MIN_SPEEDUP"``
+  (``os.environ[...]``, ``os.getenv(...)``) — the env knob has exactly
+  one reader, :func:`min_speedup`.
+
+Quality ratios (spread/welfare ablation bounds) are deliberately out of
+vocabulary: they compare estimators, not clocks, and their bounds are
+paper-derived constants.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import LintFile, Rule, rule
+
+#: Identifier/row-key substrings that mark a value as wall-clock derived.
+_WALLCLOCK_VOCAB = ("speedup", "qps", "throughput")
+
+#: The shared gate knob; only ``_bench_utils.min_speedup`` may read it.
+_GATE_ENV = "REPRO_BENCH_MIN_SPEEDUP"
+
+
+def _is_constant_number(node: ast.AST) -> bool:
+    """A numeric literal, possibly signed or built by constant arithmetic."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, (int, float)) and not isinstance(
+            node.value, bool
+        )
+    if isinstance(node, ast.UnaryOp):
+        return _is_constant_number(node.operand)
+    if isinstance(node, ast.BinOp):
+        return _is_constant_number(node.left) and _is_constant_number(node.right)
+    return False
+
+
+def _mentions_wallclock(node: ast.AST) -> bool:
+    """Does the expression carry wall-clock vocabulary anywhere?
+
+    Checks identifiers (``speedup``), attributes (``stats.qps``) and
+    string keys (``row["warm_speedup"]``) alike.
+    """
+    for sub in ast.walk(node):
+        text = None
+        if isinstance(sub, ast.Name):
+            text = sub.id
+        elif isinstance(sub, ast.Attribute):
+            text = sub.attr
+        elif isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            text = sub.value
+        if text is not None:
+            lowered = text.lower()
+            if any(word in lowered for word in _WALLCLOCK_VOCAB):
+                return True
+    return False
+
+
+@rule
+class BenchGateRule(Rule):
+    rule_id = "RL006"
+    title = "bench wall-clock gates must come from _bench_utils.min_speedup"
+
+    def scope(self, rel_path: str) -> bool:
+        return rel_path.startswith("benchmarks/bench_") and rel_path.endswith(
+            ".py"
+        )
+
+    def check(self, file: LintFile) -> Iterable[Diagnostic]:
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.Compare):
+                yield from self._check_compare(file, node)
+            elif (
+                isinstance(node, ast.Constant)
+                and node.value == _GATE_ENV
+                and isinstance(
+                    file.parent_of(node), (ast.Subscript, ast.Call)
+                )
+            ):
+                yield file.diagnostic(
+                    self.rule_id,
+                    node,
+                    f"direct read of ${_GATE_ENV}; the env knob has one "
+                    "reader — call _bench_utils.min_speedup(default) "
+                    "instead",
+                )
+
+    def _check_compare(
+        self, file: LintFile, node: ast.Compare
+    ) -> Iterable[Diagnostic]:
+        if not any(
+            isinstance(op, (ast.Gt, ast.GtE, ast.Lt, ast.LtE))
+            for op in node.ops
+        ):
+            return
+        operands = [node.left] + list(node.comparators)
+        if not any(_mentions_wallclock(operand) for operand in operands):
+            return
+        for operand in operands:
+            if _is_constant_number(operand):
+                yield file.diagnostic(
+                    self.rule_id,
+                    node,
+                    "wall-clock ratio gated against a hard-coded number; "
+                    "bind the floor via _bench_utils.min_speedup(default) "
+                    "so $REPRO_BENCH_MIN_SPEEDUP can relax it in CI",
+                )
+                return

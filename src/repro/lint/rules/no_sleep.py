@@ -1,0 +1,72 @@
+"""RL007 — no ``time.sleep`` in ``tests/``: poll events, don't nap.
+
+A ``time.sleep`` in a test is a race with a timer: too short and the
+test flakes on a loaded CI runner, too long and the suite pays the wait
+on every run forever.  Every "wait for X" in this repo has a
+deterministic handle — ``threading.Event.wait`` with a timeout, the
+serving app's ``wait_started``, subprocess ``communicate``, or a
+bounded poll loop on an observable condition — all of which return the
+moment the condition holds.
+
+Flagged in ``tests/``: calls to ``time.sleep(...)`` and to a bare
+``sleep(...)`` imported from :mod:`time` (aliases included).
+``asyncio.sleep`` inside an event loop is *not* flagged: awaiting it
+yields to the loop instead of blocking the process, and a zero-delay
+``await asyncio.sleep(0)`` is the idiomatic "let the loop run once".
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Set
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import LintFile, Rule, rule
+
+_ADVICE = (
+    "blocking sleep in a test races the scheduler; wait on an Event, "
+    "poll the observable condition with a deadline, or use the "
+    "component's own readiness hook"
+)
+
+
+def _time_sleep_aliases(tree: ast.Module) -> Set[str]:
+    """Local names bound to ``time.sleep`` via ``from time import ...``."""
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name == "sleep":
+                    aliases.add(alias.asname or alias.name)
+    return aliases
+
+
+@rule
+class NoSleepRule(Rule):
+    rule_id = "RL007"
+    title = "no time.sleep in tests/ — wait on events or poll with deadline"
+
+    def scope(self, rel_path: str) -> bool:
+        return rel_path.startswith("tests/")
+
+    def check(self, file: LintFile) -> Iterable[Diagnostic]:
+        aliases = _time_sleep_aliases(file.tree)
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "sleep"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "time"
+            ):
+                yield file.diagnostic(
+                    self.rule_id, node, f"time.sleep in a test; {_ADVICE}"
+                )
+            elif isinstance(func, ast.Name) and func.id in aliases:
+                yield file.diagnostic(
+                    self.rule_id,
+                    node,
+                    f"sleep (imported from time) in a test; {_ADVICE}",
+                )

@@ -1,0 +1,42 @@
+"""Traffic-facing serving layer over the persistent sketch stores.
+
+``repro.store`` compiles influence oracles into memory-mapped artifacts
+that answer 74–242x faster than a rebuild; this package is the layer
+that puts those artifacts behind a socket (DESIGN.md §8):
+
+* :class:`~repro.serving.router.StoreRouter` — a fleet of
+  :class:`~repro.store.sketch_store.SketchStore`\\ s keyed by store name
+  (one artifact per dataset × model × ε): lazy mmap open with pinned
+  fingerprint verification, an LRU bound on simultaneously open mmaps,
+  and hot-swap after :func:`~repro.store.builder.extend_store` — the
+  replacement goes live atomically and the old mmap closes only after
+  its last in-flight reader drains.
+* :class:`~repro.serving.coalesce.SpreadBatcher` — request coalescing:
+  concurrent spread queries against one store inside a small window
+  merge into a single vectorized
+  :meth:`~repro.store.service.OracleService.coverage_fractions` call.
+* :class:`~repro.serving.app.ServingApp` — a stdlib-``asyncio`` HTTP/1.1
+  front end (no new runtime dependencies) exposing seed/spread/reload
+  endpoints; ``repro serve`` on the command line.
+* :class:`~repro.serving.client.ServingClient` — the thin blocking HTTP
+  client the tests, the smoke job and the load benchmark drive.
+
+Economics are gated by ``benchmarks/bench_oracle_serving.py`` →
+``BENCH_oracle_serving.json`` (p50/p99 latency and queries/sec under
+concurrent clients; coalescing-on must beat coalescing-off).
+"""
+
+from repro.serving.app import ServingApp
+from repro.serving.client import ServingClient, ServingError
+from repro.serving.coalesce import SpreadBatcher
+from repro.serving.router import RouterClosedError, StoreHandle, StoreRouter
+
+__all__ = [
+    "RouterClosedError",
+    "ServingApp",
+    "ServingClient",
+    "ServingError",
+    "SpreadBatcher",
+    "StoreHandle",
+    "StoreRouter",
+]

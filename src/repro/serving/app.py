@@ -1,0 +1,254 @@
+"""ServingApp: the HTTP endpoints wired over router + batchers.
+
+Endpoints (JSON in/out; DESIGN.md §8):
+
+* ``GET /healthz`` — liveness.
+* ``GET /v1/stores`` — registered keys and their metadata.
+* ``GET /v1/stores/{key}`` — one store's metadata.
+* ``GET /v1/stores/{key}/seeds?budget=B`` — the stored prefix, O(B).
+* ``GET /v1/stores/{key}/spread?seeds=1,2,3`` — spread estimate; goes
+  through the key's :class:`~repro.serving.coalesce.SpreadBatcher`, so
+  concurrent calls merge into one vectorized kernel invocation.
+* ``POST /v1/stores/{key}/reload`` — hot-swap after ``extend_store``:
+  the replacement file goes live atomically, fingerprint-checked
+  against the pin; in-flight queries finish on the old snapshot.
+* ``GET /v1/stats`` — router + batcher + server counters.
+
+Error mapping is uniform: unknown key → 404, bad parameters → 400,
+fingerprint/format refusals → 409, closed router → 503.
+
+The app owns its event loop: :meth:`run` blocks until
+:meth:`request_stop` (thread-safe) or a signal arrives, then shuts down
+in order — stop accepting, drain batchers, retire every store — and
+returns a summary whose ``leaked`` count a clean shutdown pins at zero.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.serving.coalesce import SpreadBatcher
+from repro.serving.http import HttpServer, Request
+from repro.serving.router import RouterClosedError, StoreRouter
+from repro.store.sketch_store import SketchStoreError, StaleStoreError
+
+
+class ServingApp:
+    """One router, one HTTP server, one batcher per hot store key."""
+
+    def __init__(
+        self,
+        router: StoreRouter,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        window: float = 0.002,
+        max_batch: int = 64,
+        coalesce: bool = True,
+    ):
+        self.router = router
+        self._host = host
+        self._port = port
+        self._window = window
+        self._max_batch = max_batch
+        self._coalesce = coalesce
+        self._server = HttpServer(self._dispatch, host, port)
+        self._batchers: Dict[str, SpreadBatcher] = {}
+        self._num_nodes: Dict[str, int] = {}
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._started = threading.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound port (meaningful once serving has started)."""
+        return self._server.port
+
+    def request_stop(self) -> None:
+        """Ask a running :meth:`run` to shut down; safe from any thread."""
+        loop, stop = self._loop, self._stop
+        if loop is not None and stop is not None:
+            loop.call_soon_threadsafe(stop.set)
+
+    def wait_started(self, timeout: Optional[float] = None) -> bool:
+        """Block until the server socket is bound (thread helper)."""
+        return self._started.wait(timeout)
+
+    def run(
+        self,
+        ready: Optional[Callable[[str, int], None]] = None,
+        install_signal_handlers: bool = False,
+    ) -> Dict[str, object]:
+        """Serve until stopped; returns the shutdown summary."""
+        return asyncio.run(self._main(ready, install_signal_handlers))
+
+    async def _main(
+        self,
+        ready: Optional[Callable[[str, int], None]],
+        install_signal_handlers: bool,
+    ) -> Dict[str, object]:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        if install_signal_handlers:
+            import signal
+
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    self._loop.add_signal_handler(signum, self._stop.set)
+                except NotImplementedError:  # pragma: no cover - non-unix
+                    pass
+        host, port = await self._server.start()
+        if ready is not None:
+            ready(host, port)
+        self._started.set()
+        try:
+            await self._stop.wait()
+        finally:
+            summary = await self._shutdown()
+            self._started.clear()
+            self._loop = None
+            self._stop = None
+        return summary
+
+    async def _shutdown(self) -> Dict[str, object]:
+        """Stop accepting, flush batchers, retire stores — in that order."""
+        await self._server.close()
+        for batcher in self._batchers.values():
+            await batcher.drain()
+        summary: Dict[str, object] = dict(self.router.close())
+        summary["requests"] = self._server.requests_served
+        return summary
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch(self, request: Request) -> Tuple[int, object]:
+        try:
+            return await self._route(request)
+        except KeyError as exc:
+            return 404, {"error": str(exc.args[0]) if exc.args else "not found"}
+        except (ValueError, IndexError) as exc:
+            return 400, {"error": str(exc)}
+        except (StaleStoreError, SketchStoreError) as exc:
+            return 409, {"error": str(exc)}
+        except RouterClosedError as exc:
+            return 503, {"error": str(exc)}
+
+    async def _route(self, request: Request) -> Tuple[int, object]:
+        path, method = request.path, request.method
+        if path == "/healthz" and method == "GET":
+            return 200, {"status": "ok"}
+        if path == "/v1/stores" and method == "GET":
+            return 200, {"stores": self.router.describe()}
+        if path == "/v1/stats" and method == "GET":
+            return 200, self._stats()
+        parts = [p for p in path.split("/") if p]
+        if len(parts) >= 3 and parts[:2] == ["v1", "stores"]:
+            key = parts[2]
+            rest = parts[3:]
+            if not rest:
+                if method != "GET":
+                    return 405, {"error": "use GET"}
+                return 200, self._store_meta(key)
+            if rest == ["seeds"] and method == "GET":
+                return self._seeds(key, request)
+            if rest == ["spread"] and method == "GET":
+                return await self._spread(key, request)
+            if rest == ["reload"] and method == "POST":
+                return self._reload(key)
+        return 404, {"error": f"no route for {method} {path}"}
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def _store_meta(self, key: str) -> object:
+        with self.router.lease(key) as handle:
+            store = handle.store
+            return {
+                "key": key,
+                "model": store.model,
+                "nodes": store.num_nodes,
+                "num_sets": store.num_sets,
+                "max_budget": store.max_budget,
+                "epsilon": store.epsilon,
+                "fingerprint": store.fingerprint,
+                "generation": handle.generation,
+            }
+
+    def _seeds(self, key: str, request: Request) -> Tuple[int, object]:
+        try:
+            budget = int(request.query["budget"])
+        except KeyError:
+            return 400, {"error": "missing query parameter 'budget'"}
+        except ValueError:
+            return 400, {"error": "budget must be an integer"}
+        with self.router.lease(key) as handle:
+            seeds = handle.service.seeds(budget)
+            generation = handle.generation
+        return 200, {
+            "key": key,
+            "budget": budget,
+            "seeds": list(seeds),
+            "generation": generation,
+        }
+
+    async def _spread(self, key: str, request: Request) -> Tuple[int, object]:
+        raw = request.query.get("seeds", "")
+        try:
+            seeds = [int(part) for part in raw.split(",") if part != ""]
+        except ValueError:
+            return 400, {"error": "seeds must be a comma-separated int list"}
+        fraction = await self._batcher(key).submit(seeds)
+        return 200, {
+            "key": key,
+            "fraction": fraction,
+            "spread": fraction * self._num_nodes[key],
+        }
+
+    def _reload(self, key: str) -> Tuple[int, object]:
+        handle = self.router.swap(key)
+        return 200, {
+            "key": key,
+            "generation": handle.generation,
+            "num_sets": handle.store.num_sets,
+            "draining": len(self.router.draining),
+        }
+
+    def _batcher(self, key: str) -> SpreadBatcher:
+        batcher = self._batchers.get(key)
+        if batcher is None:
+            # Resolve the key once (raises KeyError -> 404 on unknown
+            # keys) and cache n: the pinned fingerprint fixes the graph,
+            # so n cannot change across swaps.
+            with self.router.lease(key) as handle:
+                self._num_nodes[key] = handle.store.num_nodes
+
+            def compute(batch, _key=key):
+                return self.router.coverage_fractions(_key, batch)
+
+            def compute_one(seeds, _key=key):
+                return self.router.coverage_fraction(_key, seeds)
+
+            batcher = SpreadBatcher(
+                compute,
+                window=self._window,
+                max_batch=self._max_batch,
+                enabled=self._coalesce,
+                compute_one=compute_one,
+            )
+            self._batchers[key] = batcher
+        return batcher
+
+    def _stats(self) -> Dict[str, object]:
+        return {
+            "router": self.router.stats(),
+            "requests": self._server.requests_served,
+            "coalescing": {
+                key: batcher.stats()
+                for key, batcher in sorted(self._batchers.items())
+            },
+        }

@@ -1,0 +1,94 @@
+"""ServingClient: the thin blocking HTTP client for tests and benches.
+
+One persistent ``http.client.HTTPConnection`` per client instance, so a
+benchmark thread's request stream exercises the server's keep-alive path
+the way a production sidecar would.  Every response is JSON; non-2xx
+statuses raise :class:`ServingError` carrying the server's error text —
+callers never parse failure bodies themselves.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Dict, List, Optional, Sequence
+from urllib.parse import quote
+
+
+class ServingError(RuntimeError):
+    """A non-2xx response from the serving layer."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServingClient:
+    """Blocking JSON client for one ``repro serve`` endpoint."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self._conn = http.client.HTTPConnection(host, port, timeout=timeout)
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _request(
+        self, method: str, path: str, body: Optional[bytes] = None
+    ) -> dict:
+        try:
+            self._conn.request(method, path, body=body)
+            response = self._conn.getresponse()
+            payload = response.read()
+        except (ConnectionError, http.client.HTTPException):
+            # One retry on a fresh connection: the server may have closed
+            # an idle keep-alive socket between our requests.
+            self._conn.close()
+            self._conn.request(method, path, body=body)
+            response = self._conn.getresponse()
+            payload = response.read()
+        data = json.loads(payload.decode())
+        if not 200 <= response.status < 300:
+            raise ServingError(
+                response.status, str(data.get("error", payload.decode()))
+            )
+        return data
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def stores(self) -> List[dict]:
+        return self._request("GET", "/v1/stores")["stores"]
+
+    def store(self, key: str) -> dict:
+        return self._request("GET", f"/v1/stores/{quote(key)}")
+
+    def seeds(self, key: str, budget: int) -> List[int]:
+        data = self._request(
+            "GET", f"/v1/stores/{quote(key)}/seeds?budget={int(budget)}"
+        )
+        return list(data["seeds"])
+
+    def spread(self, key: str, seeds: Sequence[int]) -> float:
+        data = self.spread_response(key, seeds)
+        return float(data["spread"])
+
+    def spread_response(self, key: str, seeds: Sequence[int]) -> dict:
+        joined = ",".join(str(int(s)) for s in seeds)
+        return self._request(
+            "GET", f"/v1/stores/{quote(key)}/spread?seeds={joined}"
+        )
+
+    def reload(self, key: str) -> dict:
+        return self._request("POST", f"/v1/stores/{quote(key)}/reload")
+
+    def stats(self) -> Dict[str, object]:
+        return self._request("GET", "/v1/stats")

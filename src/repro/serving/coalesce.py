@@ -1,0 +1,174 @@
+"""Request coalescing: merge concurrent spread queries into one kernel.
+
+A spread query is an ideal batching target: the per-query work is one
+boolean scatter over the inverted index, and B concurrent scatters
+against the same store collapse into a single vectorized
+:meth:`~repro.store.service.OracleService.coverage_fractions` call whose
+cost grows far slower than B.  Three triggers fire a batch, whichever
+comes first:
+
+* **quiescence** — the event loop has processed every request that had
+  already arrived (detected by a ``call_soon`` probe that re-arms while
+  the pending count still grows).  Concurrent clients whose requests
+  land in one selector wake coalesce with *zero* added latency; this is
+  the trigger that fires in practice.
+* **window** — at most ``window`` seconds after the first queued query,
+  the latency bound for drip-feed arrivals.
+* **max_batch** — capacity, bounding the kernel's scratch memory.
+
+The whole batch executes on one consistent store snapshot — a hot-swap
+landing mid-window moves the *whole* batch to one side of the flip,
+never splitting it.
+
+Purely ``asyncio``; single event loop, no threads, no locks.  With
+``enabled=False`` (or ``window <= 0``) every query executes immediately
+— the serving benchmark's control arm.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, List, Optional, Sequence, Tuple
+
+#: compute(seed_sets) -> one fraction per seed set, on one store snapshot.
+BatchCompute = Callable[[Sequence[Sequence[int]]], List[float]]
+
+
+class SpreadBatcher:
+    """Coalesce spread queries for one store key.
+
+    Parameters
+    ----------
+    compute:
+        Executes a batch on one consistent snapshot (the router's
+        :meth:`~repro.serving.router.StoreRouter.coverage_fractions`).
+    window:
+        Seconds a query waits for company before the batch fires.
+    max_batch:
+        Fire immediately once this many queries are pending (also the
+        scratch-memory bound of the batched kernel: ``max_batch × θ``
+        bytes).
+    enabled:
+        ``False`` bypasses coalescing entirely (control arm).
+    compute_one:
+        The single-query path used when coalescing is off.  Defaults to
+        a one-element batch; the serving app passes the store's own
+        per-query ``coverage_fraction`` so that "coalescing off" means
+        exactly the pre-batching serving behavior.
+    """
+
+    def __init__(
+        self,
+        compute: BatchCompute,
+        window: float = 0.002,
+        max_batch: int = 64,
+        enabled: bool = True,
+        compute_one: Optional[Callable[[Sequence[int]], float]] = None,
+    ):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self._compute = compute
+        self._compute_one = compute_one or (lambda seeds: compute([seeds])[0])
+        self._window = window
+        self._max_batch = max_batch
+        self._enabled = enabled and window > 0
+        self._pending: List[Tuple[Sequence[int], asyncio.Future]] = []
+        self._flush_handle: Optional[asyncio.TimerHandle] = None
+        self._idle_handle: Optional[asyncio.Handle] = None
+        self._idle_count = 0
+        self._quiet_passes = 0
+        # Telemetry the stats endpoint and the benchmark read.
+        self.queries = 0
+        self.batches = 0
+        self.coalesced = 0
+        self.largest_batch = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    async def submit(self, seeds: Sequence[int]) -> float:
+        """One spread query; resolves when its batch executes."""
+        self.queries += 1
+        if not self._enabled:
+            self.batches += 1
+            self.largest_batch = max(self.largest_batch, 1)
+            return self._compute_one(seeds)
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending.append((seeds, future))
+        if len(self._pending) >= self._max_batch:
+            self._flush()
+        else:
+            if self._flush_handle is None:
+                self._flush_handle = loop.call_later(
+                    self._window, self._flush
+                )
+            if self._idle_handle is None:
+                # Quiescence probe: queued behind every I/O callback the
+                # loop has already admitted, so by the time it runs, all
+                # requests that had arrived have submitted.
+                self._idle_count = len(self._pending)
+                self._quiet_passes = 0
+                self._idle_handle = loop.call_soon(self._idle_check)
+        return await future
+
+    def _idle_check(self) -> None:
+        self._idle_handle = None
+        if not self._pending:
+            return
+        if len(self._pending) > self._idle_count:
+            # More queries joined during the last loop pass — re-arm and
+            # keep collecting until the arrival stream quiesces.
+            self._idle_count = len(self._pending)
+            self._quiet_passes = 0
+        else:
+            # Each re-arm spans one more selector poll, so requiring two
+            # consecutive quiet passes catches stragglers whose bytes
+            # arrive a poll behind their peers — microseconds of extra
+            # hold for visibly fuller batches.
+            self._quiet_passes += 1
+            if self._quiet_passes >= 2:
+                self._flush()
+                return
+        self._idle_handle = asyncio.get_running_loop().call_soon(
+            self._idle_check
+        )
+
+    def _flush(self) -> None:
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+        if self._idle_handle is not None:
+            self._idle_handle.cancel()
+            self._idle_handle = None
+        batch, self._pending = self._pending, []
+        if not batch:
+            return
+        self.batches += 1
+        self.largest_batch = max(self.largest_batch, len(batch))
+        if len(batch) > 1:
+            self.coalesced += len(batch)
+        try:
+            fractions = self._compute([seeds for seeds, _ in batch])
+        except Exception as exc:  # propagate to every waiter
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        for (_, future), fraction in zip(batch, fractions):
+            if not future.done():
+                future.set_result(fraction)
+
+    async def drain(self) -> None:
+        """Flush anything pending (shutdown path)."""
+        self._flush()
+
+    def stats(self) -> dict:
+        return {
+            "enabled": self._enabled,
+            "queries": self.queries,
+            "batches": self.batches,
+            "coalesced": self.coalesced,
+            "largest_batch": self.largest_batch,
+        }

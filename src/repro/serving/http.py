@@ -1,0 +1,183 @@
+"""A minimal asyncio HTTP/1.1 server — stdlib only, JSON in and out.
+
+The serving layer deliberately avoids new runtime dependencies (the
+container bakes numpy and the standard library; DESIGN.md §11), so this
+module hand-rolls the thin slice of HTTP the oracle endpoints need:
+request line + headers + optional ``Content-Length`` body in, one JSON
+document out, persistent connections.  It is not a general web server —
+no chunked encoding, no TLS, no multipart — and does not try to be; the
+router/batcher behind it is where the engineering lives.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+#: Upper bound on request bodies (none of the endpoints need more).
+MAX_BODY_BYTES = 1 << 20
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+@dataclass
+class Request:
+    """One parsed request: method, path, query parameters, raw body."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+
+#: An endpoint implementation: request -> (status, JSON-able payload).
+Handler = Callable[[Request], Awaitable[Tuple[int, object]]]
+
+
+def encode_response(status: int, payload: object) -> bytes:
+    """One complete HTTP/1.1 response frame with a JSON body."""
+    body = json.dumps(payload).encode()
+    reason = _REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"\r\n"
+    )
+    return head.encode() + body
+
+
+class HttpServer:
+    """Serve ``handler`` over persistent HTTP/1.1 connections."""
+
+    def __init__(self, handler: Handler, host: str = "127.0.0.1", port: int = 0):
+        self._handler = handler
+        self._host = host
+        self._port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: set = set()
+        self.requests_served = 0
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and listen; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(
+            self._serve_connection, self._host, self._port
+        )
+        host, port = self._server.sockets[0].getsockname()[:2]
+        self._port = port
+        return host, port
+
+    @property
+    def port(self) -> int:
+        return self._port
+
+    async def close(self) -> None:
+        """Stop accepting, then close every keep-alive connection."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        self._connections.add(task)
+        try:
+            while True:
+                keep_alive = await self._serve_one(reader, writer)
+                if not keep_alive:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.LimitOverrunError,
+        ):
+            pass  # client went away mid-request; nothing to answer
+        except asyncio.CancelledError:
+            pass  # server shutdown; ending the task uncancelled keeps
+            # the streams teardown callback from logging the cancel
+        finally:
+            self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                asyncio.CancelledError,
+            ):  # pragma: no cover - raced teardown
+                pass
+
+    async def _serve_one(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> bool:
+        """Read one request, dispatch, write one response.
+
+        Returns whether the connection should stay open.
+        """
+        request_line = await reader.readline()
+        if not request_line.strip():
+            return False
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3:
+            writer.write(
+                encode_response(400, {"error": "malformed request line"})
+            )
+            await writer.drain()
+            return False
+        method, target, _version = parts
+
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+
+        body = b""
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            writer.write(encode_response(400, {"error": "body too large"}))
+            await writer.drain()
+            return False
+        if length:
+            body = await reader.readexactly(length)
+
+        split = urlsplit(target)
+        query = {
+            key: values[-1]
+            for key, values in parse_qs(
+                split.query, keep_blank_values=True
+            ).items()
+        }
+        request = Request(
+            method=method.upper(), path=split.path, query=query, body=body
+        )
+        try:
+            status, payload = await self._handler(request)
+        except Exception as exc:  # an endpoint bug must not kill the loop
+            status, payload = 500, {
+                "error": f"{exc.__class__.__name__}: {exc}"
+            }
+        self.requests_served += 1
+        writer.write(encode_response(status, payload))
+        await writer.drain()
+        return headers.get("connection", "").lower() != "close"

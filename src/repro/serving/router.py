@@ -1,0 +1,356 @@
+"""StoreRouter: a refcounted, LRU-bounded fleet of mmap'd sketch stores.
+
+The router owns every :class:`~repro.store.sketch_store.SketchStore` a
+serving process touches.  Three lifecycle rules, enforced here so the
+HTTP layer above stays trivial:
+
+* **Lazy open, pinned fingerprint.**  Keys map to file paths; nothing is
+  mmap'd until the first query.  The first successful open *pins* the
+  store's graph fingerprint to the key (or the caller pins one at
+  registration), and every later open of that key — LRU re-open or
+  hot-swap — must present the same fingerprint.  A well-formed store
+  built from a different graph swapped under a served key is refused
+  with :class:`~repro.store.sketch_store.StaleStoreError` instead of
+  silently answering from the wrong artifact.
+* **LRU bound with reader-drain.**  At most ``max_open`` stores are
+  mmap'd at once.  Opening one more retires the least-recently-used
+  handle: it leaves the table immediately (new queries re-open), but its
+  mmap closes only when the last in-flight reader releases it — eviction
+  never invalidates pages under a running query.
+* **Hot-swap.**  ``swap(key)`` re-opens the key's path (fingerprint
+  checked) and flips the table pointer atomically under the router lock.
+  Queries that already acquired the old handle finish on the old
+  snapshot; queries that acquire after the flip see the new one — every
+  answer is internally consistent, old or new, never a mix.
+
+All methods are thread-safe: the HTTP front end runs on one event loop,
+but tests and offline tools drive routers from worker threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.store.service import OracleService
+from repro.store.sketch_store import (
+    SketchStore,
+    SketchStoreError,
+    StaleStoreError,
+)
+
+PathLike = Union[str, Path]
+
+#: File suffix the root scan recognizes as a sketch-store artifact.
+STORE_SUFFIX = ".sketch"
+
+
+class RouterClosedError(RuntimeError):
+    """The router was shut down; no further queries are served."""
+
+
+class StoreHandle:
+    """One open store plus its reader refcount and retirement state.
+
+    Handles are created and mutated only under the owning router's lock;
+    queries hold a handle between ``acquire`` and ``release`` and read
+    the store/service freely in between (the arrays are read-only).
+    """
+
+    def __init__(
+        self, key: str, path: Path, store: SketchStore, generation: int
+    ):
+        self.key = key
+        self.path = path
+        self.store = store
+        self.service = OracleService(store)
+        self.generation = generation
+        self.readers = 0
+        self.retired = False
+
+    @property
+    def fingerprint(self) -> str:
+        return self.store.fingerprint
+
+    def __repr__(self) -> str:
+        return (
+            f"StoreHandle({self.key!r}, gen={self.generation}, "
+            f"readers={self.readers}, retired={self.retired})"
+        )
+
+
+class StoreRouter:
+    """Route queries to a fleet of lazily opened sketch stores.
+
+    Parameters
+    ----------
+    max_open:
+        LRU bound on simultaneously open (mmap'd) stores.
+    mmap:
+        Open stores memory-mapped (the serving default); ``False``
+        materializes arrays in RAM (tests, tiny stores).
+    """
+
+    def __init__(self, max_open: int = 8, mmap: bool = True):
+        if max_open < 1:
+            raise ValueError(f"max_open must be >= 1, got {max_open}")
+        self._max_open = max_open
+        self._mmap = mmap
+        self._lock = threading.RLock()
+        #: key -> artifact path (the registry; independent of open state).
+        self._paths: Dict[str, Path] = {}
+        #: key -> pinned fingerprint (set at registration or first open).
+        self._pins: Dict[str, str] = {}
+        #: key -> open handle, in LRU order (oldest first).
+        self._open: Dict[str, StoreHandle] = {}
+        #: retired handles still pinned open by in-flight readers.
+        self._draining: List[StoreHandle] = []
+        self._generation = 0
+        self._closed = False
+        self.swaps = 0
+        self.evictions = 0
+        self.opens = 0
+
+    # ------------------------------------------------------------------
+    # Registry
+    # ------------------------------------------------------------------
+    def register(
+        self, key: str, path: PathLike, fingerprint: Optional[str] = None
+    ) -> None:
+        """Map ``key`` to a store file; optionally pin its fingerprint."""
+        with self._lock:
+            self._require_open_router()
+            if key in self._paths:
+                raise ValueError(f"store key {key!r} already registered")
+            if not key or "/" in key:
+                raise ValueError(
+                    f"store key {key!r} must be a non-empty name without '/'"
+                )
+            self._paths[key] = Path(path)
+            if fingerprint is not None:
+                self._pins[key] = fingerprint
+
+    def add_root(self, root: PathLike) -> List[str]:
+        """Register every ``*.sketch`` under ``root``; returns new keys.
+
+        Keys are file stems; a stem collision across roots is a
+        configuration error and raises.
+        """
+        root = Path(root)
+        if not root.is_dir():
+            raise FileNotFoundError(f"store root {root} is not a directory")
+        keys = []
+        for path in sorted(root.rglob(f"*{STORE_SUFFIX}")):
+            self.register(path.stem, path)
+            keys.append(path.stem)
+        return keys
+
+    def keys(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._paths))
+
+    @property
+    def open_keys(self) -> Tuple[str, ...]:
+        """Keys currently holding an open mmap (LRU order, oldest first)."""
+        with self._lock:
+            return tuple(self._open)
+
+    @property
+    def draining(self) -> Tuple[StoreHandle, ...]:
+        """Retired handles still held open by in-flight readers."""
+        with self._lock:
+            return tuple(self._draining)
+
+    def pinned_fingerprint(self, key: str) -> Optional[str]:
+        with self._lock:
+            return self._pins.get(key)
+
+    # ------------------------------------------------------------------
+    # Handle lifecycle
+    # ------------------------------------------------------------------
+    def acquire(self, key: str) -> StoreHandle:
+        """Open (if needed) and pin the key's store for one reader.
+
+        Every ``acquire`` must be paired with ``release`` — use
+        :meth:`lease` unless the hold spans an ``await``.
+        """
+        with self._lock:
+            self._require_open_router()
+            handle = self._open.get(key)
+            if handle is None:
+                handle = self._open_locked(key)
+            else:
+                # Refresh LRU recency: move to the tail.
+                self._open.pop(key)
+                self._open[key] = handle
+            handle.readers += 1
+            return handle
+
+    def release(self, handle: StoreHandle) -> None:
+        """Drop one reader; a drained retired handle closes its mmap."""
+        with self._lock:
+            if handle.readers <= 0:
+                raise RuntimeError(
+                    f"release without matching acquire on {handle!r}"
+                )
+            handle.readers -= 1
+            if handle.retired and handle.readers == 0:
+                self._draining.remove(handle)
+                handle.store.close()
+
+    class _Lease:
+        def __init__(self, router: "StoreRouter", key: str):
+            self._router = router
+            self._key = key
+            self.handle: Optional[StoreHandle] = None
+
+        def __enter__(self) -> StoreHandle:
+            self.handle = self._router.acquire(self._key)
+            return self.handle
+
+        def __exit__(self, *exc) -> None:
+            if self.handle is not None:
+                self._router.release(self.handle)
+
+    def lease(self, key: str) -> "StoreRouter._Lease":
+        """``with router.lease(key) as handle:`` acquire/release bracket."""
+        return StoreRouter._Lease(self, key)
+
+    def _require_open_router(self) -> None:
+        if self._closed:
+            raise RouterClosedError("router is closed")
+
+    def _open_locked(self, key: str) -> StoreHandle:
+        """Open ``key`` under the lock: verify, insert, evict over-LRU."""
+        path = self._paths.get(key)
+        if path is None:
+            raise KeyError(f"unknown store key {key!r}")
+        store = SketchStore.load(path, mmap=self._mmap)
+        pinned = self._pins.get(key)
+        if pinned is not None and store.fingerprint != pinned:
+            store.close()
+            raise StaleStoreError(
+                f"store {key!r} at {path} carries fingerprint "
+                f"{store.fingerprint[:16]}… but {pinned[:16]}… is pinned "
+                "for this key; refusing to serve a swapped artifact"
+            )
+        self._pins[key] = store.fingerprint
+        self._generation += 1
+        self.opens += 1
+        handle = StoreHandle(key, path, store, self._generation)
+        self._open[key] = handle
+        while len(self._open) > self._max_open:
+            lru_key = next(iter(self._open))
+            self._retire_locked(self._open.pop(lru_key))
+            self.evictions += 1
+        return handle
+
+    def _retire_locked(self, handle: StoreHandle) -> None:
+        handle.retired = True
+        if handle.readers == 0:
+            handle.store.close()
+        else:
+            self._draining.append(handle)
+
+    # ------------------------------------------------------------------
+    # Hot-swap and shutdown
+    # ------------------------------------------------------------------
+    def swap(self, key: str) -> StoreHandle:
+        """Re-open ``key``'s path and atomically flip the served handle.
+
+        The natural sequel to :func:`repro.store.builder.extend_store`
+        (whose ``save`` replaces the file atomically): readers that
+        acquired before the flip finish on the old snapshot, which
+        closes once the last of them releases.  The replacement must
+        carry the pinned fingerprint.
+        """
+        with self._lock:
+            self._require_open_router()
+            old = self._open.pop(key, None)
+            try:
+                handle = self._open_locked(key)
+            except (SketchStoreError, OSError):
+                if old is not None:  # keep serving the old snapshot
+                    self._open[key] = old
+                raise
+            if old is not None:
+                self._retire_locked(old)
+            self.swaps += 1
+            return handle
+
+    def close(self) -> Dict[str, int]:
+        """Retire every open store; returns a shutdown summary.
+
+        ``leaked`` counts handles still pinned by readers at close time —
+        a clean shutdown (server drained first) reports zero, and the
+        smoke job asserts exactly that.
+        """
+        with self._lock:
+            self._closed = True
+            for key in list(self._open):
+                self._retire_locked(self._open.pop(key))
+            return {
+                "stores": len(self._paths),
+                "leaked": len(self._draining),
+                "opens": self.opens,
+                "swaps": self.swaps,
+                "evictions": self.evictions,
+            }
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "stores": len(self._paths),
+                "open": len(self._open),
+                "max_open": self._max_open,
+                "draining": len(self._draining),
+                "opens": self.opens,
+                "swaps": self.swaps,
+                "evictions": self.evictions,
+            }
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.keys())
+
+    def describe(self) -> List[Dict[str, object]]:
+        """One metadata row per registered key (opens lazily)."""
+        rows = []
+        for key in self.keys():
+            with self.lease(key) as handle:
+                store = handle.store
+                rows.append(
+                    {
+                        "key": key,
+                        "model": store.model,
+                        "nodes": store.num_nodes,
+                        "num_sets": store.num_sets,
+                        "max_budget": store.max_budget,
+                        "epsilon": store.epsilon,
+                        "fingerprint": store.fingerprint,
+                        "generation": handle.generation,
+                    }
+                )
+        return rows
+
+    # Convenience single-query paths (tests and offline tools; the HTTP
+    # layer goes through the batcher for spread).
+    def seeds(self, key: str, budget: int) -> Tuple[int, ...]:
+        with self.lease(key) as handle:
+            return handle.service.seeds(budget)
+
+    def spread(self, key: str, seeds: Sequence[int]) -> float:
+        with self.lease(key) as handle:
+            return handle.service.estimate_spread(seeds)
+
+    def coverage_fraction(self, key: str, seeds: Sequence[int]) -> float:
+        """The single-query path (the coalescing-off control arm)."""
+        with self.lease(key) as handle:
+            return handle.service.coverage_fraction(seeds)
+
+    def coverage_fractions(
+        self, key: str, seed_sets: Sequence[Sequence[int]]
+    ) -> List[float]:
+        """The batched kernel on one consistent snapshot of ``key``."""
+        with self.lease(key) as handle:
+            return handle.service.coverage_fractions(seed_sets)

@@ -29,7 +29,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.graph.digraph import InfluenceGraph
-from repro.store.format import WORLDS_DTYPE
+from repro.store.format import INDEX_DTYPE, WORLDS_DTYPE
 from repro.store.sketch_store import SketchStore
 
 PathLike = Union[str, Path]
@@ -48,6 +48,13 @@ class OracleService:
         up front (``StaleStoreError`` on mismatch) unless ``verify=False``.
     verify:
         Disable the fingerprint check (callers that already verified).
+    expect_fingerprint:
+        The fingerprint the store *must* carry.  Graph-less serving paths
+        (the :class:`~repro.serving.router.StoreRouter`) have no CSR to
+        re-hash, but they do know which fingerprint a key was first
+        opened with — passing it here closes the hole where swapping a
+        well-formed store file built from a *different* graph under the
+        same key would serve silently wrong answers.
     """
 
     def __init__(
@@ -55,7 +62,16 @@ class OracleService:
         store: SketchStore,
         graph: Optional[InfluenceGraph] = None,
         verify: bool = True,
+        expect_fingerprint: Optional[str] = None,
     ):
+        if expect_fingerprint is not None and store.fingerprint != expect_fingerprint:
+            from repro.store.sketch_store import StaleStoreError
+
+            raise StaleStoreError(
+                f"store carries fingerprint {store.fingerprint[:16]}… but "
+                f"{expect_fingerprint[:16]}… was expected for this key; "
+                "refusing to serve a swapped artifact"
+            )
         if graph is not None and verify:
             store.verify_graph(graph)
         self._store = store
@@ -67,9 +83,14 @@ class OracleService:
         path: PathLike,
         graph: Optional[InfluenceGraph] = None,
         mmap: bool = True,
+        expect_fingerprint: Optional[str] = None,
     ) -> "OracleService":
         """Load a store file and wrap it (the one-call warm start)."""
-        return cls(SketchStore.load(path, mmap=mmap), graph)
+        return cls(
+            SketchStore.load(path, mmap=mmap),
+            graph,
+            expect_fingerprint=expect_fingerprint,
+        )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -132,6 +153,67 @@ class OracleService:
                 )
             covered[idx_sets[idx_indptr[s] : idx_indptr[s + 1]]] = True
         return float(covered.sum()) / num_sets
+
+    def coverage_fractions(
+        self, seed_sets: Sequence[Sequence[int]]
+    ) -> List[float]:
+        """``F_R`` for a *batch* of queries in one vectorized scatter.
+
+        The serving layer's coalescing path: B concurrent spread queries
+        against the same store become one ``(B, θ)`` boolean scatter —
+        the per-query python loop over seeds collapses into a single
+        segmented gather over the inverted index.  Answers are
+        byte-for-byte what B sequential :meth:`coverage_fraction` calls
+        return (both sum the same boolean matrix and divide by the same
+        θ), which the serving tests pin.
+
+        Memory is ``B × θ`` bytes of scratch; the router's batcher caps
+        B (``max_batch``), so a serving deployment bounds this at
+        ``max_batch × θ``.
+        """
+        store = self._store
+        num_sets = store.num_sets
+        num_queries = len(seed_sets)
+        if num_queries == 0:
+            return []
+        if num_sets == 0:
+            return [0.0] * num_queries
+        set_lengths = np.fromiter(
+            (len(s) for s in seed_sets), count=num_queries, dtype=INDEX_DTYPE
+        )
+        total = int(set_lengths.sum())
+        if total == 0:
+            return [0.0] * num_queries
+        flat_seeds = np.fromiter(
+            (int(s) for seeds in seed_sets for s in seeds),
+            count=total,
+            dtype=INDEX_DTYPE,
+        )
+        if flat_seeds.size and (
+            int(flat_seeds.min()) < 0 or int(flat_seeds.max()) >= store.num_nodes
+        ):
+            bad = flat_seeds[
+                (flat_seeds < 0) | (flat_seeds >= store.num_nodes)
+            ][0]
+            raise IndexError(
+                f"node {int(bad)} out of range [0, {store.num_nodes})"
+            )
+        idx_indptr = np.asarray(store.idx_indptr)
+        starts = idx_indptr[flat_seeds]
+        counts = idx_indptr[flat_seeds + 1] - starts
+        expanded = int(counts.sum())
+        covered = np.zeros((num_queries, num_sets), dtype=WORLDS_DTYPE)
+        if expanded:
+            # Segmented gather: positions of every (seed -> set id) pair in
+            # idx_sets, all slices at once (the node_selection idiom).
+            shifts = np.cumsum(counts) - counts
+            flat_pos = np.repeat(starts - shifts, counts) + np.arange(expanded)
+            rows = np.repeat(
+                np.repeat(np.arange(num_queries), set_lengths), counts
+            )
+            covered[rows, np.asarray(store.idx_sets)[flat_pos]] = True
+        hits = covered.sum(axis=1)
+        return [float(h) / num_sets for h in hits]
 
     def estimate_spread(self, seeds: Sequence[int]) -> float:
         """Unbiased spread estimate ``σ(S) ≈ n · F_R(S)``."""

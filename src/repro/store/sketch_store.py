@@ -169,6 +169,43 @@ class SketchStore:
         return int(self.offsets.shape[0] - 1)
 
     @property
+    def closed(self) -> bool:
+        """Has :meth:`close` released this store's arrays?"""
+        return getattr(self, "_closed", False)
+
+    def close(self) -> None:
+        """Release the array references (and unmap memory-mapped pages).
+
+        The serving router swaps stores hot: the replacement mmap goes
+        live first, and the *old* store is closed only once its last
+        reader drains.  Closing drops every array field (reads afterwards
+        raise — a closed store must never serve) and then closes the
+        underlying ``mmap`` objects so the pages disappear from the
+        process immediately instead of lingering until a GC pass.  A
+        still-exported buffer (an outstanding numpy view some caller
+        kept) makes ``mmap.close`` raise ``BufferError``; that view keeps
+        the pages alive and the mapping is released when it dies — the
+        refcounted drain in :mod:`repro.serving.router` exists to make
+        that case not happen.  Idempotent.
+        """
+        if self.closed:
+            return
+        mmaps = []
+        for name in (*ARRAY_NAMES, "worlds"):
+            arr = getattr(self, name, None)
+            if isinstance(arr, np.memmap):
+                mm = getattr(arr, "_mmap", None)
+                if mm is not None:
+                    mmaps.append(mm)
+            setattr(self, name, None)
+        self._closed = True
+        for mm in mmaps:
+            try:
+                mm.close()
+            except BufferError:  # pragma: no cover - leaked external view
+                pass
+
+    @property
     def total_width(self) -> int:
         """Total member count Σ|R| (the stored footprint metric)."""
         return int(self.offsets[-1])

@@ -1,0 +1,11 @@
+"""RL006 fixture: hard-coded wall-clock gates and direct env-knob reads."""
+import os
+
+row = {"warm_speedup": 2.0, "qps": 900.0}
+assert row["warm_speedup"] >= 1.5
+assert row["qps"] > 100
+speedup = 3.0
+assert 1.2 < speedup
+assert speedup >= 3 / 2
+floor = float(os.environ["REPRO_BENCH_MIN_SPEEDUP"])
+floor = float(os.getenv("REPRO_BENCH_MIN_SPEEDUP", "1.0"))

@@ -1,0 +1,8 @@
+"""RL007 fixture: blocking sleeps racing the scheduler."""
+import time
+from time import sleep
+from time import sleep as snooze
+
+time.sleep(0.5)
+sleep(0.1)
+snooze(2)

@@ -1,0 +1,15 @@
+"""RL006 fixture: floors bound through min_speedup stay clean."""
+
+
+def min_speedup(default):
+    return default
+
+
+FLOOR = min_speedup(1.4)
+row = {"warm_speedup": 2.0, "qps": 900.0, "spread_ratio": 1.1}
+assert row["warm_speedup"] >= FLOOR
+assert row["qps"] > FLOOR * 100
+# Quality ratios compare estimators, not clocks: out of vocabulary.
+assert 0.7 <= row["spread_ratio"] <= 1.4
+count = 5
+assert count > 3

@@ -1,0 +1,11 @@
+"""RL007 fixture: deterministic waits stay clean."""
+import asyncio
+import threading
+
+
+async def let_loop_run():
+    await asyncio.sleep(0)
+
+
+def wait_ready(event: threading.Event) -> None:
+    assert event.wait(timeout=5.0)

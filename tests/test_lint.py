@@ -95,6 +95,45 @@ class TestRL005TestHygiene:
         assert ids_for(GOOD, "tests/rl005_good.py") == []
 
 
+class TestRL006BenchGates:
+    def test_bad_fixture_trips(self):
+        findings = sorted(
+            lint_file(BAD / "benchmarks/bench_rl006_bad.py", BAD)
+        )
+        assert [d.rule_id for d in findings] == ["RL006"] * 6
+        assert [d.line for d in findings] == [5, 6, 8, 9, 10, 11]
+        messages = " | ".join(d.message for d in findings)
+        assert "min_speedup" in messages
+        assert "REPRO_BENCH_MIN_SPEEDUP" in messages
+
+    def test_good_fixture_clean(self):
+        assert ids_for(GOOD, "benchmarks/bench_rl006_good.py") == []
+
+    def test_scope_excludes_bench_utils(self):
+        rule = RULES["RL006"]
+        assert rule.scope("benchmarks/bench_oracle_serving.py")
+        assert not rule.scope("benchmarks/_bench_utils.py")
+        assert not rule.scope("src/repro/store/service.py")
+
+
+class TestRL007NoSleep:
+    def test_bad_fixture_trips(self):
+        findings = sorted(lint_file(BAD / "tests/rl007_bad.py", BAD))
+        assert [d.rule_id for d in findings] == ["RL007"] * 3
+        assert [d.line for d in findings] == [6, 7, 8]
+        messages = " | ".join(d.message for d in findings)
+        assert "Event" in messages
+
+    def test_good_fixture_clean(self):
+        assert ids_for(GOOD, "tests/rl007_good.py") == []
+
+    def test_scope_is_tests_only(self):
+        rule = RULES["RL007"]
+        assert rule.scope("tests/test_serving.py")
+        assert not rule.scope("benchmarks/bench_oracle_serving.py")
+        assert not rule.scope("src/repro/serving/coalesce.py")
+
+
 class TestSuppressions:
     def test_reasonless_suppression_silences_rule_but_flags_rl000(self):
         findings = lint_file(BAD / "src/repro/diffusion/rl000_reasonless.py", BAD)
@@ -142,6 +181,8 @@ class TestEngine:
             "RL003",
             "RL004",
             "RL005",
+            "RL006",
+            "RL007",
             "RL999",
         }
 
@@ -160,7 +201,15 @@ class TestEngine:
             rule(Clone)
 
     def test_registry_has_all_rules(self):
-        assert set(RULES) == {"RL001", "RL002", "RL003", "RL004", "RL005"}
+        assert set(RULES) == {
+            "RL001",
+            "RL002",
+            "RL003",
+            "RL004",
+            "RL005",
+            "RL006",
+            "RL007",
+        }
 
     def test_diagnostic_render(self):
         diag = Diagnostic(
@@ -212,7 +261,15 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005"):
+        for rule_id in (
+            "RL001",
+            "RL002",
+            "RL003",
+            "RL004",
+            "RL005",
+            "RL006",
+            "RL007",
+        ):
             assert rule_id in out
 
     def test_quiet_omits_summary(self, capsys):

@@ -1,0 +1,607 @@
+"""Tests for repro.serving — router, coalescing, HTTP app, CLI.
+
+Contract under test (DESIGN.md §8):
+
+* **Router lifecycle** — lazy open pins the fingerprint; LRU eviction
+  never closes a store under an in-flight reader; hot-swap flips
+  atomically (old readers finish on the old snapshot, new acquires see
+  the new one); a well-formed store from the *wrong graph* swapped under
+  a served key is refused and the old snapshot keeps serving.
+* **Coalescing** — concurrent spread queries merge into one vectorized
+  ``coverage_fractions`` call, and the batched answers equal the
+  sequential per-query answers byte for byte.
+* **Serving** — the HTTP endpoints return the stored oracle's exact
+  numbers; shutdown drains to ``leaked=0`` and unmaps every store page.
+* **CLI** — ``repro serve`` in a fresh process serves golden queries and
+  exits 0 on SIGINT with a clean-shutdown line.
+
+No ``time.sleep`` anywhere (RL007): readiness uses the app's own
+``wait_started`` hook, concurrency uses barriers and events.
+"""
+
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.engine import EngineContext
+from repro.graph.generators import random_wc_graph
+from repro.serving import (
+    RouterClosedError,
+    ServingApp,
+    ServingClient,
+    ServingError,
+    SpreadBatcher,
+    StoreRouter,
+)
+from repro.store import (
+    SketchStore,
+    SketchStoreError,
+    StaleStoreError,
+    build_store,
+    extend_store,
+)
+from repro.store.service import OracleService
+
+REPO_SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+GRAPH_SPECS = {"alpha": (150, 5, 7), "beta": (110, 4, 11), "gamma": (90, 4, 13)}
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return {
+        key: random_wc_graph(n, deg, seed=seed)
+        for key, (n, deg, seed) in GRAPH_SPECS.items()
+    }
+
+
+@pytest.fixture(scope="module")
+def store_root(graphs, tmp_path_factory):
+    root = tmp_path_factory.mktemp("fleet")
+    for index, key in enumerate(sorted(graphs)):
+        store = build_store(
+            graphs[key],
+            6,
+            ctx=EngineContext.create(seed=3 + index),
+            estimation_rr_sets=700,
+        )
+        store.save(root / f"{key}.sketch")
+    return root
+
+
+def serve_in_thread(app):
+    """Run ``app`` on a worker thread; returns (stop, summary holder)."""
+    summary = {}
+    thread = threading.Thread(target=lambda: summary.update(app.run()))
+    thread.start()
+    assert app.wait_started(10)
+
+    def stop():
+        app.request_stop()
+        thread.join(10)
+        assert not thread.is_alive()
+        return summary
+
+    return stop
+
+
+class TestStoreRouterBasics:
+    def test_add_root_registers_stems_lazily(self, store_root):
+        router = StoreRouter()
+        assert router.add_root(store_root) == ["alpha", "beta", "gamma"]
+        assert router.keys() == ("alpha", "beta", "gamma")
+        assert router.open_keys == ()  # nothing mmap'd yet
+        router.seeds("beta", 3)
+        assert router.open_keys == ("beta",)
+        router.close()
+
+    def test_register_rejects_duplicates_and_path_keys(self, store_root):
+        router = StoreRouter()
+        router.register("alpha", store_root / "alpha.sketch")
+        with pytest.raises(ValueError, match="already registered"):
+            router.register("alpha", store_root / "beta.sketch")
+        with pytest.raises(ValueError, match="without '/'"):
+            router.register("a/b", store_root / "beta.sketch")
+        router.close()
+
+    def test_unknown_key_is_keyerror(self, store_root):
+        router = StoreRouter()
+        router.add_root(store_root)
+        with pytest.raises(KeyError, match="nope"):
+            router.seeds("nope", 2)
+        router.close()
+
+    def test_closed_router_refuses_queries(self, store_root):
+        router = StoreRouter()
+        router.add_root(store_root)
+        router.close()
+        with pytest.raises(RouterClosedError):
+            router.seeds("alpha", 2)
+
+    def test_release_without_acquire_rejected(self, store_root):
+        router = StoreRouter()
+        router.add_root(store_root)
+        with router.lease("alpha") as handle:
+            pass
+        with pytest.raises(RuntimeError, match="without matching acquire"):
+            router.release(handle)
+        router.close()
+
+
+class TestLruEviction:
+    def test_eviction_defers_close_until_reader_releases(self, store_root):
+        router = StoreRouter(max_open=1)
+        router.add_root(store_root)
+        held = router.acquire("alpha")
+        # Opening beta overflows max_open=1 and retires alpha — but a
+        # reader still holds it, so its pages must stay mapped.
+        router.seeds("beta", 2)
+        assert router.open_keys == ("beta",)
+        assert held.retired
+        assert not held.store.closed
+        seeds = held.service.seeds(3)
+        assert len(seeds) == 3  # still answers from the retired snapshot
+        router.release(held)
+        assert held.store.closed
+        assert router.draining == ()
+        assert router.stats()["evictions"] == 1
+        router.close()
+
+    def test_eviction_without_readers_closes_immediately(self, store_root):
+        router = StoreRouter(max_open=1)
+        router.add_root(store_root)
+        with router.lease("alpha") as handle:
+            pass
+        router.seeds("beta", 2)
+        assert handle.store.closed
+        router.close()
+
+    def test_recency_refresh_protects_hot_store(self, store_root):
+        router = StoreRouter(max_open=2)
+        router.add_root(store_root)
+        router.seeds("alpha", 2)
+        router.seeds("beta", 2)
+        router.seeds("alpha", 2)  # refresh alpha's recency
+        router.seeds("gamma", 2)  # evicts beta, the LRU entry
+        assert router.open_keys == ("alpha", "gamma")
+        router.close()
+
+    def test_reopen_after_eviction_pins_same_fingerprint(self, store_root):
+        router = StoreRouter(max_open=1)
+        router.add_root(store_root)
+        before = router.seeds("alpha", 4)
+        pin = router.pinned_fingerprint("alpha")
+        router.seeds("beta", 2)  # evict alpha
+        after = router.seeds("alpha", 4)  # re-open against the pin
+        assert before == after
+        assert router.pinned_fingerprint("alpha") == pin
+        assert router.stats()["opens"] == 3
+        router.close()
+
+
+class TestFingerprintPinning:
+    def test_stale_fingerprint_refused_at_open(self, store_root):
+        router = StoreRouter()
+        wrong = OracleService.open(store_root / "beta.sketch", mmap=False)
+        router.register(
+            "alpha",
+            store_root / "alpha.sketch",
+            fingerprint=wrong.store.fingerprint,
+        )
+        with pytest.raises(StaleStoreError, match="pinned"):
+            router.seeds("alpha", 2)
+        assert router.open_keys == ()  # the refused store was closed
+        router.close()
+
+    def test_service_expect_fingerprint_without_graph(self, store_root):
+        """Fingerprint is verified even when no graph is supplied."""
+        path = store_root / "alpha.sketch"
+        good = OracleService.open(path, mmap=False).store.fingerprint
+        svc = OracleService.open(path, mmap=False, expect_fingerprint=good)
+        assert svc.store.fingerprint == good
+        with pytest.raises(StaleStoreError):
+            OracleService.open(
+                path, mmap=False, expect_fingerprint="0" * 64
+            )
+
+
+class TestHotSwap:
+    def test_swap_drains_old_snapshot_under_reader(
+        self, graphs, store_root, tmp_path
+    ):
+        path = tmp_path / "alpha.sketch"
+        shutil.copy(store_root / "alpha.sketch", path)
+        router = StoreRouter()
+        router.register("alpha", path)
+        held = router.acquire("alpha")
+        old_sets = held.store.num_sets
+
+        grown = extend_store(
+            SketchStore.load(path, mmap=False), graphs["alpha"], 300
+        )
+        grown.save(path)
+        swapped = router.swap("alpha")
+
+        # The in-flight reader still answers from the old snapshot...
+        assert held.store.num_sets == old_sets
+        assert not held.store.closed
+        # ...while new acquires see the grown one, same pinned graph.
+        assert swapped.store.num_sets == old_sets + 300
+        assert swapped.generation > held.generation
+        with router.lease("alpha") as fresh:
+            assert fresh is swapped
+        router.release(held)
+        assert held.store.closed  # last old reader drained -> unmapped
+        assert router.stats()["swaps"] == 1
+        router.close()
+
+    def test_swap_wrong_graph_refused_and_old_kept(
+        self, store_root, tmp_path
+    ):
+        path = tmp_path / "alpha.sketch"
+        shutil.copy(store_root / "alpha.sketch", path)
+        router = StoreRouter()
+        router.register("alpha", path)
+        before = router.seeds("alpha", 4)
+
+        # A well-formed store from a *different graph* lands on the path
+        # (atomic rename, the way every real writer replaces a store —
+        # an in-place overwrite would corrupt mmap'd readers instead).
+        evil = tmp_path / "evil.sketch"
+        shutil.copy(store_root / "beta.sketch", evil)
+        os.replace(evil, path)
+        with pytest.raises(StaleStoreError, match="refusing"):
+            router.swap("alpha")
+        # The old snapshot is still served, untouched.
+        assert router.seeds("alpha", 4) == before
+        assert router.stats()["swaps"] == 0
+        router.close()
+
+    def test_swap_missing_file_keeps_old(self, store_root, tmp_path):
+        path = tmp_path / "alpha.sketch"
+        shutil.copy(store_root / "alpha.sketch", path)
+        router = StoreRouter()
+        router.register("alpha", path)
+        before = router.seeds("alpha", 4)
+        path.unlink()
+        with pytest.raises(SketchStoreError, match="cannot read"):
+            router.swap("alpha")
+        assert router.seeds("alpha", 4) == before
+        router.close()
+
+
+class TestBatchedKernel:
+    def test_coalesced_batch_matches_sequential_bytes(self, store_root):
+        router = StoreRouter()
+        router.add_root(store_root)
+        seed_sets = [list(router.seeds("alpha", b)) for b in (1, 2, 4, 6)]
+        seed_sets.append([])  # empty set rides along
+        batched = router.coverage_fractions("alpha", seed_sets)
+        sequential = [
+            router.coverage_fractions("alpha", [s])[0] for s in seed_sets
+        ]
+        assert batched == sequential
+        router.close()
+
+    def test_batched_matches_single_query_service(self, store_root):
+        service = OracleService.open(store_root / "beta.sketch", mmap=False)
+        sets = [list(service.seeds(b)) for b in (1, 3, 6)]
+        assert service.coverage_fractions(sets) == [
+            service.coverage_fraction(s) for s in sets
+        ]
+
+    def test_batched_range_check(self, store_root):
+        service = OracleService.open(store_root / "beta.sketch", mmap=False)
+        n = service.store.num_nodes
+        with pytest.raises(IndexError):
+            service.coverage_fractions([[0], [n]])
+        assert service.coverage_fractions([]) == []
+
+
+class TestSpreadBatcher:
+    def test_concurrent_submissions_coalesce_into_one_call(self):
+        import asyncio
+
+        calls = []
+
+        def compute(batch):
+            calls.append([list(s) for s in batch])
+            return [float(len(s)) for s in batch]
+
+        async def scenario():
+            batcher = SpreadBatcher(compute, window=0.05, max_batch=64)
+            results = await asyncio.gather(
+                *(batcher.submit([0] * (i + 1)) for i in range(8))
+            )
+            return results
+
+        results = asyncio.run(scenario())
+        assert results == [float(i + 1) for i in range(8)]
+        assert len(calls) == 1  # one vectorized call for all 8
+        assert len(calls[0]) == 8
+
+    def test_max_batch_flushes_immediately(self):
+        import asyncio
+
+        calls = []
+
+        def compute(batch):
+            calls.append(len(batch))
+            return [0.0] * len(batch)
+
+        async def scenario():
+            batcher = SpreadBatcher(compute, window=60.0, max_batch=4)
+            await asyncio.gather(*(batcher.submit([i]) for i in range(8)))
+            assert batcher.stats()["largest_batch"] == 4
+
+        # A 60 s window can only terminate via the max_batch trigger.
+        asyncio.run(scenario())
+        assert calls == [4, 4]
+
+    def test_disabled_batcher_computes_inline(self):
+        import asyncio
+
+        calls = []
+
+        def compute(batch):
+            calls.append(len(batch))
+            return [1.0] * len(batch)
+
+        async def scenario():
+            batcher = SpreadBatcher(compute, window=0.05, enabled=False)
+            assert not batcher.enabled
+            await asyncio.gather(*(batcher.submit([i]) for i in range(3)))
+
+        asyncio.run(scenario())
+        assert calls == [1, 1, 1]
+        # window <= 0 also disables (the CLI's --coalesce-window 0 path)
+        assert not SpreadBatcher(compute, window=0.0).enabled
+
+    def test_compute_failure_propagates_to_every_waiter(self):
+        import asyncio
+
+        def compute(batch):
+            raise IndexError("seed out of range")
+
+        async def scenario():
+            batcher = SpreadBatcher(compute, window=0.01, max_batch=4)
+            results = await asyncio.gather(
+                *(batcher.submit([i]) for i in range(4)),
+                return_exceptions=True,
+            )
+            assert all(isinstance(r, IndexError) for r in results)
+
+        asyncio.run(scenario())
+
+
+class TestServingApp:
+    def test_golden_queries_match_store_service(self, store_root):
+        router = StoreRouter(max_open=2)
+        router.add_root(store_root)
+        app = ServingApp(router, port=0, window=0.002)
+        stop = serve_in_thread(app)
+        try:
+            with ServingClient("127.0.0.1", app.port) as client:
+                assert client.health() == {"status": "ok"}
+                rows = client.stores()
+                assert [row["key"] for row in rows] == [
+                    "alpha",
+                    "beta",
+                    "gamma",
+                ]
+                for key in ("alpha", "beta"):
+                    service = OracleService.open(
+                        store_root / f"{key}.sketch", mmap=False
+                    )
+                    seeds = client.seeds(key, 5)
+                    assert tuple(seeds) == service.seeds(5)
+                    assert client.spread(key, seeds) == (
+                        service.estimate_spread(seeds)
+                    )
+                    meta = client.store(key)
+                    assert meta["fingerprint"] == service.store.fingerprint
+                    assert meta["num_sets"] == service.store.num_sets
+        finally:
+            summary = stop()
+        assert summary["leaked"] == 0
+        assert summary["requests"] == 8  # health + stores + 3 per key
+
+    def test_error_mapping(self, store_root):
+        router = StoreRouter()
+        router.add_root(store_root)
+        app = ServingApp(router, port=0)
+        stop = serve_in_thread(app)
+        try:
+            with ServingClient("127.0.0.1", app.port) as client:
+                with pytest.raises(ServingError) as excinfo:
+                    client.seeds("nope", 2)
+                assert excinfo.value.status == 404
+                with pytest.raises(ServingError) as excinfo:
+                    client.seeds("alpha", 999)  # beyond max_budget
+                assert excinfo.value.status == 400
+                with pytest.raises(ServingError) as excinfo:
+                    client.spread("alpha", [10**9])  # node out of range
+                assert excinfo.value.status == 400
+                with pytest.raises(ServingError) as excinfo:
+                    client._request("GET", "/v1/stores/alpha/spread?seeds=x")
+                assert excinfo.value.status == 400
+                with pytest.raises(ServingError) as excinfo:
+                    client._request("GET", "/no/such/route")
+                assert excinfo.value.status == 404
+                with pytest.raises(ServingError) as excinfo:
+                    client._request("POST", "/v1/stores/alpha")
+                assert excinfo.value.status == 405
+        finally:
+            stop()
+
+    def test_reload_bumps_generation(self, graphs, store_root, tmp_path):
+        root = tmp_path / "fleet"
+        root.mkdir()
+        shutil.copy(store_root / "alpha.sketch", root / "alpha.sketch")
+        router = StoreRouter()
+        router.add_root(root)
+        app = ServingApp(router, port=0)
+        stop = serve_in_thread(app)
+        try:
+            with ServingClient("127.0.0.1", app.port) as client:
+                first = client.store("alpha")
+                grown = extend_store(
+                    SketchStore.load(root / "alpha.sketch", mmap=False),
+                    graphs["alpha"],
+                    200,
+                )
+                grown.save(root / "alpha.sketch")
+                reloaded = client.reload("alpha")
+                assert reloaded["generation"] > first["generation"]
+                assert reloaded["num_sets"] == first["num_sets"] + 200
+                # Spread queries keep working against the new snapshot.
+                seeds = client.seeds("alpha", 4)
+                fresh = OracleService.open(root / "alpha.sketch", mmap=False)
+                assert client.spread("alpha", seeds) == (
+                    fresh.estimate_spread(seeds)
+                )
+        finally:
+            summary = stop()
+        assert summary["swaps"] == 1
+        assert summary["leaked"] == 0
+
+    def test_concurrent_spreads_coalesce(self, store_root):
+        router = StoreRouter()
+        router.add_root(store_root)
+        app = ServingApp(router, port=0, window=0.2, max_batch=64)
+        stop = serve_in_thread(app)
+        workers = 8
+        barrier = threading.Barrier(workers)
+        expected = None
+        results = []
+        lock = threading.Lock()
+
+        def worker():
+            with ServingClient("127.0.0.1", app.port) as client:
+                barrier.wait(timeout=10)
+                value = client.spread("gamma", list(range(10)))
+                with lock:
+                    results.append(value)
+
+        try:
+            with ServingClient("127.0.0.1", app.port) as client:
+                seeds = list(range(10))
+                expected = client.spread("gamma", seeds)
+                threads = [
+                    threading.Thread(target=worker) for _ in range(workers)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join(30)
+                stats = client.stats()["coalescing"]["gamma"]
+        finally:
+            stop()
+        assert results == [expected] * workers
+        assert stats["queries"] == workers + 1
+        # The barrier packs all 8 into one 200 ms window: they must have
+        # shared batches rather than each paying its own kernel call.
+        assert stats["coalesced"] >= 2
+        assert stats["largest_batch"] >= 2
+
+    def test_shutdown_unmaps_every_store_page(self, store_root, tmp_path):
+        root = tmp_path / "fleet"
+        root.mkdir()
+        for key in ("alpha", "beta"):
+            shutil.copy(store_root / f"{key}.sketch", root / f"{key}.sketch")
+        router = StoreRouter(max_open=1)  # force eviction traffic too
+        router.add_root(root)
+        app = ServingApp(router, port=0)
+        stop = serve_in_thread(app)
+        try:
+            with ServingClient("127.0.0.1", app.port) as client:
+                for key in ("alpha", "beta", "alpha"):
+                    client.seeds(key, 3)
+            maps = Path("/proc/self/maps").read_text()
+            assert str(root) in maps  # served stores really are mmap'd
+        finally:
+            summary = stop()
+        assert summary["leaked"] == 0
+        maps = Path("/proc/self/maps").read_text()
+        assert str(root) not in maps  # every page unmapped at shutdown
+
+
+class TestServeCli:
+    def test_subprocess_serve_golden_and_clean_sigint(self, store_root):
+        expected = OracleService.open(store_root / "alpha.sketch", mmap=False)
+        seeds = list(expected.seeds(4))
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--store-root",
+                str(store_root),
+                "--port",
+                "0",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env={"PYTHONPATH": REPO_SRC, "PATH": "/usr/bin:/bin"},
+        )
+        try:
+            banner = proc.stdout.readline().strip()
+            assert banner.startswith("serving 3 stores on ")
+            host, port = banner.rsplit(" ", 1)[-1].split(":")
+            assert proc.stdout.readline().strip() == (
+                "keys: alpha beta gamma"
+            )
+            with ServingClient(host, int(port)) as client:
+                assert client.seeds("alpha", 4) == seeds
+                assert client.spread("alpha", seeds) == (
+                    expected.estimate_spread(seeds)
+                )
+        finally:
+            proc.send_signal(signal.SIGINT)
+            out, err = proc.communicate(timeout=30)
+        assert proc.returncode == 0, err
+        assert "clean shutdown:" in out
+        assert "leaked=0" in out
+
+    def test_serve_rejects_empty_root(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--store-root",
+                str(empty),
+            ],
+            capture_output=True,
+            text=True,
+            timeout=60,
+            env={"PYTHONPATH": REPO_SRC, "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode != 0
+        assert "sketch stores found" in proc.stderr
+
+
+class TestStoreClose:
+    def test_close_is_idempotent_and_marks_closed(self, store_root):
+        store = SketchStore.load(store_root / "gamma.sketch")
+        assert not store.closed
+        store.close()
+        assert store.closed
+        store.close()  # second close is a no-op
+        assert store.idx_sets is None
+
+    def test_materialized_store_close(self, store_root):
+        store = SketchStore.load(store_root / "gamma.sketch", mmap=False)
+        store.close()
+        assert store.closed

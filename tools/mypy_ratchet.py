@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Ratcheted mypy gate over the typed core (engine, store, parallel).
+"""Ratcheted mypy gate over the typed core (engine, store, parallel, serving).
 
 Full ``--strict`` on a numpy-heavy research codebase is noise; no gate
 at all lets annotations rot.  The middle path is a *ratchet*: a
@@ -29,8 +29,16 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BASELINE_PATH = REPO_ROOT / "tools" / "mypy_baseline.json"
 
-#: The packages under the ratchet, in baseline-file order.
-PACKAGES = ("src/repro/engine", "src/repro/store", "src/repro/parallel")
+#: The packages under the ratchet, in baseline-file order.  The serving
+#: ceiling was seeded by hand (mypy is absent from the dev container);
+#: the first CI run under budget prints the ratchet-down nudge, and
+#: ``--update`` in an env with mypy tightens it to the measured count.
+PACKAGES = (
+    "src/repro/engine",
+    "src/repro/store",
+    "src/repro/parallel",
+    "src/repro/serving",
+)
 
 
 def mypy_available() -> bool:

@@ -1,0 +1,206 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for ``repro serve`` (the blocking CI job).
+
+Everything here crosses a process boundary on purpose: the serving
+stack's failure modes — leaked mmaps, sockets that outlive the server,
+signal handlers that never fire — are invisible to in-process tests.
+The script:
+
+1. builds two small sketch stores into a scratch fleet directory;
+2. starts ``repro serve`` in a **fresh subprocess** (the production
+   entry point, not an in-process ServingApp);
+3. replays golden queries through :class:`ServingClient` and checks
+   byte-for-byte agreement with a local :class:`OracleService` over the
+   same artifacts;
+4. extends one store on disk (atomic replace) and hot-swaps it live via
+   ``POST /v1/stores/{key}/reload``, checking the served snapshot grew;
+5. sends SIGINT and asserts a clean exit: returncode 0, the
+   ``clean shutdown`` summary line with ``leaked=0``, and
+6. proves nothing survived the process: the port refuses connections
+   and the server reported every mmap released.
+
+Exit status 0 on success; any failed check prints a ``SMOKE FAIL`` line
+and exits 1.  Run from the repository root::
+
+    python tools/serving_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.engine import EngineContext  # noqa: E402
+from repro.graph.generators import random_wc_graph  # noqa: E402
+from repro.serving import ServingClient  # noqa: E402
+from repro.store import (  # noqa: E402
+    OracleService,
+    SketchStore,
+    build_store,
+    extend_store,
+)
+
+FLEET = {
+    # key -> (nodes, avg_degree, graph seed)
+    "smoke_alpha": (300, 5, 17),
+    "smoke_beta": (200, 4, 23),
+}
+MAX_BUDGET = 5
+RR_SETS = 800
+EXTEND_BY = 400
+QUERY_SEEDS = [0, 3, 7, 19, 42]
+
+_failures: list[str] = []
+
+
+def check(ok: bool, what: str) -> None:
+    status = "ok" if ok else "SMOKE FAIL"
+    print(f"{status}: {what}")
+    if not ok:
+        _failures.append(what)
+
+
+def build_fleet(root: Path) -> dict[str, object]:
+    graphs = {}
+    for index, (key, (nodes, degree, seed)) in enumerate(FLEET.items()):
+        graph = random_wc_graph(nodes, avg_degree=degree, seed=seed)
+        store = build_store(
+            graph,
+            MAX_BUDGET,
+            estimation_rr_sets=RR_SETS,
+            ctx=EngineContext.create(seed=100 + index),
+        )
+        store.save(root / f"{key}.sketch")
+        graphs[key] = graph
+    return graphs
+
+
+def start_server(root: Path) -> tuple[subprocess.Popen, str, int]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--store-root",
+            str(root),
+            "--port",
+            "0",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    banner = proc.stdout.readline().strip()
+    print(f"server: {banner}")
+    if not banner.startswith("serving "):
+        proc.kill()
+        out, err = proc.communicate(timeout=30)
+        raise SystemExit(f"SMOKE FAIL: bad banner {banner!r}\n{out}\n{err}")
+    host, port = banner.rsplit(" ", 1)[-1].split(":")
+    proc.stdout.readline()  # "keys: ..." line
+    return proc, host, int(port)
+
+
+def port_refuses(host: str, port: int, deadline_s: float = 10.0) -> bool:
+    """True once nothing is listening on (host, port)."""
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        try:
+            with socket.create_connection((host, port), timeout=1.0):
+                pass
+        except OSError:
+            return True
+        time.sleep(0.1)
+    return False
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro_smoke_") as tmp:
+        root = Path(tmp)
+        graphs = build_fleet(root)
+        golden = {
+            key: OracleService.open(root / f"{key}.sketch", mmap=False)
+            for key in FLEET
+        }
+        proc, host, port = start_server(root)
+        try:
+            with ServingClient(host, port) as client:
+                check(client.health()["status"] == "ok", "healthz answers")
+                listed = {row["key"] for row in client.stores()}
+                check(listed == set(FLEET), f"lists the fleet: {sorted(listed)}")
+
+                for key, service in golden.items():
+                    check(
+                        client.seeds(key, MAX_BUDGET)
+                        == list(service.seeds(MAX_BUDGET)),
+                        f"{key}: served seeds == local oracle",
+                    )
+                    check(
+                        client.spread(key, QUERY_SEEDS)
+                        == service.estimate_spread(QUERY_SEEDS),
+                        f"{key}: served spread == local oracle (exact)",
+                    )
+
+                # Hot-swap: extend one store on disk (atomic replace via
+                # save), reload it live, and confirm the served snapshot
+                # grew without a restart.
+                key = "smoke_alpha"
+                path = root / f"{key}.sketch"
+                old_sets = client.store(key)["num_sets"]
+                extend_store(
+                    SketchStore.load(path, mmap=False),
+                    graphs[key],
+                    EXTEND_BY,
+                ).save(path)
+                reloaded = client.reload(key)
+                check(
+                    reloaded["num_sets"] == old_sets + EXTEND_BY,
+                    f"{key}: reload serves the extended store "
+                    f"({old_sets} -> {reloaded['num_sets']} sets)",
+                )
+                swapped = OracleService.open(path, mmap=False)
+                check(
+                    client.spread(key, QUERY_SEEDS)
+                    == swapped.estimate_spread(QUERY_SEEDS),
+                    f"{key}: post-swap spread == extended oracle (exact)",
+                )
+                stats = client.stats()
+                check(
+                    stats["router"]["swaps"] == 1, "router counted the swap"
+                )
+        finally:
+            proc.send_signal(signal.SIGINT)
+            out, err = proc.communicate(timeout=60)
+
+        print(out.rstrip())
+        if err.strip():
+            print(f"server stderr:\n{err.rstrip()}")
+        check(proc.returncode == 0, f"exit code 0 (got {proc.returncode})")
+        check("clean shutdown:" in out, "prints the shutdown summary")
+        check("leaked=0" in out, "no mmaps leaked past shutdown")
+        check(not err.strip(), "no stderr noise from the server")
+        check(port_refuses(host, port), f"port {port} refuses after exit")
+
+    if _failures:
+        print(f"\nserving-smoke: {len(_failures)} FAILED check(s)")
+        return 1
+    print("\nserving-smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
