@@ -47,8 +47,13 @@ class ServingClient:
             payload = response.read()
         except (ConnectionError, http.client.HTTPException):
             # One retry on a fresh connection: the server may have closed
-            # an idle keep-alive socket between our requests.
+            # an idle keep-alive socket between our requests.  Only GETs
+            # are retried — a POST (reload) may already have been applied
+            # server-side before the connection dropped, and re-sending
+            # it would execute the swap twice.
             self._conn.close()
+            if method != "GET":
+                raise
             self._conn.request(method, path, body=body)
             response = self._conn.getresponse()
             payload = response.read()

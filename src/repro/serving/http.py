@@ -20,6 +20,10 @@ from urllib.parse import parse_qs, urlsplit
 #: Upper bound on request bodies (none of the endpoints need more).
 MAX_BODY_BYTES = 1 << 20
 
+#: Upper bound on cumulative header bytes per request; a client cannot
+#: hold a connection open by streaming headers forever.
+MAX_HEADER_BYTES = 1 << 14
+
 _REASONS = {
     200: "OK",
     400: "Bad Request",
@@ -83,15 +87,23 @@ class HttpServer:
         return self._port
 
     async def close(self) -> None:
-        """Stop accepting, then close every keep-alive connection."""
+        """Stop accepting, then close every keep-alive connection.
+
+        Connection tasks are cancelled *before* ``wait_closed()``: since
+        Python 3.12.1 ``wait_closed()`` blocks until every handler
+        coroutine finishes, and an idle keep-alive client parked in
+        ``readline()`` never finishes on its own — awaiting first would
+        deadlock shutdown whenever any client is still connected.
+        """
         if self._server is not None:
             self._server.close()
-            await self._server.wait_closed()
-            self._server = None
         for task in list(self._connections):
             task.cancel()
         if self._connections:
             await asyncio.gather(*self._connections, return_exceptions=True)
+        if self._server is not None:
+            await self._server.wait_closed()
+            self._server = None
 
     async def _serve_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -145,15 +157,30 @@ class HttpServer:
         method, target, _version = parts
 
         headers: Dict[str, str] = {}
+        header_bytes = 0
         while True:
             line = await reader.readline()
-            if line in (b"\r\n", b"\n", b""):
+            if line == b"":
+                return False  # EOF mid-headers: aborted, do not dispatch
+            if line in (b"\r\n", b"\n"):
                 break
+            header_bytes += len(line)
+            if header_bytes > MAX_HEADER_BYTES:
+                writer.write(
+                    encode_response(400, {"error": "headers too large"})
+                )
+                await writer.drain()
+                return False
             name, _, value = line.decode("latin-1").partition(":")
             headers[name.strip().lower()] = value.strip()
 
         body = b""
-        length = int(headers.get("content-length", "0") or "0")
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            writer.write(encode_response(400, {"error": "bad content-length"}))
+            await writer.drain()
+            return False
         if length > MAX_BODY_BYTES:
             writer.write(encode_response(400, {"error": "body too large"}))
             await writer.drain()

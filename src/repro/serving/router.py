@@ -314,24 +314,39 @@ class StoreRouter:
         return iter(self.keys())
 
     def describe(self) -> List[Dict[str, object]]:
-        """One metadata row per registered key (opens lazily)."""
-        rows = []
-        for key in self.keys():
-            with self.lease(key) as handle:
-                store = handle.store
-                rows.append(
-                    {
-                        "key": key,
-                        "model": store.model,
-                        "nodes": store.num_nodes,
-                        "num_sets": store.num_sets,
-                        "max_budget": store.max_budget,
-                        "epsilon": store.epsilon,
-                        "fingerprint": store.fingerprint,
-                        "generation": handle.generation,
-                    }
-                )
-        return rows
+        """One metadata row per registered key — never forces an open.
+
+        Keys with a live handle report full store metadata; the rest
+        report their registry entry (path + pinned fingerprint, if
+        any).  Listing a fleet larger than ``max_open`` must not churn
+        the LRU through open/evict cycles, and one unreadable artifact
+        must not fail the whole listing — so closed stores are simply
+        not touched.
+        """
+        with self._lock:
+            self._require_open_router()
+            rows: List[Dict[str, object]] = []
+            for key in sorted(self._paths):
+                handle = self._open.get(key)
+                row: Dict[str, object] = {
+                    "key": key,
+                    "path": str(self._paths[key]),
+                    "open": handle is not None,
+                    "fingerprint": self._pins.get(key),
+                }
+                if handle is not None:
+                    store = handle.store
+                    row.update(
+                        model=store.model,
+                        nodes=store.num_nodes,
+                        num_sets=store.num_sets,
+                        max_budget=store.max_budget,
+                        epsilon=store.epsilon,
+                        fingerprint=store.fingerprint,
+                        generation=handle.generation,
+                    )
+                rows.append(row)
+            return rows
 
     # Convenience single-query paths (tests and offline tools; the HTTP
     # layer goes through the batcher for spread).

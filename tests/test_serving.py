@@ -19,9 +19,11 @@ No ``time.sleep`` anywhere (RL007): readiness uses the app's own
 ``wait_started`` hook, concurrency uses barriers and events.
 """
 
+import json
 import os
 import shutil
 import signal
+import socket
 import subprocess
 import sys
 import threading
@@ -380,6 +382,42 @@ class TestSpreadBatcher:
         asyncio.run(scenario())
 
 
+class TestDescribe:
+    def test_describe_never_forces_opens(self, store_root):
+        router = StoreRouter(max_open=1)
+        router.add_root(store_root)
+        router.seeds("beta", 2)  # one open handle, pin set
+        rows = router.describe()
+        # Listing must not have opened alpha/gamma or evicted beta.
+        assert router.open_keys == ("beta",)
+        assert router.stats()["opens"] == 1
+        assert [row["key"] for row in rows] == ["alpha", "beta", "gamma"]
+        by_key = {row["key"]: row for row in rows}
+        assert by_key["beta"]["open"]
+        assert by_key["beta"]["fingerprint"] == (
+            router.pinned_fingerprint("beta")
+        )
+        assert by_key["beta"]["num_sets"] > 0
+        assert not by_key["alpha"]["open"]
+        assert by_key["alpha"]["fingerprint"] is None  # never opened
+        assert "num_sets" not in by_key["alpha"]
+        router.close()
+
+    def test_describe_survives_unreadable_artifact(self, store_root, tmp_path):
+        root = tmp_path / "fleet"
+        root.mkdir()
+        for key in ("alpha", "beta"):
+            shutil.copy(store_root / f"{key}.sketch", root / f"{key}.sketch")
+        router = StoreRouter()
+        router.add_root(root)
+        router.seeds("alpha", 2)
+        (root / "beta.sketch").write_bytes(b"not a sketch store")
+        rows = router.describe()  # the broken key must not fail the list
+        assert [row["key"] for row in rows] == ["alpha", "beta"]
+        assert not {row["key"]: row for row in rows}["beta"]["open"]
+        router.close()
+
+
 class TestServingApp:
     def test_golden_queries_match_store_service(self, store_root):
         router = StoreRouter(max_open=2)
@@ -530,6 +568,110 @@ class TestServingApp:
         assert summary["leaked"] == 0
         maps = Path("/proc/self/maps").read_text()
         assert str(root) not in maps  # every page unmapped at shutdown
+
+
+def raw_exchange(port, payload):
+    """Send raw bytes to the server, return everything it writes back."""
+    with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+        sock.sendall(payload)
+        sock.shutdown(socket.SHUT_WR)
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+        return b"".join(chunks)
+
+
+class TestHttpEdgeCases:
+    @pytest.fixture()
+    def served_app(self, store_root):
+        router = StoreRouter()
+        router.add_root(store_root)
+        app = ServingApp(router, port=0)
+        stop = serve_in_thread(app)
+        try:
+            yield app
+        finally:
+            stop()
+
+    def test_stop_with_connected_keepalive_client(self, store_root):
+        """Shutdown must not hang while a keep-alive client is parked.
+
+        On Python 3.12.1+ ``wait_closed()`` blocks until every handler
+        coroutine ends; an idle client sitting in the server's
+        ``readline()`` would deadlock shutdown unless connection tasks
+        are cancelled first.  ``stop`` asserts the serve thread died.
+        """
+        router = StoreRouter()
+        router.add_root(store_root)
+        app = ServingApp(router, port=0)
+        stop = serve_in_thread(app)
+        with ServingClient("127.0.0.1", app.port) as client:
+            assert client.health() == {"status": "ok"}
+            summary = stop()  # client still connected, idle
+        assert summary["leaked"] == 0
+
+    def test_bad_content_length_is_400(self, served_app):
+        reply = raw_exchange(
+            served_app.port,
+            b"GET /healthz HTTP/1.1\r\ncontent-length: banana\r\n\r\n",
+        )
+        assert reply.startswith(b"HTTP/1.1 400 ")
+        assert b"bad content-length" in reply
+
+    def test_header_flood_is_400(self, served_app):
+        flood = b"".join(
+            b"x-filler-%d: %s\r\n" % (i, b"v" * 120) for i in range(200)
+        )
+        reply = raw_exchange(
+            served_app.port, b"GET /healthz HTTP/1.1\r\n" + flood + b"\r\n"
+        )
+        assert reply.startswith(b"HTTP/1.1 400 ")
+        assert b"headers too large" in reply
+
+    def test_eof_mid_headers_is_not_dispatched(self, served_app):
+        before = served_app._server.requests_served
+        reply = raw_exchange(
+            served_app.port, b"GET /healthz HTTP/1.1\r\nhost: x\r\n"
+        )
+        assert reply == b""  # aborted request: no response, no dispatch
+        assert served_app._server.requests_served == before
+
+    def test_client_retries_get_but_not_post(self):
+        class FlakyConn:
+            def __init__(self):
+                self.attempts = 0
+
+            def request(self, method, path, body=None):
+                self.attempts += 1
+                if self.attempts == 1:
+                    raise ConnectionResetError("keep-alive socket dropped")
+
+            def getresponse(self):
+                class Response:
+                    status = 200
+
+                    def read(self):
+                        return json.dumps({"ok": True}).encode()
+
+                return Response()
+
+            def close(self):
+                pass
+
+        client = ServingClient("127.0.0.1", 1)
+        client._conn = FlakyConn()
+        # Idempotent GET: one transparent retry on a fresh connection.
+        assert client._request("GET", "/healthz") == {"ok": True}
+        assert client._conn.attempts == 2
+        # Non-idempotent POST (reload): the error must surface — the
+        # first attempt may already have swapped the store server-side.
+        client._conn = FlakyConn()
+        with pytest.raises(ConnectionResetError):
+            client._request("POST", "/v1/stores/alpha/reload")
+        assert client._conn.attempts == 1
 
 
 class TestServeCli:
