@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Flatten every ``BENCH_*.json`` perf artifact into one CSV.
+
+Each artifact at the repository root is a list of row dicts with
+bench-specific columns (see the bench module that writes it).  This
+script unions the columns across artifacts into one flat table —
+``bench`` (the artifact stem) first, then the remaining columns sorted —
+so the whole performance trajectory greps and pivots as one file.
+
+Usage::
+
+    python benchmarks/to_csv.py [output.csv]
+
+Without an argument the CSV goes to stdout.  Missing artifacts are
+skipped with a note on stderr (benches not yet run on this machine);
+an artifact whose JSON is malformed is an error.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def load_rows(root: Path) -> List[Dict[str, object]]:
+    """Rows from every BENCH_*.json, each tagged with its bench stem."""
+    rows: List[Dict[str, object]] = []
+    for path in sorted(root.glob("BENCH_*.json")):
+        bench = path.stem[len("BENCH_"):]
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(payload, list):
+            raise ValueError(f"{path.name}: expected a list of row dicts")
+        for row in payload:
+            if not isinstance(row, dict):
+                raise ValueError(f"{path.name}: expected dict rows")
+            rows.append({"bench": bench, **row})
+    return rows
+
+
+def write_csv(rows: List[Dict[str, object]], stream) -> None:
+    columns = ["bench"] + sorted(
+        {key for row in rows for key in row} - {"bench"}
+    )
+    writer = csv.DictWriter(stream, fieldnames=columns, restval="")
+    writer.writeheader()
+    writer.writerows(rows)
+
+
+def main(argv: List[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    rows = load_rows(REPO_ROOT)
+    if not rows:
+        print(
+            "to_csv: no BENCH_*.json artifacts at the repository root "
+            "(run benchmarks/run_all.sh first)",
+            file=sys.stderr,
+        )
+        return 1
+    if argv:
+        out_path = Path(argv[0])
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        with out_path.open("w", newline="", encoding="utf-8") as stream:
+            write_csv(rows, stream)
+        benches = len({row["bench"] for row in rows})
+        print(f"wrote {out_path} ({len(rows)} rows from {benches} benches)")
+    else:
+        try:
+            write_csv(rows, sys.stdout)
+        except BrokenPipeError:  # e.g. `to_csv.py | head`
+            return 0
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

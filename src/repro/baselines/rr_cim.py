@@ -8,7 +8,7 @@ allocations match RR-SIM+'s; it is simply slower — which is exactly how the
 paper reports it (Fig. 5: RR-CIM is the slowest baseline).
 
 Like :mod:`repro.baselines.rr_sim`, this is a faithful-role reimplementation
-on TIM-scale sample sizes; see DESIGN.md §10.
+on TIM-scale sample sizes; see DESIGN.md §11.
 """
 
 from __future__ import annotations

@@ -12,7 +12,7 @@ TIM-based), which is why these baselines generate over an order of magnitude
 more RR sets than the IMM-based algorithms (Fig. 6).
 
 This is a faithful-role reimplementation (the original C++ is unavailable);
-DESIGN.md §10 records the substitution.  The properties the paper's
+DESIGN.md §11 records the substitution.  The properties the paper's
 experiments rely on — allocations that converge to copying the other item's
 seeds under strongly complementary configurations, TIM-scale sample counts,
 and much slower wall-clock — hold by construction.

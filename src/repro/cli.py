@@ -25,7 +25,7 @@ Usage::
         --model comic --max-budget 10 --gap 0.1 0.4 0.1 0.4
 
 Every subcommand prints the regenerated rows in the same shape the paper
-reports.  Scales refer to the dataset stand-ins (DESIGN.md §10).  The engine
+reports.  Scales refer to the dataset stand-ins (DESIGN.md §11).  The engine
 backend is selectable per run (``--rr-backend`` or ``$REPRO_RR_BACKEND``):
 ``batched`` (vectorized, default), ``parallel`` (the batched kernels
 fanned over the shared-memory worker pool for sharded builds and forward
@@ -276,6 +276,17 @@ def build_parser() -> argparse.ArgumentParser:
     all_cmd = sub.add_parser("all", help="run every experiment (slow)")
     _add_common(all_cmd)
 
+    obs_cmd = sub.add_parser(
+        "obs",
+        help="observability: dump the metrics catalogue or scrape a server",
+    )
+    obs_cmd.add_argument(
+        "--scrape", default=None, metavar="HOST:PORT",
+        help="fetch /v1/metrics from a live 'repro serve' endpoint "
+        "(validated as Prometheus text) instead of dumping this "
+        "process's registry",
+    )
+
     lint = sub.add_parser(
         "lint",
         help="AST-based invariant checker (determinism, ctx-threading, ...)",
@@ -302,7 +313,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     backend = getattr(args, "rr_backend", None)
     if not backend:
-        return _run(args)
+        return _run_with_trace(args)
     # RRCollection resolves $REPRO_RR_BACKEND at construction time, so
     # exporting reconfigures every algorithm the subcommand runs; restored
     # afterwards so in-process callers don't inherit the choice.
@@ -310,7 +321,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     saved = os.environ.get(BACKEND_ENV)
     os.environ[BACKEND_ENV] = backend  # repro-lint: disable=RL002 see above
     try:
-        return _run(args)
+        return _run_with_trace(args)
     finally:
         if saved is None:
             # repro-lint: disable=RL002 restore half of the same bracket
@@ -318,6 +329,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         else:
             # repro-lint: disable=RL002 restore half of the same bracket
             os.environ[BACKEND_ENV] = saved
+
+
+def _run_with_trace(args: argparse.Namespace) -> int:
+    """Run a subcommand; with ``REPRO_TRACE=1``, print its span trees."""
+    from repro import obs
+
+    code = _run(args)
+    if obs.tracing_enabled():
+        for root in obs.finished_roots():
+            print(obs.render_span_tree(root), flush=True)
+        obs.clear_finished()
+    return code
 
 
 def _run(args: argparse.Namespace) -> int:
@@ -471,6 +494,9 @@ def _run(args: argparse.Namespace) -> int:
     if args.command == "serve":
         return _run_serve(args)
 
+    if args.command == "obs":
+        return _run_obs(args)
+
     if args.command == "table5":
         from repro.utility.learned import table5_rows
 
@@ -504,6 +530,34 @@ def _run(args: argparse.Namespace) -> int:
         return 0
 
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+def _run_obs(args: argparse.Namespace) -> int:
+    """``repro obs`` — the metrics catalogue, local or scraped live."""
+    from repro import obs
+
+    if args.scrape:
+        host, _, port = args.scrape.rpartition(":")
+        if not host or not port.isdigit():
+            raise SystemExit("--scrape takes HOST:PORT")
+        from repro.serving.client import ServingClient
+
+        with ServingClient(host, int(port)) as client:
+            text = client.metrics_text()
+        obs.parse_prometheus(text)  # refuse to relay malformed exposition
+        print(text, end="", flush=True)
+        return 0
+    # Import every instrumented layer so its registrations land in the
+    # registry; a fresh CLI process then prints the complete catalogue
+    # of HELP/TYPE lines even before any samples exist.
+    import repro.diffusion.welfare  # noqa: F401
+    import repro.parallel.pool  # noqa: F401
+    import repro.rrset.prima  # noqa: F401
+    import repro.serving.app  # noqa: F401
+    import repro.store.builder  # noqa: F401
+
+    print(obs.render_prometheus(), end="", flush=True)
+    return 0
 
 
 def _run_serve(args: argparse.Namespace) -> int:

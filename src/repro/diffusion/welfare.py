@@ -25,6 +25,7 @@ from typing import Iterable, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.diffusion.batch_forward import (
     batch_simulate_uic,
     supports_batched_uic,
@@ -36,6 +37,25 @@ from repro.engine import ensure_context
 from repro.graph.digraph import InfluenceGraph
 from repro.utility.model import UtilityModel
 from repro.utility.noise import NoiseWorld
+
+_FORWARD_SECONDS = obs.histogram(
+    "repro_engine_phase_seconds",
+    "Wall-clock of engine phases (sampling, selection, kpt, forward)",
+    labels=("phase",),
+)
+_FORWARD_WORLDS = obs.counter(
+    "repro_forward_worlds_total",
+    "Possible worlds simulated by the forward estimators, by engine",
+    labels=("engine",),
+)
+
+
+def _forward_engine(parallel: bool, batched: bool, supported: bool) -> str:
+    if parallel:
+        return "parallel"
+    if batched and supported:
+        return "batched"
+    return "sequential"
 
 
 @dataclass(frozen=True)
@@ -109,44 +129,51 @@ def estimate_welfare(
 
         lineage_fallback("estimate_welfare")
         parallel = False
-    if parallel:
-        from repro.parallel import run_forward_shards
+    engine = _forward_engine(parallel, batched, supported)
+    with obs.span(
+        "diffusion.welfare", engine=engine, samples=int(num_samples)
+    ), _FORWARD_SECONDS.timer(phase="forward"):
+        if parallel:
+            from repro.parallel import run_forward_shards
 
-        values = run_forward_shards(
-            "uic_welfare_shard",
-            graph,
-            ctx,
-            num_samples,
-            (model, allocation, noise_world, trig_model),
-            triggering=trig_model,
-        )
-    elif batched and supported:
-        values = batch_simulate_uic(
-            graph,
-            model,
-            allocation,
-            num_samples,
-            ctx.rng,
-            noise_world=noise_world,
-            triggering=trig_model,
-        ).welfare
-    else:
-        world_rngs = (
-            ctx.spawn_generators(num_samples) if ctx.has_lineage else None
-        )
-        values = np.empty(num_samples, dtype=np.float64)
-        for i in range(num_samples):
-            world_rng = world_rngs[i] if world_rngs is not None else ctx.rng
-            edge_world = (
-                sample_triggering_world(graph, trig_model, world_rng)
-                if trig_model is not None
-                else None
+            values = run_forward_shards(
+                "uic_welfare_shard",
+                graph,
+                ctx,
+                num_samples,
+                (model, allocation, noise_world, trig_model),
+                triggering=trig_model,
             )
-            result = simulate_uic(
-                graph, model, allocation, world_rng, noise_world=noise_world,
-                edge_world=edge_world,
+        elif batched and supported:
+            values = batch_simulate_uic(
+                graph,
+                model,
+                allocation,
+                num_samples,
+                ctx.rng,
+                noise_world=noise_world,
+                triggering=trig_model,
+            ).welfare
+        else:
+            world_rngs = (
+                ctx.spawn_generators(num_samples) if ctx.has_lineage else None
             )
-            values[i] = result.welfare
+            values = np.empty(num_samples, dtype=np.float64)
+            for i in range(num_samples):
+                world_rng = (
+                    world_rngs[i] if world_rngs is not None else ctx.rng
+                )
+                edge_world = (
+                    sample_triggering_world(graph, trig_model, world_rng)
+                    if trig_model is not None
+                    else None
+                )
+                result = simulate_uic(
+                    graph, model, allocation, world_rng,
+                    noise_world=noise_world, edge_world=edge_world,
+                )
+                values[i] = result.welfare
+    _FORWARD_WORLDS.inc(num_samples, engine=engine)
     mean = float(values.mean())
     stderr = (
         float(values.std(ddof=1) / math.sqrt(num_samples))
@@ -190,33 +217,40 @@ def estimate_adoption(
 
         lineage_fallback("estimate_adoption")
         parallel = False
-    if parallel:
-        from repro.parallel import run_forward_shards
+    engine = _forward_engine(parallel, batched, supported)
+    with obs.span(
+        "diffusion.adoption", engine=engine, samples=int(num_samples)
+    ), _FORWARD_SECONDS.timer(phase="forward"):
+        if parallel:
+            from repro.parallel import run_forward_shards
 
-        values = run_forward_shards(
-            "uic_adoption_shard",
-            graph,
-            ctx,
-            num_samples,
-            (model, allocation, item),
-        )
-    elif batched and supported:
-        result = batch_simulate_uic(
-            graph, model, allocation, num_samples, ctx.rng
-        )
-        values = result.adopter_counts(item).astype(np.float64)
-    else:
-        world_rngs = (
-            ctx.spawn_generators(num_samples) if ctx.has_lineage else None
-        )
-        values = np.empty(num_samples, dtype=np.float64)
-        for i in range(num_samples):
-            world_rng = world_rngs[i] if world_rngs is not None else ctx.rng
-            result = simulate_uic(graph, model, allocation, world_rng)
-            if item is None:
-                values[i] = result.total_adoptions()
-            else:
-                values[i] = len(result.adopters_of(item))
+            values = run_forward_shards(
+                "uic_adoption_shard",
+                graph,
+                ctx,
+                num_samples,
+                (model, allocation, item),
+            )
+        elif batched and supported:
+            result = batch_simulate_uic(
+                graph, model, allocation, num_samples, ctx.rng
+            )
+            values = result.adopter_counts(item).astype(np.float64)
+        else:
+            world_rngs = (
+                ctx.spawn_generators(num_samples) if ctx.has_lineage else None
+            )
+            values = np.empty(num_samples, dtype=np.float64)
+            for i in range(num_samples):
+                world_rng = (
+                    world_rngs[i] if world_rngs is not None else ctx.rng
+                )
+                result = simulate_uic(graph, model, allocation, world_rng)
+                if item is None:
+                    values[i] = result.total_adoptions()
+                else:
+                    values[i] = len(result.adopters_of(item))
+    _FORWARD_WORLDS.inc(num_samples, engine=engine)
     mean = float(values.mean())
     stderr = (
         float(values.std(ddof=1) / math.sqrt(num_samples))

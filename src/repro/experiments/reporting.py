@@ -17,6 +17,8 @@ import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
+
 #: Artifact stems in the paper's presentation order, with display titles.
 EXPERIMENT_ORDER: Tuple[Tuple[str, str], ...] = (
     ("table2_networks", "Table 2 — network statistics"),
@@ -109,9 +111,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     report = build_report(results_dir)
     if len(argv) > 1:
         Path(argv[1]).write_text(report)
-        print(f"wrote report to {argv[1]}")
+        obs.emit(f"wrote report to {argv[1]}")
     else:
-        print(report)
+        obs.emit(report)
     return 0
 
 

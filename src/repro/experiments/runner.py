@@ -1,20 +1,18 @@
-"""Shared experiment plumbing: timing, seeding and table printing."""
+"""Shared experiment plumbing: timing, seeding and table printing.
+
+Timing and stdout go through :mod:`repro.obs` (:func:`repro.obs
+.stopwatch` is re-exported here for the experiment scripts); RL008 keeps
+raw clock reads and ``print`` out of this layer.
+"""
 
 from __future__ import annotations
 
-import time
-from contextlib import contextmanager
-from typing import Dict, Iterator, List, Sequence
+from typing import Dict, List, Sequence
 
+from repro import obs
+from repro.obs import stopwatch
 
-@contextmanager
-def stopwatch(sink: Dict[str, float], key: str = "seconds") -> Iterator[None]:
-    """Record wall-clock duration of a block into ``sink[key]``."""
-    start = time.perf_counter()
-    try:
-        yield
-    finally:
-        sink[key] = time.perf_counter() - start
+__all__ = ["format_table", "print_table", "stopwatch"]
 
 
 def format_table(rows: Sequence[Dict[str, object]]) -> str:
@@ -37,8 +35,8 @@ def format_table(rows: Sequence[Dict[str, object]]) -> str:
 def print_table(rows: Sequence[Dict[str, object]], title: str = "") -> None:
     """Print a table with an optional title banner."""
     if title:
-        print(f"\n== {title} ==")
-    print(format_table(rows))
+        obs.emit(f"\n== {title} ==")
+    obs.emit(format_table(rows))
 
 
 def _fmt(value: object) -> str:

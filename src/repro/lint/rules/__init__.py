@@ -11,6 +11,7 @@ from repro.lint.rules import (  # noqa: F401
     ctx_threading,
     determinism,
     no_sleep,
+    obs_discipline,
     shm_safety,
     store_format,
     test_hygiene,

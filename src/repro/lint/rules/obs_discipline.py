@@ -1,0 +1,99 @@
+"""RL008 — observability discipline: clocks and stdout go through obs.
+
+``src/repro`` has exactly one sanctioned wall-clock and exactly one
+sanctioned stdout path, both in :mod:`repro.obs`: histograms time
+themselves (``Histogram.timer``), spans time themselves, ad-hoc phase
+timing is ``obs.stopwatch``, and human-facing lines go through
+``obs.emit``.  A raw ``time.perf_counter()`` scattered in engine code is
+timing the registry can't see; a raw ``print`` is output tests can't
+redirect and servers can't suppress.  Flagged outside ``src/repro/obs/``
+and the CLI front-ends (``*/cli.py``):
+
+* calls to the :mod:`time` module's clocks — ``time.time``,
+  ``time.monotonic``, ``time.perf_counter``, ``time.process_time`` and
+  their ``_ns`` variants — whether attribute calls or names bound via
+  ``from time import ...`` (aliases included);
+* ``print(...)`` calls.
+
+``time.sleep`` is *not* this rule's business (RL007 covers naps, and
+only in tests); neither is reading clocks inside ``repro.obs`` itself,
+which is the whole point of the choke point.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable
+
+from repro.lint._ast_utils import call_name
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import LintFile, Rule, rule
+
+_CLOCK_ATTRS = {
+    "time",
+    "time_ns",
+    "monotonic",
+    "monotonic_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "process_time",
+    "process_time_ns",
+}
+
+_CLOCK_ADVICE = (
+    "wall-clock reads in engine code bypass the metrics registry; time "
+    "the block with a repro.obs histogram timer, a span, or obs.stopwatch"
+)
+_PRINT_ADVICE = (
+    "raw print() in library code cannot be redirected or suppressed; "
+    "report through obs.emit (or return the data to the caller)"
+)
+
+
+def _clock_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Local name -> clock function for ``from time import ...`` bindings."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name in _CLOCK_ATTRS:
+                    aliases[alias.asname or alias.name] = alias.name
+    return aliases
+
+
+@rule
+class ObsDisciplineRule(Rule):
+    rule_id = "RL008"
+    title = "clocks and stdout go through repro.obs (timers/span/emit)"
+
+    def scope(self, rel_path: str) -> bool:
+        if not rel_path.startswith("src/repro/"):
+            return False
+        if rel_path.startswith("src/repro/obs/"):
+            return False
+        return not rel_path.endswith("cli.py")
+
+    def check(self, file: LintFile) -> Iterable[Diagnostic]:
+        aliases = _clock_aliases(file.tree)
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name in ("print", "builtins.print"):
+                yield file.diagnostic(
+                    self.rule_id, node, f"print() call; {_PRINT_ADVICE}"
+                )
+            elif name is not None and "." in name:
+                module, _, leaf = name.rpartition(".")
+                if module == "time" and leaf in _CLOCK_ATTRS:
+                    yield file.diagnostic(
+                        self.rule_id,
+                        node,
+                        f"time.{leaf}() read; {_CLOCK_ADVICE}",
+                    )
+            elif name in aliases:
+                yield file.diagnostic(
+                    self.rule_id,
+                    node,
+                    f"{name}() (imported from time) read; {_CLOCK_ADVICE}",
+                )

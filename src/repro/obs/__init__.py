@@ -1,0 +1,112 @@
+"""repro.obs — stdlib-only metrics, spans, and sanctioned output.
+
+See DESIGN.md §9.  Three capabilities, one package:
+
+* **Metrics** (:mod:`repro.obs.metrics`): process-wide registry of
+  counters, gauges, and bounded-bucket histograms with Prometheus-text
+  exposition (``/v1/metrics``, ``repro obs``) and a compact snapshot
+  folded into ``/v1/stats``.
+* **Spans** (:mod:`repro.obs.trace`): ``with span("rrset.kpt"):``
+  contextvar tracing, off by default and zero-cost when off, serialized
+  across the worker-pool boundary so pooled runs yield one tree.
+* **Output discipline**: :func:`emit` is the one sanctioned stdout path
+  and :func:`stopwatch` the one sanctioned ad-hoc timer outside this
+  package — the RL008 lint rule keeps raw ``print()`` and ``time.*``
+  reads out of the rest of ``src/repro``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from contextlib import contextmanager
+from typing import IO, Iterator, MutableMapping, Optional
+
+from repro.obs.metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    SIZE_BUCKETS,
+    counter,
+    gauge,
+    histogram,
+    parse_prometheus,
+    render_prometheus,
+)
+from repro.obs.trace import (
+    NOOP_SPAN,
+    Span,
+    TRACE_ENV,
+    adopt,
+    clear_finished,
+    current_span,
+    disable_tracing,
+    enable_tracing,
+    finished_roots,
+    record_remote,
+    remote_span_payload,
+    render_span_tree,
+    span,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "REGISTRY",
+    "SIZE_BUCKETS",
+    "Span",
+    "TRACE_ENV",
+    "adopt",
+    "clear_finished",
+    "counter",
+    "current_span",
+    "disable_tracing",
+    "emit",
+    "enable_tracing",
+    "finished_roots",
+    "gauge",
+    "histogram",
+    "parse_prometheus",
+    "record_remote",
+    "remote_span_payload",
+    "render_prometheus",
+    "render_span_tree",
+    "span",
+    "stopwatch",
+    "tracing_enabled",
+]
+
+
+def emit(text: str, *, stream: Optional[IO[str]] = None) -> None:
+    """Write a line of human-facing output (the sanctioned ``print``).
+
+    Library code reports through this funnel rather than calling
+    ``print`` directly (RL008), so output stays greppable to one choke
+    point and tests can redirect it by passing ``stream``.
+    """
+    out = sys.stdout if stream is None else stream
+    out.write(text + "\n")
+
+
+@contextmanager
+def stopwatch(
+    sink: MutableMapping[str, float], key: str = "seconds"
+) -> Iterator[None]:
+    """Record the block's wall-clock into ``sink[key]`` (seconds).
+
+    The experiments runner's phase timer, hosted here so experiment code
+    never reads ``time.perf_counter`` directly.
+    """
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        sink[key] = time.perf_counter() - start

@@ -1,0 +1,455 @@
+"""Process-wide metrics: counters, gauges, bounded-bucket histograms.
+
+One :class:`MetricsRegistry` per process (the module-level
+:data:`REGISTRY`), holding every metric the instrumented layers create at
+import time.  Metrics are deliberately primitive — a dict update under
+one lock — because they sit on hot paths: a counter increment must cost
+no more than a function call, never allocate per observation, and never
+touch an RNG stream (byte-reproducibility of instrumented runs is pinned
+in ``tests/test_obs.py``).
+
+Exposition is Prometheus text format 0.0.4 (:meth:`MetricsRegistry
+.render`), the lingua franca every scraper understands; the strict
+:func:`parse_prometheus` inverse exists so tests and the serving smoke
+job can assert the output *parses*, not merely that some substring
+appears.  Histograms use a fixed, bounded bucket list chosen at
+registration — observation is a bisect into a preallocated row, so
+cardinality cannot grow at runtime.
+
+Wall-clock reads live here and in :mod:`repro.obs.trace` only: the RL008
+lint rule keeps ``time.time``/``time.perf_counter`` (and ``print``) out
+of the rest of ``src/repro`` so that every timing and reporting path
+goes through this layer.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import time
+from bisect import bisect_left
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "REGISTRY",
+    "SIZE_BUCKETS",
+    "counter",
+    "gauge",
+    "histogram",
+    "parse_prometheus",
+    "render_prometheus",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram buckets for request/phase latencies, in seconds.
+#: Sub-millisecond through minute-scale — the serving layer lives at the
+#: low end, store builds at the high end.
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+#: Default buckets for size-ish distributions (batch sizes, shard counts).
+SIZE_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample value: integers bare, floats via repr."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label_suffix(
+    names: Tuple[str, ...], values: Tuple[str, ...], extra: str = ""
+) -> str:
+    pairs = [
+        f'{name}="{_escape_label(value)}"'
+        for name, value in zip(names, values)
+    ]
+    if extra:
+        pairs.append(extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+class _Metric:
+    """Shared shape: name, help text, label names, per-labelset values."""
+
+    kind = "untyped"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        label_names: Tuple[str, ...],
+        lock: threading.Lock,
+    ):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for label in label_names:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r} on {name!r}")
+        self.name = name
+        self.help_text = help_text
+        self.label_names = label_names
+        self._lock = lock
+        self._values: Dict[Tuple[str, ...], object] = {}
+
+    def _key(self, labels: Dict[str, object]) -> Tuple[str, ...]:
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.label_names)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._values.clear()
+
+    def render(self) -> Iterator[str]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """A monotonically increasing sample (``*_total`` by convention)."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return float(self._values.get(key, 0.0))
+
+    def render(self) -> Iterator[str]:
+        with self._lock:
+            items = sorted(self._values.items())
+        for key, value in items:
+            suffix = _label_suffix(self.label_names, key)
+            yield f"{self.name}{suffix} {_format_value(float(value))}"
+
+
+class Gauge(_Metric):
+    """A sample that can go up and down (queue depths, open handles)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: object) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: object) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return float(self._values.get(key, 0.0))
+
+    render = Counter.render
+
+
+class _HistogramTimer:
+    """``with histogram.timer():`` — observe the block's wall-clock."""
+
+    __slots__ = ("_histogram", "_labels", "_start")
+
+    def __init__(self, histogram: "Histogram", labels: Dict[str, object]):
+        self._histogram = histogram
+        self._labels = labels
+        self._start = 0.0
+
+    def __enter__(self) -> "_HistogramTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._histogram.observe(
+            time.perf_counter() - self._start, **self._labels
+        )
+
+
+class Histogram(_Metric):
+    """Bounded-bucket distribution: cumulative counts, sum and count.
+
+    ``buckets`` are the finite upper bounds; the ``+Inf`` bucket is
+    implicit.  Per labelset state is one preallocated list — observing is
+    a bisect plus three in-place updates, no allocation.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        label_names: Tuple[str, ...],
+        lock: threading.Lock,
+        buckets: Sequence[float] = LATENCY_BUCKETS,
+    ):
+        super().__init__(name, help_text, label_names, lock)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or sorted(bounds) != list(bounds):
+            raise ValueError(
+                f"histogram {name!r} buckets must be non-empty ascending, "
+                f"got {buckets!r}"
+            )
+        self.buckets = bounds
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = self._key(labels)
+        value = float(value)
+        with self._lock:
+            state = self._values.get(key)
+            if state is None:
+                # [per-bucket counts..., +Inf count, sum, count]
+                state = [0] * (len(self.buckets) + 1) + [0.0, 0]
+                self._values[key] = state
+            state[bisect_left(self.buckets, value)] += 1
+            state[-2] += value
+            state[-1] += 1
+
+    def timer(self, **labels: object) -> _HistogramTimer:
+        return _HistogramTimer(self, labels)
+
+    def snapshot(self, **labels: object) -> Dict[str, float]:
+        """``{"count": ..., "sum": ...}`` for one labelset (tests/stats)."""
+        key = self._key(labels)
+        with self._lock:
+            state = self._values.get(key)
+            if state is None:
+                return {"count": 0, "sum": 0.0}
+            return {"count": int(state[-1]), "sum": float(state[-2])}
+
+    def render(self) -> Iterator[str]:
+        with self._lock:
+            items = sorted(
+                (key, list(state)) for key, state in self._values.items()
+            )
+        for key, state in items:
+            cumulative = 0
+            for bound, count in zip(self.buckets, state):
+                cumulative += count
+                suffix = _label_suffix(
+                    self.label_names, key, f'le="{_format_value(bound)}"'
+                )
+                yield f"{self.name}_bucket{suffix} {cumulative}"
+            total = int(state[-1])
+            suffix = _label_suffix(self.label_names, key, 'le="+Inf"')
+            yield f"{self.name}_bucket{suffix} {total}"
+            plain = _label_suffix(self.label_names, key)
+            yield f"{self.name}_sum{plain} {_format_value(float(state[-2]))}"
+            yield f"{self.name}_count{plain} {total}"
+
+
+class MetricsRegistry:
+    """Name → metric table with get-or-create registration.
+
+    Registration is idempotent: asking for an existing name with the same
+    kind and labels returns the existing instance (so module-level
+    handles survive re-imports and tests), while a kind or label mismatch
+    is a programming error and raises.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, _Metric] = {}
+
+    def _register(self, cls: type, name: str, help_text: str,
+                  labels: Sequence[str], **kwargs: object) -> _Metric:
+        label_names = tuple(labels)
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls) or (
+                    existing.label_names != label_names
+                ):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind} with labels {existing.label_names}"
+                    )
+                return existing
+            metric = cls(name, help_text, label_names, self._lock, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(
+        self, name: str, help_text: str = "", labels: Sequence[str] = ()
+    ) -> Counter:
+        metric = self._register(Counter, name, help_text, labels)
+        return metric  # type: ignore[return-value]
+
+    def gauge(
+        self, name: str, help_text: str = "", labels: Sequence[str] = ()
+    ) -> Gauge:
+        metric = self._register(Gauge, name, help_text, labels)
+        return metric  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self._register(
+            Histogram, name, help_text, labels, buckets=buckets
+        )  # type: ignore[return-value]
+
+    def names(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._metrics))
+
+    def get(self, name: str) -> Optional[_Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def reset(self) -> None:
+        """Zero every metric's samples; registrations stay (tests)."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        for metric in metrics:
+            metric.clear()
+
+    def render(self) -> str:
+        """The full registry in Prometheus text exposition format 0.0.4."""
+        lines: List[str] = []
+        with self._lock:
+            metrics = [self._metrics[name] for name in sorted(self._metrics)]
+        for metric in metrics:
+            if metric.help_text:
+                lines.append(f"# HELP {metric.name} {metric.help_text}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            lines.extend(metric.render())
+        return "\n".join(lines) + "\n"
+
+    def snapshot(self) -> Dict[str, object]:
+        """Compact JSON-able view for ``/v1/stats``: name → value(s).
+
+        Counters and gauges map labelsets to numbers; histograms report
+        ``{count, sum}`` per labelset.  Label keys are rendered as
+        ``label=value`` comma strings (or ``""`` for the bare series).
+        """
+        out: Dict[str, object] = {}
+        with self._lock:
+            metrics = [self._metrics[name] for name in sorted(self._metrics)]
+        for metric in metrics:
+            with self._lock:
+                items = sorted(metric._values.items())
+            series: Dict[str, object] = {}
+            for key, state in items:
+                label = ",".join(
+                    f"{n}={v}" for n, v in zip(metric.label_names, key)
+                )
+                if isinstance(metric, Histogram):
+                    series[label] = {
+                        "count": int(state[-1]),  # type: ignore[index]
+                        "sum": float(state[-2]),  # type: ignore[index]
+                    }
+                else:
+                    series[label] = float(state)  # type: ignore[arg-type]
+            if series:
+                out[metric.name] = (
+                    series[""] if list(series) == [""] else series
+                )
+        return out
+
+
+#: The process-wide registry every instrumented layer registers into.
+REGISTRY = MetricsRegistry()
+
+
+def counter(
+    name: str, help_text: str = "", labels: Sequence[str] = ()
+) -> Counter:
+    """Get-or-create a counter in the process registry."""
+    return REGISTRY.counter(name, help_text, labels)
+
+
+def gauge(name: str, help_text: str = "", labels: Sequence[str] = ()) -> Gauge:
+    """Get-or-create a gauge in the process registry."""
+    return REGISTRY.gauge(name, help_text, labels)
+
+
+def histogram(
+    name: str,
+    help_text: str = "",
+    labels: Sequence[str] = (),
+    buckets: Sequence[float] = LATENCY_BUCKETS,
+) -> Histogram:
+    """Get-or-create a histogram in the process registry."""
+    return REGISTRY.histogram(name, help_text, labels, buckets=buckets)
+
+
+def render_prometheus() -> str:
+    """The process registry as Prometheus text (the scrape payload)."""
+    return REGISTRY.render()
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict[str, float]]:
+    """Strictly parse exposition text back into ``{name: {labels: value}}``.
+
+    Raises ``ValueError`` on any line that is neither a comment nor a
+    well-formed sample — the shape tests and the serving smoke job use to
+    assert ``/v1/metrics`` emits *valid* Prometheus text, not just text.
+    Histogram series parse as their expanded ``_bucket``/``_sum``/
+    ``_count`` sample names.
+    """
+    samples: Dict[str, Dict[str, float]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            continue
+        if line.startswith("#"):
+            raise ValueError(f"line {lineno}: bad comment {line!r}")
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: bad sample {line!r}")
+        raw_labels = match.group("labels") or ""
+        parsed = _LABEL_PAIR_RE.findall(raw_labels)
+        reassembled = ",".join(f'{k}="{v}"' for k, v in parsed)
+        if reassembled != raw_labels:
+            raise ValueError(f"line {lineno}: bad labels {raw_labels!r}")
+        try:
+            value = float(match.group("value"))
+        except ValueError as exc:
+            raise ValueError(
+                f"line {lineno}: bad value {match.group('value')!r}"
+            ) from exc
+        key = json.dumps(dict(parsed), sort_keys=True) if parsed else ""
+        samples.setdefault(match.group("name"), {})[key] = value
+    return samples

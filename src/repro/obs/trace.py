@@ -1,0 +1,309 @@
+"""Span-based tracing: one tree per run, across threads and processes.
+
+A *span* is a named wall-clock interval with attributes and children.
+The current span rides a :class:`contextvars.ContextVar`, so nesting is
+lexical in synchronous code and follows task creation in asyncio (each
+``asyncio.Task`` snapshots the context at spawn).  Process boundaries —
+the :mod:`repro.parallel` worker pool — cannot share a ContextVar, so
+spans cross them by value: the parent stamps a
+:func:`remote_span_payload` into the task payload, the worker brackets
+its work with :func:`record_remote` and ships the finished span back as
+a plain dict, and the parent re-attaches it with :func:`adopt`.  The
+result is one coherent tree for a pooled forward estimate: the root
+``parallel.forward`` span holds one child per shard with that shard's
+wall-clock, queue wait, and worker pid.
+
+Tracing is **off by default** and zero-cost when off: :func:`span`
+returns the module-level :data:`NOOP_SPAN` singleton — no allocation, no
+clock read, no ContextVar write.  Tests pin that identity.  Enable with
+``REPRO_TRACE=1`` in the environment or :func:`enable_tracing` in code.
+
+Spans never touch RNG state; instrumented runs are byte-identical to
+bare runs (pinned in ``tests/test_obs.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextvars import ContextVar
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "NOOP_SPAN",
+    "Span",
+    "TRACE_ENV",
+    "adopt",
+    "clear_finished",
+    "disable_tracing",
+    "enable_tracing",
+    "finished_roots",
+    "record_remote",
+    "remote_span_payload",
+    "render_span_tree",
+    "span",
+    "tracing_enabled",
+]
+
+#: Environment variable that switches tracing on (any non-empty value
+#: other than ``0``).
+TRACE_ENV = "REPRO_TRACE"
+
+_FORCED: Optional[bool] = None
+
+
+def tracing_enabled() -> bool:
+    """True when spans are being recorded (env var or explicit enable)."""
+    if _FORCED is not None:
+        return _FORCED
+    return os.environ.get(TRACE_ENV, "0") not in ("", "0")
+
+
+def enable_tracing() -> None:
+    """Force tracing on for this process (overrides the env var)."""
+    global _FORCED
+    _FORCED = True
+
+
+def disable_tracing() -> None:
+    """Force tracing off and drop any collected roots."""
+    global _FORCED
+    _FORCED = False
+    clear_finished()
+    _CURRENT.set(None)
+
+
+class Span:
+    """One timed interval: name, attributes, children, duration.
+
+    Created by :func:`span` (context-manager use) or :meth:`start` /
+    :meth:`finish` pairs (the worker side, where the interval brackets a
+    function call rather than a ``with`` block).
+    """
+
+    __slots__ = (
+        "name", "attrs", "children", "duration_s", "pid", "_start", "_token"
+    )
+
+    def __init__(self, name: str, **attrs: Any):
+        self.name = name
+        self.attrs: Dict[str, Any] = dict(attrs)
+        self.children: List["Span"] = []
+        self.duration_s: Optional[float] = None
+        self.pid = os.getpid()
+        self._start: Optional[float] = None
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes (shard index, sample counts, byte sizes)."""
+        self.attrs.update(attrs)
+        return self
+
+    def start(self) -> "Span":
+        self._start = time.perf_counter()
+        return self
+
+    def finish(self) -> "Span":
+        if self._start is not None and self.duration_s is None:
+            self.duration_s = time.perf_counter() - self._start
+        return self
+
+    # -- serialization across process boundaries -----------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "attrs": self.attrs,
+            "duration_s": self.duration_s,
+            "pid": self.pid,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Span":
+        out = cls(data["name"], **data.get("attrs", {}))
+        out.duration_s = data.get("duration_s")
+        out.pid = data.get("pid", out.pid)
+        out.children = [
+            cls.from_dict(child) for child in data.get("children", ())
+        ]
+        return out
+
+    # -- context-manager protocol --------------------------------------
+    def __enter__(self) -> "Span":
+        parent = _CURRENT.get()
+        if parent is not None:
+            parent.children.append(self)
+        self._token = _CURRENT.set(self)
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.finish()
+        _CURRENT.reset(self._token)
+        if _CURRENT.get() is None:
+            _record_root(self)
+
+    def __repr__(self) -> str:
+        dur = "live" if self.duration_s is None else f"{self.duration_s:.4f}s"
+        return f"Span({self.name!r}, {dur}, children={len(self.children)})"
+
+
+class _NoopSpan:
+    """The do-nothing span handed out when tracing is disabled.
+
+    A single module-level instance: ``span(...) is NOOP_SPAN`` is pinned
+    by tests as the zero-cost-when-disabled contract.  Every method is a
+    no-op returning ``self`` so instrumented code never branches on the
+    tracing state.
+    """
+
+    __slots__ = ()
+
+    name = "noop"
+    attrs: Dict[str, Any] = {}
+    children: List[Any] = []
+    duration_s = None
+
+    def set(self, **attrs: Any) -> "_NoopSpan":
+        return self
+
+    def start(self) -> "_NoopSpan":
+        return self
+
+    def finish(self) -> "_NoopSpan":
+        return self
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        return None
+
+    def __repr__(self) -> str:
+        return "NoopSpan()"
+
+
+NOOP_SPAN = _NoopSpan()
+
+_CURRENT: ContextVar[Optional[Span]] = ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+#: Finished root spans, oldest first, bounded so a long-lived server
+#: with tracing on cannot grow without bound.
+_FINISHED: List[Span] = []
+_FINISHED_CAP = 256
+
+
+def _record_root(root: Span) -> None:
+    _FINISHED.append(root)
+    if len(_FINISHED) > _FINISHED_CAP:
+        del _FINISHED[: len(_FINISHED) - _FINISHED_CAP]
+
+
+def span(name: str, **attrs: Any):
+    """Open a span as a context manager; no-op when tracing is off.
+
+    >>> with span("rrset.kpt", round=3):
+    ...     ...
+    """
+    if not tracing_enabled():
+        return NOOP_SPAN
+    return Span(name, **attrs)
+
+
+def current_span():
+    """The innermost live span, or :data:`NOOP_SPAN` outside any."""
+    live = _CURRENT.get()
+    return live if live is not None else NOOP_SPAN
+
+
+def adopt(span_dict: Optional[Dict[str, Any]]) -> None:
+    """Attach a worker-serialized span dict under the current span.
+
+    The parent side of cross-process propagation: the pool calls this
+    with each completed task's span payload.  A ``None`` payload (worker
+    ran with tracing off) or no live parent span is a silent no-op.
+    """
+    if span_dict is None:
+        return
+    parent = _CURRENT.get()
+    if parent is None:
+        if tracing_enabled():
+            _record_root(Span.from_dict(span_dict))
+        return
+    parent.children.append(Span.from_dict(span_dict))
+
+
+def remote_span_payload(name: str, **attrs: Any) -> Optional[Dict[str, Any]]:
+    """Trace metadata to ship with a pool task, or ``None`` when off.
+
+    Stamps the enqueue time so the worker can report queue wait; the
+    clock is ``time.time`` because ``perf_counter`` epochs are not
+    comparable across processes.
+    """
+    if not tracing_enabled():
+        return None
+    return {"name": name, "attrs": dict(attrs), "enqueued_at": time.time()}
+
+
+def record_remote(
+    payload: Optional[Dict[str, Any]],
+    fn: Callable[..., Any],
+    *args: Any,
+) -> Tuple[Any, Optional[Dict[str, Any]]]:
+    """Worker side: run ``fn(*args)`` inside the shipped span.
+
+    Returns ``(result, span_dict)``; the span dict is ``None`` when the
+    payload was ``None`` (tracing off at dispatch time).  The recorded
+    span carries the shard's wall-clock (``duration_s``), the worker's
+    pid, and ``queue_wait_s`` measured from the parent's enqueue stamp.
+    """
+    if payload is None:
+        return fn(*args), None
+    started_at = time.time()
+    remote = Span(payload["name"], **payload.get("attrs", {}))
+    remote.set(queue_wait_s=max(0.0, started_at - payload["enqueued_at"]))
+    remote.start()
+    try:
+        result = fn(*args)
+    finally:
+        remote.finish()
+    return result, remote.to_dict()
+
+
+def finished_roots() -> Tuple[Span, ...]:
+    """Completed root spans recorded in this process, oldest first."""
+    return tuple(_FINISHED)
+
+
+def clear_finished() -> None:
+    _FINISHED.clear()
+
+
+def render_span_tree(root: Span, indent: int = 0) -> str:
+    """Human-readable span tree, one line per span.
+
+    ``repro obs`` and the ``REPRO_TRACE=1`` CLI epilogue print this::
+
+        parallel.forward 0.8123s samples=4096
+          parallel.task 0.0512s shard=0 pid=4242 queue_wait_s=0.0031
+          ...
+    """
+    dur = "  -  " if root.duration_s is None else f"{root.duration_s:.4f}s"
+    attrs = " ".join(
+        f"{key}={_fmt_attr(value)}" for key, value in sorted(root.attrs.items())
+    )
+    line = "  " * indent + f"{root.name} {dur}"
+    if root.pid != os.getpid():
+        line += f" pid={root.pid}"
+    if attrs:
+        line += f" {attrs}"
+    lines = [line]
+    for child in root.children:
+        lines.append(render_span_tree(child, indent + 1))
+    return "\n".join(lines)
+
+
+def _fmt_attr(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)

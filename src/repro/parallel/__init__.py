@@ -29,11 +29,13 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.parallel.pool import (
     PROCESSES_ENV,
     WorkerPool,
     default_processes,
     get_pool,
+    pool_stats,
     shutdown_pool,
 )
 from repro.parallel.shm import SEGMENT_PREFIX, attach_graph, publish_graph
@@ -48,6 +50,7 @@ __all__ = [
     "forward_shard_counts",
     "get_pool",
     "lineage_fallback",
+    "pool_stats",
     "publish_graph",
     "run_forward_shards",
     "shutdown_pool",
@@ -108,7 +111,11 @@ def run_forward_shards(
         (child, count) + tuple(rest)
         for child, count in zip(children, counts)
     ]
-    parts = get_pool(processes).map_shards(
-        task, graph, jobs, triggering=triggering
-    )
+    with obs.span(
+        "parallel.forward", task=task, samples=int(num_samples),
+        shards=len(counts),
+    ):
+        parts = get_pool(processes).map_shards(
+            task, graph, jobs, triggering=triggering
+        )
     return np.concatenate(parts)

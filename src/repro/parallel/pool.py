@@ -34,6 +34,7 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.parallel import tasks as _tasks
 from repro.parallel.shm import attach_graph, publish_graph
 
@@ -42,8 +43,24 @@ __all__ = [
     "WorkerPool",
     "default_processes",
     "get_pool",
+    "pool_stats",
     "shutdown_pool",
 ]
+
+_TASKS_DISPATCHED = obs.counter(
+    "repro_parallel_tasks_dispatched_total",
+    "Shard tasks executed by pool workers (not the in-process fallback)",
+    labels=("task",),
+)
+_POOL_RESTARTS = obs.counter(
+    "repro_parallel_pool_restarts_total",
+    "Worker-pool teardowns forced by a BrokenProcessPool crash recovery",
+)
+_DISPATCH_SECONDS = obs.histogram(
+    "repro_parallel_dispatch_seconds",
+    "Wall-clock of one map_shards dispatch (all shards, either backend)",
+    labels=("task",),
+)
 
 #: Environment override for the pool's worker count (0 = in-process).
 PROCESSES_ENV = "REPRO_PARALLEL_PROCESSES"
@@ -90,11 +107,17 @@ def _attached(spec: dict) -> tuple:
     return entry
 
 
-def _run_task(payload: Tuple[str, Optional[dict], tuple]):
-    """Pool entry point: resolve the task by name, attach, run."""
-    task_name, spec, args = payload
+def _run_task(payload: Tuple[str, Optional[dict], tuple, Optional[dict]]):
+    """Pool entry point: resolve the task by name, attach, run.
+
+    Returns ``(result, span_dict)``: ``span_dict`` is ``None`` unless the
+    parent shipped trace metadata, in which case it carries this shard's
+    wall-clock, queue wait, and worker pid for the parent to adopt.
+    """
+    task_name, spec, args, trace_meta = payload
     _, graph, trigger_csr = _attached(spec)
-    return _tasks.TASKS[task_name](graph, trigger_csr, *args)
+    fn = _tasks.TASKS[task_name]
+    return obs.record_remote(trace_meta, fn, graph, trigger_csr, *args)
 
 
 # ----------------------------------------------------------------------
@@ -120,6 +143,7 @@ class WorkerPool:
         self._segments: Dict[tuple, tuple] = {}
         self._trigger_csrs: Dict[tuple, object] = {}
         self._tasks_dispatched = 0
+        self._restarts = 0
 
     @property
     def processes(self) -> int:
@@ -134,6 +158,20 @@ class WorkerPool:
         multi-process measurement silently took the in-process fallback.
         """
         return self._tasks_dispatched
+
+    @property
+    def restarts(self) -> int:
+        """Crash recoveries: pool teardowns forced by BrokenProcessPool."""
+        return self._restarts
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for ``/v1/stats`` and ``repro obs``."""
+        return {
+            "processes": self._processes,
+            "tasks_dispatched": self._tasks_dispatched,
+            "restarts": self._restarts,
+            "segments": len(self._segments),
+        }
 
     @property
     def segment_names(self) -> List[str]:
@@ -204,28 +242,59 @@ class WorkerPool:
             return []
         if task not in _tasks.TASKS:
             raise ValueError(f"unknown shard task {task!r}")
+        with _DISPATCH_SECONDS.timer(task=task):
+            return self._map_shards_timed(task, graph, jobs, triggering)
+
+    def _map_shards_timed(self, task, graph, jobs, triggering) -> List:
         trigger_csr = self._trigger_csr_for(graph, triggering)
         if self._processes <= 1 or len(jobs) == 1:
             fn = _tasks.TASKS[task]
-            return [fn(graph, trigger_csr, *job) for job in jobs]
+            results = []
+            for index, job in enumerate(jobs):
+                with obs.span(
+                    "parallel.task", task=task, shard=index, mode="inline"
+                ):
+                    results.append(fn(graph, trigger_csr, *job))
+            return results
+
+        def _payloads(spec):
+            return [
+                (
+                    task,
+                    spec,
+                    tuple(job),
+                    obs.remote_span_payload(
+                        "parallel.task", task=task, shard=index, mode="pool"
+                    ),
+                )
+                for index, job in enumerate(jobs)
+            ]
+
         spec = self._publish(graph, trigger_csr)
-        payloads = [(task, spec, tuple(job)) for job in jobs]
         try:
-            results = self._submit(payloads)
+            shipped = self._submit(_payloads(spec))
         except BrokenProcessPool:
             # A worker died mid-flight.  Tear everything down (unlinking
             # the segments — no /dev/shm leak survives a crash), then
             # retry once on a fresh pool; a second failure propagates,
             # again leaving nothing behind in /dev/shm.
             self.reset()
+            self._restarts += 1
+            _POOL_RESTARTS.inc()
             spec = self._publish(graph, trigger_csr)
-            payloads = [(task, spec, tuple(job)) for job in jobs]
             try:
-                results = self._submit(payloads)
+                shipped = self._submit(_payloads(spec))
             except BrokenProcessPool:
                 self.reset()
+                self._restarts += 1
+                _POOL_RESTARTS.inc()
                 raise
-        self._tasks_dispatched += len(payloads)
+        self._tasks_dispatched += len(jobs)
+        _TASKS_DISPATCHED.inc(len(jobs), task=task)
+        results = []
+        for result, span_dict in shipped:
+            obs.adopt(span_dict)
+            results.append(result)
         return results
 
     def _submit(self, payloads) -> List:
@@ -283,6 +352,26 @@ def get_pool(processes: Optional[int] = None) -> WorkerPool:
     elif processes is not None:
         _POOL.reconfigure(processes)
     return _POOL
+
+
+def pool_stats() -> Dict[str, int]:
+    """Stats of the process-wide pool without forcing its creation.
+
+    All-zero counters (and ``active: 0``) when no pool exists — the
+    serving stats endpoint reports this on processes that never ran a
+    pooled dispatch.
+    """
+    if _POOL is None:
+        return {
+            "active": 0,
+            "processes": 0,
+            "tasks_dispatched": 0,
+            "restarts": 0,
+            "segments": 0,
+        }
+    stats: Dict[str, int] = {"active": 1}
+    stats.update(_POOL.stats())
+    return stats
 
 
 def shutdown_pool() -> None:

@@ -31,7 +31,14 @@ from typing import List, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.rrset.rrgen import RRCollection, build_inverted_index
+
+_SELECTION_SECONDS = obs.histogram(
+    "repro_engine_phase_seconds",
+    "Wall-clock of engine phases (sampling, selection, kpt, forward)",
+    labels=("phase",),
+)
 
 
 def _greedy_rounds(
@@ -129,11 +136,14 @@ def node_selection(
         # Degenerate but well-defined: arbitrary (lowest-id) seeds, coverage 0.
         return list(range(k)), 0.0
 
-    members, offsets, idx_sets, idx_indptr = collection.selection_arrays()
-    gains = collection.cover_counts.astype(np.int64).copy()
-    seeds, covered_total = _greedy_rounds(
-        n, members, offsets, idx_sets, idx_indptr, gains, k
-    )
+    with obs.span(
+        "rrset.node_selection", k=int(k), num_sets=int(num_sets)
+    ), _SELECTION_SECONDS.timer(phase="selection"):
+        members, offsets, idx_sets, idx_indptr = collection.selection_arrays()
+        gains = collection.cover_counts.astype(np.int64).copy()
+        seeds, covered_total = _greedy_rounds(
+            n, members, offsets, idx_sets, idx_indptr, gains, k
+        )
     return seeds, covered_total / num_sets
 
 

@@ -25,6 +25,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.engine import ensure_context
 from repro.graph.digraph import InfluenceGraph
 from repro.rrset.bounds import SampleBounds, adjusted_ell, ell_prime_for
@@ -149,46 +150,55 @@ def prima(
     theta_final = 0.0
     imax = bounds.max_search_level
 
-    while i <= imax and s < len(distinct_budgets):
-        k = min(distinct_budgets[s], n)
-        x = n / (2.0**i)
-        theta_i = bounds.lambda_prime(k) / x
-        collection.extend_to(int(math.ceil(theta_i)))
-        if budget_switch and last_selection is not None:
-            seeds_k = last_selection[:k]
-            frac = collection.coverage_fraction(seeds_k)
-        else:
-            seeds_k, frac = node_selection(collection, k)
-            last_selection = seeds_k
-        if n * frac >= (1.0 + eps_prime) * x:
-            lb = n * frac / (1.0 + eps_prime)
-            lower_bounds.append(lb)
-            theta_k = bounds.lambda_star(k) / lb
-            collection.extend_to(int(math.ceil(theta_k)))
-            theta_final = max(theta_final, theta_k)
-            s += 1
-            budget_switch = True
-        else:
-            i += 1
-            budget_switch = False
+    with obs.span(
+        "rrset.prima", budgets=len(sorted_budgets), b_max=int(b_max),
+        backend=ctx.backend,
+    ):
+        with obs.span("rrset.prima.search"):
+            while i <= imax and s < len(distinct_budgets):
+                k = min(distinct_budgets[s], n)
+                x = n / (2.0**i)
+                theta_i = bounds.lambda_prime(k) / x
+                collection.extend_to(int(math.ceil(theta_i)))
+                if budget_switch and last_selection is not None:
+                    seeds_k = last_selection[:k]
+                    frac = collection.coverage_fraction(seeds_k)
+                else:
+                    seeds_k, frac = node_selection(collection, k)
+                    last_selection = seeds_k
+                if n * frac >= (1.0 + eps_prime) * x:
+                    lb = n * frac / (1.0 + eps_prime)
+                    lower_bounds.append(lb)
+                    theta_k = bounds.lambda_star(k) / lb
+                    collection.extend_to(int(math.ceil(theta_k)))
+                    theta_final = max(theta_final, theta_k)
+                    s += 1
+                    budget_switch = True
+                else:
+                    i += 1
+                    budget_switch = False
 
-    if s < len(distinct_budgets):
-        # Geometric search exhausted with budgets remaining: fall back to the
-        # most conservative lower bound LB = 1 for the current (largest
-        # remaining λ*) budget; this dominates all remaining budgets since
-        # budgets are sorted non-increasing and λ*_k is monotone in k.
-        k = min(distinct_budgets[s], n)
-        theta_k = bounds.lambda_star(k) / 1.0
-        theta_final = max(theta_final, theta_k)
-        lower_bounds.extend([1.0] * (len(distinct_budgets) - s))
+            if s < len(distinct_budgets):
+                # Geometric search exhausted with budgets remaining: fall
+                # back to the most conservative lower bound LB = 1 for the
+                # current (largest remaining λ*) budget; this dominates all
+                # remaining budgets since budgets are sorted non-increasing
+                # and λ*_k is monotone in k.
+                k = min(distinct_budgets[s], n)
+                theta_k = bounds.lambda_star(k) / 1.0
+                theta_final = max(theta_final, theta_k)
+                lower_bounds.extend([1.0] * (len(distinct_budgets) - s))
 
-    search_count = collection.num_sets
+        search_count = collection.num_sets
 
-    # Chen-2018 fix: the final NodeSelection must run on RR sets that were
-    # *not* used to determine θ — regenerate the whole collection.
-    collection.reset()
-    collection.extend_to(int(math.ceil(theta_final)))
-    final_seeds, final_frac = node_selection(collection, b_max)
+        # Chen-2018 fix: the final NodeSelection must run on RR sets that
+        # were *not* used to determine θ — regenerate the whole collection.
+        with obs.span(
+            "rrset.prima.final", theta=int(math.ceil(theta_final))
+        ):
+            collection.reset()
+            collection.extend_to(int(math.ceil(theta_final)))
+            final_seeds, final_frac = node_selection(collection, b_max)
 
     return PRIMAResult(
         seeds=tuple(final_seeds),

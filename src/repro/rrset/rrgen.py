@@ -35,6 +35,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.diffusion.triggering import (
     TriggeringModel,
     needs_trigger_csr,
@@ -46,6 +47,17 @@ from repro.rrset.batch import (
     batch_generate_rr_sets,
     build_trigger_csr,
     supports_batched,
+)
+
+_RR_SETS_GENERATED = obs.counter(
+    "repro_rrset_generated_total",
+    "RR sets sampled into collections, by sampling backend",
+    labels=("backend",),
+)
+_PHASE_SECONDS = obs.histogram(
+    "repro_engine_phase_seconds",
+    "Wall-clock of engine phases (sampling, selection, kpt, forward)",
+    labels=("phase",),
 )
 
 
@@ -334,34 +346,43 @@ class RRCollection:
         """Generate ``count`` additional RR sets with the active backend."""
         if count <= 0:
             return
-        if is_batched(self._backend) and supports_batched(
+        batched = is_batched(self._backend) and supports_batched(
             self._triggering
-        ):
-            if self._trigger_csr is None and needs_trigger_csr(
-                self._triggering
-            ):
-                self._trigger_csr = build_trigger_csr(
-                    self._graph, self._triggering
+        )
+        with obs.span(
+            "rrset.generate",
+            count=int(count),
+            backend="batched" if batched else "sequential",
+        ), _PHASE_SECONDS.timer(phase="sampling"):
+            if batched:
+                if self._trigger_csr is None and needs_trigger_csr(
+                    self._triggering
+                ):
+                    self._trigger_csr = build_trigger_csr(
+                        self._graph, self._triggering
+                    )
+                members, lengths = batch_generate_rr_sets(
+                    self._graph,
+                    self._rng,
+                    count,
+                    triggering=self._triggering,
+                    trigger_csr=self._trigger_csr,
                 )
-            members, lengths = batch_generate_rr_sets(
-                self._graph,
-                self._rng,
-                count,
-                triggering=self._triggering,
-                trigger_csr=self._trigger_csr,
-            )
-        else:
-            sets = [
-                generate_rr_set(
-                    self._graph, self._rng, triggering=self._triggering
+            else:
+                sets = [
+                    generate_rr_set(
+                        self._graph, self._rng, triggering=self._triggering
+                    )
+                    for _ in range(count)
+                ]
+                members = np.concatenate(sets)
+                lengths = np.fromiter(
+                    (rr.shape[0] for rr in sets), dtype=np.int64, count=count
                 )
-                for _ in range(count)
-            ]
-            members = np.concatenate(sets)
-            lengths = np.fromiter(
-                (rr.shape[0] for rr in sets), dtype=np.int64, count=count
-            )
-        self._append_flat(members, lengths)
+            self._append_flat(members, lengths)
+        _RR_SETS_GENERATED.inc(
+            count, backend="batched" if batched else "sequential"
+        )
 
     def add_sets(self, sets: Sequence[Sequence[int]]) -> None:
         """Bulk-insert explicit RR sets (tests and ad-hoc collections).

@@ -9,7 +9,7 @@ tests a second, independently-constructed prefix-preserving ordering to
 compare PRIMA against.
 
 This is a faithful-role implementation of the combined-reachability design
-(DESIGN.md §10 conventions):
+(DESIGN.md §11 conventions):
 
 * sample ``ℓ`` live-edge instances; the universe is the pair set
   ``{(instance, node)}`` and a seed set's *coverage* is the number of pairs

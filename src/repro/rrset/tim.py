@@ -19,6 +19,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.engine import ensure_context, is_batched
 from repro.graph.digraph import InfluenceGraph
 from repro.rrset.batch import (
@@ -31,6 +32,12 @@ from repro.diffusion.triggering import needs_trigger_csr
 from repro.rrset.bounds import log_binomial
 from repro.rrset.node_selection import node_selection
 from repro.rrset.rrgen import RRCollection, generate_rr_set
+
+_KPT_SECONDS = obs.histogram(
+    "repro_engine_phase_seconds",
+    "Wall-clock of engine phases (sampling, selection, kpt, forward)",
+    labels=("phase",),
+)
 
 
 @dataclass(frozen=True)
@@ -154,20 +161,22 @@ def tim(
         )
     if ctx.triggering is not None:
         ctx.triggering.validate(graph)
-    kpt, kpt_sets = _kpt_estimation(
-        graph, k, ell, ctx.rng, backend=ctx.backend,
-        triggering=ctx.triggering,
-    )
-    lam = (
-        (8.0 + 2.0 * epsilon)
-        * n
-        * (ell * math.log(n) + log_binomial(n, k) + math.log(2.0))
-        / (epsilon * epsilon)
-    )
-    theta = int(math.ceil(lam / max(kpt, 1.0)))
-    collection = RRCollection(graph, ctx=ctx)
-    collection.extend_to(theta)
-    seeds, frac = node_selection(collection, k)
+    with obs.span("rrset.tim", k=int(k), backend=ctx.backend):
+        with obs.span("rrset.kpt"), _KPT_SECONDS.timer(phase="kpt"):
+            kpt, kpt_sets = _kpt_estimation(
+                graph, k, ell, ctx.rng, backend=ctx.backend,
+                triggering=ctx.triggering,
+            )
+        lam = (
+            (8.0 + 2.0 * epsilon)
+            * n
+            * (ell * math.log(n) + log_binomial(n, k) + math.log(2.0))
+            / (epsilon * epsilon)
+        )
+        theta = int(math.ceil(lam / max(kpt, 1.0)))
+        collection = RRCollection(graph, ctx=ctx)
+        collection.extend_to(theta)
+        seeds, frac = node_selection(collection, k)
     return TIMResult(
         seeds=tuple(seeds),
         num_rr_sets=collection.num_sets + kpt_sets,

@@ -12,7 +12,11 @@ Endpoints (JSON in/out; DESIGN.md §8):
 * ``POST /v1/stores/{key}/reload`` — hot-swap after ``extend_store``:
   the replacement file goes live atomically, fingerprint-checked
   against the pin; in-flight queries finish on the old snapshot.
-* ``GET /v1/stats`` — router + batcher + server counters.
+* ``GET /v1/stats`` — router + batcher + pool + server counters, plus a
+  compact snapshot of the process metrics registry.
+* ``GET /v1/metrics`` — the full registry in Prometheus text exposition
+  format (request-latency histograms per endpoint, coalesced batch
+  sizes, LRU hit/miss, hot-swaps, response classes; DESIGN.md §9).
 
 Error mapping is uniform: unknown key → 404, bad parameters → 400,
 fingerprint/format refusals → 409, closed router → 503.
@@ -29,10 +33,39 @@ import asyncio
 import threading
 from typing import Callable, Dict, Optional, Tuple
 
+from repro import obs
 from repro.serving.coalesce import SpreadBatcher
-from repro.serving.http import HttpServer, Request
+from repro.serving.http import HttpServer, Request, TextResponse
 from repro.serving.router import RouterClosedError, StoreRouter
 from repro.store.sketch_store import SketchStoreError, StaleStoreError
+
+_REQUEST_SECONDS = obs.histogram(
+    "repro_serving_request_seconds",
+    "Request latency by endpoint template",
+    labels=("endpoint",),
+)
+_RESPONSES = obs.counter(
+    "repro_serving_responses_total",
+    "Responses by endpoint template and status class",
+    labels=("endpoint", "class"),
+)
+
+
+def _endpoint_template(request: Request) -> str:
+    """Collapse a request path to a bounded-cardinality endpoint label."""
+    path = request.path
+    if path == "/healthz":
+        return "healthz"
+    if path in ("/v1/stores", "/v1/stats", "/v1/metrics"):
+        return path.rsplit("/", 1)[-1]
+    parts = [p for p in path.split("/") if p]
+    if len(parts) >= 3 and parts[:2] == ["v1", "stores"]:
+        rest = parts[3:]
+        if not rest:
+            return "store_meta"
+        if rest in (["seeds"], ["spread"], ["reload"]):
+            return rest[0]
+    return "other"
 
 
 class ServingApp:
@@ -127,16 +160,22 @@ class ServingApp:
     # Dispatch
     # ------------------------------------------------------------------
     async def _dispatch(self, request: Request) -> Tuple[int, object]:
-        try:
-            return await self._route(request)
-        except KeyError as exc:
-            return 404, {"error": str(exc.args[0]) if exc.args else "not found"}
-        except (ValueError, IndexError) as exc:
-            return 400, {"error": str(exc)}
-        except (StaleStoreError, SketchStoreError) as exc:
-            return 409, {"error": str(exc)}
-        except RouterClosedError as exc:
-            return 503, {"error": str(exc)}
+        endpoint = _endpoint_template(request)
+        with _REQUEST_SECONDS.timer(endpoint=endpoint):
+            try:
+                status, payload = await self._route(request)
+            except KeyError as exc:
+                status, payload = 404, {
+                    "error": str(exc.args[0]) if exc.args else "not found"
+                }
+            except (ValueError, IndexError) as exc:
+                status, payload = 400, {"error": str(exc)}
+            except (StaleStoreError, SketchStoreError) as exc:
+                status, payload = 409, {"error": str(exc)}
+            except RouterClosedError as exc:
+                status, payload = 503, {"error": str(exc)}
+        _RESPONSES.inc(endpoint=endpoint, **{"class": f"{status // 100}xx"})
+        return status, payload
 
     async def _route(self, request: Request) -> Tuple[int, object]:
         path, method = request.path, request.method
@@ -146,6 +185,8 @@ class ServingApp:
             return 200, {"stores": self.router.describe()}
         if path == "/v1/stats" and method == "GET":
             return 200, self._stats()
+        if path == "/v1/metrics" and method == "GET":
+            return 200, TextResponse(obs.render_prometheus())
         parts = [p for p in path.split("/") if p]
         if len(parts) >= 3 and parts[:2] == ["v1", "stores"]:
             key = parts[2]
@@ -244,6 +285,8 @@ class ServingApp:
         return batcher
 
     def _stats(self) -> Dict[str, object]:
+        from repro.parallel import pool_stats
+
         return {
             "router": self.router.stats(),
             "requests": self._server.requests_served,
@@ -251,4 +294,6 @@ class ServingApp:
                 key: batcher.stats()
                 for key, batcher in sorted(self._batchers.items())
             },
+            "pool": pool_stats(),
+            "metrics": obs.REGISTRY.snapshot(),
         }

@@ -38,9 +38,9 @@ class ServingClient:
     def __exit__(self, *exc) -> None:
         self.close()
 
-    def _request(
+    def _raw_request(
         self, method: str, path: str, body: Optional[bytes] = None
-    ) -> dict:
+    ):
         try:
             self._conn.request(method, path, body=body)
             response = self._conn.getresponse()
@@ -57,6 +57,12 @@ class ServingClient:
             self._conn.request(method, path, body=body)
             response = self._conn.getresponse()
             payload = response.read()
+        return response, payload
+
+    def _request(
+        self, method: str, path: str, body: Optional[bytes] = None
+    ) -> dict:
+        response, payload = self._raw_request(method, path, body=body)
         data = json.loads(payload.decode())
         if not 200 <= response.status < 300:
             raise ServingError(
@@ -97,3 +103,11 @@ class ServingClient:
 
     def stats(self) -> Dict[str, object]:
         return self._request("GET", "/v1/stats")
+
+    def metrics_text(self) -> str:
+        """Raw Prometheus exposition text from ``GET /v1/metrics``."""
+        response, payload = self._raw_request("GET", "/v1/metrics")
+        text = payload.decode()
+        if not 200 <= response.status < 300:
+            raise ServingError(response.status, text)
+        return text

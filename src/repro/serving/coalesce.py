@@ -30,8 +30,16 @@ from __future__ import annotations
 import asyncio
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro import obs
+
 #: compute(seed_sets) -> one fraction per seed set, on one store snapshot.
 BatchCompute = Callable[[Sequence[Sequence[int]]], List[float]]
+
+_BATCH_SIZE = obs.histogram(
+    "repro_serving_batch_size",
+    "Coalesced spread-batch sizes (1 = a query that found no company)",
+    buckets=obs.SIZE_BUCKETS,
+)
 
 
 class SpreadBatcher:
@@ -93,6 +101,7 @@ class SpreadBatcher:
         if not self._enabled:
             self.batches += 1
             self.largest_batch = max(self.largest_batch, 1)
+            _BATCH_SIZE.observe(1)
             return self._compute_one(seeds)
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
@@ -147,6 +156,7 @@ class SpreadBatcher:
             return
         self.batches += 1
         self.largest_batch = max(self.largest_batch, len(batch))
+        _BATCH_SIZE.observe(len(batch))
         if len(batch) > 1:
             self.coalesced += len(batch)
         try:

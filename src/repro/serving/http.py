@@ -1,7 +1,7 @@
 """A minimal asyncio HTTP/1.1 server — stdlib only, JSON in and out.
 
 The serving layer deliberately avoids new runtime dependencies (the
-container bakes numpy and the standard library; DESIGN.md §11), so this
+container bakes numpy and the standard library; DESIGN.md §12), so this
 module hand-rolls the thin slice of HTTP the oracle endpoints need:
 request line + headers + optional ``Content-Length`` body in, one JSON
 document out, persistent connections.  It is not a general web server —
@@ -45,17 +45,34 @@ class Request:
     body: bytes = b""
 
 
+@dataclass
+class TextResponse:
+    """A plain-text payload; everything else the server emits is JSON.
+
+    The one consumer is ``GET /v1/metrics``: Prometheus scrapers expect
+    text exposition format 0.0.4, not JSON.
+    """
+
+    text: str
+    content_type: str = "text/plain; version=0.0.4; charset=utf-8"
+
+
 #: An endpoint implementation: request -> (status, JSON-able payload).
 Handler = Callable[[Request], Awaitable[Tuple[int, object]]]
 
 
 def encode_response(status: int, payload: object) -> bytes:
-    """One complete HTTP/1.1 response frame with a JSON body."""
-    body = json.dumps(payload).encode()
+    """One complete HTTP/1.1 response frame (JSON, or explicit text)."""
+    if isinstance(payload, TextResponse):
+        body = payload.text.encode()
+        content_type = payload.content_type
+    else:
+        body = json.dumps(payload).encode()
+        content_type = "application/json"
     reason = _REASONS.get(status, "Unknown")
     head = (
         f"HTTP/1.1 {status} {reason}\r\n"
-        f"Content-Type: application/json\r\n"
+        f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
         f"\r\n"
     )

@@ -33,6 +33,7 @@ import threading
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.store.service import OracleService
 from repro.store.sketch_store import (
     SketchStore,
@@ -44,6 +45,24 @@ PathLike = Union[str, Path]
 
 #: File suffix the root scan recognizes as a sketch-store artifact.
 STORE_SUFFIX = ".sketch"
+
+_LRU_ACQUIRES = obs.counter(
+    "repro_serving_lru_acquires_total",
+    "Store acquisitions by LRU outcome (hit: already open; miss: opened)",
+    labels=("result",),
+)
+_STORE_OPENS = obs.counter(
+    "repro_serving_store_opens_total",
+    "Sketch-store opens performed by the router (first open or re-open)",
+)
+_HOT_SWAPS = obs.counter(
+    "repro_serving_hot_swaps_total",
+    "Atomic hot-swaps of a served store key",
+)
+_EVICTIONS = obs.counter(
+    "repro_serving_evictions_total",
+    "LRU evictions of open store handles",
+)
 
 
 class RouterClosedError(RuntimeError):
@@ -111,6 +130,8 @@ class StoreRouter:
         self.swaps = 0
         self.evictions = 0
         self.opens = 0
+        self.hits = 0
+        self.misses = 0
 
     # ------------------------------------------------------------------
     # Registry
@@ -179,8 +200,12 @@ class StoreRouter:
             self._require_open_router()
             handle = self._open.get(key)
             if handle is None:
+                self.misses += 1
+                _LRU_ACQUIRES.inc(result="miss")
                 handle = self._open_locked(key)
             else:
+                self.hits += 1
+                _LRU_ACQUIRES.inc(result="hit")
                 # Refresh LRU recency: move to the tail.
                 self._open.pop(key)
                 self._open[key] = handle
@@ -238,12 +263,14 @@ class StoreRouter:
         self._pins[key] = store.fingerprint
         self._generation += 1
         self.opens += 1
+        _STORE_OPENS.inc()
         handle = StoreHandle(key, path, store, self._generation)
         self._open[key] = handle
         while len(self._open) > self._max_open:
             lru_key = next(iter(self._open))
             self._retire_locked(self._open.pop(lru_key))
             self.evictions += 1
+            _EVICTIONS.inc()
         return handle
 
     def _retire_locked(self, handle: StoreHandle) -> None:
@@ -277,6 +304,7 @@ class StoreRouter:
             if old is not None:
                 self._retire_locked(old)
             self.swaps += 1
+            _HOT_SWAPS.inc()
             return handle
 
     def close(self) -> Dict[str, int]:
@@ -308,6 +336,8 @@ class StoreRouter:
                 "opens": self.opens,
                 "swaps": self.swaps,
                 "evictions": self.evictions,
+                "hits": self.hits,
+                "misses": self.misses,
             }
 
     def __iter__(self) -> Iterator[str]:

@@ -40,10 +40,12 @@ naming the ``ctx=`` replacement.
 
 from __future__ import annotations
 
+import functools
 from typing import List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.engine import EngineContext
 from repro.engine.context import reject_legacy_kwarg
 from repro.graph.digraph import InfluenceGraph
@@ -57,6 +59,29 @@ from repro.rrset.rrgen import (
 )
 from repro.store.format import INDEX_DTYPE, WORLDS_DTYPE
 from repro.store.sketch_store import SketchStore, SketchStoreError
+
+
+_BUILD_SECONDS = obs.histogram(
+    "repro_store_build_seconds",
+    "Wall-clock of store construction and extension entry points",
+    labels=("builder",),
+)
+
+
+def _timed_builder(name: str):
+    """Bracket a builder entry point with its phase timer and span."""
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with _BUILD_SECONDS.timer(builder=name), obs.span(
+                "store.build", builder=name
+            ):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
 
 
 def _triggering_name(triggering) -> Optional[str]:
@@ -114,6 +139,7 @@ def _builder_context(
     return EngineContext.create(seed=0, triggering=triggering)
 
 
+@_timed_builder("build_store")
 def build_store(
     graph: InfluenceGraph,
     max_budget: int,
@@ -150,6 +176,7 @@ def build_store(
     return oracle.to_store()
 
 
+@_timed_builder("build_sharded")
 def build_sharded(
     graph: InfluenceGraph,
     max_budget: int,
@@ -295,6 +322,7 @@ def _comic_meta(model, state, select_item, fixed_seeds, extra) -> dict:
     return meta
 
 
+@_timed_builder("build_comic_store")
 def build_comic_store(
     graph: InfluenceGraph,
     model,
@@ -501,6 +529,7 @@ def _extend_comic(
     )
 
 
+@_timed_builder("extend_store")
 def extend_store(
     store: SketchStore,
     graph: InfluenceGraph,

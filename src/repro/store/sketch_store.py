@@ -48,6 +48,7 @@ from typing import Dict, Optional, Union
 
 import numpy as np
 
+from repro import obs
 from repro.graph.digraph import InfluenceGraph
 from repro.graph.io import graph_fingerprint
 from repro.store.format import (
@@ -63,6 +64,23 @@ from repro.store.format import (
 )
 
 PathLike = Union[str, Path]
+
+_STORE_IO_SECONDS = obs.histogram(
+    "repro_store_io_seconds",
+    "Wall-clock of store serialization operations",
+    labels=("op",),
+)
+_STORE_MMAP_BYTES = obs.counter(
+    "repro_store_mmap_bytes_total",
+    "Bytes memory-mapped (or materialized) by store loads",
+    labels=("mode",),
+)
+_STORE_FPRINT_CHECKS = obs.counter(
+    "repro_store_fingerprint_checks_total",
+    "Graph-fingerprint verifications against loaded stores",
+    labels=("result",),
+)
+
 
 class SketchStoreError(RuntimeError):
     """A sketch-store file is malformed, truncated, or unsupported."""
@@ -213,6 +231,9 @@ class SketchStore:
     def verify_graph(self, graph: InfluenceGraph) -> None:
         """Raise :class:`StaleStoreError` unless built from ``graph``."""
         actual = graph_fingerprint(graph)
+        _STORE_FPRINT_CHECKS.inc(
+            result="ok" if actual == self.fingerprint else "stale"
+        )
         if actual != self.fingerprint:
             raise StaleStoreError(
                 f"store was built from a graph with fingerprint "
@@ -296,7 +317,9 @@ class SketchStore:
         data_start = align_up(16 + len(blob))
         path = Path(path)
         tmp_path = path.with_name(path.name + ".tmp")
-        with open(tmp_path, "wb") as f:
+        with _STORE_IO_SECONDS.timer(op="save"), obs.span(
+            "store.save", num_sets=self.num_sets
+        ), open(tmp_path, "wb") as f:
             f.write(MAGIC)
             f.write(np.array([len(blob)], dtype=HEADER_LEN_DTYPE).tobytes())
             f.write(blob)
@@ -363,28 +386,39 @@ class SketchStore:
 
         data_start = align_up(16 + header_len)
         arrays: Dict[str, np.ndarray] = {}
-        for name in wanted:
-            spec = table[name]
-            dtype = np.dtype(spec["dtype"])
-            shape = tuple(int(s) for s in spec["shape"])
-            offset = data_start + int(spec["offset"])
-            nbytes = dtype.itemsize * int(np.prod(shape, dtype=INDEX_DTYPE))
-            if offset < data_start or offset + nbytes > file_size:
-                raise SketchStoreError(
-                    f"{path}: truncated data section (array {name!r} "
-                    f"extends past end of file)"
+        mapped_bytes = 0
+        with _STORE_IO_SECONDS.timer(op="load"), obs.span(
+            "store.load", mmap=bool(mmap)
+        ):
+            for name in wanted:
+                spec = table[name]
+                dtype = np.dtype(spec["dtype"])
+                shape = tuple(int(s) for s in spec["shape"])
+                offset = data_start + int(spec["offset"])
+                nbytes = dtype.itemsize * int(
+                    np.prod(shape, dtype=INDEX_DTYPE)
                 )
-            if mmap and nbytes > 0:
-                arr = np.memmap(
-                    path, dtype=dtype, mode="r", offset=offset, shape=shape
-                )
-            else:
-                with open(path, "rb") as f:
-                    f.seek(offset)
-                    arr = np.frombuffer(
-                        f.read(nbytes), dtype=dtype
-                    ).reshape(shape)
-            arrays[name] = arr
+                if offset < data_start or offset + nbytes > file_size:
+                    raise SketchStoreError(
+                        f"{path}: truncated data section (array {name!r} "
+                        f"extends past end of file)"
+                    )
+                if mmap and nbytes > 0:
+                    arr = np.memmap(
+                        path, dtype=dtype, mode="r", offset=offset,
+                        shape=shape,
+                    )
+                else:
+                    with open(path, "rb") as f:
+                        f.seek(offset)
+                        arr = np.frombuffer(
+                            f.read(nbytes), dtype=dtype
+                        ).reshape(shape)
+                arrays[name] = arr
+                mapped_bytes += nbytes
+        _STORE_MMAP_BYTES.inc(
+            mapped_bytes, mode="mmap" if mmap else "ram"
+        )
 
         store = cls(
             fingerprint=str(meta.get("fingerprint", "")),

@@ -1,0 +1,12 @@
+"""RL008 fixture: raw clocks and prints in engine code."""
+
+import time
+from time import perf_counter as pc
+
+
+def leaky_phase(rows):
+    start = time.perf_counter()  # line 8: attribute clock
+    stamp = time.time()  # line 9: attribute clock
+    print("phase done")  # line 10: raw print
+    elapsed = pc() - start  # line 11: aliased from-import clock
+    return stamp, elapsed, rows

@@ -1,0 +1,14 @@
+"""RL008 fixture: timing and output through repro.obs — lints clean."""
+
+from repro import obs
+
+_PHASE = obs.histogram("repro_fixture_phase_seconds", labels=("phase",))
+
+
+def disciplined_phase(rows, sink):
+    with _PHASE.timer(phase="demo"), obs.span("fixture.demo"):
+        total = sum(rows)
+    with obs.stopwatch(sink):
+        squared = total * total
+    obs.emit(f"total={total}")
+    return squared

@@ -112,3 +112,32 @@ class TestLintSubcommand:
     def test_in_process_dispatch(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         assert "RL003" in capsys.readouterr().out
+
+
+class TestObsSubcommand:
+    def test_catalogue_is_valid_prometheus(self, capsys):
+        from repro import obs
+
+        assert main(["obs"]) == 0
+        out = capsys.readouterr().out
+        obs.parse_prometheus(out)  # raises on malformed text
+        assert "# TYPE repro_serving_request_seconds histogram" in out
+        assert "# TYPE repro_parallel_pool_restarts_total counter" in out
+        assert "# TYPE repro_engine_phase_seconds histogram" in out
+
+    def test_scrape_rejects_bad_address(self):
+        with pytest.raises(SystemExit, match="HOST:PORT"):
+            main(["obs", "--scrape", "nonsense"])
+
+    def test_trace_epilogue_prints_span_tree(self, capsys):
+        from repro import obs
+
+        obs.enable_tracing()
+        try:
+            assert main(["table6", "--total", "25", "--scale", "0.01"]) == 0
+        finally:
+            obs.disable_tracing()
+        out = capsys.readouterr().out
+        assert "bundleGRD" in out  # the table still prints first
+        assert "rrset.prima" in out  # then the span trees
+        assert "rrset.generate" in out

@@ -38,8 +38,10 @@ def ids_for(root, rel):
 class TestRL001Determinism:
     def test_bad_fixture_trips(self):
         findings = sorted(lint_file(BAD / "src/repro/diffusion/rl001_bad.py", BAD))
-        assert [d.rule_id for d in findings] == ["RL001"] * 5
-        assert [d.line for d in findings] == [3, 10, 11, 12, 13]
+        # Line 13's wall-clock RNG seed violates both the determinism
+        # contract (RL001) and the obs clock discipline (RL008).
+        assert [d.rule_id for d in findings] == ["RL001"] * 5 + ["RL008"]
+        assert [d.line for d in findings] == [3, 10, 11, 12, 13, 13]
 
     def test_good_fixture_clean(self):
         assert ids_for(GOOD, "src/repro/diffusion/rl001_good.py") == []
@@ -134,6 +136,29 @@ class TestRL007NoSleep:
         assert not rule.scope("src/repro/serving/coalesce.py")
 
 
+class TestRL008ObsDiscipline:
+    def test_bad_fixture_trips(self):
+        findings = sorted(lint_file(BAD / "src/repro/diffusion/rl008_bad.py", BAD))
+        assert [d.rule_id for d in findings] == ["RL008"] * 4
+        assert [d.line for d in findings] == [8, 9, 10, 11]
+        messages = " | ".join(d.message for d in findings)
+        assert "obs.emit" in messages
+        assert "obs.stopwatch" in messages
+
+    def test_good_fixture_clean(self):
+        assert ids_for(GOOD, "src/repro/diffusion/rl008_good.py") == []
+
+    def test_scope_exempts_obs_and_cli(self):
+        rule = RULES["RL008"]
+        assert rule.scope("src/repro/diffusion/welfare.py")
+        assert rule.scope("src/repro/serving/app.py")
+        assert not rule.scope("src/repro/obs/metrics.py")
+        assert not rule.scope("src/repro/cli.py")
+        assert not rule.scope("src/repro/lint/cli.py")
+        assert not rule.scope("tests/test_obs.py")
+        assert not rule.scope("benchmarks/bench_oracle_serving.py")
+
+
 class TestSuppressions:
     def test_reasonless_suppression_silences_rule_but_flags_rl000(self):
         findings = lint_file(BAD / "src/repro/diffusion/rl000_reasonless.py", BAD)
@@ -183,6 +208,7 @@ class TestEngine:
             "RL005",
             "RL006",
             "RL007",
+            "RL008",
             "RL999",
         }
 
@@ -209,6 +235,7 @@ class TestEngine:
             "RL005",
             "RL006",
             "RL007",
+            "RL008",
         }
 
     def test_diagnostic_render(self):
@@ -269,6 +296,7 @@ class TestCli:
             "RL005",
             "RL006",
             "RL007",
+            "RL008",
         ):
             assert rule_id in out
 

@@ -33,6 +33,7 @@ from repro.parallel import (
     SEGMENT_PREFIX,
     forward_shard_counts,
     get_pool,
+    pool_stats,
     publish_graph,
     attach_graph,
     shutdown_pool,
@@ -200,6 +201,7 @@ class TestLeaks:
 class TestCrashRecovery:
     def test_pool_restarts_after_killed_worker(self, graph):
         pool = get_pool(2)
+        assert pool.restarts == 0
         with pytest.raises(Exception):
             pool.map_shards(
                 "_kill_worker",
@@ -211,11 +213,28 @@ class TestCrashRecovery:
         jobs = [(np.random.SeedSequence(4), 60, None, "batched")]
         jobs.append((np.random.SeedSequence(5), 60, None, "batched"))
         recovered = pool.map_shards("rr_shard", graph, jobs)
+        # The crash is visible in the recovery counter and pool stats
+        # (and from there in /v1/stats and the metrics registry).
+        assert pool.restarts >= 1
+        stats = pool.stats()
+        assert stats["restarts"] == pool.restarts
+        assert stats["tasks_dispatched"] == pool.tasks_dispatched
+        assert pool_stats()["active"] == 1
+        assert pool_stats()["restarts"] == pool.restarts
         pool.reconfigure(0)
         serial = pool.map_shards("rr_shard", graph, jobs)
         for (m1, w1), (m2, w2) in zip(recovered, serial):
             assert np.array_equal(m1, m2)
             assert np.array_equal(w1, w2)
+
+    def test_pool_stats_inactive_shape(self):
+        assert pool_stats() == {
+            "active": 0,
+            "processes": 0,
+            "tasks_dispatched": 0,
+            "restarts": 0,
+            "segments": 0,
+        }
 
 
 class TestBackendWiring:

@@ -570,6 +570,90 @@ class TestServingApp:
         assert str(root) not in maps  # every page unmapped at shutdown
 
 
+class TestObservabilityEndpoints:
+    def test_stats_golden_shape(self, store_root):
+        router = StoreRouter()
+        router.add_root(store_root)
+        app = ServingApp(router, port=0)
+        stop = serve_in_thread(app)
+        try:
+            with ServingClient("127.0.0.1", app.port) as client:
+                client.seeds("alpha", 3)
+                client.spread("alpha", [0, 1])
+                stats = client.stats()
+        finally:
+            stop()
+        assert set(stats) == {
+            "router", "requests", "coalescing", "pool", "metrics",
+        }
+        assert stats["router"]["hits"] + stats["router"]["misses"] >= 1
+        assert set(stats["pool"]) >= {
+            "active", "processes", "tasks_dispatched", "restarts", "segments",
+        }
+        # The registry snapshot is folded in: the responses counter has
+        # at least this session's seeds/spread/stats requests.
+        responses = stats["metrics"]["repro_serving_responses_total"]
+        assert any(key.startswith("endpoint=") for key in responses)
+
+    def test_metrics_text_parses_and_counts_requests(self, store_root):
+        from repro import obs
+
+        router = StoreRouter()
+        router.add_root(store_root)
+        app = ServingApp(router, port=0)
+        stop = serve_in_thread(app)
+        try:
+            with ServingClient("127.0.0.1", app.port) as client:
+                client.seeds("beta", 2)
+                first = obs.parse_prometheus(client.metrics_text())
+                client.spread("beta", [0, 1, 2])
+                client.spread("beta", [0])
+                second = obs.parse_prometheus(client.metrics_text())
+        finally:
+            stop()
+        seconds = second["repro_serving_request_seconds_count"]
+        assert seconds['{"endpoint": "seeds"}'] >= 1
+        assert seconds['{"endpoint": "spread"}'] >= 2
+        assert second["repro_serving_batch_size_count"][""] >= 2
+        # Counters are monotone between scrapes, per series.
+        for series, value in first["repro_serving_responses_total"].items():
+            assert second["repro_serving_responses_total"][series] >= value
+        key = '{"class": "2xx", "endpoint": "spread"}'
+        assert (
+            second["repro_serving_responses_total"][key]
+            >= first["repro_serving_responses_total"].get(key, 0) + 2
+        )
+
+    def test_batcher_stats_survive_hot_swap(self, graphs, store_root, tmp_path):
+        from repro import obs
+
+        root = tmp_path / "fleet"
+        root.mkdir()
+        shutil.copy(store_root / "alpha.sketch", root / "alpha.sketch")
+        router = StoreRouter()
+        router.add_root(root)
+        app = ServingApp(router, port=0)
+        stop = serve_in_thread(app)
+        swaps = obs.REGISTRY.get("repro_serving_hot_swaps_total")
+        swaps_before = swaps.value()
+        try:
+            with ServingClient("127.0.0.1", app.port) as client:
+                client.spread("alpha", [0, 1])
+                before = client.stats()["coalescing"]["alpha"]["queries"]
+                extend_store(
+                    SketchStore.load(root / "alpha.sketch", mmap=False),
+                    graphs["alpha"],
+                    150,
+                ).save(root / "alpha.sketch")
+                client.reload("alpha")
+                client.spread("alpha", [0, 1])
+                after = client.stats()["coalescing"]["alpha"]["queries"]
+        finally:
+            stop()
+        assert after == before + 1  # the batcher outlives the swap
+        assert swaps.value() == swaps_before + 1
+
+
 def raw_exchange(port, payload):
     """Send raw bytes to the server, return everything it writes back."""
     with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:

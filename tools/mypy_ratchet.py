@@ -38,6 +38,7 @@ PACKAGES = (
     "src/repro/store",
     "src/repro/parallel",
     "src/repro/serving",
+    "src/repro/obs",
 )
 
 

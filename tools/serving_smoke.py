@@ -182,6 +182,43 @@ def main() -> int:
                 check(
                     stats["router"]["swaps"] == 1, "router counted the swap"
                 )
+                check(
+                    "pool" in stats and "metrics" in stats,
+                    "/v1/stats folds in pool + metrics snapshot",
+                )
+
+                # Observability: /v1/metrics must serve *valid* Prometheus
+                # text with non-zero request counters for the traffic we
+                # just generated (DESIGN.md §9).
+                from repro import obs
+
+                text = client.metrics_text()
+                try:
+                    parsed = obs.parse_prometheus(text)
+                    check(True, "/v1/metrics parses as Prometheus text")
+                except ValueError as exc:
+                    parsed = {}
+                    check(False, f"/v1/metrics parse error: {exc}")
+                responses = parsed.get("repro_serving_responses_total", {})
+                served = sum(
+                    value for key, value in responses.items() if "2xx" in key
+                )
+                check(
+                    served >= len(QUERY_SEEDS),
+                    f"response counters saw the traffic ({served:.0f} 2xx)",
+                )
+                latency = parsed.get("repro_serving_request_seconds_count", {})
+                check(
+                    latency.get('{"endpoint": "spread"}', 0) > 0,
+                    "request-latency histogram has spread samples",
+                )
+                batches = parsed.get("repro_serving_batch_size_count", {})
+                check(
+                    batches.get("", 0) > 0,
+                    "coalescing batch-size histogram has samples",
+                )
+                swaps = parsed.get("repro_serving_hot_swaps_total", {})
+                check(swaps.get("", 0) == 1, "hot-swap counter saw the reload")
         finally:
             proc.send_signal(signal.SIGINT)
             out, err = proc.communicate(timeout=60)
