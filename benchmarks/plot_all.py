@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Chart the benchmark trajectory from ``benchmarks/results/bench_all.csv``.
+
+Companion to :mod:`to_csv`: that script flattens every ``BENCH_*.json``
+artifact into one CSV; this one turns the CSV into PNG charts under
+``benchmarks/results/plots/``:
+
+* ``speedups.png``   — every ``speedup``-style column across benches, one
+  bar per (bench, measurement) row, with the common 1.3x gate line;
+* ``wall_clock.png`` — per-bench stacked phase seconds (columns ending in
+  ``_s``), log scale, so minutes-scale builds and millisecond serves fit
+  one picture;
+* ``graph_scale.png`` — the web-scale ingest pipeline (rows of
+  ``bench_graph_scale``): ingest throughput and peak RSS per node count.
+
+matplotlib is an **optional** dependency everywhere in this repo; when it
+is missing this script prints a loud SKIP and exits 0 so ``run_all.sh``
+pipelines never fail on a headless box without plotting wheels.
+
+Usage::
+
+    python benchmarks/to_csv.py benchmarks/results/bench_all.csv
+    python benchmarks/plot_all.py [--csv PATH] [--out DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from collections import defaultdict
+from pathlib import Path
+from typing import Dict, List
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+DEFAULT_CSV = RESULTS_DIR / "bench_all.csv"
+DEFAULT_OUT = RESULTS_DIR / "plots"
+
+#: The shared wall-clock gate most speedup benches assert (documentation
+#: line on the chart, not a gate here).
+GATE = 1.3
+
+
+def _float(value: str) -> float | None:
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return None
+
+
+def load_rows(csv_path: Path) -> List[Dict[str, str]]:
+    with csv_path.open(newline="", encoding="utf-8") as stream:
+        return list(csv.DictReader(stream))
+
+
+def _plot_speedups(plt, rows, out_dir: Path) -> bool:
+    labels, values = [], []
+    for row in rows:
+        for key, raw in row.items():
+            if "speedup" not in key:
+                continue
+            value = _float(raw)
+            if value is None:
+                continue
+            suffix = "" if key == "speedup" else f":{key}"
+            tag = row.get("estimator") or row.get("nodes") or ""
+            tag = f"/{tag}" if tag else ""
+            labels.append(f"{row['bench']}{tag}{suffix}")
+            values.append(value)
+    if not values:
+        return False
+    fig, ax = plt.subplots(figsize=(8, max(2.5, 0.4 * len(values))))
+    ax.barh(range(len(values)), values, color="#2a6f97")
+    ax.axvline(GATE, color="#c1121f", linestyle="--", label=f"{GATE}x gate")
+    ax.set_yticks(range(len(values)), labels, fontsize=7)
+    ax.set_xlabel("speedup (x)")
+    ax.set_title("Benchmark speedups")
+    ax.legend(loc="lower right", fontsize=7)
+    fig.tight_layout()
+    fig.savefig(out_dir / "speedups.png", dpi=150)
+    plt.close(fig)
+    return True
+
+
+def _plot_wall_clock(plt, rows, out_dir: Path) -> bool:
+    totals: Dict[str, float] = defaultdict(float)
+    for row in rows:
+        for key, raw in row.items():
+            if not key.endswith("_s"):
+                continue
+            value = _float(raw)
+            if value is not None and value > 0:
+                totals[row["bench"]] += value
+    if not totals:
+        return False
+    benches = sorted(totals)
+    fig, ax = plt.subplots(figsize=(8, max(2.5, 0.35 * len(benches))))
+    ax.barh(benches, [totals[b] for b in benches], color="#386641")
+    ax.set_xscale("log")
+    ax.set_xlabel("summed phase wall-clock (s, log)")
+    ax.set_title("Wall-clock per bench (sum of *_s columns)")
+    ax.tick_params(axis="y", labelsize=7)
+    fig.tight_layout()
+    fig.savefig(out_dir / "wall_clock.png", dpi=150)
+    plt.close(fig)
+    return True
+
+
+def _plot_graph_scale(plt, rows, out_dir: Path) -> bool:
+    scale_rows = [
+        row
+        for row in rows
+        if row["bench"] == "graph_scale"
+        and _float(row.get("nodes")) is not None
+    ]
+    if not scale_rows:
+        return False
+    scale_rows.sort(key=lambda row: _float(row["nodes"]) or 0.0)
+    nodes = [_float(row["nodes"]) for row in scale_rows]
+    eps = [_float(row.get("ingest_edges_per_s")) for row in scale_rows]
+    rss = [_float(row.get("peak_rss_mb")) for row in scale_rows]
+    fig, (ax1, ax2) = plt.subplots(1, 2, figsize=(9, 3.2))
+    ax1.plot(nodes, eps, marker="o", color="#2a6f97")
+    ax1.set_xlabel("nodes")
+    ax1.set_ylabel("ingest edges/s")
+    ax1.set_title("Streaming ingest throughput")
+    ax2.plot(nodes, rss, marker="o", color="#bc4749")
+    ax2.set_xlabel("nodes")
+    ax2.set_ylabel("peak RSS (MiB)")
+    ax2.set_title("Pipeline peak memory")
+    for ax in (ax1, ax2):
+        ax.ticklabel_format(style="plain")
+    fig.tight_layout()
+    fig.savefig(out_dir / "graph_scale.png", dpi=150)
+    plt.close(fig)
+    return True
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--csv", type=Path, default=DEFAULT_CSV,
+        help=f"flattened bench CSV (default {DEFAULT_CSV})",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUT,
+        help=f"output directory for PNGs (default {DEFAULT_OUT})",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print(
+            "SKIP plot_all: matplotlib is not installed — charts not "
+            "generated (the CSV itself is the artifact; install "
+            "matplotlib to render PNGs)",
+            file=sys.stderr,
+        )
+        return 0
+
+    if not args.csv.exists():
+        print(
+            f"plot_all: {args.csv} not found — run "
+            "'python benchmarks/to_csv.py benchmarks/results/bench_all.csv' "
+            "first",
+            file=sys.stderr,
+        )
+        return 1
+    rows = load_rows(args.csv)
+    if not rows:
+        print(f"plot_all: {args.csv} has no rows", file=sys.stderr)
+        return 1
+
+    args.out.mkdir(parents=True, exist_ok=True)
+    made = []
+    if _plot_speedups(plt, rows, args.out):
+        made.append("speedups.png")
+    if _plot_wall_clock(plt, rows, args.out):
+        made.append("wall_clock.png")
+    if _plot_graph_scale(plt, rows, args.out):
+        made.append("graph_scale.png")
+    print(f"wrote {len(made)} charts to {args.out}: {' '.join(made)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -137,7 +137,8 @@ def build_parser() -> argparse.ArgumentParser:
     def _oracle_common(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--graph", required=True, metavar="FILE",
-            help="edge-list file (weighted 'u v p' lines; see graph.io)",
+            help="edge-list file (weighted 'u v p' lines; see graph.io) "
+            "or a mmap'd .graph CSR file from 'repro graph ingest'",
         )
         p.add_argument(
             "--store", required=True, metavar="FILE",
@@ -235,6 +236,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="materialize store arrays in RAM instead of memory-mapping",
     )
 
+    graph_cmd = sub.add_parser(
+        "graph",
+        help="web-scale graph files: stream-ingest edge lists into "
+        "mmap'd .graph CSR files",
+    )
+    gsub = graph_cmd.add_subparsers(dest="graph_command", required=True)
+    ingest = gsub.add_parser(
+        "ingest",
+        help="two-pass streaming ingest of a SNAP-style edge list",
+    )
+    ingest.add_argument(
+        "--edges", required=True, metavar="FILE",
+        help="SNAP-style edge list ('u v' or 'u v p' lines; #/%% comments)",
+    )
+    ingest.add_argument(
+        "--out", required=True, metavar="FILE",
+        help="output .graph CSR file path",
+    )
+    ingest.add_argument(
+        "--num-nodes", type=int, default=None,
+        help="override the node count (default: max id + 1)",
+    )
+    info = gsub.add_parser(
+        "info", help="print a .graph file's header without loading arrays"
+    )
+    info.add_argument("path", metavar="FILE", help=".graph file")
+
     serve = sub.add_parser(
         "serve",
         help="async HTTP serving layer over a fleet of sketch stores",
@@ -267,6 +295,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--no-mmap", action="store_true",
         help="materialize store arrays in RAM instead of memory-mapping",
+    )
+    serve.add_argument(
+        "--graph", default=None, metavar="FILE",
+        help="verify at startup that every discovered store was built "
+        "from this graph (edge list or .graph CSR file); mismatches "
+        "abort before the server binds",
     )
 
     table6 = sub.add_parser("table6", help="RR-set count parity")
@@ -488,6 +522,9 @@ def _run(args: argparse.Namespace) -> int:
         print_table(runs_as_rows(runs), title="Fig 9(d) — scalability")
         return 0
 
+    if args.command == "graph":
+        return _run_graph(args)
+
     if args.command == "oracle":
         return _run_oracle(args)
 
@@ -560,6 +597,91 @@ def _run_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _graph_source_kind(path: str) -> str:
+    """How ``--graph`` error messages name the source format."""
+    from repro.graph.bigcsr import is_graph_file
+
+    return ".graph CSR file" if is_graph_file(path) else "edge list"
+
+
+def _load_graph_source(path: str):
+    """Load a ``--graph`` argument: mmap'd ``.graph`` file or edge list."""
+    from repro.graph.bigcsr import GraphFileError, is_graph_file, load_graph
+    from repro.graph.io import read_edge_list
+
+    if is_graph_file(path):
+        try:
+            return load_graph(path)
+        except GraphFileError as exc:
+            raise SystemExit(f"cannot load .graph CSR file: {exc}")
+    graph, _ = read_edge_list(path)
+    return graph
+
+
+def _graph_source_fingerprint(path: str) -> str:
+    """Fingerprint of a ``--graph`` source; O(1) for ``.graph`` files."""
+    from repro.graph.bigcsr import (
+        GraphFileError,
+        graph_file_fingerprint,
+        is_graph_file,
+    )
+    from repro.graph.io import graph_fingerprint
+
+    if is_graph_file(path):
+        try:
+            return graph_file_fingerprint(path)
+        except GraphFileError as exc:
+            raise SystemExit(f"cannot load .graph CSR file: {exc}")
+    return graph_fingerprint(_load_graph_source(path))
+
+
+def _run_graph(args: argparse.Namespace) -> int:
+    """``repro graph ingest|info`` — the web-scale .graph file path."""
+    from repro.graph.bigcsr import (
+        GraphFileError,
+        GraphIngestError,
+        ingest_edge_list,
+        read_graph_header,
+    )
+
+    if args.graph_command == "ingest":
+        try:
+            stats = ingest_edge_list(
+                args.edges, args.out, num_nodes=args.num_nodes
+            )
+        except GraphIngestError as exc:
+            raise SystemExit(f"ingest failed: {exc}")
+        print(
+            f"ingested {args.out}: n={stats.num_nodes} "
+            f"m={stats.num_edges} records={stats.records} "
+            f"self_loops={stats.self_loops} duplicates={stats.duplicates} "
+            f"weighted={stats.weighted}"
+        )
+        return 0
+
+    if args.graph_command == "info":
+        try:
+            header = read_graph_header(args.path)
+        except GraphFileError as exc:
+            raise SystemExit(str(exc))
+        meta = header["meta"]
+        print(f"format_version={header['format_version']}")
+        print(f"num_nodes={meta.get('num_nodes')}")
+        print(f"num_edges={meta.get('num_edges')}")
+        print(f"fingerprint={meta.get('fingerprint')}")
+        ingest = meta.get("ingest")
+        if ingest:
+            print(
+                "ingest: "
+                + " ".join(f"{k}={v}" for k, v in sorted(ingest.items()))
+            )
+        return 0
+
+    raise AssertionError(
+        f"unhandled graph command {args.graph_command}"
+    )  # pragma: no cover
+
+
 def _run_serve(args: argparse.Namespace) -> int:
     """``repro serve`` — the async oracle serving layer (repro.serving)."""
     from repro.serving import ServingApp, StoreRouter
@@ -574,6 +696,19 @@ def _run_serve(args: argparse.Namespace) -> int:
             + ", ".join(args.store_root)
             + " — build one with 'repro oracle build'"
         )
+    if args.graph is not None:
+        expected = _graph_source_fingerprint(args.graph)
+        for key in sorted(keys):
+            with router.lease(key) as handle:
+                actual = handle.fingerprint
+            if actual != expected:
+                raise SystemExit(
+                    f"store {key!r} was not built from the "
+                    f"{_graph_source_kind(args.graph)} {args.graph} "
+                    f"(store fingerprint {actual[:16]}…, graph "
+                    f"{expected[:16]}…) — rebuild the store or drop "
+                    "--graph"
+                )
     app = ServingApp(
         router,
         host=args.host,
@@ -601,17 +736,17 @@ def _run_serve(args: argparse.Namespace) -> int:
 def _run_oracle(args: argparse.Namespace) -> int:
     """``repro oracle build|extend|query`` — the repro.store serving layer."""
     from repro.engine import EngineContext
-    from repro.graph.io import read_edge_list
     from repro.store import (
         OracleService,
         SketchStore,
+        StaleStoreError,
         build_comic_store,
         build_sharded,
         build_store,
         extend_store,
     )
 
-    graph, _ = read_edge_list(args.graph)
+    graph = _load_graph_source(args.graph)
 
     if args.oracle_command == "build":
         # One context names the whole build: backend resolved once
@@ -685,9 +820,15 @@ def _run_oracle(args: argparse.Namespace) -> int:
         store = SketchStore.load(args.store, mmap=False)
         # No context here: an extension's execution state is the
         # persisted one; --rr-backend is the explicit override knob.
-        extended = extend_store(
-            store, graph, args.add, backend=args.rr_backend
-        )
+        try:
+            extended = extend_store(
+                store, graph, args.add, backend=args.rr_backend
+            )
+        except StaleStoreError as exc:
+            raise SystemExit(
+                f"store {args.store} was not built from the "
+                f"{_graph_source_kind(args.graph)} {args.graph}: {exc}"
+            )
         extended.save(args.store)
         print(
             f"extended {args.store}: rr_sets {store.num_sets} -> "
@@ -696,9 +837,15 @@ def _run_oracle(args: argparse.Namespace) -> int:
         return 0
 
     if args.oracle_command == "query":
-        service = OracleService.open(
-            args.store, graph, mmap=not args.no_mmap
-        )
+        try:
+            service = OracleService.open(
+                args.store, graph, mmap=not args.no_mmap
+            )
+        except StaleStoreError as exc:
+            raise SystemExit(
+                f"store {args.store} was not built from the "
+                f"{_graph_source_kind(args.graph)} {args.graph}: {exc}"
+            )
         for budget in args.budgets:
             seeds = service.seeds(int(budget))
             print(f"seeds[{budget}] = {' '.join(str(s) for s in seeds)}")

@@ -6,8 +6,10 @@ influence probabilities (:mod:`repro.graph.digraph`), the standard edge
 weighting schemes used in the IM literature (:mod:`repro.graph.weighting`),
 synthetic generators (:mod:`repro.graph.generators`), edge-list I/O
 (:mod:`repro.graph.io`), structural analysis helpers
-(:mod:`repro.graph.analysis`), and deterministic scaled stand-ins for the five
-networks of the paper's evaluation (:mod:`repro.graph.datasets`).
+(:mod:`repro.graph.analysis`), deterministic scaled stand-ins for the five
+networks of the paper's evaluation (:mod:`repro.graph.datasets`), and the
+web-scale path — streaming edge-list ingestion into versioned, mmap'd
+``.graph`` CSR files (:mod:`repro.graph.bigcsr`).
 """
 
 from repro.graph.analysis import (
@@ -16,6 +18,16 @@ from repro.graph.analysis import (
     degree_statistics,
     largest_scc,
     strongly_connected_components,
+)
+from repro.graph.bigcsr import (
+    GraphFileError,
+    GraphIngestError,
+    IngestStats,
+    graph_file_fingerprint,
+    ingest_edge_list,
+    is_graph_file,
+    load_graph,
+    write_graph_file,
 )
 from repro.graph.digraph import InfluenceGraph
 from repro.graph.generators import (
@@ -36,7 +48,10 @@ from repro.graph.weighting import (
 )
 
 __all__ = [
+    "GraphFileError",
+    "GraphIngestError",
     "InfluenceGraph",
+    "IngestStats",
     "bfs_nodes",
     "bfs_subgraph",
     "complete_graph",
@@ -44,8 +59,12 @@ __all__ = [
     "degree_statistics",
     "erdos_renyi",
     "fixed_probability",
+    "graph_file_fingerprint",
+    "ingest_edge_list",
+    "is_graph_file",
     "largest_scc",
     "line_graph",
+    "load_graph",
     "preferential_attachment",
     "read_edge_list",
     "star_graph",
@@ -55,4 +74,5 @@ __all__ = [
     "watts_strogatz_wc_graph",
     "weighted_cascade",
     "write_edge_list",
+    "write_graph_file",
 ]

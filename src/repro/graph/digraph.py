@@ -48,6 +48,7 @@ class InfluenceGraph:
         "_in_indptr",
         "_in_sources",
         "_in_probs",
+        "_mmap_spec",
         "__weakref__",
     )
 
@@ -55,6 +56,10 @@ class InfluenceGraph:
         if num_nodes < 0:
             raise ValueError(f"num_nodes must be non-negative, got {num_nodes}")
         self._n = int(num_nodes)
+        # Set by repro.graph.bigcsr.load_graph on file-backed graphs: a
+        # picklable attachment spec letting the worker pool mmap the
+        # backing .graph file instead of copying CSR arrays into shm.
+        self._mmap_spec = None
         src, dst, prob = _clean_edges(self._n, edges)
         self._out_indptr, self._out_targets, self._out_probs = _build_csr(
             self._n, src, dst, prob
@@ -85,6 +90,7 @@ class InfluenceGraph:
         """
         graph = cls.__new__(cls)
         graph._n = int(num_nodes)
+        graph._mmap_spec = None
         graph._out_indptr = out_indptr
         graph._out_targets = out_targets
         graph._out_probs = out_probs

@@ -5,6 +5,9 @@ Three pieces (DESIGN.md §6):
 * :mod:`repro.parallel.shm` — publish a graph's CSR arrays (plus a
   compiled ``TriggerCSR`` when present) into one
   ``multiprocessing.shared_memory`` segment; workers attach zero-copy.
+  Graphs loaded from a mmap'd ``.graph`` file
+  (:mod:`repro.graph.bigcsr`) skip the segment entirely — workers map
+  the backing file, sharing pages through the OS cache.
 * :mod:`repro.parallel.pool` — the persistent, lazily-started
   :class:`WorkerPool` (one per process via :func:`get_pool`), reused
   across calls, with crash recovery and guaranteed segment cleanup.
@@ -20,6 +23,9 @@ fan their shards over the pool.  Forward estimators shard their worlds
 deterministically with :func:`forward_shard_counts` and seed each shard
 from a ``SeedSequence`` child, so an estimate depends only on
 ``(seed, num_samples)`` — never on how many workers happened to serve it.
+The pool may *regroup* consecutive micro-shards into fewer dispatches
+using wall-clock feedback (``$REPRO_SHARD_TARGET_MS``); each micro-shard
+keeps its own seed and arguments, so this is invisible in the results.
 """
 
 from __future__ import annotations
@@ -32,10 +38,12 @@ import numpy as np
 from repro import obs
 from repro.parallel.pool import (
     PROCESSES_ENV,
+    SHARD_TARGET_ENV,
     WorkerPool,
     default_processes,
     get_pool,
     pool_stats,
+    shard_target_seconds,
     shutdown_pool,
 )
 from repro.parallel.shm import SEGMENT_PREFIX, attach_graph, publish_graph
@@ -44,6 +52,7 @@ __all__ = [
     "FORWARD_SHARDS",
     "PROCESSES_ENV",
     "SEGMENT_PREFIX",
+    "SHARD_TARGET_ENV",
     "WorkerPool",
     "attach_graph",
     "default_processes",
@@ -53,6 +62,7 @@ __all__ = [
     "pool_stats",
     "publish_graph",
     "run_forward_shards",
+    "shard_target_seconds",
     "shutdown_pool",
 ]
 

@@ -16,6 +16,12 @@ Dispatch contract (:meth:`WorkerPool.map_shards`):
   byte the results of the pooled path, which is what keeps sharded
   results deterministic in ``(seed, num_shards)`` and independent of the
   worker count.
+* multi-process dispatches regroup *consecutive* micro-shards into
+  fewer, larger submissions using per-task wall-clock feedback
+  (:class:`_AdaptiveSharder`, tunable via ``$REPRO_SHARD_TARGET_MS``).
+  Grouping changes only which worker runs a micro-shard — every
+  micro-shard keeps its own arguments and seed — so results stay
+  byte-identical to ungrouped dispatch.
 * a :class:`BrokenProcessPool` (a worker was killed, OOMed, or died in C
   code) tears the pool down — executor shut down, **every shared-memory
   segment unlinked** so nothing leaks in ``/dev/shm`` — and the dispatch
@@ -40,10 +46,12 @@ from repro.parallel.shm import attach_graph, publish_graph
 
 __all__ = [
     "PROCESSES_ENV",
+    "SHARD_TARGET_ENV",
     "WorkerPool",
     "default_processes",
     "get_pool",
     "pool_stats",
+    "shard_target_seconds",
     "shutdown_pool",
 ]
 
@@ -64,6 +72,26 @@ _DISPATCH_SECONDS = obs.histogram(
 
 #: Environment override for the pool's worker count (0 = in-process).
 PROCESSES_ENV = "REPRO_PARALLEL_PROCESSES"
+
+#: Environment override for the adaptive-sharding target milliseconds per
+#: dispatched task (0 disables grouping: every micro-shard ships alone).
+SHARD_TARGET_ENV = "REPRO_SHARD_TARGET_MS"
+
+#: Default per-dispatch target when the environment doesn't say otherwise:
+#: large enough that IPC/pickle overhead is noise, small enough that a
+#: straggler group can't serialize the pool.
+_DEFAULT_SHARD_TARGET_SECONDS = 0.2
+
+
+def shard_target_seconds() -> float:
+    """Adaptive-sharding target: ``$REPRO_SHARD_TARGET_MS`` > 200ms."""
+    env = os.environ.get(SHARD_TARGET_ENV)
+    if not env:
+        return _DEFAULT_SHARD_TARGET_SECONDS
+    millis = float(env)
+    if millis < 0:
+        raise ValueError(f"${SHARD_TARGET_ENV} must be >= 0, got {env}")
+    return millis / 1000.0
 
 
 def default_processes() -> int:
@@ -110,25 +138,116 @@ def _attached(spec: dict) -> tuple:
 def _run_task(payload: Tuple[str, Optional[dict], tuple, Optional[dict]]):
     """Pool entry point: resolve the task by name, attach, run.
 
-    Returns ``(result, span_dict)``: ``span_dict`` is ``None`` unless the
-    parent shipped trace metadata, in which case it carries this shard's
-    wall-clock, queue wait, and worker pid for the parent to adopt.
+    Returns ``(result, span_dict, seconds)``: ``span_dict`` is ``None``
+    unless the parent shipped trace metadata, in which case it carries
+    this shard's wall-clock, queue wait, and worker pid for the parent to
+    adopt; ``seconds`` is the task's own wall-clock, which the parent
+    feeds back into the adaptive sharder.
     """
     task_name, spec, args, trace_meta = payload
     _, graph, trigger_csr = _attached(spec)
     fn = _tasks.TASKS[task_name]
-    return obs.record_remote(trace_meta, fn, graph, trigger_csr, *args)
+    tick: Dict[str, float] = {}
+    with obs.stopwatch(tick):
+        result, span_dict = obs.record_remote(
+            trace_meta, fn, graph, trigger_csr, *args
+        )
+    return result, span_dict, tick["seconds"]
 
 
 # ----------------------------------------------------------------------
 # Parent side
 # ----------------------------------------------------------------------
 def _unlink_quietly(shm) -> None:
+    if shm is None:  # file-backed publication: nothing to unlink
+        return
     try:
         shm.close()
         shm.unlink()
     except Exception:  # already gone (interpreter teardown, double reset)
         pass
+
+
+def _job_worlds(job: tuple) -> int:
+    """Monte-Carlo worlds a shard job covers (the cost proxy).
+
+    Every shard task follows the ``(seed_seq, count, *rest)`` argument
+    convention, so the count sits at index 1; jobs that don't look like
+    that count as one world each.
+    """
+    if len(job) > 1 and isinstance(job[1], int):
+        return max(int(job[1]), 1)
+    return 1
+
+
+class _AdaptiveSharder:
+    """Wall-clock feedback → how many micro-shards to ship per task.
+
+    The forward estimators always split work into
+    :data:`~repro.parallel.FORWARD_SHARDS` fixed micro-shards so results
+    stay a pure function of ``(seed, num_samples)``.  On a small run each
+    micro-shard lasts microseconds and IPC dominates; on a web-scale
+    graph one micro-shard alone can run for seconds.  This class keeps an
+    exponentially-weighted average of observed seconds-per-world for each
+    task and greedily packs *consecutive* micro-shards into dispatch
+    groups that each land near the target wall-clock.  Grouping only
+    changes which process executes a micro-shard, never its arguments or
+    its seed — each group replays its members one by one — so results are
+    byte-identical to singleton dispatch.
+    """
+
+    #: EWMA weight of the newest observation.
+    _GAIN = 0.3
+
+    def __init__(self) -> None:
+        self._rate: Dict[str, float] = {}  # task -> EWMA seconds per world
+
+    def observe(self, task: str, worlds: int, seconds: float) -> None:
+        """Feed one executed micro-shard's wall-clock back in."""
+        if worlds <= 0 or seconds <= 0.0:
+            return
+        rate = seconds / worlds
+        prev = self._rate.get(task)
+        self._rate[task] = (
+            rate
+            if prev is None
+            else prev + self._GAIN * (rate - prev)
+        )
+
+    def plan(
+        self,
+        task: str,
+        jobs: Sequence[tuple],
+        processes: int,
+        target_seconds: float,
+    ) -> List[List[int]]:
+        """Group job indices (consecutive, order-preserving) for dispatch.
+
+        Without timing history — or with grouping disabled — every job
+        ships alone, which is exactly the pre-adaptive dispatch.  A group
+        never exceeds ``ceil(len(jobs) / processes)`` members, so the
+        pool always has at least ``processes`` groups to load-balance.
+        """
+        rate = self._rate.get(task)
+        if rate is None or rate <= 0.0 or target_seconds <= 0.0:
+            return [[index] for index in range(len(jobs))]
+        max_members = -(-len(jobs) // max(processes, 1))
+        groups: List[List[int]] = []
+        current: List[int] = []
+        current_seconds = 0.0
+        for index, job in enumerate(jobs):
+            estimate = _job_worlds(job) * rate
+            if current and (
+                current_seconds + estimate > target_seconds
+                or len(current) >= max_members
+            ):
+                groups.append(current)
+                current, current_seconds = [], 0.0
+            current.append(index)
+            current_seconds += estimate
+        if current:
+            groups.append(current)
+        return groups
 
 
 class WorkerPool:
@@ -142,6 +261,7 @@ class WorkerPool:
         # publish cache: (id(graph), id(trigger_csr) | None) -> (shm, spec)
         self._segments: Dict[tuple, tuple] = {}
         self._trigger_csrs: Dict[tuple, object] = {}
+        self._sharder = _AdaptiveSharder()
         self._tasks_dispatched = 0
         self._restarts = 0
 
@@ -175,8 +295,16 @@ class WorkerPool:
 
     @property
     def segment_names(self) -> List[str]:
-        """Names of the currently published segments (leak tests)."""
-        return [shm.name for shm, _ in self._segments.values()]
+        """Names of the currently published segments (leak tests).
+
+        File-backed publications (``.graph`` mmaps) create no segment
+        and therefore never appear here.
+        """
+        return [
+            shm.name
+            for shm, _ in self._segments.values()
+            if shm is not None
+        ]
 
     # ------------------------------------------------------------------
     # Graph publication
@@ -257,18 +385,44 @@ class WorkerPool:
                     results.append(fn(graph, trigger_csr, *job))
             return results
 
+        groups = self._sharder.plan(
+            task, jobs, self._processes, shard_target_seconds()
+        )
+
         def _payloads(spec):
-            return [
-                (
-                    task,
-                    spec,
-                    tuple(job),
-                    obs.remote_span_payload(
-                        "parallel.task", task=task, shard=index, mode="pool"
-                    ),
-                )
-                for index, job in enumerate(jobs)
-            ]
+            payloads = []
+            for group in groups:
+                if len(group) == 1:
+                    index = group[0]
+                    payloads.append(
+                        (
+                            task,
+                            spec,
+                            tuple(jobs[index]),
+                            obs.remote_span_payload(
+                                "parallel.task",
+                                task=task,
+                                shard=index,
+                                mode="pool",
+                            ),
+                        )
+                    )
+                else:
+                    payloads.append(
+                        (
+                            _tasks.GROUPED_TASK,
+                            spec,
+                            (task, [tuple(jobs[i]) for i in group]),
+                            obs.remote_span_payload(
+                                "parallel.task",
+                                task=task,
+                                shard=group[0],
+                                shards=len(group),
+                                mode="pool-grouped",
+                            ),
+                        )
+                    )
+            return payloads
 
         spec = self._publish(graph, trigger_csr)
         try:
@@ -289,13 +443,30 @@ class WorkerPool:
                 self._restarts += 1
                 _POOL_RESTARTS.inc()
                 raise
+        # Counted in micro-shards, not dispatch groups: the counter's
+        # contract is "shard tasks executed by pool workers" and grouped
+        # dispatch still executes every micro-shard.
         self._tasks_dispatched += len(jobs)
         _TASKS_DISPATCHED.inc(len(jobs), task=task)
-        results = []
-        for result, span_dict in shipped:
+        ordered: List = [None] * len(jobs)
+        for group, (result, span_dict, seconds) in zip(groups, shipped):
             obs.adopt(span_dict)
-            results.append(result)
-        return results
+            if len(group) == 1:
+                index = group[0]
+                ordered[index] = result
+                self._sharder.observe(
+                    task, _job_worlds(jobs[index]), seconds
+                )
+            else:
+                sub_results, sub_seconds = result
+                for index, sub_result, sub_sec in zip(
+                    group, sub_results, sub_seconds
+                ):
+                    ordered[index] = sub_result
+                    self._sharder.observe(
+                        task, _job_worlds(jobs[index]), sub_sec
+                    )
+        return ordered
 
     def _submit(self, payloads) -> List:
         if self._executor is None:

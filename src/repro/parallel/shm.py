@@ -91,7 +91,7 @@ def _layout(
 def publish_graph(
     graph: InfluenceGraph,
     trigger_csr: Optional[TriggerCSR] = None,
-) -> Tuple[shared_memory.SharedMemory, dict]:
+) -> Tuple[Optional[shared_memory.SharedMemory], dict]:
     """Copy a graph's CSR arrays into one fresh shared-memory segment.
 
     Returns ``(shm, spec)``: the live segment (the caller owns its
@@ -99,7 +99,17 @@ def publish_graph(
     spec :func:`attach_graph` consumes.  ``trigger_csr`` optionally rides
     along in the same segment for runs sampling under a generic
     triggering model.
+
+    Graphs loaded from a ``.graph`` file (:mod:`repro.graph.bigcsr`)
+    short-circuit: their CSR arrays are already backed by a file every
+    worker can map, so no segment is created at all — the returned
+    handle is ``None`` and the spec points workers at the backing file
+    (``kind: "file"``).  A ``trigger_csr`` forces the copying path, as
+    the compiled trigger arrays live only in this process.
     """
+    file_spec = getattr(graph, "_mmap_spec", None)
+    if file_spec is not None and trigger_csr is None:
+        return None, dict(file_spec)
     graph_arrays = [
         np.ascontiguousarray(getattr(graph, field))
         for field in _GRAPH_FIELDS
@@ -144,7 +154,9 @@ def _views(
 
 def attach_graph(
     spec: dict,
-) -> Tuple[InfluenceGraph, Optional[TriggerCSR], shared_memory.SharedMemory]:
+) -> Tuple[
+    InfluenceGraph, Optional[TriggerCSR], Optional[shared_memory.SharedMemory]
+]:
     """Reconstruct a published graph as views over the shared segment.
 
     O(1) in the graph size: no arrays are copied or validated — the views
@@ -153,7 +165,28 @@ def attach_graph(
     handle, which the caller must keep referenced while the graph is in
     use (the views borrow its buffer) and ``close()`` — never
     ``unlink()`` — when done.
+
+    For a file-backed spec (``kind: "file"``, published from a
+    ``.graph``-loaded graph) the arrays are memory-mapped straight from
+    the backing file and the segment handle is ``None`` — the OS page
+    cache already shares the physical pages across every worker.
     """
+    if spec.get("kind") == "file":
+        arrays = [
+            np.memmap(
+                spec["path"],
+                dtype=np.dtype(dtype),
+                mode="r",
+                offset=offset,
+                shape=tuple(shape),
+            )
+            for offset, dtype, shape in spec["graph"]
+        ]
+        return (
+            InfluenceGraph.from_csr(spec["num_nodes"], *arrays),
+            None,
+            None,
+        )
     try:
         # 3.13+: opt out of the per-process resource tracker — segment
         # lifetime is owned by the publisher, not the attaching worker.

@@ -1,7 +1,7 @@
 """A minimal asyncio HTTP/1.1 server — stdlib only, JSON in and out.
 
 The serving layer deliberately avoids new runtime dependencies (the
-container bakes numpy and the standard library; DESIGN.md §12), so this
+container bakes numpy and the standard library; DESIGN.md §13), so this
 module hand-rolls the thin slice of HTTP the oracle endpoints need:
 request line + headers + optional ``Content-Length`` body in, one JSON
 document out, persistent connections.  It is not a general web server —

@@ -1,0 +1,178 @@
+"""The shared on-disk container under sketch stores and graph files.
+
+Both persistent artifact families in this codebase — the RR-sketch store
+(``.sketch``, :mod:`repro.store.sketch_store`) and the mmap'd CSR graph
+(``.graph``, :mod:`repro.graph.bigcsr`) — use one physical layout::
+
+    bytes 0..7     an 8-byte magic
+    bytes 8..15    uint64 header length H
+    bytes 16..16+H JSON header (utf-8)
+    ...            zero padding to the next 64-byte boundary
+    data section   the arrays, each starting on a 64-byte boundary
+
+The JSON header carries ``format_version``, a caller-defined ``meta``
+object, and an ``arrays`` table mapping each array name to its dtype,
+shape and byte offset *relative to the data section* — relative offsets
+keep the table independent of the header's own serialized length.
+
+This module owns the layout mechanics exactly once: aligned-offset
+assignment, the atomic temp-file write, magic/length/offset validation,
+and the mmap-or-materialize array read.  Format *semantics* (which
+arrays, which versions, which metadata) stay with the callers; they pass
+an ``error`` exception class so every failure surfaces as the caller's
+own domain error with the caller's file in the message.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterable, Tuple, Type, Union
+
+import numpy as np
+
+from repro.store.format import (
+    HEADER_LEN_DTYPE,
+    INDEX_DTYPE,
+    align_up,
+)
+
+PathLike = Union[str, Path]
+
+__all__ = [
+    "array_table",
+    "read_arrays",
+    "read_header",
+    "write_block_file",
+]
+
+
+def array_table(arrays: Dict[str, np.ndarray]) -> Dict[str, dict]:
+    """The header's ``arrays`` table: dtype/shape/relative offset each.
+
+    Offsets are assigned in insertion order, each rounded up to the next
+    alignment boundary.  The arrays must already be contiguous and in
+    their final on-disk dtype.
+    """
+    table: Dict[str, dict] = {}
+    cursor = 0
+    for name, arr in arrays.items():
+        cursor = align_up(cursor)
+        table[name] = {
+            "dtype": arr.dtype.str,
+            "shape": list(arr.shape),
+            "offset": cursor,
+        }
+        cursor += arr.nbytes
+    return table
+
+
+def write_block_file(
+    path: PathLike,
+    magic: bytes,
+    header: dict,
+    arrays: Dict[str, np.ndarray],
+) -> None:
+    """Serialize ``header`` + ``arrays`` atomically under ``magic``.
+
+    ``header["arrays"]`` must be the :func:`array_table` of ``arrays``.
+    The write goes to a temp file next to the target and is renamed into
+    place, so saving over a file the caller has memory-mapped is safe
+    (the source pages stay valid until the atomic replace) and readers
+    never observe a half-written artifact.
+    """
+    table = header["arrays"]
+    blob = json.dumps(header, separators=(",", ":")).encode()
+    data_start = align_up(16 + len(blob))
+    path = Path(path)
+    tmp_path = path.with_name(path.name + ".tmp")
+    with open(tmp_path, "wb") as f:
+        f.write(magic)
+        f.write(np.array([len(blob)], dtype=HEADER_LEN_DTYPE).tobytes())
+        f.write(blob)
+        f.write(b"\0" * (data_start - 16 - len(blob)))
+        for name, arr in arrays.items():
+            pad = data_start + table[name]["offset"] - f.tell()
+            f.write(b"\0" * pad)
+            f.write(arr.tobytes())
+    os.replace(tmp_path, path)
+
+
+def read_header(
+    path: PathLike,
+    magic: bytes,
+    error: Type[Exception],
+    kind: str,
+) -> Tuple[dict, int, int]:
+    """Validate magic + header; returns ``(header, data_start, file_size)``.
+
+    ``kind`` names the artifact family in error messages ("sketch
+    store", "graph file").  Raises ``error`` on a missing file, wrong
+    magic, truncated or unparseable header — never returns partial data.
+    """
+    path = Path(path)
+    try:
+        file_size = path.stat().st_size
+    except OSError as exc:
+        raise error(f"cannot read {kind}: {exc}") from exc
+    with open(path, "rb") as f:
+        prefix = f.read(16)
+        if len(prefix) < 16 or prefix[:8] != magic:
+            raise error(f"{path} is not a {kind} (bad magic)")
+        header_len = int(
+            np.frombuffer(prefix[8:16], dtype=HEADER_LEN_DTYPE)[0]
+        )
+        if 16 + header_len > file_size:
+            raise error(f"{path}: truncated header")
+        blob = f.read(header_len)
+    try:
+        header = json.loads(blob.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise error(f"{path}: corrupted header") from exc
+    if not isinstance(header, dict):
+        raise error(f"{path}: corrupted header")
+    return header, align_up(16 + header_len), file_size
+
+
+def read_arrays(
+    path: PathLike,
+    table: Dict[str, dict],
+    names: Iterable[str],
+    data_start: int,
+    file_size: int,
+    error: Type[Exception],
+    mmap: bool = True,
+) -> Tuple[Dict[str, np.ndarray], int]:
+    """Load the named arrays; returns ``(arrays, total_bytes)``.
+
+    With ``mmap`` each non-empty array is a read-only ``np.memmap`` view
+    over the file; otherwise arrays are materialized in RAM.  An array
+    extending past EOF raises ``error`` (a truncated data section).
+    """
+    arrays: Dict[str, np.ndarray] = {}
+    total = 0
+    for name in names:
+        spec = table[name]
+        dtype = np.dtype(spec["dtype"])
+        shape = tuple(int(s) for s in spec["shape"])
+        offset = data_start + int(spec["offset"])
+        nbytes = dtype.itemsize * int(np.prod(shape, dtype=INDEX_DTYPE))
+        if offset < data_start or offset + nbytes > file_size:
+            raise error(
+                f"{path}: truncated data section (array {name!r} "
+                f"extends past end of file)"
+            )
+        if mmap and nbytes > 0:
+            arr = np.memmap(
+                path, dtype=dtype, mode="r", offset=offset, shape=shape
+            )
+        else:
+            with open(path, "rb") as f:
+                f.seek(offset)
+                arr = np.frombuffer(f.read(nbytes), dtype=dtype).reshape(
+                    shape
+                )
+        arrays[name] = arr
+        total += nbytes
+    return arrays, total

@@ -17,24 +17,32 @@ __all__ = [
     "ALIGN",
     "ARRAY_NAMES",
     "FORMAT_VERSION",
+    "GRAPH_ARRAY_NAMES",
+    "GRAPH_FORMAT_VERSION",
+    "GRAPH_MAGIC",
+    "GRAPH_SUPPORTED_VERSIONS",
     "HEADER_LEN_DTYPE",
     "INDEX_DTYPE",
     "MAGIC",
     "MODELS",
+    "NARROW_INDEX_DTYPE",
+    "PROB_DTYPE",
     "SUPPORTED_VERSIONS",
     "WORLDS_DTYPE",
     "align_up",
+    "canonical_index_array",
 ]
 
 #: File magic; the trailing byte doubles as a format generation marker.
 MAGIC = b"REPROSKT"
 
 #: On-disk format version this build writes by default.
-FORMAT_VERSION = 2
+FORMAT_VERSION = 3
 
 #: Format versions this build reads (v1: PRIMA-only stores without the
-#: ``model`` discriminator or the ``worlds`` bitmap — forward-compat pinned).
-SUPPORTED_VERSIONS = (1, 2)
+#: ``model`` discriminator or the ``worlds`` bitmap; v2: always-wide
+#: int64 index arrays — forward-compat pinned).
+SUPPORTED_VERSIONS = (1, 2, 3)
 
 #: Arrays start on multiples of this within the data section (and the data
 #: section itself starts on the first such boundary past the header).
@@ -59,13 +67,74 @@ MODELS = ("prima", "comic")
 #: inverted index, cover counts, seed order).
 INDEX_DTYPE = np.int64
 
+#: Narrowed element type format v3+ writes for index arrays whose every
+#: value fits — on graphs with ``n < 2**31`` that is all of them, halving
+#: the mmap'd footprint of the member log and the inverted index.
+NARROW_INDEX_DTYPE = np.int32
+
 #: Element type of the ``(num_worlds, n)`` forward-adopter bitmap.
 WORLDS_DTYPE = np.bool_
 
 #: The little-endian uint64 header-length field at bytes 8..15.
 HEADER_LEN_DTYPE = "<u8"
 
+# ----------------------------------------------------------------------
+# The mmap'd CSR graph file (``.graph``), written by repro.graph.bigcsr.
+# Same container as the sketch store (magic, uint64 header length, JSON
+# header, 64-byte-aligned array blocks) with its own magic and version.
+# ----------------------------------------------------------------------
+
+#: Graph-file magic (same length as :data:`MAGIC`; shares the container).
+GRAPH_MAGIC = b"REPROGRF"
+
+#: Graph-file format version this build writes and reads.
+GRAPH_FORMAT_VERSION = 1
+
+#: Graph-file versions this build reads.
+GRAPH_SUPPORTED_VERSIONS = (1,)
+
+#: The six CSR arrays of an :class:`~repro.graph.digraph.InfluenceGraph`,
+#: in canonical on-disk order.  Indices stay :data:`INDEX_DTYPE` and
+#: probabilities :data:`PROB_DTYPE` — the graph fingerprint hashes raw
+#: array bytes, so narrowing here would silently orphan every store.
+GRAPH_ARRAY_NAMES = (
+    "out_indptr",
+    "out_targets",
+    "out_probs",
+    "in_indptr",
+    "in_sources",
+    "in_probs",
+)
+
+#: Element type of edge-probability arrays in graph files.
+PROB_DTYPE = np.float64
+
 
 def align_up(offset: int) -> int:
     """Round ``offset`` up to the next :data:`ALIGN` boundary."""
     return (offset + ALIGN - 1) // ALIGN * ALIGN
+
+
+def canonical_index_array(
+    arr: np.ndarray, format_version: int
+) -> np.ndarray:
+    """The on-disk representation of an index array under a version.
+
+    Format v2 and earlier always persist :data:`INDEX_DTYPE`.  Format v3
+    narrows to :data:`NARROW_INDEX_DTYPE` whenever every value fits —
+    a pure function of the array's *values*, so save → load → save
+    round-trips byte-identically and a v3-loaded (already narrow) store
+    re-saves to the exact same bytes.  Arrays with any value outside the
+    narrow range (a member log past 2**31 entries) stay wide.
+    """
+    arr = np.ascontiguousarray(arr)
+    if format_version < 3:
+        return np.ascontiguousarray(np.asarray(arr, dtype=INDEX_DTYPE))
+    if arr.dtype == np.dtype(NARROW_INDEX_DTYPE):
+        return arr
+    info = np.iinfo(NARROW_INDEX_DTYPE)
+    if arr.size and (
+        int(arr.min()) < info.min or int(arr.max()) > info.max
+    ):
+        return np.ascontiguousarray(np.asarray(arr, dtype=INDEX_DTYPE))
+    return arr.astype(NARROW_INDEX_DTYPE)

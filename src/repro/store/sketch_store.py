@@ -40,8 +40,6 @@ Failure modes are explicit:
 
 from __future__ import annotations
 
-import json
-import os
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Dict, Optional, Union
@@ -51,16 +49,16 @@ import numpy as np
 from repro import obs
 from repro.graph.digraph import InfluenceGraph
 from repro.graph.io import graph_fingerprint
+from repro.store import blockfile
 from repro.store.format import (
     ARRAY_NAMES,
     FORMAT_VERSION,
-    HEADER_LEN_DTYPE,
     INDEX_DTYPE,
     MAGIC,
     MODELS,
     SUPPORTED_VERSIONS,
     WORLDS_DTYPE,
-    align_up,
+    canonical_index_array,
 )
 
 PathLike = Union[str, Path]
@@ -259,10 +257,11 @@ class SketchStore:
         atomic replace — and (b) readers never observe a half-written
         store.
 
-        ``format_version`` defaults to the current version (2); version 1
-        can still be *written* for PRIMA stores (the forward-compat test
-        pins that old files keep loading), but cannot carry a comic
-        sketch.
+        ``format_version`` defaults to the current version (3 — index
+        arrays narrowed to int32 wherever every value fits); versions 1
+        and 2 can still be *written* (the forward-compat tests pin that
+        old files keep loading), always with wide int64 index arrays,
+        and version 1 cannot carry a comic sketch.
         """
         if format_version not in SUPPORTED_VERSIONS:
             raise SketchStoreError(
@@ -275,23 +274,16 @@ class SketchStore:
                 "write version 2"
             )
         arrays: Dict[str, np.ndarray] = {
-            name: np.ascontiguousarray(getattr(self, name))
+            name: canonical_index_array(
+                getattr(self, name), format_version
+            )
             for name in ARRAY_NAMES
         }
         if format_version >= 2 and self.worlds is not None:
             arrays["worlds"] = np.ascontiguousarray(
                 np.asarray(self.worlds, dtype=WORLDS_DTYPE)
             )
-        table = {}
-        cursor = 0
-        for name, arr in arrays.items():
-            cursor = align_up(cursor)
-            table[name] = {
-                "dtype": arr.dtype.str,
-                "shape": list(arr.shape),
-                "offset": cursor,
-            }
-            cursor += arr.nbytes
+        table = blockfile.array_table(arrays)
         meta = {
             "fingerprint": self.fingerprint,
             "num_nodes": int(self.num_nodes),
@@ -313,22 +305,10 @@ class SketchStore:
             "meta": meta,
             "arrays": table,
         }
-        blob = json.dumps(header, separators=(",", ":")).encode()
-        data_start = align_up(16 + len(blob))
-        path = Path(path)
-        tmp_path = path.with_name(path.name + ".tmp")
         with _STORE_IO_SECONDS.timer(op="save"), obs.span(
             "store.save", num_sets=self.num_sets
-        ), open(tmp_path, "wb") as f:
-            f.write(MAGIC)
-            f.write(np.array([len(blob)], dtype=HEADER_LEN_DTYPE).tobytes())
-            f.write(blob)
-            f.write(b"\0" * (data_start - 16 - len(blob)))
-            for name, arr in arrays.items():
-                pad = data_start + table[name]["offset"] - f.tell()
-                f.write(b"\0" * pad)
-                f.write(arr.tobytes())
-        os.replace(tmp_path, path)
+        ):
+            blockfile.write_block_file(path, MAGIC, header, arrays)
 
     @classmethod
     def load(cls, path: PathLike, mmap: bool = True) -> "SketchStore":
@@ -339,24 +319,9 @@ class SketchStore:
         violated CSR invariants — never silently returns partial data.
         """
         path = Path(path)
-        try:
-            file_size = path.stat().st_size
-        except OSError as exc:
-            raise SketchStoreError(f"cannot read sketch store: {exc}") from exc
-        with open(path, "rb") as f:
-            prefix = f.read(16)
-            if len(prefix) < 16 or prefix[:8] != MAGIC:
-                raise SketchStoreError(
-                    f"{path} is not a sketch store (bad magic)"
-                )
-            header_len = int(np.frombuffer(prefix[8:16], dtype=HEADER_LEN_DTYPE)[0])
-            if 16 + header_len > file_size:
-                raise SketchStoreError(f"{path}: truncated header")
-            blob = f.read(header_len)
-        try:
-            header = json.loads(blob.decode())
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise SketchStoreError(f"{path}: corrupted header") from exc
+        header, data_start, file_size = blockfile.read_header(
+            path, MAGIC, SketchStoreError, "sketch store"
+        )
         version = header.get("format_version")
         if version not in SUPPORTED_VERSIONS:
             raise SketchStoreError(
@@ -384,38 +349,13 @@ class SketchStore:
                 f"{path}: comic store is missing its worlds bitmap"
             )
 
-        data_start = align_up(16 + header_len)
-        arrays: Dict[str, np.ndarray] = {}
-        mapped_bytes = 0
         with _STORE_IO_SECONDS.timer(op="load"), obs.span(
             "store.load", mmap=bool(mmap)
         ):
-            for name in wanted:
-                spec = table[name]
-                dtype = np.dtype(spec["dtype"])
-                shape = tuple(int(s) for s in spec["shape"])
-                offset = data_start + int(spec["offset"])
-                nbytes = dtype.itemsize * int(
-                    np.prod(shape, dtype=INDEX_DTYPE)
-                )
-                if offset < data_start or offset + nbytes > file_size:
-                    raise SketchStoreError(
-                        f"{path}: truncated data section (array {name!r} "
-                        f"extends past end of file)"
-                    )
-                if mmap and nbytes > 0:
-                    arr = np.memmap(
-                        path, dtype=dtype, mode="r", offset=offset,
-                        shape=shape,
-                    )
-                else:
-                    with open(path, "rb") as f:
-                        f.seek(offset)
-                        arr = np.frombuffer(
-                            f.read(nbytes), dtype=dtype
-                        ).reshape(shape)
-                arrays[name] = arr
-                mapped_bytes += nbytes
+            arrays, mapped_bytes = blockfile.read_arrays(
+                path, table, wanted, data_start, file_size,
+                SketchStoreError, mmap=mmap,
+            )
         _STORE_MMAP_BYTES.inc(
             mapped_bytes, mode="mmap" if mmap else "ram"
         )

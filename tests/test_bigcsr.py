@@ -1,0 +1,456 @@
+"""Tests for repro.graph.bigcsr: streaming ingestion and .graph files.
+
+Three contracts under test:
+
+* **Cleaning parity** — the two-pass streaming ingester produces CSR
+  arrays byte-identical (same fingerprint) to the in-memory
+  ``InfluenceGraph`` construction on the same records: dense ids,
+  self-loops dropped, duplicates keep max probability, unweighted files
+  weighted by WC over raw (duplicate-counting) in-degrees.
+* **Container robustness** — versioned header, magic/truncation/
+  corruption detection, mmap and materialized loads, header-only
+  fingerprint reads.
+* **Zero-copy publication** — pool dispatch over a ``.graph``-loaded
+  graph creates no shared-memory segments and returns results
+  byte-identical to the copying path; adaptive shard grouping likewise
+  never changes a number.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.bigcsr import (
+    GraphFileError,
+    GraphIngestError,
+    graph_file_fingerprint,
+    ingest_edge_list,
+    is_graph_file,
+    load_graph,
+    read_graph_header,
+    write_graph_file,
+)
+from repro.graph.digraph import InfluenceGraph
+from repro.graph.io import graph_fingerprint
+from repro.store.format import GRAPH_MAGIC
+
+
+def _wc_reference(n, records):
+    """Dense-id weighted-cascade construction mirroring the paper prep."""
+    arcs = [(u, v) for u, v in records if u != v]
+    in_deg = {}
+    for _, v in arcs:
+        in_deg[v] = in_deg.get(v, 0) + 1
+    return InfluenceGraph(n, ((u, v, 1.0 / in_deg[v]) for u, v in arcs))
+
+
+def _write(path, lines):
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+class TestIngestEdgeCases:
+    def test_comments_blank_lines_and_stats(self, tmp_path):
+        src = _write(
+            tmp_path / "g.txt",
+            ["# header", "", "% matrix-market style", "0 1", "1 2", "2 0"],
+        )
+        out = tmp_path / "g.graph"
+        stats = ingest_edge_list(src, out)
+        assert stats.comments == 2
+        assert stats.records == 3
+        assert stats.num_nodes == 3
+        assert stats.num_edges == 3
+        assert stats.weighted is False
+        assert stats.scheme == "wc"
+
+    def test_duplicates_and_self_loops(self, tmp_path):
+        records = [(0, 1), (0, 1), (1, 1), (1, 2), (2, 0), (1, 2), (1, 2)]
+        src = _write(
+            tmp_path / "g.txt", [f"{u} {v}" for u, v in records]
+        )
+        out = tmp_path / "g.graph"
+        stats = ingest_edge_list(src, out)
+        assert stats.self_loops == 1
+        assert stats.duplicates == 3
+        graph = load_graph(out)
+        ref = _wc_reference(3, records)
+        assert graph_fingerprint(graph) == graph_fingerprint(ref)
+        # WC in-degree counts raw duplicate arcs (weighting.py parity):
+        # node 2 has three raw in-arcs, all duplicates of (1, 2).
+        assert graph.edge_probability(1, 2) == pytest.approx(1 / 3)
+
+    def test_weighted_duplicates_keep_max(self, tmp_path):
+        src = _write(
+            tmp_path / "g.txt",
+            ["0 1 0.25", "1 2 0.5", "0 1 0.75", "2 0 1.0"],
+        )
+        out = tmp_path / "g.graph"
+        stats = ingest_edge_list(src, out)
+        assert stats.weighted is True
+        assert stats.scheme is None
+        graph = load_graph(out)
+        ref = InfluenceGraph(
+            3, [(0, 1, 0.25), (1, 2, 0.5), (0, 1, 0.75), (2, 0, 1.0)]
+        )
+        assert graph_fingerprint(graph) == graph_fingerprint(ref)
+        assert graph.edge_probability(0, 1) == 0.75
+
+    def test_out_of_order_and_sparse_ids(self, tmp_path):
+        # Ids arrive in no particular order and skip values: the node
+        # space is dense 0..max_id, so 3 and 5 exist with degree 0.
+        records = [(7, 0), (0, 7), (4, 1), (1, 4), (7, 4), (2, 6)]
+        src = _write(
+            tmp_path / "g.txt", [f"{u} {v}" for u, v in records]
+        )
+        out = tmp_path / "g.graph"
+        stats = ingest_edge_list(src, out)
+        assert stats.num_nodes == 8
+        graph = load_graph(out)
+        ref = _wc_reference(8, records)
+        assert graph_fingerprint(graph) == graph_fingerprint(ref)
+        assert graph.out_degree(3) == 0 and graph.in_degree(3) == 0
+
+    def test_num_nodes_override(self, tmp_path):
+        src = _write(tmp_path / "g.txt", ["0 1", "1 0"])
+        out = tmp_path / "g.graph"
+        stats = ingest_edge_list(src, out, num_nodes=10)
+        assert stats.num_nodes == 10
+        assert load_graph(out).num_nodes == 10
+        with pytest.raises(GraphIngestError, match="num_nodes=1"):
+            ingest_edge_list(src, out, num_nodes=1)
+
+    def test_truncated_mid_record_raises(self, tmp_path):
+        src = tmp_path / "g.txt"
+        src.write_text("0 1\n1 2\n2")  # record cut mid-way, no newline
+        with pytest.raises(GraphIngestError, match="truncated|fields"):
+            ingest_edge_list(src, tmp_path / "g.graph")
+        assert not (tmp_path / "g.graph").exists()
+
+    def test_mixed_width_records_raise(self, tmp_path):
+        src = _write(tmp_path / "g.txt", ["0 1 0.5", "1 2"])
+        with pytest.raises(GraphIngestError, match="fields"):
+            ingest_edge_list(src, tmp_path / "g.graph")
+
+    def test_garbage_tokens_raise(self, tmp_path):
+        src = _write(tmp_path / "g.txt", ["0 1", "a b"])
+        with pytest.raises(GraphIngestError, match="non-integer"):
+            ingest_edge_list(src, tmp_path / "g.graph")
+        src2 = _write(tmp_path / "h.txt", ["0 1 0.5", "1 2 huge"])
+        with pytest.raises(GraphIngestError, match="non-numeric"):
+            ingest_edge_list(src2, tmp_path / "h.graph")
+
+    def test_negative_id_and_bad_probability_raise(self, tmp_path):
+        src = _write(tmp_path / "g.txt", ["0 1", "-1 2"])
+        with pytest.raises(GraphIngestError, match="negative"):
+            ingest_edge_list(src, tmp_path / "g.graph")
+        src2 = _write(tmp_path / "h.txt", ["0 1 1.5"])
+        with pytest.raises(GraphIngestError, match=r"\[0, 1\]"):
+            ingest_edge_list(src2, tmp_path / "h.graph")
+
+    def test_empty_and_comment_only_files(self, tmp_path):
+        src = _write(tmp_path / "g.txt", ["# nothing here"])
+        stats = ingest_edge_list(src, tmp_path / "g.graph")
+        assert stats.num_nodes == 0 and stats.num_edges == 0
+        graph = load_graph(tmp_path / "g.graph")
+        assert graph.num_nodes == 0 and graph.num_edges == 0
+
+    def test_chunk_size_invariance(self, tmp_path):
+        rng = np.random.default_rng(3)
+        records = [
+            (int(u), int(v))
+            for u, v in zip(rng.integers(0, 40, 300), rng.integers(0, 40, 300))
+        ]
+        src = _write(
+            tmp_path / "g.txt", [f"{u} {v}" for u, v in records]
+        )
+        prints = set()
+        for chunk_bytes in (7, 64, 1 << 20):
+            out = tmp_path / f"g{chunk_bytes}.graph"
+            ingest_edge_list(src, out, chunk_bytes=chunk_bytes)
+            prints.add(graph_fingerprint(load_graph(out)))
+        assert len(prints) == 1
+        ref = _wc_reference(max(max(r) for r in records) + 1, records)
+        assert prints == {graph_fingerprint(ref)}
+
+
+class TestGraphFile:
+    def test_write_load_round_trip_mmap_and_ram(self, tmp_path):
+        from repro.graph.generators import watts_strogatz_wc_graph
+
+        graph = watts_strogatz_wc_graph(120, 6, 0.2, seed=5)
+        path = tmp_path / "g.graph"
+        write_graph_file(graph, path)
+        for mmap in (True, False):
+            loaded = load_graph(path, mmap=mmap, verify=True)
+            assert graph_fingerprint(loaded) == graph_fingerprint(graph)
+            assert loaded == graph
+            spec = loaded._mmap_spec
+            assert (spec is not None) == mmap
+        assert graph_file_fingerprint(path) == graph_fingerprint(graph)
+
+    def test_is_graph_file(self, tmp_path):
+        assert is_graph_file("x/y.graph")
+        assert not is_graph_file("x/y.txt")
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "g.graph"
+        path.write_bytes(b"NOTAGRPH" + b"\0" * 64)
+        with pytest.raises(GraphFileError, match="bad magic"):
+            load_graph(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(GraphFileError, match="cannot read"):
+            load_graph(tmp_path / "absent.graph")
+
+    def test_truncated_data_section(self, tmp_path):
+        from repro.graph.generators import watts_strogatz_wc_graph
+
+        path = tmp_path / "g.graph"
+        write_graph_file(watts_strogatz_wc_graph(80, 4, 0.1, seed=1), path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) - 257])
+        with pytest.raises(GraphFileError, match="truncated"):
+            load_graph(path)
+
+    def test_corrupted_array_fails_verify(self, tmp_path):
+        import json
+
+        from repro.graph.generators import watts_strogatz_wc_graph
+        from repro.store.format import align_up
+
+        path = tmp_path / "g.graph"
+        write_graph_file(watts_strogatz_wc_graph(80, 4, 0.1, seed=1), path)
+        blob = bytearray(path.read_bytes())
+        # Flip a mantissa bit inside out_probs — the fingerprint hashes
+        # the out-CSR arrays, so verify=True must catch this while the
+        # structural (indptr/bounds) checks cannot.
+        header_len = int(np.frombuffer(blob[8:16], dtype="<u8")[0])
+        table = json.loads(blob[16 : 16 + header_len].decode())["arrays"]
+        offset = align_up(16 + header_len) + table["out_probs"]["offset"]
+        blob[offset + 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        load_graph(path)  # structural checks alone cannot see this
+        with pytest.raises(GraphFileError, match="fingerprint mismatch"):
+            load_graph(path, verify=True)
+
+    def test_unsupported_version(self, tmp_path):
+        import json
+
+        import numpy as np
+
+        from repro.store.format import HEADER_LEN_DTYPE
+
+        header = json.dumps({"format_version": 99}).encode()
+        path = tmp_path / "g.graph"
+        path.write_bytes(
+            GRAPH_MAGIC
+            + np.array([len(header)], dtype=HEADER_LEN_DTYPE).tobytes()
+            + header
+        )
+        with pytest.raises(GraphFileError, match="version"):
+            read_graph_header(path)
+
+    def test_header_records_ingest_stats(self, tmp_path):
+        src = _write(tmp_path / "g.txt", ["0 1", "1 2", "2 0"])
+        out = tmp_path / "g.graph"
+        ingest_edge_list(src, out)
+        header = read_graph_header(out)
+        ingest = header["meta"]["ingest"]
+        assert ingest["records"] == 3
+        assert ingest["source"] == "g.txt"
+        assert header["meta"]["num_edges"] == 3
+
+    def test_indptr_corruption_detected_structurally(self, tmp_path):
+        from repro.graph.generators import watts_strogatz_wc_graph
+
+        graph = watts_strogatz_wc_graph(50, 4, 0.1, seed=2)
+        path = tmp_path / "g.graph"
+        write_graph_file(graph, path)
+        header = read_graph_header(path)
+        # Overwrite out_indptr[-1] in place: edge counts now disagree.
+        import json
+
+        from repro.store.format import INDEX_DTYPE, align_up
+
+        blob = path.read_bytes()
+        header_len = int(np.frombuffer(blob[8:16], dtype="<u8")[0])
+        data_start = align_up(16 + header_len)
+        table = json.loads(blob[16 : 16 + header_len])["arrays"]
+        spec = table["out_indptr"]
+        offset = (
+            data_start
+            + spec["offset"]
+            + (spec["shape"][0] - 1) * np.dtype(INDEX_DTYPE).itemsize
+        )
+        patched = bytearray(blob)
+        patched[offset : offset + 8] = np.array(
+            [1], dtype=INDEX_DTYPE
+        ).tobytes()
+        path.write_bytes(bytes(patched))
+        with pytest.raises(
+            GraphFileError, match="monotone|edge count"
+        ):
+            load_graph(path)
+
+
+class TestFileBackedPool:
+    @pytest.fixture()
+    def file_graph(self, tmp_path):
+        from repro.graph.generators import watts_strogatz_wc_graph
+
+        graph = watts_strogatz_wc_graph(200, 6, 0.1, seed=9)
+        path = tmp_path / "g.graph"
+        write_graph_file(graph, path)
+        return graph, load_graph(path)
+
+    def _jobs(self, count=16, per=25):
+        seq = np.random.SeedSequence(123)
+        return [
+            (child, per, None, None) for child in seq.spawn(count)
+        ]
+
+    def test_no_segments_and_identical_results(self, file_graph):
+        from repro.parallel.pool import WorkerPool
+
+        graph, mapped = file_graph
+        pool = WorkerPool(processes=2)
+        inline = WorkerPool(processes=0)
+        try:
+            pooled = pool.map_shards("rr_shard", mapped, self._jobs())
+            assert pool.segment_names == []
+            assert pool.tasks_dispatched == 16
+            expected = inline.map_shards("rr_shard", graph, self._jobs())
+            for (m_a, l_a), (m_b, l_b) in zip(pooled, expected):
+                assert np.array_equal(m_a, m_b)
+                assert np.array_equal(l_a, l_b)
+        finally:
+            pool.shutdown()
+            inline.shutdown()
+
+    def test_copying_path_still_publishes_segments(self, file_graph):
+        from repro.parallel.pool import WorkerPool
+
+        graph, _ = file_graph
+        pool = WorkerPool(processes=2)
+        try:
+            pool.map_shards("rr_shard", graph, self._jobs(count=4, per=5))
+            assert len(pool.segment_names) == 1
+        finally:
+            pool.shutdown()
+
+    def test_adaptive_grouping_is_invisible_in_results(
+        self, file_graph, monkeypatch
+    ):
+        from repro.parallel.pool import SHARD_TARGET_ENV, WorkerPool
+
+        _, mapped = file_graph
+        # A huge target forces maximal grouping once history exists.
+        monkeypatch.setenv(SHARD_TARGET_ENV, "60000")
+        pool = WorkerPool(processes=2)
+        inline = WorkerPool(processes=0)
+        try:
+            first = pool.map_shards("rr_shard", mapped, self._jobs())
+            warm = pool.map_shards("rr_shard", mapped, self._jobs())
+            expected = inline.map_shards("rr_shard", mapped, self._jobs())
+            for got in (first, warm):
+                for (m_a, l_a), (m_b, l_b) in zip(got, expected):
+                    assert np.array_equal(m_a, m_b)
+                    assert np.array_equal(l_a, l_b)
+            # Micro-shards are counted either way.
+            assert pool.tasks_dispatched == 32
+        finally:
+            pool.shutdown()
+            inline.shutdown()
+
+
+class TestAdaptiveSharder:
+    def test_no_history_means_singletons(self):
+        from repro.parallel.pool import _AdaptiveSharder
+
+        sharder = _AdaptiveSharder()
+        jobs = [(None, 10)] * 8
+        assert sharder.plan("t", jobs, 4, 0.2) == [[i] for i in range(8)]
+
+    def test_grouping_respects_target_and_order(self):
+        from repro.parallel.pool import _AdaptiveSharder
+
+        sharder = _AdaptiveSharder()
+        sharder.observe("t", worlds=10, seconds=0.1)  # 10ms/world
+        jobs = [(None, 10)] * 8  # 100ms each, target 200ms -> pairs
+        groups = sharder.plan("t", jobs, 2, 0.2)
+        assert [i for group in groups for i in group] == list(range(8))
+        assert all(len(group) <= 4 for group in groups)
+        assert any(len(group) > 1 for group in groups)
+
+    def test_zero_target_disables_grouping(self):
+        from repro.parallel.pool import _AdaptiveSharder
+
+        sharder = _AdaptiveSharder()
+        sharder.observe("t", worlds=10, seconds=0.1)
+        assert sharder.plan("t", [(None, 10)] * 4, 2, 0.0) == [
+            [0],
+            [1],
+            [2],
+            [3],
+        ]
+
+    def test_group_size_capped_by_processes(self):
+        from repro.parallel.pool import _AdaptiveSharder
+
+        sharder = _AdaptiveSharder()
+        sharder.observe("t", worlds=1000, seconds=0.0001)  # ~free
+        groups = sharder.plan("t", [(None, 1)] * 16, 4, 10.0)
+        # ceil(16 / 4) = 4: at least `processes` groups survive.
+        assert all(len(group) <= 4 for group in groups)
+        assert len(groups) >= 4
+
+
+class TestStoreNarrowing:
+    def test_v3_round_trip_byte_identical_and_narrow(self, tmp_path):
+        from repro.engine import EngineContext
+        from repro.graph.generators import watts_strogatz_wc_graph
+        from repro.store import SketchStore, build_store
+        from repro.store.format import NARROW_INDEX_DTYPE
+
+        graph = watts_strogatz_wc_graph(60, 4, 0.1, seed=3)
+        store = build_store(
+            graph,
+            3,
+            estimation_rr_sets=500,
+            ctx=EngineContext.create(seed=4),
+        )
+        p1 = tmp_path / "a.sketch"
+        p2 = tmp_path / "b.sketch"
+        store.save(p1)
+        loaded = SketchStore.load(p1)
+        assert loaded.members.dtype == np.dtype(NARROW_INDEX_DTYPE)
+        loaded.save(p2)
+        assert p1.read_bytes() == p2.read_bytes()
+
+
+def test_mmap_equals_in_memory_through_store_build(tmp_path):
+    """The acceptance cross-check: a store built from the mmap'd graph
+    is byte-identical to one built from the in-memory construction."""
+    from repro.engine import EngineContext
+    from repro.graph.generators import watts_strogatz_wc_graph
+    from repro.graph.io import write_edge_list
+    from repro.store import build_store
+
+    graph = watts_strogatz_wc_graph(100, 4, 0.1, seed=8)
+    edge_path = tmp_path / "g.txt"
+    write_edge_list(graph, edge_path)
+    graph_path = tmp_path / "g.graph"
+    write_graph_file(graph, graph_path)
+    mapped = load_graph(graph_path)
+
+    s_mem = build_store(
+        graph, 3, estimation_rr_sets=400, ctx=EngineContext.create(seed=6)
+    )
+    s_map = build_store(
+        mapped, 3, estimation_rr_sets=400, ctx=EngineContext.create(seed=6)
+    )
+    assert s_mem.fingerprint == s_map.fingerprint
+    a, b = tmp_path / "mem.sketch", tmp_path / "map.sketch"
+    s_mem.save(a)
+    s_map.save(b)
+    assert a.read_bytes() == b.read_bytes()

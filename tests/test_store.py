@@ -504,7 +504,7 @@ class TestCLI:
         other = random_wc_graph(80, 4, seed=3)
         other_path = tmp_path / "other.txt"
         write_edge_list(other, other_path)
-        with pytest.raises(StaleStoreError):
+        with pytest.raises(SystemExit, match="was not built from the edge list"):
             main(["oracle", "query", "--graph", str(other_path),
                   "--store", str(store_path), "--budgets", "2"])
 

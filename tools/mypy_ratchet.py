@@ -39,6 +39,7 @@ PACKAGES = (
     "src/repro/parallel",
     "src/repro/serving",
     "src/repro/obs",
+    "src/repro/graph",
 )
 
 
